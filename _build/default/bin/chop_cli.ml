@@ -1,0 +1,376 @@
+(* chop — command-line driver for the CHOP constraint-driven system-level
+   partitioner.
+
+   Subcommands:
+     explore   run the full CHOP exploration on a benchmark graph
+     predict   show BAD's predicted implementations for one partition
+     dot       emit a Graphviz rendering of a (partitioned) benchmark
+     advise    what-if feasibility probe while varying chips/constraints
+     bench-info  list built-in benchmark graphs *)
+
+open Cmdliner
+
+let benchmarks =
+  [
+    ("ar", fun () -> Chop_dfg.Benchmarks.ar_lattice_filter ());
+    ("ewf", fun () -> Chop_dfg.Benchmarks.elliptic_wave_filter ());
+    ("fir16", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:16 ());
+    ("fir8", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:8 ());
+    ("diffeq", fun () -> Chop_dfg.Benchmarks.diffeq ());
+    ("dct8", fun () -> Chop_dfg.Benchmarks.dct8 ());
+  ]
+
+let graph_of_name name =
+  match List.assoc_opt name benchmarks with
+  | Some f -> Ok (f ())
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown benchmark %S (try: %s)" name
+              (String.concat ", " (List.map fst benchmarks))))
+
+let graph_conv =
+  let parse s = graph_of_name s in
+  let print ppf g = Format.fprintf ppf "%s" (Chop_dfg.Graph.name g) in
+  Arg.conv (parse, print)
+
+let graph_arg =
+  Arg.(
+    value
+    & opt graph_conv (Chop_dfg.Benchmarks.ar_lattice_filter ())
+    & info [ "g"; "graph" ] ~docv:"NAME"
+        ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8.")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "k"; "partitions" ] ~docv:"K" ~doc:"Number of partitions (level cuts).")
+
+let package_arg =
+  let package_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "64" | "pkg64" -> Ok Chop_tech.Mosis.package_64
+          | "84" | "pkg84" -> Ok Chop_tech.Mosis.package_84
+          | _ -> Error (`Msg "package must be 64 or 84")),
+        fun ppf c -> Format.fprintf ppf "%s" c.Chop_tech.Chip.pkg_name )
+  in
+  Arg.(
+    value
+    & opt package_conv Chop_tech.Mosis.package_84
+    & info [ "p"; "package" ] ~docv:"PINS" ~doc:"MOSIS package: 64 or 84 pins.")
+
+let perf_arg =
+  Arg.(
+    value & opt float 30000.
+    & info [ "perf" ] ~docv:"NS" ~doc:"Performance constraint (ns).")
+
+let delay_arg =
+  Arg.(
+    value & opt float 30000.
+    & info [ "delay" ] ~docv:"NS" ~doc:"System delay constraint (ns).")
+
+let multicycle_arg =
+  Arg.(
+    value & flag
+    & info [ "multi-cycle" ]
+        ~doc:"Multi-cycle operation style with the data-path clock at main \
+              speed (experiment-2 conditions); default is single-cycle with \
+              the data-path clock at 10x main.")
+
+let heuristic_arg =
+  let heuristic_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "e" | "E" | "enum" -> Ok Chop.Explore.Enumeration
+          | "i" | "I" | "iter" -> Ok Chop.Explore.Iterative
+          | "b" | "B" | "bb" -> Ok Chop.Explore.Branch_bound
+          | _ ->
+              Error
+                (`Msg
+                   "heuristic must be 'e' (enumeration), 'i' (iterative) or \
+                    'b' (branch-and-bound)")),
+        fun ppf h -> Chop.Explore.pp_heuristic ppf h )
+  in
+  Arg.(
+    value
+    & opt heuristic_conv Chop.Explore.Iterative
+    & info [ "H"; "heuristic" ] ~docv:"E|I" ~doc:"Search heuristic.")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "levels" -> Ok Chop_baseline.Autopart.Levels
+          | "min-cut" -> Ok (Chop_baseline.Autopart.Min_cut 1)
+          | "random" -> Ok (Chop_baseline.Autopart.Random_balanced 42)
+          | _ -> Error (`Msg "strategy must be levels, min-cut or random")),
+        fun ppf s ->
+          Format.pp_print_string ppf (Chop_baseline.Autopart.strategy_name s) )
+  in
+  Arg.(
+    value
+    & opt strategy_conv Chop_baseline.Autopart.Levels
+    & info [ "s"; "strategy" ] ~docv:"STRAT"
+        ~doc:"Partition generation strategy: levels, min-cut or random.")
+
+let build_spec graph k package perf delay multicycle strategy =
+  let partitioning =
+    if k = 1 then Chop_dfg.Partition.whole graph
+    else Chop_baseline.Autopart.generate graph ~k strategy
+  in
+  let clocks =
+    if multicycle then
+      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:1
+        ~transfer_ratio:1
+    else
+      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:10
+        ~transfer_ratio:1
+  in
+  let style =
+    Chop_tech.Style.both
+      (if multicycle then Chop_tech.Style.Multi_cycle else Chop_tech.Style.Single_cycle)
+  in
+  Chop.Rig.custom ~graph ~partitioning ~package ~clocks ~style
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"SPEC"
+        ~doc:"Load the full problem from a chopspec file (overrides the \
+              graph/partition/chip options).")
+
+let explore_cmd =
+  let run graph k package perf delay multicycle heuristic strategy verbose file csv =
+    let spec =
+      match file with
+      | Some path -> Chop.Specfile.load path
+      | None -> build_spec graph k package perf delay multicycle strategy
+    in
+    let report = Chop.Explore.run ~keep_all:csv heuristic spec in
+    if csv then begin
+      print_string (Chop.Search.to_csv report.Chop.Explore.outcome.Chop.Search.explored);
+      exit 0
+    end;
+    List.iter
+      (fun b ->
+        Printf.printf "BAD %s: %d predictions, %d feasible, %d kept\n"
+          b.Chop.Explore.label b.Chop.Explore.total_predictions
+          b.Chop.Explore.feasible_predictions b.Chop.Explore.kept)
+      report.Chop.Explore.bad;
+    let st = report.Chop.Explore.outcome.Chop.Search.stats in
+    Printf.printf "search: %d trials, %.3f s CPU\n\n"
+      st.Chop.Search.implementation_trials st.Chop.Search.cpu_seconds;
+    (match report.Chop.Explore.outcome.Chop.Search.feasible with
+    | [] -> print_endline "no feasible implementation"
+    | feas ->
+        Printf.printf "%d feasible non-inferior implementation(s):\n" (List.length feas);
+        List.iter
+          (fun s ->
+            Printf.printf "  II %d cycles, delay %d cycles, clock %.0f ns (perf %.0f ns)\n"
+              s.Chop.Integration.ii_main s.Chop.Integration.delay_cycles
+              s.Chop.Integration.clock s.Chop.Integration.perf_ns)
+          feas;
+        if verbose then begin
+          print_newline ();
+          print_string (Chop.Report.guideline spec (List.hd feas))
+        end);
+    0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print designer guidelines.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Run the CHOP exploration on a benchmark graph")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ heuristic_arg $ strategy_arg $ verbose
+      $ file_arg
+      $ Arg.(value & flag
+             & info [ "csv" ]
+                 ~doc:"Explore without pruning and dump every design point \
+                       as CSV (Figures 7/8-style data)."))
+
+let predict_cmd =
+  let run graph k package perf delay multicycle strategy index top =
+    let spec = build_spec graph k package perf delay multicycle strategy in
+    let per_partition, stats = Chop.Explore.predictions spec in
+    List.iteri
+      (fun i (label, preds) ->
+        if i = index || index < 0 then begin
+          let st = List.nth stats i in
+          Printf.printf "partition %s: %d predictions (%d feasible, %d kept)\n"
+            label st.Chop.Explore.total_predictions
+            st.Chop.Explore.feasible_predictions st.Chop.Explore.kept;
+          List.iter
+            (fun p ->
+              print_endline (Chop_bad.Prediction.describe spec.Chop.Spec.clocks p))
+            (Chop_util.Listx.take top preds);
+          print_newline ()
+        end)
+      per_partition;
+    0
+  in
+  let index =
+    Arg.(value & opt int (-1) & info [ "i"; "index" ] ~docv:"N"
+           ~doc:"Partition index to show (-1 for all).")
+  in
+  let top =
+    Arg.(value & opt int 3 & info [ "t"; "top" ] ~docv:"N"
+           ~doc:"Predictions to print per partition.")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Show BAD's predicted implementations per partition")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ strategy_arg $ index $ top)
+
+let dot_cmd =
+  let run graph k strategy =
+    if k <= 1 then print_string (Chop_dfg.Dot.of_graph graph)
+    else begin
+      let pg = Chop_baseline.Autopart.generate graph ~k strategy in
+      print_string (Chop_dfg.Dot.of_partitioning pg)
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for a (partitioned) benchmark graph")
+    Term.(const run $ graph_arg $ partitions_arg $ strategy_arg)
+
+let advise_cmd =
+  let run graph k package perf delay multicycle strategy =
+    let spec = build_spec graph k package perf delay multicycle strategy in
+    let j = Chop.Advisor.what_if spec in
+    print_endline j.Chop.Advisor.advice;
+    if j.Chop.Advisor.feasible then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Quick feasibility probe (exit 1 when infeasible)")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ strategy_arg)
+
+let autosearch_cmd =
+  let run graph max_partitions package perf delay multicycle =
+    let clocks =
+      if multicycle then
+        Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock
+          ~datapath_ratio:1 ~transfer_ratio:1
+      else
+        Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock
+          ~datapath_ratio:10 ~transfer_ratio:1
+    in
+    let style =
+      Chop_tech.Style.both
+        (if multicycle then Chop_tech.Style.Multi_cycle
+         else Chop_tech.Style.Single_cycle)
+    in
+    let candidates =
+      Chop_baseline.Autosearch.run ~max_partitions
+        ~library:Chop_tech.Mosis.extended_library ~graph ~package ~clocks
+        ~style
+        ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ())
+        ()
+    in
+    List.iter
+      (fun c -> print_endline ("  " ^ Chop_baseline.Autosearch.describe c))
+      candidates;
+    match Chop_baseline.Autosearch.best candidates with
+    | Some _ -> 0
+    | None ->
+        print_endline "no feasible partitioning";
+        1
+  in
+  let max_partitions =
+    Arg.(value & opt int 4
+         & info [ "m"; "max-partitions" ] ~docv:"K" ~doc:"Largest partition count to try.")
+  in
+  Cmd.v
+    (Cmd.info "autosearch"
+       ~doc:"Automatically search partition counts and strategies")
+    Term.(
+      const run $ graph_arg $ max_partitions $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg)
+
+let synth_cmd =
+  let run graph k package perf delay multicycle strategy file board =
+    let spec =
+      match file with
+      | Some path -> Chop.Specfile.load path
+      | None -> build_spec graph k package perf delay multicycle strategy
+    in
+    let ctx = Chop.Integration.context spec in
+    let report = Chop.Explore.run Chop.Explore.Iterative spec in
+    match report.Chop.Explore.outcome.Chop.Search.feasible with
+    | [] ->
+        print_endline "no feasible implementation to synthesize";
+        1
+    | best :: _ ->
+        let sys = Chop_rtl.System.synthesize ctx best in
+        print_string (Chop_rtl.System.summary sys);
+        print_newline ();
+        if board then print_string (Chop_rtl.System.board_verilog ctx best sys)
+        else
+          List.iter
+            (fun (_, v) ->
+              print_string v;
+              print_newline ())
+            sys.Chop_rtl.System.verilog;
+        if Chop_rtl.System.all_fit sys then 0 else 1
+  in
+  let board =
+    Arg.(value & flag
+         & info [ "board" ] ~doc:"Emit only the board-level top module.")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize the best feasible implementation to netlists, \
+             floorplans and Verilog")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ strategy_arg $ file_arg $ board)
+
+let spec_dump_cmd =
+  let run graph k package perf delay multicycle strategy =
+    let spec = build_spec graph k package perf delay multicycle strategy in
+    print_string (Chop.Specfile.print spec);
+    0
+  in
+  Cmd.v
+    (Cmd.info "spec-dump"
+       ~doc:"Write a built-in benchmark setup as a chopspec file (a template \
+             for external problems)")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ strategy_arg)
+
+let bench_info_cmd =
+  let run () =
+    List.iter
+      (fun (name, f) ->
+        let g = f () in
+        Printf.printf "%-8s %3d operations, %2d levels, io %d/%d bits\n" name
+          (Chop_dfg.Graph.op_count g)
+          (List.length (Chop_dfg.Analysis.levels g))
+          (Chop_dfg.Graph.total_input_bits g)
+          (Chop_dfg.Graph.total_output_bits g))
+      benchmarks;
+    0
+  in
+  Cmd.v (Cmd.info "bench-info" ~doc:"List built-in benchmark graphs")
+    Term.(const run $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "chop" ~version:"1.0"
+       ~doc:"CHOP: a constraint-driven system-level partitioner (DAC 1991)")
+    [ explore_cmd; predict_cmd; dot_cmd; advise_cmd; autosearch_cmd;
+      synth_cmd; spec_dump_cmd; bench_info_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

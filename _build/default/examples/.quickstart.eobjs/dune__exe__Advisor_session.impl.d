@@ -1,0 +1,1 @@
+examples/advisor_session.ml: Chop Chop_bad Chop_tech List Printf

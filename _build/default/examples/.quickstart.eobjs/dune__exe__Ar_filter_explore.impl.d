@@ -1,0 +1,1 @@
+examples/ar_filter_explore.ml: Chop Chop_util Format List Printf Texttable

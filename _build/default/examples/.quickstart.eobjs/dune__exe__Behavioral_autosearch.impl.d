@@ -1,0 +1,1 @@
+examples/behavioral_autosearch.ml: Chop Chop_bad Chop_baseline Chop_dfg Chop_tech Format List Printf

@@ -1,0 +1,1 @@
+examples/ewf_multichip.ml: Chop Chop_bad Chop_dfg Chop_tech Chop_util List Printf String Texttable

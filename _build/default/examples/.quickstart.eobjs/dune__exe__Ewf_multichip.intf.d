@@ -1,0 +1,1 @@
+examples/ewf_multichip.mli:

@@ -1,0 +1,1 @@
+examples/figure2_system.ml: Chop Chop_bad Chop_dfg Chop_tech Format List Printf Stdlib

@@ -1,0 +1,1 @@
+examples/kl_vs_chop.ml: Chop Chop_bad Chop_baseline Chop_dfg Chop_tech Chop_util List Printf String Texttable

@@ -1,0 +1,1 @@
+examples/kl_vs_chop.mli:

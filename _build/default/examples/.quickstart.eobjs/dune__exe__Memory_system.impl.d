@@ -1,0 +1,1 @@
+examples/memory_system.ml: Chop Chop_bad Chop_dfg Chop_tech Chop_util List String Texttable

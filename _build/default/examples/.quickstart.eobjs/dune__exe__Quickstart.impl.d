@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chop Chop_bad Chop_dfg Chop_tech Format List Printf

@@ -1,0 +1,1 @@
+examples/synthesize_partition.ml: Chop Chop_bad Chop_dfg Chop_rtl Chop_sched Chop_tech Chop_util Format List Printf

@@ -1,0 +1,1 @@
+examples/synthesize_partition.mli:

@@ -1,0 +1,61 @@
+(* A system-level advising session (paper, sections 2.7 and 4): the
+   designer iterates partitioning modifications and CHOP answers each
+   what-if in real time.
+
+   Run with:  dune exec examples/advisor_session.exe *)
+
+let step n title judgement =
+  Printf.printf "step %d — %s\n  -> %s\n\n" n title
+    judgement.Chop.Advisor.advice
+
+let () =
+  print_endline "Interactive advising session on the AR lattice filter\n";
+
+  (* start: everything on one chip *)
+  let spec0 = Chop.Rig.experiment1 ~partitions:1 () in
+  step 1 "single 84-pin chip" (Chop.Advisor.what_if spec0);
+
+  (* the designer wants 2x the performance: repartition onto two chips *)
+  let spec1 = Chop.Rig.experiment1 ~partitions:2 () in
+  step 2 "split into two partitions on two chips" (Chop.Advisor.what_if spec1);
+
+  (* what if the cheaper 64-pin package is used instead? *)
+  let spec2 =
+    List.fold_left
+      (fun spec chip ->
+        Chop.Advisor.swap_package spec ~chip Chop_tech.Mosis.package_64)
+      spec1 [ "chip1"; "chip2" ]
+  in
+  step 3 "downgrade both chips to the 64-pin package"
+    (Chop.Advisor.what_if spec2);
+
+  (* tighten the constraints until the two-chip design breaks *)
+  let spec3 =
+    Chop.Advisor.set_constraints spec1
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:8000. ~delay:8000. ())
+  in
+  step 4 "tighten performance and delay to 8 000 ns"
+    (Chop.Advisor.what_if spec3);
+
+  (* recover by repartitioning onto three chips *)
+  let spec4 =
+    Chop.Advisor.set_constraints
+      (Chop.Rig.experiment2 ~partitions:3 ())
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:8000. ~delay:16000. ())
+  in
+  step 5 "three chips, multi-cycle style, delay relaxed to 16 000 ns"
+    (Chop.Advisor.what_if spec4);
+
+  (* summary comparison of the two main alternatives *)
+  print_endline "comparison of step 1 vs step 2:";
+  print_endline ("  " ^ Chop.Advisor.compare_specs spec0 spec1);
+
+  (* the advisor's bird's-eye view: where does the 2-chip design live in
+     the performance x pins plane? *)
+  print_endline "\nfeasibility map of the 2-chip design (# feasible, . not):";
+  let grid =
+    Chop.Sensitivity.performance_pins_grid spec1
+      ~perf_values:[ 30000.; 15000.; 9000.; 6000. ]
+      ~pin_values:[ 84; 64; 40; 24 ]
+  in
+  print_string (Chop.Sensitivity.render_grid grid)

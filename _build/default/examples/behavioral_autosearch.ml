@@ -1,0 +1,69 @@
+(* Closing the loop: write a behavioral program in the input language
+   (assignments, bounded loops, if/else — the "added control constructs"),
+   compile it to a data-flow graph, and let the automatic partitioning
+   search find a feasible multi-chip implementation.
+
+   Run with:  dune exec examples/behavioral_autosearch.exe *)
+
+open Chop_dfg.Behavior
+
+(* A conditional IIR-ish smoother over 6 unrolled iterations:
+     for 6 times:
+       p = x * a
+       q = acc * b
+       t = p + q
+       acc = if t < limit then t else t - decay *)
+let program =
+  {
+    prog_name = "smoother";
+    width = 16;
+    inputs = [ "x"; "acc0"; "limit" ];
+    outputs = [ "acc" ];
+    body =
+      [
+        Assign ("acc", Var "acc0");
+        For
+          ( 6,
+            [
+              Assign ("p", Bin (Mul, Var "x", Const "a"));
+              Assign ("q", Bin (Mul, Var "acc", Const "b"));
+              Assign ("t", Bin (Add, Var "p", Var "q"));
+              If
+                ( Bin (Less, Var "t", Var "limit"),
+                  [ Assign ("acc", Var "t") ],
+                  [ Assign ("acc", Bin (Sub, Var "t", Const "decay")) ] );
+            ] );
+      ];
+  }
+
+let () =
+  let graph = compile program in
+  Format.printf "compiled %d statements to:@.%a@." (stmt_count program)
+    Chop_dfg.Graph.pp graph;
+
+  let candidates =
+    Chop_baseline.Autosearch.run ~max_partitions:3
+      ~strategies:
+        [ Chop_baseline.Autopart.Levels; Chop_baseline.Autopart.Min_cut 1 ]
+      ~library:Chop_tech.Mosis.extended_library
+      ~graph ~package:Chop_tech.Mosis.package_84
+      ~clocks:
+        (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1 ~transfer_ratio:1)
+      ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:15000. ~delay:15000. ())
+      ()
+  in
+  print_endline "automatic partitioning search, ranked:";
+  List.iter
+    (fun c -> Printf.printf "  %s\n" (Chop_baseline.Autosearch.describe c))
+    candidates;
+  match Chop_baseline.Autosearch.best candidates with
+  | None -> print_endline "\nno feasible partitioning found"
+  | Some c ->
+      Printf.printf "\nwinner: %d partition(s) via %s\n" c.Chop_baseline.Autosearch.partitions
+        (Chop_baseline.Autopart.strategy_name c.Chop_baseline.Autosearch.strategy);
+      (match c.Chop_baseline.Autosearch.judgement.Chop.Advisor.best with
+      | Some s ->
+          print_newline ();
+          print_string (Chop.Report.guideline c.Chop_baseline.Autosearch.spec s)
+      | None -> ())

@@ -1,0 +1,1 @@
+lib/bad/alloc_enum.ml: Chop_dfg Chop_sched Chop_tech Chop_util List Option Printf

@@ -1,0 +1,1 @@
+lib/bad/alloc_enum.mli: Chop_dfg Chop_sched

@@ -1,0 +1,1 @@
+lib/bad/control.mli: Chop_sched Chop_tech Chop_util Datapath

@@ -1,0 +1,1 @@
+lib/bad/datapath.ml: Chop_dfg Chop_sched Chop_tech Chop_util List

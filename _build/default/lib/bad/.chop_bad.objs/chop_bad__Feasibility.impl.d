@@ -1,0 +1,1 @@
+lib/bad/feasibility.ml: Chop_util List Prediction Printf

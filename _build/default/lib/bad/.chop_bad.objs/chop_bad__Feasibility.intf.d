@@ -1,0 +1,1 @@
+lib/bad/feasibility.mli: Chop_tech Chop_util Prediction

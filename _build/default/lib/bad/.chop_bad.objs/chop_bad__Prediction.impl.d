@@ -1,0 +1,1 @@
+lib/bad/prediction.ml: Buffer Chop_sched Chop_tech Chop_util Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/bad/prediction.mli: Chop_sched Chop_tech Chop_util Format

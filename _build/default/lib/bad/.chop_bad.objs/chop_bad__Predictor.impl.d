@@ -1,0 +1,1 @@
+lib/bad/predictor.ml: Alloc_enum Array Chop_dfg Chop_sched Chop_tech Chop_util Control Datapath Feasibility Float List Prediction Printf

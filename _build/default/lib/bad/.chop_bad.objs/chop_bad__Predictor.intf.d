@@ -1,0 +1,1 @@
+lib/bad/predictor.mli: Chop_dfg Chop_tech Chop_util Feasibility Prediction

@@ -1,0 +1,29 @@
+let enumerate ?(cap = 8) ~latency ~memport_units g =
+  let max_useful = Chop_sched.List_sched.maximal_useful_alloc ~latency g in
+  let profile = Chop_dfg.Graph.op_profile g in
+  let mem_classes, enumerable =
+    List.partition
+      (fun (cls, _) -> Chop_tech.Component.is_memport_class cls)
+      profile
+  in
+  let fixed =
+    List.map
+      (fun (cls, _) ->
+        match List.assoc_opt cls memport_units with
+        | Some ports when ports >= 1 -> (cls, ports)
+        | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf "Alloc_enum.enumerate: no ports declared for %s" cls))
+      mem_classes
+  in
+  let choices =
+    List.map
+      (fun (cls, _) ->
+        let hi =
+          min cap (max 1 (Option.value ~default:1 (List.assoc_opt cls max_useful)))
+        in
+        List.map (fun n -> (cls, n)) (Chop_util.Listx.range 1 hi))
+      enumerable
+  in
+  let boxes = Chop_util.Listx.cartesian choices in
+  List.map (fun alloc -> fixed @ alloc) boxes

@@ -1,0 +1,19 @@
+(** Serial-parallel allocation enumeration.
+
+    BAD "considers serial-parallel tradeoffs": for each functional class the
+    unit count ranges from 1 (most serial) to the maximum useful parallelism
+    of the graph; per-block memory-port classes ([memport:<block>]) are
+    fixed by the attached memory blocks and not enumerated. *)
+
+val enumerate :
+  ?cap:int ->
+  latency:(Chop_dfg.Graph.node -> int) ->
+  memport_units:(string * int) list ->
+  Chop_dfg.Graph.t ->
+  Chop_sched.Schedule.alloc list
+(** All allocations in the box [1 .. min cap max_useful] per enumerable
+    class ([cap] defaults to 8).  [memport_units] gives, per memory-port
+    class used by the graph, the fixed number of ports; every allocation
+    carries those entries verbatim.
+    @raise Invalid_argument when a memory-port class the graph uses is
+    missing from [memport_units] or has a non-positive count. *)

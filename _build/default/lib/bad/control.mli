@@ -1,0 +1,17 @@
+(** PLA-based controller prediction for processing units.
+
+    The controller sequences the schedule: one state per control step
+    (the initiation interval for pipelined designs, since the control loop
+    wraps at [ii]), with status inputs from comparison operations and the
+    distributed-control handshake, and control outputs driving functional
+    units, multiplexer select trees and register loads. *)
+
+val shape :
+  sched:Chop_sched.Schedule.t ->
+  est:Datapath.estimate ->
+  ii:int ->
+  pipelined:bool ->
+  Chop_tech.Pla.shape
+
+val area : Chop_tech.Pla.shape -> Chop_util.Units.mil2
+val delay : Chop_tech.Pla.shape -> Chop_util.Units.ns

@@ -1,0 +1,23 @@
+(** Data-path resource prediction: register bits, multiplexer count, net
+    count and area roll-up for a scheduled partition. *)
+
+type estimate = {
+  register_bits : int;
+  peak_values : int;
+  mux_count : int;  (** equivalent 1-bit 2:1 multiplexers *)
+  nets : int;  (** point-to-point nets, for the wiring model *)
+  fu_area : Chop_util.Units.mil2;
+  register_area : Chop_util.Units.mil2;
+  mux_area : Chop_util.Units.mil2;
+  mux_select_delay : Chop_util.Units.ns;
+      (** worst mux-tree delay in front of a functional unit *)
+}
+
+val estimate :
+  module_set:Chop_tech.Component.t list ->
+  ?ii:int ->
+  Chop_sched.Schedule.t ->
+  estimate
+(** [ii] folds register lifetimes for pipelined designs.  The multiplexer
+    count combines functional-unit input steering (operations sharing a
+    unit) with register-file input steering (values sharing a register). *)

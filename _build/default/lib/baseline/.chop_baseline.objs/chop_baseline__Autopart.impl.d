@@ -1,0 +1,1 @@
+lib/baseline/autopart.ml: Array Chop_dfg Chop_util Int Kl List Printf Random

@@ -1,0 +1,1 @@
+lib/baseline/autopart.mli: Chop_dfg

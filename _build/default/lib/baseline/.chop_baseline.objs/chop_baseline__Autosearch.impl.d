@@ -1,0 +1,1 @@
+lib/baseline/autosearch.ml: Autopart Chop Chop_dfg Chop_tech Chop_util Float List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/autosearch.mli: Autopart Chop Chop_bad Chop_dfg Chop_tech

@@ -1,0 +1,1 @@
+lib/baseline/kl.ml: Array Chop_dfg Int List Random Set

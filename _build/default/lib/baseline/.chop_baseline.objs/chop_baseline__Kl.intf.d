@@ -1,0 +1,1 @@
+lib/baseline/kl.mli: Chop_dfg

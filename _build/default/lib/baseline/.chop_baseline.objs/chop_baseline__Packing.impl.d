@@ -1,0 +1,1 @@
+lib/baseline/packing.ml: Array Chop Chop_bad Chop_dfg Chop_tech Chop_util Float List Printf

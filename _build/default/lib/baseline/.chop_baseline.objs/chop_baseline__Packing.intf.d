@@ -1,0 +1,1 @@
+lib/baseline/packing.mli: Chop Chop_tech Chop_util

@@ -1,0 +1,102 @@
+type strategy = Levels | Min_cut of int | Random_balanced of int
+
+let strategy_name = function
+  | Levels -> "levels"
+  | Min_cut _ -> "min-cut"
+  | Random_balanced _ -> "random"
+
+(* Recursive KL bisection; each split is legalized so the final quotient
+   graph is acyclic. *)
+let rec bisect g ~seed ~k members =
+  if k <= 1 then [ members ]
+  else
+    let sub, in_map, _ = Chop_dfg.Graph.induced g ~name:"bisect" members in
+    ignore in_map;
+    let r = Kl.bipartition ~seed sub in
+    let a, b = Kl.legalize sub r.Kl.side_a r.Kl.side_b in
+    (* map the subgraph node ids back: induced preserves names *)
+    let name_of id = (Chop_dfg.Graph.node sub id).Chop_dfg.Graph.name in
+    let back names =
+      let wanted = List.map name_of names in
+      List.filter
+        (fun id ->
+          List.mem (Chop_dfg.Graph.node g id).Chop_dfg.Graph.name wanted)
+        members
+    in
+    let a_ids = back a and b_ids = back b in
+    if a_ids = [] || b_ids = [] then [ members ]
+    else
+      let ka = k / 2 and kb = k - (k / 2) in
+      bisect g ~seed:(seed + 1) ~k:ka a_ids @ bisect g ~seed:(seed + 2) ~k:kb b_ids
+
+let random_balanced ~seed ~k members =
+  let rng = Random.State.make [| seed; k |] in
+  (* shuffle a topological ordering, then slice contiguously: slicing a
+     topological order always yields an acyclic quotient, and the shuffle
+     below only permutes within a bounded window to keep that property *)
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  let window = max 1 (n / (2 * k)) in
+  for i = 0 to n - 2 do
+    let j = min (n - 1) (i + Random.State.int rng (window + 1)) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  let per = max 1 (n / k) in
+  let rec slice i acc =
+    if i >= n then List.rev acc
+    else
+      let stop = if List.length acc = k - 1 then n else min n (i + per) in
+      slice stop (Array.to_list (Array.sub arr i (stop - i)) :: acc)
+  in
+  slice 0 []
+
+let generate g ~k strategy =
+  if k < 1 then invalid_arg "Autopart.generate: k < 1";
+  let ops = List.map (fun n -> n.Chop_dfg.Graph.id) (Chop_dfg.Graph.operations g) in
+  if List.length ops < k then
+    invalid_arg "Autopart.generate: fewer operations than partitions";
+  match strategy with
+  | Levels ->
+      if k = 1 then Chop_dfg.Partition.whole g
+      else Chop_dfg.Partition.by_levels g ~k
+  | Min_cut seed ->
+      let groups =
+        bisect g ~seed ~k (List.sort Int.compare ops)
+        |> List.filter (fun m -> m <> [])
+      in
+      let parts =
+        List.mapi
+          (fun i members ->
+            Chop_dfg.Partition.make ~label:(Printf.sprintf "P%d" (i + 1)) members)
+          groups
+      in
+      Chop_dfg.Partition.partitioning g parts
+  | Random_balanced seed -> (
+      (* members arrive in topological order because Graph.operations
+         follows it *)
+      let build groups =
+        let parts =
+          List.mapi
+            (fun i members ->
+              Chop_dfg.Partition.make ~label:(Printf.sprintf "P%d" (i + 1)) members)
+            (List.filter (fun m -> m <> []) groups)
+        in
+        Chop_dfg.Partition.partitioning g parts
+      in
+      match build (random_balanced ~seed ~k ops) with
+      | pg -> pg
+      | exception Chop_dfg.Partition.Invalid_partitioning _ ->
+          (* the window shuffle broke the quotient order; fall back to
+             unshuffled topological slicing, which is always legal *)
+          let per = Chop_util.Units.ceil_div (List.length ops) k in
+          let rec slice xs acc =
+            match xs with
+            | [] -> List.rev acc
+            | _ ->
+                let group = Chop_util.Listx.take per xs in
+                let rest = List.filteri (fun i _ -> i >= per) xs in
+                slice rest (group :: acc)
+          in
+          build (slice ops []))

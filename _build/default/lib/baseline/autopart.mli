@@ -1,0 +1,20 @@
+(** Automatic partition generation.
+
+    CHOP's partitions are designer-created (paper, section 2.4); these
+    generators automate the step for the examples and benches: horizontal
+    level cuts (what the paper's experiments did manually), KL-refined
+    min-cut partitions legalized to CHOP's acyclicity restriction, and
+    random partitions for property testing. *)
+
+type strategy =
+  | Levels  (** contiguous ASAP-level cuts of balanced size *)
+  | Min_cut of int  (** recursive KL bisection with the given seed *)
+  | Random_balanced of int
+      (** random balanced assignment legalized to an acyclic quotient *)
+
+val generate :
+  Chop_dfg.Graph.t -> k:int -> strategy -> Chop_dfg.Partition.partitioning
+(** @raise Invalid_argument when [k < 1] or the graph has fewer than [k]
+    operations. *)
+
+val strategy_name : strategy -> string

@@ -1,0 +1,72 @@
+type candidate = {
+  partitions : int;
+  strategy : Autopart.strategy;
+  spec : Chop.Spec.t;
+  judgement : Chop.Advisor.judgement;
+  chip_set_cost : float;
+}
+
+let rank c =
+  match c.judgement.Chop.Advisor.best with
+  | Some s ->
+      ( 0,
+        s.Chop.Integration.perf_ns,
+        float_of_int c.partitions,
+        Chop_util.Triplet.(s.Chop.Integration.delay.likely) )
+  | None -> (1, infinity, float_of_int c.partitions, infinity)
+
+let run ?(max_partitions = 4) ?(strategies = [ Autopart.Levels; Autopart.Min_cut 1 ])
+    ?(params = Chop.Spec.default_params)
+    ?(library = Chop_tech.Mosis.experiment_library)
+    ?(cost_model = Chop_tech.Cost.default_3u) ~graph ~package ~clocks ~style
+    ~criteria () =
+  if max_partitions < 1 then invalid_arg "Autosearch.run: max_partitions < 1";
+  let levels = List.length (Chop_dfg.Analysis.levels graph) in
+  let ks =
+    Chop_util.Listx.range 1
+      (min max_partitions (min levels (Chop_dfg.Graph.op_count graph)))
+  in
+  let candidates =
+    List.concat_map
+      (fun k ->
+        List.filter_map
+          (fun strategy ->
+            match Autopart.generate graph ~k strategy with
+            | exception Invalid_argument _ -> None
+            | partitioning ->
+                if List.length partitioning.Chop_dfg.Partition.parts <> k then
+                  None (* generation degenerated; the k is covered elsewhere *)
+                else
+                  let spec =
+                    Chop.Rig.custom ~params ~library ~graph ~partitioning
+                      ~package ~clocks ~style ~criteria ()
+                  in
+                  Some
+                    {
+                      partitions = k;
+                      strategy;
+                      spec;
+                      judgement = Chop.Advisor.what_if spec;
+                      chip_set_cost =
+                        Chop_tech.Cost.chip_set_cost cost_model
+                          (List.map (fun c -> c.Chop.Spec.package) spec.Chop.Spec.chips);
+                    })
+          (if k = 1 then [ Autopart.Levels ] else strategies))
+      ks
+  in
+  List.sort (fun a b -> Stdlib.compare (rank a) (rank b)) candidates
+
+let best candidates =
+  List.find_opt (fun c -> c.judgement.Chop.Advisor.feasible) candidates
+
+let cheapest candidates =
+  List.filter (fun c -> c.judgement.Chop.Advisor.feasible) candidates
+  |> List.sort (fun a b -> Float.compare a.chip_set_cost b.chip_set_cost)
+  |> function
+  | [] -> None
+  | c :: _ -> Some c
+
+let describe c =
+  Printf.sprintf "%d partition(s) via %s ($%.0f chip set): %s" c.partitions
+    (Autopart.strategy_name c.strategy) c.chip_set_cost
+    c.judgement.Chop.Advisor.advice

@@ -1,0 +1,46 @@
+(** Automatic partitioning search.
+
+    CHOP proper keeps the designer in the loop; this extension closes the
+    loop for the paper's "task creation" application (section 1): it
+    sweeps partition counts and generation strategies, judges every
+    candidate with CHOP's feasibility machinery, and ranks the survivors.
+    Chips are assumed uniform (one package), one chip per partition. *)
+
+type candidate = {
+  partitions : int;
+  strategy : Autopart.strategy;
+  spec : Chop.Spec.t;
+  judgement : Chop.Advisor.judgement;
+  chip_set_cost : float;
+      (** manufacturing cost of the candidate's chip set (dollars, from
+          {!Chop_tech.Cost}) — "target chip characteristics generally
+          dictate the overall manufacturing cost" (paper, section 2.7) *)
+}
+
+val run :
+  ?max_partitions:int ->
+  ?strategies:Autopart.strategy list ->
+  ?params:Chop.Spec.params ->
+  ?library:Chop_tech.Component.library ->
+  ?cost_model:Chop_tech.Cost.model ->
+  graph:Chop_dfg.Graph.t ->
+  package:Chop_tech.Chip.t ->
+  clocks:Chop_tech.Clocking.t ->
+  style:Chop_tech.Style.t ->
+  criteria:Chop_bad.Feasibility.criteria ->
+  unit ->
+  candidate list
+(** Every evaluated candidate, feasible ones first, ordered by
+    (performance, chip count, delay).  [max_partitions] defaults to 4;
+    [strategies] defaults to levels + min-cut; [library] to the Table 1
+    experiment library.  Candidates whose generation
+    degenerates (e.g. min-cut legalization merging all sides) are skipped.
+    @raise Invalid_argument when [max_partitions < 1]. *)
+
+val best : candidate list -> candidate option
+(** First feasible candidate, if any. *)
+
+val cheapest : candidate list -> candidate option
+(** The feasible candidate with the lowest chip-set cost. *)
+
+val describe : candidate -> string

@@ -1,0 +1,136 @@
+module IntSet = Set.Make (Int)
+
+type result = {
+  side_a : Chop_dfg.Graph.node_id list;
+  side_b : Chop_dfg.Graph.node_id list;
+  cut_bits : int;
+  passes : int;
+}
+
+(* Each cut value costs its width once per foreign side that consumes it. *)
+let cut_bits g ~in_a =
+  let comp id =
+    Chop_dfg.Op.is_computational (Chop_dfg.Graph.node g id).Chop_dfg.Graph.op
+  in
+  List.fold_left
+    (fun acc n ->
+      let id = n.Chop_dfg.Graph.id in
+      if not (comp id) then acc
+      else
+        let crosses =
+          List.exists
+            (fun s -> comp s && in_a s <> in_a id)
+            (Chop_dfg.Graph.succs g id)
+        in
+        if crosses then acc + n.Chop_dfg.Graph.width else acc)
+    0 (Chop_dfg.Graph.nodes g)
+
+let cut_of_sets g a =
+  cut_bits g ~in_a:(fun id -> IntSet.mem id a)
+
+let bipartition ?(max_passes = 10) ~seed g =
+  let ops = List.map (fun n -> n.Chop_dfg.Graph.id) (Chop_dfg.Graph.operations g) in
+  let n = List.length ops in
+  if n < 2 then
+    { side_a = ops; side_b = []; cut_bits = 0; passes = 0 }
+  else begin
+    let rng = Random.State.make [| seed; n |] in
+    (* initial balanced split along a lightly perturbed topological order *)
+    let arr = Array.of_list ops in
+    for _ = 0 to n / 4 do
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    let half = n / 2 in
+    let a = ref IntSet.empty in
+    Array.iteri (fun i id -> if i < half then a := IntSet.add id !a) arr;
+    let passes = ref 0 in
+    let improved = ref true in
+    while !improved && !passes < max_passes do
+      incr passes;
+      improved := false;
+      (* one KL pass: repeatedly swap the pair with the best gain, locking
+         swapped nodes; then keep the best prefix of the swap sequence *)
+      let locked = ref IntSet.empty in
+      let current = ref !a in
+      let best = ref (cut_of_sets g !a, !a) in
+      let continue_pass = ref true in
+      while !continue_pass do
+        let avail_a =
+          IntSet.elements (IntSet.diff !current !locked)
+        and avail_b =
+          List.filter
+            (fun id -> (not (IntSet.mem id !current)) && not (IntSet.mem id !locked))
+            ops
+        in
+        match (avail_a, avail_b) with
+        | [], _ | _, [] -> continue_pass := false
+        | _ ->
+            (* greedy best swap (exact evaluation — graphs are small) *)
+            let best_swap = ref None in
+            List.iter
+              (fun ia ->
+                List.iter
+                  (fun ib ->
+                    let candidate =
+                      IntSet.add ib (IntSet.remove ia !current)
+                    in
+                    let cost = cut_of_sets g candidate in
+                    match !best_swap with
+                    | Some (c, _, _, _) when c <= cost -> ()
+                    | _ -> best_swap := Some (cost, ia, ib, candidate))
+                  avail_b)
+              avail_a;
+            (match !best_swap with
+            | None -> continue_pass := false
+            | Some (cost, ia, ib, candidate) ->
+                current := candidate;
+                locked := IntSet.add ia (IntSet.add ib !locked);
+                let best_cost, _ = !best in
+                if cost < best_cost then best := (cost, candidate))
+      done;
+      let best_cost, best_set = !best in
+      if best_cost < cut_of_sets g !a then begin
+        a := best_set;
+        improved := true
+      end
+    done;
+    let side_a = List.filter (fun id -> IntSet.mem id !a) ops in
+    let side_b = List.filter (fun id -> not (IntSet.mem id !a)) ops in
+    { side_a; side_b; cut_bits = cut_of_sets g !a; passes = !passes }
+  end
+
+let legalize g side_a side_b =
+  let a = ref (IntSet.of_list side_a) and b = ref (IntSet.of_list side_b) in
+  let comp_preds id =
+    List.filter
+      (fun p ->
+        Chop_dfg.Op.is_computational (Chop_dfg.Graph.node g p).Chop_dfg.Graph.op)
+      (Chop_dfg.Graph.preds g id)
+  in
+  (* ancestors of [id] within B, inclusive *)
+  let rec ancestors_in_b id acc =
+    if IntSet.mem id acc || not (IntSet.mem id !b) then acc
+    else
+      List.fold_left
+        (fun acc p -> ancestors_in_b p acc)
+        (IntSet.add id acc) (comp_preds id)
+  in
+  let violation () =
+    List.find_opt
+      (fun (src, dst) -> IntSet.mem src !b && IntSet.mem dst !a)
+      (Chop_dfg.Graph.edges g)
+  in
+  let rec fix () =
+    match violation () with
+    | None -> ()
+    | Some (src, _) ->
+        let pulled = ancestors_in_b src IntSet.empty in
+        a := IntSet.union !a pulled;
+        b := IntSet.diff !b pulled;
+        fix ()
+  in
+  fix ();
+  (IntSet.elements !a, IntSet.elements !b)

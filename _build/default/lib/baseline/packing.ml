@@ -1,0 +1,67 @@
+let min_area_estimate spec ~label =
+  let part = Chop_dfg.Partition.find spec.Chop.Spec.partitioning label in
+  let sub = Chop_dfg.Partition.subgraph spec.Chop.Spec.partitioning part in
+  let cfg = Chop.Explore.predictor_config spec ~label in
+  match Chop_bad.Predictor.predict cfg ~label sub with
+  | [] ->
+      (* uncovered library: fall back to one unit of the cheapest module
+         per class *)
+      Chop_util.Listx.sum_byf
+        (fun (cls, _) ->
+          match Chop_tech.Component.alternatives spec.Chop.Spec.library ~cls with
+          | [] -> 0.
+          | alts ->
+              List.fold_left
+                (fun acc c -> Float.min acc c.Chop_tech.Component.area)
+                infinity alts)
+        (Chop_dfg.Graph.op_profile sub)
+  | preds ->
+      List.fold_left
+        (fun acc p ->
+          Float.min acc (Chop_util.Triplet.(p.Chop_bad.Prediction.area.likely)))
+        infinity preds
+
+let pack ?package spec ~chips =
+  let parts = spec.Chop.Spec.partitioning.Chop_dfg.Partition.parts in
+  if chips < 1 then invalid_arg "Packing.pack: chips < 1";
+  if chips > List.length parts then
+    invalid_arg "Packing.pack: more chips than partitions";
+  let package =
+    match package with
+    | Some p -> p
+    | None -> (List.hd spec.Chop.Spec.chips).Chop.Spec.package
+  in
+  let chip_instances =
+    List.map
+      (fun i ->
+        { Chop.Spec.chip_name = Printf.sprintf "chip%d" i; package })
+      (Chop_util.Listx.range 1 chips)
+  in
+  (* first-fit decreasing on estimated area *)
+  let estimates =
+    List.map
+      (fun p ->
+        let label = p.Chop_dfg.Partition.label in
+        (label, min_area_estimate spec ~label))
+      parts
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  let loads = Array.make chips 0. in
+  let assignment =
+    List.map
+      (fun (label, area) ->
+        let best = ref 0 in
+        Array.iteri (fun i l -> if l < loads.(!best) then best := i) loads;
+        loads.(!best) <- loads.(!best) +. area;
+        (label, Printf.sprintf "chip%d" (!best + 1)))
+      estimates
+  in
+  (* memory hosts must point at surviving chips: re-host onto chip1 *)
+  let memory_hosts =
+    List.map (fun (block, _) -> (block, "chip1")) spec.Chop.Spec.memory_hosts
+  in
+  Chop.Spec.make ~params:spec.Chop.Spec.params ~memories:spec.Chop.Spec.memories
+    ~memory_hosts ~graph:spec.Chop.Spec.graph ~library:spec.Chop.Spec.library
+    ~chips:chip_instances ~partitioning:spec.Chop.Spec.partitioning ~assignment
+    ~clocks:spec.Chop.Spec.clocks ~style:spec.Chop.Spec.style
+    ~criteria:spec.Chop.Spec.criteria ()

@@ -1,0 +1,22 @@
+(** Packing partitions onto a smaller chip set.
+
+    The paper's Figure 2 places two partitions on one chip; the experiments
+    however assign one partition per chip.  This module automates the
+    packing decision: reassign a specification's partitions onto [chips]
+    uniform packages, balancing the partitions' smallest predicted areas
+    (first-fit decreasing), so a search can ask whether the design really
+    needs as many chips as partitions. *)
+
+val min_area_estimate : Chop.Spec.t -> label:string -> Chop_util.Units.mil2
+(** The smallest likely area among BAD's predictions for the partition —
+    the footprint the packing balances.  Falls back to a functional-unit
+    lower bound when the library yields no predictions. *)
+
+val pack :
+  ?package:Chop_tech.Chip.t -> Chop.Spec.t -> chips:int -> Chop.Spec.t
+(** A new spec with [chips] uniform chips (named [chip1..chipN], default
+    package: the first chip's) and every partition reassigned by first-fit
+    decreasing on {!min_area_estimate}.  Feasibility is *not* checked here
+    — that is what CHOP's exploration is for.
+    @raise Invalid_argument when [chips < 1] or exceeds the partition
+    count. *)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Chop_dfg Chop_tech Chop_util Explore Integration List Option Printf Search Spec

@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Chop_bad Chop_dfg Chop_tech Integration Spec

@@ -1,0 +1,1 @@
+lib/core/bb_heuristic.ml: Array Chop_bad Chop_tech Chop_util Float Hashtbl Integration List Search Spec Sys

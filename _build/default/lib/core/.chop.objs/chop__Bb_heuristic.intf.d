@@ -1,0 +1,1 @@
+lib/core/bb_heuristic.mli: Chop_bad Integration Search

@@ -1,0 +1,1 @@
+lib/core/enum_heuristic.ml: Chop_bad Chop_tech Chop_util Float Integration List Search Spec Sys

@@ -1,0 +1,1 @@
+lib/core/enum_heuristic.mli: Chop_bad Integration Search

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Bb_heuristic Chop_bad Chop_dfg Chop_tech Chop_util Enum_heuristic Format Integration Iter_heuristic List Search Spec Stdlib Sys

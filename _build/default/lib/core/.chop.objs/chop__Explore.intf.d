@@ -1,0 +1,1 @@
+lib/core/explore.mli: Chop_bad Chop_util Format Integration Search Spec

@@ -1,0 +1,1 @@
+lib/core/integration.ml: Chop_bad Chop_dfg Chop_sched Chop_tech Chop_util Float Int List Option Printf Spec String Transfer

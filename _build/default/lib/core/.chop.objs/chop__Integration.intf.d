@@ -1,0 +1,1 @@
+lib/core/integration.mli: Chop_bad Chop_sched Chop_tech Chop_util Spec Transfer

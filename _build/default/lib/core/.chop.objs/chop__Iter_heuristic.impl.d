@@ -1,0 +1,1 @@
+lib/core/iter_heuristic.ml: Array Chop_bad Chop_tech Chop_util Float Hashtbl Int Integration List Search Spec String Sys

@@ -1,0 +1,1 @@
+lib/core/iter_heuristic.mli: Chop_bad Integration Search

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Chop_bad Chop_sched Chop_tech Chop_util Format Integration List Printf Spec Transfer

@@ -1,0 +1,1 @@
+lib/core/rig.ml: Chop_bad Chop_dfg Chop_tech List Printf Spec

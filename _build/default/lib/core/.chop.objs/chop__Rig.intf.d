@@ -1,0 +1,1 @@
+lib/core/rig.mli: Chop_bad Chop_dfg Chop_tech Spec

@@ -1,0 +1,1 @@
+lib/core/search.ml: Buffer Chop_util Float Hashtbl Integration List Printf

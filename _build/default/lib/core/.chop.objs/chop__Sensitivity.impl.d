@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Advisor Array Buffer Chop_bad Chop_tech Chop_util Integration List Printf Spec

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Chop_bad Chop_dfg Chop_tech Format List Printf String

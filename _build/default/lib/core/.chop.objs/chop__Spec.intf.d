@@ -1,0 +1,1 @@
+lib/core/spec.mli: Chop_bad Chop_dfg Chop_tech Format

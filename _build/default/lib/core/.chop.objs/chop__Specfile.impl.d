@@ -1,0 +1,1 @@
+lib/core/specfile.ml: Buffer Chop_bad Chop_dfg Chop_tech List Option Printf Spec String

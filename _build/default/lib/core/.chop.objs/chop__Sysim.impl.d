@@ -1,0 +1,1 @@
+lib/core/sysim.ml: Chop_bad Chop_tech Hashtbl Integration List Option Spec Transfer

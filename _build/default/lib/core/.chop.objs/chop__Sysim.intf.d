@@ -1,0 +1,1 @@
+lib/core/sysim.mli: Integration

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Chop_dfg Chop_tech Chop_util Format Fun List Printf Spec String

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Chop_util Format Spec

@@ -1,0 +1,181 @@
+exception Rejected of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Rejected s)) fmt
+
+let rebuild ?partitioning ?assignment ?chips ?memory_hosts ?criteria spec =
+  let partitioning =
+    Option.value ~default:spec.Spec.partitioning partitioning
+  in
+  let assignment = Option.value ~default:spec.Spec.assignment assignment in
+  let chips = Option.value ~default:spec.Spec.chips chips in
+  let memory_hosts = Option.value ~default:spec.Spec.memory_hosts memory_hosts in
+  let criteria = Option.value ~default:spec.Spec.criteria criteria in
+  try
+    Spec.make ~params:spec.Spec.params ~memories:spec.Spec.memories
+      ~memory_hosts ~graph:spec.Spec.graph ~library:spec.Spec.library ~chips
+      ~partitioning ~assignment ~clocks:spec.Spec.clocks ~style:spec.Spec.style
+      ~criteria ()
+  with Spec.Invalid_spec reason -> raise (Rejected reason)
+
+let move_operation spec ~op ~to_partition =
+  let pg = spec.Spec.partitioning in
+  let current =
+    try Chop_dfg.Partition.part_of pg op
+    with Not_found -> fail "operation %d is not in any partition" op
+  in
+  if current.Chop_dfg.Partition.label = to_partition then
+    fail "operation %d is already in %s" op to_partition;
+  if
+    not
+      (List.exists
+         (fun p -> p.Chop_dfg.Partition.label = to_partition)
+         pg.Chop_dfg.Partition.parts)
+  then fail "unknown partition %s" to_partition;
+  if List.length current.Chop_dfg.Partition.members = 1 then
+    fail "moving operation %d would empty partition %s" op
+      current.Chop_dfg.Partition.label;
+  let parts =
+    List.map
+      (fun p ->
+        let label = p.Chop_dfg.Partition.label in
+        let members = p.Chop_dfg.Partition.members in
+        if label = current.Chop_dfg.Partition.label then
+          Chop_dfg.Partition.make ~label (List.filter (fun m -> m <> op) members)
+        else if label = to_partition then
+          Chop_dfg.Partition.make ~label (op :: members)
+        else p)
+      pg.Chop_dfg.Partition.parts
+  in
+  let partitioning =
+    try Chop_dfg.Partition.partitioning spec.Spec.graph parts
+    with Chop_dfg.Partition.Invalid_partitioning reason -> raise (Rejected reason)
+  in
+  rebuild ~partitioning spec
+
+let move_partition spec ~partition ~to_chip =
+  if not (List.exists (fun c -> c.Spec.chip_name = to_chip) spec.Spec.chips)
+  then fail "unknown chip %s" to_chip;
+  let assignment =
+    List.map
+      (fun (label, chip) -> if label = partition then (label, to_chip) else (label, chip))
+      spec.Spec.assignment
+  in
+  if not (List.mem_assoc partition assignment) then
+    fail "unknown partition %s" partition;
+  rebuild ~assignment spec
+
+let rehost_memory spec ~block ~to_chip =
+  let m =
+    try Spec.memory spec block with Not_found -> fail "unknown memory %s" block
+  in
+  (match m.Chop_tech.Memory.placement with
+  | Chop_tech.Memory.Off_chip_package _ ->
+      fail "memory %s is an off-chip package; it has no host" block
+  | Chop_tech.Memory.On_chip _ -> ());
+  let memory_hosts =
+    (block, to_chip) :: List.remove_assoc block spec.Spec.memory_hosts
+  in
+  rebuild ~memory_hosts spec
+
+let swap_package spec ~chip package =
+  let chips =
+    List.map
+      (fun c ->
+        if c.Spec.chip_name = chip then { c with Spec.package } else c)
+      spec.Spec.chips
+  in
+  if not (List.exists (fun c -> c.Spec.chip_name = chip) spec.Spec.chips) then
+    fail "unknown chip %s" chip;
+  rebuild ~chips spec
+
+let set_constraints spec ~criteria = rebuild ~criteria spec
+
+type judgement = {
+  spec : Spec.t;
+  feasible : bool;
+  best : Integration.system option;
+  advice : string;
+}
+
+let what_if spec =
+  let report = Explore.run Explore.Iterative spec in
+  match report.Explore.outcome.Search.feasible with
+  | best :: _ ->
+      {
+        spec;
+        feasible = true;
+        best = Some best;
+        advice =
+          Printf.sprintf
+            "feasible: best initiation interval %d cycles at %.0f ns clock \
+             (delay %d cycles) after %d trials"
+            best.Integration.ii_main best.Integration.clock
+            best.Integration.delay_cycles
+            report.Explore.outcome.Search.stats.Search.implementation_trials;
+      }
+  | [] ->
+      {
+        spec;
+        feasible = false;
+        best = None;
+        advice =
+          Printf.sprintf
+            "infeasible under the current constraints (%d trials); consider \
+             relaxing constraints, adding chips or repartitioning"
+            report.Explore.outcome.Search.stats.Search.implementation_trials;
+      }
+
+let optimize_memory_hosts spec =
+  let on_chip_blocks =
+    List.filter_map
+      (fun m ->
+        match m.Chop_tech.Memory.placement with
+        | Chop_tech.Memory.On_chip _ -> Some m.Chop_tech.Memory.mname
+        | Chop_tech.Memory.Off_chip_package _ -> None)
+      spec.Spec.memories
+  in
+  let chip_names = List.map (fun c -> c.Spec.chip_name) spec.Spec.chips in
+  let better a b =
+    (* a beats b when it is feasible and faster (then shorter delay) *)
+    match (a.best, b.best) with
+    | Some sa, Some sb ->
+        if sa.Integration.perf_ns <> sb.Integration.perf_ns then
+          sa.Integration.perf_ns < sb.Integration.perf_ns
+        else
+          Chop_util.Triplet.(sa.Integration.delay.likely)
+          < Chop_util.Triplet.(sb.Integration.delay.likely)
+    | Some _, None -> true
+    | None, Some _ | None, None -> false
+  in
+  let placements =
+    Chop_util.Listx.cartesian (List.map (fun _ -> chip_names) on_chip_blocks)
+  in
+  List.fold_left
+    (fun (best_spec, best_j) hosts ->
+      let memory_hosts = List.combine on_chip_blocks hosts in
+      match rebuild ~memory_hosts spec with
+      | candidate ->
+          let j = what_if candidate in
+          if better j best_j then (candidate, j) else (best_spec, best_j)
+      | exception Rejected _ -> (best_spec, best_j))
+    (spec, what_if spec) placements
+
+let compare_specs before after =
+  let jb = what_if before and ja = what_if after in
+  let describe j =
+    match j.best with
+    | Some b ->
+        Printf.sprintf "II %d @ %.0f ns (delay %d)" b.Integration.ii_main
+          b.Integration.clock b.Integration.delay_cycles
+    | None -> "infeasible"
+  in
+  Printf.sprintf "before: %s; after: %s — %s" (describe jb) (describe ja)
+    (match (jb.best, ja.best) with
+    | Some b, Some a when a.Integration.perf_ns < b.Integration.perf_ns ->
+        "the modification improves performance"
+    | Some b, Some a when a.Integration.perf_ns > b.Integration.perf_ns ->
+        "the modification degrades performance"
+    | Some _, Some _ -> "performance is unchanged"
+    | None, Some _ -> "the modification makes the design feasible"
+    | Some _, None -> "the modification breaks feasibility"
+    | None, None -> "still infeasible")

@@ -1,0 +1,104 @@
+let run ?(keep_all = false) ctx per_partition =
+  let spec = Integration.spec_of ctx in
+  let clocks = spec.Spec.clocks in
+  let crit = spec.Spec.criteria in
+  let t0 = Sys.time () in
+  let order = Array.of_list per_partition in
+  let n = Array.length order in
+  (* admissible per-chip area bound: the sum of area lower bounds of the
+     chip's partitions can never exceed the raw project area *)
+  let chip_of label =
+    (Spec.chip_of_partition spec label).Spec.chip_name
+  in
+  let min_area_of =
+    Array.map
+      (fun (_, preds) ->
+        List.fold_left
+          (fun acc p -> Float.min acc Chop_util.Triplet.(p.Chop_bad.Prediction.area.low))
+          infinity preds)
+      order
+  in
+  let chip_capacity =
+    List.map
+      (fun ci -> (ci.Spec.chip_name, Chop_tech.Chip.project_area ci.Spec.package))
+      spec.Spec.chips
+  in
+  let trials = ref 0 and integrations = ref 0 in
+  let feasible = ref [] and explored = ref [] in
+  let admit system =
+    if keep_all then explored := system :: !explored;
+    if Integration.feasible system then begin
+      let objs = Integration.objectives system in
+      let dominated =
+        List.exists
+          (fun s -> Chop_util.Pareto.dominates (Integration.objectives s) objs)
+          !feasible
+      in
+      if not dominated then
+        feasible :=
+          system
+          :: List.filter
+               (fun s ->
+                 not (Chop_util.Pareto.dominates objs (Integration.objectives s)))
+               !feasible
+    end
+  in
+  (* chip -> area committed by chosen predictions plus lower bounds of the
+     chip's still-unchosen partitions *)
+  let unchosen_low = Hashtbl.create 8 in
+  List.iter (fun (c, _) -> Hashtbl.replace unchosen_low c 0.) chip_capacity;
+  Array.iteri
+    (fun i (label, _) ->
+      let c = chip_of label in
+      Hashtbl.replace unchosen_low c (Hashtbl.find unchosen_low c +. min_area_of.(i)))
+    order;
+  let committed = Hashtbl.create 8 in
+  List.iter (fun (c, _) -> Hashtbl.replace committed c 0.) chip_capacity;
+  let rec dfs i picked ~ii_bound ~clock_bound =
+    if i = n then begin
+      incr trials;
+      incr integrations;
+      admit (Integration.integrate ctx (List.rev picked))
+    end
+    else begin
+      let label, preds = order.(i) in
+      let chip = chip_of label in
+      (* this partition leaves the unchosen pool for the bound *)
+      Hashtbl.replace unchosen_low chip
+        (Hashtbl.find unchosen_low chip -. min_area_of.(i));
+      List.iter
+        (fun p ->
+          let ii = max ii_bound (Chop_bad.Prediction.ii_main clocks p) in
+          let clock =
+            Float.max clock_bound p.Chop_bad.Prediction.timing.Chop_bad.Prediction.clock_main
+          in
+          let perf_lb = float_of_int ii *. clock in
+          let area_low = Chop_util.Triplet.(p.Chop_bad.Prediction.area.low) in
+          let chip_lb =
+            Hashtbl.find committed chip +. area_low
+            +. Hashtbl.find unchosen_low chip
+          in
+          let capacity = List.assoc chip chip_capacity in
+          if perf_lb > crit.Chop_bad.Feasibility.perf_constraint then
+            incr trials (* pruned: counts as a considered combination stem *)
+          else if chip_lb > capacity then incr trials
+          else begin
+            Hashtbl.replace committed chip (Hashtbl.find committed chip +. area_low);
+            dfs (i + 1) ((label, p) :: picked) ~ii_bound:ii ~clock_bound:clock;
+            Hashtbl.replace committed chip (Hashtbl.find committed chip -. area_low)
+          end)
+        preds;
+      Hashtbl.replace unchosen_low chip
+        (Hashtbl.find unchosen_low chip +. min_area_of.(i))
+    end
+  in
+  dfs 0 [] ~ii_bound:1 ~clock_bound:clocks.Chop_tech.Clocking.main;
+  let stats =
+    {
+      Search.implementation_trials = !trials;
+      integrations = !integrations;
+      feasible_trials = List.length !feasible;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  in
+  Search.finalize ~keep_all ~feasible:!feasible ~explored:!explored stats

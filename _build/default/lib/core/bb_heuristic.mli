@@ -1,0 +1,20 @@
+(** Branch-and-bound combination search (an extension heuristic, "B").
+
+    The paper ships two heuristics and notes that "neither ... can be
+    claimed to be better than the other"; this third one is exact on the
+    pruned prediction lists: a depth-first search over partitions with
+    admissible bounds — a partial combination is abandoned when its
+    performance lower bound (the slowest partition chosen so far at the
+    cheapest possible clock) already violates the constraint, or when the
+    partitions already placed on one chip cannot fit it even with the
+    smallest possible remaining areas.  The bounds are admissible, so the
+    result matches the enumeration heuristic's best designs exactly; on
+    first-level-pruned prediction lists the bounds rarely fire (the pruning
+    already removed what they would cut), which is itself evidence for the
+    paper's claim that pruning carries the search. *)
+
+val run :
+  ?keep_all:bool ->
+  Integration.context ->
+  (string * Chop_bad.Prediction.t list) list ->
+  Search.outcome

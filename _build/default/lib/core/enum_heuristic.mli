@@ -1,0 +1,19 @@
+(** The explicit-enumeration search heuristic ("E" in the paper's result
+    tables).
+
+    "The heuristic searches all possible combinations of implementing the
+    global design ... given the predicted implementations of individual
+    partitions" — [N = prod N_i] combinations, assuming the performance of a
+    combination is set by the slowest partition implementation (paper,
+    section 2.4). *)
+
+val run :
+  ?keep_all:bool ->
+  Integration.context ->
+  (string * Chop_bad.Prediction.t list) list ->
+  Search.outcome
+(** [run ctx per_partition] enumerates the cartesian product of the
+    prediction lists.  Combinations whose slowest-partition performance
+    bound already violates the performance constraint are counted as trials
+    but not integrated (unless [keep_all], which integrates everything to
+    expose the full design space). *)

@@ -1,0 +1,93 @@
+type heuristic = Enumeration | Iterative | Branch_bound
+
+type bad_stats = {
+  label : string;
+  total_predictions : int;
+  feasible_predictions : int;
+  kept : int;
+}
+
+type report = {
+  heuristic : heuristic;
+  bad : bad_stats list;
+  outcome : Search.outcome;
+  bad_cpu_seconds : float;
+}
+
+let predictor_config spec ~label =
+  let params = spec.Spec.params in
+  Chop_bad.Predictor.config ~alloc_cap:params.Spec.alloc_cap
+    ~max_pipelined_iis:params.Spec.max_pipelined_iis
+    ~testability_overhead:params.Spec.testability_overhead
+    ~memories:(Spec.memories_of_partition spec label)
+    ~library:spec.Spec.library ~clocks:spec.Spec.clocks ~style:spec.Spec.style ()
+
+let partition_chip_area spec ~label =
+  let ci = Spec.chip_of_partition spec label in
+  let pkg = ci.Spec.package in
+  (* at this stage the exact pin usage is unknown; assume half the package
+     pins are bonded as signal pads *)
+  Chop_tech.Chip.usable_area pkg ~signal_pins:(pkg.Chop_tech.Chip.pins / 2)
+
+let predictions ?prune spec =
+  let prune =
+    match prune with Some p -> p | None -> spec.Spec.params.Spec.discard_inferior
+  in
+  let results =
+    List.map
+      (fun p ->
+        let label = p.Chop_dfg.Partition.label in
+        let sub = Chop_dfg.Partition.subgraph spec.Spec.partitioning p in
+        let cfg = predictor_config spec ~label in
+        let preds = Chop_bad.Predictor.predict cfg ~label sub in
+        let chip_area = partition_chip_area spec ~label in
+        let feasible =
+          List.filter
+            (fun pr ->
+              Chop_bad.Feasibility.is_feasible
+                (Chop_bad.Feasibility.partition_level spec.Spec.criteria
+                   ~clocks:spec.Spec.clocks ~chip_area pr))
+            preds
+        in
+        let kept =
+          Chop_bad.Predictor.prune cfg ~criteria:spec.Spec.criteria ~chip_area
+            preds
+        in
+        let stats =
+          {
+            label;
+            total_predictions = List.length preds;
+            feasible_predictions = List.length feasible;
+            kept = List.length kept;
+          }
+        in
+        ((label, (if prune then kept else preds)), stats))
+      spec.Spec.partitioning.Chop_dfg.Partition.parts
+  in
+  (List.map fst results, List.map snd results)
+
+let run ?(keep_all = false) heuristic spec =
+  let t0 = Sys.time () in
+  let per_partition, bad = predictions ~prune:(not keep_all) spec in
+  let bad_cpu_seconds = Sys.time () -. t0 in
+  let ctx = Integration.context spec in
+  let outcome =
+    match heuristic with
+    | Enumeration -> Enum_heuristic.run ~keep_all ctx per_partition
+    | Iterative -> Iter_heuristic.run ~keep_all ctx per_partition
+    | Branch_bound -> Bb_heuristic.run ~keep_all ctx per_partition
+  in
+  { heuristic; bad; outcome; bad_cpu_seconds }
+
+let unique_designs systems =
+  let key s =
+    ( s.Integration.ii_main,
+      s.Integration.delay_cycles,
+      int_of_float Chop_util.Triplet.((Integration.total_area s).likely) )
+  in
+  Chop_util.Listx.uniq_count ~compare:Stdlib.compare (List.map key systems)
+
+let pp_heuristic ppf = function
+  | Enumeration -> Format.pp_print_string ppf "E"
+  | Iterative -> Format.pp_print_string ppf "I"
+  | Branch_bound -> Format.pp_print_string ppf "B"

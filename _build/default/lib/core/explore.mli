@@ -1,0 +1,50 @@
+(** The CHOP exploration driver: BAD predictions per partition, two-level
+    pruning, heuristic search and result collection (paper, Figure 1). *)
+
+type heuristic =
+  | Enumeration  (** the paper's "E" *)
+  | Iterative  (** the paper's "I" (Figure 5) *)
+  | Branch_bound
+      (** extension: exact DFS with admissible performance/area bounds
+          ({!module:Bb_heuristic}); finds the enumeration heuristic's best
+          designs with no more integrations *)
+
+type bad_stats = {
+  label : string;
+  total_predictions : int;  (** all implementations BAD enumerated *)
+  feasible_predictions : int;  (** feasible in isolation on the target chip *)
+  kept : int;  (** after first-level pruning (feasible + non-inferior) *)
+}
+
+type report = {
+  heuristic : heuristic;
+  bad : bad_stats list;
+  outcome : Search.outcome;
+  bad_cpu_seconds : float;
+}
+
+val predictor_config : Spec.t -> label:string -> Chop_bad.Predictor.config
+(** The BAD configuration CHOP derives from the spec for one partition
+    (its memory blocks, the global clocks/style and the design params). *)
+
+val partition_chip_area : Spec.t -> label:string -> Chop_util.Units.mil2
+(** Usable area of the partition's assigned chip, pads deducted — the
+    first-level pruning target. *)
+
+val predictions :
+  ?prune:bool -> Spec.t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
+(** Runs BAD on every partition subgraph.  [prune] (default: the spec's
+    [discard_inferior]) applies first-level pruning to the returned lists;
+    statistics always report both raw and pruned counts. *)
+
+val run : ?keep_all:bool -> heuristic -> Spec.t -> report
+(** End-to-end exploration.  [keep_all = true] disables both pruning levels
+    and records every design encountered ([outcome.explored]) — the mode
+    behind the paper's Figures 7 and 8. *)
+
+val unique_designs : Integration.system list -> int
+(** Distinct (initiation interval, delay cycles, likely area) design points
+    among the explored systems — the "unique designs" count of Figures 7
+    and 8. *)
+
+val pp_heuristic : Format.formatter -> heuristic -> unit

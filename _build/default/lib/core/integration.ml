@@ -1,0 +1,591 @@
+type combination = (string * Chop_bad.Prediction.t) list
+
+type context = {
+  spec : Spec.t;
+  tasks : Transfer.task list;
+  budgets : (string * Chop_tech.Chip.pin_budget) list;
+  budget_errors : (string * string) list;
+}
+
+let context spec =
+  let tasks = Transfer.create spec in
+  let budgets, budget_errors =
+    List.fold_left
+      (fun (ok, bad) ci ->
+        let control = Transfer.control_pins_on spec tasks ci.Spec.chip_name in
+        let memory_lines = Transfer.memory_lines_on spec ci.Spec.chip_name in
+        match
+          Chop_tech.Chip.pin_budget ci.Spec.package ~control ~memory_lines ()
+        with
+        | budget -> ((ci.Spec.chip_name, budget) :: ok, bad)
+        | exception Invalid_argument reason ->
+            (ok, (ci.Spec.chip_name, reason) :: bad))
+      ([], []) spec.Spec.chips
+  in
+  { spec; tasks; budgets; budget_errors }
+
+let spec_of ctx = ctx.spec
+let tasks_of ctx = ctx.tasks
+
+let data_pins ctx chip_name =
+  match List.assoc_opt chip_name ctx.budgets with
+  | Some b -> b.Chop_tech.Chip.data
+  | None -> 0
+
+type dtm = {
+  task : Transfer.task;
+  bandwidth : int;
+  transfer_main : int;
+  wait_main : int;
+  buffer_bits : int;
+  ctrl_shape : Chop_tech.Pla.shape;
+}
+
+type chip_report = {
+  instance : Spec.chip_instance;
+  partition_labels : string list;
+  signal_pins : int;
+  pin_mux_area : Chop_util.Units.mil2;
+  dtm_area : Chop_util.Units.mil2;
+  buffer_area : Chop_util.Units.mil2;
+  memory_area : Chop_util.Units.mil2;
+  area_parts : Chop_util.Triplet.t list;
+  available : Chop_util.Units.mil2;
+  area_verdict : Chop_bad.Feasibility.verdict;
+  power : float;
+}
+
+type failure =
+  | No_failure
+  | Rate_mismatch of string list
+  | Area_violation of string list
+  | Data_clash
+  | Too_slow
+  | Delay_exceeded
+  | Structural of string
+
+type system = {
+  combination : combination;
+  ii_main : int;
+  clock : Chop_util.Units.ns;
+  perf_ns : Chop_util.Units.ns;
+  delay_cycles : int;
+  delay : Chop_util.Triplet.t;
+  dtms : dtm list;
+  chip_reports : chip_report list;
+  task_schedule : Chop_sched.Urgency.result option;
+  verdict : Chop_bad.Feasibility.verdict;
+  failure : failure;
+}
+
+let feasible s = Chop_bad.Feasibility.is_feasible s.verdict
+
+let total_area s =
+  Chop_util.Triplet.sum (List.concat_map (fun cr -> cr.area_parts) s.chip_reports)
+
+let objectives s =
+  [| s.perf_ns; Chop_util.Triplet.(s.delay.likely);
+     Chop_util.Triplet.((total_area s).likely) |]
+
+(* On-chip transfers ride wide internal buses. *)
+let on_chip_bus_bits = 128
+
+let mux_cell_area = Chop_tech.Mosis.mux_cell.Chop_tech.Component.area
+let register_cell_area = Chop_tech.Mosis.register_cell.Chop_tech.Component.area
+
+let check_combination spec comb =
+  let labels =
+    List.map
+      (fun p -> p.Chop_dfg.Partition.label)
+      spec.Spec.partitioning.Chop_dfg.Partition.parts
+  in
+  let given = List.map fst comb in
+  let sorted = List.sort String.compare in
+  if sorted labels <> sorted given then
+    invalid_arg "Integration.integrate: combination does not match partitioning"
+
+(* Paper, section 2.4: two or more pipelined partitions with different data
+   rates make the global implementation infeasible (rate mismatch); faster
+   non-pipelined implementations can accompany slower pipelined ones. *)
+let rate_mismatch clocks comb =
+  let pipelined_iis =
+    List.filter_map
+      (fun (_, p) ->
+        match p.Chop_bad.Prediction.style with
+        | Chop_tech.Style.Pipelined -> Some (Chop_bad.Prediction.ii_main clocks p)
+        | Chop_tech.Style.Non_pipelined -> None)
+      comb
+    |> List.sort_uniq Int.compare
+  in
+  match pipelined_iis with
+  | _ :: _ :: _ ->
+      Some
+        (Printf.sprintf "data rate mismatch: pipelined partitions at rates {%s}"
+           (String.concat ", " (List.map string_of_int pipelined_iis)))
+  | [] | [ _ ] -> None
+
+exception Stop of failure * string
+
+let integrate ctx ?ii_target comb =
+  let spec = ctx.spec in
+  check_combination spec comb;
+  let clocks = spec.Spec.clocks in
+  let crit = spec.Spec.criteria in
+  try
+    (match ctx.budget_errors with
+    | (chip, reason) :: _ ->
+        raise
+          (Stop
+             ( Structural reason,
+               Printf.sprintf "chip %s: %s" chip reason ))
+    | [] -> ());
+    (match rate_mismatch clocks comb with
+    | Some reason ->
+        let mismatched =
+          List.filter_map
+            (fun (label, p) ->
+              match p.Chop_bad.Prediction.style with
+              | Chop_tech.Style.Pipelined -> Some label
+              | Chop_tech.Style.Non_pipelined -> None)
+            comb
+        in
+        raise (Stop (Rate_mismatch mismatched, reason))
+    | None -> ());
+    let prediction_of label = List.assoc label comb in
+    (* --- data-transfer bandwidths and durations --- *)
+    let k_tr = clocks.Chop_tech.Clocking.transfer_ratio in
+    let dtm_base =
+      List.map
+        (fun (t : Transfer.task) ->
+          let bandwidth =
+            if not t.Transfer.cross_chip then on_chip_bus_bits
+            else
+              match Transfer.chips_of t with
+              | [] -> on_chip_bus_bits
+              | chips ->
+                  (* maximum possible bandwidth (section 2.5) determines the
+                     transfer time; the module then bonds only the pins
+                     needed to achieve that time *)
+                  let budget =
+                    List.fold_left (fun acc c -> min acc (data_pins ctx c))
+                      max_int chips
+                  in
+                  if budget <= 0 then 0
+                  else
+                    let x_min = Chop_util.Units.ceil_div t.Transfer.bits budget in
+                    Chop_util.Units.ceil_div t.Transfer.bits x_min
+          in
+          if bandwidth <= 0 then begin
+            let reason =
+              Printf.sprintf "no data pins available for transfer %s"
+                t.Transfer.dt_name
+            in
+            raise (Stop (Structural reason, reason))
+          end;
+          let transfer_main =
+            Chop_util.Units.ceil_div t.Transfer.bits bandwidth * k_tr
+          in
+          (t, bandwidth, transfer_main))
+        ctx.tasks
+    in
+    (* --- candidate initiation interval --- *)
+    let part_ii_max =
+      List.fold_left
+        (fun acc (_, p) -> max acc (Chop_bad.Prediction.ii_main clocks p))
+        1 comb
+    in
+    let dt_ii_max =
+      List.fold_left
+        (fun acc (t, _, x) -> if t.Transfer.cross_chip then max acc x else acc)
+        1 dtm_base
+    in
+    (* steady-state budgets: with one problem instance initiated every
+       interval, each chip's shared data pins must carry ALL its transfers'
+       bits, and each memory block's ports must serve every partition's
+       accesses, within one interval — or overlapped instances clash *)
+    let pin_ii_floor =
+      List.fold_left
+        (fun acc ci ->
+          let name = ci.Spec.chip_name in
+          let bits_per_instance =
+            Chop_util.Listx.sum_by
+              (fun (t, _, _) ->
+                if t.Transfer.cross_chip && List.mem name (Transfer.chips_of t)
+                then t.Transfer.bits
+                else 0)
+              dtm_base
+          in
+          let pins = data_pins ctx name in
+          if bits_per_instance = 0 then acc
+          else max acc (Chop_util.Units.ceil_div bits_per_instance pins * k_tr))
+        1 spec.Spec.chips
+    in
+    let mem_ii_floor =
+      List.fold_left
+        (fun acc m ->
+          let block = m.Chop_tech.Memory.mname in
+          let port_cycles =
+            Chop_util.Listx.sum_by
+              (fun (_, p) ->
+                match List.assoc_opt block p.Chop_bad.Prediction.mem_bandwidth with
+                | Some peak when peak > 0 ->
+                    min peak m.Chop_tech.Memory.ports
+                    * Chop_bad.Prediction.latency_main clocks p
+                | Some _ | None -> 0)
+              comb
+          in
+          if port_cycles = 0 then acc
+          else
+            max acc (Chop_util.Units.ceil_div port_cycles m.Chop_tech.Memory.ports))
+        1 spec.Spec.memories
+    in
+    let floor_ii =
+      max (max part_ii_max dt_ii_max) (max pin_ii_floor mem_ii_floor)
+    in
+    let ii_main = match ii_target with Some l -> l | None -> floor_ii in
+    if part_ii_max > ii_main then
+      raise
+        (Stop
+           ( Too_slow,
+             Printf.sprintf "partition rate %d exceeds system interval %d"
+               part_ii_max ii_main ));
+    if dt_ii_max > ii_main then
+      raise
+        (Stop
+           ( Data_clash,
+             Printf.sprintf
+               "data clash: transfer of %d cycles exceeds interval %d" dt_ii_max
+               ii_main ));
+    if pin_ii_floor > ii_main then
+      raise
+        (Stop
+           ( Data_clash,
+             Printf.sprintf
+               "data clash: aggregate pin traffic needs an interval of %d \
+                cycles but the target is %d"
+               pin_ii_floor ii_main ));
+    if mem_ii_floor > ii_main then
+      raise
+        (Stop
+           ( Data_clash,
+             Printf.sprintf
+               "data clash: memory-port traffic needs an interval of %d \
+                cycles but the target is %d"
+               mem_ii_floor ii_main ));
+    (* --- memory port sanity --- *)
+    List.iter
+      (fun (_, p) ->
+        List.iter
+          (fun (block, peak) ->
+            let ports = (Spec.memory spec block).Chop_tech.Memory.ports in
+            if peak > ports then begin
+              let reason =
+                Printf.sprintf
+                  "memory %s: partition %s needs %d simultaneous accesses (%d \
+                   ports)"
+                  block p.Chop_bad.Prediction.partition_label peak ports
+              in
+              raise (Stop (Structural reason, reason))
+            end)
+          p.Chop_bad.Prediction.mem_bandwidth)
+      comb;
+    (* --- urgency scheduling over pins and memory ports --- *)
+    let resources =
+      List.map
+        (fun ci ->
+          {
+            Chop_sched.Urgency.rname = "pins:" ^ ci.Spec.chip_name;
+            capacity = data_pins ctx ci.Spec.chip_name;
+          })
+        spec.Spec.chips
+      @ List.map
+          (fun m ->
+            {
+              Chop_sched.Urgency.rname = "mem:" ^ m.Chop_tech.Memory.mname;
+              capacity = m.Chop_tech.Memory.ports;
+            })
+          spec.Spec.memories
+    in
+    let pu_task label =
+      let p = prediction_of label in
+      let duration = Chop_bad.Prediction.latency_main clocks p in
+      let demands =
+        List.filter_map
+          (fun (block, peak) ->
+            if peak <= 0 then None else Some ("mem:" ^ block, peak))
+          p.Chop_bad.Prediction.mem_bandwidth
+      in
+      let deps =
+        List.filter_map
+          (fun (t, _, _) ->
+            match t.Transfer.dst with
+            | Transfer.Partition_end l when l = label -> Some t.Transfer.dt_name
+            | Transfer.Partition_end _ | Transfer.World -> None)
+          dtm_base
+      in
+      { Chop_sched.Urgency.tname = "pu_" ^ label; duration; demands; deps }
+    in
+    let dt_task (t, bw, x) =
+      let demands =
+        if t.Transfer.cross_chip then
+          List.map (fun c -> ("pins:" ^ c, bw)) (Transfer.chips_of t)
+        else []
+      in
+      let deps =
+        match t.Transfer.src with
+        | Transfer.Partition_end l -> [ "pu_" ^ l ]
+        | Transfer.World -> []
+      in
+      { Chop_sched.Urgency.tname = t.Transfer.dt_name; duration = x; demands; deps }
+    in
+    let tasks =
+      List.map dt_task dtm_base
+      @ List.map
+          (fun p -> pu_task p.Chop_dfg.Partition.label)
+          spec.Spec.partitioning.Chop_dfg.Partition.parts
+    in
+    let sched_result =
+      try Chop_sched.Urgency.run ~resources tasks
+      with Chop_sched.Urgency.Unschedulable reason ->
+        raise (Stop (Structural reason, reason))
+    in
+    let dtms =
+      List.map
+        (fun (t, bw, x) ->
+          let wait_main = Chop_sched.Urgency.wait_of sched_result t.Transfer.dt_name in
+          (* B = D * (ceil(W/l) + X/l), section 2.5 *)
+          let buffer_bits =
+            if not t.Transfer.cross_chip then 0
+            else
+              let l = float_of_int ii_main in
+              let d = float_of_int t.Transfer.bits in
+              let w = float_of_int wait_main in
+              let xf = float_of_int x in
+              int_of_float (ceil (d *. (ceil (w /. l) +. (xf /. l))))
+          in
+          let states = max 1 (wait_main + x) in
+          let ctrl_shape =
+            Chop_tech.Pla.controller_shape ~states ~status_inputs:2
+              ~control_outputs:(4 + (bw / 4))
+          in
+          { task = t; bandwidth = bw; transfer_main = x; wait_main; buffer_bits;
+            ctrl_shape })
+        dtm_base
+    in
+    (* --- clock adjustment --- *)
+    let clock_parts =
+      List.fold_left
+        (fun acc (_, p) -> Float.max acc p.Chop_bad.Prediction.timing.clock_main)
+        clocks.Chop_tech.Clocking.main comb
+    in
+    let pin_sharers chip_name =
+      List.length
+        (List.filter
+           (fun d ->
+             d.task.Transfer.cross_chip
+             && List.mem chip_name (Transfer.chips_of d.task))
+           dtms)
+    in
+    let transfer_overhead =
+      List.fold_left
+        (fun acc ci ->
+          let sharers = pin_sharers ci.Spec.chip_name in
+          if sharers = 0 then acc
+          else
+            let pad = ci.Spec.package.Chop_tech.Chip.pad_delay in
+            let mux = Chop_tech.Wiring.mux_tree_delay ~fanin:sharers in
+            let dtm_ctrl =
+              List.fold_left
+                (fun m d ->
+                  if List.mem ci.Spec.chip_name (Transfer.chips_of d.task) then
+                    Float.max m (Chop_tech.Pla.delay d.ctrl_shape)
+                  else m)
+                0. dtms
+            in
+            Float.max acc ((2. *. pad) +. mux +. dtm_ctrl))
+        0. spec.Spec.chips
+    in
+    let clock =
+      Float.max clock_parts
+        (transfer_overhead /. float_of_int clocks.Chop_tech.Clocking.transfer_ratio)
+    in
+    let perf_ns = float_of_int ii_main *. clock in
+    let delay_cycles = sched_result.Chop_sched.Urgency.makespan in
+    let delay =
+      Chop_util.Triplet.scale
+        (float_of_int delay_cycles *. clock)
+        (Chop_util.Triplet.make ~low:0.95 ~likely:1.0 ~high:1.08)
+    in
+    (* --- per-chip reports --- *)
+    let chip_reports =
+      List.map
+        (fun ci ->
+          let name = ci.Spec.chip_name in
+          let labels =
+            List.map
+              (fun p -> p.Chop_dfg.Partition.label)
+              (Spec.partitions_on spec name)
+          in
+          let budget = List.assoc name ctx.budgets in
+          let sharers = pin_sharers name in
+          let pin_mux_area =
+            if sharers <= 1 then 0.
+            else
+              let shared_pins =
+                List.fold_left
+                  (fun acc d ->
+                    if
+                      d.task.Transfer.cross_chip
+                      && List.mem name (Transfer.chips_of d.task)
+                    then max acc d.bandwidth
+                    else acc)
+                  0 dtms
+              in
+              float_of_int (shared_pins * (sharers - 1)) *. mux_cell_area
+          in
+          let dtm_area =
+            Chop_util.Listx.sum_byf
+              (fun d ->
+                if
+                  d.task.Transfer.cross_chip
+                  && List.mem name (Transfer.chips_of d.task)
+                then Chop_tech.Pla.area d.ctrl_shape
+                else 0.)
+              dtms
+          in
+          let buffer_area =
+            Chop_util.Listx.sum_byf
+              (fun d ->
+                let holder =
+                  match d.task.Transfer.dst_chip with
+                  | Some c -> c
+                  | None -> Option.value ~default:"" d.task.Transfer.src_chip
+                in
+                if holder = name then
+                  float_of_int d.buffer_bits *. register_cell_area
+                else 0.)
+              dtms
+          in
+          let memory_area =
+            Chop_util.Listx.sum_byf
+              (fun m ->
+                match
+                  ( m.Chop_tech.Memory.placement,
+                    Spec.memory_host spec m.Chop_tech.Memory.mname )
+                with
+                | Chop_tech.Memory.On_chip a, Some host when host = name -> a
+                | _ -> 0.)
+              spec.Spec.memories
+          in
+          let part_areas =
+            List.map (fun l -> (prediction_of l).Chop_bad.Prediction.area) labels
+          in
+          let fixed = pin_mux_area +. dtm_area +. buffer_area +. memory_area in
+          let area_parts = Chop_util.Triplet.exact fixed :: part_areas in
+          let data_pins_used =
+            List.fold_left
+              (fun acc d ->
+                if
+                  d.task.Transfer.cross_chip
+                  && List.mem name (Transfer.chips_of d.task)
+                then max acc d.bandwidth
+                else acc)
+              0 dtms
+          in
+          let signal_pins =
+            min ci.Spec.package.Chop_tech.Chip.pins
+              (data_pins_used + budget.Chop_tech.Chip.control
+              + budget.Chop_tech.Chip.memory_lines)
+          in
+          let available =
+            Chop_tech.Chip.usable_area ci.Spec.package ~signal_pins
+          in
+          let area_verdict =
+            Chop_bad.Feasibility.check_area crit ~available area_parts
+          in
+          let power =
+            Chop_util.Listx.sum_byf
+              (fun l -> (prediction_of l).Chop_bad.Prediction.power)
+              labels
+          in
+          {
+            instance = ci;
+            partition_labels = labels;
+            signal_pins;
+            pin_mux_area;
+            dtm_area;
+            buffer_area;
+            memory_area;
+            area_parts;
+            available;
+            area_verdict;
+            power;
+          })
+        spec.Spec.chips
+    in
+    (* --- overall verdict --- *)
+    let verdict, failure =
+      let open Chop_bad.Feasibility in
+      let area_bad =
+        List.find_map
+          (fun cr ->
+            match cr.area_verdict with
+            | Infeasible r ->
+                Some (Printf.sprintf "chip %s: %s" cr.instance.Spec.chip_name r)
+            | Feasible -> None)
+          chip_reports
+      in
+      let power_bad =
+        List.find_map
+          (fun cr ->
+            match check_power crit cr.power with
+            | Infeasible r ->
+                Some (Printf.sprintf "chip %s: %s" cr.instance.Spec.chip_name r)
+            | Feasible -> None)
+          chip_reports
+      in
+      match
+        (area_bad, check_perf crit perf_ns, check_delay crit delay, power_bad)
+      with
+      | Some r, _, _, _ ->
+          let labels =
+            List.concat_map
+              (fun cr ->
+                match cr.area_verdict with
+                | Infeasible _ -> cr.partition_labels
+                | Feasible -> [])
+              chip_reports
+          in
+          (Infeasible r, Area_violation labels)
+      | None, Infeasible r, _, _ -> (Infeasible r, Too_slow)
+      | None, _, Infeasible r, _ -> (Infeasible r, Delay_exceeded)
+      | None, _, _, Some r -> (Infeasible r, Structural r)
+      | None, Feasible, Feasible, None -> (Feasible, No_failure)
+    in
+    {
+      combination = comb;
+      ii_main;
+      clock;
+      perf_ns;
+      delay_cycles;
+      delay;
+      dtms;
+      chip_reports;
+      task_schedule = Some sched_result;
+      verdict;
+      failure;
+    }
+  with Stop (failure, reason) ->
+    {
+      combination = comb;
+      ii_main = Option.value ~default:0 ii_target;
+      clock = clocks.Chop_tech.Clocking.main;
+      perf_ns = infinity;
+      delay_cycles = 0;
+      delay = Chop_util.Triplet.exact 0.;
+      dtms = [];
+      chip_reports = [];
+      task_schedule = None;
+      verdict = Chop_bad.Feasibility.Infeasible reason;
+      failure;
+    }

@@ -1,0 +1,88 @@
+(** System-integration prediction (paper, section 2.5).
+
+    Given one predicted implementation per partition, CHOP predicts the
+    data-transfer-module characteristics and the overall system performance
+    and delay: transfer bandwidths under the hard pin-count constraints,
+    urgency scheduling of all tasks over shared chip pins and memory ports,
+    buffer sizes [B = D * (ceil(W/l) + X/l)], data-transfer-module
+    controller PLAs, pin-multiplexing overhead, the adjusted clock cycle and
+    per-chip area feasibility. *)
+
+type combination = (string * Chop_bad.Prediction.t) list
+(** One chosen prediction per partition label. *)
+
+type context
+(** Precomputed per-spec structure (transfer tasks, pin budgets); build once
+    and reuse across the many combinations a search explores. *)
+
+val context : Spec.t -> context
+val spec_of : context -> Spec.t
+val tasks_of : context -> Transfer.task list
+
+val data_pins : context -> string -> int
+(** Shared data pins available on the chip after infrastructure
+    reservations; may be 0 (the chip cannot transfer data). *)
+
+type dtm = {
+  task : Transfer.task;
+  bandwidth : int;  (** bits moved per data-transfer cycle *)
+  transfer_main : int;  (** X: transfer duration in main-clock cycles *)
+  wait_main : int;  (** W: wait before pins were available, main cycles *)
+  buffer_bits : int;  (** B, from the paper's buffer formula *)
+  ctrl_shape : Chop_tech.Pla.shape;  (** controller of each module *)
+}
+
+type chip_report = {
+  instance : Spec.chip_instance;
+  partition_labels : string list;
+  signal_pins : int;  (** bonded signal pins: data + control + memory *)
+  pin_mux_area : Chop_util.Units.mil2;
+  dtm_area : Chop_util.Units.mil2;
+  buffer_area : Chop_util.Units.mil2;
+  memory_area : Chop_util.Units.mil2;
+  area_parts : Chop_util.Triplet.t list;  (** all contributors *)
+  available : Chop_util.Units.mil2;
+  area_verdict : Chop_bad.Feasibility.verdict;
+  power : float;
+}
+
+type failure =
+  | No_failure
+  | Rate_mismatch of string list
+      (** pipelined partitions whose data rates disagree *)
+  | Area_violation of string list  (** partitions on over-full chips *)
+  | Data_clash  (** a transfer outlasts the initiation interval *)
+  | Too_slow  (** the performance constraint is violated *)
+  | Delay_exceeded  (** the system-delay constraint is violated *)
+  | Structural of string  (** pin exhaustion, memory overload, ... *)
+
+type system = {
+  combination : combination;
+  ii_main : int;  (** global initiation interval, main cycles *)
+  clock : Chop_util.Units.ns;  (** adjusted global clock *)
+  perf_ns : Chop_util.Units.ns;
+  delay_cycles : int;  (** urgency-schedule makespan, main cycles *)
+  delay : Chop_util.Triplet.t;  (** system delay prediction, ns *)
+  dtms : dtm list;
+  chip_reports : chip_report list;
+  task_schedule : Chop_sched.Urgency.result option;
+  verdict : Chop_bad.Feasibility.verdict;
+  failure : failure;  (** structured cause behind an [Infeasible] verdict *)
+}
+
+val feasible : system -> bool
+
+val integrate : context -> ?ii_target:int -> combination -> system
+(** Runs the full integration prediction.  [ii_target] forces the candidate
+    initiation interval (the iterative heuristic explores one [l] at a
+    time); otherwise the smallest consistent interval is used.  An
+    infeasible rate mix, pin exhaustion or a data clash yields a [system]
+    with an [Infeasible] verdict and whatever was computed up to that
+    point.  @raise Invalid_argument when the combination does not cover the
+    partitioning exactly. *)
+
+val objectives : system -> float array
+(** [| perf_ns; likely delay; likely total area |] for inferiority pruning
+    and design-space scatter plots. *)
+
+val total_area : system -> Chop_util.Triplet.t

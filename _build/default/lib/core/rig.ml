@@ -1,0 +1,57 @@
+let uniform_chips pg package =
+  let chips =
+    List.mapi
+      (fun i _ ->
+        { Spec.chip_name = Printf.sprintf "chip%d" (i + 1); package })
+      pg.Chop_dfg.Partition.parts
+  in
+  let assignment =
+    List.mapi
+      (fun i p ->
+        (p.Chop_dfg.Partition.label, Printf.sprintf "chip%d" (i + 1)))
+      pg.Chop_dfg.Partition.parts
+  in
+  (chips, assignment)
+
+let custom ?(params = Spec.default_params) ?(memories = []) ?(memory_hosts = [])
+    ?(library = Chop_tech.Mosis.experiment_library) ~graph ~partitioning
+    ~package ~clocks ~style ~criteria () =
+  let chips, assignment = uniform_chips partitioning package in
+  Spec.make ~params ~memories ~memory_hosts ~graph ~library ~chips
+    ~partitioning ~assignment ~clocks ~style ~criteria ()
+
+let ar_partitioning k =
+  let graph = Chop_dfg.Benchmarks.ar_lattice_filter () in
+  let pg =
+    if k <= 1 then Chop_dfg.Partition.whole graph
+    else Chop_dfg.Partition.by_levels graph ~k
+  in
+  (graph, pg)
+
+let experiment1 ?(package = Chop_tech.Mosis.package_84)
+    ?(params = Spec.default_params) ?(partitions = 1) () =
+  let graph, partitioning = ar_partitioning partitions in
+  custom ~params ~graph ~partitioning ~package
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock
+         ~datapath_ratio:10 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Single_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:30000. ~delay:30000. ())
+    ()
+
+(* "The faster the data path clock, the more design possibilities exist for
+   a given set of design constraints" (paper, section 3.2): experiment 2
+   considers many more initiation intervals per implementation. *)
+let experiment2_params =
+  { Spec.default_params with Spec.max_pipelined_iis = 48 }
+
+let experiment2 ?(package = Chop_tech.Mosis.package_84)
+    ?(params = experiment2_params) ?(partitions = 1) () =
+  let graph, partitioning = ar_partitioning partitions in
+  custom ~params ~graph ~partitioning ~package
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock
+         ~datapath_ratio:1 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+    ()

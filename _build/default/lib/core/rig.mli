@@ -1,0 +1,48 @@
+(** Ready-made experiment rigs: the paper's two experimental setups
+    (section 3) and helpers for placing a partitioning onto a uniform chip
+    set.  Used by the benches, the examples and the tests. *)
+
+val uniform_chips :
+  Chop_dfg.Partition.partitioning ->
+  Chop_tech.Chip.t ->
+  Spec.chip_instance list * (string * string) list
+(** One chip instance per partition (named [chip1], [chip2], ...), each
+    partition assigned to its own chip — the paper's experiments assign
+    "each partition ... manually ... to a separate chip". *)
+
+val experiment1 :
+  ?package:Chop_tech.Chip.t ->
+  ?params:Spec.params ->
+  ?partitions:int ->
+  unit ->
+  Spec.t
+(** Experiment 1 (section 3.1): AR lattice filter, single-cycle-operation
+    style, data-path clock 10x the 300 ns main clock, data-transfer clock at
+    main speed, performance and delay constraints 30 000 ns, feasibility
+    probabilities 1.0 / 1.0 / 0.8.  [package] defaults to the 84-pin MOSIS
+    package; [partitions] defaults to 1 (horizontal level cuts beyond 1). *)
+
+val experiment2 :
+  ?package:Chop_tech.Chip.t ->
+  ?params:Spec.params ->
+  ?partitions:int ->
+  unit ->
+  Spec.t
+(** Experiment 2 (section 3.2): multi-cycle operations, both clocks at main
+    speed, performance constraint tightened to 20 000 ns. *)
+
+val custom :
+  ?params:Spec.params ->
+  ?memories:Chop_tech.Memory.t list ->
+  ?memory_hosts:(string * string) list ->
+  ?library:Chop_tech.Component.library ->
+  graph:Chop_dfg.Graph.t ->
+  partitioning:Chop_dfg.Partition.partitioning ->
+  package:Chop_tech.Chip.t ->
+  clocks:Chop_tech.Clocking.t ->
+  style:Chop_tech.Style.t ->
+  criteria:Chop_bad.Feasibility.criteria ->
+  unit ->
+  Spec.t
+(** A spec with one chip per partition on a uniform package; [library]
+    defaults to the Table 1 experiment library. *)

@@ -1,0 +1,66 @@
+type stats = {
+  implementation_trials : int;
+  integrations : int;
+  feasible_trials : int;
+  cpu_seconds : float;
+}
+
+type outcome = {
+  feasible : Integration.system list;
+  explored : Integration.system list;
+  stats : stats;
+}
+
+let empty_stats =
+  { implementation_trials = 0; integrations = 0; feasible_trials = 0;
+    cpu_seconds = 0. }
+
+let to_csv systems =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "ii_main,clock_ns,perf_ns,delay_cycles,delay_likely_ns,area_likely,feasible\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.1f,%.1f,%d,%.1f,%.1f,%b\n" s.Integration.ii_main
+           s.Integration.clock s.Integration.perf_ns s.Integration.delay_cycles
+           Chop_util.Triplet.(s.Integration.delay.likely)
+           Chop_util.Triplet.((Integration.total_area s).likely)
+           (Integration.feasible s)))
+    systems;
+  Buffer.contents buf
+
+let finalize ~keep_all ~feasible ~explored stats =
+  let non_inferior =
+    Chop_util.Pareto.frontier ~objectives:Integration.objectives feasible
+  in
+  (* collapse distinct combinations that predict the same design point *)
+  let non_inferior =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun s ->
+        let key =
+          ( s.Integration.ii_main,
+            s.Integration.delay_cycles,
+            int_of_float s.Integration.clock,
+            int_of_float (Chop_util.Triplet.((Integration.total_area s).likely) /. 50.) )
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      non_inferior
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare a.Integration.perf_ns b.Integration.perf_ns with
+        | 0 ->
+            Float.compare
+              Chop_util.Triplet.(a.Integration.delay.likely)
+              Chop_util.Triplet.(b.Integration.delay.likely)
+        | n -> n)
+      non_inferior
+  in
+  { feasible = sorted; explored = (if keep_all then explored else []); stats }

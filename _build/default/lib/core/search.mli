@@ -1,0 +1,34 @@
+(** Shared types for the two partition-implementation search heuristics. *)
+
+type stats = {
+  implementation_trials : int;
+      (** combinations of partition implementations examined
+          ("Partitioning Imp. Trials" in the paper's Tables 4 and 6) *)
+  integrations : int;  (** full system-integration predictions performed *)
+  feasible_trials : int;
+  cpu_seconds : float;
+}
+
+type outcome = {
+  feasible : Integration.system list;
+      (** feasible and non-inferior global implementations, fastest first *)
+  explored : Integration.system list;
+      (** every integrated design, only populated in keep-all mode *)
+  stats : stats;
+}
+
+val empty_stats : stats
+
+val to_csv : Integration.system list -> string
+(** The explored design points as CSV
+    ([ii_main,clock_ns,perf_ns,delay_cycles,delay_likely_ns,area_likely,feasible])
+    for external plotting of Figures 7/8-style scatters. *)
+
+val finalize :
+  keep_all:bool ->
+  feasible:Integration.system list ->
+  explored:Integration.system list ->
+  stats ->
+  outcome
+(** Sorts feasible systems by (performance, delay) and prunes inferior ones
+    (unless [keep_all] asked for the raw space). *)

@@ -1,0 +1,225 @@
+type point = {
+  value : float;
+  feasible : bool;
+  best_ii : int option;
+  best_delay_cycles : int option;
+  best_perf_ns : float option;
+}
+
+type sweep = { parameter : string; points : point list }
+
+let judge ~value spec_opt =
+  match spec_opt with
+  | None ->
+      { value; feasible = false; best_ii = None; best_delay_cycles = None;
+        best_perf_ns = None }
+  | Some spec -> (
+      let j = Advisor.what_if spec in
+      match j.Advisor.best with
+      | Some s ->
+          {
+            value;
+            feasible = true;
+            best_ii = Some s.Integration.ii_main;
+            best_delay_cycles = Some s.Integration.delay_cycles;
+            best_perf_ns = Some s.Integration.perf_ns;
+          }
+      | None ->
+          { value; feasible = false; best_ii = None; best_delay_cycles = None;
+            best_perf_ns = None })
+
+let with_criteria spec criteria =
+  try Some (Advisor.set_constraints spec ~criteria)
+  with Advisor.Rejected _ -> None
+
+let performance_constraint spec ~values =
+  let crit = spec.Spec.criteria in
+  let points =
+    List.map
+      (fun perf ->
+        let spec_opt =
+          match
+            Chop_bad.Feasibility.criteria
+              ~perf_prob:crit.Chop_bad.Feasibility.perf_prob
+              ~area_prob:crit.Chop_bad.Feasibility.area_prob
+              ~delay_prob:crit.Chop_bad.Feasibility.delay_prob
+              ?power_budget:crit.Chop_bad.Feasibility.power_budget ~perf
+              ~delay:crit.Chop_bad.Feasibility.delay_constraint ()
+          with
+          | criteria -> with_criteria spec criteria
+          | exception Invalid_argument _ -> None
+        in
+        judge ~value:perf spec_opt)
+      values
+  in
+  { parameter = "performance constraint (ns)"; points }
+
+let delay_constraint spec ~values =
+  let crit = spec.Spec.criteria in
+  let points =
+    List.map
+      (fun delay ->
+        let spec_opt =
+          match
+            Chop_bad.Feasibility.criteria
+              ~perf_prob:crit.Chop_bad.Feasibility.perf_prob
+              ~area_prob:crit.Chop_bad.Feasibility.area_prob
+              ~delay_prob:crit.Chop_bad.Feasibility.delay_prob
+              ?power_budget:crit.Chop_bad.Feasibility.power_budget
+              ~perf:crit.Chop_bad.Feasibility.perf_constraint ~delay ()
+          with
+          | criteria -> with_criteria spec criteria
+          | exception Invalid_argument _ -> None
+        in
+        judge ~value:delay spec_opt)
+      values
+  in
+  { parameter = "delay constraint (ns)"; points }
+
+let pin_count spec ~values =
+  let points =
+    List.map
+      (fun pins ->
+        let spec_opt =
+          if pins <= 0 then None
+          else
+            (* rebuild every chip's package at the new pin count *)
+            try
+              Some
+                (List.fold_left
+                   (fun s ci ->
+                     let p = ci.Spec.package in
+                     let package =
+                       Chop_tech.Chip.make
+                         ~name:(Printf.sprintf "%s_p%d" p.Chop_tech.Chip.pkg_name pins)
+                         ~width:p.Chop_tech.Chip.width
+                         ~height:p.Chop_tech.Chip.height ~pins
+                         ~pad_delay:p.Chop_tech.Chip.pad_delay
+                         ~pad_area:p.Chop_tech.Chip.pad_area
+                     in
+                     Advisor.swap_package s ~chip:ci.Spec.chip_name package)
+                   spec spec.Spec.chips)
+            with Advisor.Rejected _ | Invalid_argument _ -> None
+        in
+        judge ~value:(float_of_int pins) spec_opt)
+      values
+  in
+  { parameter = "package pin count"; points }
+
+let main_clock spec ~values =
+  let clocks = spec.Spec.clocks in
+  let points =
+    List.map
+      (fun main ->
+        let spec_opt =
+          match
+            Chop_tech.Clocking.make ~main
+              ~datapath_ratio:clocks.Chop_tech.Clocking.datapath_ratio
+              ~transfer_ratio:clocks.Chop_tech.Clocking.transfer_ratio
+          with
+          | clocks -> (
+              try
+                Some
+                  (Spec.make ~params:spec.Spec.params
+                     ~memories:spec.Spec.memories
+                     ~memory_hosts:spec.Spec.memory_hosts ~graph:spec.Spec.graph
+                     ~library:spec.Spec.library ~chips:spec.Spec.chips
+                     ~partitioning:spec.Spec.partitioning
+                     ~assignment:spec.Spec.assignment ~clocks
+                     ~style:spec.Spec.style ~criteria:spec.Spec.criteria ())
+              with Spec.Invalid_spec _ -> None)
+          | exception Invalid_argument _ -> None
+        in
+        judge ~value:main spec_opt)
+      values
+  in
+  { parameter = "main clock (ns)"; points }
+
+type grid = {
+  perf_values : float list;
+  pin_values : int list;
+  cells : bool array array;
+}
+
+let performance_pins_grid spec ~perf_values ~pin_values =
+  let crit = spec.Spec.criteria in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun perf ->
+           Array.of_list
+             (List.map
+                (fun pins ->
+                  let spec_perf =
+                    match
+                      Chop_bad.Feasibility.criteria
+                        ~perf_prob:crit.Chop_bad.Feasibility.perf_prob
+                        ~area_prob:crit.Chop_bad.Feasibility.area_prob
+                        ~delay_prob:crit.Chop_bad.Feasibility.delay_prob
+                        ?power_budget:crit.Chop_bad.Feasibility.power_budget
+                        ~perf
+                        ~delay:crit.Chop_bad.Feasibility.delay_constraint ()
+                    with
+                    | criteria -> with_criteria spec criteria
+                    | exception Invalid_argument _ -> None
+                  in
+                  match spec_perf with
+                  | None -> false
+                  | Some s ->
+                      let swept = pin_count s ~values:[ pins ] in
+                      (match swept.points with
+                      | [ p ] -> p.feasible
+                      | _ -> false))
+                pin_values))
+         perf_values)
+  in
+  { perf_values; pin_values; cells }
+
+let render_grid grid =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  perf ns \\ pins ";
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%5d" p)) grid.pin_values;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i perf ->
+      Buffer.add_string buf (Printf.sprintf "  %10.0f     " perf);
+      Array.iter
+        (fun ok -> Buffer.add_string buf (if ok then "    #" else "    ."))
+        grid.cells.(i);
+      Buffer.add_char buf '\n')
+    grid.perf_values;
+  Buffer.contents buf
+
+let cliff sweep =
+  let rec scan was_feasible = function
+    | [] -> None
+    | p :: rest ->
+        if was_feasible && not p.feasible then Some p.value
+        else scan (was_feasible || p.feasible) rest
+  in
+  scan false sweep.points
+
+let render sweep =
+  let t =
+    Chop_util.Texttable.create ~title:("sensitivity: " ^ sweep.parameter)
+      [
+        ("value", Chop_util.Texttable.Right);
+        ("feasible", Chop_util.Texttable.Center);
+        ("best II", Chop_util.Texttable.Right);
+        ("delay cyc", Chop_util.Texttable.Right);
+        ("perf ns", Chop_util.Texttable.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      let opt f = function Some v -> f v | None -> "-" in
+      Chop_util.Texttable.add_row t
+        [
+          Printf.sprintf "%.0f" p.value;
+          (if p.feasible then "yes" else "no");
+          opt string_of_int p.best_ii;
+          opt string_of_int p.best_delay_cycles;
+          opt (Printf.sprintf "%.0f") p.best_perf_ns;
+        ])
+    sweep.points;
+  Chop_util.Texttable.render t

@@ -1,0 +1,58 @@
+(** Constraint and chip-set sensitivity sweeps.
+
+    The paper's section 2.7 describes how feasibility responds to the
+    designer's four modification groups; these sweeps quantify that
+    response one parameter at a time, so the advisor can show where the
+    feasibility cliff sits ("High performance constraints also cause the
+    I/O pin usage to increase, which in turn makes some implementations
+    infeasible"). *)
+
+type point = {
+  value : float;  (** the swept parameter's value *)
+  feasible : bool;
+  best_ii : int option;  (** main cycles, when feasible *)
+  best_delay_cycles : int option;
+  best_perf_ns : float option;
+}
+
+type sweep = {
+  parameter : string;
+  points : point list;  (** in the order the values were given *)
+}
+
+val performance_constraint : Spec.t -> values:float list -> sweep
+(** Sweep the performance constraint (ns), keeping its delay counterpart. *)
+
+val delay_constraint : Spec.t -> values:float list -> sweep
+
+val pin_count : Spec.t -> values:int list -> sweep
+(** Replace every chip's package with a copy rebuilt at the given pin
+    count (same die, pad delay and pad area) — the "target chip set"
+    modification group.  Non-positive pin counts yield infeasible points. *)
+
+val main_clock : Spec.t -> values:float list -> sweep
+(** Sweep the main clock cycle (ns), keeping the clock ratios. *)
+
+val cliff : sweep -> float option
+(** The first swept value at which feasibility is lost, scanning in the
+    given order; [None] when feasibility never flips from true to false. *)
+
+val render : sweep -> string
+(** Plain-text table of the sweep. *)
+
+type grid = {
+  perf_values : float list;  (** row labels, ns *)
+  pin_values : int list;  (** column labels *)
+  cells : bool array array;  (** feasibility, indexed [row][col] *)
+}
+
+val performance_pins_grid :
+  Spec.t -> perf_values:float list -> pin_values:int list -> grid
+(** The two-dimensional feasibility map of the paper's two hardest
+    constraint axes: the performance target against the package pin count
+    (every chip rebuilt at each count).  Each cell is one full what-if
+    probe. *)
+
+val render_grid : grid -> string
+(** ASCII map: ['#'] feasible, ['.'] infeasible; rows are performance
+    values, columns pin counts. *)

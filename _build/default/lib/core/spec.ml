@@ -1,0 +1,133 @@
+type chip_instance = { chip_name : string; package : Chop_tech.Chip.t }
+
+type params = {
+  alloc_cap : int;
+  max_pipelined_iis : int;
+  testability_overhead : float;
+  discard_inferior : bool;
+}
+
+let default_params =
+  {
+    alloc_cap = 8;
+    max_pipelined_iis = 8;
+    testability_overhead = 0.;
+    discard_inferior = true;
+  }
+
+type t = {
+  graph : Chop_dfg.Graph.t;
+  library : Chop_tech.Component.library;
+  chips : chip_instance list;
+  memories : Chop_tech.Memory.t list;
+  memory_hosts : (string * string) list;
+  partitioning : Chop_dfg.Partition.partitioning;
+  assignment : (string * string) list;
+  clocks : Chop_tech.Clocking.t;
+  style : Chop_tech.Style.t;
+  criteria : Chop_bad.Feasibility.criteria;
+  params : params;
+}
+
+exception Invalid_spec of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_spec s)) fmt
+
+let make ?(params = default_params) ?(memories = []) ?(memory_hosts = []) ~graph
+    ~library ~chips ~partitioning ~assignment ~clocks ~style ~criteria () =
+  if chips = [] then fail "no chips in the chip set";
+  let chip_names = List.map (fun c -> c.chip_name) chips in
+  if List.length (List.sort_uniq String.compare chip_names) <> List.length chips
+  then fail "duplicate chip name";
+  if partitioning.Chop_dfg.Partition.graph != graph then
+    fail "partitioning built for a different graph";
+  if not (Chop_tech.Component.covers library graph) then
+    fail "component library does not cover the graph's functional classes";
+  (* every partition assigned exactly once, to a known chip *)
+  List.iter
+    (fun p ->
+      let label = p.Chop_dfg.Partition.label in
+      match List.filter (fun (l, _) -> l = label) assignment with
+      | [] -> fail "partition %s is not assigned to a chip" label
+      | [ (_, chip) ] ->
+          if not (List.mem chip chip_names) then
+            fail "partition %s assigned to unknown chip %s" label chip
+      | _ -> fail "partition %s assigned more than once" label)
+    partitioning.Chop_dfg.Partition.parts;
+  List.iter
+    (fun (label, _) ->
+      if
+        not
+          (List.exists
+             (fun p -> p.Chop_dfg.Partition.label = label)
+             partitioning.Chop_dfg.Partition.parts)
+      then fail "assignment references unknown partition %s" label)
+    assignment;
+  (* memory declarations *)
+  let declared = List.map (fun m -> m.Chop_tech.Memory.mname) memories in
+  List.iter
+    (fun block ->
+      if not (List.mem block declared) then
+        fail "graph references undeclared memory block %s" block)
+    (Chop_dfg.Graph.memory_blocks graph);
+  List.iter
+    (fun m ->
+      let name = m.Chop_tech.Memory.mname in
+      let host = List.assoc_opt name memory_hosts in
+      match (m.Chop_tech.Memory.placement, host) with
+      | Chop_tech.Memory.On_chip _, None ->
+          fail "on-chip memory %s has no host chip" name
+      | Chop_tech.Memory.On_chip _, Some h ->
+          if not (List.mem h chip_names) then
+            fail "memory %s hosted on unknown chip %s" name h
+      | Chop_tech.Memory.Off_chip_package _, Some _ ->
+          fail "off-chip memory %s must not have a host chip" name
+      | Chop_tech.Memory.Off_chip_package _, None -> ())
+    memories;
+  {
+    graph;
+    library;
+    chips;
+    memories;
+    memory_hosts;
+    partitioning;
+    assignment;
+    clocks;
+    style;
+    criteria;
+    params;
+  }
+
+let chip t name =
+  List.find (fun c -> c.chip_name = name) t.chips
+
+let chip_of_partition t label = chip t (List.assoc label t.assignment)
+
+let partitions_on t chip_name =
+  Chop_dfg.Partition.topological_parts t.partitioning
+  |> List.filter (fun p ->
+         List.assoc p.Chop_dfg.Partition.label t.assignment = chip_name)
+
+let memory t name =
+  List.find (fun m -> m.Chop_tech.Memory.mname = name) t.memories
+
+let memory_host t name = List.assoc_opt name t.memory_hosts
+
+let partitions_accessing t block =
+  List.filter_map
+    (fun p ->
+      let sub = Chop_dfg.Partition.subgraph t.partitioning p in
+      if List.mem block (Chop_dfg.Graph.memory_blocks sub) then
+        Some p.Chop_dfg.Partition.label
+      else None)
+    t.partitioning.Chop_dfg.Partition.parts
+
+let memories_of_partition t label =
+  let p = Chop_dfg.Partition.find t.partitioning label in
+  let sub = Chop_dfg.Partition.subgraph t.partitioning p in
+  List.map (memory t) (Chop_dfg.Graph.memory_blocks sub)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>spec: %s on %d chip(s)@,%a@]"
+    (Chop_dfg.Graph.name t.graph) (List.length t.chips) Chop_dfg.Partition.pp
+    t.partitioning

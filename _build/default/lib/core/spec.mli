@@ -1,0 +1,86 @@
+(** The partitioning problem specification — CHOP's six input groups
+    (paper, section 2.2):
+
+    - the behavioral specification (a data-flow graph),
+    - a library of components,
+    - the chip set onto which the design is to be partitioned,
+    - memory modules and their assignments to chips,
+    - partitions and assignments of partitions to chips,
+    - clocks, architecture style, feasibility criteria, design parameters. *)
+
+type chip_instance = {
+  chip_name : string;
+  package : Chop_tech.Chip.t;
+}
+
+type params = {
+  alloc_cap : int;  (** BAD serial-parallel enumeration cap per class *)
+  max_pipelined_iis : int;  (** BAD II options per pipelined design *)
+  testability_overhead : float;  (** fractional scan overhead; 0 = off *)
+  discard_inferior : bool;
+      (** first-level pruning: discard infeasible/inferior predictions
+          immediately (paper, section 2.1); disable to explore the whole
+          design space (Figures 7 and 8) *)
+}
+
+val default_params : params
+
+type t = private {
+  graph : Chop_dfg.Graph.t;
+  library : Chop_tech.Component.library;
+  chips : chip_instance list;
+  memories : Chop_tech.Memory.t list;
+  memory_hosts : (string * string) list;
+      (** memory block -> chip carrying it (on-chip blocks only) *)
+  partitioning : Chop_dfg.Partition.partitioning;
+  assignment : (string * string) list;  (** partition label -> chip name *)
+  clocks : Chop_tech.Clocking.t;
+  style : Chop_tech.Style.t;
+  criteria : Chop_bad.Feasibility.criteria;
+  params : params;
+}
+
+exception Invalid_spec of string
+
+val make :
+  ?params:params ->
+  ?memories:Chop_tech.Memory.t list ->
+  ?memory_hosts:(string * string) list ->
+  graph:Chop_dfg.Graph.t ->
+  library:Chop_tech.Component.library ->
+  chips:chip_instance list ->
+  partitioning:Chop_dfg.Partition.partitioning ->
+  assignment:(string * string) list ->
+  clocks:Chop_tech.Clocking.t ->
+  style:Chop_tech.Style.t ->
+  criteria:Chop_bad.Feasibility.criteria ->
+  unit ->
+  t
+(** Validates the six groups together.  @raise Invalid_spec when: a
+    partition is unassigned or assigned to an unknown chip, chip names
+    repeat, the library misses a functional class, a memory block referenced
+    by the graph is undeclared, an on-chip block has no host (or a host that
+    does not exist), or an off-chip block is given a host. *)
+
+val chip : t -> string -> chip_instance
+(** @raise Not_found for an unknown chip name. *)
+
+val chip_of_partition : t -> string -> chip_instance
+(** @raise Not_found for an unknown partition label. *)
+
+val partitions_on : t -> string -> Chop_dfg.Partition.t list
+(** Partitions assigned to the chip, in quotient-topological order. *)
+
+val memory : t -> string -> Chop_tech.Memory.t
+(** @raise Not_found for an unknown block name. *)
+
+val memory_host : t -> string -> string option
+(** Chip carrying the block; [None] for off-chip packages. *)
+
+val partitions_accessing : t -> string -> string list
+(** Labels of partitions whose operations touch the memory block. *)
+
+val memories_of_partition : t -> string -> Chop_tech.Memory.t list
+(** Memory blocks the partition's subgraph references. *)
+
+val pp : Format.formatter -> t -> unit

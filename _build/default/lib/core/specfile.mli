@@ -1,0 +1,63 @@
+(** A plain-text format for complete partitioning specifications.
+
+    CHOP's six input groups (paper, section 2.2) as a line-oriented file, so
+    problems can be written, versioned and loaded from outside the OCaml
+    API.  A minimal example:
+
+    {v
+# chopspec
+graph demo width=16
+node x input
+node k const
+node m mult x k
+node y output m
+
+chip chip1 pins=84 die=311.02x362.20 pad_delay=25 pad_area=297.6
+partition P1 = m
+assign P1 chip1
+library extended
+clock main=300 datapath=10 transfer=1
+style single_cycle
+criteria perf=30000 delay=30000
+    v}
+
+    Lines are [keyword args...]; ['#'] starts a comment; blank lines are
+    ignored.  Statements:
+
+    - [graph NAME width=W] — starts the data-flow graph (required, once).
+    - [node NAME OP OPERAND...] — adds a node; [OP] is one of [input],
+      [output], [const], [add], [sub], [mult], [div], [compare], [logic],
+      [shift], [select], [mem_read:BLOCK], [mem_write:BLOCK]; operands are
+      previously declared node names.
+    - [chip NAME pins=N die=WxH pad_delay=D pad_area=A] — a chip instance;
+      [pkg64] / [pkg84] may replace the attribute list.
+    - [memory NAME words=N width=W ports=P access=NS (on_chip=AREA
+      host=CHIP | off_chip_pins=N)] — a memory block.
+    - [partition LABEL = NODE...] — a partition over computational nodes.
+    - [assign LABEL CHIP] — partition-to-chip assignment.
+    - [component NAME class=C width=W area=A delay=D] — extra library entry.
+    - [library table1|extended|none] — the base component library (default
+      [table1]); explicit [component] entries are prepended.
+    - [clock main=NS datapath=K transfer=K] — the clocks (default
+      300/1/1).
+    - [style single_cycle|multi_cycle] — operation timing (default
+      multi_cycle).
+    - [criteria perf=NS delay=NS (perf_prob= area_prob= delay_prob=
+      power_budget=)] — feasibility criteria (probabilities default to the
+      paper's 1.0/1.0/0.8).
+    - [params alloc_cap=N max_iis=N testability=F] — design parameters. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and reason. *)
+
+val parse : string -> Spec.t
+(** Parses the full file contents.
+    @raise Parse_error on syntax or reference errors;
+    @raise Spec.Invalid_spec when the assembled groups are inconsistent. *)
+
+val load : string -> Spec.t
+(** [load path] reads and parses a file. *)
+
+val print : Spec.t -> string
+(** Renders a spec back to the format ([parse (print s)] describes the same
+    problem; node ids are renumbered). *)

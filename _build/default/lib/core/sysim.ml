@@ -1,0 +1,180 @@
+type result = {
+  instances : int;
+  first_latency : int;
+  makespan : int;
+  achieved_ii : float;
+  pin_stalls : int;
+}
+
+exception Unsimulatable of string
+
+(* the simulated task structure, instance-independent *)
+type sim_task = {
+  tname : string;
+  duration : int;
+  restart : int;  (** own-hardware initiation interval *)
+  demands : (string * int) list;
+  deps : string list;
+}
+
+let build_tasks ctx (system : Integration.system) =
+  if system.Integration.dtms = [] && system.Integration.chip_reports = [] then
+    raise (Unsimulatable "system has no task structure (failed integration)");
+  let spec = Integration.spec_of ctx in
+  let clocks = spec.Spec.clocks in
+  let dt_tasks =
+    List.map
+      (fun (d : Integration.dtm) ->
+        let t = d.Integration.task in
+        let demands =
+          if t.Transfer.cross_chip then
+            List.map
+              (fun c -> ("pins:" ^ c, d.Integration.bandwidth))
+              (Transfer.chips_of t)
+          else []
+        in
+        let deps =
+          match t.Transfer.src with
+          | Transfer.Partition_end l -> [ "pu_" ^ l ]
+          | Transfer.World -> []
+        in
+        {
+          tname = t.Transfer.dt_name;
+          duration = d.Integration.transfer_main;
+          restart = max 1 d.Integration.transfer_main;
+          demands;
+          deps;
+        })
+      system.Integration.dtms
+  in
+  let pu_tasks =
+    List.map
+      (fun (label, p) ->
+        let deps =
+          List.filter_map
+            (fun (d : Integration.dtm) ->
+              match d.Integration.task.Transfer.dst with
+              | Transfer.Partition_end l when l = label ->
+                  Some d.Integration.task.Transfer.dt_name
+              | Transfer.Partition_end _ | Transfer.World -> None)
+            system.Integration.dtms
+        in
+        let demands =
+          List.filter_map
+            (fun (block, peak) ->
+              if peak <= 0 then None else Some ("mem:" ^ block, peak))
+            p.Chop_bad.Prediction.mem_bandwidth
+        in
+        {
+          tname = "pu_" ^ label;
+          duration = Chop_bad.Prediction.latency_main clocks p;
+          restart = max 1 (Chop_bad.Prediction.ii_main clocks p);
+          demands;
+          deps;
+        })
+      system.Integration.combination
+  in
+  let tasks = dt_tasks @ pu_tasks in
+  let resources =
+    List.map
+      (fun ci ->
+        ("pins:" ^ ci.Spec.chip_name, Integration.data_pins ctx ci.Spec.chip_name))
+      spec.Spec.chips
+    @ List.map
+        (fun m ->
+          ("mem:" ^ m.Chop_tech.Memory.mname, m.Chop_tech.Memory.ports))
+        spec.Spec.memories
+  in
+  (tasks, resources)
+
+(* Kahn order over the instance-internal dependency edges. *)
+let topological tasks =
+  let remaining = ref tasks and order = ref [] in
+  let placed name = List.exists (fun t -> t.tname = name) !order in
+  let guard = ref 0 in
+  while !remaining <> [] do
+    incr guard;
+    if !guard > 10_000 then raise (Unsimulatable "cyclic task dependencies");
+    let ready, rest =
+      List.partition (fun t -> List.for_all placed t.deps) !remaining
+    in
+    if ready = [] then raise (Unsimulatable "cyclic task dependencies");
+    order := !order @ ready;
+    remaining := rest
+  done;
+  !order
+
+let simulate ctx ?(instances = 8) system =
+  if instances < 1 then invalid_arg "Sysim.simulate: instances < 1";
+  let tasks, resources = build_tasks ctx system in
+  let order = topological tasks in
+  let capacity = Hashtbl.create 8 in
+  List.iter (fun (r, c) -> Hashtbl.replace capacity r c) resources;
+  (* (resource, step) -> units used *)
+  let usage = Hashtbl.create 1024 in
+  let used r step =
+    Option.value ~default:0 (Hashtbl.find_opt usage (r, step))
+  in
+  let fits t step =
+    List.for_all
+      (fun (r, units) ->
+        let cap =
+          match Hashtbl.find_opt capacity r with Some c -> c | None -> 0
+        in
+        let rec ok s =
+          s >= step + t.duration || (used r s + units <= cap && ok (s + 1))
+        in
+        ok step)
+      t.demands
+  in
+  let reserve t step =
+    List.iter
+      (fun (r, units) ->
+        for s = step to step + t.duration - 1 do
+          Hashtbl.replace usage (r, s) (used r s + units)
+        done)
+      t.demands
+  in
+  (* finish.(task, k) and start.(task, k) *)
+  let finish = Hashtbl.create 256 and start = Hashtbl.create 256 in
+  let pin_stalls = ref 0 in
+  for k = 0 to instances - 1 do
+    List.iter
+      (fun t ->
+        let dep_ready =
+          List.fold_left
+            (fun acc d -> max acc (Hashtbl.find finish (d, k)))
+            0 t.deps
+        in
+        let hw_free =
+          if k = 0 then 0 else Hashtbl.find start (t.tname, k - 1) + t.restart
+        in
+        let earliest = max dep_ready hw_free in
+        let rec place s =
+          if fits t s then s
+          else begin
+            incr pin_stalls;
+            place (s + 1)
+          end
+        in
+        let s = place earliest in
+        reserve t s;
+        Hashtbl.replace start (t.tname, k) s;
+        Hashtbl.replace finish (t.tname, k) (s + t.duration))
+      order
+  done;
+  let completion k =
+    List.fold_left (fun acc t -> max acc (Hashtbl.find finish (t.tname, k))) 0 tasks
+  in
+  let first_latency = completion 0 in
+  let makespan = completion (instances - 1) in
+  let achieved_ii =
+    if instances < 2 then float_of_int first_latency
+    else
+      float_of_int (makespan - first_latency) /. float_of_int (instances - 1)
+  in
+  { instances; first_latency; makespan; achieved_ii; pin_stalls = !pin_stalls }
+
+let throughput_consistent ?(tolerance = 0.10) (system : Integration.system) r =
+  r.achieved_ii
+  <= (float_of_int system.Integration.ii_main *. (1. +. tolerance)) +. 1e-9

@@ -1,0 +1,37 @@
+(** Multi-instance system simulation.
+
+    CHOP's integration step *predicts* the initiation interval and system
+    delay of the macro-pipeline (partitions + data-transfer tasks sharing
+    pins and memory ports).  This simulator *executes* that pipeline: it
+    injects a stream of problem instances, lets every task of every
+    instance contend for the real resources — each task's own hardware
+    (re-startable only at the task's initiation interval), the chips' data
+    pins and the memory ports — and measures the achieved steady-state
+    rate and first-instance latency.  The bench and tests use it to verify
+    the integration predictions the way [chop_rtl] verifies BAD's. *)
+
+type result = {
+  instances : int;
+  first_latency : int;  (** cycles until instance 0 completes *)
+  makespan : int;  (** cycles until the last instance completes *)
+  achieved_ii : float;
+      (** steady-state initiation interval: completion spacing averaged
+          over the simulated stream (equals [makespan - first_latency]
+          divided by [instances - 1] for >= 2 instances) *)
+  pin_stalls : int;
+      (** task-starts delayed waiting for pins or ports, summed over the
+          whole run *)
+}
+
+exception Unsimulatable of string
+
+val simulate : Integration.context -> ?instances:int -> Integration.system -> result
+(** Simulates [instances] (default 8) problem instances through the given
+    (feasible) system.  @raise Unsimulatable when the system carries no
+    task structure (an integration that failed before scheduling). *)
+
+val throughput_consistent : ?tolerance:float -> Integration.system -> result -> bool
+(** Does the simulated steady-state rate respect the predicted initiation
+    interval within [tolerance] (default 0.10, i.e. 10% slack)?  The
+    prediction is an upper bound on the rate, so the check is
+    [achieved_ii <= predicted * (1 + tolerance)]. *)

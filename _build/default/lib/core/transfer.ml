@@ -1,0 +1,127 @@
+type endpoint = Partition_end of string | World
+
+type task = {
+  dt_name : string;
+  src : endpoint;
+  dst : endpoint;
+  bits : Chop_util.Units.bits;
+  src_chip : string option;
+  dst_chip : string option;
+  cross_chip : bool;
+}
+
+let create spec =
+  let pg = spec.Spec.partitioning in
+  let chip_of label = (Spec.chip_of_partition spec label).Spec.chip_name in
+  let flow_tasks =
+    List.map
+      (fun f ->
+        let src_chip = chip_of f.Chop_dfg.Partition.producer in
+        let dst_chip = chip_of f.Chop_dfg.Partition.consumer in
+        {
+          dt_name =
+            Printf.sprintf "dt_%s_to_%s" f.Chop_dfg.Partition.producer
+              f.Chop_dfg.Partition.consumer;
+          src = Partition_end f.Chop_dfg.Partition.producer;
+          dst = Partition_end f.Chop_dfg.Partition.consumer;
+          bits = f.Chop_dfg.Partition.bits;
+          src_chip = Some src_chip;
+          dst_chip = Some dst_chip;
+          cross_chip = src_chip <> dst_chip;
+        })
+      (Chop_dfg.Partition.flows pg)
+  in
+  let io_tasks =
+    List.concat_map
+      (fun p ->
+        let label = p.Chop_dfg.Partition.label in
+        let chip = chip_of label in
+        let in_bits = Chop_dfg.Partition.external_input_bits pg p in
+        let out_bits = Chop_dfg.Partition.external_output_bits pg p in
+        let input_task =
+          if in_bits = 0 then []
+          else
+            [
+              {
+                dt_name = Printf.sprintf "dt_in_%s" label;
+                src = World;
+                dst = Partition_end label;
+                bits = in_bits;
+                src_chip = None;
+                dst_chip = Some chip;
+                cross_chip = true;
+              };
+            ]
+        in
+        let output_task =
+          if out_bits = 0 then []
+          else
+            [
+              {
+                dt_name = Printf.sprintf "dt_out_%s" label;
+                src = Partition_end label;
+                dst = World;
+                bits = out_bits;
+                src_chip = Some chip;
+                dst_chip = None;
+                cross_chip = true;
+              };
+            ]
+        in
+        input_task @ output_task)
+      pg.Chop_dfg.Partition.parts
+  in
+  flow_tasks @ io_tasks
+
+let chips_of t =
+  List.filter_map Fun.id [ t.src_chip; t.dst_chip ]
+  |> List.sort_uniq String.compare
+
+let control_pins_on _spec tasks chip_name =
+  2
+  * List.length
+      (List.filter
+         (fun t -> t.cross_chip && List.mem chip_name (chips_of t))
+         tasks)
+
+let memory_lines_on spec chip_name =
+  let hosted =
+    List.filter
+      (fun m -> Spec.memory_host spec m.Chop_tech.Memory.mname = Some chip_name)
+      spec.Spec.memories
+  in
+  let accessed =
+    (* blocks touched by partitions living on this chip *)
+    List.concat_map
+      (fun p ->
+        Spec.memories_of_partition spec p.Chop_dfg.Partition.label)
+      (Spec.partitions_on spec chip_name)
+    |> List.sort_uniq (fun a b ->
+           String.compare a.Chop_tech.Memory.mname b.Chop_tech.Memory.mname)
+  in
+  let select_rw =
+    let blocks =
+      List.sort_uniq
+        (fun a b -> String.compare a.Chop_tech.Memory.mname b.Chop_tech.Memory.mname)
+        (hosted @ accessed)
+    in
+    Chop_util.Listx.sum_by Chop_tech.Memory.select_rw_lines blocks
+  in
+  (* an accessing chip drives the data bus of off-chip blocks and of blocks
+     hosted on other chips *)
+  let bus =
+    Chop_util.Listx.sum_by
+      (fun m ->
+        match Spec.memory_host spec m.Chop_tech.Memory.mname with
+        | Some host when host = chip_name -> 0
+        | Some _ -> m.Chop_tech.Memory.word_width (* remote on-chip block *)
+        | None -> Chop_tech.Memory.bus_pins m)
+      accessed
+  in
+  select_rw + bus
+
+let pp ppf t =
+  let ep = function Partition_end l -> l | World -> "<world>" in
+  Format.fprintf ppf "%s: %s -> %s, %d bits%s" t.dt_name (ep t.src) (ep t.dst)
+    t.bits
+    (if t.cross_chip then "" else " (on-chip)")

@@ -1,0 +1,43 @@
+(** Data-transfer task creation.
+
+    "When the information about partition and memory block assignments is
+    available, data transfer tasks are created by CHOP to transfer data
+    among partitions ...  This process involves determining the manner and
+    the amount of data to be transferred, reserving enough pins for control
+    signals to assure proper communication between distributed controllers
+    and also for other necessary signal pins which are not shared (Select,
+    R/W lines for memory blocks)" (paper, section 2.4). *)
+
+type endpoint =
+  | Partition_end of string  (** a partition label *)
+  | World  (** off-board environment: primary inputs / outputs *)
+
+type task = {
+  dt_name : string;
+  src : endpoint;
+  dst : endpoint;
+  bits : Chop_util.Units.bits;  (** data volume per problem instance *)
+  src_chip : string option;  (** [None] when the source is the world *)
+  dst_chip : string option;
+  cross_chip : bool;
+      (** true when the transfer needs package pins on some chip *)
+}
+
+val create : Spec.t -> task list
+(** One task per inter-partition flow, plus one input task per partition
+    consuming primary inputs and one output task per partition driving
+    primary outputs.  Same-chip flows are kept as dependence-only tasks
+    ([cross_chip = false]): they consume no pins. *)
+
+val control_pins_on : Spec.t -> task list -> string -> int
+(** Handshake pins the distributed-control scheme reserves on the chip: two
+    per cross-chip task touching it. *)
+
+val memory_lines_on : Spec.t -> string -> int
+(** Select/R+W lines reserved on the chip for every memory block it hosts
+    or accesses, plus bus pins for off-chip blocks its partitions access. *)
+
+val chips_of : task -> string list
+(** Chips whose pins the task consumes (0, 1 or 2). *)
+
+val pp : Format.formatter -> task -> unit

@@ -1,0 +1,1 @@
+lib/dfg/analysis.ml: Float Graph Hashtbl Int List Map Op Option Printf Set String

@@ -1,0 +1,1 @@
+lib/dfg/behavior.ml: Chop_util Graph Hashtbl List Map Op Printf String

@@ -1,0 +1,1 @@
+lib/dfg/behavior.mli: Chop_util Graph

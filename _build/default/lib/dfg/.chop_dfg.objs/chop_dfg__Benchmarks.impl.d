@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.ml: Array Chop_util Graph List Op Printf Random

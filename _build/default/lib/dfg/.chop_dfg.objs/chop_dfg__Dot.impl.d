@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Buffer Graph List Op Partition Printf

@@ -1,0 +1,1 @@
+lib/dfg/eval.ml: Chop_util Graph Hashtbl List Op Option Partition Printf Random String

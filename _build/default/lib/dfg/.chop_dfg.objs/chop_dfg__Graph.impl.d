@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Chop_util Format Hashtbl Int List Map Op Option Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/dfg/graph.mli: Chop_util Format Op

@@ -1,0 +1,1 @@
+lib/dfg/partition.ml: Analysis Array Chop_util Format Graph Hashtbl Int List Map Op Option Printf Queue Stdlib String

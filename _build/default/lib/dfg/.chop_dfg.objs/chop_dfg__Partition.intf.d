@@ -1,0 +1,1 @@
+lib/dfg/partition.mli: Chop_util Format Graph

@@ -1,0 +1,1 @@
+lib/dfg/transform.ml: Graph Hashtbl Int List Op Printf Set

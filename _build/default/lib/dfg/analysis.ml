@@ -1,0 +1,126 @@
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+let topological_order g = List.map (fun n -> n.Graph.id) (Graph.nodes g)
+
+let effective_latency latency n =
+  if Op.is_computational n.Graph.op then max 0 (latency n) else 0
+
+let default_latency _ = 1
+
+let asap ?(latency = default_latency) g =
+  let order = topological_order g in
+  let start =
+    List.fold_left
+      (fun acc id ->
+        let s =
+          List.fold_left
+            (fun s p ->
+              let pn = Graph.node g p in
+              max s (IntMap.find p acc + effective_latency latency pn))
+            0 (Graph.preds g id)
+        in
+        IntMap.add id s acc)
+      IntMap.empty order
+  in
+  List.map (fun id -> (id, IntMap.find id start)) order
+
+let critical_path ?(latency = default_latency) g =
+  List.fold_left
+    (fun acc (id, s) -> max acc (s + effective_latency latency (Graph.node g id)))
+    0
+    (asap ~latency g)
+
+let alap ?(latency = default_latency) ~length g =
+  let cp = critical_path ~latency g in
+  if length < cp then
+    invalid_arg
+      (Printf.sprintf "Analysis.alap: length %d below critical path %d" length cp);
+  let order = List.rev (topological_order g) in
+  let late_start =
+    List.fold_left
+      (fun acc id ->
+        let f =
+          List.fold_left
+            (fun f s -> min f (IntMap.find s acc))
+            length (Graph.succs g id)
+        in
+        (* a node must finish before any successor's latest start *)
+        let n = Graph.node g id in
+        IntMap.add id (f - effective_latency latency n) acc)
+      IntMap.empty order
+  in
+  List.map (fun id -> (id, IntMap.find id late_start)) (topological_order g)
+
+let critical_path_ns ~delay g =
+  let order = topological_order g in
+  let fin =
+    List.fold_left
+      (fun acc id ->
+        let n = Graph.node g id in
+        let d = if Op.is_computational n.Graph.op then delay n else 0. in
+        let s =
+          List.fold_left (fun s p -> Float.max s (IntMap.find p acc)) 0.
+            (Graph.preds g id)
+        in
+        IntMap.add id (s +. d) acc)
+      IntMap.empty order
+  in
+  IntMap.fold (fun _ v acc -> Float.max v acc) fin 0.
+
+let slack ?(latency = default_latency) g =
+  let cp = critical_path ~latency g in
+  let early = asap ~latency g and late = alap ~latency ~length:cp g in
+  List.map2
+    (fun (id, e) (id', l) ->
+      assert (id = id');
+      (id, l - e))
+    early late
+
+let levels g =
+  let early = asap g in
+  let by_level = Hashtbl.create 16 in
+  List.iter
+    (fun (id, s) ->
+      if Op.is_computational (Graph.node g id).Graph.op then
+        Hashtbl.replace by_level s
+          (id :: Option.value ~default:[] (Hashtbl.find_opt by_level s)))
+    early;
+  Hashtbl.fold (fun lvl ids acc -> (lvl, List.rev ids) :: acc) by_level []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let max_width_profile ?(latency = default_latency) g =
+  let early = asap ~latency g in
+  (* count, per step and class, how many operations are active *)
+  let active = Hashtbl.create 64 in
+  List.iter
+    (fun (id, s) ->
+      let n = Graph.node g id in
+      if Op.is_computational n.Graph.op then
+        let cls = Op.functional_class n.Graph.op in
+        let lat = max 1 (effective_latency latency n) in
+        for step = s to s + lat - 1 do
+          let key = (cls, step) in
+          Hashtbl.replace active key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt active key))
+        done)
+    early;
+  let best = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (cls, _) n ->
+      Hashtbl.replace best cls (max n (Option.value ~default:0 (Hashtbl.find_opt best cls))))
+    active;
+  Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reachable g ~from =
+  let seen = ref IntSet.empty in
+  let rec visit id =
+    if not (IntSet.mem id !seen) then begin
+      seen := IntSet.add id !seen;
+      List.iter visit (Graph.succs g id)
+    end
+  in
+  List.iter visit from;
+  List.filter (fun id -> IntSet.mem id !seen) (topological_order g)

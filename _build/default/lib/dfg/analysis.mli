@@ -1,0 +1,42 @@
+(** Static analyses on data-flow graphs: topological order, ASAP/ALAP
+    schedules, critical path and level structure.
+
+    Times are expressed in abstract steps.  A [latency] function gives the
+    number of steps each node occupies; boundary nodes ([Input], [Output],
+    [Const]) always take 0 steps regardless of [latency]. *)
+
+val topological_order : Graph.t -> Graph.node_id list
+
+val asap : ?latency:(Graph.node -> int) -> Graph.t -> (Graph.node_id * int) list
+(** Earliest start step of every node.  [latency] defaults to 1 step per
+    computational node. *)
+
+val alap :
+  ?latency:(Graph.node -> int) -> length:int -> Graph.t -> (Graph.node_id * int) list
+(** Latest start steps such that every node finishes by [length].
+    @raise Invalid_argument when [length] is smaller than the critical
+    path. *)
+
+val critical_path : ?latency:(Graph.node -> int) -> Graph.t -> int
+(** Total steps of the longest dependence chain. *)
+
+val critical_path_ns :
+  delay:(Graph.node -> float) -> Graph.t -> float
+(** Longest chain when each node has a real-valued delay (used for
+    non-discretized delay estimates). *)
+
+val slack : ?latency:(Graph.node -> int) -> Graph.t -> (Graph.node_id * int) list
+(** ALAP (at critical-path length) minus ASAP, per node. *)
+
+val levels : Graph.t -> Graph.node_id list list
+(** Computational nodes grouped by ASAP level under unit latency, in
+    ascending level order.  Boundary nodes are omitted. *)
+
+val max_width_profile :
+  ?latency:(Graph.node -> int) -> Graph.t -> (string * int) list
+(** For each functional class, the maximum number of operations of that
+    class active in any single ASAP step — an upper bound on useful
+    functional-unit parallelism. *)
+
+val reachable : Graph.t -> from:Graph.node_id list -> Graph.node_id list
+(** Forward closure of [from] (inclusive). *)

@@ -1,0 +1,181 @@
+type binop = Add | Sub | Mul | Div | Less | Band | Shl
+
+type expr =
+  | Var of string
+  | Const of string
+  | Bin of binop * expr * expr
+  | Load of string
+  | Mux of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr
+  | For of int * stmt list
+  | If of expr * stmt list * stmt list
+
+type program = {
+  prog_name : string;
+  width : Chop_util.Units.bits;
+  inputs : string list;
+  outputs : string list;
+  body : stmt list;
+}
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let op_of_binop = function
+  | Add -> Op.Add
+  | Sub -> Op.Sub
+  | Mul -> Op.Mult
+  | Div -> Op.Div
+  | Less -> Op.Compare
+  | Band -> Op.Logic
+  | Shl -> Op.Shift
+
+module SMap = Map.Make (String)
+
+type env = {
+  builder : Graph.builder;
+  width : int;
+  mutable vars : Graph.node_id SMap.t;
+  mutable consts : Graph.node_id SMap.t;  (** named coefficients, interned *)
+  mutable fresh : int;
+}
+
+let fresh_name env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "%s%d" prefix env.fresh
+
+let rec eval env = function
+  | Var name -> (
+      match SMap.find_opt name env.vars with
+      | Some id -> id
+      | None -> fail "unbound variable %S" name)
+  | Const name -> (
+      match SMap.find_opt name env.consts with
+      | Some id -> id
+      | None ->
+          let id =
+            Graph.add_node env.builder ~name ~op:Op.Const ~width:env.width
+          in
+          env.consts <- SMap.add name id env.consts;
+          id)
+  | Bin (op, a, b) ->
+      let ida = eval env a in
+      let idb = eval env b in
+      let n =
+        Graph.add_node env.builder
+          ~name:(fresh_name env "e")
+          ~op:(op_of_binop op) ~width:env.width
+      in
+      Graph.add_edge env.builder ~src:ida ~dst:n;
+      Graph.add_edge env.builder ~src:idb ~dst:n;
+      n
+  | Load block ->
+      Graph.add_node env.builder
+        ~name:(fresh_name env "ld")
+        ~op:(Op.Mem_read block) ~width:env.width
+  | Mux (c, a, b) ->
+      let idc = eval env c in
+      let ida = eval env a in
+      let idb = eval env b in
+      let n =
+        Graph.add_node env.builder
+          ~name:(fresh_name env "sel")
+          ~op:Op.Select ~width:env.width
+      in
+      Graph.add_edge env.builder ~src:idc ~dst:n;
+      Graph.add_edge env.builder ~src:ida ~dst:n;
+      Graph.add_edge env.builder ~src:idb ~dst:n;
+      n
+
+let rec exec env = function
+  | Assign (name, e) ->
+      let id = eval env e in
+      env.vars <- SMap.add name id env.vars
+  | Store (block, e) ->
+      let id = eval env e in
+      let n =
+        Graph.add_node env.builder
+          ~name:(fresh_name env "st")
+          ~op:(Op.Mem_write block) ~width:env.width
+      in
+      Graph.add_edge env.builder ~src:id ~dst:n
+  | For (count, body) ->
+      if count < 1 then fail "loop count %d < 1" count;
+      if body = [] then fail "empty loop body";
+      for _ = 1 to count do
+        List.iter (exec env) body
+      done
+  | If (cond, then_body, else_body) ->
+      (* speculative execution of both branches; variables assigned in
+         either branch are merged with a Select on the condition *)
+      let idc = eval env cond in
+      let before = env.vars in
+      List.iter (exec env) then_body;
+      let after_then = env.vars in
+      env.vars <- before;
+      List.iter (exec env) else_body;
+      let after_else = env.vars in
+      let merged =
+        SMap.merge
+          (fun _name t e ->
+            match (t, e) with
+            | Some t, Some e when t = e -> Some t
+            | Some t, Some e ->
+                let n =
+                  Graph.add_node env.builder
+                    ~name:(fresh_name env "phi")
+                    ~op:Op.Select ~width:env.width
+                in
+                Graph.add_edge env.builder ~src:idc ~dst:n;
+                Graph.add_edge env.builder ~src:t ~dst:n;
+                Graph.add_edge env.builder ~src:e ~dst:n;
+                Some n
+            | Some t, None -> Some t
+            | None, Some e -> Some e
+            | None, None -> None)
+          after_then after_else
+      in
+      env.vars <- merged
+
+let compile (p : program) =
+  if p.width <= 0 then fail "non-positive width";
+  let b = Graph.builder ~name:p.prog_name () in
+  let env =
+    { builder = b; width = p.width; vars = SMap.empty; consts = SMap.empty;
+      fresh = 0 }
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      if Hashtbl.mem seen name then fail "duplicate input %S" name;
+      Hashtbl.replace seen name ();
+      let id = Graph.add_node b ~name ~op:Op.Input ~width:p.width in
+      env.vars <- SMap.add name id env.vars)
+    p.inputs;
+  List.iter (exec env) p.body;
+  List.iter
+    (fun name ->
+      match SMap.find_opt name env.vars with
+      | None -> fail "output %S is never assigned" name
+      | Some id ->
+          let o =
+            Graph.add_node b ~name:("out_" ^ name) ~op:Op.Output ~width:p.width
+          in
+          Graph.add_edge b ~src:id ~dst:o)
+    p.outputs;
+  match Graph.build b with
+  | g -> g
+  | exception Graph.Invalid_graph reason -> fail "invalid graph: %s" reason
+
+let stmt_count (p : program) =
+  let rec count = function
+    | Assign _ | Store _ -> 1
+    | For (n, body) -> n * Chop_util.Listx.sum_by count body
+    | If (_, t, e) ->
+        1 + Chop_util.Listx.sum_by count t + Chop_util.Listx.sum_by count e
+  in
+  Chop_util.Listx.sum_by count p.body

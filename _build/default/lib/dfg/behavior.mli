@@ -1,0 +1,53 @@
+(** A small behavioral input language.
+
+    CHOP's input is "the behavioral specification in the form of a data
+    flow graph (with added control constructs)" (paper, section 2.2).  This
+    module provides the front end that produces such graphs: a tiny
+    imperative language with single-assignment semantics per statement,
+    bounded [for] loops (fully unrolled, per the section 2.3 restriction)
+    and value-selecting [if] (compiled to [Compare]/[Select] nodes — the
+    "added control constructs"). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Less  (** comparison producing a 1-bit-ish condition value *)
+  | Band  (** bitwise and *)
+  | Shl  (** shift left by a value *)
+
+type expr =
+  | Var of string  (** current value of a variable, input or constant *)
+  | Const of string  (** a named coefficient (materialized as a Const node) *)
+  | Bin of binop * expr * expr
+  | Load of string  (** read the named memory block *)
+  | Mux of expr * expr * expr  (** [Mux (cond, a, b)]: a when cond else b *)
+
+type stmt =
+  | Assign of string * expr  (** (re)bind a variable *)
+  | Store of string * expr  (** write a value to the named memory block *)
+  | For of int * stmt list
+      (** determinate-count loop, fully unrolled at compile time *)
+  | If of expr * stmt list * stmt list
+      (** both branches execute; variables assigned in either branch get a
+          [Select] merge — speculation, as behavioral synthesis does *)
+
+type program = {
+  prog_name : string;
+  width : Chop_util.Units.bits;  (** data-path width of every value *)
+  inputs : string list;
+  outputs : string list;  (** variables published as primary outputs *)
+  body : stmt list;
+}
+
+exception Compile_error of string
+
+val compile : program -> Graph.t
+(** Compiles to an acyclic data-flow graph.  @raise Compile_error on: use
+    of an unbound variable, a name that is both input and constant, an
+    output never assigned (and not an input), an empty or non-positive
+    loop, or a non-positive width. *)
+
+val stmt_count : program -> int
+(** Statements after loop unrolling — a size estimate. *)

@@ -1,0 +1,310 @@
+let default_width = 16
+
+let ar_lattice_filter ?(width = default_width) () =
+  let b = Graph.builder ~name:"ar_lattice_filter" () in
+  let input name = Graph.add_node b ~name ~op:Op.Input ~width in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let mul name x y =
+    let n = Graph.add_node b ~name ~op:Op.Mult ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let add name x y =
+    let n = Graph.add_node b ~name ~op:Op.Add ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let output name v =
+    let o = Graph.add_node b ~name ~op:Op.Output ~width in
+    Graph.add_edge b ~src:v ~dst:o
+  in
+  let f0 = input "f_in" and b0 = input "b_in" in
+  (* Four lattice sections; each contributes 4 multiplications and
+     3 additions (total 16 mul + 12 add = 28 operations, as in Fig. 6). *)
+  let section k (f, b_) =
+    let k1 = const (Printf.sprintf "K%d_f" k)
+    and k2 = const (Printf.sprintf "K%d_b" k)
+    and c = const (Printf.sprintf "C%d" k)
+    and d = const (Printf.sprintf "D%d" k) in
+    let t1 = mul (Printf.sprintf "m%d_fb" k) k1 b_ in
+    let t2 = mul (Printf.sprintf "m%d_bf" k) k2 f in
+    let f1 = add (Printf.sprintf "a%d_f" k) f t1 in
+    let b1 = add (Printf.sprintf "a%d_b" k) b_ t2 in
+    (* the section output taps scale the *incoming* lattice values, keeping
+       all four multiplications of a section on one level (the lattice is
+       2 levels deep per section, 8 overall) *)
+    let u1 = mul (Printf.sprintf "m%d_c" k) c f in
+    let u2 = mul (Printf.sprintf "m%d_d" k) d b_ in
+    let y = add (Printf.sprintf "a%d_y" k) u1 u2 in
+    output (Printf.sprintf "y%d" k) y;
+    (f1, b1)
+  in
+  let f4, b4 =
+    List.fold_left (fun fb k -> section k fb) (f0, b0) [ 1; 2; 3; 4 ]
+  in
+  output "f_out" f4;
+  output "b_out" b4;
+  Graph.build b
+
+let elliptic_wave_filter ?(width = default_width) () =
+  let b = Graph.builder ~name:"elliptic_wave_filter" () in
+  let input name = Graph.add_node b ~name ~op:Op.Input ~width in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let add name x y =
+    let n = Graph.add_node b ~name ~op:Op.Add ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let mul name c x =
+    let n = Graph.add_node b ~name ~op:Op.Mult ~width in
+    Graph.add_edge b ~src:c ~dst:n;
+    Graph.add_edge b ~src:x ~dst:n;
+    n
+  in
+  let output name v =
+    let o = Graph.add_node b ~name ~op:Op.Output ~width in
+    Graph.add_edge b ~src:v ~dst:o
+  in
+  (* Fifth-order wave digital filter, one sample iteration unrolled:
+     primary input plus 7 state inputs, 26 additions, 8 constant
+     multiplications, 7 next-state outputs and the sample output. *)
+  let x = input "x" in
+  let s = Array.init 7 (fun i -> input (Printf.sprintf "s%d" i)) in
+  let c = Array.init 8 (fun i -> const (Printf.sprintf "c%d" i)) in
+  let a1 = add "a1" x s.(0) in
+  let a2 = add "a2" s.(1) s.(2) in
+  let a3 = add "a3" a1 a2 in
+  let m1 = mul "m1" c.(0) a3 in
+  let a4 = add "a4" m1 s.(1) in
+  let a5 = add "a5" m1 s.(2) in
+  let a6 = add "a6" a4 a5 in
+  let m2 = mul "m2" c.(1) a6 in
+  let a7 = add "a7" m2 a1 in
+  let a8 = add "a8" a7 s.(3) in
+  let m3 = mul "m3" c.(2) a8 in
+  let a9 = add "a9" m3 s.(3) in
+  let a10 = add "a10" a9 a7 in
+  let a11 = add "a11" s.(4) s.(5) in
+  let a12 = add "a12" a10 a11 in
+  let m4 = mul "m4" c.(3) a12 in
+  let a13 = add "a13" m4 s.(4) in
+  let a14 = add "a14" m4 s.(5) in
+  let a15 = add "a15" a13 a14 in
+  let m5 = mul "m5" c.(4) a15 in
+  let a16 = add "a16" m5 a10 in
+  let a17 = add "a17" a16 s.(6) in
+  let m6 = mul "m6" c.(5) a17 in
+  let a18 = add "a18" m6 s.(6) in
+  let a19 = add "a19" a18 a16 in
+  let m7 = mul "m7" c.(6) a19 in
+  let a20 = add "a20" m7 a17 in
+  let m8 = mul "m8" c.(7) a20 in
+  let a21 = add "a21" m8 a19 in
+  let a22 = add "a22" a21 a12 in
+  let a23 = add "a23" a4 a8 in
+  let a24 = add "a24" a13 a18 in
+  let a25 = add "a25" a23 a22 in
+  let a26 = add "a26" a24 a25 in
+  output "y" a26;
+  output "ns0" a3;
+  output "ns1" a6;
+  output "ns2" a9;
+  output "ns3" a15;
+  output "ns4" a20;
+  output "ns5" a21;
+  output "ns6" a22;
+  Graph.build b
+
+let fir_filter ?(width = default_width) ~taps () =
+  if taps < 2 then invalid_arg "Benchmarks.fir_filter: taps < 2";
+  let b = Graph.builder ~name:(Printf.sprintf "fir%d" taps) () in
+  let products =
+    List.map
+      (fun i ->
+        let x = Graph.add_node b ~name:(Printf.sprintf "x%d" i) ~op:Op.Input ~width in
+        let c = Graph.add_node b ~name:(Printf.sprintf "h%d" i) ~op:Op.Const ~width in
+        let m = Graph.add_node b ~name:(Printf.sprintf "p%d" i) ~op:Op.Mult ~width in
+        Graph.add_edge b ~src:x ~dst:m;
+        Graph.add_edge b ~src:c ~dst:m;
+        m)
+      (Chop_util.Listx.range 0 (taps - 1))
+  in
+  (* balanced adder tree *)
+  let rec reduce level = function
+    | [] -> invalid_arg "Benchmarks.fir_filter: empty"
+    | [ v ] -> v
+    | vs ->
+        let rec pair i = function
+          | [] -> []
+          | [ v ] -> [ v ]
+          | v1 :: v2 :: rest ->
+              let a =
+                Graph.add_node b
+                  ~name:(Printf.sprintf "s%d_%d" level i)
+                  ~op:Op.Add ~width
+              in
+              Graph.add_edge b ~src:v1 ~dst:a;
+              Graph.add_edge b ~src:v2 ~dst:a;
+              a :: pair (i + 1) rest
+        in
+        reduce (level + 1) (pair 0 vs)
+  in
+  let y = reduce 0 products in
+  let o = Graph.add_node b ~name:"y" ~op:Op.Output ~width in
+  Graph.add_edge b ~src:y ~dst:o;
+  Graph.build b
+
+let diffeq ?(width = default_width) () =
+  let b = Graph.builder ~name:"diffeq" () in
+  let input name = Graph.add_node b ~name ~op:Op.Input ~width in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let binop op name x y =
+    let n = Graph.add_node b ~name ~op ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let output name v =
+    let o = Graph.add_node b ~name ~op:Op.Output ~width in
+    Graph.add_edge b ~src:v ~dst:o
+  in
+  let x = input "x" and y = input "y" and u = input "u" in
+  let dx = input "dx" and a = input "a" in
+  let three = const "three" in
+  let m1 = binop Op.Mult "m1" three x in
+  let m2 = binop Op.Mult "m2" m1 u in
+  let m3 = binop Op.Mult "m3" m2 dx in
+  let m4 = binop Op.Mult "m4" three y in
+  let m5 = binop Op.Mult "m5" m4 dx in
+  let m6 = binop Op.Mult "m6" u dx in
+  let s1 = binop Op.Sub "s1" u m3 in
+  let s2 = binop Op.Sub "s2" s1 m5 in
+  let a1 = binop Op.Add "a1" x dx in
+  let a2 = binop Op.Add "a2" y m6 in
+  let cmp = binop Op.Compare "cmp" a1 a in
+  output "u1" s2;
+  output "x1" a1;
+  output "y1" a2;
+  output "cond" cmp;
+  Graph.build b
+
+let dct8 ?(width = default_width) () =
+  let b = Graph.builder ~name:"dct8" () in
+  let input name = Graph.add_node b ~name ~op:Op.Input ~width in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let add name x y =
+    let n = Graph.add_node b ~name ~op:Op.Add ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let sub name x y =
+    let n = Graph.add_node b ~name ~op:Op.Sub ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let mul name c x =
+    let n = Graph.add_node b ~name ~op:Op.Mult ~width in
+    Graph.add_edge b ~src:c ~dst:n;
+    Graph.add_edge b ~src:x ~dst:n;
+    n
+  in
+  let output name v =
+    let o = Graph.add_node b ~name ~op:Op.Output ~width in
+    Graph.add_edge b ~src:v ~dst:o
+  in
+  let x = Array.init 8 (fun i -> input (Printf.sprintf "x%d" i)) in
+  let c = Array.init 7 (fun i -> const (Printf.sprintf "c%d" i)) in
+  (* stage 1: 8 butterflies halves *)
+  let s1a = Array.init 4 (fun i -> add (Printf.sprintf "s1a%d" i) x.(i) x.(7 - i)) in
+  let s1s = Array.init 4 (fun i -> sub (Printf.sprintf "s1s%d" i) x.(i) x.(7 - i)) in
+  (* stage 2: even part butterflies, odd part rotations *)
+  let e_a0 = add "e_a0" s1a.(0) s1a.(3) in
+  let e_a1 = add "e_a1" s1a.(1) s1a.(2) in
+  let e_s0 = sub "e_s0" s1a.(0) s1a.(3) in
+  let e_s1 = sub "e_s1" s1a.(1) s1a.(2) in
+  (* odd part: two rotators (3 mult + 3 add each in the fast form) *)
+  let rot tag k a b =
+    (* (a, b) -> (a cos + b sin, -a sin + b cos) via 3 mults, 3 adds *)
+    let t = mul (tag ^ "_mt") c.(k) (add (tag ^ "_s") a b) in
+    let u = mul (tag ^ "_mu") c.(k + 1) a in
+    let v = mul (tag ^ "_mv") c.(k + 2) b in
+    (sub (tag ^ "_o0") t u, sub (tag ^ "_o1") t v)
+  in
+  let o0, o1 = rot "r1" 0 s1s.(0) s1s.(3) in
+  let o2, o3 = rot "r2" 3 s1s.(1) s1s.(2) in
+  (* stage 3 *)
+  let y0 = add "y0pre" e_a0 e_a1 in
+  let y4 = sub "y4pre" e_a0 e_a1 in
+  let t2, t3 = rot "r3" 0 e_s0 e_s1 in
+  let od_a0 = add "od_a0" o0 o2 in
+  let od_a1 = add "od_a1" o1 o3 in
+  let od_s0 = sub "od_s0" o0 o2 in
+  let od_s1 = sub "od_s1" o1 o3 in
+  (* stage 4: final scalings *)
+  let y1 = add "y1pre" od_a0 od_a1 in
+  let y7 = sub "y7pre" od_a0 od_a1 in
+  let y3 = mul "y3pre" c.(5) od_s0 in
+  let y5 = mul "y5pre" c.(6) od_s1 in
+  output "y0" y0;
+  output "y1" y1;
+  output "y2" t2;
+  output "y3" y3;
+  output "y4" y4;
+  output "y5" y5;
+  output "y6" t3;
+  output "y7" y7;
+  Graph.build b
+
+let memory_pipeline ?(width = default_width) ~blocks () =
+  let src, dst = blocks in
+  let b = Graph.builder ~name:"memory_pipeline" () in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let r1 = Graph.add_node b ~name:"load0" ~op:(Op.Mem_read src) ~width in
+  let r2 = Graph.add_node b ~name:"load1" ~op:(Op.Mem_read src) ~width in
+  let c1 = const "k0" and c2 = const "k1" in
+  let m1 = Graph.add_node b ~name:"scale0" ~op:Op.Mult ~width in
+  let m2 = Graph.add_node b ~name:"scale1" ~op:Op.Mult ~width in
+  Graph.add_edge b ~src:r1 ~dst:m1;
+  Graph.add_edge b ~src:c1 ~dst:m1;
+  Graph.add_edge b ~src:r2 ~dst:m2;
+  Graph.add_edge b ~src:c2 ~dst:m2;
+  let s = Graph.add_node b ~name:"acc" ~op:Op.Add ~width in
+  Graph.add_edge b ~src:m1 ~dst:s;
+  Graph.add_edge b ~src:m2 ~dst:s;
+  let w = Graph.add_node b ~name:"store" ~op:(Op.Mem_write dst) ~width in
+  Graph.add_edge b ~src:s ~dst:w;
+  let o = Graph.add_node b ~name:"y" ~op:Op.Output ~width in
+  Graph.add_edge b ~src:s ~dst:o;
+  Graph.build b
+
+let random_dag ?(width = default_width) ~ops ~seed () =
+  if ops < 1 then invalid_arg "Benchmarks.random_dag: ops < 1";
+  let rng = Random.State.make [| seed; ops |] in
+  let b = Graph.builder ~name:(Printf.sprintf "random_%d_%d" ops seed) () in
+  let n_inputs = max 2 (ops / 4) in
+  let pool = ref [] in
+  for i = 0 to n_inputs - 1 do
+    pool := Graph.add_node b ~name:(Printf.sprintf "x%d" i) ~op:Op.Input ~width :: !pool
+  done;
+  for i = 0 to ops - 1 do
+    let op = if Random.State.bool rng then Op.Add else Op.Mult in
+    let n = Graph.add_node b ~name:(Printf.sprintf "op%d" i) ~op ~width in
+    let avail = Array.of_list !pool in
+    let pick () = avail.(Random.State.int rng (Array.length avail)) in
+    Graph.add_edge b ~src:(pick ()) ~dst:n;
+    Graph.add_edge b ~src:(pick ()) ~dst:n;
+    pool := n :: !pool
+  done;
+  (* the most recent values are the likeliest sinks; expose them as outputs *)
+  let sinks = Chop_util.Listx.take (max 1 (ops / 8)) !pool in
+  List.iteri
+    (fun i v ->
+      let o = Graph.add_node b ~name:(Printf.sprintf "y%d" i) ~op:Op.Output ~width in
+      Graph.add_edge b ~src:v ~dst:o)
+    sinks;
+  Graph.build b

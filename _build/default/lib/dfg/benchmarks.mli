@@ -1,0 +1,39 @@
+(** Standard behavioral benchmark graphs.
+
+    [ar_lattice_filter] reconstructs the AR lattice filter element of the
+    paper's Figure 6 (28 operations: 16 multiplications, 12 additions); the
+    others are the classic high-level-synthesis benchmarks contemporary with
+    CHOP, used by the extra examples and tests. *)
+
+val ar_lattice_filter : ?width:int -> unit -> Graph.t
+(** Four-section lattice, 16 multiplications + 12 additions, default
+    16-bit data path (the paper's library is 16-bit).  Coefficients are
+    [Const] nodes. *)
+
+val elliptic_wave_filter : ?width:int -> unit -> Graph.t
+(** Fifth-order elliptic wave filter (EWF): 26 additions and
+    8 multiplications, the other canonical ADAM-era benchmark. *)
+
+val fir_filter : ?width:int -> taps:int -> unit -> Graph.t
+(** Direct-form FIR filter: [taps] multiplications, [taps - 1] additions.
+    @raise Invalid_argument when [taps < 2]. *)
+
+val diffeq : ?width:int -> unit -> Graph.t
+(** The HAL differential-equation solver kernel (6 multiplications,
+    2 additions, 2 subtractions, 1 comparison). *)
+
+val dct8 : ?width:int -> unit -> Graph.t
+(** Eight-point DCT butterfly network in the Loeffler style: 29 additions
+    and 11 constant multiplications over four butterfly stages — a larger,
+    deeper workload than the AR filter. *)
+
+val memory_pipeline : ?width:int -> blocks:string * string -> unit -> Graph.t
+(** A kernel that streams data from one named memory block, computes a
+    multiply-accumulate stage, and writes to a second block — exercises
+    memory-bandwidth prediction and memory-mapped I/O. *)
+
+val random_dag :
+  ?width:int -> ops:int -> seed:int -> unit -> Graph.t
+(** Pseudo-random layered DAG over add/mult operations; deterministic for a
+    given [seed].  Used by property-based tests.
+    @raise Invalid_argument when [ops < 1]. *)

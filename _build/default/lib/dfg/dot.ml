@@ -1,0 +1,67 @@
+let node_attrs n =
+  match n.Graph.op with
+  | Op.Input -> "shape=invtriangle"
+  | Op.Output -> "shape=triangle"
+  | Op.Const -> "shape=diamond"
+  | Op.Mult | Op.Div -> "shape=circle"
+  | Op.Mem_read _ | Op.Mem_write _ -> "shape=box3d"
+  | Op.Add | Op.Sub | Op.Compare | Op.Logic | Op.Shift | Op.Select -> "shape=box"
+
+let emit_nodes buf g =
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s:%d\" %s];\n" n.Graph.id
+           n.Graph.name (Op.to_string n.Graph.op) n.Graph.width (node_attrs n)))
+    (Graph.nodes g)
+
+let of_graph g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" (Graph.name g));
+  emit_nodes buf g;
+  List.iter
+    (fun (s, d) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" s d))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_partitioning pg =
+  let g = pg.Partition.graph in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" (Graph.name g));
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=%S;\n" i
+           p.Partition.label);
+      List.iter
+        (fun id ->
+          let n = Graph.node g id in
+          Buffer.add_string buf
+            (Printf.sprintf "    n%d [label=%S %s];\n" id n.Graph.name
+               (node_attrs n)))
+        p.Partition.members;
+      Buffer.add_string buf "  }\n")
+    pg.Partition.parts;
+  (* boundary nodes outside clusters *)
+  List.iter
+    (fun n ->
+      if not (Op.is_computational n.Graph.op) then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=%S %s];\n" n.Graph.id n.Graph.name
+             (node_attrs n)))
+    (Graph.nodes g);
+  let same_part s d =
+    try
+      (Partition.part_of pg s).Partition.label
+      = (Partition.part_of pg d).Partition.label
+    with Not_found -> false
+  in
+  List.iter
+    (fun (s, d) ->
+      let style = if same_part s d then "" else " [style=dashed]" in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" s d style))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

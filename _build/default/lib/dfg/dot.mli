@@ -1,0 +1,6 @@
+(** Graphviz export of DFGs and partitionings, for inspection. *)
+
+val of_graph : Graph.t -> string
+
+val of_partitioning : Partition.partitioning -> string
+(** Clusters nodes by partition; cut edges are drawn dashed. *)

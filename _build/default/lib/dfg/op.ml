@@ -1,0 +1,74 @@
+type t =
+  | Input
+  | Output
+  | Const
+  | Add
+  | Sub
+  | Mult
+  | Div
+  | Compare
+  | Logic
+  | Shift
+  | Select
+  | Mem_read of string
+  | Mem_write of string
+
+let arity = function
+  | Input | Const -> (0, 0)
+  | Output -> (1, 1)
+  | Add | Sub | Mult | Div | Compare | Logic -> (2, 2)
+  | Shift -> (1, 2)
+  | Select -> (3, 3)
+  | Mem_read _ -> (0, 1) (* optional address operand *)
+  | Mem_write _ -> (1, 2) (* datum, optional address *)
+
+let is_computational = function
+  | Input | Output | Const -> false
+  | Add | Sub | Mult | Div | Compare | Logic | Shift | Select | Mem_read _
+  | Mem_write _ ->
+      true
+
+let is_memory = function Mem_read _ | Mem_write _ -> true | _ -> false
+
+let memory_block = function
+  | Mem_read m | Mem_write m -> Some m
+  | Input | Output | Const | Add | Sub | Mult | Div | Compare | Logic | Shift
+  | Select ->
+      None
+
+let functional_class = function
+  | Add | Sub | Compare -> "add"
+  | Mult -> "mult"
+  | Div -> "div"
+  | Logic -> "logic"
+  | Shift -> "shift"
+  | Select -> "select"
+  (* each memory block is its own resource class: its ports bound the
+     simultaneous accesses to that block *)
+  | Mem_read m | Mem_write m -> "memport:" ^ m
+  | (Input | Output | Const) as op ->
+      invalid_arg
+        (Printf.sprintf "Op.functional_class: %s is not computational"
+           (match op with
+           | Input -> "Input"
+           | Output -> "Output"
+           | _ -> "Const"))
+
+let to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Const -> "const"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mult -> "mult"
+  | Div -> "div"
+  | Compare -> "compare"
+  | Logic -> "logic"
+  | Shift -> "shift"
+  | Select -> "select"
+  | Mem_read m -> "mem_read[" ^ m ^ "]"
+  | Mem_write m -> "mem_write[" ^ m ^ "]"
+
+let equal a b = compare a b = 0
+let compare = Stdlib.compare
+let pp ppf op = Format.pp_print_string ppf (to_string op)

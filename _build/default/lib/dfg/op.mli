@@ -1,0 +1,43 @@
+(** Operation kinds of a behavioral specification.
+
+    The behavioral input to CHOP is a data-flow graph "with added control
+    constructs" (paper, section 2.2).  Memory and I/O operations are modeled
+    as memory-mapped accesses to named memory blocks (section 2.4). *)
+
+type t =
+  | Input  (** primary input value *)
+  | Output  (** primary output value *)
+  | Const  (** compile-time constant (coefficients etc.) *)
+  | Add
+  | Sub
+  | Mult
+  | Div
+  | Compare  (** relational operation feeding a control construct *)
+  | Logic  (** bitwise logic *)
+  | Shift
+  | Select  (** 2-way conditional select: (cond, then, else) *)
+  | Mem_read of string  (** read from the named memory block *)
+  | Mem_write of string  (** write to the named memory block *)
+
+val arity : t -> int * int
+(** [arity op] is the inclusive [(min, max)] number of data inputs. *)
+
+val is_computational : t -> bool
+(** Operations that consume a functional unit and a schedule step; [Input],
+    [Output] and [Const] are boundary markers and are not computational. *)
+
+val is_memory : t -> bool
+val memory_block : t -> string option
+
+val functional_class : t -> string
+(** The module-library class implementing the operation (e.g. [Add] and
+    [Sub] share the "add" class, as adder/subtractor cells do in 3µ
+    standard-cell libraries).  Memory operations map to a per-block
+    ["memport:<block>"] class, since each block's ports are a separate
+    resource.  @raise Invalid_argument on non-computational operations,
+    which no module implements. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,223 @@
+module IntMap = Map.Make (Int)
+module SMap = Map.Make (String)
+
+type t = { label : string; members : Graph.node_id list }
+
+let make ~label members =
+  if members = [] then invalid_arg "Partition.make: empty partition";
+  { label; members = List.sort_uniq Int.compare members }
+
+type partitioning = { graph : Graph.t; parts : t list }
+
+exception Invalid_partitioning of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_partitioning s)) fmt
+
+let owner_map g parts =
+  let owners =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc id ->
+            if not (Graph.mem g id) then fail "partition %s: unknown node %d" p.label id;
+            let n = Graph.node g id in
+            if not (Op.is_computational n.Graph.op) then
+              fail "partition %s: node %s is not computational" p.label n.Graph.name;
+            if IntMap.mem id acc then
+              fail "node %s assigned to both %s and %s" n.Graph.name
+                (IntMap.find id acc).label p.label;
+            IntMap.add id p acc)
+          acc p.members)
+      IntMap.empty parts
+  in
+  List.iter
+    (fun n ->
+      if Op.is_computational n.Graph.op && not (IntMap.mem n.Graph.id owners) then
+        fail "operation %s is not assigned to any partition" n.Graph.name)
+    (Graph.nodes g);
+  owners
+
+let quotient_edges_raw g owners =
+  List.fold_left
+    (fun acc (src, dst) ->
+      match (IntMap.find_opt src owners, IntMap.find_opt dst owners) with
+      | Some p1, Some p2 when p1.label <> p2.label -> (p1.label, p2.label) :: acc
+      | _ -> acc)
+    [] (Graph.edges g)
+  |> List.sort_uniq Stdlib.compare
+
+let check_acyclic labels edges =
+  (* Kahn over the quotient graph. *)
+  let indeg = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace indeg l 0) labels;
+  List.iter (fun (_, d) -> Hashtbl.replace indeg d (1 + Hashtbl.find indeg d)) edges;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun l d -> if d = 0 then Queue.add l queue) indeg;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let l = Queue.pop queue in
+    incr visited;
+    List.iter
+      (fun (s, d) ->
+        if s = l then begin
+          let deg = Hashtbl.find indeg d - 1 in
+          Hashtbl.replace indeg d deg;
+          if deg = 0 then Queue.add d queue
+        end)
+      edges
+  done;
+  if !visited <> List.length labels then
+    fail
+      "mutual data dependency between partitions: the quotient graph is cyclic \
+       (paper section 2.3 requires independently implementable partitions)"
+
+let partitioning g parts =
+  if parts = [] then fail "empty partitioning";
+  let labels = List.map (fun p -> p.label) parts in
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
+    fail "duplicate partition label";
+  let owners = owner_map g parts in
+  check_acyclic labels (quotient_edges_raw g owners);
+  { graph = g; parts }
+
+let find pg label = List.find (fun p -> p.label = label) pg.parts
+
+let part_of pg id =
+  List.find (fun p -> List.mem id p.members) pg.parts
+
+let subgraph pg p =
+  let sub, _, _ = Graph.induced pg.graph ~name:p.label p.members in
+  sub
+
+type flow = {
+  producer : string;
+  consumer : string;
+  bits : Chop_util.Units.bits;
+  values : Graph.node_id list;
+}
+
+let flows pg =
+  let g = pg.graph in
+  let owners = owner_map g pg.parts in
+  (* (producer label, consumer label) -> set of producing node ids *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst) ->
+      match (IntMap.find_opt src owners, IntMap.find_opt dst owners) with
+      | Some p1, Some p2 when p1.label <> p2.label ->
+          let key = (p1.label, p2.label) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+          if not (List.mem src cur) then Hashtbl.replace tbl key (src :: cur)
+      | _ -> ())
+    (Graph.edges g);
+  Hashtbl.fold
+    (fun (producer, consumer) values acc ->
+      let bits =
+        Chop_util.Listx.sum_by (fun id -> (Graph.node g id).Graph.width) values
+      in
+      { producer; consumer; bits; values = List.sort Int.compare values } :: acc)
+    tbl []
+  |> List.sort (fun a b -> Stdlib.compare (a.producer, a.consumer) (b.producer, b.consumer))
+
+let external_input_bits pg p =
+  let g = pg.graph in
+  let members = p.members in
+  List.filter_map
+    (fun n ->
+      match n.Graph.op with
+      | Op.Input ->
+          let feeds =
+            List.exists (fun s -> List.mem s members) (Graph.succs g n.Graph.id)
+          in
+          if feeds then Some n.Graph.width else None
+      | _ -> None)
+    (Graph.nodes g)
+  |> List.fold_left ( + ) 0
+
+let external_output_bits pg p =
+  let g = pg.graph in
+  List.fold_left
+    (fun acc id ->
+      let drives_output =
+        List.exists
+          (fun s -> (Graph.node g s).Graph.op = Op.Output)
+          (Graph.succs g id)
+      in
+      if drives_output then acc + (Graph.node g id).Graph.width else acc)
+    0 p.members
+
+let cut_bits_total pg = Chop_util.Listx.sum_by (fun f -> f.bits) (flows pg)
+
+let quotient_edges pg =
+  let owners = owner_map pg.graph pg.parts in
+  quotient_edges_raw pg.graph owners
+
+let topological_parts pg =
+  let edges = quotient_edges pg in
+  let remaining = ref pg.parts and order = ref [] in
+  let placed l = List.exists (fun p -> p.label = l) !order in
+  while !remaining <> [] do
+    let ready, rest =
+      List.partition
+        (fun p ->
+          List.for_all (fun (s, d) -> d <> p.label || placed s) edges)
+        !remaining
+    in
+    (match ready with
+    | [] -> fail "topological_parts: cyclic quotient graph"
+    | _ -> ());
+    order := !order @ ready;
+    remaining := rest
+  done;
+  !order
+
+let whole g =
+  let members = List.map (fun n -> n.Graph.id) (Graph.operations g) in
+  partitioning g [ make ~label:"P1" members ]
+
+let by_levels g ~k =
+  if k < 1 then invalid_arg "Partition.by_levels: k < 1";
+  let levels = Analysis.levels g in
+  if k > List.length levels then
+    invalid_arg
+      (Printf.sprintf "Partition.by_levels: k = %d exceeds %d levels" k
+         (List.length levels));
+  let total = Chop_util.Listx.sum_by List.length levels in
+  let target = float_of_int total /. float_of_int k in
+  (* greedy contiguous grouping of levels into k balanced buckets *)
+  let groups = Array.make k [] in
+  let remaining_levels = ref (List.length levels) in
+  let idx = ref 0 and count = ref 0 in
+  List.iter
+    (fun lvl ->
+      let must_leave = k - !idx - 1 in
+      let close_now =
+        !idx < k - 1
+        && ((float_of_int (!count + List.length lvl) >= target && !count > 0)
+           || !remaining_levels <= must_leave + 1)
+      in
+      if close_now && !count > 0 then begin
+        incr idx;
+        count := 0
+      end;
+      groups.(!idx) <- groups.(!idx) @ lvl;
+      count := !count + List.length lvl;
+      decr remaining_levels)
+    levels;
+  let parts =
+    Array.to_list groups
+    |> List.mapi (fun i members -> (i, members))
+    |> List.filter_map (fun (i, members) ->
+           if members = [] then None
+           else Some (make ~label:(Printf.sprintf "P%d" (i + 1)) members))
+  in
+  partitioning g parts
+
+let pp ppf pg =
+  Format.fprintf ppf "@[<v>partitioning of %s into %d:@," (Graph.name pg.graph)
+    (List.length pg.parts);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %s: %d operations@," p.label (List.length p.members))
+    pg.parts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,83 @@
+(** Behavioral partitions.
+
+    A partitioning assigns every computational node of a DFG to exactly one
+    named partition.  CHOP requires that no two partitions have mutual data
+    dependency (paper, section 2.3): the quotient graph over partitions must
+    be acyclic, because each partition is predicted and implemented
+    independently. *)
+
+type t = private {
+  label : string;
+  members : Graph.node_id list;  (** computational nodes, sorted *)
+}
+
+val make : label:string -> Graph.node_id list -> t
+(** @raise Invalid_argument on an empty member list. *)
+
+type partitioning = private {
+  graph : Graph.t;
+  parts : t list;
+}
+
+exception Invalid_partitioning of string
+
+val partitioning : Graph.t -> t list -> partitioning
+(** Validates and freezes a partitioning.  @raise Invalid_partitioning when
+    members are unknown or non-computational, a node is assigned twice or
+    not at all, a partition label repeats, or the quotient graph over the
+    partitions is cyclic (mutual data dependency). *)
+
+val find : partitioning -> string -> t
+(** @raise Not_found for an unknown label. *)
+
+val part_of : partitioning -> Graph.node_id -> t
+(** Partition owning a computational node.  @raise Not_found otherwise. *)
+
+val subgraph : partitioning -> t -> Graph.t
+(** The induced sub-DFG of a partition, with boundary [Input]/[Output] nodes
+    for cut values (see {!Graph.induced}). *)
+
+(** {1 Cut analysis} *)
+
+type flow = {
+  producer : string;  (** producing partition label *)
+  consumer : string;  (** consuming partition label *)
+  bits : Chop_util.Units.bits;  (** distinct value bits crossing the cut *)
+  values : Graph.node_id list;  (** producing nodes of the cut values *)
+}
+
+val flows : partitioning -> flow list
+(** One flow per ordered (producer, consumer) partition pair with at least
+    one cut value.  A value consumed by several partitions appears in each
+    consumer's flow. *)
+
+val external_input_bits : partitioning -> t -> Chop_util.Units.bits
+(** Bits of primary-input values (of the original graph) consumed by the
+    partition — these arrive from off-board. *)
+
+val external_output_bits : partitioning -> t -> Chop_util.Units.bits
+(** Bits of values the partition drives to primary outputs. *)
+
+val cut_bits_total : partitioning -> Chop_util.Units.bits
+(** Total inter-partition cut size, counting each (value, consumer pair)
+    once — the classic min-cut objective, for baseline comparison. *)
+
+val topological_parts : partitioning -> t list
+(** Partitions in a topological order of the quotient graph. *)
+
+val quotient_edges : partitioning -> (string * string) list
+(** Ordered dependence edges between partition labels, deduplicated. *)
+
+(** {1 Automatic generation} *)
+
+val whole : Graph.t -> partitioning
+(** Single partition holding every operation. *)
+
+val by_levels : Graph.t -> k:int -> partitioning
+(** Horizontal cuts: splits the ASAP level structure into [k] contiguous
+    groups of approximately equal operation count (the paper's experiments
+    use exactly this: "a horizontal cut from the middle of the graph", and
+    "three partitions of approximately equal size").
+    @raise Invalid_argument when [k < 1] or [k] exceeds the level count. *)
+
+val pp : Format.formatter -> partitioning -> unit

@@ -1,0 +1,1 @@
+lib/rtl/binding.ml: Chop_dfg Chop_sched Chop_util Hashtbl Int List Option Printf

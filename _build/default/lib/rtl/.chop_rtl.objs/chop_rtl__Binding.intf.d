@@ -1,0 +1,1 @@
+lib/rtl/binding.mli: Chop_dfg Chop_sched Chop_util

@@ -1,0 +1,1 @@
+lib/rtl/floorplan.ml: Chop_tech Chop_util Float Format List Netlist Printf

@@ -1,0 +1,1 @@
+lib/rtl/floorplan.mli: Chop_tech Chop_util Format Netlist

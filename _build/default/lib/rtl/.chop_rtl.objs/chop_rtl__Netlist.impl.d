@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Chop_tech Chop_util Format List

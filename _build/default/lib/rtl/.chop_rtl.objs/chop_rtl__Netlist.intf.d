@@ -1,0 +1,1 @@
+lib/rtl/netlist.mli: Chop_tech Chop_util Format

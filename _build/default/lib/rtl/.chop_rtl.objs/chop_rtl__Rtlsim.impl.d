@@ -1,0 +1,1 @@
+lib/rtl/rtlsim.ml: Array Binding Chop_dfg Chop_sched Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/rtlsim.mli: Chop_dfg Chop_sched

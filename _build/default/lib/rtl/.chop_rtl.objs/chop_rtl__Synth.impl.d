@@ -1,0 +1,1 @@
+lib/rtl/synth.ml: Binding Chop_dfg Chop_sched Chop_tech Chop_util Hashtbl Int List Map Netlist Option Printf Stdlib String

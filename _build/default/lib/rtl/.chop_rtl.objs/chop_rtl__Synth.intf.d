@@ -1,0 +1,1 @@
+lib/rtl/synth.mli: Chop_sched Chop_tech Netlist

@@ -1,0 +1,1 @@
+lib/rtl/system.ml: Buffer Chop Chop_bad Chop_dfg Chop_sched Chop_tech Chop_util Floorplan List Netlist Option Printf String Synth Verilog

@@ -1,0 +1,1 @@
+lib/rtl/system.mli: Chop Chop_tech Chop_util Floorplan Netlist

@@ -1,0 +1,1 @@
+lib/rtl/validate.ml: Chop_bad Chop_sched Chop_tech Chop_util Float List Netlist Printf String Synth

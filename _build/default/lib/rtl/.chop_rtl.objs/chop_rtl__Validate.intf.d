@@ -1,0 +1,1 @@
+lib/rtl/validate.mli: Chop_bad Chop_dfg Chop_sched Chop_util Netlist

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Buffer Chop_tech Float List Netlist Printf String

@@ -1,0 +1,156 @@
+type block = { block_name : string; block_area : Chop_util.Units.mil2 }
+
+type placement = {
+  block : block;
+  x : Chop_util.Units.mil;
+  y : Chop_util.Units.mil;
+  w : Chop_util.Units.mil;
+  h : Chop_util.Units.mil;
+}
+
+type t = {
+  core_width : Chop_util.Units.mil;
+  core_height : Chop_util.Units.mil;
+  placements : placement list;
+  utilization : float;
+}
+
+let blocks_of_netlist (nl : Netlist.t) =
+  let fu_blocks =
+    List.map
+      (fun (f : Netlist.fu) ->
+        {
+          block_name = f.Netlist.fu_name;
+          block_area = f.Netlist.component.Chop_tech.Component.area;
+        })
+      nl.Netlist.fus
+  in
+  let reg_area =
+    float_of_int (Netlist.register_bits nl)
+    *. Chop_tech.Mosis.register_cell.Chop_tech.Component.area
+  in
+  let mux_area =
+    float_of_int (Netlist.mux_bits nl)
+    *. Chop_tech.Mosis.mux_cell.Chop_tech.Component.area
+  in
+  let pla_area =
+    Chop_tech.Pla.area
+      (Chop_tech.Pla.controller_shape ~states:nl.Netlist.controller.Netlist.states
+         ~status_inputs:2
+         ~control_outputs:nl.Netlist.controller.Netlist.control_signals)
+  in
+  fu_blocks
+  @ List.filter_map
+      (fun (name, area) ->
+        if area > 0. then Some { block_name = name; block_area = area } else None)
+      [ ("register_file", reg_area); ("steering", mux_area); ("controller", pla_area) ]
+
+exception Does_not_fit of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Does_not_fit s)) fmt
+
+let total_area blocks =
+  Chop_util.Listx.sum_byf (fun b -> b.block_area) blocks
+
+let plan ?(aspect_limit = 8.0) ~core_width ~core_height blocks =
+  if core_width <= 0. || core_height <= 0. then
+    invalid_arg "Floorplan.plan: non-positive core";
+  if blocks = [] then invalid_arg "Floorplan.plan: no blocks";
+  let core_area = core_width *. core_height in
+  let occupied = total_area blocks in
+  if occupied > core_area then
+    fail "blocks need %.0f mil^2 but the core offers %.0f" occupied core_area;
+  (* descending by area: balanced splits then come out naturally *)
+  let sorted =
+    List.sort (fun a b -> Float.compare b.block_area a.block_area) blocks
+  in
+  let placements = ref [] in
+  (* slice [bs] into rectangle (x, y, w, h); every leaf receives area
+     proportional to its block's share of the group *)
+  let rec slice bs x y w h =
+    match bs with
+    | [] -> ()
+    | [ b ] ->
+        (* the block is soft: it reflows to the most-square sub-rectangle of
+           its leaf that holds its area, whitespace absorbing the rest *)
+        let m = Float.min w h in
+        let side = sqrt b.block_area in
+        let bw, bh =
+          if side <= m then (side, side)
+          else if w <= h then (w, b.block_area /. w)
+          else (b.block_area /. h, h)
+        in
+        let aspect =
+          if bh = 0. then infinity else Float.max (bw /. bh) (bh /. bw)
+        in
+        if aspect > aspect_limit then
+          fail "block %s would need aspect %.1f (limit %.1f)" b.block_name
+            aspect aspect_limit;
+        placements := { block = b; x; y; w = bw; h = bh } :: !placements
+    | _ ->
+        (* greedy balanced bipartition by area *)
+        let g1, g2, _, a2 =
+          List.fold_left
+            (fun (g1, g2, a1, a2) b ->
+              if a1 <= a2 then (b :: g1, g2, a1 +. b.block_area, a2)
+              else (g1, b :: g2, a1, a2 +. b.block_area))
+            ([], [], 0., 0.) bs
+        in
+        let total = total_area bs in
+        let share2 = a2 /. total in
+        let share1 = 1. -. share2 in
+        (* cut in whichever direction keeps the worse child closest to
+           square — always cutting the longer side starves small groups *)
+        let aspect rw rh =
+          if rw <= 0. || rh <= 0. then infinity else Float.max (rw /. rh) (rh /. rw)
+        in
+        let vertical_worst =
+          Float.max (aspect (w *. share1) h) (aspect (w *. share2) h)
+        in
+        let horizontal_worst =
+          Float.max (aspect w (h *. share1)) (aspect w (h *. share2))
+        in
+        if vertical_worst <= horizontal_worst then begin
+          let w2 = w *. share2 in
+          slice g1 x y (w -. w2) h;
+          slice g2 (x +. (w -. w2)) y w2 h
+        end
+        else begin
+          let h2 = h *. share2 in
+          slice g1 x y w (h -. h2);
+          slice g2 x (y +. (h -. h2)) w h2
+        end
+  in
+  slice sorted 0. 0. core_width core_height;
+  {
+    core_width;
+    core_height;
+    placements = List.rev !placements;
+    utilization = occupied /. core_area;
+  }
+
+let on_package ?signal_pins (chip : Chop_tech.Chip.t) nl =
+  let signal_pins =
+    match signal_pins with Some p -> p | None -> chip.Chop_tech.Chip.pins / 2
+  in
+  match Chop_tech.Chip.usable_area chip ~signal_pins with
+  | exception Invalid_argument reason -> Error reason
+  | usable ->
+      if usable <= 0. then Error "pads consume the whole die"
+      else
+        let aspect = chip.Chop_tech.Chip.width /. chip.Chop_tech.Chip.height in
+        let core_height = sqrt (usable /. aspect) in
+        let core_width = usable /. core_height in
+        (match plan ~core_width ~core_height (blocks_of_netlist nl) with
+        | fp -> Ok fp
+        | exception Does_not_fit reason -> Error reason)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>floorplan %.0f x %.0f mil, %.0f%% utilized@,"
+    t.core_width t.core_height (100. *. t.utilization);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-16s @ (%6.1f, %6.1f) %6.1f x %6.1f@,"
+        p.block.block_name p.x p.y p.w p.h)
+    t.placements;
+  Format.fprintf ppf "@]"

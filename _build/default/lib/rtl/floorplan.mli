@@ -1,0 +1,60 @@
+(** Slicing-tree floorplanning of synthesized netlists onto MOSIS dies.
+
+    The last step of the paper's future-work chain ("an immediate task is to
+    synthesize and layout some partitioned designs", section 5): place the
+    netlist's blocks — functional units, the register file, steering logic
+    and the controller — inside the package's core rectangle and check that
+    every block gets a realizable aspect ratio.  Blocks are soft (standard
+    cells reflow), so the check is utilization + aspect bounds rather than
+    exact rectangle packing. *)
+
+type block = {
+  block_name : string;
+  block_area : Chop_util.Units.mil2;
+}
+
+type placement = {
+  block : block;
+  x : Chop_util.Units.mil;
+  y : Chop_util.Units.mil;
+  w : Chop_util.Units.mil;  (** the block's reflowed footprint, not the
+                                whole slicing leaf — whitespace lives in
+                                the leaf around it *)
+  h : Chop_util.Units.mil;
+}
+
+type t = {
+  core_width : Chop_util.Units.mil;
+  core_height : Chop_util.Units.mil;
+  placements : placement list;
+  utilization : float;  (** sum of block areas / core area *)
+}
+
+val blocks_of_netlist : Netlist.t -> block list
+(** One block per functional unit, one for the register file, one for the
+    accumulated steering logic and one for the controller PLA (zero-area
+    contributors are dropped). *)
+
+exception Does_not_fit of string
+
+val plan :
+  ?aspect_limit:float ->
+  core_width:Chop_util.Units.mil ->
+  core_height:Chop_util.Units.mil ->
+  block list ->
+  t
+(** Recursive area-proportional slicing: blocks are split into two
+    area-balanced groups, the rectangle is cut across its longer side, and
+    leaves receive rectangles of exactly their group's area share.
+    @raise Does_not_fit when the blocks outgrow the core or a leaf's aspect
+    ratio exceeds [aspect_limit] (default 8.0 — beyond that a soft block
+    cannot reflow sensibly).
+    @raise Invalid_argument on a non-positive core or empty block list. *)
+
+val on_package :
+  ?signal_pins:int -> Chop_tech.Chip.t -> Netlist.t -> (t, string) result
+(** Floorplan a netlist onto a package's core: the project area minus the
+    bonded pads ([signal_pins] defaults to half the package), kept at the
+    die's aspect ratio.  Returns [Error reason] instead of raising. *)
+
+val pp : Format.formatter -> t -> unit

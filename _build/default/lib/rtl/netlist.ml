@@ -1,0 +1,62 @@
+type mux = {
+  mux_name : string;
+  mux_width : Chop_util.Units.bits;
+  fanin : int;
+}
+
+type fu = {
+  fu_name : string;
+  component : Chop_tech.Component.t;
+  port_muxes : mux list;
+}
+
+type register_file = {
+  count : int;
+  width : Chop_util.Units.bits;
+  write_muxes : mux list;
+}
+
+type fsm = { states : int; control_signals : int }
+
+type t = {
+  design_name : string;
+  fus : fu list;
+  registers : register_file;
+  controller : fsm;
+  connections : (string * string) list;
+}
+
+let register_bits t = t.registers.count * t.registers.width
+
+let mux_cost m = (m.fanin - 1) * m.mux_width
+
+let mux_bits t =
+  Chop_util.Listx.sum_by
+    (fun f -> Chop_util.Listx.sum_by mux_cost f.port_muxes)
+    t.fus
+  + Chop_util.Listx.sum_by mux_cost t.registers.write_muxes
+
+let cell_area t =
+  let fu_area =
+    Chop_util.Listx.sum_byf (fun f -> f.component.Chop_tech.Component.area) t.fus
+  in
+  let reg_area =
+    float_of_int (register_bits t)
+    *. Chop_tech.Mosis.register_cell.Chop_tech.Component.area
+  in
+  let mux_area =
+    float_of_int (mux_bits t) *. Chop_tech.Mosis.mux_cell.Chop_tech.Component.area
+  in
+  let pla =
+    Chop_tech.Pla.area
+      (Chop_tech.Pla.controller_shape ~states:t.controller.states
+         ~status_inputs:2 ~control_outputs:t.controller.control_signals)
+  in
+  fu_area +. reg_area +. mux_area +. pla
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>netlist %s: %d FU(s), %d registers (%d bits), %d mux bits, FSM %d \
+     states@]"
+    t.design_name (List.length t.fus) t.registers.count (register_bits t)
+    (mux_bits t) t.controller.states

@@ -1,0 +1,49 @@
+(** Structural register-transfer netlists.
+
+    The concrete datapath a bound schedule describes: functional-unit
+    instances, a register file, steering multiplexers and a finite-state
+    controller.  Its exact resource counts are what BAD's predictions
+    approximate; {!Validate} measures the gap. *)
+
+type mux = {
+  mux_name : string;
+  mux_width : Chop_util.Units.bits;
+  fanin : int;  (** number of selectable sources, >= 2 *)
+}
+
+type fu = {
+  fu_name : string;
+  component : Chop_tech.Component.t;
+  port_muxes : mux list;  (** one entry per input port with fan-in >= 2 *)
+}
+
+type register_file = {
+  count : int;  (** word registers *)
+  width : Chop_util.Units.bits;
+  write_muxes : mux list;  (** registers with more than one writer *)
+}
+
+type fsm = {
+  states : int;
+  control_signals : int;
+}
+
+type t = {
+  design_name : string;
+  fus : fu list;
+  registers : register_file;
+  controller : fsm;
+  connections : (string * string) list;  (** (driver, sink) pairs *)
+}
+
+val register_bits : t -> int
+val mux_bits : t -> int
+(** Equivalent 1-bit 2:1 multiplexers: an n-way word mux counts
+    [(n-1) * width]. *)
+
+val cell_area : t -> Chop_util.Units.mil2
+(** Exact placed-cell area (no routing): functional units + register bits
+    at the Table 1 register cell + mux bits at the Table 1 mux cell + the
+    controller PLA. *)
+
+val pp : Format.formatter -> t -> unit

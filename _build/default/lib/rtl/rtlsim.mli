@@ -1,0 +1,23 @@
+(** Cycle-accurate execution of a bound schedule.
+
+    Runs the data path the way the synthesized hardware would: a shared
+    register file written through the left-edge binding, operations firing
+    at their scheduled steps on their bound units, results landing in
+    (possibly reused) registers.  Producing the same outputs as the purely
+    functional {!Chop_dfg.Eval} proves the scheduling/binding pipeline
+    preserves semantics — in particular that no register is overwritten
+    while a consumer still needs it. *)
+
+exception Sim_error of string
+
+val run :
+  ?inputs:(string * int) list ->
+  ?consts:(string * int) list ->
+  ?memory:Chop_dfg.Eval.memory_model ->
+  Chop_sched.Schedule.t ->
+  (string * int) list
+(** Primary outputs as [(output node name, value)], with the same operand
+    semantics and defaults as {!Chop_dfg.Eval.run}.
+    @raise Sim_error when the binding is inconsistent (a value read after
+    its register was reused — which the tests assert never happens for
+    schedules produced by this library). *)

@@ -1,0 +1,169 @@
+module IntMap = Map.Make (Int)
+
+let netlist ?name ?ii ~module_set sched =
+  (match ii with
+  | Some i when i < 1 -> invalid_arg "Synth.netlist: ii < 1"
+  | Some _ | None -> ());
+  let g = sched.Chop_sched.Schedule.graph in
+  let design_name =
+    match name with Some n -> n | None -> Chop_dfg.Graph.name g
+  in
+  let width =
+    List.fold_left
+      (fun acc n -> max acc n.Chop_dfg.Graph.width)
+      1 (Chop_dfg.Graph.nodes g)
+  in
+  let fu_binding = Binding.bind_functional_units sched in
+  let reg_binding, reg_count = Binding.bind_registers sched in
+  (* pipelining folds lifetimes: size the register file for the overlapped
+     iterations (the folded peak), keeping the single-iteration binding for
+     steering analysis *)
+  let reg_count =
+    match ii with
+    | None -> reg_count
+    | Some ii ->
+        let demand = Chop_sched.Lifetime.analyze ~ii sched in
+        max reg_count (demand.Chop_sched.Lifetime.peak_values)
+  in
+  let reg_of = List.fold_left (fun m (p, r) -> IntMap.add p r m) IntMap.empty reg_binding in
+  (* the steering source feeding one operand: a register, a constant store,
+     or the memory bus *)
+  let source_of id =
+    let n = Chop_dfg.Graph.node g id in
+    match n.Chop_dfg.Graph.op with
+    | Chop_dfg.Op.Const -> "const:" ^ n.Chop_dfg.Graph.name
+    | _ -> (
+        match IntMap.find_opt id reg_of with
+        | Some r -> Printf.sprintf "reg%d" r
+        | None -> "bus:" ^ n.Chop_dfg.Graph.name)
+  in
+  (* group operations per functional-unit instance *)
+  let classes =
+    List.sort_uniq String.compare
+      (List.map (fun (_, b) -> b.Binding.fu_class) fu_binding)
+  in
+  let connections = ref [] in
+  let fus =
+    List.concat_map
+      (fun cls ->
+        let instances =
+          List.sort_uniq Int.compare
+            (List.filter_map
+               (fun (_, b) ->
+                 if b.Binding.fu_class = cls then Some b.Binding.fu_index else None)
+               fu_binding)
+        in
+        let component =
+          match
+            List.find_opt (fun c -> c.Chop_tech.Component.cls = cls) module_set
+          with
+          | Some c -> Some c
+          | None when Chop_tech.Component.is_memport_class cls -> None
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Synth.netlist: module set misses class %s" cls)
+        in
+        match component with
+        | None -> [] (* memory ports synthesize into the memory interface *)
+        | Some component ->
+            List.map
+              (fun idx ->
+                let fu_name = Printf.sprintf "%s_%d" cls idx in
+                let ops =
+                  List.filter_map
+                    (fun (id, b) ->
+                      if b.Binding.fu_class = cls && b.Binding.fu_index = idx
+                      then Some id
+                      else None)
+                    fu_binding
+                in
+                let max_ports =
+                  List.fold_left
+                    (fun acc id ->
+                      max acc (List.length (Chop_dfg.Graph.preds g id)))
+                    0 ops
+                in
+                let port_muxes =
+                  List.filter_map
+                    (fun port ->
+                      let sources =
+                        List.filter_map
+                          (fun id ->
+                            match List.nth_opt (Chop_dfg.Graph.preds g id) port with
+                            | Some src ->
+                                let s = source_of src in
+                                connections := (s, fu_name) :: !connections;
+                                Some s
+                            | None -> None)
+                          ops
+                        |> List.sort_uniq String.compare
+                      in
+                      if List.length sources >= 2 then
+                        Some
+                          {
+                            Netlist.mux_name =
+                              Printf.sprintf "%s_p%d_mux" fu_name port;
+                            mux_width = width;
+                            fanin = List.length sources;
+                          }
+                      else None)
+                    (Chop_util.Listx.range 0 (max_ports - 1))
+                in
+                { Netlist.fu_name; component; port_muxes })
+              instances)
+      classes
+  in
+  (* register write steering: writers per register *)
+  let writers = Hashtbl.create 16 in
+  List.iter
+    (fun (producer, reg) ->
+      let n = Chop_dfg.Graph.node g producer in
+      let driver =
+        match n.Chop_dfg.Graph.op with
+        | Chop_dfg.Op.Input -> "pad:" ^ n.Chop_dfg.Graph.name
+        | op when Chop_dfg.Op.is_computational op -> (
+            match List.assoc_opt producer fu_binding with
+            | Some b -> Printf.sprintf "%s_%d" b.Binding.fu_class b.Binding.fu_index
+            | None -> "bus:" ^ n.Chop_dfg.Graph.name)
+        | _ -> "pad:" ^ n.Chop_dfg.Graph.name
+      in
+      connections := (driver, Printf.sprintf "reg%d" reg) :: !connections;
+      Hashtbl.replace writers reg
+        (List.sort_uniq String.compare
+           (driver :: Option.value ~default:[] (Hashtbl.find_opt writers reg))))
+    reg_binding;
+  let write_muxes =
+    Hashtbl.fold
+      (fun reg ws acc ->
+        if List.length ws >= 2 then
+          {
+            Netlist.mux_name = Printf.sprintf "reg%d_mux" reg;
+            mux_width = width;
+            fanin = List.length ws;
+          }
+          :: acc
+        else acc)
+      writers []
+    |> List.sort (fun a b -> String.compare a.Netlist.mux_name b.Netlist.mux_name)
+  in
+  let registers = { Netlist.count = reg_count; width; write_muxes } in
+  let n_muxes =
+    List.length write_muxes
+    + Chop_util.Listx.sum_by (fun f -> List.length f.Netlist.port_muxes) fus
+  in
+  let controller =
+    {
+      Netlist.states =
+        (match ii with
+        | Some i -> max 1 i
+        | None -> max 1 sched.Chop_sched.Schedule.length);
+      control_signals = (2 * List.length fus) + n_muxes + reg_count;
+    }
+  in
+  {
+    Netlist.design_name;
+    fus;
+    registers;
+    controller;
+    connections = List.sort_uniq Stdlib.compare !connections;
+  }

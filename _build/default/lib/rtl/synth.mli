@@ -1,0 +1,19 @@
+(** Netlist construction from a bound schedule.
+
+    Produces the concrete data path + controller structure for one
+    partition implementation: functional units from a module set, a
+    left-edge-allocated register file, port/write steering multiplexers
+    sized from the actual binding, and a one-state-per-step controller. *)
+
+val netlist :
+  ?name:string ->
+  ?ii:int ->
+  module_set:Chop_tech.Component.t list ->
+  Chop_sched.Schedule.t ->
+  Netlist.t
+(** [ii] synthesizes the pipelined variant: the register file is sized for
+    the lifetimes folded modulo [ii] (overlapped iterations keep more
+    values alive) and the controller wraps at [ii] states.
+    @raise Invalid_argument when the module set misses a class the
+    schedule's allocation uses (memory-port classes are exempt: their data
+    path is the memory bus), or when [ii < 1]. *)

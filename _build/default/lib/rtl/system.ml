@@ -1,0 +1,244 @@
+type dtm_hardware = {
+  dtm_name : string;
+  buffer_bits : int;
+  pins : int;
+  controller : Chop_tech.Pla.shape;
+  area : Chop_util.Units.mil2;
+}
+
+type chip_design = {
+  chip_name : string;
+  package : Chop_tech.Chip.t;
+  pu_netlists : Netlist.t list;
+  dtms : dtm_hardware list;
+  total_cell_area : Chop_util.Units.mil2;
+  floorplan : (Floorplan.t, string) result;
+}
+
+type t = { chips : chip_design list; verilog : (string * string) list }
+
+let register_cell_area = Chop_tech.Mosis.register_cell.Chop_tech.Component.area
+
+let pu_netlist spec label (p : Chop_bad.Prediction.t) =
+  let part = Chop_dfg.Partition.find spec.Chop.Spec.partitioning label in
+  let sub = Chop_dfg.Partition.subgraph spec.Chop.Spec.partitioning part in
+  let cfg = Chop.Explore.predictor_config spec ~label in
+  let latency =
+    Chop_bad.Predictor.latency_function cfg
+      ~module_set:p.Chop_bad.Prediction.module_set
+  in
+  let sched =
+    Chop_sched.List_sched.run ~latency ~alloc:p.Chop_bad.Prediction.alloc sub
+  in
+  let ii =
+    match p.Chop_bad.Prediction.style with
+    | Chop_tech.Style.Pipelined ->
+        Some p.Chop_bad.Prediction.timing.Chop_bad.Prediction.ii_dp
+    | Chop_tech.Style.Non_pipelined -> None
+  in
+  Synth.netlist ?ii ~name:label ~module_set:p.Chop_bad.Prediction.module_set
+    sched
+
+let synthesize ctx (system : Chop.Integration.system) =
+  if system.Chop.Integration.chip_reports = [] then
+    invalid_arg "System.synthesize: not a successful integration";
+  let spec = Chop.Integration.spec_of ctx in
+  let chips =
+    List.map
+      (fun cr ->
+        let name = cr.Chop.Integration.instance.Chop.Spec.chip_name in
+        let package = cr.Chop.Integration.instance.Chop.Spec.package in
+        let pu_netlists =
+          List.map
+            (fun label ->
+              pu_netlist spec label
+                (List.assoc label system.Chop.Integration.combination))
+            cr.Chop.Integration.partition_labels
+        in
+        let dtms =
+          List.filter_map
+            (fun (d : Chop.Integration.dtm) ->
+              let t = d.Chop.Integration.task in
+              if
+                t.Chop.Transfer.cross_chip
+                && List.mem name (Chop.Transfer.chips_of t)
+              then begin
+                let holder =
+                  match t.Chop.Transfer.dst_chip with
+                  | Some c -> c
+                  | None ->
+                      Option.value ~default:"" t.Chop.Transfer.src_chip
+                in
+                let buffer_bits =
+                  if holder = name then d.Chop.Integration.buffer_bits else 0
+                in
+                let pla_area = Chop_tech.Pla.area d.Chop.Integration.ctrl_shape in
+                Some
+                  {
+                    dtm_name = t.Chop.Transfer.dt_name;
+                    buffer_bits;
+                    pins = d.Chop.Integration.bandwidth;
+                    controller = d.Chop.Integration.ctrl_shape;
+                    area =
+                      (float_of_int buffer_bits *. register_cell_area)
+                      +. pla_area;
+                  }
+              end
+              else None)
+            system.Chop.Integration.dtms
+        in
+        let memory_area = cr.Chop.Integration.memory_area in
+        let total_cell_area =
+          Chop_util.Listx.sum_byf Netlist.cell_area pu_netlists
+          +. Chop_util.Listx.sum_byf (fun d -> d.area) dtms
+          +. memory_area
+          +. cr.Chop.Integration.pin_mux_area
+        in
+        let blocks =
+          List.concat_map
+            (fun nl ->
+              List.map
+                (fun b ->
+                  {
+                    b with
+                    Floorplan.block_name =
+                      nl.Netlist.design_name ^ "/" ^ b.Floorplan.block_name;
+                  })
+                (Floorplan.blocks_of_netlist nl))
+            pu_netlists
+          @ List.filter_map
+              (fun d ->
+                if d.area > 0. then
+                  Some { Floorplan.block_name = d.dtm_name; block_area = d.area }
+                else None)
+              dtms
+          @ (if memory_area > 0. then
+               [ { Floorplan.block_name = "memory"; block_area = memory_area } ]
+             else [])
+        in
+        let floorplan =
+          match
+            Chop_tech.Chip.usable_area package
+              ~signal_pins:cr.Chop.Integration.signal_pins
+          with
+          | exception Invalid_argument reason -> Error reason
+          | usable ->
+              if usable <= 0. then Error "pads consume the whole die"
+              else
+                let aspect =
+                  package.Chop_tech.Chip.width /. package.Chop_tech.Chip.height
+                in
+                let core_height = sqrt (usable /. aspect) in
+                let core_width = usable /. core_height in
+                (match Floorplan.plan ~core_width ~core_height blocks with
+                | fp -> Ok fp
+                | exception Floorplan.Does_not_fit reason -> Error reason)
+        in
+        { chip_name = name; package; pu_netlists; dtms; total_cell_area;
+          floorplan })
+      system.Chop.Integration.chip_reports
+  in
+  let verilog =
+    List.map
+      (fun cd ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "// chip %s (%s): %d processing unit(s), %d transfer module(s)\n"
+             cd.chip_name cd.package.Chop_tech.Chip.pkg_name
+             (List.length cd.pu_netlists) (List.length cd.dtms));
+        List.iter
+          (fun d ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "// dtm %s: %d data pins, %d buffer bits, PLA %dx%dx%d\n"
+                 d.dtm_name d.pins d.buffer_bits d.controller.Chop_tech.Pla.inputs
+                 d.controller.Chop_tech.Pla.outputs
+                 d.controller.Chop_tech.Pla.product_terms))
+          cd.dtms;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun nl -> Buffer.add_string buf (Verilog.emit nl))
+          cd.pu_netlists;
+        (cd.chip_name, Buffer.contents buf))
+      chips
+  in
+  { chips; verilog }
+
+let board_verilog ctx (system : Chop.Integration.system) t =
+  let spec = Chop.Integration.spec_of ctx in
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "// board-level top: %d chip(s), %d cross-chip transfer(s)\n"
+    (List.length t.chips)
+    (List.length
+       (List.filter
+          (fun (d : Chop.Integration.dtm) ->
+            d.Chop.Integration.task.Chop.Transfer.cross_chip)
+          system.Chop.Integration.dtms));
+  addf "module %s_board (input clk, input rst);\n\n"
+    (Chop_dfg.Graph.name spec.Chop.Spec.graph);
+  List.iter
+    (fun (d : Chop.Integration.dtm) ->
+      let task = d.Chop.Integration.task in
+      if task.Chop.Transfer.cross_chip then begin
+        addf "  wire [%d:0] %s_bus;  // %d bits in %d cycle(s)\n"
+          (d.Chop.Integration.bandwidth - 1)
+          task.Chop.Transfer.dt_name task.Chop.Transfer.bits
+          d.Chop.Integration.transfer_main;
+        addf "  wire %s_req, %s_ack;\n" task.Chop.Transfer.dt_name
+          task.Chop.Transfer.dt_name
+      end)
+    system.Chop.Integration.dtms;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun cd ->
+      let ports =
+        List.concat_map
+          (fun d ->
+            let n = d.dtm_name in
+            [ Printf.sprintf ".%s_bus(%s_bus)" n n;
+              Printf.sprintf ".%s_req(%s_req)" n n;
+              Printf.sprintf ".%s_ack(%s_ack)" n n ])
+          cd.dtms
+      in
+      addf "  %s chip_%s (.clk(clk), .rst(rst)%s);\n" cd.chip_name
+        cd.chip_name
+        (String.concat ""
+           (List.map (fun p -> ", " ^ p) ports)))
+    t.chips;
+  addf "\nendmodule\n";
+  Buffer.contents buf
+
+let all_fit t =
+  List.for_all
+    (fun cd -> match cd.floorplan with Ok _ -> true | Error _ -> false)
+    t.chips
+
+let summary t =
+  let tbl =
+    Chop_util.Texttable.create ~title:"chip-level synthesis"
+      [
+        ("Chip", Chop_util.Texttable.Left);
+        ("PUs", Chop_util.Texttable.Right);
+        ("DTMs", Chop_util.Texttable.Right);
+        ("Cell area mil^2", Chop_util.Texttable.Right);
+        ("Floorplan", Chop_util.Texttable.Left);
+      ]
+  in
+  List.iter
+    (fun cd ->
+      Chop_util.Texttable.add_row tbl
+        [
+          cd.chip_name;
+          string_of_int (List.length cd.pu_netlists);
+          string_of_int (List.length cd.dtms);
+          Printf.sprintf "%.0f" cd.total_cell_area;
+          (match cd.floorplan with
+          | Ok fp ->
+              Printf.sprintf "fits (%.0f%% utilized)"
+                (100. *. fp.Floorplan.utilization)
+          | Error reason -> "FAILS: " ^ reason);
+        ])
+    t.chips;
+  Chop_util.Texttable.render tbl

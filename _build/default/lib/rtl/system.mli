@@ -1,0 +1,48 @@
+(** Chip-level synthesis of a feasible global implementation.
+
+    Combines everything below it: for each chip of a feasible
+    {!Chop.Integration.system}, rebuild and bind the schedules of the
+    partitions placed there, synthesize their processing-unit netlists,
+    attach the data-transfer modules' buffers and controller PLAs, check
+    the whole against the package with the floorplanner, and emit one
+    Verilog rendering per chip — the complete multi-chip artifact the
+    paper's section 5 sets as the immediate task. *)
+
+type dtm_hardware = {
+  dtm_name : string;
+  buffer_bits : int;
+  pins : int;  (** data pins the module drives on this chip *)
+  controller : Chop_tech.Pla.shape;
+  area : Chop_util.Units.mil2;  (** buffer registers + controller PLA *)
+}
+
+type chip_design = {
+  chip_name : string;
+  package : Chop_tech.Chip.t;
+  pu_netlists : Netlist.t list;  (** one per partition on the chip *)
+  dtms : dtm_hardware list;  (** transfer modules touching the chip *)
+  total_cell_area : Chop_util.Units.mil2;
+  floorplan : (Floorplan.t, string) result;
+}
+
+type t = {
+  chips : chip_design list;
+  verilog : (string * string) list;  (** (chip name, module text) *)
+}
+
+val synthesize : Chop.Integration.context -> Chop.Integration.system -> t
+(** @raise Invalid_argument when the system is not a successful integration
+    (no chip reports). *)
+
+val all_fit : t -> bool
+(** Every chip floorplans onto its package. *)
+
+val summary : t -> string
+(** One table: per chip, its PUs, DTM hardware, exact cell area and
+    floorplan verdict. *)
+
+val board_verilog : Chop.Integration.context -> Chop.Integration.system -> t -> string
+(** The board-level top module: one instance per chip, one bus per
+    cross-chip transfer (width = the transfer's bonded pins) plus its
+    request/acknowledge handshake pair — the multi-chip system as a single
+    artifact. *)

@@ -1,0 +1,110 @@
+type comparison = {
+  predicted_register_bits : int;
+  actual_register_bits : int;
+  predicted_mux_bits : int;
+  actual_mux_bits : int;
+  predicted_area : Chop_util.Triplet.t;
+  actual_cell_area : Chop_util.Units.mil2;
+  register_error : float;
+  mux_error : float;
+  area_within_bounds : bool;
+}
+
+let schedule_of cfg (p : Chop_bad.Prediction.t) g =
+  let latency =
+    Chop_bad.Predictor.latency_function cfg
+      ~module_set:p.Chop_bad.Prediction.module_set
+  in
+  Chop_sched.List_sched.run ~latency ~alloc:p.Chop_bad.Prediction.alloc g
+
+let synthesize_with cfg p g =
+  let sched = schedule_of cfg p g in
+  let ii =
+    match p.Chop_bad.Prediction.style with
+    | Chop_tech.Style.Pipelined -> Some p.Chop_bad.Prediction.timing.Chop_bad.Prediction.ii_dp
+    | Chop_tech.Style.Non_pipelined -> None
+  in
+  let netlist =
+    Synth.netlist ?ii
+      ~name:p.Chop_bad.Prediction.partition_label
+      ~module_set:p.Chop_bad.Prediction.module_set sched
+  in
+  (sched, netlist)
+
+let synthesize (p : Chop_bad.Prediction.t) g =
+  (* without a config, assume the single-cycle discipline the prediction's
+     unit latencies imply *)
+  let latency _ = 1 in
+  let sched = Chop_sched.List_sched.run ~latency ~alloc:p.Chop_bad.Prediction.alloc g in
+  let netlist =
+    Synth.netlist
+      ~name:p.Chop_bad.Prediction.partition_label
+      ~module_set:p.Chop_bad.Prediction.module_set sched
+  in
+  (sched, netlist)
+
+let ratio_error predicted actual =
+  if actual = 0 then if predicted = 0 then 0. else 1.
+  else float_of_int (predicted - actual) /. float_of_int actual
+
+let compare_with cfg (p : Chop_bad.Prediction.t) g =
+  let _, netlist = synthesize_with cfg p g in
+  let actual_register_bits = Netlist.register_bits netlist in
+  let actual_mux_bits = Netlist.mux_bits netlist in
+  let actual_cell_area = Netlist.cell_area netlist in
+  {
+    predicted_register_bits = p.Chop_bad.Prediction.register_bits;
+    actual_register_bits;
+    predicted_mux_bits = p.Chop_bad.Prediction.mux_count;
+    actual_mux_bits;
+    predicted_area = p.Chop_bad.Prediction.area;
+    actual_cell_area;
+    register_error = ratio_error p.Chop_bad.Prediction.register_bits actual_register_bits;
+    mux_error = ratio_error p.Chop_bad.Prediction.mux_count actual_mux_bits;
+    area_within_bounds =
+      actual_cell_area <= Chop_util.Triplet.(p.Chop_bad.Prediction.area.high);
+  }
+
+let accuracy_report cfg g preds =
+  let comparisons = List.map (fun p -> (p, compare_with cfg p g)) preds in
+  let t =
+    Chop_util.Texttable.create
+      ~title:"BAD prediction vs synthesized netlist"
+      [
+        ("alloc", Chop_util.Texttable.Left);
+        ("reg bits P/A", Chop_util.Texttable.Right);
+        ("mux bits P/A", Chop_util.Texttable.Right);
+        ("area likely/actual", Chop_util.Texttable.Right);
+        ("bounded", Chop_util.Texttable.Center);
+      ]
+  in
+  List.iter
+    (fun ((p : Chop_bad.Prediction.t), c) ->
+      Chop_util.Texttable.add_row t
+        [
+          String.concat ","
+            (List.map
+               (fun (cls, n) -> Printf.sprintf "%s:%d" cls n)
+               p.Chop_bad.Prediction.alloc);
+          Printf.sprintf "%d/%d" c.predicted_register_bits c.actual_register_bits;
+          Printf.sprintf "%d/%d" c.predicted_mux_bits c.actual_mux_bits;
+          Printf.sprintf "%.0f/%.0f"
+            Chop_util.Triplet.(c.predicted_area.likely)
+            c.actual_cell_area;
+          (if c.area_within_bounds then "yes" else "NO");
+        ])
+    comparisons;
+  let mean f =
+    if comparisons = [] then 0.
+    else
+      Chop_util.Listx.sum_byf (fun (_, c) -> Float.abs (f c)) comparisons
+      /. float_of_int (List.length comparisons)
+  in
+  Chop_util.Texttable.render t
+  ^ Printf.sprintf
+      "mean absolute error: registers %.0f%%, multiplexers %.0f%%; area \
+       bounded for %d/%d predictions\n"
+      (100. *. mean (fun c -> c.register_error))
+      (100. *. mean (fun c -> c.mux_error))
+      (List.length (List.filter (fun (_, c) -> c.area_within_bounds) comparisons))
+      (List.length comparisons)

@@ -1,0 +1,54 @@
+(** Prediction-vs-synthesis validation.
+
+    "The results from BAD have been tested using the ADAM Synthesis tools
+    and have been very accurate so far" (paper, section 2.4).  With the ADAM
+    tools unavailable, this module plays their role: it synthesizes the
+    structure a prediction describes and measures how far BAD's register,
+    multiplexer and area predictions sit from the bound netlist's exact
+    counts. *)
+
+type comparison = {
+  predicted_register_bits : int;
+  actual_register_bits : int;
+  predicted_mux_bits : int;
+  actual_mux_bits : int;
+  predicted_area : Chop_util.Triplet.t;  (** includes the wiring triplet *)
+  actual_cell_area : Chop_util.Units.mil2;  (** no routing *)
+  register_error : float;  (** (predicted - actual) / actual, actual > 0 *)
+  mux_error : float;
+  area_within_bounds : bool;
+      (** actual cell area falls below the prediction's upper bound (the
+          prediction also budgets routing, so it should envelope the cell
+          area) *)
+}
+
+val synthesize :
+  Chop_bad.Prediction.t -> Chop_dfg.Graph.t -> Chop_sched.Schedule.t * Netlist.t
+(** Rebuilds the schedule the prediction describes assuming unit latencies
+    (single-cycle discipline) and synthesizes its netlist; prefer
+    {!compare_with} / {!synthesize_with} when a predictor config is at
+    hand. *)
+
+val synthesize_with :
+  Chop_bad.Predictor.config ->
+  Chop_bad.Prediction.t ->
+  Chop_dfg.Graph.t ->
+  Chop_sched.Schedule.t * Netlist.t
+(** Rebuilds the schedule with the config's exact latency discipline;
+    pipelined predictions are synthesized at their initiation interval. *)
+
+val compare_with :
+  Chop_bad.Predictor.config ->
+  Chop_bad.Prediction.t ->
+  Chop_dfg.Graph.t ->
+  comparison
+
+val accuracy_report :
+  Chop_bad.Predictor.config ->
+  Chop_dfg.Graph.t ->
+  Chop_bad.Prediction.t list ->
+  string
+(** Table of prediction-vs-netlist errors over the given predictions
+    (pipelined ones are synthesized with their initiation interval, folding
+    the register file accordingly), plus mean absolute errors — the
+    reproduction of the paper's accuracy claim. *)

@@ -1,0 +1,9 @@
+(** Verilog-flavored structural dump of a netlist.
+
+    A readable register-transfer rendering of the synthesized structure —
+    declarations for every functional unit, register and multiplexer plus a
+    connection comment block — intended as the designer-facing artifact the
+    paper's guideline output points toward, not as a simulation-grade
+    model. *)
+
+val emit : Netlist.t -> string

@@ -1,0 +1,1 @@
+lib/sched/chain_sched.ml: Array Chop_dfg Float Hashtbl Int List Map Option Printf Schedule

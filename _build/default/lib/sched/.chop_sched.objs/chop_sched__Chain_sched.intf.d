@@ -1,0 +1,1 @@
+lib/sched/chain_sched.mli: Chop_dfg Chop_util Schedule

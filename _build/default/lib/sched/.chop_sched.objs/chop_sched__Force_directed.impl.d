@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Chop_dfg Hashtbl Int List Map Option Printf Schedule String

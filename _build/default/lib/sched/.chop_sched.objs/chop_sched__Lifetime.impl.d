@@ -1,0 +1,1 @@
+lib/sched/lifetime.ml: Array Chop_dfg List Schedule

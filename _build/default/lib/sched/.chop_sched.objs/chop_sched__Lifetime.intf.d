@@ -1,0 +1,1 @@
+lib/sched/lifetime.mli: Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Chop_dfg Hashtbl Int List Map Printf Schedule

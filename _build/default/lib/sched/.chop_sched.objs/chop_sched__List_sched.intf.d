@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Chop_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/pipeline.ml: Array Chop_util List Schedule

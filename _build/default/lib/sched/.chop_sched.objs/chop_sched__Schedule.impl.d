@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Chop_dfg Format Int List Option Printf String

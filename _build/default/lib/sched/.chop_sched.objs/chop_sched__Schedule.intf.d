@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Chop_dfg Format

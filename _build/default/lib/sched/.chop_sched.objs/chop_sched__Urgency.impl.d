@@ -1,0 +1,1 @@
+lib/sched/urgency.ml: Hashtbl Int List Option Printf String

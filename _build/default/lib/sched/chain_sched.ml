@@ -1,0 +1,141 @@
+module IntMap = Map.Make (Int)
+
+let run ~delay ~budget ~alloc g =
+  if budget <= 0. then invalid_arg "Chain_sched.run: non-positive budget";
+  Schedule.validate_alloc alloc;
+  let ops = Chop_dfg.Graph.operations g in
+  List.iter
+    (fun n ->
+      let cls = Chop_dfg.Op.functional_class n.Chop_dfg.Graph.op in
+      if Schedule.alloc_get alloc cls < 1 then
+        invalid_arg
+          (Printf.sprintf "Chain_sched.run: no units allocated for %s" cls);
+      if delay n > budget then
+        invalid_arg
+          (Printf.sprintf "Chain_sched.run: %s needs %.0f ns but the cycle \
+                           offers %.0f"
+             n.Chop_dfg.Graph.name (delay n) budget))
+    ops;
+  (* urgency in combinational ns, to prioritize long chains *)
+  let urgency =
+    let order = List.rev (Chop_dfg.Analysis.topological_order g) in
+    List.fold_left
+      (fun acc id ->
+        let n = Chop_dfg.Graph.node g id in
+        let own =
+          if Chop_dfg.Op.is_computational n.Chop_dfg.Graph.op then delay n else 0.
+        in
+        let downstream =
+          List.fold_left
+            (fun best s -> Float.max best (IntMap.find s acc))
+            0. (Chop_dfg.Graph.succs g id)
+        in
+        IntMap.add id (own +. downstream) acc)
+      IntMap.empty order
+  in
+  (* process in topological order, most urgent first within a level *)
+  let asap = Chop_dfg.Analysis.asap g in
+  let order =
+    List.stable_sort
+      (fun a b ->
+        Float.compare (IntMap.find b.Chop_dfg.Graph.id urgency)
+          (IntMap.find a.Chop_dfg.Graph.id urgency))
+      ops
+    |> List.stable_sort (fun a b ->
+           Int.compare (List.assoc a.Chop_dfg.Graph.id asap)
+             (List.assoc b.Chop_dfg.Graph.id asap))
+  in
+  let usage = Hashtbl.create 64 in
+  let used cls step =
+    Option.value ~default:0 (Hashtbl.find_opt usage (cls, step))
+  in
+  let starts = ref IntMap.empty and offsets = ref IntMap.empty in
+  List.iter
+    (fun n ->
+      let id = n.Chop_dfg.Graph.id in
+      let cls = Chop_dfg.Op.functional_class n.Chop_dfg.Graph.op in
+      let cap = Schedule.alloc_get alloc cls in
+      let d = delay n in
+      (* earliest position given predecessors: chain when the accumulated
+         delay fits, otherwise the next step *)
+      let step0, offset0 =
+        List.fold_left
+          (fun (s, off) p ->
+            let pn = Chop_dfg.Graph.node g p in
+            if not (Chop_dfg.Op.is_computational pn.Chop_dfg.Graph.op) then (s, off)
+            else
+              let ps = IntMap.find p !starts in
+              let poff = IntMap.find p !offsets in
+              let avail = poff +. delay pn in
+              let cs, coff =
+                if avail +. d <= budget then (ps, avail) else (ps + 1, 0.)
+              in
+              if cs > s then (cs, coff)
+              else if cs = s then (s, Float.max off coff)
+              else (s, off))
+          (0, 0.) (Chop_dfg.Graph.preds g id)
+      in
+      let step0, offset0 =
+        if offset0 +. d <= budget then (step0, offset0) else (step0 + 1, 0.)
+      in
+      (* first step with a free unit; leaving the chained step resets the
+         offset *)
+      let rec place s off =
+        if used cls s < cap then (s, off) else place (s + 1) 0.
+      in
+      let s, off = place step0 offset0 in
+      Hashtbl.replace usage (cls, s) (used cls s + 1);
+      starts := IntMap.add id s !starts;
+      offsets := IntMap.add id off !offsets)
+    order;
+  let start_list = List.map (fun n -> (n.Chop_dfg.Graph.id, IntMap.find n.Chop_dfg.Graph.id !starts)) ops in
+  let latencies = List.map (fun n -> (n.Chop_dfg.Graph.id, 1)) ops in
+  let length =
+    List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 start_list
+  in
+  ( { Schedule.graph = g; alloc; starts = start_list; latencies; length },
+    List.map
+      (fun n -> (n.Chop_dfg.Graph.id, IntMap.find n.Chop_dfg.Graph.id !offsets))
+      ops )
+
+let check ~delay ~budget (sched, offsets) =
+  let g = sched.Schedule.graph in
+  let exception Bad of string in
+  try
+    (* resources *)
+    List.iter
+      (fun (cls, cap) ->
+        Array.iteri
+          (fun step busy ->
+            if busy > cap then
+              raise
+                (Bad (Printf.sprintf "class %s oversubscribed at step %d" cls step)))
+          (Schedule.busy_profile sched ~cls))
+      sched.Schedule.alloc;
+    (* dependences and chain delays *)
+    List.iter
+      (fun (id, s) ->
+        let off = List.assoc id offsets in
+        let n = Chop_dfg.Graph.node g id in
+        if off +. delay n > budget +. 1e-9 then
+          raise (Bad (Printf.sprintf "node %d overruns the cycle budget" id));
+        List.iter
+          (fun p ->
+            let pn = Chop_dfg.Graph.node g p in
+            if Chop_dfg.Op.is_computational pn.Chop_dfg.Graph.op then begin
+              let ps = List.assoc p sched.Schedule.starts in
+              if s < ps then
+                raise (Bad (Printf.sprintf "node %d precedes its operand" id));
+              if s = ps then begin
+                let poff = List.assoc p offsets in
+                if off +. 1e-9 < poff +. delay pn then
+                  raise
+                    (Bad
+                       (Printf.sprintf
+                          "node %d chains before its operand settles" id))
+              end
+            end)
+          (Chop_dfg.Graph.preds g id))
+      sched.Schedule.starts;
+    Ok ()
+  with Bad reason -> Error reason

@@ -1,0 +1,33 @@
+(** Resource-constrained list scheduling with operator chaining.
+
+    In the single-cycle discipline a data-path cycle is long (the paper's
+    experiment 1 runs it at 10x the 300 ns main clock); synthesis tools of
+    the era chained dependent cheap operations combinationally inside one
+    cycle.  This scheduler allows an operation to share its predecessor's
+    control step when the accumulated combinational delay along the chain
+    stays within the cycle's [budget]; chained values bypass the register
+    file entirely.
+
+    Chained schedules violate {!Schedule.check}'s strict precedence (a
+    consumer may start at its producer's step), so validity is checked with
+    {!check} instead. *)
+
+val run :
+  delay:(Chop_dfg.Graph.node -> Chop_util.Units.ns) ->
+  budget:Chop_util.Units.ns ->
+  alloc:Schedule.alloc ->
+  Chop_dfg.Graph.t ->
+  Schedule.t * (Chop_dfg.Graph.node_id * Chop_util.Units.ns) list
+(** Returns the schedule (unit latencies) and each operation's combinational
+    offset within its step (0 for chain heads).  @raise Invalid_argument
+    when [budget <= 0], a computational node's [delay] exceeds [budget]
+    (it cannot fit any cycle), or the allocation misses a class. *)
+
+val check :
+  delay:(Chop_dfg.Graph.node -> Chop_util.Units.ns) ->
+  budget:Chop_util.Units.ns ->
+  Schedule.t * (Chop_dfg.Graph.node_id * Chop_util.Units.ns) list ->
+  (unit, string) result
+(** Chaining-aware validity: resources within allocation; every dependence
+    either crosses a step boundary or chains with consistent offsets and a
+    total chain delay within [budget]. *)

@@ -1,0 +1,28 @@
+(** Time-constrained force-directed scheduling (Paulin and Knight [9],
+    cited by the paper as one of the behavioral-synthesis methods whose
+    results BAD predicts).
+
+    Given a target schedule length, force-directed scheduling balances the
+    expected concurrency of each functional class across control steps: at
+    each iteration the (operation, step) assignment with the lowest force —
+    the smallest increase in the class's distribution graph — is fixed,
+    and mobilities are propagated.  The result minimizes the peak number of
+    units needed rather than the latency. *)
+
+val run :
+  ?latency:(Chop_dfg.Graph.node -> int) ->
+  length:int ->
+  Chop_dfg.Graph.t ->
+  Schedule.t
+(** Schedules every computational node within [length] steps; the returned
+    allocation is the per-class peak concurrency actually used (so
+    {!Schedule.check} holds).  [latency] defaults to one step per node.
+    @raise Invalid_argument when [length] is below the critical path. *)
+
+val min_units :
+  ?latency:(Chop_dfg.Graph.node -> int) ->
+  length:int ->
+  Chop_dfg.Graph.t ->
+  Schedule.alloc
+(** The allocation implied by {!run}: the fewest units per class that
+    force-directed scheduling achieves at the given length. *)

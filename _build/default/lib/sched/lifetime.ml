@@ -1,0 +1,67 @@
+type demand = { register_bits : int; peak_values : int }
+
+let analyze ?ii s =
+  (match ii with
+  | Some ii when ii < 1 -> invalid_arg "Lifetime.analyze: ii < 1"
+  | Some _ | None -> ());
+  let g = s.Schedule.graph in
+  let horizon = max 1 s.Schedule.length in
+  (* (birth, death, width) per value; death exclusive *)
+  let intervals =
+    List.filter_map
+      (fun n ->
+        let id = n.Chop_dfg.Graph.id in
+        let consumers =
+          List.filter
+            (fun c ->
+              Chop_dfg.Op.is_computational
+                (Chop_dfg.Graph.node g c).Chop_dfg.Graph.op)
+            (Chop_dfg.Graph.succs g id)
+        in
+        let feeds_output =
+          List.exists
+            (fun c -> (Chop_dfg.Graph.node g c).Chop_dfg.Graph.op = Chop_dfg.Op.Output)
+            (Chop_dfg.Graph.succs g id)
+        in
+        let birth =
+          match n.Chop_dfg.Graph.op with
+          | Chop_dfg.Op.Input -> Some 0
+          | Chop_dfg.Op.Const -> None (* constants live in dedicated storage *)
+          | op when Chop_dfg.Op.is_computational op -> Some (Schedule.finish s id)
+          | _ -> None
+        in
+        match birth with
+        | None -> None
+        | Some birth ->
+            let death =
+              let last_use =
+                List.fold_left
+                  (fun acc c -> max acc (Schedule.start s c + 1))
+                  birth consumers
+              in
+              if feeds_output then horizon else last_use
+            in
+            if death <= birth && consumers = [] && not feeds_output then None
+            else Some (birth, max death (birth + 1), n.Chop_dfg.Graph.width))
+      (Chop_dfg.Graph.nodes g)
+  in
+  let usage = Array.make horizon 0 and counts = Array.make horizon 0 in
+  let record step width =
+    let slot =
+      match ii with Some ii -> step mod ii | None -> step
+    in
+    if slot < horizon then begin
+      usage.(slot) <- usage.(slot) + width;
+      counts.(slot) <- counts.(slot) + 1
+    end
+  in
+  List.iter
+    (fun (birth, death, width) ->
+      for step = birth to min (death - 1) (horizon - 1) do
+        record step width
+      done)
+    intervals;
+  let register_bits = Array.fold_left max 0 usage in
+  let peak_step = ref 0 in
+  Array.iteri (fun i u -> if u > usage.(!peak_step) then peak_step := i) usage;
+  { register_bits; peak_values = counts.(!peak_step) }

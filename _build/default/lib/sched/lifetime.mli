@@ -1,0 +1,17 @@
+(** Value-lifetime analysis for register prediction.
+
+    A value is live from the step its producer finishes until the last step
+    a consumer starts; primary-input values are live from step 0, values
+    feeding primary outputs stay live until the schedule ends.  Register
+    demand is the peak number of live bits.  For pipelined designs the
+    lifetimes are folded modulo the initiation interval, since [stage_count]
+    problem instances are simultaneously in flight. *)
+
+type demand = {
+  register_bits : int;  (** peak live bits = predicted data-path register bits *)
+  peak_values : int;  (** number of values live at the peak step *)
+}
+
+val analyze : ?ii:int -> Schedule.t -> demand
+(** [ii] folds lifetimes for a pipelined design; omit it for non-pipelined.
+    @raise Invalid_argument when [ii < 1]. *)

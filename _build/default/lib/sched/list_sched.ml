@@ -1,0 +1,133 @@
+module IntMap = Map.Make (Int)
+
+(* Longest path (in latency steps) from each node to any sink, inclusive. *)
+let urgency g ~latency =
+  let order = List.rev (Chop_dfg.Analysis.topological_order g) in
+  List.fold_left
+    (fun acc id ->
+      let n = Chop_dfg.Graph.node g id in
+      let own =
+        if Chop_dfg.Op.is_computational n.Chop_dfg.Graph.op then latency n else 0
+      in
+      let downstream =
+        List.fold_left
+          (fun best s -> max best (IntMap.find s acc))
+          0
+          (Chop_dfg.Graph.succs g id)
+      in
+      IntMap.add id (own + downstream) acc)
+    IntMap.empty order
+
+let run ~latency ~alloc g =
+  Schedule.validate_alloc alloc;
+  let ops = Chop_dfg.Graph.operations g in
+  List.iter
+    (fun n ->
+      let cls = Chop_dfg.Op.functional_class n.Chop_dfg.Graph.op in
+      if Schedule.alloc_get alloc cls < 1 then
+        invalid_arg (Printf.sprintf "List_sched.run: no units allocated for %s" cls);
+      if latency n < 1 then
+        invalid_arg
+          (Printf.sprintf "List_sched.run: latency of %s must be >= 1"
+             n.Chop_dfg.Graph.name))
+    ops;
+  let urgencies = urgency g ~latency in
+  let lat_tbl = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace lat_tbl n.Chop_dfg.Graph.id (latency n)) ops;
+  (* remaining computational predecessors per op *)
+  let pending = Hashtbl.create 32 in
+  let comp_preds id =
+    List.filter
+      (fun p ->
+        Chop_dfg.Op.is_computational (Chop_dfg.Graph.node g p).Chop_dfg.Graph.op)
+      (Chop_dfg.Graph.preds g id)
+  in
+  List.iter
+    (fun n ->
+      Hashtbl.replace pending n.Chop_dfg.Graph.id
+        (List.length (comp_preds n.Chop_dfg.Graph.id)))
+    ops;
+  let ready = ref [] and starts = ref [] in
+  List.iter
+    (fun n ->
+      if Hashtbl.find pending n.Chop_dfg.Graph.id = 0 then
+        ready := n.Chop_dfg.Graph.id :: !ready)
+    ops;
+  (* (finish step, id) of operations in flight *)
+  let in_flight = ref [] in
+  let free = Hashtbl.create 8 in
+  List.iter (fun (cls, n) -> Hashtbl.replace free cls n) alloc;
+  let n_left = ref (List.length ops) in
+  let step = ref 0 in
+  let guard = ref 0 in
+  while !n_left > 0 do
+    incr guard;
+    if !guard > 1_000_000 then failwith "List_sched.run: no progress";
+    (* retire *)
+    let done_now, still = List.partition (fun (f, _) -> f <= !step) !in_flight in
+    in_flight := still;
+    List.iter
+      (fun (_, id) ->
+        let cls =
+          Chop_dfg.Op.functional_class (Chop_dfg.Graph.node g id).Chop_dfg.Graph.op
+        in
+        Hashtbl.replace free cls (1 + Hashtbl.find free cls);
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt pending s with
+            | Some k ->
+                Hashtbl.replace pending s (k - 1);
+                if k - 1 = 0 then ready := s :: !ready
+            | None -> ())
+          (Chop_dfg.Graph.succs g id))
+      done_now;
+    (* issue by decreasing urgency *)
+    let order =
+      List.sort
+        (fun a b -> Int.compare (IntMap.find b urgencies) (IntMap.find a urgencies))
+        !ready
+    in
+    ready := [];
+    List.iter
+      (fun id ->
+        let cls =
+          Chop_dfg.Op.functional_class (Chop_dfg.Graph.node g id).Chop_dfg.Graph.op
+        in
+        let avail = Hashtbl.find free cls in
+        if avail > 0 then begin
+          Hashtbl.replace free cls (avail - 1);
+          let lat = Hashtbl.find lat_tbl id in
+          starts := (id, !step) :: !starts;
+          in_flight := (!step + lat, id) :: !in_flight;
+          decr n_left
+        end
+        else ready := id :: !ready)
+      order;
+    incr step;
+    (* fast-forward to the next retirement when nothing can issue *)
+    if !ready <> [] || !n_left > 0 then
+      match !in_flight with
+      | [] -> ()
+      | flights ->
+          let next = List.fold_left (fun m (f, _) -> min m f) max_int flights in
+          if next > !step then step := next
+  done;
+  let starts = List.rev !starts in
+  let latencies = List.map (fun (id, _) -> (id, Hashtbl.find lat_tbl id)) starts in
+  let length =
+    List.fold_left
+      (fun acc (id, st) -> max acc (st + Hashtbl.find lat_tbl id))
+      0 starts
+  in
+  { Schedule.graph = g; alloc; starts; latencies; length }
+
+let minimal_alloc g =
+  Chop_dfg.Graph.op_profile g |> List.map (fun (cls, _) -> (cls, 1))
+
+let maximal_useful_alloc ?latency g =
+  let profile =
+    match latency with
+    | Some latency -> Chop_dfg.Analysis.max_width_profile ~latency g
+    | None -> Chop_dfg.Analysis.max_width_profile g
+  in
+  profile

@@ -1,0 +1,25 @@
+(** Resource-constrained list scheduling.
+
+    Critical-path list scheduling: ready operations are issued in order of
+    decreasing urgency (longest dependence chain to any sink, the measure of
+    Sehwa [8]), limited by the functional-unit allocation.  Functional units
+    are not internally pipelined: a multi-cycle operation occupies its unit
+    for its whole latency. *)
+
+val run :
+  latency:(Chop_dfg.Graph.node -> int) ->
+  alloc:Schedule.alloc ->
+  Chop_dfg.Graph.t ->
+  Schedule.t
+(** @raise Invalid_argument when the allocation misses a class the graph
+    needs, gives a non-positive count, or [latency] returns < 1 for a
+    computational node. *)
+
+val minimal_alloc : Chop_dfg.Graph.t -> Schedule.alloc
+(** One unit per functional class used by the graph — the most serial
+    allocation. *)
+
+val maximal_useful_alloc :
+  ?latency:(Chop_dfg.Graph.node -> int) -> Chop_dfg.Graph.t -> Schedule.alloc
+(** Per class, the peak number of simultaneously-ready operations in the
+    ASAP schedule — allocating more units can never improve the schedule. *)

@@ -1,0 +1,31 @@
+let feasible_ii s ~ii =
+  if ii < 1 then invalid_arg "Pipeline.feasible_ii: ii < 1";
+  if ii >= s.Schedule.length then true
+  else
+    List.for_all
+      (fun (cls, cap) ->
+        let profile = Schedule.busy_profile s ~cls in
+        let folded = Array.make ii 0 in
+        Array.iteri
+          (fun step busy -> folded.(step mod ii) <- folded.(step mod ii) + busy)
+          profile;
+        Array.for_all (fun busy -> busy <= cap) folded)
+      s.Schedule.alloc
+
+let min_ii s =
+  let lower_bound =
+    List.fold_left
+      (fun acc (cls, cap) ->
+        let work = Array.fold_left ( + ) 0 (Schedule.busy_profile s ~cls) in
+        max acc (Chop_util.Units.ceil_div work cap))
+      1 s.Schedule.alloc
+  in
+  let rec search ii =
+    if ii >= s.Schedule.length || feasible_ii s ~ii then ii else search (ii + 1)
+  in
+  search (max 1 lower_bound)
+
+let stage_count s ~ii =
+  if ii < 1 then invalid_arg "Pipeline.stage_count: ii < 1";
+  if s.Schedule.length = 0 then 1
+  else Chop_util.Units.ceil_div s.Schedule.length ii

@@ -1,0 +1,92 @@
+type alloc = (string * int) list
+
+let alloc_get alloc cls =
+  Option.value ~default:0 (List.assoc_opt cls alloc)
+
+let validate_alloc alloc =
+  let classes = List.map fst alloc in
+  if List.length (List.sort_uniq String.compare classes) <> List.length classes
+  then invalid_arg "Schedule: duplicate class in allocation";
+  List.iter
+    (fun (cls, n) ->
+      if n < 1 then
+        invalid_arg (Printf.sprintf "Schedule: allocation %s = %d < 1" cls n))
+    alloc
+
+type t = {
+  graph : Chop_dfg.Graph.t;
+  alloc : alloc;
+  starts : (Chop_dfg.Graph.node_id * int) list;
+  latencies : (Chop_dfg.Graph.node_id * int) list;
+  length : int;
+}
+
+let start s id = List.assoc id s.starts
+let latency s id = List.assoc id s.latencies
+let finish s id = start s id + latency s id
+
+let busy_profile s ~cls =
+  let profile = Array.make (max 1 s.length) 0 in
+  List.iter
+    (fun (id, st) ->
+      let n = Chop_dfg.Graph.node s.graph id in
+      if Chop_dfg.Op.functional_class n.Chop_dfg.Graph.op = cls then
+        for step = st to st + latency s id - 1 do
+          if step < Array.length profile then
+            profile.(step) <- profile.(step) + 1
+        done)
+    s.starts;
+  profile
+
+let check s =
+  let g = s.graph in
+  let exception Bad of string in
+  try
+    (* precedence *)
+    List.iter
+      (fun (id, st) ->
+        List.iter
+          (fun p ->
+            let pn = Chop_dfg.Graph.node g p in
+            if Chop_dfg.Op.is_computational pn.Chop_dfg.Graph.op then
+              let pf = finish s p in
+              if st < pf then
+                raise
+                  (Bad
+                     (Printf.sprintf "node %d starts at %d before pred %d finishes at %d"
+                        id st p pf)))
+          (Chop_dfg.Graph.preds g id))
+      s.starts;
+    (* resources *)
+    List.iter
+      (fun (cls, cap) ->
+        Array.iteri
+          (fun step busy ->
+            if busy > cap then
+              raise
+                (Bad
+                   (Printf.sprintf "class %s uses %d units at step %d (capacity %d)"
+                      cls busy step cap)))
+          (busy_profile s ~cls))
+      s.alloc;
+    (* length *)
+    List.iter
+      (fun (id, _) ->
+        if finish s id > s.length then
+          raise (Bad (Printf.sprintf "node %d finishes after schedule length" id)))
+      s.starts;
+    Ok ()
+  with Bad reason -> Error reason
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>schedule of %s: length %d, alloc [%s]@,"
+    (Chop_dfg.Graph.name s.graph) s.length
+    (String.concat "; "
+       (List.map (fun (c, n) -> Printf.sprintf "%s:%d" c n) s.alloc));
+  List.iter
+    (fun (id, st) ->
+      let n = Chop_dfg.Graph.node s.graph id in
+      Format.fprintf ppf "  %s @@ %d (+%d)@," n.Chop_dfg.Graph.name st
+        (latency s id))
+    (List.sort (fun (_, a) (_, b) -> Int.compare a b) s.starts);
+  Format.fprintf ppf "@]"

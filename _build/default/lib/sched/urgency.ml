@@ -1,0 +1,188 @@
+type resource = { rname : string; capacity : int }
+
+type task = {
+  tname : string;
+  duration : int;
+  demands : (string * int) list;
+  deps : string list;
+}
+
+type placed = { task : task; ready : int; start_step : int; finish_step : int }
+type result = { placed : placed list; makespan : int }
+
+exception Unschedulable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unschedulable s)) fmt
+
+let validate ~resources tasks =
+  let names = List.map (fun t -> t.tname) tasks in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Urgency.run: duplicate task name";
+  let rnames = List.map (fun r -> r.rname) resources in
+  if List.length (List.sort_uniq String.compare rnames) <> List.length rnames
+  then invalid_arg "Urgency.run: duplicate resource name";
+  List.iter
+    (fun t ->
+      if t.duration < 0 then invalid_arg "Urgency.run: negative duration";
+      List.iter
+        (fun (r, units) ->
+          if units < 0 then invalid_arg "Urgency.run: negative demand";
+          match List.find_opt (fun res -> res.rname = r) resources with
+          | None -> fail "task %s demands unknown resource %s" t.tname r
+          | Some res ->
+              if units > res.capacity then
+                fail "task %s demands %d of %s (capacity %d)" t.tname units r
+                  res.capacity)
+        t.demands;
+      List.iter
+        (fun d ->
+          if not (List.mem d names) then
+            fail "task %s depends on unknown task %s" t.tname d)
+        t.deps)
+    tasks
+
+(* Urgency: longest chain of durations from the task to any sink,
+   inclusive — tasks holding up long futures go first. *)
+let urgencies tasks =
+  let tbl = Hashtbl.create 16 in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace by_name t.tname t) tasks;
+  let succs = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun d ->
+          Hashtbl.replace succs d
+            (t.tname :: Option.value ~default:[] (Hashtbl.find_opt succs d)))
+        t.deps)
+    tasks;
+  let visiting = Hashtbl.create 16 in
+  let rec urgency name =
+    match Hashtbl.find_opt tbl name with
+    | Some u -> u
+    | None ->
+        if Hashtbl.mem visiting name then fail "cyclic task dependencies at %s" name;
+        Hashtbl.replace visiting name ();
+        let t = Hashtbl.find by_name name in
+        let downstream =
+          List.fold_left
+            (fun acc s -> max acc (urgency s))
+            0
+            (Option.value ~default:[] (Hashtbl.find_opt succs name))
+        in
+        Hashtbl.remove visiting name;
+        let u = t.duration + downstream in
+        Hashtbl.replace tbl name u;
+        u
+  in
+  List.iter (fun t -> ignore (urgency t.tname)) tasks;
+  tbl
+
+let run ~resources tasks =
+  validate ~resources tasks;
+  let urg = urgencies tasks in
+  let finished = Hashtbl.create 16 in (* name -> finish step *)
+  let placed = ref [] in
+  (* usage.(resource) = list of (finish_step, units) currently held *)
+  let held = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace held r.rname []) resources;
+  let capacity r = (List.find (fun res -> res.rname = r) resources).capacity in
+  let in_use r step =
+    List.fold_left
+      (fun acc (f, units) -> if f > step then acc + units else acc)
+      0 (Hashtbl.find held r)
+  in
+  let remaining = ref tasks in
+  let step = ref 0 in
+  let guard = ref 0 in
+  while !remaining <> [] do
+    incr guard;
+    if !guard > 2_000_000 then fail "no progress (internal)";
+    let ready, blocked =
+      List.partition
+        (fun t -> List.for_all (fun d -> (
+           match Hashtbl.find_opt finished d with
+           | Some f -> f <= !step
+           | None -> false)) t.deps)
+        !remaining
+    in
+    let ready =
+      List.sort
+        (fun a b -> Int.compare (Hashtbl.find urg b.tname) (Hashtbl.find urg a.tname))
+        ready
+    in
+    let still_waiting = ref [] in
+    List.iter
+      (fun t ->
+        let fits =
+          List.for_all
+            (fun (r, units) -> in_use r !step + units <= capacity r)
+            t.demands
+        in
+        if fits then begin
+          List.iter
+            (fun (r, units) ->
+              Hashtbl.replace held r ((!step + t.duration, units) :: Hashtbl.find held r))
+            t.demands;
+          let ready_at =
+            List.fold_left (fun acc d -> max acc (Hashtbl.find finished d)) 0 t.deps
+          in
+          Hashtbl.replace finished t.tname (!step + t.duration);
+          placed :=
+            { task = t; ready = ready_at; start_step = !step;
+              finish_step = !step + t.duration }
+            :: !placed
+        end
+        else still_waiting := t :: !still_waiting)
+      ready;
+    remaining := List.rev_append !still_waiting blocked;
+    if !remaining <> [] then begin
+      (* advance to the next event: a running task finishing after now *)
+      let next =
+        Hashtbl.fold
+          (fun _ holds acc ->
+            List.fold_left
+              (fun acc (f, _) -> if f > !step then min acc f else acc)
+              acc holds)
+          held max_int
+      in
+      let next =
+        Hashtbl.fold (fun _ f acc -> if f > !step then min acc f else acc) finished next
+      in
+      if next = max_int then
+        (* nothing running: zero-duration chains — advance one step *)
+        incr step
+      else step := next
+    end
+  done;
+  let placed = List.rev !placed in
+  let makespan = List.fold_left (fun acc p -> max acc p.finish_step) 0 placed in
+  { placed; makespan }
+
+let wait_of result name =
+  let p = List.find (fun p -> p.task.tname = name) result.placed in
+  p.start_step - p.ready
+
+let critical_path result =
+  (* walk back from a task realizing the makespan through the dependency or
+     resource wait that pinned its start *)
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace by_name p.task.tname p) result.placed;
+  let rec back p acc =
+    let acc = p.task.tname :: acc in
+    let pinning =
+      List.filter_map
+        (fun d ->
+          let dp = Hashtbl.find by_name d in
+          if dp.finish_step = p.ready && p.ready > 0 then Some dp else None)
+        p.task.deps
+    in
+    match pinning with
+    | dp :: _ -> back dp acc
+    | [] -> acc
+  in
+  match
+    List.find_opt (fun p -> p.finish_step = result.makespan) result.placed
+  with
+  | None -> []
+  | Some last -> back last []

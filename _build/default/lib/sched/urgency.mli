@@ -1,0 +1,50 @@
+(** Urgency scheduling of system-level tasks.
+
+    Once partition and data-transfer delays are known, CHOP performs an
+    urgency scheduling "to confirm feasibility of sharing the data pins of
+    chips as well as to keep memory accesses to each memory block feasible
+    while reaching the minimum overall system delay"; the urgency measure is
+    based on the actual critical-path delays of tasks, as in Sehwa [8]
+    (paper, section 2.5).
+
+    Resources are renewable with integer capacity (a chip's shared data
+    pins, a memory block's ports); a task holds its demanded units for its
+    whole duration. *)
+
+type resource = { rname : string; capacity : int }
+
+type task = {
+  tname : string;
+  duration : int;  (** main-clock cycles; >= 0 *)
+  demands : (string * int) list;  (** resource name -> units held *)
+  deps : string list;  (** task names that must finish first *)
+}
+
+type placed = {
+  task : task;
+  ready : int;  (** step all dependencies had finished *)
+  start_step : int;  (** step the task acquired its resources *)
+  finish_step : int;  (** [start_step + duration] *)
+}
+
+type result = {
+  placed : placed list;  (** in start order *)
+  makespan : int;
+}
+
+exception Unschedulable of string
+
+val run : resources:resource list -> task list -> result
+(** @raise Unschedulable when a task demands more units than a resource's
+    capacity, references an unknown resource or dependency, or the
+    dependency graph is cyclic.
+    @raise Invalid_argument on negative durations/demands or duplicate
+    names. *)
+
+val wait_of : result -> string -> int
+(** [start - ready] of the named task: how long its input data sat in a
+    buffer before the task could acquire pins/ports.
+    @raise Not_found for an unknown task. *)
+
+val critical_path : result -> string list
+(** One chain of task names realizing the makespan, source to sink. *)

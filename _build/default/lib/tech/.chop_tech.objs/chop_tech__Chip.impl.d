@@ -1,0 +1,1 @@
+lib/tech/chip.ml: Chop_util Format Printf

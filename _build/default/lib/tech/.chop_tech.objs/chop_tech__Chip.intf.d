@@ -1,0 +1,1 @@
+lib/tech/chip.mli: Chop_util Format

@@ -1,0 +1,1 @@
+lib/tech/clocking.ml: Chop_util Format

@@ -1,0 +1,1 @@
+lib/tech/clocking.mli: Chop_util Format

@@ -1,0 +1,1 @@
+lib/tech/component.ml: Chop_dfg Chop_util Float Format List Printf String

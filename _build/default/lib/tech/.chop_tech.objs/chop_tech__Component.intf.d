@@ -1,0 +1,1 @@
+lib/tech/component.mli: Chop_dfg Chop_util Format

@@ -1,0 +1,1 @@
+lib/tech/cost.ml: Chip Chop_util Float

@@ -1,0 +1,1 @@
+lib/tech/cost.mli: Chip Chop_util

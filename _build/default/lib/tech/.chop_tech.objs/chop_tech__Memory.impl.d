@@ -1,0 +1,1 @@
+lib/tech/memory.ml: Chop_util Format Printf

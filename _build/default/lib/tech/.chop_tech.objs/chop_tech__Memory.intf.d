@@ -1,0 +1,1 @@
+lib/tech/memory.mli: Chop_util Format

@@ -1,0 +1,1 @@
+lib/tech/mosis.ml: Chip Component

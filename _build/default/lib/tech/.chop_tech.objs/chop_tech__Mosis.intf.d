@@ -1,0 +1,1 @@
+lib/tech/mosis.mli: Chip Chop_util Component

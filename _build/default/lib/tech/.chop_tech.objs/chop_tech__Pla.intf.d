@@ -1,0 +1,1 @@
+lib/tech/pla.mli: Chop_util

@@ -1,0 +1,1 @@
+lib/tech/wiring.ml: Chop_util

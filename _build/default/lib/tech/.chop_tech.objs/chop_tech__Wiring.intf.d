@@ -1,0 +1,1 @@
+lib/tech/wiring.mli: Chop_util

@@ -1,0 +1,46 @@
+type t = {
+  pkg_name : string;
+  width : Chop_util.Units.mil;
+  height : Chop_util.Units.mil;
+  pins : int;
+  pad_delay : Chop_util.Units.ns;
+  pad_area : Chop_util.Units.mil2;
+}
+
+let make ~name ~width ~height ~pins ~pad_delay ~pad_area =
+  if width <= 0. || height <= 0. then invalid_arg "Chip.make: non-positive die";
+  if pins <= 0 then invalid_arg "Chip.make: non-positive pin count";
+  if pad_delay < 0. || pad_area < 0. then invalid_arg "Chip.make: negative pad";
+  { pkg_name = name; width; height; pins; pad_delay; pad_area }
+
+let project_area c = Chop_util.Units.mil2_of_dims ~width:c.width ~height:c.height
+
+let usable_area c ~signal_pins =
+  if signal_pins < 0 || signal_pins > c.pins then
+    invalid_arg "Chip.usable_area: signal pins exceed package";
+  project_area c -. (float_of_int signal_pins *. c.pad_area)
+
+type pin_budget = {
+  total : int;
+  power_ground : int;
+  clock : int;
+  control : int;
+  memory_lines : int;
+  data : int;
+}
+
+let pin_budget c ?(power_ground = 4) ?(clock = 2) ~control ~memory_lines () =
+  if control < 0 || memory_lines < 0 then invalid_arg "Chip.pin_budget: negative";
+  let data = c.pins - power_ground - clock - control - memory_lines in
+  if data < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Chip.pin_budget: %s has %d pins but %d are reserved (infeasible)"
+         c.pkg_name c.pins (c.pins - data))
+  else
+    { total = c.pins; power_ground; clock; control; memory_lines; data }
+
+let pp ppf c =
+  Format.fprintf ppf "%s: %.2f x %.2f mil, %d pins, pad %a / %a" c.pkg_name
+    c.width c.height c.pins Chop_util.Units.pp_ns c.pad_delay
+    Chop_util.Units.pp_mil2 c.pad_area

@@ -1,0 +1,55 @@
+(** Chip packages — the paper's Table 2 input group.
+
+    The chip-set information is "in the form of actual chip packages": die
+    dimensions of the project area, pin count, pad delay and I/O pad area
+    (paper, section 2.2). *)
+
+type t = private {
+  pkg_name : string;
+  width : Chop_util.Units.mil;  (** project-area width *)
+  height : Chop_util.Units.mil;  (** project-area height *)
+  pins : int;  (** package pin count *)
+  pad_delay : Chop_util.Units.ns;  (** I/O pad delay *)
+  pad_area : Chop_util.Units.mil2;  (** area of one I/O pad *)
+}
+
+val make :
+  name:string ->
+  width:Chop_util.Units.mil ->
+  height:Chop_util.Units.mil ->
+  pins:int ->
+  pad_delay:Chop_util.Units.ns ->
+  pad_area:Chop_util.Units.mil2 ->
+  t
+(** @raise Invalid_argument on non-positive dimensions or pin count. *)
+
+val project_area : t -> Chop_util.Units.mil2
+(** Raw die project area (before pad deduction). *)
+
+val usable_area : t -> signal_pins:int -> Chop_util.Units.mil2
+(** Project area minus the pad area of the signal pins actually bonded.
+    @raise Invalid_argument when [signal_pins] exceeds the package pins. *)
+
+(** {1 Pin budget}
+
+    Hard pin-count constraints "cannot be changed by CHOP" (section 2.5).
+    The budget deducts infrastructure pins from the package count. *)
+
+type pin_budget = {
+  total : int;
+  power_ground : int;
+  clock : int;
+  control : int;  (** distributed-control handshake pins reserved per chip *)
+  memory_lines : int;  (** Select and R/W lines for attached memory blocks *)
+  data : int;  (** remaining pins usable for shared data transfer *)
+}
+
+val pin_budget :
+  t -> ?power_ground:int -> ?clock:int -> control:int -> memory_lines:int -> unit ->
+  pin_budget
+(** [power_ground] defaults to 4 and [clock] to 2.
+    @raise Invalid_argument when the reservations exceed the package pins
+    (the partitioning is then trivially infeasible and the caller should
+    have rejected it). *)
+
+val pp : Format.formatter -> t -> unit

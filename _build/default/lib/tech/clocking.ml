@@ -1,0 +1,20 @@
+type t = {
+  main : Chop_util.Units.ns;
+  datapath_ratio : int;
+  transfer_ratio : int;
+}
+
+let make ~main ~datapath_ratio ~transfer_ratio =
+  if main <= 0. then invalid_arg "Clocking.make: non-positive main cycle";
+  if datapath_ratio < 1 || transfer_ratio < 1 then
+    invalid_arg "Clocking.make: ratios must be >= 1";
+  { main; datapath_ratio; transfer_ratio }
+
+let datapath_cycle c = c.main *. float_of_int c.datapath_ratio
+let transfer_cycle c = c.main *. float_of_int c.transfer_ratio
+let main_cycles_of_datapath c n = n * c.datapath_ratio
+let main_cycles_of_transfer c n = n * c.transfer_ratio
+
+let pp ppf c =
+  Format.fprintf ppf "main %a (datapath x%d, transfer x%d)"
+    Chop_util.Units.pp_ns c.main c.datapath_ratio c.transfer_ratio

@@ -1,0 +1,26 @@
+(** Clock configuration.
+
+    CHOP assumes two separate clocks — one for the data path and one for
+    data transfer — both synchronous with the major clock, their frequencies
+    being integer divisions of it (paper, section 2.2).  The main clock
+    cycle is an input to the system. *)
+
+type t = private {
+  main : Chop_util.Units.ns;  (** the major clock cycle *)
+  datapath_ratio : int;  (** data-path cycle = ratio x main *)
+  transfer_ratio : int;  (** data-transfer cycle = ratio x main *)
+}
+
+val make :
+  main:Chop_util.Units.ns -> datapath_ratio:int -> transfer_ratio:int -> t
+(** @raise Invalid_argument on non-positive main cycle or ratios. *)
+
+val datapath_cycle : t -> Chop_util.Units.ns
+val transfer_cycle : t -> Chop_util.Units.ns
+
+val main_cycles_of_datapath : t -> int -> int
+(** Convert a duration in data-path cycles to main-clock cycles. *)
+
+val main_cycles_of_transfer : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type t = {
+  cname : string;
+  cls : string;
+  width : Chop_util.Units.bits;
+  area : Chop_util.Units.mil2;
+  delay : Chop_util.Units.ns;
+  power : float;
+}
+
+let make ?power ~name ~cls ~width ~area ~delay () =
+  if width <= 0 then invalid_arg "Component.make: width <= 0";
+  if area <= 0. then invalid_arg "Component.make: area <= 0";
+  if delay <= 0. then invalid_arg "Component.make: delay <= 0";
+  let power = match power with Some p -> p | None -> area /. 1000. in
+  if power < 0. then invalid_arg "Component.make: negative power";
+  { cname = name; cls; width; area; delay; power }
+
+type library = t list
+
+let alternatives lib ~cls =
+  List.filter (fun c -> c.cls = cls) lib
+  |> List.sort (fun a b -> Float.compare a.delay b.delay)
+
+let classes lib =
+  List.map (fun c -> c.cls) lib |> List.sort_uniq String.compare
+
+let is_memport_class cls =
+  String.length cls >= 8 && String.sub cls 0 8 = "memport:"
+
+let needed_classes g =
+  List.map fst (Chop_dfg.Graph.op_profile g)
+  |> List.filter (fun cls -> not (is_memport_class cls))
+(* memory ports are provided by memory modules, not the component library *)
+
+let covers lib g =
+  List.for_all (fun cls -> alternatives lib ~cls <> []) (needed_classes g)
+
+let module_sets lib g =
+  let per_class = List.map (fun cls -> alternatives lib ~cls) (needed_classes g) in
+  if List.exists (( = ) []) per_class then []
+  else Chop_util.Listx.cartesian per_class
+
+let find lib ~name = List.find (fun c -> c.cname = name) lib
+
+let rescale ~width c =
+  if width <= 0 then invalid_arg "Component.rescale: width <= 0";
+  if width = c.width then c
+  else begin
+    let r = float_of_int width /. float_of_int c.width in
+    let area_scale, delay_scale =
+      match c.cls with
+      | "mult" | "div" -> (r *. r, r)
+      | _ -> (r, r)
+    in
+    {
+      c with
+      cname = Printf.sprintf "%s_w%d" c.cname width;
+      width;
+      area = c.area *. area_scale;
+      delay = c.delay *. delay_scale;
+      power = c.power *. area_scale;
+    }
+  end
+
+let rescale_library ~width lib =
+  List.map (fun c -> if c.width = 1 then c else rescale ~width c) lib
+
+let shrink ~factor c =
+  if not (factor > 0. && factor <= 1.) then
+    invalid_arg "Component.shrink: factor must be in (0, 1]";
+  {
+    c with
+    cname = Printf.sprintf "%s_s%02.0f" c.cname (factor *. 100.);
+    area = c.area *. factor *. factor;
+    delay = c.delay *. factor;
+    power = c.power *. factor *. factor;
+  }
+
+let shrink_library ~factor lib = List.map (shrink ~factor) lib
+
+let pp ppf c =
+  Format.fprintf ppf "%s (%s, %d bit): %a, %a" c.cname c.cls c.width
+    Chop_util.Units.pp_mil2 c.area Chop_util.Units.pp_ns c.delay

@@ -1,0 +1,74 @@
+(** Component (module) libraries — the paper's Table 1 input group.
+
+    Each entry implements one functional class at a given bit width with an
+    area/delay point; a library generally holds several alternatives per
+    class (serial vs. parallel implementations). *)
+
+type t = private {
+  cname : string;
+  cls : string;  (** functional class, see {!Chop_dfg.Op.functional_class} *)
+  width : Chop_util.Units.bits;
+  area : Chop_util.Units.mil2;
+  delay : Chop_util.Units.ns;
+  power : float;  (** mW at nominal frequency; extension hook (paper §5) *)
+}
+
+val make :
+  ?power:float ->
+  name:string ->
+  cls:string ->
+  width:Chop_util.Units.bits ->
+  area:Chop_util.Units.mil2 ->
+  delay:Chop_util.Units.ns ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive width/area/delay or negative
+    power.  [power] defaults to [area /. 1000.], a crude proportionality. *)
+
+type library = t list
+
+val alternatives : library -> cls:string -> t list
+(** Entries implementing [cls], fastest first.
+    The list is empty when the class is not covered. *)
+
+val classes : library -> string list
+(** Functional classes covered, sorted. *)
+
+val is_memport_class : string -> bool
+(** Recognizes the per-block ["memport:<block>"] classes, which are
+    provided by memory modules rather than the component library. *)
+
+val covers : library -> Chop_dfg.Graph.t -> bool
+(** Does the library implement every functional class the graph needs? *)
+
+val module_sets : library -> Chop_dfg.Graph.t -> t list list
+(** All module-set configurations for a graph: one way of choosing a single
+    library entry per functional class used by the graph (paper: "includes
+    all possible module-set combinations"; the experiment library allows
+    3 adders x 3 multipliers = 9 sets).  Each set is sorted by class. *)
+
+val find : library -> name:string -> t
+(** @raise Not_found for an unknown component name. *)
+
+val rescale : width:Chop_util.Units.bits -> t -> t
+(** [rescale ~width c] derives a component of another bit width from [c]
+    using first-order 3µ scaling laws: area scales linearly for adders,
+    shifters, logic, registers and multiplexers, quadratically for
+    multipliers and dividers; delay scales with the carry/partial-product
+    chain, i.e. linearly in width for adders and multipliers.
+    @raise Invalid_argument when [width <= 0]. *)
+
+val rescale_library : width:Chop_util.Units.bits -> library -> library
+(** Rescale every word-wide entry of a library (1-bit cells are left
+    untouched). *)
+
+val shrink : factor:float -> t -> t
+(** [shrink ~factor c] moves the cell to a finer process node: linear
+    dimensions scale by [factor < 1], so area scales by [factor²] and
+    delay (gate plus local wire) by [factor].  Power follows area.
+    @raise Invalid_argument unless [0 < factor <= 1]. *)
+
+val shrink_library : factor:float -> library -> library
+(** Shrink every entry (1-bit cells included: the whole node moves). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type model = {
+  wafer_cost : float;
+  wafer_diameter : float;
+  defect_density : float;
+  package_base : float;
+  package_per_pin : float;
+  board_per_chip : float;
+}
+
+(* A 4-inch (100 mm ~ 3940 mil) wafer processed for ~$800, with a defect
+   density around 2 per cm^2 (1 cm^2 ~ 155k mil^2). *)
+let default_3u =
+  {
+    wafer_cost = 800.;
+    wafer_diameter = 3940.;
+    defect_density = 2. /. 155_000.;
+    package_base = 4.;
+    package_per_pin = 0.08;
+    board_per_chip = 6.;
+  }
+
+let dies_per_wafer m ~die_area =
+  if die_area <= 0. then invalid_arg "Cost.dies_per_wafer: non-positive die";
+  let r = m.wafer_diameter /. 2. in
+  let wafer_area = Float.pi *. r *. r in
+  (* the classic gross-die formula: area ratio minus edge loss *)
+  let gross =
+    (wafer_area /. die_area)
+    -. (Float.pi *. m.wafer_diameter /. sqrt (2. *. die_area))
+  in
+  max 1 (int_of_float gross)
+
+let yield_fraction m ~die_area =
+  if die_area <= 0. then invalid_arg "Cost.yield_fraction: non-positive die";
+  let ad = die_area *. m.defect_density in
+  if ad < 1e-9 then 1.
+  else
+    let f = (1. -. exp (-.ad)) /. ad in
+    f *. f
+
+let die_cost m ~die_area =
+  let good =
+    float_of_int (dies_per_wafer m ~die_area) *. yield_fraction m ~die_area
+  in
+  m.wafer_cost /. Float.max 1. good
+
+let chip_cost m (c : Chip.t) =
+  die_cost m ~die_area:(Chip.project_area c)
+  +. m.package_base
+  +. (m.package_per_pin *. float_of_int c.Chip.pins)
+  +. m.board_per_chip
+
+let chip_set_cost m chips =
+  Chop_util.Listx.sum_byf (chip_cost m) chips

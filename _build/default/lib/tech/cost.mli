@@ -1,0 +1,36 @@
+(** Manufacturing cost model.
+
+    "Target chip characteristics generally dictate the overall manufacturing
+    cost of the design" (paper, section 2.7).  This model prices a chip set
+    so searches can rank feasible partitionings by cost, not just speed:
+    die cost from wafer price and defect-limited yield (Murphy's model),
+    package cost per pin, and a per-chip board/assembly charge. *)
+
+type model = {
+  wafer_cost : float;  (** dollars per processed wafer *)
+  wafer_diameter : float;  (** mil *)
+  defect_density : float;  (** defects per mil^2 *)
+  package_base : float;  (** dollars per package *)
+  package_per_pin : float;  (** dollars per pin *)
+  board_per_chip : float;  (** assembly + board area charge per chip *)
+}
+
+val default_3u : model
+(** Constants plausible for a late-80s 3µ MOSIS run. *)
+
+val dies_per_wafer : model -> die_area:Chop_util.Units.mil2 -> int
+(** Gross dies per wafer (area ratio with edge loss).
+    @raise Invalid_argument on non-positive die area. *)
+
+val yield_fraction : model -> die_area:Chop_util.Units.mil2 -> float
+(** Murphy yield: [((1 - e^-AD) / AD)^2] for defect density [D] and die
+    area [A]; in (0, 1]. *)
+
+val die_cost : model -> die_area:Chop_util.Units.mil2 -> float
+(** Wafer cost amortized over *good* dies. *)
+
+val chip_cost : model -> Chip.t -> float
+(** Die + package + board charge for one populated chip site. *)
+
+val chip_set_cost : model -> Chip.t list -> float
+(** Total for a multi-chip partitioning's chip set. *)

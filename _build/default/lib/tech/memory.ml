@@ -1,0 +1,39 @@
+type placement = On_chip of Chop_util.Units.mil2 | Off_chip_package of int
+
+type t = {
+  mname : string;
+  words : int;
+  word_width : Chop_util.Units.bits;
+  ports : int;
+  access : Chop_util.Units.ns;
+  placement : placement;
+}
+
+let make ~name ~words ~word_width ~ports ~access ~placement =
+  if words <= 0 || word_width <= 0 || ports <= 0 then
+    invalid_arg "Memory.make: non-positive geometry";
+  if access <= 0. then invalid_arg "Memory.make: non-positive access time";
+  (match placement with
+  | On_chip a when a <= 0. -> invalid_arg "Memory.make: non-positive area"
+  | Off_chip_package p when p <= 0 -> invalid_arg "Memory.make: non-positive pins"
+  | On_chip _ | Off_chip_package _ -> ());
+  { mname = name; words; word_width; ports; access; placement }
+
+let bandwidth_bits_per_cycle m ~cycle =
+  if cycle <= 0. then invalid_arg "Memory.bandwidth: non-positive cycle";
+  let cycles_per_access = max 1 (Chop_util.Units.ceil_div_ns m.access cycle) in
+  m.ports * m.word_width / cycles_per_access |> max 1
+
+let select_rw_lines _m = 2
+
+let bus_pins m =
+  match m.placement with
+  | On_chip _ -> 0
+  | Off_chip_package _ -> m.word_width * m.ports
+
+let pp ppf m =
+  Format.fprintf ppf "%s: %dx%d, %d port(s), %a, %s" m.mname m.words
+    m.word_width m.ports Chop_util.Units.pp_ns m.access
+    (match m.placement with
+    | On_chip a -> Printf.sprintf "on-chip (%.0f mil^2)" a
+    | Off_chip_package p -> Printf.sprintf "off-chip (%d-pin package)" p)

@@ -1,0 +1,47 @@
+(** Memory modules and their chip assignments — the paper's fourth input
+    group: "on and off chip memory modules to be used and assignments of
+    memory modules to chips" (section 2.2).  The memory hierarchy is
+    designed prior to partitioning. *)
+
+type placement =
+  | On_chip of Chop_util.Units.mil2
+      (** consumes the given area on the chip it is assigned to *)
+  | Off_chip_package of int
+      (** an off-the-shelf memory chip with its own package of the given pin
+          count; consumes no partition-chip area, but the accessing chip
+          spends data pins on the memory bus *)
+
+type t = private {
+  mname : string;
+  words : int;
+  word_width : Chop_util.Units.bits;
+  ports : int;  (** simultaneous access ports *)
+  access : Chop_util.Units.ns;  (** access time *)
+  placement : placement;
+}
+
+val make :
+  name:string ->
+  words:int ->
+  word_width:Chop_util.Units.bits ->
+  ports:int ->
+  access:Chop_util.Units.ns ->
+  placement:placement ->
+  t
+(** @raise Invalid_argument on non-positive geometry. *)
+
+val bandwidth_bits_per_cycle : t -> cycle:Chop_util.Units.ns -> int
+(** Peak bits deliverable per data-transfer cycle: [ports * word_width]
+    when the access time fits in the cycle, scaled down by
+    [ceil (access / cycle)] otherwise. *)
+
+val select_rw_lines : t -> int
+(** Chip pins reserved for this block's Select and R/W lines on every chip
+    that accesses it (these "necessary signal pins ... are not shared",
+    section 2.4). *)
+
+val bus_pins : t -> int
+(** Data-bus pins an accessing chip must drive for an off-chip block
+    ([word_width * ports]); 0 for an on-chip block. *)
+
+val pp : Format.formatter -> t -> unit

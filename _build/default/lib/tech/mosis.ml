@@ -1,0 +1,36 @@
+let c = Component.make
+
+let register_cell = c ~name:"register" ~cls:"register" ~width:1 ~area:31. ~delay:5. ()
+let mux_cell = c ~name:"mux" ~cls:"mux" ~width:1 ~area:18. ~delay:4. ()
+
+let experiment_library =
+  [
+    c ~name:"add1" ~cls:"add" ~width:16 ~area:4200. ~delay:34. ();
+    c ~name:"add2" ~cls:"add" ~width:16 ~area:2880. ~delay:53. ();
+    c ~name:"add3" ~cls:"add" ~width:16 ~area:1200. ~delay:151. ();
+    c ~name:"mul1" ~cls:"mult" ~width:16 ~area:49000. ~delay:375. ();
+    c ~name:"mul2" ~cls:"mult" ~width:16 ~area:9800. ~delay:2950. ();
+    c ~name:"mul3" ~cls:"mult" ~width:16 ~area:7100. ~delay:7370. ();
+    register_cell;
+    mux_cell;
+  ]
+
+let extended_library =
+  experiment_library
+  @ [
+      c ~name:"shift1" ~cls:"shift" ~width:16 ~area:900. ~delay:40. ();
+      c ~name:"select1" ~cls:"select" ~width:16 ~area:320. ~delay:12. ();
+      c ~name:"logic1" ~cls:"logic" ~width:16 ~area:450. ~delay:18. ();
+      c ~name:"div1" ~cls:"div" ~width:16 ~area:12500. ~delay:4100. ();
+    ]
+
+let package_64 =
+  Chip.make ~name:"pkg64" ~width:311.02 ~height:362.20 ~pins:64 ~pad_delay:25.
+    ~pad_area:297.60
+
+let package_84 =
+  Chip.make ~name:"pkg84" ~width:311.02 ~height:362.20 ~pins:84 ~pad_delay:25.
+    ~pad_area:297.60
+
+let packages = [ package_64; package_84 ]
+let main_clock = 300.

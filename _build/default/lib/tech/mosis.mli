@@ -1,0 +1,30 @@
+(** The paper's experimental technology data: the 3µ design library of
+    Table 1 and the MOSIS standard chip packages of Table 2. *)
+
+val experiment_library : Component.library
+(** Table 1: add1/add2/add3, mul1/mul2/mul3 (16 bit), plus the 1-bit
+    register and 2:1 multiplexer cells. *)
+
+val extended_library : Component.library
+(** {!experiment_library} extended with the 3µ cells Table 1 omits but
+    general behavioral specifications need: a barrel shifter, a 16-bit
+    word select (conditional), a bitwise-logic unit and a serial divider.
+    Areas and delays are scaled from the Table 1 adder/multiplier cells. *)
+
+val register_cell : Component.t
+(** 1-bit register: 31 mil^2, 5 ns. *)
+
+val mux_cell : Component.t
+(** 1-bit 2:1 multiplexer: 18 mil^2, 4 ns. *)
+
+val package_64 : Chip.t
+(** Table 2 row 1: 311.02 x 362.20 mil, 64 pins, 25 ns pad delay,
+    297.60 mil^2 pad area. *)
+
+val package_84 : Chip.t
+(** Table 2 row 2: same die, 84 pins. *)
+
+val packages : Chip.t list
+
+val main_clock : Chop_util.Units.ns
+(** 300 ns, the main clock cycle of both experiments. *)

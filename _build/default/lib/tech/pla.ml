@@ -1,0 +1,49 @@
+type shape = { inputs : int; outputs : int; product_terms : int }
+
+(* 3u-technology constants: one PLA cell is ~1.2 mil^2; peripheral drivers
+   and sense amplifiers cost a fixed 200 mil^2. *)
+let cell_area = 1.2
+let peripheral_area = 200.
+let base_delay = 8.
+let delay_per_input = 0.4
+let delay_per_term = 0.12
+let delay_per_output = 0.08
+
+let check s =
+  if s.inputs < 0 || s.outputs < 0 || s.product_terms < 0 then
+    invalid_arg "Pla: negative shape"
+
+let area s =
+  check s;
+  if s.product_terms = 0 || s.inputs + s.outputs = 0 then 0.
+  else
+    (float_of_int (((2 * s.inputs) + s.outputs) * s.product_terms) *. cell_area)
+    +. peripheral_area
+
+let delay s =
+  check s;
+  if s.product_terms = 0 then 0.
+  else
+    base_delay
+    +. (delay_per_input *. float_of_int s.inputs)
+    +. (delay_per_term *. float_of_int s.product_terms)
+    +. (delay_per_output *. float_of_int s.outputs)
+
+let bits_for n =
+  let rec go b acc = if acc >= n then b else go (b + 1) (acc * 2) in
+  if n <= 1 then 0 else go 1 2
+
+let controller_shape ~states ~status_inputs ~control_outputs =
+  if states < 1 then invalid_arg "Pla.controller_shape: states < 1";
+  if status_inputs < 0 || control_outputs < 0 then
+    invalid_arg "Pla.controller_shape: negative";
+  let state_bits = bits_for states in
+  (* Short schedules get one-hot-style decode terms; long schedules are
+     assumed to use a counter with horizontal decoding, so product terms
+     saturate instead of growing linearly forever. *)
+  let product_terms =
+    if states <= 64 then states + (states / 4) + 1
+    else 81 + ((states - 64) / 8)
+  in
+  { inputs = state_bits + status_inputs; outputs = state_bits + control_outputs;
+    product_terms }

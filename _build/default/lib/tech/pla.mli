@@ -1,0 +1,21 @@
+(** PLA area/delay model (3µ technology).
+
+    BAD predicts PLA-based controller area and delay from the number of
+    inputs, outputs and product terms; CHOP uses "the same methods" for the
+    data-transfer-module controllers (paper, sections 2.4 and 2.5). *)
+
+type shape = { inputs : int; outputs : int; product_terms : int }
+
+val area : shape -> Chop_util.Units.mil2
+(** AND-plane + OR-plane cell array [(2i + o) * p] at the 3µ cell size, plus
+    fixed peripheral overhead.  @raise Invalid_argument on negative shape. *)
+
+val delay : shape -> Chop_util.Units.ns
+(** Input buffer + AND-plane + OR-plane + output buffer delay, growing
+    affinely with inputs, product terms and outputs. *)
+
+val controller_shape : states:int -> status_inputs:int -> control_outputs:int -> shape
+(** Shape of a Moore-style sequencer PLA: state register feedback
+    [ceil(log2 states)] wires on both sides, plus external status inputs and
+    control outputs; one product term per state transition plus decode
+    terms.  @raise Invalid_argument when [states < 1]. *)

@@ -1,0 +1,13 @@
+type op_timing = Single_cycle | Multi_cycle
+type pipelining = Pipelined | Non_pipelined
+type t = { op_timing : op_timing; pipelinings : pipelining list }
+
+let both op_timing = { op_timing; pipelinings = [ Non_pipelined; Pipelined ] }
+
+let pp_op_timing ppf = function
+  | Single_cycle -> Format.pp_print_string ppf "single-cycle"
+  | Multi_cycle -> Format.pp_print_string ppf "multi-cycle"
+
+let pp_pipelining ppf = function
+  | Pipelined -> Format.pp_print_string ppf "pipelined"
+  | Non_pipelined -> Format.pp_print_string ppf "non-pipelined"

@@ -1,0 +1,23 @@
+(** Architecture styles.
+
+    The architecture style must be compatible with the downstream synthesis
+    tools: it "can allow either single-cycle or multi-cycle operations, and
+    be pipelined or nonpipelined" (paper, section 2.2).  CHOP explores both
+    pipelining choices; the operation-timing discipline is a global input. *)
+
+type op_timing =
+  | Single_cycle
+      (** every operation completes in one data-path cycle; a module whose
+          delay (plus data-path overhead) exceeds the cycle is unusable *)
+  | Multi_cycle  (** operations may span several data-path cycles *)
+
+type pipelining = Pipelined | Non_pipelined
+
+type t = { op_timing : op_timing; pipelinings : pipelining list }
+(** [pipelinings] lists the design styles BAD may consider. *)
+
+val both : op_timing -> t
+(** Consider pipelined and non-pipelined designs. *)
+
+val pp_op_timing : Format.formatter -> op_timing -> unit
+val pp_pipelining : Format.formatter -> pipelining -> unit

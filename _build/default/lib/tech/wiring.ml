@@ -1,0 +1,22 @@
+(* Routing factor: fraction of active area added as routing channels.  The
+   base factor covers intra-row wiring; the logarithmic term models channel
+   growth with interconnect richness (a Rent-style saturating growth). *)
+let routing_factor nets = 0.12 +. (0.025 *. log (1. +. float_of_int nets))
+
+let routing_area ~active_area ~nets =
+  if active_area < 0. || nets < 0 then invalid_arg "Wiring.routing_area: negative";
+  let likely = active_area *. routing_factor nets in
+  Chop_util.Triplet.make ~low:(0.75 *. likely) ~likely ~high:(1.35 *. likely)
+
+(* 3u global wire delay: ~0.02 ns per mil of die diagonal. *)
+let wire_delay ~total_area =
+  if total_area < 0. then invalid_arg "Wiring.wire_delay: negative area";
+  0.02 *. sqrt total_area
+
+let mux_level_delay = 4. (* Table 1: 2:1 multiplexer, 4 ns *)
+
+let mux_tree_delay ~fanin =
+  if fanin <= 1 then 0.
+  else
+    let levels = int_of_float (ceil (log (float_of_int fanin) /. log 2.)) in
+    float_of_int levels *. mux_level_delay

@@ -1,0 +1,18 @@
+(** Standard-cell wiring (routing) area and delay estimation.
+
+    BAD performs "detailed predictions on ... standard cell routing area, as
+    well as the additional delays introduced to the clock cycle" (paper,
+    section 2.4).  Routing area scales with the active cell area and grows
+    with interconnect richness; wire delay scales with die diagonal. *)
+
+val routing_area :
+  active_area:Chop_util.Units.mil2 -> nets:int -> Chop_util.Triplet.t
+(** Prediction triplet of the routing area added on top of [active_area]
+    for a block with [nets] point-to-point nets. *)
+
+val wire_delay : total_area:Chop_util.Units.mil2 -> Chop_util.Units.ns
+(** Average global-wire delay for a block of the given total area. *)
+
+val mux_tree_delay : fanin:int -> Chop_util.Units.ns
+(** Delay through a 2:1-mux tree selecting among [fanin] sources (0 for
+    fan-in <= 1); uses the Table 1 multiplexer delay per level. *)

@@ -1,0 +1,1 @@
+lib/util/gantt.ml: Buffer List Printf String

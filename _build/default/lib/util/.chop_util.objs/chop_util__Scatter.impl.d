@@ -1,0 +1,1 @@
+lib/util/scatter.ml: Array Buffer Float List Printf

@@ -1,0 +1,1 @@
+lib/util/triplet.ml: Float Format List Printf

@@ -1,0 +1,35 @@
+type bar = { bar_label : string; start : int; finish : int }
+
+let render ?(width = 60) bars =
+  if width < 10 then invalid_arg "Gantt.render: width < 10";
+  List.iter
+    (fun b ->
+      if b.finish < b.start then
+        invalid_arg (Printf.sprintf "Gantt.render: bar %s ends before it starts" b.bar_label))
+    bars;
+  match bars with
+  | [] -> "  (no tasks)\n"
+  | _ ->
+      let horizon = List.fold_left (fun acc b -> max acc b.finish) 1 bars in
+      let label_width =
+        List.fold_left (fun acc b -> max acc (String.length b.bar_label)) 0 bars
+      in
+      let col t = min (width - 1) (t * width / horizon) in
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun b ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s " label_width b.bar_label);
+          let c0 = col b.start in
+          let c1 = if b.finish = b.start then c0 else max (c0 + 1) (col b.finish) in
+          for c = 0 to width - 1 do
+            Buffer.add_char buf
+              (if b.finish = b.start && c = c0 then '|'
+               else if c >= c0 && c < c1 then '#'
+               else '.')
+          done;
+          Buffer.add_string buf (Printf.sprintf " %d..%d\n" b.start b.finish))
+        bars;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s 0%*d\n" label_width "" (width - 1) horizon);
+      Buffer.contents buf

@@ -1,0 +1,19 @@
+(** ASCII Gantt charts for task schedules.
+
+    Renders the urgency-scheduled system timeline (processing units and
+    data-transfer tasks competing for pins) the way a designer would sketch
+    it. *)
+
+type bar = {
+  bar_label : string;
+  start : int;
+  finish : int;  (** exclusive; zero-duration bars render as an event mark *)
+}
+
+val render : ?width:int -> bar list -> string
+(** [render bars] scales the span [0, max finish] to [width] columns
+    (default 60) and draws one row per bar in the given order: ['#'] for
+    occupied time, ['|'] for zero-duration events, with start/finish
+    numbers appended.  The empty list renders a placeholder.
+    @raise Invalid_argument when [width < 10] or a bar has
+    [finish < start]. *)

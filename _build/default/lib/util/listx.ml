@@ -1,0 +1,41 @@
+let rec cartesian = function
+  | [] -> [ [] ]
+  | xs :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun x -> List.map (fun tl -> x :: tl) tails) xs
+
+let cartesian_count lists =
+  List.fold_left (fun acc xs -> acc * List.length xs) 1 lists
+
+let fold_cartesian f init lists =
+  let rec go acc prefix = function
+    | [] -> f acc (List.rev prefix)
+    | xs :: rest ->
+        List.fold_left (fun acc x -> go acc (x :: prefix) rest) acc xs
+  in
+  go init [] lists
+
+let range lo hi =
+  let rec go acc i = if i < lo then acc else go (i :: acc) (i - 1) in
+  go [] hi
+
+let sum_by f = List.fold_left (fun acc x -> acc + f x) 0
+let sum_byf f = List.fold_left (fun acc x -> acc +. f x) 0.
+let max_by f = List.fold_left (fun acc x -> Float.max acc (f x)) 0.
+
+let uniq_count ~compare xs =
+  let sorted = List.sort compare xs in
+  let rec go n = function
+    | [] -> n
+    | [ _ ] -> n + 1
+    | a :: (b :: _ as rest) -> go (if compare a b = 0 then n else n + 1) rest
+  in
+  go 0 sorted
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs

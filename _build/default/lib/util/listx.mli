@@ -1,0 +1,27 @@
+(** List helpers shared across CHOP libraries. *)
+
+val cartesian : 'a list list -> 'a list list
+(** [cartesian [xs1; xs2; ...]] enumerates every way of picking one element
+    from each list, in lexicographic order of the inputs.  [cartesian []] is
+    [[[]]].  The number of results is the product of the lengths. *)
+
+val cartesian_count : 'a list list -> int
+(** Size of the cartesian product without materializing it. *)
+
+val fold_cartesian : ('acc -> 'a list -> 'acc) -> 'acc -> 'a list list -> 'acc
+(** Fold over the cartesian product without materializing it; combinations
+    are delivered in the same order as {!cartesian}. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; ...; hi]]; empty when [lo > hi]. *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+val sum_byf : ('a -> float) -> 'a list -> float
+val max_by : ('a -> float) -> 'a list -> float
+(** [max_by f xs] is the maximum of [f] over [xs]; 0. for the empty list. *)
+
+val uniq_count : compare:('a -> 'a -> int) -> 'a list -> int
+(** Number of distinct elements under [compare]. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements ([n < 0] treated as 0; short lists returned whole). *)

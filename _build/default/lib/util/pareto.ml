@@ -1,0 +1,22 @@
+let dominates a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pareto.dominates: objective length mismatch";
+  let no_worse = ref true and strictly = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai > b.(i) then no_worse := false;
+      if ai < b.(i) then strictly := true)
+    a;
+  !no_worse && !strictly
+
+let frontier ~objectives xs =
+  let vals = List.map (fun x -> (x, objectives x)) xs in
+  List.filter_map
+    (fun (x, v) ->
+      let dominated =
+        List.exists (fun (_, v') -> dominates v' v) vals
+      in
+      if dominated then None else Some x)
+    vals
+
+let frontier_count ~objectives xs = List.length (frontier ~objectives xs)

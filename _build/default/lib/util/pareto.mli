@@ -1,0 +1,17 @@
+(** Pareto-domination pruning.
+
+    CHOP discards "inferior" predicted designs: designs dominated on every
+    objective by some other design.  Objectives are minimized. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b] holds when [a] is no worse than [b] on every objective
+    and strictly better on at least one.  @raise Invalid_argument on length
+    mismatch. *)
+
+val frontier : objectives:('a -> float array) -> 'a list -> 'a list
+(** [frontier ~objectives xs] keeps the non-dominated elements of [xs],
+    preserving their original order.  When two elements have identical
+    objective vectors, both are kept. *)
+
+val frontier_count : objectives:('a -> float array) -> 'a list -> int
+(** Number of elements on the frontier (without building the list twice). *)

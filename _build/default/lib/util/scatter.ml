@@ -1,0 +1,39 @@
+let render ?(cols = 48) ?(lines = 12) ?(x_label = "x") ?(y_label = "y") points =
+  if cols < 2 || lines < 2 then invalid_arg "Scatter.render: grid too small";
+  match points with
+  | [] -> "  (no points)\n"
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let xmin = List.fold_left Float.min infinity xs
+      and xmax = List.fold_left Float.max neg_infinity xs
+      and ymin = List.fold_left Float.min infinity ys
+      and ymax = List.fold_left Float.max neg_infinity ys in
+      let grid = Array.make_matrix lines cols 0 in
+      List.iter
+        (fun (x, y) ->
+          let bin v lo hi n =
+            if hi = lo then 0
+            else min (n - 1) (int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int (n - 1)))
+          in
+          let xi = bin x xmin xmax cols and yi = bin y ymin ymax lines in
+          grid.(lines - 1 - yi).(xi) <- grid.(lines - 1 - yi).(xi) + 1)
+        points;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %.0f (top) .. %.0f (bottom)\n" y_label ymax ymin);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter
+            (fun n ->
+              Buffer.add_char buf
+                (if n = 0 then ' '
+                 else if n < 3 then '.'
+                 else if n < 10 then 'o'
+                 else '@'))
+            row;
+          Buffer.add_string buf "|\n")
+        grid;
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %.0f (left) .. %.0f (right)\n" x_label xmin xmax);
+      Buffer.contents buf

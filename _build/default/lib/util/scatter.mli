@@ -1,0 +1,15 @@
+(** ASCII scatter plots for design-space visualization (the paper's
+    Figures 7 and 8 are exactly such area/delay scatters). *)
+
+val render :
+  ?cols:int ->
+  ?lines:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) list ->
+  string
+(** [render points] bins the [(x, y)] points into a [cols x lines] character
+    grid (defaults 48 x 12): ' ' empty, '.' 1-2 points, 'o' 3-9, '@' 10+.
+    The y axis grows upward.  Returns a ready-to-print block including axis
+    annotations; the empty list renders a placeholder line.
+    @raise Invalid_argument when [cols] or [lines] < 2. *)

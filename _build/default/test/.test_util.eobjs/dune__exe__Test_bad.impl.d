@@ -1,0 +1,1 @@
+test/test_bad.ml: Alcotest Alloc_enum Chop_bad Chop_dfg Chop_sched Chop_tech Chop_util Control Datapath Feasibility List Prediction Predictor QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Autopart Autosearch Chop Chop_bad Chop_baseline Chop_dfg Chop_tech Chop_util Float Int Kl List Packing QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Behavior Benchmarks Chop_dfg Chop_util Dot Eval Graph Int List Op Partition Printf QCheck QCheck_alcotest String Transform

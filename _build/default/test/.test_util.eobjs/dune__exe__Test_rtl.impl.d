@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Chop Chop_bad Chop_dfg Chop_rtl Chop_sched Chop_tech Chop_util Float List Printf QCheck QCheck_alcotest String

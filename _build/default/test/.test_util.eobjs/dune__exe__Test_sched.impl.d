@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Chain_sched Chop_dfg Chop_sched Chop_util Force_directed Lifetime List List_sched Pipeline Printf QCheck QCheck_alcotest Random Schedule Urgency

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Chip Chop_dfg Chop_tech Chop_util Clocking Component Cost List Memory Mosis Pla Wiring

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Chop_util Float Fun Gantt Gen Int List Listx Pareto Prob QCheck QCheck_alcotest Scatter String Texttable Triplet Units

@@ -1,0 +1,420 @@
+(* Tests for chop_tech: component libraries, chip packages, memory modules,
+   clocking, the PLA model, the wiring model and the Table 1/2 data. *)
+
+open Chop_tech
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Component *)
+
+let test_component_make_validates () =
+  (match Component.make ~name:"x" ~cls:"add" ~width:0 ~area:1. ~delay:1. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 0 accepted");
+  (match Component.make ~name:"x" ~cls:"add" ~width:8 ~area:0. ~delay:1. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "area 0 accepted");
+  match Component.make ~name:"x" ~cls:"add" ~width:8 ~area:1. ~delay:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delay 0 accepted"
+
+let test_component_default_power () =
+  let c = Component.make ~name:"x" ~cls:"add" ~width:8 ~area:2000. ~delay:10. () in
+  check_float "area/1000" 2. c.Component.power
+
+let test_alternatives_sorted_by_speed () =
+  let alts = Component.alternatives Mosis.experiment_library ~cls:"mult" in
+  Alcotest.(check (list string)) "fastest first"
+    [ "mul1"; "mul2"; "mul3" ]
+    (List.map (fun c -> c.Component.cname) alts)
+
+let test_classes () =
+  Alcotest.(check (list string)) "classes"
+    [ "add"; "mult"; "mux"; "register" ]
+    (Component.classes Mosis.experiment_library)
+
+let test_covers () =
+  let g = Chop_dfg.Benchmarks.ar_lattice_filter () in
+  Alcotest.(check bool) "covered" true (Component.covers Mosis.experiment_library g);
+  let tiny = [ Component.make ~name:"a" ~cls:"add" ~width:16 ~area:1. ~delay:1. () ] in
+  Alcotest.(check bool) "mult missing" false (Component.covers tiny g)
+
+let test_module_sets_nine () =
+  let g = Chop_dfg.Benchmarks.ar_lattice_filter () in
+  let sets = Component.module_sets Mosis.experiment_library g in
+  (* 3 adders x 3 multipliers = 9 module-set configurations (paper, 3.2) *)
+  Alcotest.(check int) "9 sets" 9 (List.length sets);
+  List.iter
+    (fun set -> Alcotest.(check int) "one per class" 2 (List.length set))
+    sets
+
+let test_module_sets_uncovered_empty () =
+  let g = Chop_dfg.Benchmarks.ar_lattice_filter () in
+  Alcotest.(check int) "no sets" 0 (List.length (Component.module_sets [] g))
+
+let test_find () =
+  let c = Component.find Mosis.experiment_library ~name:"add2" in
+  check_float "area" 2880. c.Component.area;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Component.find Mosis.experiment_library ~name:"nope"))
+
+let test_rescale_adder_linear () =
+  let add2 = Component.find Mosis.experiment_library ~name:"add2" in
+  let w32 = Component.rescale ~width:32 add2 in
+  check_float "area doubles" (2. *. 2880.) w32.Component.area;
+  check_float "delay doubles" (2. *. 53.) w32.Component.delay;
+  Alcotest.(check int) "width" 32 w32.Component.width
+
+let test_rescale_multiplier_quadratic () =
+  let mul2 = Component.find Mosis.experiment_library ~name:"mul2" in
+  let w8 = Component.rescale ~width:8 mul2 in
+  check_float "area quarters" (9800. /. 4.) w8.Component.area;
+  check_float "delay halves" (2950. /. 2.) w8.Component.delay
+
+let test_rescale_identity_and_errors () =
+  let add1 = Component.find Mosis.experiment_library ~name:"add1" in
+  Alcotest.(check string) "same width untouched" "add1"
+    (Component.rescale ~width:16 add1).Component.cname;
+  match Component.rescale ~width:0 add1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 0 accepted"
+
+let test_rescale_library () =
+  let lib8 = Component.rescale_library ~width:8 Mosis.experiment_library in
+  Alcotest.(check int) "same entry count"
+    (List.length Mosis.experiment_library) (List.length lib8);
+  (* 1-bit cells untouched *)
+  let reg = List.find (fun c -> c.Component.cls = "register") lib8 in
+  Alcotest.(check int) "register stays 1-bit" 1 reg.Component.width;
+  List.iter
+    (fun c ->
+      if c.Component.cls = "add" || c.Component.cls = "mult" then
+        Alcotest.(check int) "word cells rescaled" 8 c.Component.width)
+    lib8
+
+let test_shrink_scaling_laws () =
+  let mul2 = Component.find Mosis.experiment_library ~name:"mul2" in
+  let s = Component.shrink ~factor:0.5 mul2 in
+  check_float "area /4" (9800. /. 4.) s.Component.area;
+  check_float "delay /2" (2950. /. 2.) s.Component.delay;
+  Alcotest.(check int) "width unchanged" 16 s.Component.width
+
+let test_shrink_validates () =
+  let add1 = Component.find Mosis.experiment_library ~name:"add1" in
+  (match Component.shrink ~factor:0. add1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "factor 0 accepted");
+  match Component.shrink ~factor:1.5 add1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "factor > 1 accepted"
+
+let test_shrink_library_whole_node () =
+  let lib = Component.shrink_library ~factor:0.5 Mosis.experiment_library in
+  Alcotest.(check int) "entry count" (List.length Mosis.experiment_library)
+    (List.length lib);
+  (* 1-bit cells shrink too: the whole node moves *)
+  let reg = List.find (fun c -> c.Component.cls = "register") lib in
+  check_float "register area /4" (31. /. 4.) reg.Component.area
+
+let test_extended_library () =
+  Alcotest.(check bool) "covers select" true
+    (Component.alternatives Mosis.extended_library ~cls:"select" <> []);
+  Alcotest.(check bool) "covers shift" true
+    (Component.alternatives Mosis.extended_library ~cls:"shift" <> []);
+  Alcotest.(check bool) "covers div" true
+    (Component.alternatives Mosis.extended_library ~cls:"div" <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Chip *)
+
+let test_chip_validates () =
+  (match Chip.make ~name:"c" ~width:0. ~height:1. ~pins:4 ~pad_delay:1. ~pad_area:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero width accepted");
+  match Chip.make ~name:"c" ~width:1. ~height:1. ~pins:0 ~pad_delay:1. ~pad_area:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero pins accepted"
+
+let test_project_area () =
+  check_float "table 2 die" (311.02 *. 362.20) (Chip.project_area Mosis.package_84)
+
+let test_usable_area () =
+  let full = Chip.project_area Mosis.package_84 in
+  check_float "no pads" full (Chip.usable_area Mosis.package_84 ~signal_pins:0);
+  check_float "40 pads" (full -. (40. *. 297.6))
+    (Chip.usable_area Mosis.package_84 ~signal_pins:40);
+  match Chip.usable_area Mosis.package_84 ~signal_pins:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many pads accepted"
+
+let test_pin_budget () =
+  let b = Chip.pin_budget Mosis.package_84 ~control:4 ~memory_lines:2 () in
+  Alcotest.(check int) "data pins" (84 - 4 - 2 - 4 - 2) b.Chip.data;
+  Alcotest.(check int) "total" 84 b.Chip.total
+
+let test_pin_budget_exhausted () =
+  match Chip.pin_budget Mosis.package_64 ~control:60 ~memory_lines:10 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-reservation accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let mem ?(ports = 1) ?(access = 100.) ?(placement = Memory.On_chip 5000.) name =
+  Memory.make ~name ~words:256 ~word_width:16 ~ports ~access ~placement
+
+let test_memory_validates () =
+  (match
+     Memory.make ~name:"m" ~words:0 ~word_width:16 ~ports:1 ~access:10.
+       ~placement:(Memory.On_chip 1.)
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 words accepted");
+  match
+    Memory.make ~name:"m" ~words:8 ~word_width:16 ~ports:1 ~access:10.
+      ~placement:(Memory.Off_chip_package 0)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0-pin package accepted"
+
+let test_memory_bandwidth_fast () =
+  (* access fits in one 300 ns cycle: full port width per cycle *)
+  let m = mem ~access:100. "m" in
+  Alcotest.(check int) "16 bits/cycle" 16 (Memory.bandwidth_bits_per_cycle m ~cycle:300.)
+
+let test_memory_bandwidth_slow () =
+  (* 650 ns access needs 3 cycles: bandwidth divides *)
+  let m = mem ~access:650. "m" in
+  Alcotest.(check int) "16/3 = 5" 5 (Memory.bandwidth_bits_per_cycle m ~cycle:300.)
+
+let test_memory_bandwidth_multiport () =
+  let m = mem ~ports:2 "m" in
+  Alcotest.(check int) "32 bits/cycle" 32 (Memory.bandwidth_bits_per_cycle m ~cycle:300.)
+
+let test_memory_pins () =
+  let on = mem "on" in
+  Alcotest.(check int) "on-chip bus pins" 0 (Memory.bus_pins on);
+  Alcotest.(check int) "select/rw" 2 (Memory.select_rw_lines on);
+  let off = mem ~placement:(Memory.Off_chip_package 28) "off" in
+  Alcotest.(check int) "off-chip bus pins" 16 (Memory.bus_pins off)
+
+(* ------------------------------------------------------------------ *)
+(* Clocking *)
+
+let test_clocking () =
+  let c = Clocking.make ~main:300. ~datapath_ratio:10 ~transfer_ratio:1 in
+  check_float "dp" 3000. (Clocking.datapath_cycle c);
+  check_float "tr" 300. (Clocking.transfer_cycle c);
+  Alcotest.(check int) "dp->main" 60 (Clocking.main_cycles_of_datapath c 6);
+  Alcotest.(check int) "tr->main" 6 (Clocking.main_cycles_of_transfer c 6)
+
+let test_clocking_validates () =
+  (match Clocking.make ~main:0. ~datapath_ratio:1 ~transfer_ratio:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "main 0 accepted");
+  match Clocking.make ~main:300. ~datapath_ratio:0 ~transfer_ratio:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ratio 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Pla *)
+
+let test_pla_area_zero_terms () =
+  check_float "empty" 0. (Pla.area { Pla.inputs = 4; outputs = 4; product_terms = 0 })
+
+let test_pla_area_grows () =
+  let a1 = Pla.area { Pla.inputs = 4; outputs = 8; product_terms = 10 } in
+  let a2 = Pla.area { Pla.inputs = 4; outputs = 8; product_terms = 20 } in
+  let a3 = Pla.area { Pla.inputs = 8; outputs = 8; product_terms = 10 } in
+  Alcotest.(check bool) "terms grow area" true (a2 > a1);
+  Alcotest.(check bool) "inputs grow area" true (a3 > a1)
+
+let test_pla_delay_grows () =
+  let d1 = Pla.delay { Pla.inputs = 4; outputs = 8; product_terms = 10 } in
+  let d2 = Pla.delay { Pla.inputs = 12; outputs = 8; product_terms = 40 } in
+  Alcotest.(check bool) "positive" true (d1 > 0.);
+  Alcotest.(check bool) "grows" true (d2 > d1)
+
+let test_pla_rejects_negative () =
+  match Pla.area { Pla.inputs = -1; outputs = 0; product_terms = 1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative shape accepted"
+
+let test_controller_shape_small () =
+  let s = Pla.controller_shape ~states:8 ~status_inputs:2 ~control_outputs:20 in
+  Alcotest.(check int) "inputs = 3 state bits + 2" 5 s.Pla.inputs;
+  Alcotest.(check int) "outputs = 3 + 20" 23 s.Pla.outputs;
+  Alcotest.(check int) "terms" 11 s.Pla.product_terms
+
+let test_controller_shape_saturates () =
+  (* long schedules switch to counter-based decode: term growth flattens *)
+  let s100 = Pla.controller_shape ~states:100 ~status_inputs:2 ~control_outputs:8 in
+  let s400 = Pla.controller_shape ~states:400 ~status_inputs:2 ~control_outputs:8 in
+  Alcotest.(check bool) "flattened" true
+    (s400.Pla.product_terms - s100.Pla.product_terms < 100)
+
+let test_controller_shape_validates () =
+  match Pla.controller_shape ~states:0 ~status_inputs:1 ~control_outputs:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 states accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Wiring *)
+
+let test_routing_area_triplet () =
+  let t = Wiring.routing_area ~active_area:10000. ~nets:100 in
+  Alcotest.(check bool) "ordered" true
+    Chop_util.Triplet.(t.low < t.likely && t.likely < t.high);
+  Alcotest.(check bool) "reasonable fraction" true
+    Chop_util.Triplet.(t.likely > 1000. && t.likely < 6000.)
+
+let test_routing_area_grows_with_nets () =
+  let a = Wiring.routing_area ~active_area:10000. ~nets:10 in
+  let b = Wiring.routing_area ~active_area:10000. ~nets:1000 in
+  Alcotest.(check bool) "more nets, more routing" true
+    Chop_util.Triplet.(b.likely > a.likely)
+
+let test_wire_delay () =
+  check_float "zero area" 0. (Wiring.wire_delay ~total_area:0.);
+  let d = Wiring.wire_delay ~total_area:100000. in
+  Alcotest.(check bool) "single-digit ns" true (d > 1. && d < 20.)
+
+let test_mux_tree_delay () =
+  check_float "fanin 1" 0. (Wiring.mux_tree_delay ~fanin:1);
+  check_float "fanin 2 = 1 level" 4. (Wiring.mux_tree_delay ~fanin:2);
+  check_float "fanin 8 = 3 levels" 12. (Wiring.mux_tree_delay ~fanin:8);
+  check_float "fanin 9 = 4 levels" 16. (Wiring.mux_tree_delay ~fanin:9)
+
+(* ------------------------------------------------------------------ *)
+(* Cost *)
+
+let test_cost_yield_bounds () =
+  let m = Cost.default_3u in
+  let y_small = Cost.yield_fraction m ~die_area:1000. in
+  let y_big = Cost.yield_fraction m ~die_area:500_000. in
+  Alcotest.(check bool) "yield in (0,1]" true (y_small > 0. && y_small <= 1.);
+  Alcotest.(check bool) "bigger dies yield worse" true (y_big < y_small)
+
+let test_cost_die_monotone () =
+  let m = Cost.default_3u in
+  let small = Cost.die_cost m ~die_area:50_000. in
+  let big = Cost.die_cost m ~die_area:200_000. in
+  Alcotest.(check bool) "bigger dies cost more" true (big > small);
+  Alcotest.(check bool) "positive" true (small > 0.)
+
+let test_cost_chip_and_set () =
+  let m = Cost.default_3u in
+  let c64 = Cost.chip_cost m Mosis.package_64 in
+  let c84 = Cost.chip_cost m Mosis.package_84 in
+  (* same die, more pins: strictly more expensive *)
+  Alcotest.(check bool) "84 pins cost more" true (c84 > c64);
+  check_float "set = sum" (c64 +. c84)
+    (Cost.chip_set_cost m [ Mosis.package_64; Mosis.package_84 ]);
+  Alcotest.(check bool) "plausible dollars" true (c84 > 5. && c84 < 200.)
+
+let test_cost_validates () =
+  match Cost.die_cost Cost.default_3u ~die_area:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero die accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Mosis (Tables 1 and 2) *)
+
+let test_table1_values () =
+  let check name area delay =
+    let c = Component.find Mosis.experiment_library ~name in
+    check_float (name ^ " area") area c.Component.area;
+    check_float (name ^ " delay") delay c.Component.delay
+  in
+  check "add1" 4200. 34.;
+  check "add2" 2880. 53.;
+  check "add3" 1200. 151.;
+  check "mul1" 49000. 375.;
+  check "mul2" 9800. 2950.;
+  check "mul3" 7100. 7370.;
+  check "register" 31. 5.;
+  check "mux" 18. 4.
+
+let test_table2_values () =
+  Alcotest.(check int) "64 pins" 64 Mosis.package_64.Chip.pins;
+  Alcotest.(check int) "84 pins" 84 Mosis.package_84.Chip.pins;
+  check_float "pad delay" 25. Mosis.package_84.Chip.pad_delay;
+  check_float "pad area" 297.6 Mosis.package_84.Chip.pad_area;
+  check_float "main clock" 300. Mosis.main_clock;
+  Alcotest.(check int) "two packages" 2 (List.length Mosis.packages)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "chop_tech"
+    [
+      ( "component",
+        [
+          tc "make validates" `Quick test_component_make_validates;
+          tc "default power" `Quick test_component_default_power;
+          tc "alternatives sorted" `Quick test_alternatives_sorted_by_speed;
+          tc "classes" `Quick test_classes;
+          tc "covers" `Quick test_covers;
+          tc "nine module sets" `Quick test_module_sets_nine;
+          tc "uncovered gives none" `Quick test_module_sets_uncovered_empty;
+          tc "find" `Quick test_find;
+          tc "rescale adder" `Quick test_rescale_adder_linear;
+          tc "rescale multiplier" `Quick test_rescale_multiplier_quadratic;
+          tc "rescale identity/errors" `Quick test_rescale_identity_and_errors;
+          tc "rescale library" `Quick test_rescale_library;
+          tc "extended library" `Quick test_extended_library;
+          tc "shrink scaling laws" `Quick test_shrink_scaling_laws;
+          tc "shrink validates" `Quick test_shrink_validates;
+          tc "shrink library" `Quick test_shrink_library_whole_node;
+        ] );
+      ( "chip",
+        [
+          tc "validates" `Quick test_chip_validates;
+          tc "project area" `Quick test_project_area;
+          tc "usable area" `Quick test_usable_area;
+          tc "pin budget" `Quick test_pin_budget;
+          tc "pin budget exhausted" `Quick test_pin_budget_exhausted;
+        ] );
+      ( "memory",
+        [
+          tc "validates" `Quick test_memory_validates;
+          tc "bandwidth fast" `Quick test_memory_bandwidth_fast;
+          tc "bandwidth slow" `Quick test_memory_bandwidth_slow;
+          tc "bandwidth multiport" `Quick test_memory_bandwidth_multiport;
+          tc "pins" `Quick test_memory_pins;
+        ] );
+      ( "clocking",
+        [
+          tc "cycles" `Quick test_clocking;
+          tc "validates" `Quick test_clocking_validates;
+        ] );
+      ( "pla",
+        [
+          tc "zero terms" `Quick test_pla_area_zero_terms;
+          tc "area grows" `Quick test_pla_area_grows;
+          tc "delay grows" `Quick test_pla_delay_grows;
+          tc "rejects negative" `Quick test_pla_rejects_negative;
+          tc "controller shape" `Quick test_controller_shape_small;
+          tc "controller saturates" `Quick test_controller_shape_saturates;
+          tc "controller validates" `Quick test_controller_shape_validates;
+        ] );
+      ( "wiring",
+        [
+          tc "routing triplet" `Quick test_routing_area_triplet;
+          tc "routing vs nets" `Quick test_routing_area_grows_with_nets;
+          tc "wire delay" `Quick test_wire_delay;
+          tc "mux tree delay" `Quick test_mux_tree_delay;
+        ] );
+      ( "cost",
+        [
+          tc "yield bounds" `Quick test_cost_yield_bounds;
+          tc "die monotone" `Quick test_cost_die_monotone;
+          tc "chip + set" `Quick test_cost_chip_and_set;
+          tc "validates" `Quick test_cost_validates;
+        ] );
+      ( "mosis",
+        [
+          tc "Table 1" `Quick test_table1_values;
+          tc "Table 2" `Quick test_table2_values;
+        ] );
+    ]
