@@ -14,6 +14,22 @@ let section title =
 
 let heuristics = [ ("E", Chop.Explore.Enumeration); ("I", Chop.Explore.Iterative) ]
 
+(* Engine-based exploration with the prediction cache off, so every timed
+   run measures honest recomputation. *)
+let explore ?(heuristic = Chop.Explore.Iterative) ?(keep_all = false)
+    ?(jobs = 1) spec =
+  Chop.Explore.Engine.run
+    (Chop.Explore.Engine.create
+       (Chop.Explore.Config.make ~heuristic ~keep_all ~jobs
+          ~cache:Chop.Explore.Config.Off ())
+       spec)
+
+let bad_predictions spec =
+  Chop.Explore.Engine.predictions
+    (Chop.Explore.Engine.create
+       (Chop.Explore.Config.make ~cache:Chop.Explore.Config.Off ())
+       spec)
+
 (* ------------------------------------------------------------------ *)
 (* Inputs: Tables 1 and 2 *)
 
@@ -77,7 +93,7 @@ let bad_statistics ~title spec_of =
   List.iter
     (fun k ->
       let spec = spec_of k in
-      let _, stats = Chop.Explore.predictions spec in
+      let _, stats = bad_predictions spec in
       let total = Listx.sum_by (fun b -> b.Chop.Explore.total_predictions) stats in
       let feas = Listx.sum_by (fun b -> b.Chop.Explore.feasible_predictions) stats in
       let kept = Listx.sum_by (fun b -> b.Chop.Explore.kept) stats in
@@ -109,7 +125,7 @@ let search_results ~title ~rows spec_of =
       List.iter
         (fun (hname, h) ->
           let spec = spec_of k package in
-          let report = Chop.Explore.run h spec in
+          let report = explore ~heuristic:h spec in
           let st = report.Chop.Explore.outcome.Chop.Search.stats in
           let feas = report.Chop.Explore.outcome.Chop.Search.feasible in
           let designs = Listx.take 2 feas in
@@ -167,7 +183,7 @@ let design_space ~title ~partition_counts spec_of =
     (fun k ->
       let spec = spec_of k in
       let t0 = Sys.time () in
-      let report = Chop.Explore.run ~keep_all:true Chop.Explore.Enumeration spec in
+      let report = explore ~heuristic:Chop.Explore.Enumeration ~keep_all:true spec in
       cpu := !cpu +. (Sys.time () -. t0);
       let explored = report.Chop.Explore.outcome.Chop.Search.explored in
       total := !total + List.length explored;
@@ -194,7 +210,7 @@ let ablation_pruning () =
   let spec = Chop.Rig.experiment1 ~partitions:2 () in
   let timed keep_all =
     let t0 = Sys.time () in
-    let report = Chop.Explore.run ~keep_all Chop.Explore.Enumeration spec in
+    let report = explore ~heuristic:Chop.Explore.Enumeration ~keep_all spec in
     let dt = Sys.time () -. t0 in
     (dt, report.Chop.Explore.outcome.Chop.Search.stats.Chop.Search.integrations)
   in
@@ -219,7 +235,7 @@ let ablation_testability () =
     (fun overhead ->
       let params = { Chop.Spec.default_params with Chop.Spec.testability_overhead = overhead } in
       let spec = Chop.Rig.experiment1 ~params ~partitions:2 () in
-      let report = Chop.Explore.run Chop.Explore.Iterative spec in
+      let report = explore spec in
       let feas = report.Chop.Explore.outcome.Chop.Search.feasible in
       Texttable.add_row t
         [
@@ -257,7 +273,7 @@ let ablation_power () =
           ~style:(Chop_tech.Style.both Chop_tech.Style.Single_cycle)
           ~criteria ()
       in
-      let report = Chop.Explore.run Chop.Explore.Enumeration spec in
+      let report = explore ~heuristic:Chop.Explore.Enumeration spec in
       Texttable.add_row t
         [
           (match budget with None -> "unconstrained" | Some b -> Printf.sprintf "%.0f" b);
@@ -290,7 +306,7 @@ let ablation_packing () =
           (List.map (fun c -> c.Chop.Spec.package) spec.Chop.Spec.chips)
       in
       let feas =
-        (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+        (explore spec).Chop.Explore.outcome
           .Chop.Search.feasible
       in
       Texttable.add_row t
@@ -365,7 +381,7 @@ let ablation_transformations () =
           ()
       in
       let feas =
-        (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+        (explore spec).Chop.Explore.outcome
           .Chop.Search.feasible
       in
       Texttable.add_row t
@@ -449,7 +465,7 @@ let ablation_cost () =
           (List.map (fun c -> c.Chop.Spec.package) spec.Chop.Spec.chips)
       in
       match
-        (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+        (explore spec).Chop.Explore.outcome
           .Chop.Search.feasible
       with
       | [] ->
@@ -507,7 +523,7 @@ let ablation_technology_scaling () =
               (Chop_bad.Feasibility.criteria ~perf:9000. ~delay:30000. ())
             ()
         in
-        (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+        (explore spec).Chop.Explore.outcome
           .Chop.Search.feasible
       in
       let f1 = feas 1 and f2 = feas 2 in
@@ -563,7 +579,7 @@ let ablation_heuristics () =
   let spec = Chop.Rig.experiment2 ~partitions:3 () in
   List.iter
     (fun (name, h) ->
-      let report = Chop.Explore.run h spec in
+      let report = explore ~heuristic:h spec in
       let st = report.Chop.Explore.outcome.Chop.Search.stats in
       Texttable.add_row t
         [
@@ -709,7 +725,7 @@ let ablation_baseline () =
                 (Chop_bad.Feasibility.criteria ~perf:30000. ~delay:30000. ())
               ()
           in
-          (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+          (explore spec).Chop.Explore.outcome
             .Chop.Search.feasible
       in
       Texttable.add_row t
@@ -743,7 +759,7 @@ let ablation_system_simulation () =
   List.iter
     (fun (name, spec) ->
       let ctx = Chop.Integration.context spec in
-      let report = Chop.Explore.run Chop.Explore.Iterative spec in
+      let report = explore spec in
       match report.Chop.Explore.outcome.Chop.Search.feasible with
       | [] -> Texttable.add_row t [ name; "-"; "-"; "-"; "-"; "-"; "-" ]
       | s :: _ ->
@@ -786,7 +802,7 @@ let ablation_chip_level_synthesis () =
     (fun (name, spec) ->
       let ctx = Chop.Integration.context spec in
       match
-        (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+        (explore spec).Chop.Explore.outcome
           .Chop.Search.feasible
       with
       | [] -> Texttable.add_row t [ name; "-"; "-"; "-"; "-"; "infeasible" ]
@@ -849,12 +865,12 @@ let secondary_workload () =
           ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
           ()
       in
-      let _, stats = Chop.Explore.predictions spec in
+      let _, stats = bad_predictions spec in
       let total = Listx.sum_by (fun b -> b.Chop.Explore.total_predictions) stats in
       let kept = Listx.sum_by (fun b -> b.Chop.Explore.kept) stats in
       List.iter
         (fun (hname, h) ->
-          let report = Chop.Explore.run h spec in
+          let report = explore ~heuristic:h spec in
           let st = report.Chop.Explore.outcome.Chop.Search.stats in
           match report.Chop.Explore.outcome.Chop.Search.feasible with
           | [] ->
@@ -896,7 +912,7 @@ let scale_check () =
       ()
   in
   let t0 = Sys.time () in
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  let report = explore spec in
   let dt = Sys.time () -. t0 in
   let totals =
     Listx.sum_by (fun b -> b.Chop.Explore.total_predictions) report.Chop.Explore.bad
@@ -929,7 +945,7 @@ let microbenchmarks () =
       (List.hd spec1.Chop.Spec.partitioning.Chop_dfg.Partition.parts)
   in
   let bad_cfg = Chop.Explore.predictor_config spec1 ~label:"P1" in
-  let per_partition, _ = Chop.Explore.predictions spec1 in
+  let per_partition, _ = bad_predictions spec1 in
   let ctx = Chop.Integration.context spec1 in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   let tests =
@@ -942,16 +958,16 @@ let microbenchmarks () =
           (Staged.stage (fun () -> ignore (Chop.Integration.integrate ctx comb)));
         Test.make ~name:"search-enumeration-exp1-k2"
           (Staged.stage (fun () ->
-               ignore (Chop.Explore.run Chop.Explore.Enumeration spec1)));
+               ignore (explore ~heuristic:Chop.Explore.Enumeration spec1)));
         Test.make ~name:"search-iterative-exp1-k2"
           (Staged.stage (fun () ->
-               ignore (Chop.Explore.run Chop.Explore.Iterative spec1)));
+               ignore (explore spec1)));
         Test.make ~name:"search-enumeration-exp2-k2"
           (Staged.stage (fun () ->
-               ignore (Chop.Explore.run Chop.Explore.Enumeration spec2)));
+               ignore (explore ~heuristic:Chop.Explore.Enumeration spec2)));
         Test.make ~name:"search-iterative-exp2-k2"
           (Staged.stage (fun () ->
-               ignore (Chop.Explore.run Chop.Explore.Iterative spec2)));
+               ignore (explore spec2)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
@@ -990,8 +1006,68 @@ let microbenchmarks () =
   Texttable.print t
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable exploration timing: BENCH_explore.json records the
+   wall-clock of the keep-all exploration per benchmark x heuristic x jobs,
+   so later changes can be tracked against these numbers.  The prediction
+   cache is off and every run uses a fresh engine: each entry is an honest
+   cold run. *)
+
+let bench_explore_json () =
+  section "Exploration engine timing (BENCH_explore.json)";
+  let ewf_spec () =
+    let graph = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+    Chop.Rig.custom ~graph
+      ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:2)
+      ~package:Chop_tech.Mosis.package_84
+      ~clocks:
+        (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+           ~transfer_ratio:1)
+      ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+      ()
+  in
+  let ar_spec () = Chop.Rig.experiment1 ~partitions:2 () in
+  let entries =
+    List.concat_map
+      (fun (bench_name, spec_of) ->
+        List.concat_map
+          (fun (h_name, h) ->
+            List.map
+              (fun jobs ->
+                let spec = spec_of () in
+                let t0 = Unix.gettimeofday () in
+                let report = explore ~heuristic:h ~keep_all:true ~jobs spec in
+                let wall = Unix.gettimeofday () -. t0 in
+                Printf.printf
+                  "  %-4s %-2s jobs=%d  %8.3f s wall  (%d explored, %d trials)\n"
+                  bench_name h_name jobs wall
+                  (List.length report.Chop.Explore.outcome.Chop.Search.explored)
+                  report.Chop.Explore.outcome.Chop.Search.stats
+                    .Chop.Search.implementation_trials;
+                Printf.sprintf
+                  "    {\"benchmark\": \"%s\", \"heuristic\": \"%s\", \
+                   \"jobs\": %d, \"keep_all\": true, \"wall_seconds\": \
+                   %.6f}"
+                  bench_name h_name jobs wall)
+              [ 1; 4 ])
+          [ ("E", Chop.Explore.Enumeration); ("B", Chop.Explore.Branch_bound) ])
+      [ ("ewf", ewf_spec); ("ar", ar_spec) ]
+  in
+  let oc = open_out "BENCH_explore.json" in
+  Printf.fprintf oc
+    "{\n  \"host_cores\": %d,\n  \"entries\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" entries);
+  close_out oc;
+  print_endline "  wrote BENCH_explore.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  if Array.exists (fun a -> a = "--explore-json-only") Sys.argv then begin
+    bench_explore_json ();
+    exit 0
+  end;
   print_endline
     "CHOP reproduction benches — Kucukcakar & Parker, DAC 1991\n\
      Workload: AR lattice filter element (Figure 6), 28 operations.";
@@ -1058,6 +1134,7 @@ let () =
   ablation_chip_level_synthesis ();
   ablation_baseline ();
   secondary_workload ();
+  bench_explore_json ();
   scale_check ();
   microbenchmarks ();
   print_endline "\nDone.  See EXPERIMENTS.md for paper-vs-measured commentary."

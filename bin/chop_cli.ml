@@ -137,6 +137,19 @@ let build_spec graph k package perf delay multicycle strategy =
   Chop.Rig.custom ~graph ~partitioning ~package ~clocks ~style
     ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for prediction and search. Defaults to the \
+              $(b,CHOP_JOBS) environment variable when set, otherwise to \
+              the available cores.")
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Chop_util.Pool.default_jobs ()
+
 let file_arg =
   Arg.(
     value
@@ -146,15 +159,30 @@ let file_arg =
               graph/partition/chip options).")
 
 let explore_cmd =
-  let run graph k package perf delay multicycle heuristic strategy verbose file csv =
+  let run graph k package perf delay multicycle heuristic strategy verbose file
+      csv keep_all jobs =
     let spec =
       match file with
       | Some path -> Chop.Specfile.load path
       | None -> build_spec graph k package perf delay multicycle strategy
     in
-    let report = Chop.Explore.run ~keep_all:csv heuristic spec in
+    let config =
+      Chop.Explore.Config.make ~heuristic ~keep_all:(csv || keep_all)
+        ~jobs:(resolve_jobs jobs) ()
+    in
+    let report = Chop.Explore.Engine.run (Chop.Explore.Engine.create config spec) in
+    let outcome = report.Chop.Explore.outcome in
+    if keep_all then begin
+      (* deterministic dump: no timings, so jobs=1 and jobs=N output are
+         byte-identical *)
+      print_string "# feasible\n";
+      print_string (Chop.Search.to_csv outcome.Chop.Search.feasible);
+      print_string "# explored\n";
+      print_string (Chop.Search.to_csv outcome.Chop.Search.explored);
+      exit 0
+    end;
     if csv then begin
-      print_string (Chop.Search.to_csv report.Chop.Explore.outcome.Chop.Search.explored);
+      print_string (Chop.Search.to_csv outcome.Chop.Search.explored);
       exit 0
     end;
     List.iter
@@ -163,6 +191,12 @@ let explore_cmd =
           b.Chop.Explore.label b.Chop.Explore.total_predictions
           b.Chop.Explore.feasible_predictions b.Chop.Explore.kept)
       report.Chop.Explore.bad;
+    Printf.printf
+      "BAD: %.3f s wall (%.3f s busy across %d job(s)), cache %d hit(s) / %d \
+       miss(es)\n"
+      report.Chop.Explore.bad_wall_seconds report.Chop.Explore.bad_cpu_seconds
+      report.Chop.Explore.jobs report.Chop.Explore.cache_hits
+      report.Chop.Explore.cache_misses;
     let st = report.Chop.Explore.outcome.Chop.Search.stats in
     Printf.printf "search: %d trials, %.3f s CPU\n\n"
       st.Chop.Search.implementation_trials st.Chop.Search.cpu_seconds;
@@ -194,12 +228,23 @@ let explore_cmd =
       $ Arg.(value & flag
              & info [ "csv" ]
                  ~doc:"Explore without pruning and dump every design point \
-                       as CSV (Figures 7/8-style data)."))
+                       as CSV (Figures 7/8-style data).")
+      $ Arg.(value & flag
+             & info [ "keep-all" ]
+                 ~doc:"Explore without pruning and dump both the feasible \
+                       front and every explored design point as CSV; output \
+                       is deterministic across $(b,--jobs) values.")
+      $ jobs_arg)
 
 let predict_cmd =
-  let run graph k package perf delay multicycle strategy index top =
+  let run graph k package perf delay multicycle strategy index top jobs =
     let spec = build_spec graph k package perf delay multicycle strategy in
-    let per_partition, stats = Chop.Explore.predictions spec in
+    let engine =
+      Chop.Explore.Engine.create
+        (Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) ())
+        spec
+    in
+    let per_partition, stats = Chop.Explore.Engine.predictions engine in
     List.iteri
       (fun i (label, preds) ->
         if i = index || index < 0 then begin
@@ -228,7 +273,7 @@ let predict_cmd =
     (Cmd.info "predict" ~doc:"Show BAD's predicted implementations per partition")
     Term.(
       const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
-      $ delay_arg $ multicycle_arg $ strategy_arg $ index $ top)
+      $ delay_arg $ multicycle_arg $ strategy_arg $ index $ top $ jobs_arg)
 
 let dot_cmd =
   let run graph k strategy =
@@ -244,9 +289,10 @@ let dot_cmd =
     Term.(const run $ graph_arg $ partitions_arg $ strategy_arg)
 
 let advise_cmd =
-  let run graph k package perf delay multicycle strategy =
+  let run graph k package perf delay multicycle strategy jobs =
     let spec = build_spec graph k package perf delay multicycle strategy in
-    let j = Chop.Advisor.what_if spec in
+    let config = Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) () in
+    let j = Chop.Advisor.what_if ~config spec in
     print_endline j.Chop.Advisor.advice;
     if j.Chop.Advisor.feasible then 0 else 1
   in
@@ -254,7 +300,7 @@ let advise_cmd =
     (Cmd.info "advise" ~doc:"Quick feasibility probe (exit 1 when infeasible)")
     Term.(
       const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
-      $ delay_arg $ multicycle_arg $ strategy_arg)
+      $ delay_arg $ multicycle_arg $ strategy_arg $ jobs_arg)
 
 let autosearch_cmd =
   let run graph max_partitions package perf delay multicycle =
@@ -305,8 +351,9 @@ let synth_cmd =
       | Some path -> Chop.Specfile.load path
       | None -> build_spec graph k package perf delay multicycle strategy
     in
-    let ctx = Chop.Integration.context spec in
-    let report = Chop.Explore.run Chop.Explore.Iterative spec in
+    let engine = Chop.Explore.Engine.create Chop.Explore.Config.default spec in
+    let ctx = Chop.Explore.Engine.context engine in
+    let report = Chop.Explore.Engine.run engine in
     match report.Chop.Explore.outcome.Chop.Search.feasible with
     | [] ->
         print_endline "no feasible implementation to synthesize";

@@ -8,8 +8,10 @@ open Chop_util
 
 let explore k heuristic =
   let spec = Chop.Rig.experiment1 ~partitions:k () in
-  let report = Chop.Explore.run heuristic spec in
-  (spec, report)
+  let engine =
+    Chop.Explore.Engine.create (Chop.Explore.Config.make ~heuristic ()) spec
+  in
+  (spec, Chop.Explore.Engine.run engine)
 
 let () =
   print_endline "AR lattice filter, single-cycle style, 30 000 ns constraints";

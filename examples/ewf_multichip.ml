@@ -35,7 +35,10 @@ let () =
       List.iter
         (fun (pname, package) ->
           let spec = spec_for ~k ~package in
-          let report = Chop.Explore.run Chop.Explore.Iterative spec in
+          let report =
+            Chop.Explore.Engine.run
+              (Chop.Explore.Engine.create Chop.Explore.Config.default spec)
+          in
           let feas = report.Chop.Explore.outcome.Chop.Search.feasible in
           let cells =
             match feas with

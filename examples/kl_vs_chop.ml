@@ -23,7 +23,10 @@ let judge pg =
         ~criteria:(Chop_bad.Feasibility.criteria ~perf:30000. ~delay:30000. ())
         ()
     in
-    let report = Chop.Explore.run Chop.Explore.Iterative spec in
+    let report =
+      Chop.Explore.Engine.run
+        (Chop.Explore.Engine.create Chop.Explore.Config.default spec)
+    in
     Some report.Chop.Explore.outcome.Chop.Search.feasible
 
 let () =

@@ -72,7 +72,13 @@ let () =
       List.iter
         (fun ports ->
           let spec = spec_with ~ports ~on_chip in
-          let report = Chop.Explore.run Chop.Explore.Enumeration spec in
+          let report =
+            Chop.Explore.Engine.run
+              (Chop.Explore.Engine.create
+                 (Chop.Explore.Config.make
+                    ~heuristic:Chop.Explore.Enumeration ())
+                 spec)
+          in
           let feas = report.Chop.Explore.outcome.Chop.Search.feasible in
           let cells =
             match feas with

@@ -25,9 +25,13 @@ let () =
       ()
   in
 
-  (* 4. Explore: BAD predicts implementations per partition; CHOP searches
-     combinations and predicts system-integration overhead. *)
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  (* 4. Explore: create an engine session (heuristic, parallelism and
+     prediction caching live in the config), then run it.  BAD predicts
+     implementations per partition; CHOP searches combinations and predicts
+     system-integration overhead. *)
+  let config = Chop.Explore.Config.make ~heuristic:Chop.Explore.Iterative () in
+  let engine = Chop.Explore.Engine.create config spec in
+  let report = Chop.Explore.Engine.run engine in
   List.iter
     (fun b ->
       Printf.printf "BAD %s: %d predictions, %d feasible, %d kept\n"

@@ -97,8 +97,8 @@ type judgement = {
   advice : string;
 }
 
-let what_if spec =
-  let report = Explore.run Explore.Iterative spec in
+let what_if ?(config = Explore.Config.default) spec =
+  let report = Explore.Engine.run (Explore.Engine.create config spec) in
   match report.Explore.outcome.Search.feasible with
   | best :: _ ->
       {
@@ -125,7 +125,7 @@ let what_if spec =
             report.Explore.outcome.Search.stats.Search.implementation_trials;
       }
 
-let optimize_memory_hosts spec =
+let optimize_memory_hosts ?config spec =
   let on_chip_blocks =
     List.filter_map
       (fun m ->
@@ -155,13 +155,13 @@ let optimize_memory_hosts spec =
       let memory_hosts = List.combine on_chip_blocks hosts in
       match rebuild ~memory_hosts spec with
       | candidate ->
-          let j = what_if candidate in
+          let j = what_if ?config candidate in
           if better j best_j then (candidate, j) else (best_spec, best_j)
       | exception Rejected _ -> (best_spec, best_j))
-    (spec, what_if spec) placements
+    (spec, what_if ?config spec) placements
 
-let compare_specs before after =
-  let jb = what_if before and ja = what_if after in
+let compare_specs ?config before after =
+  let jb = what_if ?config before and ja = what_if ?config after in
   let describe j =
     match j.best with
     | Some b ->

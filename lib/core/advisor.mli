@@ -34,10 +34,14 @@ type judgement = {
   advice : string;
 }
 
-val what_if : Spec.t -> judgement
-(** Quick feasibility probe with the iterative heuristic. *)
+val what_if : ?config:Explore.Config.t -> Spec.t -> judgement
+(** Quick feasibility probe.  [config] defaults to {!Explore.Config.default}
+    (iterative heuristic, single job, shared prediction cache) — repeated
+    probes over related specs reuse cached BAD predictions for the
+    partitions the modification did not touch. *)
 
-val optimize_memory_hosts : Spec.t -> Spec.t * judgement
+val optimize_memory_hosts :
+  ?config:Explore.Config.t -> Spec.t -> Spec.t * judgement
 (** Automates the memory/behavior interleaving the paper leaves to the
     designer ("designers interleave iterations of memory and behavioral
     partitioning, a step we intend to automate in the future",
@@ -48,6 +52,6 @@ val optimize_memory_hosts : Spec.t -> Spec.t * judgement
     [chips ^ on-chip blocks]; intended for the small chip sets CHOP
     targets. *)
 
-val compare_specs : Spec.t -> Spec.t -> string
+val compare_specs : ?config:Explore.Config.t -> Spec.t -> Spec.t -> string
 (** One-paragraph comparison of two specs' what-if judgements (before vs
     after a modification). *)

@@ -1,4 +1,12 @@
-let run ?(keep_all = false) ctx per_partition =
+(* Depth-first branch-and-bound over partition implementations, with
+   admissible performance and per-chip area lower bounds.  The tree is
+   split at the root — one independent slice per implementation of the
+   first partition — so a domain pool can search subtrees concurrently;
+   each slice gets private bound-bookkeeping tables and Search.Slice.merge
+   recombines the results into exactly the sequential outcome. *)
+
+let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
+    per_partition =
   let spec = Integration.spec_of ctx in
   let clocks = spec.Spec.clocks in
   let crit = spec.Spec.criteria in
@@ -23,43 +31,50 @@ let run ?(keep_all = false) ctx per_partition =
       (fun ci -> (ci.Spec.chip_name, Chop_tech.Chip.project_area ci.Spec.package))
       spec.Spec.chips
   in
-  let trials = ref 0 and integrations = ref 0 in
-  let feasible = ref [] and explored = ref [] in
-  let admit system =
-    if keep_all then explored := system :: !explored;
-    if Integration.feasible system then begin
-      let objs = Integration.objectives system in
-      let dominated =
-        List.exists
-          (fun s -> Chop_util.Pareto.dominates (Integration.objectives s) objs)
-          !feasible
-      in
-      if not dominated then
-        feasible :=
-          system
-          :: List.filter
-               (fun s ->
-                 not (Chop_util.Pareto.dominates objs (Integration.objectives s)))
-               !feasible
-    end
-  in
   (* chip -> area committed by chosen predictions plus lower bounds of the
-     chip's still-unchosen partitions *)
-  let unchosen_low = Hashtbl.create 8 in
-  List.iter (fun (c, _) -> Hashtbl.replace unchosen_low c 0.) chip_capacity;
-  Array.iteri
-    (fun i (label, _) ->
-      let c = chip_of label in
-      Hashtbl.replace unchosen_low c (Hashtbl.find unchosen_low c +. min_area_of.(i)))
-    order;
-  let committed = Hashtbl.create 8 in
-  List.iter (fun (c, _) -> Hashtbl.replace committed c 0.) chip_capacity;
-  let rec dfs i picked ~ii_bound ~clock_bound =
-    if i = n then begin
-      incr trials;
-      incr integrations;
-      admit (Integration.integrate ctx (List.rev picked))
+     chip's still-unchosen partitions; each slice carries its own pair of
+     tables so subtrees never share mutable state *)
+  let fresh_tables () =
+    let unchosen_low = Hashtbl.create 8 in
+    List.iter (fun (c, _) -> Hashtbl.replace unchosen_low c 0.) chip_capacity;
+    Array.iteri
+      (fun i (label, _) ->
+        let c = chip_of label in
+        Hashtbl.replace unchosen_low c
+          (Hashtbl.find unchosen_low c +. min_area_of.(i)))
+      order;
+    let committed = Hashtbl.create 8 in
+    List.iter (fun (c, _) -> Hashtbl.replace committed c 0.) chip_capacity;
+    (committed, unchosen_low)
+  in
+  (* try one prediction [p] at level [i]; assumes unchosen_low already
+     excludes level [i]'s lower bound *)
+  let rec branch slice ~committed ~unchosen_low i picked ~ii_bound
+      ~clock_bound ~chip p =
+    let ii = max ii_bound (Chop_bad.Prediction.ii_main clocks p) in
+    let clock =
+      Float.max clock_bound p.Chop_bad.Prediction.timing.Chop_bad.Prediction.clock_main
+    in
+    let perf_lb = float_of_int ii *. clock in
+    let area_low = Chop_util.Triplet.(p.Chop_bad.Prediction.area.low) in
+    let chip_lb =
+      Hashtbl.find committed chip +. area_low +. Hashtbl.find unchosen_low chip
+    in
+    let capacity = List.assoc chip chip_capacity in
+    if perf_lb > crit.Chop_bad.Feasibility.perf_constraint then
+      Search.Slice.step slice (* pruned: counts as a considered stem *)
+    else if chip_lb > capacity then Search.Slice.step slice
+    else begin
+      let label, _ = order.(i) in
+      Hashtbl.replace committed chip (Hashtbl.find committed chip +. area_low);
+      dfs slice ~committed ~unchosen_low (i + 1) ((label, p) :: picked)
+        ~ii_bound:ii ~clock_bound:clock;
+      Hashtbl.replace committed chip (Hashtbl.find committed chip -. area_low)
     end
+  and dfs slice ~committed ~unchosen_low i picked ~ii_bound ~clock_bound =
+    if i = n then
+      Search.Slice.record ~keep_all slice
+        (Integration.integrate ctx (List.rev picked))
     else begin
       let label, preds = order.(i) in
       let chip = chip_of label in
@@ -67,38 +82,36 @@ let run ?(keep_all = false) ctx per_partition =
       Hashtbl.replace unchosen_low chip
         (Hashtbl.find unchosen_low chip -. min_area_of.(i));
       List.iter
-        (fun p ->
-          let ii = max ii_bound (Chop_bad.Prediction.ii_main clocks p) in
-          let clock =
-            Float.max clock_bound p.Chop_bad.Prediction.timing.Chop_bad.Prediction.clock_main
-          in
-          let perf_lb = float_of_int ii *. clock in
-          let area_low = Chop_util.Triplet.(p.Chop_bad.Prediction.area.low) in
-          let chip_lb =
-            Hashtbl.find committed chip +. area_low
-            +. Hashtbl.find unchosen_low chip
-          in
-          let capacity = List.assoc chip chip_capacity in
-          if perf_lb > crit.Chop_bad.Feasibility.perf_constraint then
-            incr trials (* pruned: counts as a considered combination stem *)
-          else if chip_lb > capacity then incr trials
-          else begin
-            Hashtbl.replace committed chip (Hashtbl.find committed chip +. area_low);
-            dfs (i + 1) ((label, p) :: picked) ~ii_bound:ii ~clock_bound:clock;
-            Hashtbl.replace committed chip (Hashtbl.find committed chip -. area_low)
-          end)
+        (branch slice ~committed ~unchosen_low i picked ~ii_bound ~clock_bound
+           ~chip)
         preds;
       Hashtbl.replace unchosen_low chip
         (Hashtbl.find unchosen_low chip +. min_area_of.(i))
     end
   in
-  dfs 0 [] ~ii_bound:1 ~clock_bound:clocks.Chop_tech.Clocking.main;
-  let stats =
-    {
-      Search.implementation_trials = !trials;
-      integrations = !integrations;
-      feasible_trials = List.length !feasible;
-      cpu_seconds = Sys.time () -. t0;
-    }
+  let slices =
+    if n = 0 then begin
+      (* degenerate: integrate the empty combination, as the sequential
+         search did *)
+      let slice = Search.Slice.create () in
+      let committed, unchosen_low = fresh_tables () in
+      dfs slice ~committed ~unchosen_low 0 [] ~ii_bound:1
+        ~clock_bound:clocks.Chop_tech.Clocking.main;
+      [ slice ]
+    end
+    else begin
+      let label0, preds0 = order.(0) in
+      let chip0 = chip_of label0 in
+      Chop_util.Pool.map_list pool
+        (fun p ->
+          let slice = Search.Slice.create () in
+          let committed, unchosen_low = fresh_tables () in
+          Hashtbl.replace unchosen_low chip0
+            (Hashtbl.find unchosen_low chip0 -. min_area_of.(0));
+          branch slice ~committed ~unchosen_low 0 [] ~ii_bound:1
+            ~clock_bound:clocks.Chop_tech.Clocking.main ~chip:chip0 p;
+          slice)
+        preds0
+    end
   in
-  Search.finalize ~keep_all ~feasible:!feasible ~explored:!explored stats
+  Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices

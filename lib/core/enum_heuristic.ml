@@ -1,67 +1,56 @@
-let run ?(keep_all = false) ctx per_partition =
+(* Exhaustive enumeration over the cartesian product of per-partition
+   implementation lists.  The product is split on the first axis — one
+   independent slice per implementation of the first partition — so a
+   domain pool can search slices concurrently; Search.Slice.merge
+   recombines them into exactly the sequential outcome. *)
+
+let consider ctx ~clocks ~crit ~keep_all ~labels slice picks =
+  let comb = List.combine labels picks in
+  (* performance upper bound: the slowest partition sets the pace *)
+  let ii_bound =
+    List.fold_left
+      (fun acc p -> max acc (Chop_bad.Prediction.ii_main clocks p))
+      1 picks
+  in
+  let clock_bound =
+    List.fold_left
+      (fun acc p -> Float.max acc p.Chop_bad.Prediction.timing.clock_main)
+      clocks.Chop_tech.Clocking.main picks
+  in
+  let hopeless =
+    float_of_int ii_bound *. clock_bound
+    > crit.Chop_bad.Feasibility.perf_constraint
+  in
+  (* the slowest-partition bound prunes combinations that cannot meet the
+     performance constraint before any integration work — even in
+     keep-all mode only evaluated designs are recorded, as in the paper's
+     Figures 7 and 8 *)
+  if hopeless then Search.Slice.step slice
+  else Search.Slice.record ~keep_all slice (Integration.integrate ctx comb)
+
+let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
+    per_partition =
   let spec = Integration.spec_of ctx in
   let clocks = spec.Spec.clocks in
   let crit = spec.Spec.criteria in
   let t0 = Sys.time () in
   let labels = List.map fst per_partition in
-  let choices = List.map snd per_partition in
-  let trials = ref 0 and integrations = ref 0 in
-  let feasible = ref [] and explored = ref [] in
-  let consider picks =
-    incr trials;
-    let comb = List.combine labels picks in
-    (* performance upper bound: the slowest partition sets the pace *)
-    let ii_bound =
-      List.fold_left
-        (fun acc p -> max acc (Chop_bad.Prediction.ii_main clocks p))
-        1 picks
-    in
-    let clock_bound =
-      List.fold_left
-        (fun acc p -> Float.max acc p.Chop_bad.Prediction.timing.clock_main)
-        clocks.Chop_tech.Clocking.main picks
-    in
-    let hopeless =
-      float_of_int ii_bound *. clock_bound
-      > crit.Chop_bad.Feasibility.perf_constraint
-    in
-    (* the slowest-partition bound prunes combinations that cannot meet the
-       performance constraint before any integration work — even in
-       keep-all mode only evaluated designs are recorded, as in the paper's
-       Figures 7 and 8 *)
-    if hopeless then ()
-    else begin
-      incr integrations;
-      let system = Integration.integrate ctx comb in
-      if keep_all then explored := system :: !explored;
-      if Integration.feasible system then begin
-        (* discard inferior designs immediately upon detection (paper,
-           section 2.1): admit only systems not dominated by the running
-           front, evicting the ones they dominate *)
-        let objs = Integration.objectives system in
-        let dominated =
-          List.exists
-            (fun s -> Chop_util.Pareto.dominates (Integration.objectives s) objs)
-            !feasible
-        in
-        if not dominated then
-          feasible :=
-            system
-            :: List.filter
-                 (fun s ->
-                   not
-                     (Chop_util.Pareto.dominates objs (Integration.objectives s)))
-                 !feasible
-      end
-    end
+  let consider = consider ctx ~clocks ~crit ~keep_all ~labels in
+  let slices =
+    match List.map snd per_partition with
+    | [] ->
+        (* degenerate: the empty product still has one (empty) combination *)
+        let slice = Search.Slice.create () in
+        consider slice [];
+        [ slice ]
+    | first :: rest ->
+        Chop_util.Pool.map_list pool
+          (fun pick ->
+            let slice = Search.Slice.create () in
+            Chop_util.Listx.fold_cartesian
+              (fun () picks -> consider slice (pick :: picks))
+              () rest;
+            slice)
+          first
   in
-  Chop_util.Listx.fold_cartesian (fun () picks -> consider picks) () choices;
-  let stats =
-    {
-      Search.implementation_trials = !trials;
-      integrations = !integrations;
-      feasible_trials = List.length !feasible;
-      cpu_seconds = Sys.time () -. t0;
-    }
-  in
-  Search.finalize ~keep_all ~feasible:!feasible ~explored:!explored stats
+  Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices

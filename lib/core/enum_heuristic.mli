@@ -9,11 +9,15 @@
 
 val run :
   ?keep_all:bool ->
+  ?pool:Chop_util.Pool.t ->
   Integration.context ->
   (string * Chop_bad.Prediction.t list) list ->
   Search.outcome
 (** [run ctx per_partition] enumerates the cartesian product of the
     prediction lists.  Combinations whose slowest-partition performance
     bound already violates the performance constraint are counted as trials
-    but not integrated (unless [keep_all], which integrates everything to
-    expose the full design space). *)
+    but not integrated; [keep_all] records every integrated design to
+    expose the full design space.  [pool] (default sequential) searches
+    the product in parallel, one slice per implementation of the first
+    partition, with deterministic merging: the outcome is identical to the
+    sequential one. *)

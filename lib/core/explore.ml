@@ -7,11 +7,36 @@ type bad_stats = {
   kept : int;
 }
 
+module Config = struct
+  type cache_scope = Shared | Off | Custom of Pred_cache.t
+
+  type t = {
+    heuristic : heuristic;
+    keep_all : bool;
+    prune : bool option;
+    jobs : int;
+    cache : cache_scope;
+  }
+
+  let default =
+    { heuristic = Iterative; keep_all = false; prune = None; jobs = 1;
+      cache = Shared }
+
+  let make ?(heuristic = default.heuristic) ?(keep_all = default.keep_all)
+      ?prune ?(jobs = default.jobs) ?(cache = default.cache) () =
+    if jobs < 1 then invalid_arg "Explore.Config.make: jobs must be >= 1";
+    { heuristic; keep_all; prune; jobs; cache }
+end
+
 type report = {
   heuristic : heuristic;
   bad : bad_stats list;
   outcome : Search.outcome;
   bad_cpu_seconds : float;
+  bad_wall_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+  jobs : int;
 }
 
 let predictor_config spec ~label =
@@ -29,55 +54,162 @@ let partition_chip_area spec ~label =
      pins are bonded as signal pads *)
   Chop_tech.Chip.usable_area pkg ~signal_pins:(pkg.Chop_tech.Chip.pins / 2)
 
-let predictions ?prune spec =
-  let prune =
-    match prune with Some p -> p | None -> spec.Spec.params.Spec.discard_inferior
-  in
-  let results =
-    List.map
-      (fun p ->
-        let label = p.Chop_dfg.Partition.label in
-        let sub = Chop_dfg.Partition.subgraph spec.Spec.partitioning p in
-        let cfg = predictor_config spec ~label in
-        let preds = Chop_bad.Predictor.predict cfg ~label sub in
-        let chip_area = partition_chip_area spec ~label in
-        let feasible =
-          List.filter
-            (fun pr ->
-              Chop_bad.Feasibility.is_feasible
-                (Chop_bad.Feasibility.partition_level spec.Spec.criteria
-                   ~clocks:spec.Spec.clocks ~chip_area pr))
-            preds
-        in
-        let kept =
-          Chop_bad.Predictor.prune cfg ~criteria:spec.Spec.criteria ~chip_area
-            preds
-        in
-        let stats =
+module Engine = struct
+  type t = {
+    config : Config.t;
+    spec : Spec.t;
+    pool : Chop_util.Pool.t;
+    cache : Pred_cache.t option;
+    ctx : Integration.context;
+  }
+
+  let create (config : Config.t) spec =
+    let cache =
+      match config.Config.cache with
+      | Config.Shared -> Some Pred_cache.shared
+      | Config.Off -> None
+      | Config.Custom c -> Some c
+    in
+    { config; spec; pool = Chop_util.Pool.create ~jobs:config.Config.jobs;
+      cache; ctx = Integration.context spec }
+
+  let config e = e.config
+  let spec e = e.spec
+  let context e = e.ctx
+
+  (* One partition's prediction work, run on a pool worker: derive the
+     full entry (raw list, feasible count, pruned list) through the cache.
+     Returns the entry plus whether the cache served the raw predictions
+     and the worker-local busy time. *)
+  let predict_partition e part =
+    let t0 = Unix.gettimeofday () in
+    let spec = e.spec in
+    let label = part.Chop_dfg.Partition.label in
+    let sub = Chop_dfg.Partition.subgraph spec.Spec.partitioning part in
+    let cfg = predictor_config spec ~label in
+    let chip_area = partition_chip_area spec ~label in
+    let chip = (Spec.chip_of_partition spec label).Spec.package in
+    let criteria = spec.Spec.criteria in
+    let derive raw =
+      let feasible_count =
+        List.length
+          (List.filter
+             (fun pr ->
+               Chop_bad.Feasibility.is_feasible
+                 (Chop_bad.Feasibility.partition_level criteria
+                    ~clocks:spec.Spec.clocks ~chip_area pr))
+             raw)
+      in
+      let kept = Chop_bad.Predictor.prune cfg ~criteria ~chip_area raw in
+      { Pred_cache.raw; feasible_count; kept }
+    in
+    let entry, hit =
+      match e.cache with
+      | None -> (derive (Chop_bad.Predictor.predict cfg ~label sub), false)
+      | Some cache -> (
+          let raw_key = Pred_cache.raw_key ~sub ~cfg in
+          let full_key = Pred_cache.full_key ~raw_key ~chip ~criteria in
+          match Pred_cache.find_full cache full_key with
+          | Some entry -> (entry, true)
+          | None ->
+              let raw, hit =
+                match Pred_cache.find_raw cache raw_key with
+                | Some raw -> (raw, true)
+                | None ->
+                    let raw = Chop_bad.Predictor.predict cfg ~label sub in
+                    Pred_cache.add_raw cache raw_key raw;
+                    (raw, false)
+              in
+              let entry = derive raw in
+              Pred_cache.add_full cache full_key entry;
+              (entry, hit))
+    in
+    (* cached predictions may have been computed under another partition's
+       label: restamp, so downstream reports name this partition *)
+    let relabel ps =
+      List.map
+        (fun (p : Chop_bad.Prediction.t) ->
+          if p.Chop_bad.Prediction.partition_label = label then p
+          else { p with Chop_bad.Prediction.partition_label = label })
+        ps
+    in
+    let entry =
+      { entry with
+        Pred_cache.raw = relabel entry.Pred_cache.raw;
+        kept = relabel entry.Pred_cache.kept }
+    in
+    (label, entry, hit, Unix.gettimeofday () -. t0)
+
+  let predictions_timed e ~prune =
+    let wall0 = Unix.gettimeofday () in
+    let results =
+      Chop_util.Pool.map_list e.pool (predict_partition e)
+        e.spec.Spec.partitioning.Chop_dfg.Partition.parts
+    in
+    let per_partition =
+      List.map
+        (fun (label, entry, _, _) ->
+          ( label,
+            if prune then entry.Pred_cache.kept else entry.Pred_cache.raw ))
+        results
+    in
+    let bad =
+      List.map
+        (fun (label, entry, _, _) ->
           {
             label;
-            total_predictions = List.length preds;
-            feasible_predictions = List.length feasible;
-            kept = List.length kept;
-          }
-        in
-        ((label, (if prune then kept else preds)), stats))
-      spec.Spec.partitioning.Chop_dfg.Partition.parts
-  in
-  (List.map fst results, List.map snd results)
+            total_predictions = List.length entry.Pred_cache.raw;
+            feasible_predictions = entry.Pred_cache.feasible_count;
+            kept = List.length entry.Pred_cache.kept;
+          })
+        results
+    in
+    let hits = List.length (List.filter (fun (_, _, h, _) -> h) results) in
+    let misses = List.length results - hits in
+    let busy =
+      List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. results
+    in
+    (per_partition, bad, hits, misses, busy, Unix.gettimeofday () -. wall0)
+
+  let predictions e =
+    let prune =
+      match e.config.Config.prune with
+      | Some p -> p
+      | None -> e.spec.Spec.params.Spec.discard_inferior
+    in
+    let per_partition, bad, _, _, _, _ = predictions_timed e ~prune in
+    (per_partition, bad)
+
+  let run e =
+    let keep_all = e.config.Config.keep_all in
+    let prune =
+      match e.config.Config.prune with
+      | Some p -> p
+      | None -> not keep_all
+    in
+    let per_partition, bad, cache_hits, cache_misses, bad_cpu_seconds,
+        bad_wall_seconds =
+      predictions_timed e ~prune
+    in
+    let outcome =
+      match e.config.Config.heuristic with
+      | Enumeration ->
+          Enum_heuristic.run ~keep_all ~pool:e.pool e.ctx per_partition
+      | Iterative -> Iter_heuristic.run ~keep_all e.ctx per_partition
+      | Branch_bound ->
+          Bb_heuristic.run ~keep_all ~pool:e.pool e.ctx per_partition
+    in
+    { heuristic = e.config.Config.heuristic; bad; outcome; bad_cpu_seconds;
+      bad_wall_seconds; cache_hits; cache_misses;
+      jobs = Chop_util.Pool.jobs e.pool }
+end
+
+let predictions ?prune spec =
+  Engine.predictions
+    (Engine.create (Config.make ?prune ()) spec)
 
 let run ?(keep_all = false) heuristic spec =
-  let t0 = Sys.time () in
-  let per_partition, bad = predictions ~prune:(not keep_all) spec in
-  let bad_cpu_seconds = Sys.time () -. t0 in
-  let ctx = Integration.context spec in
-  let outcome =
-    match heuristic with
-    | Enumeration -> Enum_heuristic.run ~keep_all ctx per_partition
-    | Iterative -> Iter_heuristic.run ~keep_all ctx per_partition
-    | Branch_bound -> Bb_heuristic.run ~keep_all ctx per_partition
-  in
-  { heuristic; bad; outcome; bad_cpu_seconds }
+  Engine.run (Engine.create (Config.make ~heuristic ~keep_all ()) spec)
 
 let unique_designs systems =
   let key s =

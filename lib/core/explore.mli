@@ -1,5 +1,17 @@
 (** The CHOP exploration driver: BAD predictions per partition, two-level
-    pruning, heuristic search and result collection (paper, Figure 1). *)
+    pruning, heuristic search and result collection (paper, Figure 1).
+
+    The API is organised around two values:
+
+    - {!Config.t} gathers every knob of an exploration — heuristic,
+      pruning, keep-all, parallelism and caching — in one record;
+    - {!Engine.t} is a session bound to one spec: it owns the domain pool,
+      the prediction-cache handle and the integration context, so repeated
+      runs (advisor what-if probes, sensitivity sweeps) reuse all three.
+
+    The bare {!run} and {!predictions} entry points predate the engine and
+    are kept as thin deprecated wrappers; new code should use
+    [Engine.run (Engine.create config spec)]. *)
 
 type heuristic =
   | Enumeration  (** the paper's "E" *)
@@ -16,12 +28,87 @@ type bad_stats = {
   kept : int;  (** after first-level pruning (feasible + non-inferior) *)
 }
 
+(** {1 Configuration} *)
+
+module Config : sig
+  type cache_scope =
+    | Shared  (** the process-wide {!Pred_cache.shared} (the default) *)
+    | Off  (** always re-predict *)
+    | Custom of Pred_cache.t  (** a caller-owned cache *)
+
+  type t = {
+    heuristic : heuristic;
+    keep_all : bool;
+        (** record every integrated design — the mode behind the paper's
+            Figures 7 and 8 *)
+    prune : bool option;
+        (** first-level pruning of the prediction lists; [None] derives it:
+            [not keep_all] for searches, the spec's [discard_inferior] for
+            bare prediction queries — matching the legacy entry points *)
+    jobs : int;  (** domain-pool size; 1 = fully sequential *)
+    cache : cache_scope;
+  }
+
+  val default : t
+  (** Iterative heuristic, no keep-all, derived pruning, [jobs = 1],
+      shared cache. *)
+
+  val make :
+    ?heuristic:heuristic ->
+    ?keep_all:bool ->
+    ?prune:bool ->
+    ?jobs:int ->
+    ?cache:cache_scope ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced.
+      @raise Invalid_argument when [jobs < 1]. *)
+end
+
+(** {1 Reports} *)
+
 type report = {
   heuristic : heuristic;
   bad : bad_stats list;
   outcome : Search.outcome;
   bad_cpu_seconds : float;
+      (** prediction-phase busy time summed across pool workers — under a
+          parallel pool this can exceed the wall clock *)
+  bad_wall_seconds : float;  (** prediction-phase wall-clock time *)
+  cache_hits : int;
+      (** partitions whose predictions were served by the cache *)
+  cache_misses : int;  (** partitions that ran the BAD enumeration *)
+  jobs : int;  (** pool size the exploration ran with *)
 }
+
+(** {1 The engine} *)
+
+module Engine : sig
+  type t
+
+  val create : Config.t -> Spec.t -> t
+  (** Binds a configuration to a spec.  The integration context is built
+      eagerly and reused by every subsequent run. *)
+
+  val config : t -> Config.t
+  val spec : t -> Spec.t
+  val context : t -> Integration.context
+
+  val run : t -> report
+  (** Predict every partition (in parallel, through the cache) and search
+      the combinations.  For a given spec and configuration the outcome is
+      deterministic: any [jobs] value produces the same report apart from
+      the timing and cache-counter fields. *)
+
+  val predictions :
+    t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
+  (** The per-partition prediction lists a search would consume, with
+      per-partition BAD statistics — without searching.  Pruning follows
+      the config ([prune = None] defers to the spec's [discard_inferior]);
+      statistics always report both raw and pruned counts. *)
+end
+
+(** {1 Helpers} *)
 
 val predictor_config : Spec.t -> label:string -> Chop_bad.Predictor.config
 (** The BAD configuration CHOP derives from the spec for one partition
@@ -31,20 +118,29 @@ val partition_chip_area : Spec.t -> label:string -> Chop_util.Units.mil2
 (** Usable area of the partition's assigned chip, pads deducted — the
     first-level pruning target. *)
 
-val predictions :
-  ?prune:bool -> Spec.t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
-(** Runs BAD on every partition subgraph.  [prune] (default: the spec's
-    [discard_inferior]) applies first-level pruning to the returned lists;
-    statistics always report both raw and pruned counts. *)
-
-val run : ?keep_all:bool -> heuristic -> Spec.t -> report
-(** End-to-end exploration.  [keep_all = true] disables both pruning levels
-    and records every design encountered ([outcome.explored]) — the mode
-    behind the paper's Figures 7 and 8. *)
-
 val unique_designs : Integration.system list -> int
 (** Distinct (initiation interval, delay cycles, likely area) design points
     among the explored systems — the "unique designs" count of Figures 7
     and 8. *)
 
 val pp_heuristic : Format.formatter -> heuristic -> unit
+
+(** {1 Deprecated entry points}
+
+    Thin wrappers over a single-job engine, kept so pre-engine callers
+    compile unchanged.  Each call builds a fresh engine (losing context
+    reuse, though the shared prediction cache still applies).  New code
+    should use {!Engine.create}/{!Engine.run} with a {!Config.t}. *)
+
+val predictions :
+  ?prune:bool -> Spec.t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
+(** Runs BAD on every partition subgraph.  [prune] (default: the spec's
+    [discard_inferior]) applies first-level pruning to the returned lists;
+    statistics always report both raw and pruned counts.
+    @deprecated Use {!Engine.predictions}. *)
+
+val run : ?keep_all:bool -> heuristic -> Spec.t -> report
+(** End-to-end exploration.  [keep_all = true] disables both pruning levels
+    and records every design encountered ([outcome.explored]) — the mode
+    behind the paper's Figures 7 and 8.
+    @deprecated Use {!Engine.run}. *)

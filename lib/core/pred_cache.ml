@@ -1,0 +1,55 @@
+type entry = {
+  raw : Chop_bad.Prediction.t list;
+  feasible_count : int;
+  kept : Chop_bad.Prediction.t list;
+}
+
+type t = {
+  lock : Mutex.t;
+  raw_tbl : (string, Chop_bad.Prediction.t list) Hashtbl.t;
+  full_tbl : (string, entry) Hashtbl.t;
+}
+
+let create () =
+  { lock = Mutex.create (); raw_tbl = Hashtbl.create 64; full_tbl = Hashtbl.create 64 }
+
+let shared = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.raw_tbl;
+      Hashtbl.reset t.full_tbl)
+
+let length t =
+  locked t (fun () -> Hashtbl.length t.raw_tbl + Hashtbl.length t.full_tbl)
+
+let raw_key ~sub ~cfg =
+  Chop_dfg.Graph.signature sub ^ "/" ^ Chop_bad.Predictor.signature cfg
+
+let full_key ~raw_key ~chip ~criteria =
+  let chip_sig =
+    Printf.sprintf "%s:%.17g:%.17g:%d:%.17g:%.17g" chip.Chop_tech.Chip.pkg_name
+      chip.Chop_tech.Chip.width chip.Chop_tech.Chip.height
+      chip.Chop_tech.Chip.pins chip.Chop_tech.Chip.pad_delay
+      chip.Chop_tech.Chip.pad_area
+  in
+  let c = criteria in
+  let crit_sig =
+    Printf.sprintf "%.17g:%.17g:%.17g:%.17g:%.17g:%s"
+      c.Chop_bad.Feasibility.perf_constraint
+      c.Chop_bad.Feasibility.delay_constraint c.Chop_bad.Feasibility.perf_prob
+      c.Chop_bad.Feasibility.area_prob c.Chop_bad.Feasibility.delay_prob
+      (match c.Chop_bad.Feasibility.power_budget with
+      | None -> "-"
+      | Some p -> Printf.sprintf "%.17g" p)
+  in
+  raw_key ^ "/" ^ Digest.to_hex (Digest.string (chip_sig ^ "|" ^ crit_sig))
+
+let find_raw t k = locked t (fun () -> Hashtbl.find_opt t.raw_tbl k)
+let add_raw t k v = locked t (fun () -> Hashtbl.replace t.raw_tbl k v)
+let find_full t k = locked t (fun () -> Hashtbl.find_opt t.full_tbl k)
+let add_full t k v = locked t (fun () -> Hashtbl.replace t.full_tbl k v)

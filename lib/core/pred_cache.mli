@@ -1,0 +1,66 @@
+(** Memoized BAD prediction results.
+
+    The exploration engine predicts each partition of a spec independently;
+    advisor what-if probes, {!Sensitivity} sweeps and repeated runs over the
+    same spec re-predict structurally identical subgraphs over and over.
+    This cache memoizes those predictions behind structural keys so the
+    expensive {!Chop_bad.Predictor.predict} enumeration runs once per
+    distinct (subgraph, predictor config) pair.
+
+    Two layers are kept:
+
+    - the {e raw} layer maps (subgraph signature, predictor-config
+      signature) to the unpruned prediction list — it survives changes to
+      feasibility criteria or chip packages, so a sensitivity sweep that
+      only moves a constraint still reuses the enumeration;
+    - the {e full} layer additionally keys on the chip package and the
+      feasibility criteria and stores the derived per-partition results
+      (feasible count and pruned list), skipping even the filtering work
+      when an identical exploration repeats.
+
+    All operations are thread-safe (a single mutex guards both tables);
+    callers are expected to compute predictions {e outside} the lock and
+    insert afterwards, accepting the occasional duplicated computation on a
+    race.  Cached predictions carry the partition label of the run that
+    populated the entry — retrieve with {!Chop_bad.Prediction.relabel}-style
+    copying if labels matter (the engine does). *)
+
+type t
+
+type entry = {
+  raw : Chop_bad.Prediction.t list;  (** unpruned predictor output *)
+  feasible_count : int;  (** predictions feasible in isolation on the chip *)
+  kept : Chop_bad.Prediction.t list;  (** after first-level pruning *)
+}
+
+val create : unit -> t
+(** A fresh, empty cache. *)
+
+val shared : t
+(** The process-wide cache used by default by [Explore.Engine]. *)
+
+val clear : t -> unit
+
+val length : t -> int
+(** Number of entries across both layers. *)
+
+(** {1 Keys} *)
+
+val raw_key : sub:Chop_dfg.Graph.t -> cfg:Chop_bad.Predictor.config -> string
+(** Key of the raw layer: digests of the subgraph structure and of the
+    predictor config. *)
+
+val full_key :
+  raw_key:string ->
+  chip:Chop_tech.Chip.t ->
+  criteria:Chop_bad.Feasibility.criteria ->
+  string
+(** Key of the full layer: the raw key extended with the chip package and
+    the feasibility criteria (pruning depends on both). *)
+
+(** {1 Lookup and insertion} *)
+
+val find_raw : t -> string -> Chop_bad.Prediction.t list option
+val add_raw : t -> string -> Chop_bad.Prediction.t list -> unit
+val find_full : t -> string -> entry option
+val add_full : t -> string -> entry -> unit

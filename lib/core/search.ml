@@ -30,6 +30,22 @@ let to_csv systems =
     systems;
   Buffer.contents buf
 
+let admit system front =
+  let objs = Integration.objectives system in
+  let dominated =
+    List.exists
+      (fun s -> Chop_util.Pareto.dominates (Integration.objectives s) objs)
+      front
+  in
+  if dominated then (front, false)
+  else
+    ( system
+      :: List.filter
+           (fun s ->
+             not (Chop_util.Pareto.dominates objs (Integration.objectives s)))
+           front,
+      true )
+
 let finalize ~keep_all ~feasible ~explored stats =
   let non_inferior =
     Chop_util.Pareto.frontier ~objectives:Integration.objectives feasible
@@ -64,3 +80,64 @@ let finalize ~keep_all ~feasible ~explored stats =
       non_inferior
   in
   { feasible = sorted; explored = (if keep_all then explored else []); stats }
+
+module Slice = struct
+  type t = {
+    mutable trials : int;
+    mutable integrations : int;
+    mutable front : Integration.system list;
+    mutable admitted_rev : Integration.system list;
+    mutable explored_rev : Integration.system list;
+  }
+
+  let create () =
+    { trials = 0; integrations = 0; front = []; admitted_rev = [];
+      explored_rev = [] }
+
+  let step sl = sl.trials <- sl.trials + 1
+
+  let record ~keep_all sl system =
+    sl.trials <- sl.trials + 1;
+    sl.integrations <- sl.integrations + 1;
+    if keep_all then sl.explored_rev <- system :: sl.explored_rev;
+    if Integration.feasible system then begin
+      let front, admitted = admit system sl.front in
+      if admitted then begin
+        sl.front <- front;
+        sl.admitted_rev <- system :: sl.admitted_rev
+      end
+    end
+
+  let merge ~keep_all ~cpu_seconds slices =
+    (* the sequential accumulator prepends, so it ends up with the last
+       integration first: concatenating the per-slice reversed lists in
+       reverse task order reproduces it exactly *)
+    let explored =
+      List.concat (List.rev_map (fun sl -> sl.explored_rev) slices)
+    in
+    (* replay each slice's admissions, in task order, through the shared
+       front.  A system a slice dropped locally was dominated by an earlier
+       system of the same slice, which the replay also sees (or evicts only
+       for something that dominates it in turn — dominance is transitive),
+       so the replayed front equals the sequential one, order included. *)
+    let front =
+      List.fold_left
+        (fun front sl ->
+          List.fold_left
+            (fun front system -> fst (admit system front))
+            front
+            (List.rev sl.admitted_rev))
+        [] slices
+    in
+    let stats =
+      {
+        implementation_trials =
+          List.fold_left (fun acc sl -> acc + sl.trials) 0 slices;
+        integrations =
+          List.fold_left (fun acc sl -> acc + sl.integrations) 0 slices;
+        feasible_trials = List.length front;
+        cpu_seconds;
+      }
+    in
+    finalize ~keep_all ~feasible:front ~explored stats
+end

@@ -32,3 +32,51 @@ val finalize :
   outcome
 (** Sorts feasible systems by (performance, delay) and prunes inferior ones
     (unless [keep_all] asked for the raw space). *)
+
+val admit :
+  Integration.system ->
+  Integration.system list ->
+  Integration.system list * bool
+(** [admit system front] inserts a system into a running non-dominated
+    front (paper, section 2.1: inferior designs are discarded immediately
+    upon detection).  Returns the updated front — unchanged when [system]
+    is dominated by a member, otherwise [system] prepended with the members
+    it dominates evicted — and whether the system was admitted. *)
+
+(** {1 Parallel search slices}
+
+    Both exhaustive heuristics (enumeration and branch-and-bound) split
+    their search space into independent slices, one per first-level
+    implementation choice, so a {!Chop_util.Pool} can run them on separate
+    domains.  Each slice accumulates results privately; {!Slice.merge}
+    recombines them in task order into exactly the lists the sequential
+    search would have produced, making parallel runs bit-identical to
+    sequential ones. *)
+
+module Slice : sig
+  type t = private {
+    mutable trials : int;
+    mutable integrations : int;
+    mutable front : Integration.system list;
+    mutable admitted_rev : Integration.system list;
+        (** locally admitted systems, most recent first *)
+    mutable explored_rev : Integration.system list;
+        (** locally integrated systems, most recent first *)
+  }
+
+  val create : unit -> t
+
+  val step : t -> unit
+  (** Count a considered combination (or pruned stem) without integrating. *)
+
+  val record : keep_all:bool -> t -> Integration.system -> unit
+  (** Count an integration, append to the explored list when [keep_all],
+      and admit the system into the slice-local front when feasible. *)
+
+  val merge : keep_all:bool -> cpu_seconds:float -> t list -> outcome
+  (** Recombine slices (given in first-level task order) and {!finalize}.
+      The explored list is the task-order concatenation reversed, matching
+      the sequential accumulator; the global front is rebuilt by replaying
+      each slice's admissions through {!admit} in order — sound because
+      Pareto dominance makes local eviction imply global eviction. *)
+end

@@ -8,13 +8,13 @@ type point = {
 
 type sweep = { parameter : string; points : point list }
 
-let judge ~value spec_opt =
+let judge ?config ~value spec_opt =
   match spec_opt with
   | None ->
       { value; feasible = false; best_ii = None; best_delay_cycles = None;
         best_perf_ns = None }
   | Some spec -> (
-      let j = Advisor.what_if spec in
+      let j = Advisor.what_if ?config spec in
       match j.Advisor.best with
       | Some s ->
           {
@@ -32,7 +32,7 @@ let with_criteria spec criteria =
   try Some (Advisor.set_constraints spec ~criteria)
   with Advisor.Rejected _ -> None
 
-let performance_constraint spec ~values =
+let performance_constraint ?config spec ~values =
   let crit = spec.Spec.criteria in
   let points =
     List.map
@@ -49,12 +49,12 @@ let performance_constraint spec ~values =
           | criteria -> with_criteria spec criteria
           | exception Invalid_argument _ -> None
         in
-        judge ~value:perf spec_opt)
+        judge ?config ~value:perf spec_opt)
       values
   in
   { parameter = "performance constraint (ns)"; points }
 
-let delay_constraint spec ~values =
+let delay_constraint ?config spec ~values =
   let crit = spec.Spec.criteria in
   let points =
     List.map
@@ -71,12 +71,12 @@ let delay_constraint spec ~values =
           | criteria -> with_criteria spec criteria
           | exception Invalid_argument _ -> None
         in
-        judge ~value:delay spec_opt)
+        judge ?config ~value:delay spec_opt)
       values
   in
   { parameter = "delay constraint (ns)"; points }
 
-let pin_count spec ~values =
+let pin_count ?config spec ~values =
   let points =
     List.map
       (fun pins ->
@@ -101,12 +101,12 @@ let pin_count spec ~values =
                    spec spec.Spec.chips)
             with Advisor.Rejected _ | Invalid_argument _ -> None
         in
-        judge ~value:(float_of_int pins) spec_opt)
+        judge ?config ~value:(float_of_int pins) spec_opt)
       values
   in
   { parameter = "package pin count"; points }
 
-let main_clock spec ~values =
+let main_clock ?config spec ~values =
   let clocks = spec.Spec.clocks in
   let points =
     List.map
@@ -130,7 +130,7 @@ let main_clock spec ~values =
               with Spec.Invalid_spec _ -> None)
           | exception Invalid_argument _ -> None
         in
-        judge ~value:main spec_opt)
+        judge ?config ~value:main spec_opt)
       values
   in
   { parameter = "main clock (ns)"; points }
@@ -141,7 +141,7 @@ type grid = {
   cells : bool array array;
 }
 
-let performance_pins_grid spec ~perf_values ~pin_values =
+let performance_pins_grid ?config spec ~perf_values ~pin_values =
   let crit = spec.Spec.criteria in
   let cells =
     Array.of_list
@@ -166,7 +166,7 @@ let performance_pins_grid spec ~perf_values ~pin_values =
                   match spec_perf with
                   | None -> false
                   | Some s ->
-                      let swept = pin_count s ~values:[ pins ] in
+                      let swept = pin_count ?config s ~values:[ pins ] in
                       (match swept.points with
                       | [ p ] -> p.feasible
                       | _ -> false))

@@ -20,17 +20,23 @@ type sweep = {
   points : point list;  (** in the order the values were given *)
 }
 
-val performance_constraint : Spec.t -> values:float list -> sweep
-(** Sweep the performance constraint (ns), keeping its delay counterpart. *)
+val performance_constraint :
+  ?config:Explore.Config.t -> Spec.t -> values:float list -> sweep
+(** Sweep the performance constraint (ns), keeping its delay counterpart.
+    Every sweep takes an optional engine [config] (default
+    {!Explore.Config.default}) forwarded to {!Advisor.what_if}; with the
+    prediction cache on, a sweep that only moves a constraint re-predicts
+    nothing — only filtering and search repeat per point. *)
 
-val delay_constraint : Spec.t -> values:float list -> sweep
+val delay_constraint :
+  ?config:Explore.Config.t -> Spec.t -> values:float list -> sweep
 
-val pin_count : Spec.t -> values:int list -> sweep
+val pin_count : ?config:Explore.Config.t -> Spec.t -> values:int list -> sweep
 (** Replace every chip's package with a copy rebuilt at the given pin
     count (same die, pad delay and pad area) — the "target chip set"
     modification group.  Non-positive pin counts yield infeasible points. *)
 
-val main_clock : Spec.t -> values:float list -> sweep
+val main_clock : ?config:Explore.Config.t -> Spec.t -> values:float list -> sweep
 (** Sweep the main clock cycle (ns), keeping the clock ratios. *)
 
 val cliff : sweep -> float option
@@ -47,7 +53,11 @@ type grid = {
 }
 
 val performance_pins_grid :
-  Spec.t -> perf_values:float list -> pin_values:int list -> grid
+  ?config:Explore.Config.t ->
+  Spec.t ->
+  perf_values:float list ->
+  pin_values:int list ->
+  grid
 (** The two-dimensional feasibility map of the paper's two hardest
     constraint axes: the performance target against the package pin count
     (every chip rebuilt at each count).  Each cell is one full what-if

@@ -153,6 +153,19 @@ let total_output_bits g =
       | _ -> n.width)
     (outputs g)
 
+let signature g =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s:%d;" n.id (Op.to_string n.op) n.width))
+    (nodes g);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (src, dst) -> Buffer.add_string buf (Printf.sprintf "%d>%d;" src dst))
+    (edges g);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let induced g ~name keep =
   List.iter
     (fun id ->

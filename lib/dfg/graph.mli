@@ -67,6 +67,13 @@ val memory_blocks : t -> string list
 val total_input_bits : t -> Chop_util.Units.bits
 val total_output_bits : t -> Chop_util.Units.bits
 
+val signature : t -> string
+(** A structural digest of the graph — node ids, operations and widths plus
+    the edge list, hashed.  Two graphs built by the same construction
+    sequence (e.g. two {!induced} extractions of the same partition) share a
+    signature; the graph [name] is excluded.  Used as a cache key by the
+    exploration engine's prediction cache. *)
+
 (** {1 Derived graphs} *)
 
 val induced :

@@ -1,0 +1,55 @@
+type t = { size : int }
+
+let sequential = { size = 1 }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { size = jobs }
+
+let jobs t = t.size
+
+let default_jobs () =
+  match Sys.getenv_opt "CHOP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let run_inline tasks = Array.map (fun task -> task ()) tasks
+
+let run t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then run_inline tasks
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r =
+            try Ok (tasks.(i) ())
+            with exn -> Error (exn, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (t.size - 1) (n - 1) in
+    let domains = Array.init helpers (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
+        | None -> assert false (* the cursor visited every index *))
+      results
+  end
+
+let map_array t f xs = run t (Array.map (fun x () -> f x) xs)
+let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))

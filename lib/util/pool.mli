@@ -1,0 +1,41 @@
+(** A small fixed-size fork-join pool built on OCaml 5 domains.
+
+    The pool is a lightweight description of a parallelism budget: tasks are
+    executed by freshly spawned worker domains on each fork-join call, so a
+    pool value can be stored in long-lived session state without pinning OS
+    threads.  Work is distributed with an atomic cursor over a task array and
+    results are stored back by index, so {!run}, {!map_array} and {!map_list}
+    always return results in task order regardless of which domain ran which
+    task — callers get deterministic output for deterministic tasks.
+
+    A pool with [jobs = 1] (see {!sequential}) executes everything inline on
+    the calling domain with no spawning at all. *)
+
+type t
+
+val sequential : t
+(** The single-job pool: every call runs inline on the caller's domain. *)
+
+val create : jobs:int -> t
+(** A pool allowed to use at most [jobs] domains (including the caller's).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism budget the pool was created with. *)
+
+val default_jobs : unit -> int
+(** The [CHOP_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** [run t tasks] executes every task and returns their results in task
+    order.  At most [jobs t] domains run concurrently (helper domains are
+    spawned only when both the pool and the task array allow more than one).
+    If a task raises, the exception of the lowest-indexed failing task is
+    re-raised on the caller's domain after all domains have joined. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f xs] is [Array.map f xs] evaluated on the pool. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] is [List.map f xs] evaluated on the pool. *)

@@ -1,0 +1,214 @@
+(* Tests for the exploration engine: Config/Engine API, parallel
+   determinism (jobs=1 vs jobs=4 must produce identical outcomes) and the
+   memoized prediction cache. *)
+
+open Chop
+
+(* The paper's experiment-1 AR lattice filter, two partitions. *)
+let ar_spec () = Rig.experiment1 ~partitions:2 ()
+
+(* The elliptic wave filter under experiment-2-style conditions (the
+   bench's secondary workload), two partitions. *)
+let ewf_spec () =
+  let graph = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+  Rig.custom ~graph
+    ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:2)
+    ~package:Chop_tech.Mosis.package_84
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+    ()
+
+let run_with ?(cache = Explore.Config.Off) ?(keep_all = false) ~heuristic
+    ~jobs spec =
+  Explore.Engine.run
+    (Explore.Engine.create
+       (Explore.Config.make ~heuristic ~keep_all ~jobs ~cache ())
+       spec)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: any jobs value must yield the identical outcome *)
+
+let check_determinism ~heuristic ~keep_all spec_of () =
+  let r1 = run_with ~heuristic ~keep_all ~jobs:1 (spec_of ()) in
+  let r4 = run_with ~heuristic ~keep_all ~jobs:4 (spec_of ()) in
+  Alcotest.(check string) "feasible csv"
+    (Search.to_csv r1.Explore.outcome.Search.feasible)
+    (Search.to_csv r4.Explore.outcome.Search.feasible);
+  Alcotest.(check string) "explored csv"
+    (Search.to_csv r1.Explore.outcome.Search.explored)
+    (Search.to_csv r4.Explore.outcome.Search.explored);
+  let s1 = r1.Explore.outcome.Search.stats
+  and s4 = r4.Explore.outcome.Search.stats in
+  Alcotest.(check int) "trials" s1.Search.implementation_trials
+    s4.Search.implementation_trials;
+  Alcotest.(check int) "integrations" s1.Search.integrations
+    s4.Search.integrations;
+  Alcotest.(check int) "feasible trials" s1.Search.feasible_trials
+    s4.Search.feasible_trials;
+  Alcotest.(check int) "jobs recorded" 4 r4.Explore.jobs
+
+(* jobs must also not disturb the legacy sequential results *)
+let check_matches_legacy ~heuristic spec_of () =
+  let legacy = Explore.run heuristic (spec_of ()) in
+  let engine = run_with ~heuristic ~jobs:4 (spec_of ()) in
+  Alcotest.(check string) "feasible csv"
+    (Search.to_csv legacy.Explore.outcome.Search.feasible)
+    (Search.to_csv engine.Explore.outcome.Search.feasible)
+
+(* ------------------------------------------------------------------ *)
+(* Prediction cache *)
+
+let test_cache_second_run_hits () =
+  let spec = ar_spec () in
+  let cache = Pred_cache.create () in
+  let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
+  let engine = Explore.Engine.create config spec in
+  let r1 = Explore.Engine.run engine in
+  Alcotest.(check int) "first run misses every partition" 2
+    r1.Explore.cache_misses;
+  Alcotest.(check int) "first run has no hits" 0 r1.Explore.cache_hits;
+  let r2 = Explore.Engine.run engine in
+  Alcotest.(check int) "second run hits every partition" 2
+    r2.Explore.cache_hits;
+  Alcotest.(check int) "second run misses nothing" 0 r2.Explore.cache_misses;
+  Alcotest.(check string) "cached outcome identical"
+    (Search.to_csv r1.Explore.outcome.Search.feasible)
+    (Search.to_csv r2.Explore.outcome.Search.feasible)
+
+let test_cache_matches_uncached () =
+  let spec = ewf_spec () in
+  let heuristic = Explore.Enumeration in
+  let cached =
+    run_with ~cache:(Explore.Config.Custom (Pred_cache.create ())) ~heuristic
+      ~jobs:1 spec
+  in
+  let uncached = run_with ~heuristic ~jobs:1 spec in
+  Alcotest.(check string) "same feasible front"
+    (Search.to_csv uncached.Explore.outcome.Search.feasible)
+    (Search.to_csv cached.Explore.outcome.Search.feasible);
+  Alcotest.(check int) "uncached engine counts misses" 2
+    uncached.Explore.cache_misses;
+  Alcotest.(check int) "uncached engine never hits" 0 uncached.Explore.cache_hits
+
+let test_cache_raw_layer_survives_criteria_change () =
+  (* moving a feasibility constraint must reuse the raw BAD enumeration:
+     the full-entry key changes but the raw layer still hits *)
+  let spec = ar_spec () in
+  let cache = Pred_cache.create () in
+  let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
+  let r1 = Explore.Engine.run (Explore.Engine.create config spec) in
+  Alcotest.(check int) "cold run misses" 2 r1.Explore.cache_misses;
+  let relaxed =
+    Advisor.set_constraints spec
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:60000. ~delay:60000. ())
+  in
+  let r2 = Explore.Engine.run (Explore.Engine.create config relaxed) in
+  Alcotest.(check int) "constraint change still hits raw layer" 2
+    r2.Explore.cache_hits;
+  Alcotest.(check int) "no re-prediction" 0 r2.Explore.cache_misses
+
+let test_cache_relabels_predictions () =
+  (* two structurally identical partitions on identical chips share cache
+     entries, but each must see its own label on the predictions *)
+  let graph = Chop_dfg.Benchmarks.fir_filter ~taps:8 () in
+  let spec graph =
+    Rig.custom ~graph
+      ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:2)
+      ~package:Chop_tech.Mosis.package_84
+      ~clocks:
+        (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+           ~transfer_ratio:1)
+      ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:60000. ~delay:60000. ())
+      ()
+  in
+  let cache = Pred_cache.create () in
+  let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
+  let engine = Explore.Engine.create config (spec graph) in
+  let _ = Explore.Engine.run engine in
+  let per_partition, _ = Explore.Engine.predictions engine in
+  List.iter
+    (fun (label, preds) ->
+      List.iter
+        (fun p ->
+          Alcotest.(check string) "prediction label" label
+            p.Chop_bad.Prediction.partition_label)
+        preds)
+    per_partition
+
+(* ------------------------------------------------------------------ *)
+(* Config and report plumbing *)
+
+let test_config_validation () =
+  match Explore.Config.make ~jobs:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 accepted"
+
+let test_report_timing_fields () =
+  let r = run_with ~heuristic:Explore.Iterative ~jobs:2 (ar_spec ()) in
+  Alcotest.(check bool) "busy time positive" true (r.Explore.bad_cpu_seconds > 0.);
+  Alcotest.(check bool) "wall time positive" true
+    (r.Explore.bad_wall_seconds > 0.);
+  Alcotest.(check int) "jobs recorded" 2 r.Explore.jobs
+
+let test_engine_predictions_match_legacy () =
+  let spec = ar_spec () in
+  let engine = Explore.Engine.create Explore.Config.default spec in
+  let per_new, stats_new = Explore.Engine.predictions engine in
+  let per_old, stats_old = Explore.predictions spec in
+  Alcotest.(check (list string)) "labels"
+    (List.map fst per_old) (List.map fst per_new);
+  List.iter2
+    (fun (_, old_preds) (_, new_preds) ->
+      Alcotest.(check int) "prediction count" (List.length old_preds)
+        (List.length new_preds))
+    per_old per_new;
+  List.iter2
+    (fun (a : Explore.bad_stats) (b : Explore.bad_stats) ->
+      Alcotest.(check int) "total" a.Explore.total_predictions
+        b.Explore.total_predictions;
+      Alcotest.(check int) "kept" a.Explore.kept b.Explore.kept)
+    stats_old stats_new
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "chop_engine"
+    [
+      ( "determinism",
+        [
+          tc "ar enumeration" `Quick
+            (check_determinism ~heuristic:Explore.Enumeration ~keep_all:false
+               ar_spec);
+          tc "ar branch-bound keep-all" `Quick
+            (check_determinism ~heuristic:Explore.Branch_bound ~keep_all:true
+               ar_spec);
+          tc "ewf enumeration keep-all" `Quick
+            (check_determinism ~heuristic:Explore.Enumeration ~keep_all:true
+               ewf_spec);
+          tc "ewf branch-bound" `Quick
+            (check_determinism ~heuristic:Explore.Branch_bound ~keep_all:false
+               ewf_spec);
+          tc "ar matches legacy API" `Quick
+            (check_matches_legacy ~heuristic:Explore.Enumeration ar_spec);
+          tc "ewf matches legacy API" `Quick
+            (check_matches_legacy ~heuristic:Explore.Branch_bound ewf_spec);
+        ] );
+      ( "cache",
+        [
+          tc "second run hits 100%" `Quick test_cache_second_run_hits;
+          tc "cached equals uncached" `Quick test_cache_matches_uncached;
+          tc "raw layer survives criteria change" `Quick
+            test_cache_raw_layer_survives_criteria_change;
+          tc "relabels shared predictions" `Quick
+            test_cache_relabels_predictions;
+        ] );
+      ( "config",
+        [
+          tc "validation" `Quick test_config_validation;
+          tc "report timing fields" `Quick test_report_timing_fields;
+          tc "predictions match legacy" `Quick
+            test_engine_predictions_match_legacy;
+        ] );
+    ]

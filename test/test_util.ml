@@ -334,6 +334,45 @@ let test_scatter_degenerate_range () =
   let s = Scatter.render [ (5., 5.); (5., 5.) ] in
   Alcotest.(check bool) "renders" true (String.length s > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_order () =
+  let xs = Listx.range 0 99 in
+  let sq x = x * x in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "map_list jobs=%d" jobs)
+        (List.map sq xs)
+        (Pool.map_list pool sq xs))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_empty_and_singleton () =
+  let pool = Pool.create ~jobs:4 in
+  Alcotest.(check (list int)) "empty" [] (Pool.map_list pool (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Pool.map_list pool (fun x -> x + 1) [ 6 ])
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~jobs:4 in
+  match
+    Pool.map_list pool
+      (fun x -> if x = 3 then failwith "boom" else x)
+      [ 1; 2; 3; 4 ]
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "exception swallowed"
+
+let test_pool_validates () =
+  (match Pool.create ~jobs:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 accepted");
+  Alcotest.(check int) "jobs" 3 (Pool.jobs (Pool.create ~jobs:3));
+  Alcotest.(check int) "sequential" 1 (Pool.jobs Pool.sequential);
+  Alcotest.(check bool) "default positive" true (Pool.default_jobs () >= 1)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "chop_util"
@@ -392,6 +431,13 @@ let () =
           tc "sums" `Quick test_sums;
           tc "uniq_count" `Quick test_uniq_count;
           tc "take" `Quick test_take;
+        ] );
+      ( "pool",
+        [
+          tc "deterministic order" `Quick test_pool_map_order;
+          tc "empty + singleton" `Quick test_pool_empty_and_singleton;
+          tc "exception propagates" `Quick test_pool_exception_propagates;
+          tc "validates" `Quick test_pool_validates;
         ] );
       ( "scatter",
         [
