@@ -15,20 +15,20 @@ let section title =
 let heuristics = [ ("E", Chop.Explore.Enumeration); ("I", Chop.Explore.Iterative) ]
 
 (* Engine-based exploration with the prediction cache off, so every timed
-   run measures honest recomputation. *)
+   run measures honest recomputation; with_engine joins the worker domains
+   after each run, so the hundreds of bench explorations never accumulate
+   live domains. *)
 let explore ?(heuristic = Chop.Explore.Iterative) ?(keep_all = false)
     ?(jobs = 1) spec =
-  Chop.Explore.Engine.run
-    (Chop.Explore.Engine.create
-       (Chop.Explore.Config.make ~heuristic ~keep_all ~jobs
-          ~cache:Chop.Explore.Config.Off ())
-       spec)
+  Chop.Explore.with_engine
+    (Chop.Explore.Config.make ~heuristic ~keep_all ~jobs
+       ~cache:Chop.Explore.Config.Off ())
+    spec Chop.Explore.Engine.run
 
 let bad_predictions spec =
-  Chop.Explore.Engine.predictions
-    (Chop.Explore.Engine.create
-       (Chop.Explore.Config.make ~cache:Chop.Explore.Config.Off ())
-       spec)
+  Chop.Explore.with_engine
+    (Chop.Explore.Config.make ~cache:Chop.Explore.Config.Off ())
+    spec Chop.Explore.Engine.predictions
 
 (* ------------------------------------------------------------------ *)
 (* Inputs: Tables 1 and 2 *)
@@ -1038,6 +1038,7 @@ let bench_explore_json () =
                 let t0 = Unix.gettimeofday () in
                 let report = explore ~heuristic:h ~keep_all:true ~jobs spec in
                 let wall = Unix.gettimeofday () -. t0 in
+                let m = report.Chop.Explore.metrics in
                 Printf.printf
                   "  %-4s %-2s jobs=%d  %8.3f s wall  (%d explored, %d trials)\n"
                   bench_name h_name jobs wall
@@ -1046,9 +1047,25 @@ let bench_explore_json () =
                     .Chop.Search.implementation_trials;
                 Printf.sprintf
                   "    {\"benchmark\": \"%s\", \"heuristic\": \"%s\", \
-                   \"jobs\": %d, \"keep_all\": true, \"wall_seconds\": \
-                   %.6f}"
-                  bench_name h_name jobs wall)
+                   \"jobs\": %d, \"keep_all\": true, \"wall_seconds\": %.6f, \
+                   \"predict_wall_seconds\": %.6f, \"predict_busy_seconds\": \
+                   %.6f, \"search_wall_seconds\": %.6f, \
+                   \"search_busy_seconds\": %.6f, \"merge_wall_seconds\": \
+                   %.6f, \"chunks\": %d, \"cache_hits\": %d, \
+                   \"cache_misses\": %d}"
+                  bench_name h_name jobs wall
+                  m.Chop.Explore.Metrics.predict
+                    .Chop.Explore.Metrics.wall_seconds
+                  m.Chop.Explore.Metrics.predict
+                    .Chop.Explore.Metrics.busy_seconds
+                  m.Chop.Explore.Metrics.search
+                    .Chop.Explore.Metrics.wall_seconds
+                  m.Chop.Explore.Metrics.search
+                    .Chop.Explore.Metrics.busy_seconds
+                  m.Chop.Explore.Metrics.merge_wall_seconds
+                  m.Chop.Explore.Metrics.chunk_count
+                  m.Chop.Explore.Metrics.cache_hits
+                  m.Chop.Explore.Metrics.cache_misses)
               [ 1; 4 ])
           [ ("E", Chop.Explore.Enumeration); ("B", Chop.Explore.Branch_bound) ])
       [ ("ewf", ewf_spec); ("ar", ar_spec) ]

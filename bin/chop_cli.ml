@@ -160,7 +160,7 @@ let file_arg =
 
 let explore_cmd =
   let run graph k package perf delay multicycle heuristic strategy verbose file
-      csv keep_all jobs =
+      csv keep_all stats jobs =
     let spec =
       match file with
       | Some path -> Chop.Specfile.load path
@@ -170,7 +170,7 @@ let explore_cmd =
       Chop.Explore.Config.make ~heuristic ~keep_all:(csv || keep_all)
         ~jobs:(resolve_jobs jobs) ()
     in
-    let report = Chop.Explore.Engine.run (Chop.Explore.Engine.create config spec) in
+    let report = Chop.Explore.with_engine config spec Chop.Explore.Engine.run in
     let outcome = report.Chop.Explore.outcome in
     if keep_all then begin
       (* deterministic dump: no timings, so jobs=1 and jobs=N output are
@@ -194,12 +194,14 @@ let explore_cmd =
     Printf.printf
       "BAD: %.3f s wall (%.3f s busy across %d job(s)), cache %d hit(s) / %d \
        miss(es)\n"
-      report.Chop.Explore.bad_wall_seconds report.Chop.Explore.bad_cpu_seconds
+      report.Chop.Explore.bad_wall_seconds report.Chop.Explore.bad_busy_seconds
       report.Chop.Explore.jobs report.Chop.Explore.cache_hits
       report.Chop.Explore.cache_misses;
     let st = report.Chop.Explore.outcome.Chop.Search.stats in
     Printf.printf "search: %d trials, %.3f s CPU\n\n"
       st.Chop.Search.implementation_trials st.Chop.Search.cpu_seconds;
+    if stats then
+      print_string (Chop.Explore.Metrics.summary report.Chop.Explore.metrics);
     (match report.Chop.Explore.outcome.Chop.Search.feasible with
     | [] -> print_endline "no feasible implementation"
     | feas ->
@@ -234,17 +236,21 @@ let explore_cmd =
                  ~doc:"Explore without pruning and dump both the feasible \
                        front and every explored design point as CSV; output \
                        is deterministic across $(b,--jobs) values.")
+      $ Arg.(value & flag
+             & info [ "stats" ]
+                 ~doc:"Print the engine timing breakdown: wall/busy seconds \
+                       per phase (predict, search, merge), per-worker busy \
+                       time, chunk counts and cache hits/misses.")
       $ jobs_arg)
 
 let predict_cmd =
   let run graph k package perf delay multicycle strategy index top jobs =
     let spec = build_spec graph k package perf delay multicycle strategy in
-    let engine =
-      Chop.Explore.Engine.create
+    let per_partition, stats =
+      Chop.Explore.with_engine
         (Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) ())
-        spec
+        spec Chop.Explore.Engine.predictions
     in
-    let per_partition, stats = Chop.Explore.Engine.predictions engine in
     List.iteri
       (fun i (label, preds) ->
         if i = index || index < 0 then begin
@@ -354,6 +360,7 @@ let synth_cmd =
     let engine = Chop.Explore.Engine.create Chop.Explore.Config.default spec in
     let ctx = Chop.Explore.Engine.context engine in
     let report = Chop.Explore.Engine.run engine in
+    Chop.Explore.Engine.close engine;
     match report.Chop.Explore.outcome.Chop.Search.feasible with
     | [] ->
         print_endline "no feasible implementation to synthesize";

@@ -5,12 +5,13 @@
    each slice gets private bound-bookkeeping tables and Search.Slice.merge
    recombines the results into exactly the sequential outcome. *)
 
-let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
+let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ?metrics ctx
     per_partition =
   let spec = Integration.spec_of ctx in
   let clocks = spec.Spec.clocks in
   let crit = spec.Spec.criteria in
   let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
   let order = Array.of_list per_partition in
   let n = Array.length order in
   (* admissible per-chip area bound: the sum of area lower bounds of the
@@ -89,7 +90,7 @@ let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
         (Hashtbl.find unchosen_low chip +. min_area_of.(i))
     end
   in
-  let slices =
+  let slices, pool_stats =
     if n = 0 then begin
       (* degenerate: integrate the empty combination, as the sequential
          search did *)
@@ -97,21 +98,43 @@ let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
       let committed, unchosen_low = fresh_tables () in
       dfs slice ~committed ~unchosen_low 0 [] ~ii_bound:1
         ~clock_bound:clocks.Chop_tech.Clocking.main;
-      [ slice ]
+      ([ slice ], { Chop_util.Pool.worker_busy = [||]; chunk_count = 0 })
     end
     else begin
       let label0, preds0 = order.(0) in
       let chip0 = chip_of label0 in
-      Chop_util.Pool.map_list pool
-        (fun p ->
-          let slice = Search.Slice.create () in
-          let committed, unchosen_low = fresh_tables () in
-          Hashtbl.replace unchosen_low chip0
-            (Hashtbl.find unchosen_low chip0 -. min_area_of.(0));
-          branch slice ~committed ~unchosen_low 0 [] ~ii_bound:1
-            ~clock_bound:clocks.Chop_tech.Clocking.main ~chip:chip0 p;
-          slice)
-        preds0
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun p () ->
+               let slice = Search.Slice.create () in
+               let committed, unchosen_low = fresh_tables () in
+               Hashtbl.replace unchosen_low chip0
+                 (Hashtbl.find unchosen_low chip0 -. min_area_of.(0));
+               branch slice ~committed ~unchosen_low 0 [] ~ii_bound:1
+                 ~clock_bound:clocks.Chop_tech.Clocking.main ~chip:chip0 p;
+               slice)
+             preds0)
+      in
+      let slices, stats = Chop_util.Pool.run_timed pool tasks in
+      (Array.to_list slices, stats)
     end
   in
-  Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices
+  let search_wall = Unix.gettimeofday () -. wall0 in
+  let merge0 = Unix.gettimeofday () in
+  let outcome =
+    Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices
+  in
+  Option.iter
+    (fun r ->
+      r :=
+        {
+          Search.search_wall_seconds = search_wall;
+          search_busy_seconds =
+            Array.fold_left ( +. ) 0. pool_stats.Chop_util.Pool.worker_busy;
+          merge_wall_seconds = Unix.gettimeofday () -. merge0;
+          worker_busy_seconds = pool_stats.Chop_util.Pool.worker_busy;
+          chunk_count = pool_stats.Chop_util.Pool.chunk_count;
+        })
+    metrics;
+  outcome

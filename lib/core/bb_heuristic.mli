@@ -16,10 +16,12 @@
 val run :
   ?keep_all:bool ->
   ?pool:Chop_util.Pool.t ->
+  ?metrics:Search.parallel_metrics ref ->
   Integration.context ->
   (string * Chop_bad.Prediction.t list) list ->
   Search.outcome
 (** [pool] (default sequential) searches root subtrees — one per
     implementation of the first partition — on separate domains, each with
     private bound bookkeeping; results are merged deterministically, so the
-    outcome is identical to the sequential one. *)
+    outcome is identical to the sequential one.  [metrics], when given,
+    receives the search/merge timing breakdown of this run. *)

@@ -28,29 +28,52 @@ let consider ctx ~clocks ~crit ~keep_all ~labels slice picks =
   if hopeless then Search.Slice.step slice
   else Search.Slice.record ~keep_all slice (Integration.integrate ctx comb)
 
-let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ctx
+let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ?metrics ctx
     per_partition =
   let spec = Integration.spec_of ctx in
   let clocks = spec.Spec.clocks in
   let crit = spec.Spec.criteria in
   let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
   let labels = List.map fst per_partition in
   let consider = consider ctx ~clocks ~crit ~keep_all ~labels in
-  let slices =
+  let slices, pool_stats =
     match List.map snd per_partition with
     | [] ->
         (* degenerate: the empty product still has one (empty) combination *)
         let slice = Search.Slice.create () in
         consider slice [];
-        [ slice ]
+        ([ slice ], { Chop_util.Pool.worker_busy = [||]; chunk_count = 0 })
     | first :: rest ->
-        Chop_util.Pool.map_list pool
-          (fun pick ->
-            let slice = Search.Slice.create () in
-            Chop_util.Listx.fold_cartesian
-              (fun () picks -> consider slice (pick :: picks))
-              () rest;
-            slice)
-          first
+        let tasks =
+          Array.of_list
+            (List.map
+               (fun pick () ->
+                 let slice = Search.Slice.create () in
+                 Chop_util.Listx.fold_cartesian
+                   (fun () picks -> consider slice (pick :: picks))
+                   () rest;
+                 slice)
+               first)
+        in
+        let slices, stats = Chop_util.Pool.run_timed pool tasks in
+        (Array.to_list slices, stats)
   in
-  Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices
+  let search_wall = Unix.gettimeofday () -. wall0 in
+  let merge0 = Unix.gettimeofday () in
+  let outcome =
+    Search.Slice.merge ~keep_all ~cpu_seconds:(Sys.time () -. t0) slices
+  in
+  Option.iter
+    (fun r ->
+      r :=
+        {
+          Search.search_wall_seconds = search_wall;
+          search_busy_seconds =
+            Array.fold_left ( +. ) 0. pool_stats.Chop_util.Pool.worker_busy;
+          merge_wall_seconds = Unix.gettimeofday () -. merge0;
+          worker_busy_seconds = pool_stats.Chop_util.Pool.worker_busy;
+          chunk_count = pool_stats.Chop_util.Pool.chunk_count;
+        })
+    metrics;
+  outcome

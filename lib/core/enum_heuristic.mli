@@ -10,6 +10,7 @@
 val run :
   ?keep_all:bool ->
   ?pool:Chop_util.Pool.t ->
+  ?metrics:Search.parallel_metrics ref ->
   Integration.context ->
   (string * Chop_bad.Prediction.t list) list ->
   Search.outcome
@@ -20,4 +21,5 @@ val run :
     expose the full design space.  [pool] (default sequential) searches
     the product in parallel, one slice per implementation of the first
     partition, with deterministic merging: the outcome is identical to the
-    sequential one. *)
+    sequential one.  [metrics], when given, receives the search/merge
+    timing breakdown of this run. *)

@@ -28,16 +28,69 @@ module Config = struct
     { heuristic; keep_all; prune; jobs; cache }
 end
 
+module Metrics = struct
+  type phase = { wall_seconds : float; busy_seconds : float }
+
+  type t = {
+    predict : phase;
+    search : phase;
+    merge_wall_seconds : float;
+    worker_busy_seconds : float array;
+    chunk_count : int;
+    cache_hits : int;
+    cache_misses : int;
+  }
+
+  let zero_phase = { wall_seconds = 0.; busy_seconds = 0. }
+
+  let zero =
+    { predict = zero_phase; search = zero_phase; merge_wall_seconds = 0.;
+      worker_busy_seconds = [||]; chunk_count = 0; cache_hits = 0;
+      cache_misses = 0 }
+
+  (* elementwise sum, padding the shorter array with zeros *)
+  let add_worker_busy a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i ->
+        (if i < Array.length a then a.(i) else 0.)
+        +. if i < Array.length b then b.(i) else 0.)
+
+  let summary m =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "phase      wall s    busy s\n";
+    let phase name p =
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s %8.3f  %8.3f\n" name p.wall_seconds
+           p.busy_seconds)
+    in
+    phase "predict" m.predict;
+    phase "search" m.search;
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s %8.3f         -\n" "merge" m.merge_wall_seconds);
+    Buffer.add_string buf
+      (Printf.sprintf "workers: %d busy [%s] s, %d chunk(s), cache %d hit(s) \
+                       / %d miss(es)\n"
+         (Array.length m.worker_busy_seconds)
+         (String.concat "/"
+            (Array.to_list
+               (Array.map (Printf.sprintf "%.3f") m.worker_busy_seconds)))
+         m.chunk_count m.cache_hits m.cache_misses);
+    Buffer.contents buf
+end
+
 type report = {
   heuristic : heuristic;
   bad : bad_stats list;
   outcome : Search.outcome;
-  bad_cpu_seconds : float;
+  bad_busy_seconds : float;
   bad_wall_seconds : float;
   cache_hits : int;
   cache_misses : int;
   jobs : int;
+  metrics : Metrics.t;
 }
+
+let bad_cpu_seconds r = r.bad_busy_seconds
 
 let predictor_config spec ~label =
   let params = spec.Spec.params in
@@ -61,6 +114,7 @@ module Engine = struct
     pool : Chop_util.Pool.t;
     cache : Pred_cache.t option;
     ctx : Integration.context;
+    mutable closed : bool;
   }
 
   let create (config : Config.t) spec =
@@ -70,12 +124,21 @@ module Engine = struct
       | Config.Off -> None
       | Config.Custom c -> Some c
     in
-    { config; spec; pool = Chop_util.Pool.create ~jobs:config.Config.jobs;
-      cache; ctx = Integration.context spec }
+    { config; spec;
+      pool = Chop_util.Pool.create ~jobs:config.Config.jobs ();
+      cache; ctx = Integration.context spec; closed = false }
+
+  let close e =
+    e.closed <- true;
+    Chop_util.Pool.shutdown e.pool
 
   let config e = e.config
   let spec e = e.spec
   let context e = e.ctx
+
+  let check_open e name =
+    if e.closed then
+      invalid_arg (Printf.sprintf "Explore.Engine.%s: engine is closed" name)
 
   (* One partition's prediction work, run on a pool worker: derive the
      full entry (raw list, feasible count, pruned list) through the cache.
@@ -140,12 +203,28 @@ module Engine = struct
     in
     (label, entry, hit, Unix.gettimeofday () -. t0)
 
+  (* Everything the prediction phase yields beyond the lists themselves:
+     per-partition stats, cache counters and the timing breakdown. *)
+  type predict_phase = {
+    per_partition : (string * Chop_bad.Prediction.t list) list;
+    bad : bad_stats list;
+    hits : int;
+    misses : int;
+    busy_seconds : float;  (* summed per-partition busy time *)
+    wall_seconds : float;
+    pool_stats : Chop_util.Pool.run_stats;
+  }
+
   let predictions_timed e ~prune =
     let wall0 = Unix.gettimeofday () in
-    let results =
-      Chop_util.Pool.map_list e.pool (predict_partition e)
-        e.spec.Spec.partitioning.Chop_dfg.Partition.parts
+    let tasks =
+      Array.of_list
+        (List.map
+           (fun part () -> predict_partition e part)
+           e.spec.Spec.partitioning.Chop_dfg.Partition.parts)
     in
+    let results, pool_stats = Chop_util.Pool.run_timed e.pool tasks in
+    let results = Array.to_list results in
     let per_partition =
       List.map
         (fun (label, entry, _, _) ->
@@ -165,44 +244,86 @@ module Engine = struct
         results
     in
     let hits = List.length (List.filter (fun (_, _, h, _) -> h) results) in
-    let misses = List.length results - hits in
-    let busy =
-      List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. results
-    in
-    (per_partition, bad, hits, misses, busy, Unix.gettimeofday () -. wall0)
+    {
+      per_partition;
+      bad;
+      hits;
+      misses = List.length results - hits;
+      busy_seconds =
+        List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. results;
+      wall_seconds = Unix.gettimeofday () -. wall0;
+      pool_stats;
+    }
 
   let predictions e =
+    check_open e "predictions";
     let prune =
       match e.config.Config.prune with
       | Some p -> p
       | None -> e.spec.Spec.params.Spec.discard_inferior
     in
-    let per_partition, bad, _, _, _, _ = predictions_timed e ~prune in
-    (per_partition, bad)
+    let p = predictions_timed e ~prune in
+    (p.per_partition, p.bad)
 
   let run e =
+    check_open e "run";
     let keep_all = e.config.Config.keep_all in
     let prune =
       match e.config.Config.prune with
       | Some p -> p
       | None -> not keep_all
     in
-    let per_partition, bad, cache_hits, cache_misses, bad_cpu_seconds,
-        bad_wall_seconds =
-      predictions_timed e ~prune
-    in
+    let p = predictions_timed e ~prune in
+    let search_metrics = ref Search.no_parallel_metrics in
+    let search_wall0 = Unix.gettimeofday () in
     let outcome =
       match e.config.Config.heuristic with
       | Enumeration ->
-          Enum_heuristic.run ~keep_all ~pool:e.pool e.ctx per_partition
-      | Iterative -> Iter_heuristic.run ~keep_all e.ctx per_partition
+          Enum_heuristic.run ~keep_all ~pool:e.pool ~metrics:search_metrics
+            e.ctx p.per_partition
+      | Iterative -> Iter_heuristic.run ~keep_all e.ctx p.per_partition
       | Branch_bound ->
-          Bb_heuristic.run ~keep_all ~pool:e.pool e.ctx per_partition
+          Bb_heuristic.run ~keep_all ~pool:e.pool ~metrics:search_metrics
+            e.ctx p.per_partition
     in
-    { heuristic = e.config.Config.heuristic; bad; outcome; bad_cpu_seconds;
-      bad_wall_seconds; cache_hits; cache_misses;
-      jobs = Chop_util.Pool.jobs e.pool }
+    let sm = !search_metrics in
+    let search_phase =
+      match e.config.Config.heuristic with
+      | Iterative ->
+          (* sequential: busy time equals the wall clock of the search *)
+          let wall = Unix.gettimeofday () -. search_wall0 in
+          { Metrics.wall_seconds = wall; busy_seconds = wall }
+      | Enumeration | Branch_bound ->
+          { Metrics.wall_seconds = sm.Search.search_wall_seconds;
+            busy_seconds = sm.Search.search_busy_seconds }
+    in
+    let metrics =
+      {
+        Metrics.predict =
+          { Metrics.wall_seconds = p.wall_seconds;
+            busy_seconds =
+              Array.fold_left ( +. ) 0.
+                p.pool_stats.Chop_util.Pool.worker_busy };
+        search = search_phase;
+        merge_wall_seconds = sm.Search.merge_wall_seconds;
+        worker_busy_seconds =
+          Metrics.add_worker_busy p.pool_stats.Chop_util.Pool.worker_busy
+            sm.Search.worker_busy_seconds;
+        chunk_count =
+          p.pool_stats.Chop_util.Pool.chunk_count + sm.Search.chunk_count;
+        cache_hits = p.hits;
+        cache_misses = p.misses;
+      }
+    in
+    { heuristic = e.config.Config.heuristic; bad = p.bad; outcome;
+      bad_busy_seconds = p.busy_seconds; bad_wall_seconds = p.wall_seconds;
+      cache_hits = p.hits; cache_misses = p.misses;
+      jobs = Chop_util.Pool.jobs e.pool; metrics }
 end
+
+let with_engine config spec f =
+  let e = Engine.create config spec in
+  Fun.protect ~finally:(fun () -> Engine.close e) (fun () -> f e)
 
 let predictions ?prune spec =
   Engine.predictions

@@ -9,6 +9,12 @@
       the prediction-cache handle and the integration context, so repeated
       runs (advisor what-if probes, sensitivity sweeps) reuse all three.
 
+    The engine's worker domains are spawned once at {!Engine.create} and
+    parked between runs; call {!Engine.close} when done with an engine
+    (or use {!with_engine}, which closes for you) to join them.  Engines
+    dropped without closing are caught by the pool's [Gc.finalise]
+    backstop, so pre-lifecycle callers don't leak running domains.
+
     The bare {!run} and {!predictions} entry points predate the engine and
     are kept as thin deprecated wrappers; new code should use
     [Engine.run (Engine.create config spec)]. *)
@@ -65,21 +71,61 @@ module Config : sig
       @raise Invalid_argument when [jobs < 1]. *)
 end
 
+(** {1 Metrics}
+
+    The per-phase timing breakdown of one {!Engine.run}.  {e Wall} seconds
+    are elapsed time on the calling domain; {e busy} seconds are summed
+    across pool participants, so busy exceeding wall is the signature of
+    parallelism actually paying off, while wall far exceeding busy points
+    at scheduling overhead.  Printed by [chop explore --stats] and written
+    into [BENCH_explore.json] by the bench harness. *)
+
+module Metrics : sig
+  type phase = { wall_seconds : float; busy_seconds : float }
+
+  type t = {
+    predict : phase;  (** per-partition BAD prediction fan-out *)
+    search : phase;
+        (** the combination search (enumeration / B&B slices, or the
+            sequential iterative scan, whose busy equals its wall) *)
+    merge_wall_seconds : float;
+        (** deterministic slice recombination ({!Search.Slice.merge}) *)
+    worker_busy_seconds : float array;
+        (** per-participant busy seconds across both parallel phases;
+            index 0 is the calling domain *)
+    chunk_count : int;  (** pool work chunks handed out across phases *)
+    cache_hits : int;
+    cache_misses : int;
+  }
+
+  val zero : t
+
+  val summary : t -> string
+  (** A small human-readable table of the breakdown. *)
+end
+
 (** {1 Reports} *)
 
 type report = {
   heuristic : heuristic;
   bad : bad_stats list;
   outcome : Search.outcome;
-  bad_cpu_seconds : float;
-      (** prediction-phase busy time summed across pool workers — under a
-          parallel pool this can exceed the wall clock *)
+  bad_busy_seconds : float;
+      (** prediction-phase busy time summed across pool workers (wall
+          clock inside each worker, {e not} scheduler-reported CPU time) —
+          under a parallel pool this can exceed {!field-bad_wall_seconds} *)
   bad_wall_seconds : float;  (** prediction-phase wall-clock time *)
   cache_hits : int;
       (** partitions whose predictions were served by the cache *)
   cache_misses : int;  (** partitions that ran the BAD enumeration *)
   jobs : int;  (** pool size the exploration ran with *)
+  metrics : Metrics.t;  (** the full per-phase timing breakdown *)
 }
+
+val bad_cpu_seconds : report -> float
+[@@ocaml.deprecated
+  "misnamed: the value is summed per-worker wall ('busy') time, not CPU \
+   time. Use the bad_busy_seconds field."]
 
 (** {1 The engine} *)
 
@@ -88,7 +134,12 @@ module Engine : sig
 
   val create : Config.t -> Spec.t -> t
   (** Binds a configuration to a spec.  The integration context is built
-      eagerly and reused by every subsequent run. *)
+      eagerly and reused by every subsequent run, and the domain pool's
+      workers are spawned here, once — see {!close}. *)
+
+  val close : t -> unit
+  (** Joins the engine's worker domains.  Idempotent.  Subsequent {!run}
+      or {!predictions} calls raise [Invalid_argument]. *)
 
   val config : t -> Config.t
   val spec : t -> Spec.t
@@ -107,6 +158,10 @@ module Engine : sig
       the config ([prune = None] defers to the spec's [discard_inferior]);
       statistics always report both raw and pruned counts. *)
 end
+
+val with_engine : Config.t -> Spec.t -> (Engine.t -> 'a) -> 'a
+(** [with_engine config spec f] runs [f] over a fresh engine and
+    {!Engine.close}s it afterwards, whether [f] returns or raises. *)
 
 (** {1 Helpers} *)
 

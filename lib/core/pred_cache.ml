@@ -4,16 +4,24 @@ type entry = {
   kept : Chop_bad.Prediction.t list;
 }
 
+(* Each layer pairs the stored value with a last-use stamp drawn from the
+   cache-wide clock; eviction drops the oldest-stamped entries across both
+   layers until the total count fits the capacity again. *)
 type t = {
   lock : Mutex.t;
-  raw_tbl : (string, Chop_bad.Prediction.t list) Hashtbl.t;
-  full_tbl : (string, entry) Hashtbl.t;
+  raw_tbl : (string, Chop_bad.Prediction.t list * int ref) Hashtbl.t;
+  full_tbl : (string, entry * int ref) Hashtbl.t;
+  mutable clock : int;
+  mutable capacity : int option;
 }
 
-let create () =
-  { lock = Mutex.create (); raw_tbl = Hashtbl.create 64; full_tbl = Hashtbl.create 64 }
+let default_shared_capacity = 1024
 
-let shared = create ()
+let create ?capacity () =
+  { lock = Mutex.create (); raw_tbl = Hashtbl.create 64;
+    full_tbl = Hashtbl.create 64; clock = 0; capacity }
+
+let shared = create ~capacity:default_shared_capacity ()
 
 let locked t f =
   Mutex.lock t.lock;
@@ -27,8 +35,46 @@ let clear t =
 let length t =
   locked t (fun () -> Hashtbl.length t.raw_tbl + Hashtbl.length t.full_tbl)
 
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* caller holds the lock *)
+let evict_to t limit =
+  let total () = Hashtbl.length t.raw_tbl + Hashtbl.length t.full_tbl in
+  if total () > limit then begin
+    let stamps = ref [] in
+    Hashtbl.iter (fun k (_, s) -> stamps := (!s, `Raw, k) :: !stamps) t.raw_tbl;
+    Hashtbl.iter (fun k (_, s) -> stamps := (!s, `Full, k) :: !stamps)
+      t.full_tbl;
+    let oldest_first = List.sort compare !stamps in
+    let excess = total () - limit in
+    List.iteri
+      (fun i (_, layer, k) ->
+        if i < excess then
+          match layer with
+          | `Raw -> Hashtbl.remove t.raw_tbl k
+          | `Full -> Hashtbl.remove t.full_tbl k)
+      oldest_first
+  end
+
+let enforce_capacity t =
+  match t.capacity with None -> () | Some c -> evict_to t (max 0 c)
+
+let set_capacity t capacity =
+  locked t (fun () ->
+      t.capacity <- capacity;
+      enforce_capacity t)
+
+let capacity t = locked t (fun () -> t.capacity)
+
 let raw_key ~sub ~cfg =
-  Chop_dfg.Graph.signature sub ^ "/" ^ Chop_bad.Predictor.signature cfg
+  (* digest each component separately: joining the raw signature strings
+     with a separator would let one component's tail masquerade as the
+     other's head *)
+  Digest.to_hex (Digest.string (Chop_dfg.Graph.signature sub))
+  ^ "-"
+  ^ Digest.to_hex (Digest.string (Chop_bad.Predictor.signature cfg))
 
 let full_key ~raw_key ~chip ~criteria =
   let chip_sig =
@@ -49,7 +95,20 @@ let full_key ~raw_key ~chip ~criteria =
   in
   raw_key ^ "/" ^ Digest.to_hex (Digest.string (chip_sig ^ "|" ^ crit_sig))
 
-let find_raw t k = locked t (fun () -> Hashtbl.find_opt t.raw_tbl k)
-let add_raw t k v = locked t (fun () -> Hashtbl.replace t.raw_tbl k v)
-let find_full t k = locked t (fun () -> Hashtbl.find_opt t.full_tbl k)
-let add_full t k v = locked t (fun () -> Hashtbl.replace t.full_tbl k v)
+let find tbl t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt tbl k with
+      | None -> None
+      | Some (v, stamp) ->
+          stamp := tick t;
+          Some v)
+
+let add tbl t k v =
+  locked t (fun () ->
+      Hashtbl.replace tbl k (v, ref (tick t));
+      enforce_capacity t)
+
+let find_raw t k = find t.raw_tbl t k
+let add_raw t k v = add t.raw_tbl t k v
+let find_full t k = find t.full_tbl t k
+let add_full t k v = add t.full_tbl t k v

@@ -33,22 +33,40 @@ type entry = {
   kept : Chop_bad.Prediction.t list;  (** after first-level pruning *)
 }
 
-val create : unit -> t
-(** A fresh, empty cache. *)
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty cache.  [capacity] bounds the total entry count across
+    both layers (default: unbounded); see {!set_capacity}. *)
 
 val shared : t
-(** The process-wide cache used by default by [Explore.Engine]. *)
+(** The process-wide cache used by default by [Explore.Engine].  Bounded
+    at {!default_shared_capacity} entries so long-running sessions
+    (advisor loops, sweeps over many specs) cannot grow it without
+    limit. *)
+
+val default_shared_capacity : int
+(** The entry bound {!shared} is created with. *)
 
 val clear : t -> unit
 
 val length : t -> int
 (** Number of entries across both layers. *)
 
+val set_capacity : t -> int option -> unit
+(** Bounds (or, with [None], unbounds) the total entry count.  When a
+    bound is in force, inserting beyond it evicts the least-recently-used
+    entries — both layers compete for the same budget, and every
+    [find_*] hit refreshes its entry's age. *)
+
+val capacity : t -> int option
+(** The current entry bound. *)
+
 (** {1 Keys} *)
 
 val raw_key : sub:Chop_dfg.Graph.t -> cfg:Chop_bad.Predictor.config -> string
-(** Key of the raw layer: digests of the subgraph structure and of the
-    predictor config. *)
+(** Key of the raw layer: the MD5 digest of the subgraph-structure
+    signature joined with the MD5 digest of the predictor-config
+    signature.  Each component is digested separately, so a component
+    boundary can never be forged by crafted signature contents. *)
 
 val full_key :
   raw_key:string ->

@@ -15,6 +15,18 @@ let empty_stats =
   { implementation_trials = 0; integrations = 0; feasible_trials = 0;
     cpu_seconds = 0. }
 
+type parallel_metrics = {
+  search_wall_seconds : float;
+  search_busy_seconds : float;
+  merge_wall_seconds : float;
+  worker_busy_seconds : float array;
+  chunk_count : int;
+}
+
+let no_parallel_metrics =
+  { search_wall_seconds = 0.; search_busy_seconds = 0.;
+    merge_wall_seconds = 0.; worker_busy_seconds = [||]; chunk_count = 0 }
+
 let to_csv systems =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -85,14 +97,15 @@ module Slice = struct
   type t = {
     mutable trials : int;
     mutable integrations : int;
+    mutable feasible : int;
     mutable front : Integration.system list;
     mutable admitted_rev : Integration.system list;
     mutable explored_rev : Integration.system list;
   }
 
   let create () =
-    { trials = 0; integrations = 0; front = []; admitted_rev = [];
-      explored_rev = [] }
+    { trials = 0; integrations = 0; feasible = 0; front = [];
+      admitted_rev = []; explored_rev = [] }
 
   let step sl = sl.trials <- sl.trials + 1
 
@@ -101,6 +114,7 @@ module Slice = struct
     sl.integrations <- sl.integrations + 1;
     if keep_all then sl.explored_rev <- system :: sl.explored_rev;
     if Integration.feasible system then begin
+      sl.feasible <- sl.feasible + 1;
       let front, admitted = admit system sl.front in
       if admitted then begin
         sl.front <- front;
@@ -135,7 +149,10 @@ module Slice = struct
           List.fold_left (fun acc sl -> acc + sl.trials) 0 slices;
         integrations =
           List.fold_left (fun acc sl -> acc + sl.integrations) 0 slices;
-        feasible_trials = List.length front;
+        (* the sequential searches count feasible *integrations*, not the
+           final front size — sum the per-slice counters to match *)
+        feasible_trials =
+          List.fold_left (fun acc sl -> acc + sl.feasible) 0 slices;
         cpu_seconds;
       }
     in

@@ -19,6 +19,23 @@ type outcome = {
 
 val empty_stats : stats
 
+(** Timing breakdown of one parallel search, filled in by the enumeration
+    and branch-and-bound heuristics when the caller asks for it (the
+    engine's {i metrics} report). *)
+type parallel_metrics = {
+  search_wall_seconds : float;  (** wall clock of the slice fan-out *)
+  search_busy_seconds : float;
+      (** busy time summed across pool participants — exceeds the wall
+          clock when parallelism pays off *)
+  merge_wall_seconds : float;  (** wall clock of {!Slice.merge} *)
+  worker_busy_seconds : float array;
+      (** per-participant busy seconds (index 0 = calling domain) *)
+  chunk_count : int;  (** pool chunks handed out during the search *)
+}
+
+val no_parallel_metrics : parallel_metrics
+(** All-zero metrics — the value sequential searches report. *)
+
 val to_csv : Integration.system list -> string
 (** The explored design points as CSV
     ([ii_main,clock_ns,perf_ns,delay_cycles,delay_likely_ns,area_likely,feasible])
@@ -57,6 +74,11 @@ module Slice : sig
   type t = private {
     mutable trials : int;
     mutable integrations : int;
+    mutable feasible : int;
+        (** feasible integrations seen by this slice — summed by {!merge}
+            into [stats.feasible_trials], matching the sequential
+            heuristics' count of feasible integrations (not the final
+            front size) *)
     mutable front : Integration.system list;
     mutable admitted_rev : Integration.system list;
         (** locally admitted systems, most recent first *)
@@ -78,5 +100,8 @@ module Slice : sig
       The explored list is the task-order concatenation reversed, matching
       the sequential accumulator; the global front is rebuilt by replaying
       each slice's admissions through {!admit} in order — sound because
-      Pareto dominance makes local eviction imply global eviction. *)
+      Pareto dominance makes local eviction imply global eviction.
+      [stats.feasible_trials] is the sum of the per-slice [feasible]
+      counters, i.e. the number of feasible integrations, exactly as the
+      sequential searches count it. *)
 end

@@ -1,38 +1,80 @@
-(** A small fixed-size fork-join pool built on OCaml 5 domains.
+(** A persistent fixed-size worker pool built on OCaml 5 domains.
 
-    The pool is a lightweight description of a parallelism budget: tasks are
-    executed by freshly spawned worker domains on each fork-join call, so a
-    pool value can be stored in long-lived session state without pinning OS
-    threads.  Work is distributed with an atomic cursor over a task array and
-    results are stored back by index, so {!run}, {!map_array} and {!map_list}
-    always return results in task order regardless of which domain ran which
-    task — callers get deterministic output for deterministic tasks.
+    Worker domains are spawned once at {!create} and parked on a condition
+    variable between fork-join calls, so a pool stored in long-lived
+    session state (the exploration engine) pays the domain-spawn cost once
+    instead of on every batch.  Work is distributed in contiguous index
+    chunks of [max 1 (n / (8 * jobs))] tasks drawn from a single atomic
+    cursor — coarse enough to keep cursor contention negligible, fine
+    enough to balance uneven task costs — and results are stored back by
+    index, so {!run}, {!map_array} and {!map_list} always return results
+    in task order regardless of which domain ran which chunk: callers get
+    deterministic output for deterministic tasks.
 
-    A pool with [jobs = 1] (see {!sequential}) executes everything inline on
-    the calling domain with no spawning at all. *)
+    A pool with [jobs = 1] (see {!sequential}) executes everything inline
+    on the calling domain with no spawning at all.
+
+    Lifecycle: call {!shutdown} when done with a pool (idempotent; joins
+    the worker domains).  Pools dropped without shutdown are caught by a
+    [Gc.finalise] backstop that asks the parked workers to exit, so
+    pre-lifecycle callers don't leak running domains.  Batches must be
+    issued from one domain at a time: concurrent {!run} calls on the same
+    pool are not supported (nested calls from inside a task are safe —
+    the inner caller participates in its own batch). *)
 
 type t
+
+(** Per-batch execution statistics, as returned by {!run_timed}. *)
+type run_stats = {
+  worker_busy : float array;
+      (** seconds each participant spent executing tasks; index 0 is the
+          calling domain, indices 1.. the helper workers.  A participant
+          that executed no task reports 0. *)
+  chunk_count : int;  (** number of index chunks handed out *)
+}
 
 val sequential : t
 (** The single-job pool: every call runs inline on the caller's domain. *)
 
-val create : jobs:int -> t
-(** A pool allowed to use at most [jobs] domains (including the caller's).
+val create : ?oversubscribe:bool -> jobs:int -> unit -> t
+(** A pool of at most [jobs] concurrent domains (including the caller's).
+    Helper domains are spawned immediately and parked until work arrives;
+    their count is [min jobs (Domain.recommended_domain_count ()) - 1]:
+    OCaml 5 minor collections are stop-the-world barriers across every
+    running domain, so spawning more domains than the host has cores
+    multiplies wall time rather than hiding latency — a [--jobs 4] run on
+    a single-core host executes inline, within noise of [--jobs 1].
+    [oversubscribe] (default [false]) disables the clamp and spawns
+    [jobs - 1] helpers unconditionally (used by the pool's own stress
+    tests; rarely what production callers want).
     @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
-(** The parallelism budget the pool was created with. *)
+(** The parallelism budget the pool was created with — the requested
+    [jobs], even when the core-count clamp spawned fewer helpers. *)
+
+val shutdown : t -> unit
+(** Wakes the parked helper domains, asks them to exit and joins them.
+    Idempotent; a no-op on single-job pools.  Subsequent {!run} calls on a
+    shut-down multi-job pool raise [Invalid_argument]. *)
 
 val default_jobs : unit -> int
 (** The [CHOP_JOBS] environment variable when set to a positive integer,
-    otherwise [Domain.recommended_domain_count ()]. *)
+    otherwise [Domain.recommended_domain_count ()].  A malformed
+    [CHOP_JOBS] value falls back to the core count and warns once on
+    stderr. *)
 
 val run : t -> (unit -> 'a) array -> 'a array
 (** [run t tasks] executes every task and returns their results in task
-    order.  At most [jobs t] domains run concurrently (helper domains are
-    spawned only when both the pool and the task array allow more than one).
-    If a task raises, the exception of the lowest-indexed failing task is
-    re-raised on the caller's domain after all domains have joined. *)
+    order.  At most [jobs t] domains run concurrently.  If a task raises,
+    the batch still drains completely (every task executes) and then the
+    exception of the lowest-indexed failing task is re-raised on the
+    caller's domain with its backtrace.
+    @raise Invalid_argument when the pool has been {!shutdown}. *)
+
+val run_timed : t -> (unit -> 'a) array -> 'a array * run_stats
+(** {!run} plus per-participant busy times and the chunk count — the raw
+    material of the engine's timing breakdown. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f xs] is [Array.map f xs] evaluated on the pool. *)

@@ -1,6 +1,7 @@
 (* Tests for the exploration engine: Config/Engine API, parallel
-   determinism (jobs=1 vs jobs=4 must produce identical outcomes) and the
-   memoized prediction cache. *)
+   determinism (jobs=1 vs jobs=4 must produce identical outcomes), the
+   engine lifecycle, the timing metrics and the memoized prediction
+   cache. *)
 
 open Chop
 
@@ -22,10 +23,9 @@ let ewf_spec () =
 
 let run_with ?(cache = Explore.Config.Off) ?(keep_all = false) ~heuristic
     ~jobs spec =
-  Explore.Engine.run
-    (Explore.Engine.create
-       (Explore.Config.make ~heuristic ~keep_all ~jobs ~cache ())
-       spec)
+  Explore.with_engine
+    (Explore.Config.make ~heuristic ~keep_all ~jobs ~cache ())
+    spec Explore.Engine.run
 
 (* ------------------------------------------------------------------ *)
 (* Determinism: any jobs value must yield the identical outcome *)
@@ -57,6 +57,89 @@ let check_matches_legacy ~heuristic spec_of () =
     (Search.to_csv legacy.Explore.outcome.Search.feasible)
     (Search.to_csv engine.Explore.outcome.Search.feasible)
 
+(* feasible_trials must count feasible *integrations* (the sequential
+   searches' semantics), not the final front size.  Hand-count by
+   integrating every combination of the pruned prediction lists — the
+   searches skip hopeless stems, but those are infeasible by construction
+   (their performance lower bound already breaks the constraint), so the
+   counts must agree. *)
+let check_feasible_trials_hand_count ~jobs () =
+  let spec = ar_spec () in
+  let config =
+    Explore.Config.make ~heuristic:Explore.Enumeration ~prune:true ~jobs
+      ~cache:Explore.Config.Off ()
+  in
+  Explore.with_engine config spec @@ fun engine ->
+  let per_partition, _ = Explore.Engine.predictions engine in
+  let ctx = Explore.Engine.context engine in
+  let labels = List.map fst per_partition in
+  let hand_count = ref 0 in
+  (match List.map snd per_partition with
+  | [] -> ()
+  | lists ->
+      Chop_util.Listx.fold_cartesian
+        (fun () picks ->
+          let system = Integration.integrate ctx (List.combine labels picks) in
+          if Integration.feasible system then incr hand_count)
+        () lists);
+  Alcotest.(check bool) "spec produces feasible systems" true (!hand_count > 0);
+  let r = Explore.Engine.run engine in
+  Alcotest.(check int) "feasible_trials equals hand count" !hand_count
+    r.Explore.outcome.Search.stats.Search.feasible_trials;
+  (* and it differs from the deduplicated Pareto front, the quantity the
+     parallel merge used to report by mistake *)
+  Alcotest.(check bool) "front size is not the trial count" true
+    (List.length r.Explore.outcome.Search.feasible <> !hand_count)
+
+(* ------------------------------------------------------------------ *)
+(* Engine lifecycle *)
+
+let test_close_idempotent () =
+  let engine = Explore.Engine.create Explore.Config.default (ar_spec ()) in
+  Explore.Engine.close engine;
+  Explore.Engine.close engine
+
+let test_run_after_close_raises () =
+  let engine =
+    Explore.Engine.create (Explore.Config.make ~jobs:2 ()) (ar_spec ())
+  in
+  let _ = Explore.Engine.run engine in
+  Explore.Engine.close engine;
+  (match Explore.Engine.run engine with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run on a closed engine succeeded");
+  match Explore.Engine.predictions engine with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "predictions on a closed engine succeeded"
+
+let test_with_engine_closes_on_raise () =
+  let saved = ref None in
+  (match
+     Explore.with_engine Explore.Config.default (ar_spec ()) (fun e ->
+         saved := Some e;
+         failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  match !saved with
+  | None -> Alcotest.fail "with_engine never called its body"
+  | Some e -> (
+      match Explore.Engine.run e with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "engine left open after with_engine raised")
+
+let test_engine_reuse_after_runs () =
+  (* a persistent pool must survive many runs on the same engine *)
+  let config = Explore.Config.make ~jobs:3 () in
+  Explore.with_engine config (ar_spec ()) @@ fun engine ->
+  let first = Explore.Engine.run engine in
+  for _ = 1 to 3 do
+    let again = Explore.Engine.run engine in
+    Alcotest.(check string) "stable across reruns"
+      (Search.to_csv first.Explore.outcome.Search.feasible)
+      (Search.to_csv again.Explore.outcome.Search.feasible)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Prediction cache *)
 
@@ -64,7 +147,7 @@ let test_cache_second_run_hits () =
   let spec = ar_spec () in
   let cache = Pred_cache.create () in
   let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
-  let engine = Explore.Engine.create config spec in
+  Explore.with_engine config spec @@ fun engine ->
   let r1 = Explore.Engine.run engine in
   Alcotest.(check int) "first run misses every partition" 2
     r1.Explore.cache_misses;
@@ -98,13 +181,13 @@ let test_cache_raw_layer_survives_criteria_change () =
   let spec = ar_spec () in
   let cache = Pred_cache.create () in
   let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
-  let r1 = Explore.Engine.run (Explore.Engine.create config spec) in
+  let r1 = Explore.with_engine config spec Explore.Engine.run in
   Alcotest.(check int) "cold run misses" 2 r1.Explore.cache_misses;
   let relaxed =
     Advisor.set_constraints spec
       ~criteria:(Chop_bad.Feasibility.criteria ~perf:60000. ~delay:60000. ())
   in
-  let r2 = Explore.Engine.run (Explore.Engine.create config relaxed) in
+  let r2 = Explore.with_engine config relaxed Explore.Engine.run in
   Alcotest.(check int) "constraint change still hits raw layer" 2
     r2.Explore.cache_hits;
   Alcotest.(check int) "no re-prediction" 0 r2.Explore.cache_misses
@@ -126,7 +209,7 @@ let test_cache_relabels_predictions () =
   in
   let cache = Pred_cache.create () in
   let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
-  let engine = Explore.Engine.create config (spec graph) in
+  Explore.with_engine config (spec graph) @@ fun engine ->
   let _ = Explore.Engine.run engine in
   let per_partition, _ = Explore.Engine.predictions engine in
   List.iter
@@ -138,6 +221,40 @@ let test_cache_relabels_predictions () =
         preds)
     per_partition
 
+let test_cache_capacity_evicts_lru () =
+  let cache = Pred_cache.create ~capacity:4 () in
+  Alcotest.(check (option int)) "capacity recorded" (Some 4)
+    (Pred_cache.capacity cache);
+  for i = 1 to 10 do
+    Pred_cache.add_raw cache (Printf.sprintf "k%d" i) []
+  done;
+  Alcotest.(check int) "bounded after inserts" 4 (Pred_cache.length cache);
+  (* the youngest keys survive, the oldest were evicted *)
+  Alcotest.(check bool) "newest kept" true
+    (Pred_cache.find_raw cache "k10" <> None);
+  Alcotest.(check bool) "oldest evicted" true
+    (Pred_cache.find_raw cache "k1" = None);
+  (* a find refreshes the entry: touch k7, insert, k7 must outlive k8 *)
+  ignore (Pred_cache.find_raw cache "k7");
+  Pred_cache.add_raw cache "k11" [];
+  Alcotest.(check bool) "refreshed entry survives" true
+    (Pred_cache.find_raw cache "k7" <> None);
+  Alcotest.(check bool) "stale entry evicted" true
+    (Pred_cache.find_raw cache "k8" = None);
+  (* tightening the bound evicts immediately; lifting it stops evicting *)
+  Pred_cache.set_capacity cache (Some 2);
+  Alcotest.(check int) "tightened" 2 (Pred_cache.length cache);
+  Pred_cache.set_capacity cache None;
+  for i = 20 to 30 do
+    Pred_cache.add_raw cache (Printf.sprintf "k%d" i) []
+  done;
+  Alcotest.(check int) "unbounded again" 13 (Pred_cache.length cache)
+
+let test_shared_cache_is_bounded () =
+  Alcotest.(check (option int)) "shared cache has the default bound"
+    (Some Pred_cache.default_shared_capacity)
+    (Pred_cache.capacity Pred_cache.shared)
+
 (* ------------------------------------------------------------------ *)
 (* Config and report plumbing *)
 
@@ -148,14 +265,42 @@ let test_config_validation () =
 
 let test_report_timing_fields () =
   let r = run_with ~heuristic:Explore.Iterative ~jobs:2 (ar_spec ()) in
-  Alcotest.(check bool) "busy time positive" true (r.Explore.bad_cpu_seconds > 0.);
+  Alcotest.(check bool) "busy time positive" true
+    (r.Explore.bad_busy_seconds > 0.);
   Alcotest.(check bool) "wall time positive" true
     (r.Explore.bad_wall_seconds > 0.);
   Alcotest.(check int) "jobs recorded" 2 r.Explore.jobs
 
+let test_metrics_breakdown () =
+  let r = run_with ~heuristic:Explore.Enumeration ~jobs:2 (ar_spec ()) in
+  let m = r.Explore.metrics in
+  Alcotest.(check bool) "predict wall positive" true
+    (m.Explore.Metrics.predict.Explore.Metrics.wall_seconds > 0.);
+  Alcotest.(check bool) "predict busy positive" true
+    (m.Explore.Metrics.predict.Explore.Metrics.busy_seconds > 0.);
+  Alcotest.(check bool) "search wall positive" true
+    (m.Explore.Metrics.search.Explore.Metrics.wall_seconds > 0.);
+  Alcotest.(check bool) "merge wall non-negative" true
+    (m.Explore.Metrics.merge_wall_seconds >= 0.);
+  Alcotest.(check bool) "per-worker busy recorded" true
+    (Array.length m.Explore.Metrics.worker_busy_seconds >= 1);
+  Alcotest.(check bool) "chunks handed out" true
+    (m.Explore.Metrics.chunk_count >= 1);
+  Alcotest.(check int) "cache counters mirrored" r.Explore.cache_misses
+    m.Explore.Metrics.cache_misses;
+  Alcotest.(check bool) "summary renders" true
+    (String.length (Explore.Metrics.summary m) > 0)
+
+let test_metrics_iterative_sequential () =
+  (* the iterative scan is sequential: its busy time is its wall time *)
+  let r = run_with ~heuristic:Explore.Iterative ~jobs:1 (ar_spec ()) in
+  let s = r.Explore.metrics.Explore.Metrics.search in
+  Alcotest.(check (float 1e-9)) "iterative busy = wall"
+    s.Explore.Metrics.wall_seconds s.Explore.Metrics.busy_seconds
+
 let test_engine_predictions_match_legacy () =
   let spec = ar_spec () in
-  let engine = Explore.Engine.create Explore.Config.default spec in
+  Explore.with_engine Explore.Config.default spec @@ fun engine ->
   let per_new, stats_new = Explore.Engine.predictions engine in
   let per_old, stats_old = Explore.predictions spec in
   Alcotest.(check (list string)) "labels"
@@ -194,6 +339,18 @@ let () =
             (check_matches_legacy ~heuristic:Explore.Enumeration ar_spec);
           tc "ewf matches legacy API" `Quick
             (check_matches_legacy ~heuristic:Explore.Branch_bound ewf_spec);
+          tc "feasible trials hand-counted (jobs 1)" `Quick
+            (check_feasible_trials_hand_count ~jobs:1);
+          tc "feasible trials hand-counted (jobs 4)" `Quick
+            (check_feasible_trials_hand_count ~jobs:4);
+        ] );
+      ( "lifecycle",
+        [
+          tc "close is idempotent" `Quick test_close_idempotent;
+          tc "run after close raises" `Quick test_run_after_close_raises;
+          tc "with_engine closes on raise" `Quick
+            test_with_engine_closes_on_raise;
+          tc "engine reusable across runs" `Quick test_engine_reuse_after_runs;
         ] );
       ( "cache",
         [
@@ -203,11 +360,16 @@ let () =
             test_cache_raw_layer_survives_criteria_change;
           tc "relabels shared predictions" `Quick
             test_cache_relabels_predictions;
+          tc "capacity evicts LRU" `Quick test_cache_capacity_evicts_lru;
+          tc "shared cache is bounded" `Quick test_shared_cache_is_bounded;
         ] );
       ( "config",
         [
           tc "validation" `Quick test_config_validation;
           tc "report timing fields" `Quick test_report_timing_fields;
+          tc "metrics breakdown" `Quick test_metrics_breakdown;
+          tc "iterative search is sequential" `Quick
+            test_metrics_iterative_sequential;
           tc "predictions match legacy" `Quick
             test_engine_predictions_match_legacy;
         ] );

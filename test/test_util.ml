@@ -337,41 +337,164 @@ let test_scatter_degenerate_range () =
 (* ------------------------------------------------------------------ *)
 (* Pool *)
 
+(* run the body against a live pool and always join its workers; the
+   stress tests oversubscribe so the concurrent machinery is exercised
+   even on single-core hosts *)
+let with_pool ?oversubscribe ~jobs f =
+  let pool = Pool.create ?oversubscribe ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
 let test_pool_map_order () =
   let xs = Listx.range 0 99 in
   let sq x = x * x in
   List.iter
     (fun jobs ->
-      let pool = Pool.create ~jobs in
-      Alcotest.(check (list int))
-        (Printf.sprintf "map_list jobs=%d" jobs)
-        (List.map sq xs)
-        (Pool.map_list pool sq xs))
+      with_pool ~oversubscribe:true ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map_list jobs=%d" jobs)
+            (List.map sq xs)
+            (Pool.map_list pool sq xs)))
     [ 1; 2; 4; 8 ]
 
 let test_pool_empty_and_singleton () =
-  let pool = Pool.create ~jobs:4 in
-  Alcotest.(check (list int)) "empty" [] (Pool.map_list pool (fun x -> x) []);
-  Alcotest.(check (list int)) "singleton" [ 7 ]
-    (Pool.map_list pool (fun x -> x + 1) [ 6 ])
+  with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" []
+        (Pool.map_list pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 7 ]
+        (Pool.map_list pool (fun x -> x + 1) [ 6 ]))
 
 let test_pool_exception_propagates () =
-  let pool = Pool.create ~jobs:4 in
-  match
-    Pool.map_list pool
-      (fun x -> if x = 3 then failwith "boom" else x)
-      [ 1; 2; 3; 4 ]
-  with
-  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
-  | _ -> Alcotest.fail "exception swallowed"
+  with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      match
+        Pool.map_list pool
+          (fun x -> if x = 3 then failwith "boom" else x)
+          [ 1; 2; 3; 4 ]
+      with
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+      | _ -> Alcotest.fail "exception swallowed")
 
 let test_pool_validates () =
-  (match Pool.create ~jobs:0 with
+  (match Pool.create ~jobs:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "jobs=0 accepted");
-  Alcotest.(check int) "jobs" 3 (Pool.jobs (Pool.create ~jobs:3));
+  with_pool ~jobs:3 (fun pool -> Alcotest.(check int) "jobs" 3 (Pool.jobs pool));
+  (* the core-count clamp caps helper domains, not the reported budget,
+     and a clamped pool still runs batches correctly *)
+  with_pool ~jobs:64 (fun pool ->
+      Alcotest.(check int) "requested jobs reported" 64 (Pool.jobs pool);
+      Alcotest.(check int) "clamped pool still runs" 9
+        (Pool.run pool (Array.init 10 (fun i () -> i))).(9));
   Alcotest.(check int) "sequential" 1 (Pool.jobs Pool.sequential);
   Alcotest.(check bool) "default positive" true (Pool.default_jobs () >= 1)
+
+let test_pool_many_tiny_tasks () =
+  (* 1000 near-free tasks: the chunked cursor must visit every index
+     exactly once and keep results positional *)
+  with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      let tasks =
+        Array.init n (fun i () ->
+            hits.(i) <- hits.(i) + 1;
+            i * 2)
+      in
+      let results, stats = Pool.run_timed pool tasks in
+      Array.iteri
+        (fun i r -> if r <> i * 2 then Alcotest.failf "slot %d holds %d" i r)
+        results;
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "task %d ran %d times" i h)
+        hits;
+      Alcotest.(check bool) "work was chunked" true
+        (stats.Pool.chunk_count > 1);
+      Alcotest.(check bool) "chunks cover the index space" true
+        (stats.Pool.chunk_count <= n))
+
+let test_pool_uneven_costs () =
+  (* a few heavy tasks among many light ones: chunking must not lose or
+     reorder anything when workers finish at very different times *)
+  with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      let n = 200 in
+      let spin_until_distinct i =
+        (* burn a little real time on the heavy indices *)
+        if i mod 50 = 0 then begin
+          let t0 = Unix.gettimeofday () in
+          while Unix.gettimeofday () -. t0 < 0.002 do
+            ignore (Sys.opaque_identity (i * i))
+          done
+        end;
+        i + 1
+      in
+      let tasks = Array.init n (fun i () -> spin_until_distinct i) in
+      let results = Pool.run pool tasks in
+      Alcotest.(check (list int)) "positional results"
+        (List.init n (fun i -> i + 1))
+        (Array.to_list results))
+
+let test_pool_exception_mid_batch_drains () =
+  (* a failure must not kill workers or strand tasks: the whole batch
+     drains, the first failing index's exception is re-raised, and the
+     pool stays usable *)
+  with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      let n = 300 in
+      let ran = Array.make n false in
+      let tasks =
+        Array.init n (fun i () ->
+            ran.(i) <- true;
+            if i mod 97 = 5 then failwith (Printf.sprintf "task-%d" i);
+            i)
+      in
+      (match Pool.run pool tasks with
+      | exception Failure msg ->
+          (* index 5 is the first failure in index order *)
+          Alcotest.(check string) "first error by index" "task-5" msg
+      | _ -> Alcotest.fail "exception swallowed");
+      Alcotest.(check bool) "every task still ran" true
+        (Array.for_all Fun.id ran);
+      (* the same pool accepts further batches *)
+      let again = Pool.run pool (Array.init 50 (fun i () -> i)) in
+      Alcotest.(check int) "pool reusable after failure" 49 again.(49))
+
+let test_pool_reuse_many_runs () =
+  with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
+      for round = 1 to 50 do
+        let results = Pool.run pool (Array.init 40 (fun i () -> i * round)) in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          (39 * round) results.(39)
+      done)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~oversubscribe:true ~jobs:4 () in
+  let r = Pool.run pool (Array.init 10 (fun i () -> i)) in
+  Alcotest.(check int) "ran before shutdown" 9 r.(9);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* a parallel batch on a shut-down pool must be refused... *)
+  (match Pool.run pool (Array.init 10 (fun i () -> i)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run on a shut-down pool succeeded");
+  (* ...and shutting down the sequential pool is a no-op *)
+  Pool.shutdown Pool.sequential;
+  Alcotest.(check int) "sequential survives shutdown" 3
+    (Pool.run Pool.sequential [| (fun () -> 3) |]).(0)
+
+let test_pool_run_timed_stats () =
+  with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
+      let _, stats = Pool.run_timed pool (Array.init 64 (fun i () -> i)) in
+      Alcotest.(check int) "one busy slot per participant" 2
+        (Array.length stats.Pool.worker_busy);
+      Alcotest.(check bool) "busy times are non-negative" true
+        (Array.for_all (fun s -> s >= 0.) stats.Pool.worker_busy);
+      Alcotest.(check bool) "caller participated" true
+        (stats.Pool.worker_busy.(0) > 0.));
+  (* inline path: one participant, zero or one chunk *)
+  let _, empty_stats = Pool.run_timed Pool.sequential [||] in
+  Alcotest.(check int) "empty batch has no chunks" 0
+    empty_stats.Pool.chunk_count;
+  let _, seq_stats = Pool.run_timed Pool.sequential [| (fun () -> ()) |] in
+  Alcotest.(check int) "sequential run is one chunk" 1
+    seq_stats.Pool.chunk_count
 
 let () =
   let tc = Alcotest.test_case in
@@ -438,6 +561,13 @@ let () =
           tc "empty + singleton" `Quick test_pool_empty_and_singleton;
           tc "exception propagates" `Quick test_pool_exception_propagates;
           tc "validates" `Quick test_pool_validates;
+          tc "1000 tiny tasks" `Quick test_pool_many_tiny_tasks;
+          tc "uneven task costs" `Quick test_pool_uneven_costs;
+          tc "exception mid-batch drains" `Quick
+            test_pool_exception_mid_batch_drains;
+          tc "reuse across many runs" `Quick test_pool_reuse_many_runs;
+          tc "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          tc "run_timed stats" `Quick test_pool_run_timed_stats;
         ] );
       ( "scatter",
         [
