@@ -34,43 +34,43 @@ let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ?metrics ctx
   in
   (* chip -> area committed by chosen predictions plus lower bounds of the
      chip's still-unchosen partitions; each slice carries its own pair of
-     tables so subtrees never share mutable state *)
+     tables so subtrees never share mutable state.  The tables hold refs so
+     the per-branch bookkeeping is one lookup, not a find/replace pair. *)
   let fresh_tables () =
     let unchosen_low = Hashtbl.create 8 in
-    List.iter (fun (c, _) -> Hashtbl.replace unchosen_low c 0.) chip_capacity;
+    List.iter
+      (fun (c, _) -> Hashtbl.replace unchosen_low c (ref 0.))
+      chip_capacity;
     Array.iteri
       (fun i (label, _) ->
-        let c = chip_of label in
-        Hashtbl.replace unchosen_low c
-          (Hashtbl.find unchosen_low c +. min_area_of.(i)))
+        let cell = Hashtbl.find unchosen_low (chip_of label) in
+        cell := !cell +. min_area_of.(i))
       order;
     let committed = Hashtbl.create 8 in
-    List.iter (fun (c, _) -> Hashtbl.replace committed c 0.) chip_capacity;
+    List.iter (fun (c, _) -> Hashtbl.replace committed c (ref 0.)) chip_capacity;
     (committed, unchosen_low)
   in
   (* try one prediction [p] at level [i]; assumes unchosen_low already
-     excludes level [i]'s lower bound *)
+     excludes level [i]'s lower bound.  [chip_committed], [chip_unchosen]
+     and [capacity] are level [i]'s chip cells, resolved once per level. *)
   let rec branch slice ~committed ~unchosen_low i picked ~ii_bound
-      ~clock_bound ~chip p =
+      ~clock_bound ~chip_committed ~chip_unchosen ~capacity p =
     let ii = max ii_bound (Chop_bad.Prediction.ii_main clocks p) in
     let clock =
       Float.max clock_bound p.Chop_bad.Prediction.timing.Chop_bad.Prediction.clock_main
     in
     let perf_lb = float_of_int ii *. clock in
     let area_low = Chop_util.Triplet.(p.Chop_bad.Prediction.area.low) in
-    let chip_lb =
-      Hashtbl.find committed chip +. area_low +. Hashtbl.find unchosen_low chip
-    in
-    let capacity = List.assoc chip chip_capacity in
+    let chip_lb = !chip_committed +. area_low +. !chip_unchosen in
     if perf_lb > crit.Chop_bad.Feasibility.perf_constraint then
       Search.Slice.step slice (* pruned: counts as a considered stem *)
     else if chip_lb > capacity then Search.Slice.step slice
     else begin
       let label, _ = order.(i) in
-      Hashtbl.replace committed chip (Hashtbl.find committed chip +. area_low);
+      chip_committed := !chip_committed +. area_low;
       dfs slice ~committed ~unchosen_low (i + 1) ((label, p) :: picked)
         ~ii_bound:ii ~clock_bound:clock;
-      Hashtbl.replace committed chip (Hashtbl.find committed chip -. area_low)
+      chip_committed := !chip_committed -. area_low
     end
   and dfs slice ~committed ~unchosen_low i picked ~ii_bound ~clock_bound =
     if i = n then
@@ -79,15 +79,16 @@ let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ?metrics ctx
     else begin
       let label, preds = order.(i) in
       let chip = chip_of label in
+      let chip_committed = Hashtbl.find committed chip in
+      let chip_unchosen = Hashtbl.find unchosen_low chip in
+      let capacity = List.assoc chip chip_capacity in
       (* this partition leaves the unchosen pool for the bound *)
-      Hashtbl.replace unchosen_low chip
-        (Hashtbl.find unchosen_low chip -. min_area_of.(i));
+      chip_unchosen := !chip_unchosen -. min_area_of.(i);
       List.iter
         (branch slice ~committed ~unchosen_low i picked ~ii_bound ~clock_bound
-           ~chip)
+           ~chip_committed ~chip_unchosen ~capacity)
         preds;
-      Hashtbl.replace unchosen_low chip
-        (Hashtbl.find unchosen_low chip +. min_area_of.(i))
+      chip_unchosen := !chip_unchosen +. min_area_of.(i)
     end
   in
   let slices, pool_stats =
@@ -103,16 +104,19 @@ let run ?(keep_all = false) ?(pool = Chop_util.Pool.sequential) ?metrics ctx
     else begin
       let label0, preds0 = order.(0) in
       let chip0 = chip_of label0 in
+      let capacity0 = List.assoc chip0 chip_capacity in
       let tasks =
         Array.of_list
           (List.map
              (fun p () ->
                let slice = Search.Slice.create () in
                let committed, unchosen_low = fresh_tables () in
-               Hashtbl.replace unchosen_low chip0
-                 (Hashtbl.find unchosen_low chip0 -. min_area_of.(0));
+               let chip_committed = Hashtbl.find committed chip0 in
+               let chip_unchosen = Hashtbl.find unchosen_low chip0 in
+               chip_unchosen := !chip_unchosen -. min_area_of.(0);
                branch slice ~committed ~unchosen_low 0 [] ~ii_bound:1
-                 ~clock_bound:clocks.Chop_tech.Clocking.main ~chip:chip0 p;
+                 ~clock_bound:clocks.Chop_tech.Clocking.main ~chip_committed
+                 ~chip_unchosen ~capacity:capacity0 p;
                slice)
              preds0)
       in
