@@ -160,7 +160,7 @@ let file_arg =
 
 let explore_cmd =
   let run graph k package perf delay multicycle heuristic strategy verbose file
-      csv keep_all stats jobs =
+      csv keep_all no_prune stats jobs =
     let spec =
       match file with
       | Some path -> Chop.Specfile.load path
@@ -168,7 +168,7 @@ let explore_cmd =
     in
     let config =
       Chop.Explore.Config.make ~heuristic ~keep_all:(csv || keep_all)
-        ~jobs:(resolve_jobs jobs) ()
+        ~pre_prune:(not no_prune) ~jobs:(resolve_jobs jobs) ()
     in
     let report = Chop.Explore.with_engine config spec Chop.Explore.Engine.run in
     let outcome = report.Chop.Explore.outcome in
@@ -237,10 +237,18 @@ let explore_cmd =
                        front and every explored design point as CSV; output \
                        is deterministic across $(b,--jobs) values.")
       $ Arg.(value & flag
+             & info [ "no-prune" ]
+                 ~doc:"Disable the dominance pre-pruning of the search \
+                       lists.  The feasible front is identical either way; \
+                       with $(b,--keep-all) this restores the exhaustive \
+                       explored dump at full search cost.")
+      $ Arg.(value & flag
              & info [ "stats" ]
                  ~doc:"Print the engine timing breakdown: wall/busy seconds \
                        per phase (predict, search, merge), per-worker busy \
-                       time, chunk counts and cache hits/misses.")
+                       time, chunk counts, cache hits/misses, and the \
+                       search-side counters (implementations pre-pruned, \
+                       integrations avoided, chip-report cache hits).")
       $ jobs_arg)
 
 let predict_cmd =

@@ -23,5 +23,7 @@ val run :
 (** [pool] (default sequential) searches root subtrees — one per
     implementation of the first partition — on separate domains, each with
     private bound bookkeeping; results are merged deterministically, so the
-    outcome is identical to the sequential one.  [metrics], when given,
-    receives the search/merge timing breakdown of this run. *)
+    outcome is identical to the sequential one.  Outside keep-all mode,
+    leaves that {!Integration.quick_check} proves infeasible are counted
+    as trials but not integrated.  [metrics], when given, receives the
+    search/merge timing breakdown of this run. *)

@@ -17,9 +17,11 @@ val run :
 (** [run ctx per_partition] enumerates the cartesian product of the
     prediction lists.  Combinations whose slowest-partition performance
     bound already violates the performance constraint are counted as trials
-    but not integrated; [keep_all] records every integrated design to
-    expose the full design space.  [pool] (default sequential) searches
-    the product in parallel, one slice per implementation of the first
-    partition, with deterministic merging: the outcome is identical to the
-    sequential one.  [metrics], when given, receives the search/merge
-    timing breakdown of this run. *)
+    but not integrated, and — outside keep-all mode — so are combinations
+    {!Integration.quick_check} proves infeasible ([stats.integrations_avoided]);
+    [keep_all] records every integrated design to expose the full design
+    space, so there the quick check is bypassed.  [pool] (default
+    sequential) searches the product in parallel, one slice per
+    implementation of the first partition, with deterministic merging: the
+    outcome is identical to the sequential one.  [metrics], when given,
+    receives the search/merge timing breakdown of this run. *)

@@ -14,18 +14,20 @@ module Config = struct
     heuristic : heuristic;
     keep_all : bool;
     prune : bool option;
+    pre_prune : bool;
     jobs : int;
     cache : cache_scope;
   }
 
   let default =
-    { heuristic = Iterative; keep_all = false; prune = None; jobs = 1;
-      cache = Shared }
+    { heuristic = Iterative; keep_all = false; prune = None; pre_prune = true;
+      jobs = 1; cache = Shared }
 
   let make ?(heuristic = default.heuristic) ?(keep_all = default.keep_all)
-      ?prune ?(jobs = default.jobs) ?(cache = default.cache) () =
+      ?prune ?(pre_prune = default.pre_prune) ?(jobs = default.jobs)
+      ?(cache = default.cache) () =
     if jobs < 1 then invalid_arg "Explore.Config.make: jobs must be >= 1";
-    { heuristic; keep_all; prune; jobs; cache }
+    { heuristic; keep_all; prune; pre_prune; jobs; cache }
 end
 
 module Metrics = struct
@@ -39,6 +41,9 @@ module Metrics = struct
     chunk_count : int;
     cache_hits : int;
     cache_misses : int;
+    pruned_impls : int;
+    integrations_avoided : int;
+    chip_cache_hits : int;
   }
 
   let zero_phase = { wall_seconds = 0.; busy_seconds = 0. }
@@ -46,7 +51,8 @@ module Metrics = struct
   let zero =
     { predict = zero_phase; search = zero_phase; merge_wall_seconds = 0.;
       worker_busy_seconds = [||]; chunk_count = 0; cache_hits = 0;
-      cache_misses = 0 }
+      cache_misses = 0; pruned_impls = 0; integrations_avoided = 0;
+      chip_cache_hits = 0 }
 
   (* elementwise sum, padding the shorter array with zeros *)
   let add_worker_busy a b =
@@ -75,6 +81,11 @@ module Metrics = struct
             (Array.to_list
                (Array.map (Printf.sprintf "%.3f") m.worker_busy_seconds)))
          m.chunk_count m.cache_hits m.cache_misses);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "search: %d impl(s) pre-pruned, %d integration(s) avoided, %d \
+          chip-report cache hit(s)\n"
+         m.pruned_impls m.integrations_avoided m.chip_cache_hits);
     Buffer.contents buf
 end
 
@@ -274,17 +285,30 @@ module Engine = struct
       | None -> not keep_all
     in
     let p = predictions_timed e ~prune in
+    (* second-level dominance pre-pruning: shrink each partition's list to
+       picks that can still contribute to the Pareto front of full systems
+       (Prune's soundness argument).  Only the exhaustive searches walk the
+       whole product; the iterative heuristic's serialization path depends
+       on the exact list contents, so it is left untouched. *)
+    let search_lists, pruned_impls =
+      match e.config.Config.heuristic with
+      | (Enumeration | Branch_bound) when e.config.Config.pre_prune ->
+          Prune.per_partition ~clocks:e.spec.Spec.clocks p.per_partition
+      | Enumeration | Branch_bound | Iterative -> (p.per_partition, 0)
+    in
     let search_metrics = ref Search.no_parallel_metrics in
     let search_wall0 = Unix.gettimeofday () in
     let outcome =
       match e.config.Config.heuristic with
       | Enumeration ->
           Enum_heuristic.run ~keep_all ~pool:e.pool ~metrics:search_metrics
-            e.ctx p.per_partition
-      | Iterative -> Iter_heuristic.run ~keep_all e.ctx p.per_partition
+            e.ctx search_lists
+      | Iterative ->
+          Iter_heuristic.run ~keep_all ~metrics:search_metrics e.ctx
+            search_lists
       | Branch_bound ->
           Bb_heuristic.run ~keep_all ~pool:e.pool ~metrics:search_metrics
-            e.ctx p.per_partition
+            e.ctx search_lists
     in
     let sm = !search_metrics in
     let search_phase =
@@ -313,6 +337,10 @@ module Engine = struct
           p.pool_stats.Chop_util.Pool.chunk_count + sm.Search.chunk_count;
         cache_hits = p.hits;
         cache_misses = p.misses;
+        pruned_impls;
+        integrations_avoided =
+          outcome.Search.stats.Search.integrations_avoided;
+        chip_cache_hits = sm.Search.chip_cache_hits;
       }
     in
     { heuristic = e.config.Config.heuristic; bad = p.bad; outcome;

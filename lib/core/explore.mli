@@ -51,18 +51,28 @@ module Config : sig
         (** first-level pruning of the prediction lists; [None] derives it:
             [not keep_all] for searches, the spec's [discard_inferior] for
             bare prediction queries — matching the legacy entry points *)
+    pre_prune : bool;
+        (** dominance pre-pruning of the search lists (default [true]):
+            before an exhaustive search (enumeration or branch-and-bound),
+            drop implementations dominated by an interchangeable sibling
+            ({!module:Prune}).  Provably preserves the best feasible design
+            and the feasible Pareto front; keep-all dumps lose only
+            combinations built from dominated picks.  The iterative
+            heuristic is never pre-pruned.  [chop explore --no-prune]
+            sets this to [false]. *)
     jobs : int;  (** domain-pool size; 1 = fully sequential *)
     cache : cache_scope;
   }
 
   val default : t
-  (** Iterative heuristic, no keep-all, derived pruning, [jobs = 1],
-      shared cache. *)
+  (** Iterative heuristic, no keep-all, derived pruning, pre-pruning on,
+      [jobs = 1], shared cache. *)
 
   val make :
     ?heuristic:heuristic ->
     ?keep_all:bool ->
     ?prune:bool ->
+    ?pre_prune:bool ->
     ?jobs:int ->
     ?cache:cache_scope ->
     unit ->
@@ -96,6 +106,15 @@ module Metrics : sig
     chunk_count : int;  (** pool work chunks handed out across phases *)
     cache_hits : int;
     cache_misses : int;
+    pruned_impls : int;
+        (** implementations dropped by dominance pre-pruning before the
+            search ({!Config.t}[.pre_prune]) *)
+    integrations_avoided : int;
+        (** combinations rejected by {!Integration.quick_check} without
+            any integration work *)
+    chip_cache_hits : int;
+        (** per-chip report fragments served by the staged integration
+            cache; varies with [jobs] (each domain fills its own cache) *)
   }
 
   val zero : t

@@ -1,28 +1,57 @@
 type combination = (string * Chop_bad.Prediction.t) list
 
+(* ------------------------------------------------------------------ *)
+(* Static, per-spec stage.
+
+   A combination search integrates thousands of combinations against one
+   spec.  Everything that depends only on the spec — transfer tasks, pin
+   budgets, transfer bandwidths and durations, urgency-scheduler resources
+   and data-transfer tasks, pin-mux and memory areas, bonded signal pins —
+   is computed once here and carried in the context; the per-combination
+   path below only touches what the picked predictions actually change. *)
+
+type dtm_static = {
+  ds_task : Transfer.task;
+  ds_bandwidth : int;
+  ds_transfer_main : int;  (* X, main-clock cycles *)
+  ds_member : bool array;  (* chip index -> chip appears in chips_of task *)
+  ds_on_chip : bool array;  (* chip index -> cross-chip AND member *)
+  ds_holder : int;  (* chip index holding the buffer, -1 when none *)
+  ds_urg : Chop_sched.Urgency.task;  (* the static data-transfer task *)
+}
+
+type chip_static = {
+  cs_instance : Spec.chip_instance;
+  cs_labels : string list;  (* partitions on this chip, partitioning order *)
+  cs_label_idxs : int array;  (* same, as partition indexes *)
+  cs_sharers : int;  (* cross-chip transfers sharing this chip's pins *)
+  cs_pin_mux_area : float;
+  cs_memory_area : float;
+  cs_signal_pins : int;
+  cs_available : float;
+  cs_pad_mux : float;  (* 2*pad_delay + mux tree delay, when sharers > 0 *)
+  cs_static_area_low : float;  (* pin_mux + memory: lower bound on fixed *)
+}
+
+type statics = {
+  st_parts : string array;  (* partition labels, partitioning order *)
+  st_pu_names : string array;  (* "pu_<label>" *)
+  st_pu_deps : string list array;  (* per partition: incoming dt names *)
+  st_dtm : dtm_static array;
+  st_dtm_error : string option;  (* first pin-exhausted transfer, if any *)
+  st_dt_ii_max : int;
+  st_pin_ii_floor : int;
+  st_resources : Chop_sched.Urgency.resource list;
+  st_chips : chip_static array;
+}
+
 type context = {
   spec : Spec.t;
   tasks : Transfer.task list;
   budgets : (string * Chop_tech.Chip.pin_budget) list;
   budget_errors : (string * string) list;
+  statics : statics option;  (* [None] exactly when budget_errors <> [] *)
 }
-
-let context spec =
-  let tasks = Transfer.create spec in
-  let budgets, budget_errors =
-    List.fold_left
-      (fun (ok, bad) ci ->
-        let control = Transfer.control_pins_on spec tasks ci.Spec.chip_name in
-        let memory_lines = Transfer.memory_lines_on spec ci.Spec.chip_name in
-        match
-          Chop_tech.Chip.pin_budget ci.Spec.package ~control ~memory_lines ()
-        with
-        | budget -> ((ci.Spec.chip_name, budget) :: ok, bad)
-        | exception Invalid_argument reason ->
-            (ok, (ci.Spec.chip_name, reason) :: bad))
-      ([], []) spec.Spec.chips
-  in
-  { spec; tasks; budgets; budget_errors }
 
 let spec_of ctx = ctx.spec
 let tasks_of ctx = ctx.tasks
@@ -124,9 +153,396 @@ let rate_mismatch clocks comb =
            (String.concat ", " (List.map string_of_int pipelined_iis)))
   | [] | [ _ ] -> None
 
+(* ------------------------------------------------------------------ *)
+(* Context construction *)
+
+let build_statics spec tasks budgets =
+  let clocks = spec.Spec.clocks in
+  let k_tr = clocks.Chop_tech.Clocking.transfer_ratio in
+  let chips = Array.of_list spec.Spec.chips in
+  let nchips = Array.length chips in
+  let chip_idx = Hashtbl.create nchips in
+  Array.iteri
+    (fun i ci -> Hashtbl.replace chip_idx ci.Spec.chip_name i)
+    chips;
+  let data_pins_of name =
+    match List.assoc_opt name budgets with
+    | Some b -> b.Chop_tech.Chip.data
+    | None -> 0
+  in
+  let parts =
+    Array.of_list
+      (List.map
+         (fun p -> p.Chop_dfg.Partition.label)
+         spec.Spec.partitioning.Chop_dfg.Partition.parts)
+  in
+  let pu_names = Array.map (fun l -> "pu_" ^ l) parts in
+  (* transfer bandwidths and durations; the first pin-exhausted transfer
+     poisons the whole context, exactly like the eager Stop used to *)
+  let dtm_error = ref None in
+  let dtm_rev = ref [] in
+  (try
+     List.iter
+       (fun (t : Transfer.task) ->
+         let bandwidth =
+           if not t.Transfer.cross_chip then on_chip_bus_bits
+           else
+             match Transfer.chips_of t with
+             | [] -> on_chip_bus_bits
+             | task_chips ->
+                 (* maximum possible bandwidth (section 2.5) determines the
+                    transfer time; the module then bonds only the pins
+                    needed to achieve that time *)
+                 let budget =
+                   List.fold_left
+                     (fun acc c -> min acc (data_pins_of c))
+                     max_int task_chips
+                 in
+                 if budget <= 0 then 0
+                 else
+                   let x_min = Chop_util.Units.ceil_div t.Transfer.bits budget in
+                   Chop_util.Units.ceil_div t.Transfer.bits x_min
+         in
+         if bandwidth <= 0 then begin
+           dtm_error :=
+             Some
+               (Printf.sprintf "no data pins available for transfer %s"
+                  t.Transfer.dt_name);
+           raise Exit
+         end;
+         let transfer_main =
+           Chop_util.Units.ceil_div t.Transfer.bits bandwidth * k_tr
+         in
+         let task_chips = Transfer.chips_of t in
+         let ds_member = Array.make nchips false in
+         List.iter
+           (fun c ->
+             match Hashtbl.find_opt chip_idx c with
+             | Some i -> ds_member.(i) <- true
+             | None -> ())
+           task_chips;
+         let ds_on_chip =
+           Array.map (fun m -> t.Transfer.cross_chip && m) ds_member
+         in
+         let holder_name =
+           match t.Transfer.dst_chip with
+           | Some c -> c
+           | None -> Option.value ~default:"" t.Transfer.src_chip
+         in
+         let ds_holder =
+           match Hashtbl.find_opt chip_idx holder_name with
+           | Some i -> i
+           | None -> -1
+         in
+         let demands =
+           if t.Transfer.cross_chip then
+             List.map (fun c -> ("pins:" ^ c, bandwidth)) task_chips
+           else []
+         in
+         let deps =
+           match t.Transfer.src with
+           | Transfer.Partition_end l -> [ "pu_" ^ l ]
+           | Transfer.World -> []
+         in
+         let ds_urg =
+           { Chop_sched.Urgency.tname = t.Transfer.dt_name;
+             duration = transfer_main; demands; deps }
+         in
+         dtm_rev :=
+           { ds_task = t; ds_bandwidth = bandwidth;
+             ds_transfer_main = transfer_main; ds_member; ds_on_chip;
+             ds_holder; ds_urg }
+           :: !dtm_rev)
+       tasks
+   with Exit -> ());
+  let st_dtm = Array.of_list (List.rev !dtm_rev) in
+  match !dtm_error with
+  | Some _ as err ->
+      (* the error fires before anything downstream is consulted *)
+      { st_parts = parts; st_pu_names = pu_names;
+        st_pu_deps = Array.make (Array.length parts) [];
+        st_dtm; st_dtm_error = err; st_dt_ii_max = 1; st_pin_ii_floor = 1;
+        st_resources = []; st_chips = [||] }
+  | None ->
+      let st_dt_ii_max =
+        Array.fold_left
+          (fun acc d ->
+            if d.ds_task.Transfer.cross_chip then max acc d.ds_transfer_main
+            else acc)
+          1 st_dtm
+      in
+      (* steady-state pin budget: with one problem instance initiated every
+         interval, each chip's shared data pins must carry ALL its
+         transfers' bits within one interval — or overlapped instances
+         clash *)
+      let st_pin_ii_floor =
+        List.fold_left
+          (fun acc ci ->
+            let i = Hashtbl.find chip_idx ci.Spec.chip_name in
+            let bits_per_instance =
+              Array.fold_left
+                (fun acc d ->
+                  if d.ds_on_chip.(i) then acc + d.ds_task.Transfer.bits
+                  else acc)
+                0 st_dtm
+            in
+            let pins = data_pins_of ci.Spec.chip_name in
+            if bits_per_instance = 0 then acc
+            else
+              max acc (Chop_util.Units.ceil_div bits_per_instance pins * k_tr))
+          1 spec.Spec.chips
+      in
+      let st_resources =
+        List.map
+          (fun ci ->
+            { Chop_sched.Urgency.rname = "pins:" ^ ci.Spec.chip_name;
+              capacity = data_pins_of ci.Spec.chip_name })
+          spec.Spec.chips
+        @ List.map
+            (fun m ->
+              { Chop_sched.Urgency.rname = "mem:" ^ m.Chop_tech.Memory.mname;
+                capacity = m.Chop_tech.Memory.ports })
+            spec.Spec.memories
+      in
+      let st_pu_deps =
+        Array.map
+          (fun label ->
+            Array.to_list st_dtm
+            |> List.filter_map (fun d ->
+                   match d.ds_task.Transfer.dst with
+                   | Transfer.Partition_end l when l = label ->
+                       Some d.ds_task.Transfer.dt_name
+                   | Transfer.Partition_end _ | Transfer.World -> None))
+          parts
+      in
+      let part_idx = Hashtbl.create (Array.length parts) in
+      Array.iteri (fun i l -> Hashtbl.replace part_idx l i) parts;
+      let st_chips =
+        Array.map
+          (fun ci ->
+            let name = ci.Spec.chip_name in
+            let i = Hashtbl.find chip_idx name in
+            let labels =
+              List.map
+                (fun p -> p.Chop_dfg.Partition.label)
+                (Spec.partitions_on spec name)
+            in
+            let budget = List.assoc name budgets in
+            let sharers =
+              Array.fold_left
+                (fun acc d -> if d.ds_on_chip.(i) then acc + 1 else acc)
+                0 st_dtm
+            in
+            let shared_pins =
+              Array.fold_left
+                (fun acc d ->
+                  if d.ds_on_chip.(i) then max acc d.ds_bandwidth else acc)
+                0 st_dtm
+            in
+            let pin_mux_area =
+              if sharers <= 1 then 0.
+              else float_of_int (shared_pins * (sharers - 1)) *. mux_cell_area
+            in
+            let memory_area =
+              Chop_util.Listx.sum_byf
+                (fun m ->
+                  match
+                    ( m.Chop_tech.Memory.placement,
+                      Spec.memory_host spec m.Chop_tech.Memory.mname )
+                  with
+                  | Chop_tech.Memory.On_chip a, Some host when host = name -> a
+                  | _ -> 0.)
+                spec.Spec.memories
+            in
+            let data_pins_used = shared_pins in
+            let signal_pins =
+              min ci.Spec.package.Chop_tech.Chip.pins
+                (data_pins_used + budget.Chop_tech.Chip.control
+                + budget.Chop_tech.Chip.memory_lines)
+            in
+            let available =
+              Chop_tech.Chip.usable_area ci.Spec.package ~signal_pins
+            in
+            let cs_pad_mux =
+              if sharers = 0 then 0.
+              else
+                (2. *. ci.Spec.package.Chop_tech.Chip.pad_delay)
+                +. Chop_tech.Wiring.mux_tree_delay ~fanin:sharers
+            in
+            {
+              cs_instance = ci;
+              cs_labels = labels;
+              cs_label_idxs =
+                Array.of_list (List.map (Hashtbl.find part_idx) labels);
+              cs_sharers = sharers;
+              cs_pin_mux_area = pin_mux_area;
+              cs_memory_area = memory_area;
+              cs_signal_pins = signal_pins;
+              cs_available = available;
+              cs_pad_mux;
+              cs_static_area_low = pin_mux_area +. memory_area;
+            })
+          chips
+      in
+      { st_parts = parts; st_pu_names = pu_names; st_pu_deps; st_dtm;
+        st_dtm_error = None; st_dt_ii_max; st_pin_ii_floor; st_resources;
+        st_chips }
+
+let context spec =
+  let tasks = Transfer.create spec in
+  let budgets, budget_errors =
+    List.fold_left
+      (fun (ok, bad) ci ->
+        let control = Transfer.control_pins_on spec tasks ci.Spec.chip_name in
+        let memory_lines = Transfer.memory_lines_on spec ci.Spec.chip_name in
+        match
+          Chop_tech.Chip.pin_budget ci.Spec.package ~control ~memory_lines ()
+        with
+        | budget -> ((ci.Spec.chip_name, budget) :: ok, bad)
+        | exception Invalid_argument reason ->
+            (ok, (ci.Spec.chip_name, reason) :: bad))
+      ([], []) spec.Spec.chips
+  in
+  let statics =
+    match budget_errors with
+    | [] -> Some (build_statics spec tasks budgets)
+    | _ :: _ -> None
+  in
+  { spec; tasks; budgets; budget_errors; statics }
+
+(* ------------------------------------------------------------------ *)
+(* Per-search memoization.
+
+   The per-combination cost decomposes into stages keyed by progressively
+   more of the picks:
+
+   - the urgency schedule (and everything derived from it alone: DTM
+     waits, controller shapes and areas, the transfer overhead, the
+     makespan) depends only on each partition's (latency, memory-demand)
+     pair — thousands of combinations share a handful of these vectors;
+   - DTM buffer sizes add the initiation interval;
+   - a chip's report adds only the picks landing on that chip, so sibling
+     combinations differing on other chips share the fragment.
+
+   A cache is single-domain mutable state: use one per worker (the
+   heuristics create one per slice via {!domain_cache}, which reuses the
+   calling domain's cache across its slices). *)
+
+type sched_stage = {
+  ss_id : int;  (* cache-local identity, used in downstream keys *)
+  ss_result : Chop_sched.Urgency.result;
+  ss_waits : int array;  (* per dtm *)
+  ss_shapes : Chop_tech.Pla.shape array;  (* per dtm *)
+  ss_dtm_area : float array;  (* per chip *)
+  ss_ctrl_delay : float array;  (* per chip: slowest member controller *)
+  ss_overhead : float;  (* transfer overhead, ns *)
+}
+
+type ii_stage = {
+  is_dtms : dtm list;
+  is_buffer_area : float array;  (* per chip *)
+}
+
+(* Pick identities for chip-fragment keys: predictions are interned by
+   physical equality per partition (the search reuses the same list
+   objects across combinations).  Structurally equal but physically
+   distinct picks get distinct ids — never wrong, only slower. *)
+type reg = { mutable r_items : Chop_bad.Prediction.t array; mutable r_len : int }
+
+type cache_stats = {
+  sched_hits : int;
+  sched_misses : int;
+  chip_hits : int;
+  chip_misses : int;
+}
+
+type cache = {
+  c_ctx : context;
+  c_sched :
+    ((int * (string * int) list) array, (sched_stage, string) result)
+    Hashtbl.t;
+  mutable c_next_sched : int;
+  c_ii : (int * int, ii_stage) Hashtbl.t;
+  c_chip : (int * int * int list, chip_report) Hashtbl.t array;
+  c_regs : reg array;
+  mutable c_sched_hits : int;
+  mutable c_sched_misses : int;
+  mutable c_chip_hits : int;
+  mutable c_chip_misses : int;
+}
+
+let cache ctx =
+  let nparts, nchips =
+    match ctx.statics with
+    | Some st -> (Array.length st.st_parts, Array.length st.st_chips)
+    | None -> (0, 0)
+  in
+  {
+    c_ctx = ctx;
+    c_sched = Hashtbl.create 64;
+    c_next_sched = 0;
+    c_ii = Hashtbl.create 64;
+    c_chip = Array.init nchips (fun _ -> Hashtbl.create 256);
+    c_regs = Array.init nparts (fun _ -> { r_items = [||]; r_len = 0 });
+    c_sched_hits = 0;
+    c_sched_misses = 0;
+    c_chip_hits = 0;
+    c_chip_misses = 0;
+  }
+
+let context_of_cache c = c.c_ctx
+
+let cache_stats c =
+  { sched_hits = c.c_sched_hits; sched_misses = c.c_sched_misses;
+    chip_hits = c.c_chip_hits; chip_misses = c.c_chip_misses }
+
+let chip_cache_hits c = c.c_chip_hits
+
+let pred_id reg p =
+  let rec find i =
+    if i >= reg.r_len then -1
+    else if reg.r_items.(i) == p then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then i
+  else begin
+    let cap = Array.length reg.r_items in
+    if reg.r_len = cap then begin
+      let grown = Array.make (max 16 (2 * cap)) p in
+      Array.blit reg.r_items 0 grown 0 reg.r_len;
+      reg.r_items <- grown
+    end;
+    reg.r_items.(reg.r_len) <- p;
+    reg.r_len <- reg.r_len + 1;
+    reg.r_len - 1
+  end
+
+(* one cache per domain, shared across that domain's slices of one search *)
+type session = { sn_ctx : context; sn_token : int }
+
+let session_counter = Atomic.make 0
+
+let session ctx = { sn_ctx = ctx; sn_token = Atomic.fetch_and_add session_counter 1 }
+
+let cache_slot : (int * cache) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_cache sn =
+  let slot = Domain.DLS.get cache_slot in
+  match !slot with
+  | Some (tok, c) when tok = sn.sn_token -> c
+  | _ ->
+      let c = cache sn.sn_ctx in
+      slot := Some (sn.sn_token, c);
+      c
+
 exception Stop of failure * string
 
-let integrate ctx ?ii_target comb =
+let delay_spread = Chop_util.Triplet.make ~low:0.95 ~likely:1.0 ~high:1.08
+
+let integrate_cached cache ?ii_target comb =
+  let ctx = cache.c_ctx in
   let spec = ctx.spec in
   check_combination spec comb;
   let clocks = spec.Spec.clocks in
@@ -139,6 +555,9 @@ let integrate ctx ?ii_target comb =
              ( Structural reason,
                Printf.sprintf "chip %s: %s" chip reason ))
     | [] -> ());
+    let st =
+      match ctx.statics with Some st -> st | None -> assert false
+    in
     (match rate_mismatch clocks comb with
     | Some reason ->
         let mismatched =
@@ -151,75 +570,19 @@ let integrate ctx ?ii_target comb =
         in
         raise (Stop (Rate_mismatch mismatched, reason))
     | None -> ());
+    (match st.st_dtm_error with
+    | Some reason -> raise (Stop (Structural reason, reason))
+    | None -> ());
     let prediction_of label = List.assoc label comb in
-    (* --- data-transfer bandwidths and durations --- *)
-    let k_tr = clocks.Chop_tech.Clocking.transfer_ratio in
-    let dtm_base =
-      List.map
-        (fun (t : Transfer.task) ->
-          let bandwidth =
-            if not t.Transfer.cross_chip then on_chip_bus_bits
-            else
-              match Transfer.chips_of t with
-              | [] -> on_chip_bus_bits
-              | chips ->
-                  (* maximum possible bandwidth (section 2.5) determines the
-                     transfer time; the module then bonds only the pins
-                     needed to achieve that time *)
-                  let budget =
-                    List.fold_left (fun acc c -> min acc (data_pins ctx c))
-                      max_int chips
-                  in
-                  if budget <= 0 then 0
-                  else
-                    let x_min = Chop_util.Units.ceil_div t.Transfer.bits budget in
-                    Chop_util.Units.ceil_div t.Transfer.bits x_min
-          in
-          if bandwidth <= 0 then begin
-            let reason =
-              Printf.sprintf "no data pins available for transfer %s"
-                t.Transfer.dt_name
-            in
-            raise (Stop (Structural reason, reason))
-          end;
-          let transfer_main =
-            Chop_util.Units.ceil_div t.Transfer.bits bandwidth * k_tr
-          in
-          (t, bandwidth, transfer_main))
-        ctx.tasks
-    in
+    let picks = Array.map prediction_of st.st_parts in
     (* --- candidate initiation interval --- *)
     let part_ii_max =
       List.fold_left
         (fun acc (_, p) -> max acc (Chop_bad.Prediction.ii_main clocks p))
         1 comb
     in
-    let dt_ii_max =
-      List.fold_left
-        (fun acc (t, _, x) -> if t.Transfer.cross_chip then max acc x else acc)
-        1 dtm_base
-    in
-    (* steady-state budgets: with one problem instance initiated every
-       interval, each chip's shared data pins must carry ALL its transfers'
-       bits, and each memory block's ports must serve every partition's
-       accesses, within one interval — or overlapped instances clash *)
-    let pin_ii_floor =
-      List.fold_left
-        (fun acc ci ->
-          let name = ci.Spec.chip_name in
-          let bits_per_instance =
-            Chop_util.Listx.sum_by
-              (fun (t, _, _) ->
-                if t.Transfer.cross_chip && List.mem name (Transfer.chips_of t)
-                then t.Transfer.bits
-                else 0)
-              dtm_base
-          in
-          let pins = data_pins ctx name in
-          if bits_per_instance = 0 then acc
-          else max acc (Chop_util.Units.ceil_div bits_per_instance pins * k_tr))
-        1 spec.Spec.chips
-    in
+    let dt_ii_max = st.st_dt_ii_max in
+    let pin_ii_floor = st.st_pin_ii_floor in
     let mem_ii_floor =
       List.fold_left
         (fun acc m ->
@@ -289,88 +652,134 @@ let integrate ctx ?ii_target comb =
             end)
           p.Chop_bad.Prediction.mem_bandwidth)
       comb;
-    (* --- urgency scheduling over pins and memory ports --- *)
-    let resources =
-      List.map
-        (fun ci ->
-          {
-            Chop_sched.Urgency.rname = "pins:" ^ ci.Spec.chip_name;
-            capacity = data_pins ctx ci.Spec.chip_name;
-          })
-        spec.Spec.chips
-      @ List.map
-          (fun m ->
-            {
-              Chop_sched.Urgency.rname = "mem:" ^ m.Chop_tech.Memory.mname;
-              capacity = m.Chop_tech.Memory.ports;
-            })
-          spec.Spec.memories
+    (* --- urgency scheduling over pins and memory ports (memoized) --- *)
+    let skey =
+      Array.map
+        (fun (p : Chop_bad.Prediction.t) ->
+          ( Chop_bad.Prediction.latency_main clocks p,
+            List.filter (fun (_, peak) -> peak > 0)
+              p.Chop_bad.Prediction.mem_bandwidth ))
+        picks
     in
-    let pu_task label =
-      let p = prediction_of label in
-      let duration = Chop_bad.Prediction.latency_main clocks p in
-      let demands =
-        List.filter_map
-          (fun (block, peak) ->
-            if peak <= 0 then None else Some ("mem:" ^ block, peak))
-          p.Chop_bad.Prediction.mem_bandwidth
-      in
-      let deps =
-        List.filter_map
-          (fun (t, _, _) ->
-            match t.Transfer.dst with
-            | Transfer.Partition_end l when l = label -> Some t.Transfer.dt_name
-            | Transfer.Partition_end _ | Transfer.World -> None)
-          dtm_base
-      in
-      { Chop_sched.Urgency.tname = "pu_" ^ label; duration; demands; deps }
-    in
-    let dt_task (t, bw, x) =
-      let demands =
-        if t.Transfer.cross_chip then
-          List.map (fun c -> ("pins:" ^ c, bw)) (Transfer.chips_of t)
-        else []
-      in
-      let deps =
-        match t.Transfer.src with
-        | Transfer.Partition_end l -> [ "pu_" ^ l ]
-        | Transfer.World -> []
-      in
-      { Chop_sched.Urgency.tname = t.Transfer.dt_name; duration = x; demands; deps }
-    in
-    let tasks =
-      List.map dt_task dtm_base
-      @ List.map
-          (fun p -> pu_task p.Chop_dfg.Partition.label)
-          spec.Spec.partitioning.Chop_dfg.Partition.parts
-    in
-    let sched_result =
-      try Chop_sched.Urgency.run ~resources tasks
-      with Chop_sched.Urgency.Unschedulable reason ->
-        raise (Stop (Structural reason, reason))
-    in
-    let dtms =
-      List.map
-        (fun (t, bw, x) ->
-          let wait_main = Chop_sched.Urgency.wait_of sched_result t.Transfer.dt_name in
-          (* B = D * (ceil(W/l) + X/l), section 2.5 *)
-          let buffer_bits =
-            if not t.Transfer.cross_chip then 0
-            else
-              let l = float_of_int ii_main in
-              let d = float_of_int t.Transfer.bits in
-              let w = float_of_int wait_main in
-              let xf = float_of_int x in
-              int_of_float (ceil (d *. (ceil (w /. l) +. (xf /. l))))
+    let sched_entry =
+      match Hashtbl.find_opt cache.c_sched skey with
+      | Some e ->
+          cache.c_sched_hits <- cache.c_sched_hits + 1;
+          e
+      | None ->
+          cache.c_sched_misses <- cache.c_sched_misses + 1;
+          let nchips = Array.length st.st_chips in
+          let pu_tasks =
+            Array.to_list
+              (Array.mapi
+                 (fun i (p : Chop_bad.Prediction.t) ->
+                   let duration = Chop_bad.Prediction.latency_main clocks p in
+                   let demands =
+                     List.filter_map
+                       (fun (block, peak) ->
+                         if peak <= 0 then None
+                         else Some ("mem:" ^ block, peak))
+                       p.Chop_bad.Prediction.mem_bandwidth
+                   in
+                   { Chop_sched.Urgency.tname = st.st_pu_names.(i); duration;
+                     demands; deps = st.st_pu_deps.(i) })
+                 picks)
           in
-          let states = max 1 (wait_main + x) in
-          let ctrl_shape =
-            Chop_tech.Pla.controller_shape ~states ~status_inputs:2
-              ~control_outputs:(4 + (bw / 4))
+          let tasks =
+            Array.to_list (Array.map (fun d -> d.ds_urg) st.st_dtm) @ pu_tasks
           in
-          { task = t; bandwidth = bw; transfer_main = x; wait_main; buffer_bits;
-            ctrl_shape })
-        dtm_base
+          let e =
+            match Chop_sched.Urgency.run ~resources:st.st_resources tasks with
+            | exception Chop_sched.Urgency.Unschedulable reason -> Error reason
+            | sched_result ->
+                let ss_waits =
+                  Array.map
+                    (fun d ->
+                      Chop_sched.Urgency.wait_of sched_result
+                        d.ds_task.Transfer.dt_name)
+                    st.st_dtm
+                in
+                let ss_shapes =
+                  Array.mapi
+                    (fun j d ->
+                      let states = max 1 (ss_waits.(j) + d.ds_transfer_main) in
+                      Chop_tech.Pla.controller_shape ~states ~status_inputs:2
+                        ~control_outputs:(4 + (d.ds_bandwidth / 4)))
+                    st.st_dtm
+                in
+                let ss_dtm_area = Array.make nchips 0. in
+                let ss_ctrl_delay = Array.make nchips 0. in
+                Array.iteri
+                  (fun j d ->
+                    let area = Chop_tech.Pla.area ss_shapes.(j) in
+                    let delay = Chop_tech.Pla.delay ss_shapes.(j) in
+                    for c = 0 to nchips - 1 do
+                      if d.ds_on_chip.(c) then
+                        ss_dtm_area.(c) <- ss_dtm_area.(c) +. area;
+                      if d.ds_member.(c) then
+                        ss_ctrl_delay.(c) <- Float.max ss_ctrl_delay.(c) delay
+                    done)
+                  st.st_dtm;
+                let ss_overhead = ref 0. in
+                Array.iteri
+                  (fun c cs ->
+                    if cs.cs_sharers <> 0 then
+                      ss_overhead :=
+                        Float.max !ss_overhead
+                          (cs.cs_pad_mux +. ss_ctrl_delay.(c)))
+                  st.st_chips;
+                let ss =
+                  { ss_id = cache.c_next_sched; ss_result = sched_result;
+                    ss_waits; ss_shapes; ss_dtm_area; ss_ctrl_delay;
+                    ss_overhead = !ss_overhead }
+                in
+                cache.c_next_sched <- cache.c_next_sched + 1;
+                Ok ss
+          in
+          Hashtbl.replace cache.c_sched skey e;
+          e
+    in
+    let ss =
+      match sched_entry with
+      | Ok ss -> ss
+      | Error reason -> raise (Stop (Structural reason, reason))
+    in
+    (* --- buffer sizing at this interval (memoized per schedule) --- *)
+    let istage =
+      let ikey = (ss.ss_id, ii_main) in
+      match Hashtbl.find_opt cache.c_ii ikey with
+      | Some i -> i
+      | None ->
+          let nchips = Array.length st.st_chips in
+          let is_buffer_area = Array.make nchips 0. in
+          let is_dtms =
+            Array.to_list
+              (Array.mapi
+                 (fun j d ->
+                   let t = d.ds_task in
+                   let wait_main = ss.ss_waits.(j) in
+                   (* B = D * (ceil(W/l) + X/l), section 2.5 *)
+                   let buffer_bits =
+                     if not t.Transfer.cross_chip then 0
+                     else
+                       let l = float_of_int ii_main in
+                       let dd = float_of_int t.Transfer.bits in
+                       let w = float_of_int wait_main in
+                       let xf = float_of_int d.ds_transfer_main in
+                       int_of_float (ceil (dd *. (ceil (w /. l) +. (xf /. l))))
+                   in
+                   if d.ds_holder >= 0 then
+                     is_buffer_area.(d.ds_holder) <-
+                       is_buffer_area.(d.ds_holder)
+                       +. (float_of_int buffer_bits *. register_cell_area);
+                   { task = t; bandwidth = d.ds_bandwidth;
+                     transfer_main = d.ds_transfer_main; wait_main;
+                     buffer_bits; ctrl_shape = ss.ss_shapes.(j) })
+                 st.st_dtm)
+          in
+          let i = { is_dtms; is_buffer_area } in
+          Hashtbl.replace cache.c_ii ikey i;
+          i
     in
     (* --- clock adjustment --- *)
     let clock_parts =
@@ -378,150 +787,73 @@ let integrate ctx ?ii_target comb =
         (fun acc (_, p) -> Float.max acc p.Chop_bad.Prediction.timing.clock_main)
         clocks.Chop_tech.Clocking.main comb
     in
-    let pin_sharers chip_name =
-      List.length
-        (List.filter
-           (fun d ->
-             d.task.Transfer.cross_chip
-             && List.mem chip_name (Transfer.chips_of d.task))
-           dtms)
-    in
-    let transfer_overhead =
-      List.fold_left
-        (fun acc ci ->
-          let sharers = pin_sharers ci.Spec.chip_name in
-          if sharers = 0 then acc
-          else
-            let pad = ci.Spec.package.Chop_tech.Chip.pad_delay in
-            let mux = Chop_tech.Wiring.mux_tree_delay ~fanin:sharers in
-            let dtm_ctrl =
-              List.fold_left
-                (fun m d ->
-                  if List.mem ci.Spec.chip_name (Transfer.chips_of d.task) then
-                    Float.max m (Chop_tech.Pla.delay d.ctrl_shape)
-                  else m)
-                0. dtms
-            in
-            Float.max acc ((2. *. pad) +. mux +. dtm_ctrl))
-        0. spec.Spec.chips
-    in
     let clock =
       Float.max clock_parts
-        (transfer_overhead /. float_of_int clocks.Chop_tech.Clocking.transfer_ratio)
+        (ss.ss_overhead /. float_of_int clocks.Chop_tech.Clocking.transfer_ratio)
     in
     let perf_ns = float_of_int ii_main *. clock in
-    let delay_cycles = sched_result.Chop_sched.Urgency.makespan in
+    let delay_cycles = ss.ss_result.Chop_sched.Urgency.makespan in
     let delay =
-      Chop_util.Triplet.scale
-        (float_of_int delay_cycles *. clock)
-        (Chop_util.Triplet.make ~low:0.95 ~likely:1.0 ~high:1.08)
+      Chop_util.Triplet.scale (float_of_int delay_cycles *. clock) delay_spread
     in
-    (* --- per-chip reports --- *)
+    (* --- per-chip reports (memoized per picks-on-chip fragment) --- *)
     let chip_reports =
-      List.map
-        (fun ci ->
-          let name = ci.Spec.chip_name in
-          let labels =
-            List.map
-              (fun p -> p.Chop_dfg.Partition.label)
-              (Spec.partitions_on spec name)
-          in
-          let budget = List.assoc name ctx.budgets in
-          let sharers = pin_sharers name in
-          let pin_mux_area =
-            if sharers <= 1 then 0.
-            else
-              let shared_pins =
-                List.fold_left
-                  (fun acc d ->
-                    if
-                      d.task.Transfer.cross_chip
-                      && List.mem name (Transfer.chips_of d.task)
-                    then max acc d.bandwidth
-                    else acc)
-                  0 dtms
-              in
-              float_of_int (shared_pins * (sharers - 1)) *. mux_cell_area
-          in
-          let dtm_area =
-            Chop_util.Listx.sum_byf
-              (fun d ->
-                if
-                  d.task.Transfer.cross_chip
-                  && List.mem name (Transfer.chips_of d.task)
-                then Chop_tech.Pla.area d.ctrl_shape
-                else 0.)
-              dtms
-          in
-          let buffer_area =
-            Chop_util.Listx.sum_byf
-              (fun d ->
-                let holder =
-                  match d.task.Transfer.dst_chip with
-                  | Some c -> c
-                  | None -> Option.value ~default:"" d.task.Transfer.src_chip
-                in
-                if holder = name then
-                  float_of_int d.buffer_bits *. register_cell_area
-                else 0.)
-              dtms
-          in
-          let memory_area =
-            Chop_util.Listx.sum_byf
-              (fun m ->
-                match
-                  ( m.Chop_tech.Memory.placement,
-                    Spec.memory_host spec m.Chop_tech.Memory.mname )
-                with
-                | Chop_tech.Memory.On_chip a, Some host when host = name -> a
-                | _ -> 0.)
-              spec.Spec.memories
-          in
-          let part_areas =
-            List.map (fun l -> (prediction_of l).Chop_bad.Prediction.area) labels
-          in
-          let fixed = pin_mux_area +. dtm_area +. buffer_area +. memory_area in
-          let area_parts = Chop_util.Triplet.exact fixed :: part_areas in
-          let data_pins_used =
-            List.fold_left
-              (fun acc d ->
-                if
-                  d.task.Transfer.cross_chip
-                  && List.mem name (Transfer.chips_of d.task)
-                then max acc d.bandwidth
-                else acc)
-              0 dtms
-          in
-          let signal_pins =
-            min ci.Spec.package.Chop_tech.Chip.pins
-              (data_pins_used + budget.Chop_tech.Chip.control
-              + budget.Chop_tech.Chip.memory_lines)
-          in
-          let available =
-            Chop_tech.Chip.usable_area ci.Spec.package ~signal_pins
-          in
-          let area_verdict =
-            Chop_bad.Feasibility.check_area crit ~available area_parts
-          in
-          let power =
-            Chop_util.Listx.sum_byf
-              (fun l -> (prediction_of l).Chop_bad.Prediction.power)
-              labels
-          in
-          {
-            instance = ci;
-            partition_labels = labels;
-            signal_pins;
-            pin_mux_area;
-            dtm_area;
-            buffer_area;
-            memory_area;
-            area_parts;
-            available;
-            area_verdict;
-            power;
-          })
-        spec.Spec.chips
+      Array.to_list
+        (Array.mapi
+           (fun c (cs : chip_static) ->
+             let ids =
+               Array.fold_right
+                 (fun pi acc -> pred_id cache.c_regs.(pi) picks.(pi) :: acc)
+                 cs.cs_label_idxs []
+             in
+             let ckey = (ss.ss_id, ii_main, ids) in
+             match Hashtbl.find_opt cache.c_chip.(c) ckey with
+             | Some cr ->
+                 cache.c_chip_hits <- cache.c_chip_hits + 1;
+                 cr
+             | None ->
+                 cache.c_chip_misses <- cache.c_chip_misses + 1;
+                 let dtm_area = ss.ss_dtm_area.(c) in
+                 let buffer_area = istage.is_buffer_area.(c) in
+                 let part_areas =
+                   Array.to_list
+                     (Array.map
+                        (fun pi -> picks.(pi).Chop_bad.Prediction.area)
+                        cs.cs_label_idxs)
+                 in
+                 let fixed =
+                   cs.cs_pin_mux_area +. dtm_area +. buffer_area
+                   +. cs.cs_memory_area
+                 in
+                 let area_parts = Chop_util.Triplet.exact fixed :: part_areas in
+                 let area_verdict =
+                   Chop_bad.Feasibility.check_area crit
+                     ~available:cs.cs_available area_parts
+                 in
+                 let power =
+                   Array.fold_left
+                     (fun acc pi ->
+                       acc +. picks.(pi).Chop_bad.Prediction.power)
+                     0. cs.cs_label_idxs
+                 in
+                 let cr =
+                   {
+                     instance = cs.cs_instance;
+                     partition_labels = cs.cs_labels;
+                     signal_pins = cs.cs_signal_pins;
+                     pin_mux_area = cs.cs_pin_mux_area;
+                     dtm_area;
+                     buffer_area;
+                     memory_area = cs.cs_memory_area;
+                     area_parts;
+                     available = cs.cs_available;
+                     area_verdict;
+                     power;
+                   }
+                 in
+                 Hashtbl.replace cache.c_chip.(c) ckey cr;
+                 cr)
+           st.st_chips)
     in
     (* --- overall verdict --- *)
     let verdict, failure =
@@ -569,9 +901,9 @@ let integrate ctx ?ii_target comb =
       perf_ns;
       delay_cycles;
       delay;
-      dtms;
+      dtms = istage.is_dtms;
       chip_reports;
-      task_schedule = Some sched_result;
+      task_schedule = Some ss.ss_result;
       verdict;
       failure;
     }
@@ -589,3 +921,51 @@ let integrate ctx ?ii_target comb =
       verdict = Chop_bad.Feasibility.Infeasible reason;
       failure;
     }
+
+let integrate ctx ?ii_target comb = integrate_cached (cache ctx) ?ii_target comb
+
+(* Provably-infeasible early exit.  Sound only for searches that let the
+   integration derive the interval (no [ii_target]): every rejection below
+   implies the full integration would have returned an [Infeasible]
+   verdict.  The area test relies on [Prob.of_sum] being exactly 0 when
+   the bound is below the summed lower bounds, which is decisive only when
+   the criteria demand a positive fit probability. *)
+let quick_check cache comb =
+  let ctx = cache.c_ctx in
+  match (ctx.budget_errors, ctx.statics) with
+  | _ :: _, _ | _, None -> true
+  | [], Some st -> (
+      st.st_dtm_error <> None
+      ||
+      let spec = ctx.spec in
+      let clocks = spec.Spec.clocks in
+      let crit = spec.Spec.criteria in
+      (* performance: the derived interval is at least the static floors
+         and the slowest pick; the clock at least the slowest pick's *)
+      let part_ii_max =
+        List.fold_left
+          (fun acc (_, p) -> max acc (Chop_bad.Prediction.ii_main clocks p))
+          1 comb
+      in
+      let ii_lb = max part_ii_max (max st.st_dt_ii_max st.st_pin_ii_floor) in
+      let clock_lb =
+        List.fold_left
+          (fun acc (_, p) ->
+            Float.max acc p.Chop_bad.Prediction.timing.clock_main)
+          clocks.Chop_tech.Clocking.main comb
+      in
+      float_of_int ii_lb *. clock_lb > crit.Chop_bad.Feasibility.perf_constraint
+      || rate_mismatch clocks comb <> None
+      || crit.Chop_bad.Feasibility.area_prob > 0.
+         && Array.exists
+              (fun cs ->
+                let low =
+                  List.fold_left
+                    (fun acc l ->
+                      acc
+                      +. Chop_util.Triplet.(
+                           (List.assoc l comb).Chop_bad.Prediction.area.low))
+                    cs.cs_static_area_low cs.cs_labels
+                in
+                low > cs.cs_available)
+              st.st_chips)

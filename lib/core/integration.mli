@@ -6,14 +6,23 @@
     urgency scheduling of all tasks over shared chip pins and memory ports,
     buffer sizes [B = D * (ceil(W/l) + X/l)], data-transfer-module
     controller PLAs, pin-multiplexing overhead, the adjusted clock cycle and
-    per-chip area feasibility. *)
+    per-chip area feasibility.
+
+    The work is staged: everything derivable from the spec alone (transfer
+    bandwidths and durations, scheduler resources, pin-mux and memory
+    areas, bonded pins) is computed once when the {!context} is built;
+    per-combination work that many combinations share (the urgency
+    schedule and everything derived from it, buffer sizes at a given
+    interval, per-chip reports for the picks landing on that chip) is
+    memoized in a {!cache}. *)
 
 type combination = (string * Chop_bad.Prediction.t) list
 (** One chosen prediction per partition label. *)
 
 type context
-(** Precomputed per-spec structure (transfer tasks, pin budgets); build once
-    and reuse across the many combinations a search explores. *)
+(** Precomputed per-spec structure (transfer tasks, pin budgets, scheduler
+    resources, per-chip constants); build once and reuse across the many
+    combinations a search explores. *)
 
 val context : Spec.t -> context
 val spec_of : context -> Spec.t
@@ -79,10 +88,68 @@ val integrate : context -> ?ii_target:int -> combination -> system
     infeasible rate mix, pin exhaustion or a data clash yields a [system]
     with an [Infeasible] verdict and whatever was computed up to that
     point.  @raise Invalid_argument when the combination does not cover the
-    partitioning exactly. *)
+    partitioning exactly.
+
+    Equivalent to [integrate_cached (cache ctx)] — a search integrating
+    many combinations should hold on to one {!cache} instead. *)
 
 val objectives : system -> float array
 (** [| perf_ns; likely delay; likely total area |] for inferiority pruning
     and design-space scatter plots. *)
 
 val total_area : system -> Chop_util.Triplet.t
+
+(** {1 Memoized integration}
+
+    A cache memoizes the stages of the integration that combinations
+    share: the urgency schedule (keyed by each partition's latency and
+    memory demands), buffer sizing (schedule x interval) and per-chip
+    reports (schedule x interval x the picks on that chip).  Results are
+    bit-identical to {!integrate}.  A cache is single-domain mutable
+    state — do not share one across domains; see {!session}. *)
+
+type cache
+
+val cache : context -> cache
+(** A fresh, empty cache for this context. *)
+
+val context_of_cache : cache -> context
+
+val integrate_cached : cache -> ?ii_target:int -> combination -> system
+(** As {!integrate}, reusing and filling [cache]. *)
+
+val quick_check : cache -> combination -> bool
+(** [quick_check cache comb] is [true] when the combination is provably
+    infeasible without running the integration: the optimistic
+    interval-times-clock lower bound already violates the performance
+    constraint, the rate mix is mismatched, or some chip cannot fit even
+    the optimistic (low) areas of its picks.  Sound only for the default
+    interval derivation — never consult it when forcing [ii_target].
+    [false] means the full integration must decide. *)
+
+type cache_stats = {
+  sched_hits : int;
+  sched_misses : int;
+  chip_hits : int;
+  chip_misses : int;
+}
+
+val cache_stats : cache -> cache_stats
+
+val chip_cache_hits : cache -> int
+(** [= (cache_stats c).chip_hits]: per-chip report fragments reused. *)
+
+(** {2 Per-domain caches}
+
+    Parallel searches run slices on a pool of domains.  A [session]
+    identifies one search over one context; {!domain_cache} returns a
+    cache private to the calling domain, created on first use and reused
+    across all of that domain's slices of the same session. *)
+
+type session
+
+val session : context -> session
+
+val domain_cache : session -> cache
+(** The calling domain's cache for this session.  Entering a new session
+    drops the domain's previous cache. *)

@@ -27,16 +27,24 @@ let violated_partitions system =
   | Integration.Delay_exceeded | Integration.Structural _ ->
       []
 
-let run ?(keep_all = false) ctx per_partition =
+let run ?(keep_all = false) ?metrics ctx per_partition =
   let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
   let spec = Integration.spec_of ctx in
   let clocks = spec.Spec.clocks in
   let trials = ref 0 and integrations = ref 0 in
   let feasible = ref [] and explored = ref [] in
+  (* one cache across every interval and serialization step: the walk
+     revisits near-identical combinations constantly (each tentative
+     serialization changes a single pick), so the staged integration
+     shares the schedule and sibling-chip work.  quick_check is NOT
+     consulted: the interval is forced here ([ii_target]), for which the
+     early exit is unsound. *)
+  let cache = Integration.cache ctx in
   let integrate ~l comb =
     incr trials;
     incr integrations;
-    let system = Integration.integrate ctx ~ii_target:l comb in
+    let system = Integration.integrate_cached cache ~ii_target:l comb in
     if keep_all then explored := system :: !explored;
     system
   in
@@ -114,8 +122,22 @@ let run ?(keep_all = false) ctx per_partition =
     {
       Search.implementation_trials = !trials;
       integrations = !integrations;
+      integrations_avoided = 0;
       feasible_trials = List.length !feasible;
       cpu_seconds = Sys.time () -. t0;
     }
   in
+  let wall = Unix.gettimeofday () -. wall0 in
+  Option.iter
+    (fun r ->
+      r :=
+        {
+          Search.search_wall_seconds = wall;
+          search_busy_seconds = wall;
+          merge_wall_seconds = 0.;
+          worker_busy_seconds = [||];
+          chunk_count = 0;
+          chip_cache_hits = Integration.chip_cache_hits cache;
+        })
+    metrics;
   Search.finalize ~keep_all ~feasible:!feasible ~explored:!explored stats

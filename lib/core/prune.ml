@@ -1,0 +1,92 @@
+(* Dominance pre-pruning of per-partition implementation lists.
+
+   Before the combination search runs, each partition's list is reduced to
+   implementations that could still contribute to the Pareto front of full
+   systems: an implementation is dropped only when another one on the SAME
+   chip is provably at least as good in every way the system integration
+   can observe.  Because the search cost is the cartesian product of the
+   list lengths, this shrinks the space combinatorially before a single
+   integration runs.
+
+   Soundness.  Integration reads exactly these fields of a pick: style and
+   ii_main (rate-mismatch rule), latency_main and mem_bandwidth (urgency
+   schedule, memory floors and port sanity), clock_main (clock adjustment),
+   the area triplet (chip area check), and power.  Two picks agreeing on
+   (style, ii_main, latency_main, mem_bandwidth) are therefore perfectly
+   interchangeable for every schedule-derived quantity — same DTM waits,
+   buffers, controller shapes, makespan and transfer overhead — so within
+   such a group a pick dominated on (clock_main, area.low, area.likely,
+   area.high, area variance, power) can only produce systems that are
+   themselves dominated (or identical): the system clock, performance,
+   delay and per-chip area/power checks are all monotone in those axes.
+   The variance axis matters because the chip-area check is probabilistic:
+   a smaller-but-wider area triplet could otherwise have a lower
+   probability of fitting than the pick it replaced.  Equal vectors
+   collapse to the first occurrence.
+
+   The initiation interval and latency are deliberately part of the group
+   key, not the dominance objectives: a faster pick changes the urgency
+   schedule and the buffer formula B = D*(ceil(W/l) + X/l) in ways that
+   are not monotone (a shorter interval grows buffers), so trading them
+   off is the search's job, not the pruner's. *)
+
+let group_key clocks (p : Chop_bad.Prediction.t) =
+  ( p.Chop_bad.Prediction.style,
+    Chop_bad.Prediction.ii_main clocks p,
+    Chop_bad.Prediction.latency_main clocks p,
+    p.Chop_bad.Prediction.mem_bandwidth )
+
+let objectives (p : Chop_bad.Prediction.t) =
+  let a = p.Chop_bad.Prediction.area in
+  [|
+    p.Chop_bad.Prediction.timing.Chop_bad.Prediction.clock_main;
+    Chop_util.Triplet.(a.low);
+    Chop_util.Triplet.(a.likely);
+    Chop_util.Triplet.(a.high);
+    Chop_util.Triplet.variance a;
+    p.Chop_bad.Prediction.power;
+  |]
+
+let implementations ~clocks preds =
+  let arr = Array.of_list preds in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  let groups = Hashtbl.create 16 in
+  Array.iteri
+    (fun i p ->
+      let k = group_key clocks p in
+      Hashtbl.replace groups k
+        (i :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    arr;
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ rev_idxs ->
+      let idxs = List.rev rev_idxs in
+      let kept, _ =
+        Chop_util.Pareto.reduce ~objectives:(fun i -> objectives arr.(i)) idxs
+      in
+      let kept_set = Hashtbl.create (List.length kept) in
+      List.iter (fun i -> Hashtbl.replace kept_set i ()) kept;
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem kept_set i) then begin
+            keep.(i) <- false;
+            incr dropped
+          end)
+        idxs)
+    groups;
+  let kept_rev = ref [] in
+  Array.iteri (fun i p -> if keep.(i) then kept_rev := p :: !kept_rev) arr;
+  (List.rev !kept_rev, !dropped)
+
+let per_partition ~clocks lists =
+  let total = ref 0 in
+  let lists =
+    List.map
+      (fun (label, preds) ->
+        let kept, dropped = implementations ~clocks preds in
+        total := !total + dropped;
+        (label, kept))
+      lists
+  in
+  (lists, !total)

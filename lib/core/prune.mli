@@ -1,0 +1,28 @@
+(** Dominance pre-pruning of per-partition implementation lists.
+
+    Run before the combination search, this drops implementations that
+    provably cannot contribute a new point to the Pareto front of full
+    systems, shrinking the cartesian product the search walks.  An
+    implementation is dropped only in favour of one with the same style,
+    initiation interval, latency and memory-bandwidth signature — i.e. one
+    that is interchangeable for every schedule-derived integration
+    quantity — that dominates it on (clock, area low/likely/high, area
+    variance, power).  The best feasible design and the feasible Pareto
+    front of the search are preserved exactly; only dominated interior
+    points (the grey mass of Figures 7/8) disappear from keep-all dumps.
+    [--no-prune] (or {!Explore.Config.t}[.pre_prune = false]) restores the
+    exhaustive behaviour. *)
+
+val implementations :
+  clocks:Chop_tech.Clocking.t ->
+  Chop_bad.Prediction.t list ->
+  Chop_bad.Prediction.t list * int
+(** [implementations ~clocks preds] returns the kept list (original order
+    preserved) and the number of dominated implementations dropped. *)
+
+val per_partition :
+  clocks:Chop_tech.Clocking.t ->
+  (string * Chop_bad.Prediction.t list) list ->
+  (string * Chop_bad.Prediction.t list) list * int
+(** {!implementations} applied to every partition's list; the count sums
+    the drops across partitions. *)

@@ -1,6 +1,7 @@
 type stats = {
   implementation_trials : int;
   integrations : int;
+  integrations_avoided : int;
   feasible_trials : int;
   cpu_seconds : float;
 }
@@ -12,8 +13,8 @@ type outcome = {
 }
 
 let empty_stats =
-  { implementation_trials = 0; integrations = 0; feasible_trials = 0;
-    cpu_seconds = 0. }
+  { implementation_trials = 0; integrations = 0; integrations_avoided = 0;
+    feasible_trials = 0; cpu_seconds = 0. }
 
 type parallel_metrics = {
   search_wall_seconds : float;
@@ -21,11 +22,13 @@ type parallel_metrics = {
   merge_wall_seconds : float;
   worker_busy_seconds : float array;
   chunk_count : int;
+  chip_cache_hits : int;
 }
 
 let no_parallel_metrics =
   { search_wall_seconds = 0.; search_busy_seconds = 0.;
-    merge_wall_seconds = 0.; worker_busy_seconds = [||]; chunk_count = 0 }
+    merge_wall_seconds = 0.; worker_busy_seconds = [||]; chunk_count = 0;
+    chip_cache_hits = 0 }
 
 let to_csv systems =
   let buf = Buffer.create 1024 in
@@ -97,6 +100,8 @@ module Slice = struct
   type t = {
     mutable trials : int;
     mutable integrations : int;
+    mutable avoided : int;
+    mutable cache_hits : int;
     mutable feasible : int;
     mutable front : Integration.system list;
     mutable admitted_rev : Integration.system list;
@@ -104,10 +109,19 @@ module Slice = struct
   }
 
   let create () =
-    { trials = 0; integrations = 0; feasible = 0; front = [];
-      admitted_rev = []; explored_rev = [] }
+    { trials = 0; integrations = 0; avoided = 0; cache_hits = 0; feasible = 0;
+      front = []; admitted_rev = []; explored_rev = [] }
 
   let step sl = sl.trials <- sl.trials + 1
+
+  let avoid sl =
+    sl.trials <- sl.trials + 1;
+    sl.avoided <- sl.avoided + 1
+
+  let set_cache_hits sl n = sl.cache_hits <- n
+
+  let cache_hit_total slices =
+    List.fold_left (fun acc sl -> acc + sl.cache_hits) 0 slices
 
   let record ~keep_all sl system =
     sl.trials <- sl.trials + 1;
@@ -149,6 +163,8 @@ module Slice = struct
           List.fold_left (fun acc sl -> acc + sl.trials) 0 slices;
         integrations =
           List.fold_left (fun acc sl -> acc + sl.integrations) 0 slices;
+        integrations_avoided =
+          List.fold_left (fun acc sl -> acc + sl.avoided) 0 slices;
         (* the sequential searches count feasible *integrations*, not the
            final front size — sum the per-slice counters to match *)
         feasible_trials =

@@ -5,6 +5,9 @@ type stats = {
       (** combinations of partition implementations examined
           ("Partitioning Imp. Trials" in the paper's Tables 4 and 6) *)
   integrations : int;  (** full system-integration predictions performed *)
+  integrations_avoided : int;
+      (** combinations rejected by {!Integration.quick_check} before any
+          integration work (a subset of [implementation_trials]) *)
   feasible_trials : int;
   cpu_seconds : float;
 }
@@ -31,6 +34,9 @@ type parallel_metrics = {
   worker_busy_seconds : float array;
       (** per-participant busy seconds (index 0 = calling domain) *)
   chunk_count : int;  (** pool chunks handed out during the search *)
+  chip_cache_hits : int;
+      (** per-chip report fragments served from the integration cache;
+          depends on how slices land on domains, so it varies with [jobs] *)
 }
 
 val no_parallel_metrics : parallel_metrics
@@ -74,6 +80,10 @@ module Slice : sig
   type t = private {
     mutable trials : int;
     mutable integrations : int;
+    mutable avoided : int;
+        (** combinations {!avoid}ed via {!Integration.quick_check} *)
+    mutable cache_hits : int;
+        (** integration-cache chip hits attributed to this slice *)
     mutable feasible : int;
         (** feasible integrations seen by this slice — summed by {!merge}
             into [stats.feasible_trials], matching the sequential
@@ -90,6 +100,16 @@ module Slice : sig
 
   val step : t -> unit
   (** Count a considered combination (or pruned stem) without integrating. *)
+
+  val avoid : t -> unit
+  (** Count a combination rejected by {!Integration.quick_check}: a trial,
+      but neither an integration nor an explored design. *)
+
+  val set_cache_hits : t -> int -> unit
+  (** Attribute integration-cache chip hits to this slice (the delta of
+      {!Integration.chip_cache_hits} across the slice's run). *)
+
+  val cache_hit_total : t list -> int
 
   val record : keep_all:bool -> t -> Integration.system -> unit
   (** Count an integration, append to the explored list when [keep_all],

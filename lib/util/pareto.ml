@@ -20,3 +20,20 @@ let frontier ~objectives xs =
     vals
 
 let frontier_count ~objectives xs = List.length (frontier ~objectives xs)
+
+let reduce ~objectives xs =
+  let arr = Array.of_list xs in
+  let objs = Array.map objectives arr in
+  let n = Array.length arr in
+  let dropped = ref 0 in
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    let dead = ref false in
+    for j = 0 to n - 1 do
+      if (not !dead) && j <> i then
+        if dominates objs.(j) objs.(i) then dead := true
+        else if j < i && objs.(j) = objs.(i) then dead := true
+    done;
+    if !dead then incr dropped else kept := arr.(i) :: !kept
+  done;
+  (!kept, !dropped)

@@ -15,3 +15,9 @@ val frontier : objectives:('a -> float array) -> 'a list -> 'a list
 
 val frontier_count : objectives:('a -> float array) -> 'a list -> int
 (** Number of elements on the frontier (without building the list twice). *)
+
+val reduce : objectives:('a -> float array) -> 'a list -> 'a list * int
+(** [reduce ~objectives xs] keeps the non-dominated elements of [xs] in
+    their original order, like {!frontier}, but additionally collapses
+    elements with identical objective vectors to the first occurrence.
+    Returns the kept list and the number of elements dropped. *)

@@ -508,8 +508,15 @@ let test_explore_bad_stats () =
     r.Explore.bad
 
 let test_keep_all_explodes_space () =
-  let pruned = Explore.run Explore.Enumeration (exp1 2) in
-  let all = Explore.run ~keep_all:true Explore.Enumeration (exp1 2) in
+  let run_e ?(keep_all = false) ~pre_prune spec =
+    Explore.with_engine
+      (Explore.Config.make ~heuristic:Explore.Enumeration ~keep_all ~pre_prune
+         ())
+      spec Explore.Engine.run
+  in
+  let pruned = run_e ~pre_prune:true (exp1 2) in
+  (* the full Figure 7/8 dump needs the pre-pruner off *)
+  let all = run_e ~keep_all:true ~pre_prune:false (exp1 2) in
   let explored = List.length all.Explore.outcome.Search.explored in
   Alcotest.(check bool) "keep-all records everything" true (explored > 100);
   Alcotest.(check int) "pruned records nothing" 0
@@ -519,7 +526,14 @@ let test_keep_all_explodes_space () =
     > pruned.Explore.outcome.Search.stats.Search.implementation_trials);
   let uniq = Explore.unique_designs all.Explore.outcome.Search.explored in
   Alcotest.(check bool) "unique <= total" true (uniq <= explored);
-  Alcotest.(check bool) "duplicates exist" true (uniq < explored)
+  Alcotest.(check bool) "duplicates exist" true (uniq < explored);
+  (* dominance pre-pruning shrinks the dump but never the feasible front *)
+  let defaulted = run_e ~keep_all:true ~pre_prune:true (exp1 2) in
+  Alcotest.(check bool) "pre-pruned dump is no larger" true
+    (List.length defaulted.Explore.outcome.Search.explored <= explored);
+  Alcotest.(check string) "pre-pruning preserves the feasible front"
+    (Search.to_csv all.Explore.outcome.Search.feasible)
+    (Search.to_csv defaulted.Explore.outcome.Search.feasible)
 
 let test_candidate_intervals_within_constraint () =
   let spec = exp1 2 in

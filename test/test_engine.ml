@@ -65,9 +65,13 @@ let check_matches_legacy ~heuristic spec_of () =
    counts must agree. *)
 let check_feasible_trials_hand_count ~jobs () =
   let spec = ar_spec () in
+  (* pre-pruning and quick_check both drop only *infeasible-or-dominated*
+     work, but the hand count below integrates the full product, so run
+     the engine on the same full product ([pre_prune:false]; quick_check
+     rejections are still fine — they are infeasible by construction) *)
   let config =
-    Explore.Config.make ~heuristic:Explore.Enumeration ~prune:true ~jobs
-      ~cache:Explore.Config.Off ()
+    Explore.Config.make ~heuristic:Explore.Enumeration ~prune:true
+      ~pre_prune:false ~jobs ~cache:Explore.Config.Off ()
   in
   Explore.with_engine config spec @@ fun engine ->
   let per_partition, _ = Explore.Engine.predictions engine in
