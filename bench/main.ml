@@ -1095,7 +1095,8 @@ let bench_explore_json ?(smoke = false) () =
            %.6f, \"search_wall_seconds\": %.6f, \
            \"search_busy_seconds\": %.6f, \"merge_wall_seconds\": \
            %.6f, \"chunks\": %d, \"cache_hits\": %d, \
-           \"cache_misses\": %d, \"pre_prune\": %b, \"trials\": %d, \
+           \"cache_misses\": %d, \"cache_evictions\": %d, \
+           \"pre_prune\": %b, \"trials\": %d, \
            \"integrations\": %d, \"integrations_avoided\": %d, \
            \"pruned_impls\": %d, \"chip_cache_hits\": %d, \
            \"combinations_per_second\": %.1f}"
@@ -1107,7 +1108,8 @@ let bench_explore_json ?(smoke = false) () =
           m.Chop.Explore.Metrics.merge_wall_seconds
           m.Chop.Explore.Metrics.chunk_count
           m.Chop.Explore.Metrics.cache_hits
-          m.Chop.Explore.Metrics.cache_misses pre_prune trials
+          m.Chop.Explore.Metrics.cache_misses
+          m.Chop.Explore.Metrics.cache_evictions pre_prune trials
           st.Chop.Search.integrations st.Chop.Search.integrations_avoided
           m.Chop.Explore.Metrics.pruned_impls
           m.Chop.Explore.Metrics.chip_cache_hits per_second)
@@ -1166,7 +1168,154 @@ let bench_explore_json ?(smoke = false) () =
 
 (* ------------------------------------------------------------------ *)
 
+(* [bench serve]: load-generate against an in-process chop server over a
+   Unix-domain socket.  Cold requests hit fresh engine keys (engine
+   construction + BAD prediction); warm requests repeat the first key and
+   ride the persistent engine and shared prediction cache.  Writes
+   BENCH_serve.json (also in --smoke mode: the file is the acceptance
+   artifact). *)
+let bench_serve_json ?(smoke = false) () =
+  let module Server = Chop_server.Server in
+  let module Client = Chop_server.Client in
+  let module Protocol = Chop_server.Protocol in
+  section
+    (if smoke then "bench serve --smoke: cold vs warm request latency"
+     else "bench serve: cold vs warm request latency");
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chop-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let concurrency = 2 and queue = 32 and jobs = 1 in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        socket_path = Some socket_path;
+        concurrency;
+        queue;
+        jobs;
+        log = None;
+        handle_signals = false;
+      }
+  in
+  let server_thread = Thread.create Server.serve server in
+  let client =
+    (* the listener is up before [create] returns; retry briefly anyway *)
+    let rec retry n =
+      match Client.connect socket_path with
+      | c -> c
+      | exception Unix.Unix_error _ when n > 0 ->
+          Thread.delay 0.05;
+          retry (n - 1)
+    in
+    retry 40
+  in
+  let request ~id ~perf =
+    Protocol.request_to_json
+      {
+        Protocol.id;
+        op = Protocol.Explore;
+        deadline_ms = None;
+        params =
+          {
+            Protocol.default_params with
+            benchmark = "ewf";
+            partitions = 2;
+            perf;
+            keep_all = true;
+          };
+      }
+  in
+  let timed_rpc json =
+    let t0 = Unix.gettimeofday () in
+    match Client.rpc client json with
+    | Ok resp ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        if Protocol.response_ok resp <> Some true then
+          failwith "bench serve: request failed";
+        ms
+    | Error msg -> failwith ("bench serve: " ^ msg)
+  in
+  let cold_n = if smoke then 3 else 8 in
+  let warm_n = if smoke then 12 else 40 in
+  let t_start = Unix.gettimeofday () in
+  (* distinct perf constraints -> distinct engine keys -> every request
+     builds its engine and predicts from an empty per-engine state *)
+  let cold =
+    List.init cold_n (fun i ->
+        timed_rpc
+          (request
+             ~id:(Printf.sprintf "cold-%d" i)
+             ~perf:(30000. +. (100. *. float_of_int i))))
+  in
+  (* repeats of the first cold key: warm engine, warm prediction cache *)
+  let warm =
+    List.init warm_n (fun i ->
+        timed_rpc (request ~id:(Printf.sprintf "warm-%d" i) ~perf:30000.))
+  in
+  let wall = Unix.gettimeofday () -. t_start in
+  Client.close client;
+  Server.stop server;
+  Thread.join server_thread;
+  let total = cold_n + warm_n in
+  let req_per_s = if wall > 0. then float_of_int total /. wall else 0. in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  in
+  let stats_of samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let mean = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a) in
+    (percentile a 0.50, percentile a 0.95, percentile a 0.99, mean)
+  in
+  let c50, c95, c99, cmean = stats_of cold in
+  let w50, w95, w99, wmean = stats_of warm in
+  Printf.printf "  %d requests in %.3f s (%.1f req/s)\n" total wall req_per_s;
+  Printf.printf
+    "  cold (n=%d): p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  mean %.3f ms\n"
+    cold_n c50 c95 c99 cmean;
+  Printf.printf
+    "  warm (n=%d): p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  mean %.3f ms\n"
+    warm_n w50 w95 w99 wmean;
+  let warm_faster = w50 < c50 in
+  Printf.printf "  warm p50 < cold p50: %b (%.2fx)\n" warm_faster
+    (if w50 > 0. then c50 /. w50 else 0.);
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"host_cores\": %d,\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"concurrency\": %d,\n\
+    \  \"queue\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"wall_seconds\": %.6f,\n\
+    \  \"requests_per_second\": %.1f,\n\
+    \  \"cold\": {\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+     \"p99_ms\": %.3f, \"mean_ms\": %.3f},\n\
+    \  \"warm\": {\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+     \"p99_ms\": %.3f, \"mean_ms\": %.3f},\n\
+    \  \"warm_p50_lt_cold_p50\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (if smoke then "smoke" else "full")
+    concurrency queue jobs total wall req_per_s cold_n c50 c95 c99 cmean
+    warm_n w50 w95 w99 wmean warm_faster;
+  close_out oc;
+  print_endline "  wrote BENCH_serve.json";
+  if not warm_faster then begin
+    prerr_endline "bench serve: warm p50 was not below cold p50";
+    exit 1
+  end
+
 let () =
+  if Array.exists (fun a -> a = "serve") Sys.argv then begin
+    bench_serve_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "--explore-json-only") Sys.argv then begin
     bench_explore_json ();
     exit 0

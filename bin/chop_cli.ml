@@ -6,28 +6,21 @@
      predict   show BAD's predicted implementations for one partition
      dot       emit a Graphviz rendering of a (partitioned) benchmark
      advise    what-if feasibility probe while varying chips/constraints
-     bench-info  list built-in benchmark graphs *)
+     serve     long-running exploration service over a socket or stdio
+     request   one request against a running serve daemon
+     bench-info  list built-in benchmark graphs
+
+   The benchmark table, spec assembly and result rendering live in
+   [Chop_server.Ops], shared with the serve daemon — which is what makes
+   a serve response byte-identical to the CLI's output. *)
 
 open Cmdliner
+module Ops = Chop_server.Ops
 
-let benchmarks =
-  [
-    ("ar", fun () -> Chop_dfg.Benchmarks.ar_lattice_filter ());
-    ("ewf", fun () -> Chop_dfg.Benchmarks.elliptic_wave_filter ());
-    ("fir16", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:16 ());
-    ("fir8", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:8 ());
-    ("diffeq", fun () -> Chop_dfg.Benchmarks.diffeq ());
-    ("dct8", fun () -> Chop_dfg.Benchmarks.dct8 ());
-  ]
+let benchmarks = Ops.benchmarks
 
 let graph_of_name name =
-  match List.assoc_opt name benchmarks with
-  | Some f -> Ok (f ())
-  | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown benchmark %S (try: %s)" name
-              (String.concat ", " (List.map fst benchmarks))))
+  Result.map_error (fun m -> `Msg m) (Ops.graph_of_name name)
 
 let graph_conv =
   let parse s = graph_of_name s in
@@ -50,10 +43,12 @@ let package_arg =
   let package_conv =
     Arg.conv
       ( (fun s ->
-          match s with
-          | "64" | "pkg64" -> Ok Chop_tech.Mosis.package_64
-          | "84" | "pkg84" -> Ok Chop_tech.Mosis.package_84
-          | _ -> Error (`Msg "package must be 64 or 84")),
+          let pins =
+            match s with "pkg64" -> "64" | "pkg84" -> "84" | s -> s
+          in
+          match int_of_string_opt pins with
+          | Some n -> Result.map_error (fun m -> `Msg m) (Ops.package_of_pins n)
+          | None -> Error (`Msg "package must be 64 or 84")),
         fun ppf c -> Format.fprintf ppf "%s" c.Chop_tech.Chip.pkg_name )
   in
   Arg.(
@@ -82,16 +77,7 @@ let multicycle_arg =
 let heuristic_arg =
   let heuristic_conv =
     Arg.conv
-      ( (fun s ->
-          match s with
-          | "e" | "E" | "enum" -> Ok Chop.Explore.Enumeration
-          | "i" | "I" | "iter" -> Ok Chop.Explore.Iterative
-          | "b" | "B" | "bb" -> Ok Chop.Explore.Branch_bound
-          | _ ->
-              Error
-                (`Msg
-                   "heuristic must be 'e' (enumeration), 'i' (iterative) or \
-                    'b' (branch-and-bound)")),
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Ops.heuristic_of_string s)),
         fun ppf h -> Chop.Explore.pp_heuristic ppf h )
   in
   Arg.(
@@ -102,12 +88,7 @@ let heuristic_arg =
 let strategy_arg =
   let strategy_conv =
     Arg.conv
-      ( (fun s ->
-          match s with
-          | "levels" -> Ok Chop_baseline.Autopart.Levels
-          | "min-cut" -> Ok (Chop_baseline.Autopart.Min_cut 1)
-          | "random" -> Ok (Chop_baseline.Autopart.Random_balanced 42)
-          | _ -> Error (`Msg "strategy must be levels, min-cut or random")),
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Ops.strategy_of_string s)),
         fun ppf s ->
           Format.pp_print_string ppf (Chop_baseline.Autopart.strategy_name s) )
   in
@@ -118,24 +99,8 @@ let strategy_arg =
         ~doc:"Partition generation strategy: levels, min-cut or random.")
 
 let build_spec graph k package perf delay multicycle strategy =
-  let partitioning =
-    if k = 1 then Chop_dfg.Partition.whole graph
-    else Chop_baseline.Autopart.generate graph ~k strategy
-  in
-  let clocks =
-    if multicycle then
-      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:1
-        ~transfer_ratio:1
-    else
-      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:10
-        ~transfer_ratio:1
-  in
-  let style =
-    Chop_tech.Style.both
-      (if multicycle then Chop_tech.Style.Multi_cycle else Chop_tech.Style.Single_cycle)
-  in
-  Chop.Rig.custom ~graph ~partitioning ~package ~clocks ~style
-    ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
+  Ops.build_spec ~graph ~partitions:k ~package ~perf ~delay ~multicycle
+    ~strategy
 
 let jobs_arg =
   Arg.(
@@ -171,51 +136,16 @@ let explore_cmd =
         ~pre_prune:(not no_prune) ~jobs:(resolve_jobs jobs) ()
     in
     let report = Chop.Explore.with_engine config spec Chop.Explore.Engine.run in
-    let outcome = report.Chop.Explore.outcome in
-    if keep_all then begin
-      (* deterministic dump: no timings, so jobs=1 and jobs=N output are
-         byte-identical *)
-      print_string "# feasible\n";
-      print_string (Chop.Search.to_csv outcome.Chop.Search.feasible);
-      print_string "# explored\n";
-      print_string (Chop.Search.to_csv outcome.Chop.Search.explored);
-      exit 0
+    (* the deterministic block first (shared with the serve daemon, which
+       is what makes its responses byte-identical to this output), then
+       the wall-clock lines *)
+    print_string (Ops.render_explore spec ~keep_all ~csv ~verbose report);
+    if not (keep_all || csv) then begin
+      print_newline ();
+      print_string (Ops.render_explore_timing report);
+      if stats then
+        print_string (Chop.Explore.Metrics.summary report.Chop.Explore.metrics)
     end;
-    if csv then begin
-      print_string (Chop.Search.to_csv outcome.Chop.Search.explored);
-      exit 0
-    end;
-    List.iter
-      (fun b ->
-        Printf.printf "BAD %s: %d predictions, %d feasible, %d kept\n"
-          b.Chop.Explore.label b.Chop.Explore.total_predictions
-          b.Chop.Explore.feasible_predictions b.Chop.Explore.kept)
-      report.Chop.Explore.bad;
-    Printf.printf
-      "BAD: %.3f s wall (%.3f s busy across %d job(s)), cache %d hit(s) / %d \
-       miss(es)\n"
-      report.Chop.Explore.bad_wall_seconds report.Chop.Explore.bad_busy_seconds
-      report.Chop.Explore.jobs report.Chop.Explore.cache_hits
-      report.Chop.Explore.cache_misses;
-    let st = report.Chop.Explore.outcome.Chop.Search.stats in
-    Printf.printf "search: %d trials, %.3f s CPU\n\n"
-      st.Chop.Search.implementation_trials st.Chop.Search.cpu_seconds;
-    if stats then
-      print_string (Chop.Explore.Metrics.summary report.Chop.Explore.metrics);
-    (match report.Chop.Explore.outcome.Chop.Search.feasible with
-    | [] -> print_endline "no feasible implementation"
-    | feas ->
-        Printf.printf "%d feasible non-inferior implementation(s):\n" (List.length feas);
-        List.iter
-          (fun s ->
-            Printf.printf "  II %d cycles, delay %d cycles, clock %.0f ns (perf %.0f ns)\n"
-              s.Chop.Integration.ii_main s.Chop.Integration.delay_cycles
-              s.Chop.Integration.clock s.Chop.Integration.perf_ns)
-          feas;
-        if verbose then begin
-          print_newline ();
-          print_string (Chop.Report.guideline spec (List.hd feas))
-        end);
     0
   in
   let verbose =
@@ -259,20 +189,7 @@ let predict_cmd =
         (Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) ())
         spec Chop.Explore.Engine.predictions
     in
-    List.iteri
-      (fun i (label, preds) ->
-        if i = index || index < 0 then begin
-          let st = List.nth stats i in
-          Printf.printf "partition %s: %d predictions (%d feasible, %d kept)\n"
-            label st.Chop.Explore.total_predictions
-            st.Chop.Explore.feasible_predictions st.Chop.Explore.kept;
-          List.iter
-            (fun p ->
-              print_endline (Chop_bad.Prediction.describe spec.Chop.Spec.clocks p))
-            (Chop_util.Listx.take top preds);
-          print_newline ()
-        end)
-      per_partition;
+    print_string (Ops.render_predict spec ~index ~top per_partition stats);
     0
   in
   let index =
@@ -307,7 +224,7 @@ let advise_cmd =
     let spec = build_spec graph k package perf delay multicycle strategy in
     let config = Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) () in
     let j = Chop.Advisor.what_if ~config spec in
-    print_endline j.Chop.Advisor.advice;
+    print_string (Ops.render_advice j);
     if j.Chop.Advisor.feasible then 0 else 1
   in
   Cmd.v
@@ -365,10 +282,10 @@ let synth_cmd =
       | Some path -> Chop.Specfile.load path
       | None -> build_spec graph k package perf delay multicycle strategy
     in
-    let engine = Chop.Explore.Engine.create Chop.Explore.Config.default spec in
+    (* with_engine: the engine is closed even when synthesis raises *)
+    Chop.Explore.with_engine Chop.Explore.Config.default spec @@ fun engine ->
     let ctx = Chop.Explore.Engine.context engine in
     let report = Chop.Explore.Engine.run engine in
-    Chop.Explore.Engine.close engine;
     match report.Chop.Explore.outcome.Chop.Search.feasible with
     | [] ->
         print_endline "no feasible implementation to synthesize";
@@ -412,6 +329,245 @@ let spec_dump_cmd =
       const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
       $ delay_arg $ multicycle_arg $ strategy_arg)
 
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on. Without it, requests \
+              are read from stdin and answered on stdout.")
+
+let request_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the serve daemon.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-request budget in milliseconds; an expired request gets a \
+              structured $(i,deadline) error instead of a result.")
+
+let serve_cmd =
+  let run socket concurrency queue jobs deadline_ms quiet =
+    let server =
+      Chop_server.Server.create
+        {
+          Chop_server.Server.socket_path = socket;
+          concurrency;
+          queue;
+          jobs = resolve_jobs jobs;
+          default_deadline_ms = deadline_ms;
+          log = (if quiet then None else Some stderr);
+          handle_signals = true;
+        }
+    in
+    Chop_server.Server.serve server;
+    0
+  in
+  let concurrency =
+    Arg.(value & opt int 2
+         & info [ "c"; "concurrency" ] ~docv:"N"
+             ~doc:"Requests executed concurrently (scheduler threads).")
+  in
+  let queue =
+    Arg.(value & opt int 8
+         & info [ "q"; "queue" ] ~docv:"K"
+             ~doc:"Bounded request queue length; past $(b,K) waiting + \
+                   $(b,N) running, submissions are rejected with a \
+                   structured $(i,overloaded) error.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress the per-request access log (stderr).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent exploration service: newline-delimited JSON \
+             requests over a Unix socket (or stdin/stdout), answered from \
+             warm engines sharing one domain pool and prediction cache")
+    Term.(
+      const run $ serve_socket_arg $ concurrency $ queue $ jobs_arg
+      $ deadline_ms_arg $ quiet)
+
+let request_cmd =
+  let run socket op id benchmark partitions package perf delay multicycle
+      heuristic strategy keep_all csv no_prune verbose index top parameter
+      values deadline_ms raw =
+    let module P = Chop_server.Protocol in
+    match P.op_of_string op with
+    | Error msg ->
+        prerr_endline ("chop request: " ^ msg);
+        2
+    | Ok op -> (
+        let req =
+          {
+            P.id;
+            op;
+            deadline_ms;
+            params =
+              {
+                P.benchmark;
+                partitions;
+                package;
+                perf;
+                delay;
+                multicycle;
+                heuristic;
+                strategy;
+                keep_all;
+                csv;
+                no_prune;
+                verbose;
+                index;
+                top;
+                parameter;
+                values;
+              };
+          }
+        in
+        match Chop_server.Client.connect socket with
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "chop request: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            2
+        | client -> (
+            let result = Chop_server.Client.rpc client (P.request_to_json req) in
+            Chop_server.Client.close client;
+            match result with
+            | Error msg ->
+                prerr_endline ("chop request: " ^ msg);
+                2
+            | Ok resp -> (
+                if raw then begin
+                  print_endline (Chop_util.Json.print resp);
+                  match P.response_ok resp with Some true -> 0 | _ -> 1
+                end
+                else
+                  match P.response_ok resp with
+                  | Some true ->
+                      (match P.response_text resp with
+                      | Some text -> print_string text
+                      | None -> print_endline (Chop_util.Json.print resp));
+                      0
+                  | _ ->
+                      let code =
+                        Option.value ~default:"?" (P.response_error_code resp)
+                      in
+                      let message =
+                        match
+                          Option.bind (Chop_util.Json.member "error" resp)
+                            (fun e ->
+                              Option.bind (Chop_util.Json.member "message" e)
+                                Chop_util.Json.to_string_opt)
+                        with
+                        | Some m -> m
+                        | None -> Chop_util.Json.print resp
+                      in
+                      Printf.eprintf "chop request: %s: %s\n" code message;
+                      1)))
+  in
+  let op =
+    Arg.(value & opt string "explore"
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Operation: explore, predict, advise, sensitivity, stats \
+                   or ping.")
+  in
+  let id =
+    Arg.(value & opt string "cli"
+         & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed on the response.")
+  in
+  let benchmark =
+    Arg.(value & opt string "ar"
+         & info [ "g"; "graph" ] ~docv:"NAME"
+             ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8.")
+  in
+  let partitions =
+    Arg.(value & opt int 2
+         & info [ "k"; "partitions" ] ~docv:"K" ~doc:"Number of partitions.")
+  in
+  let package =
+    Arg.(value & opt int 84
+         & info [ "p"; "package" ] ~docv:"PINS" ~doc:"MOSIS package: 64 or 84.")
+  in
+  let perf =
+    Arg.(value & opt float 30000.
+         & info [ "perf" ] ~docv:"NS" ~doc:"Performance constraint (ns).")
+  in
+  let delay =
+    Arg.(value & opt float 30000.
+         & info [ "delay" ] ~docv:"NS" ~doc:"System delay constraint (ns).")
+  in
+  let multicycle =
+    Arg.(value & flag
+         & info [ "multi-cycle" ] ~doc:"Multi-cycle operation style.")
+  in
+  let heuristic =
+    Arg.(value & opt string "i"
+         & info [ "H"; "heuristic" ] ~docv:"E|I|B" ~doc:"Search heuristic.")
+  in
+  let strategy =
+    Arg.(value & opt string "levels"
+         & info [ "s"; "strategy" ] ~docv:"STRAT"
+             ~doc:"Partition generation strategy: levels, min-cut or random.")
+  in
+  let keep_all =
+    Arg.(value & flag
+         & info [ "keep-all" ]
+             ~doc:"Deterministic CSV dump of the feasible front and every \
+                   explored design point.")
+  in
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Deterministic CSV dump of the explored points.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ] ~doc:"Disable dominance pre-pruning.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Designer guidelines.")
+  in
+  let index =
+    Arg.(value & opt int (-1)
+         & info [ "i"; "index" ] ~docv:"N"
+             ~doc:"predict: partition index (-1 for all).")
+  in
+  let top =
+    Arg.(value & opt int 3
+         & info [ "t"; "top" ] ~docv:"N"
+             ~doc:"predict: predictions per partition.")
+  in
+  let parameter =
+    Arg.(value & opt string "perf"
+         & info [ "parameter" ] ~docv:"P"
+             ~doc:"sensitivity: perf, delay, clock or pins.")
+  in
+  let values =
+    Arg.(value & opt (list float) []
+         & info [ "values" ] ~docv:"V1,V2,..."
+             ~doc:"sensitivity: swept values, in order.")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the raw JSON response instead of the result text.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running serve daemon and print the result \
+             (byte-identical to the corresponding subcommand's deterministic \
+             output)")
+    Term.(
+      const run $ request_socket_arg $ op $ id $ benchmark $ partitions
+      $ package $ perf $ delay $ multicycle $ heuristic $ strategy $ keep_all
+      $ csv $ no_prune $ verbose $ index $ top $ parameter $ values
+      $ deadline_ms_arg $ raw)
+
 let bench_info_cmd =
   let run () =
     List.iter
@@ -433,6 +589,6 @@ let main_cmd =
     (Cmd.info "chop" ~version:"1.0"
        ~doc:"CHOP: a constraint-driven system-level partitioner (DAC 1991)")
     [ explore_cmd; predict_cmd; dot_cmd; advise_cmd; autosearch_cmd;
-      synth_cmd; spec_dump_cmd; bench_info_cmd ]
+      synth_cmd; spec_dump_cmd; serve_cmd; request_cmd; bench_info_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

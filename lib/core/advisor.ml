@@ -97,8 +97,7 @@ type judgement = {
   advice : string;
 }
 
-let what_if ?(config = Explore.Config.default) spec =
-  let report = Explore.Engine.run (Explore.Engine.create config spec) in
+let judge spec (report : Explore.report) =
   match report.Explore.outcome.Search.feasible with
   | best :: _ ->
       {
@@ -124,6 +123,11 @@ let what_if ?(config = Explore.Config.default) spec =
              relaxing constraints, adding chips or repartitioning"
             report.Explore.outcome.Search.stats.Search.implementation_trials;
       }
+
+let what_if ?(config = Explore.Config.default) spec =
+  (* with_engine, not a bare create: a probe configured with jobs > 1
+     would otherwise leak its worker domains until the Gc backstop *)
+  judge spec (Explore.with_engine config spec Explore.Engine.run)
 
 let optimize_memory_hosts ?config spec =
   let on_chip_blocks =

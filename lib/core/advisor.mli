@@ -34,11 +34,18 @@ type judgement = {
   advice : string;
 }
 
+val judge : Spec.t -> Explore.report -> judgement
+(** The judgement an exploration report supports — {!what_if} without the
+    exploration.  Callers holding a warm {!Explore.Engine} (the serving
+    layer) run the engine themselves and judge the report, keeping the
+    advice text identical to {!what_if}'s by construction. *)
+
 val what_if : ?config:Explore.Config.t -> Spec.t -> judgement
-(** Quick feasibility probe.  [config] defaults to {!Explore.Config.default}
-    (iterative heuristic, single job, shared prediction cache) — repeated
-    probes over related specs reuse cached BAD predictions for the
-    partitions the modification did not touch. *)
+(** Quick feasibility probe: {!judge} over a fresh engine's run.  [config]
+    defaults to {!Explore.Config.default} (iterative heuristic, single
+    job, shared prediction cache) — repeated probes over related specs
+    reuse cached BAD predictions for the partitions the modification did
+    not touch. *)
 
 val optimize_memory_hosts :
   ?config:Explore.Config.t -> Spec.t -> Spec.t * judgement

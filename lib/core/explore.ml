@@ -1,5 +1,7 @@
 type heuristic = Enumeration | Iterative | Branch_bound
 
+exception Cancelled
+
 type bad_stats = {
   label : string;
   total_predictions : int;
@@ -41,6 +43,7 @@ module Metrics = struct
     chunk_count : int;
     cache_hits : int;
     cache_misses : int;
+    cache_evictions : int;
     pruned_impls : int;
     integrations_avoided : int;
     chip_cache_hits : int;
@@ -51,8 +54,8 @@ module Metrics = struct
   let zero =
     { predict = zero_phase; search = zero_phase; merge_wall_seconds = 0.;
       worker_busy_seconds = [||]; chunk_count = 0; cache_hits = 0;
-      cache_misses = 0; pruned_impls = 0; integrations_avoided = 0;
-      chip_cache_hits = 0 }
+      cache_misses = 0; cache_evictions = 0; pruned_impls = 0;
+      integrations_avoided = 0; chip_cache_hits = 0 }
 
   (* elementwise sum, padding the shorter array with zeros *)
   let add_worker_busy a b =
@@ -75,12 +78,12 @@ module Metrics = struct
       (Printf.sprintf "%-8s %8.3f         -\n" "merge" m.merge_wall_seconds);
     Buffer.add_string buf
       (Printf.sprintf "workers: %d busy [%s] s, %d chunk(s), cache %d hit(s) \
-                       / %d miss(es)\n"
+                       / %d miss(es) / %d eviction(s)\n"
          (Array.length m.worker_busy_seconds)
          (String.concat "/"
             (Array.to_list
                (Array.map (Printf.sprintf "%.3f") m.worker_busy_seconds)))
-         m.chunk_count m.cache_hits m.cache_misses);
+         m.chunk_count m.cache_hits m.cache_misses m.cache_evictions);
     Buffer.add_string buf
       (Printf.sprintf
          "search: %d impl(s) pre-pruned, %d integration(s) avoided, %d \
@@ -123,25 +126,33 @@ module Engine = struct
     config : Config.t;
     spec : Spec.t;
     pool : Chop_util.Pool.t;
+    owns_pool : bool;
+        (* a pool passed in by the caller (the serving layer shares one
+           pool across every engine) outlives the engine: close must not
+           shut it down *)
     cache : Pred_cache.t option;
     ctx : Integration.context;
     mutable closed : bool;
   }
 
-  let create (config : Config.t) spec =
+  let create ?pool (config : Config.t) spec =
     let cache =
       match config.Config.cache with
       | Config.Shared -> Some Pred_cache.shared
       | Config.Off -> None
       | Config.Custom c -> Some c
     in
-    { config; spec;
-      pool = Chop_util.Pool.create ~jobs:config.Config.jobs ();
-      cache; ctx = Integration.context spec; closed = false }
+    let pool, owns_pool =
+      match pool with
+      | Some p -> (p, false)
+      | None -> (Chop_util.Pool.create ~jobs:config.Config.jobs (), true)
+    in
+    { config; spec; pool; owns_pool; cache; ctx = Integration.context spec;
+      closed = false }
 
   let close e =
     e.closed <- true;
-    Chop_util.Pool.shutdown e.pool
+    if e.owns_pool then Chop_util.Pool.shutdown e.pool
 
   let config e = e.config
   let spec e = e.spec
@@ -155,7 +166,8 @@ module Engine = struct
      full entry (raw list, feasible count, pruned list) through the cache.
      Returns the entry plus whether the cache served the raw predictions
      and the worker-local busy time. *)
-  let predict_partition e part =
+  let predict_partition ~interrupt e part =
+    if interrupt () then raise Cancelled;
     let t0 = Unix.gettimeofday () in
     let spec = e.spec in
     let label = part.Chop_dfg.Partition.label in
@@ -226,12 +238,12 @@ module Engine = struct
     pool_stats : Chop_util.Pool.run_stats;
   }
 
-  let predictions_timed e ~prune =
+  let predictions_timed ?(interrupt = fun () -> false) e ~prune =
     let wall0 = Unix.gettimeofday () in
     let tasks =
       Array.of_list
         (List.map
-           (fun part () -> predict_partition e part)
+           (fun part () -> predict_partition ~interrupt e part)
            e.spec.Spec.partitioning.Chop_dfg.Partition.parts)
     in
     let results, pool_stats = Chop_util.Pool.run_timed e.pool tasks in
@@ -276,15 +288,23 @@ module Engine = struct
     let p = predictions_timed e ~prune in
     (p.per_partition, p.bad)
 
-  let run e =
+  let cache_evictions e =
+    match e.cache with
+    | None -> 0
+    | Some c -> (Pred_cache.counters c).Pred_cache.evictions
+
+  let run_interruptible ~interrupt e =
     check_open e "run";
+    if interrupt () then raise Cancelled;
     let keep_all = e.config.Config.keep_all in
     let prune =
       match e.config.Config.prune with
       | Some p -> p
       | None -> not keep_all
     in
-    let p = predictions_timed e ~prune in
+    let evictions0 = cache_evictions e in
+    let p = predictions_timed ~interrupt e ~prune in
+    if interrupt () then raise Cancelled;
     (* second-level dominance pre-pruning: shrink each partition's list to
        picks that can still contribute to the Pareto front of full systems
        (Prune's soundness argument).  Only the exhaustive searches walk the
@@ -337,6 +357,7 @@ module Engine = struct
           p.pool_stats.Chop_util.Pool.chunk_count + sm.Search.chunk_count;
         cache_hits = p.hits;
         cache_misses = p.misses;
+        cache_evictions = cache_evictions e - evictions0;
         pruned_impls;
         integrations_avoided =
           outcome.Search.stats.Search.integrations_avoided;
@@ -347,18 +368,19 @@ module Engine = struct
       bad_busy_seconds = p.busy_seconds; bad_wall_seconds = p.wall_seconds;
       cache_hits = p.hits; cache_misses = p.misses;
       jobs = Chop_util.Pool.jobs e.pool; metrics }
+
+  let run e = run_interruptible ~interrupt:(fun () -> false) e
 end
 
-let with_engine config spec f =
-  let e = Engine.create config spec in
+let with_engine ?pool config spec f =
+  let e = Engine.create ?pool config spec in
   Fun.protect ~finally:(fun () -> Engine.close e) (fun () -> f e)
 
 let predictions ?prune spec =
-  Engine.predictions
-    (Engine.create (Config.make ?prune ()) spec)
+  with_engine (Config.make ?prune ()) spec Engine.predictions
 
 let run ?(keep_all = false) heuristic spec =
-  Engine.run (Engine.create (Config.make ~heuristic ~keep_all ()) spec)
+  with_engine (Config.make ~heuristic ~keep_all ()) spec Engine.run
 
 let unique_designs systems =
   let key s =

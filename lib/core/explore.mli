@@ -27,6 +27,10 @@ type heuristic =
           ({!module:Bb_heuristic}); finds the enumeration heuristic's best
           designs with no more integrations *)
 
+exception Cancelled
+(** Raised out of {!Engine.run_interruptible} when its interrupt callback
+    fires — the serving layer's deadline-cancellation signal. *)
+
 type bad_stats = {
   label : string;
   total_predictions : int;  (** all implementations BAD enumerated *)
@@ -106,6 +110,12 @@ module Metrics : sig
     chunk_count : int;  (** pool work chunks handed out across phases *)
     cache_hits : int;
     cache_misses : int;
+    cache_evictions : int;
+        (** prediction-cache entries evicted by its capacity bound while
+            this run's predict phase executed ({!Pred_cache.counters}
+            delta).  Under concurrent runs sharing one cache — the
+            serving layer — evictions triggered by a neighbour's inserts
+            can land in this run's delta. *)
     pruned_impls : int;
         (** implementations dropped by dominance pre-pruning before the
             search ({!Config.t}[.pre_prune]) *)
@@ -151,14 +161,20 @@ val bad_cpu_seconds : report -> float
 module Engine : sig
   type t
 
-  val create : Config.t -> Spec.t -> t
+  val create : ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> t
   (** Binds a configuration to a spec.  The integration context is built
       eagerly and reused by every subsequent run, and the domain pool's
-      workers are spawned here, once — see {!close}. *)
+      workers are spawned here, once — see {!close}.  [pool] borrows an
+      existing pool instead (the serving layer runs every request engine
+      over one shared pool): the engine then ignores [config.jobs] for
+      pool sizing, and {!close} leaves the borrowed pool running — its
+      owner shuts it down. *)
 
   val close : t -> unit
-  (** Joins the engine's worker domains.  Idempotent.  Subsequent {!run}
-      or {!predictions} calls raise [Invalid_argument]. *)
+  (** Joins the engine's worker domains (when the engine owns them — a
+      pool borrowed at {!create} is left untouched).  Idempotent.
+      Subsequent {!run} or {!predictions} calls raise
+      [Invalid_argument]. *)
 
   val config : t -> Config.t
   val spec : t -> Spec.t
@@ -170,6 +186,15 @@ module Engine : sig
       deterministic: any [jobs] value produces the same report apart from
       the timing and cache-counter fields. *)
 
+  val run_interruptible : interrupt:(unit -> bool) -> t -> report
+  (** {!run} with cooperative cancellation: [interrupt] is polled at the
+      run's phase boundaries and at the start of every per-partition
+      prediction task; once it returns [true] the run raises {!Cancelled}
+      (after the in-flight prediction batch drains, so the pool is left
+      clean).  The search phase itself runs to completion — cancellation
+      granularity is one phase, which the serving layer pairs with
+      queue-time deadline checks. *)
+
   val predictions :
     t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
   (** The per-partition prediction lists a search would consume, with
@@ -178,9 +203,11 @@ module Engine : sig
       statistics always report both raw and pruned counts. *)
 end
 
-val with_engine : Config.t -> Spec.t -> (Engine.t -> 'a) -> 'a
+val with_engine :
+  ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> (Engine.t -> 'a) -> 'a
 (** [with_engine config spec f] runs [f] over a fresh engine and
-    {!Engine.close}s it afterwards, whether [f] returns or raises. *)
+    {!Engine.close}s it afterwards, whether [f] returns or raises.
+    [pool] is passed through to {!Engine.create}. *)
 
 (** {1 Helpers} *)
 

@@ -7,19 +7,25 @@ type entry = {
 (* Each layer pairs the stored value with a last-use stamp drawn from the
    cache-wide clock; eviction drops the oldest-stamped entries across both
    layers until the total count fits the capacity again. *)
+type counters = { hits : int; misses : int; evictions : int }
+
 type t = {
   lock : Mutex.t;
   raw_tbl : (string, Chop_bad.Prediction.t list * int ref) Hashtbl.t;
   full_tbl : (string, entry * int ref) Hashtbl.t;
   mutable clock : int;
   mutable capacity : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
 }
 
 let default_shared_capacity = 1024
 
 let create ?capacity () =
   { lock = Mutex.create (); raw_tbl = Hashtbl.create 64;
-    full_tbl = Hashtbl.create 64; clock = 0; capacity }
+    full_tbl = Hashtbl.create 64; clock = 0; capacity; hits = 0; misses = 0;
+    evictions = 0 }
 
 let shared = create ~capacity:default_shared_capacity ()
 
@@ -51,10 +57,12 @@ let evict_to t limit =
     let excess = total () - limit in
     List.iteri
       (fun i (_, layer, k) ->
-        if i < excess then
+        if i < excess then begin
+          t.evictions <- t.evictions + 1;
           match layer with
           | `Raw -> Hashtbl.remove t.raw_tbl k
-          | `Full -> Hashtbl.remove t.full_tbl k)
+          | `Full -> Hashtbl.remove t.full_tbl k
+        end)
       oldest_first
   end
 
@@ -95,12 +103,19 @@ let full_key ~raw_key ~chip ~criteria =
   in
   raw_key ^ "/" ^ Digest.to_hex (Digest.string (chip_sig ^ "|" ^ crit_sig))
 
+let counters t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions })
+
 let find tbl t k =
   locked t (fun () ->
       match Hashtbl.find_opt tbl k with
-      | None -> None
+      | None ->
+          t.misses <- t.misses + 1;
+          None
       | Some (v, stamp) ->
           stamp := tick t;
+          t.hits <- t.hits + 1;
           Some v)
 
 let add tbl t k v =

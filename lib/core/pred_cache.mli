@@ -60,6 +60,23 @@ val set_capacity : t -> int option -> unit
 val capacity : t -> int option
 (** The current entry bound. *)
 
+(** {1 Counters} *)
+
+type counters = {
+  hits : int;  (** [find_*] lookups that found their entry *)
+  misses : int;  (** [find_*] lookups that came back empty *)
+  evictions : int;  (** entries dropped by the capacity bound *)
+}
+
+val counters : t -> counters
+(** Cumulative over the cache's lifetime (never reset, not even by
+    {!clear}).  Counts {e lookups}, not partitions: the engine probes the
+    full layer and then, on a miss, the raw layer, so one cold partition
+    contributes two misses here but one miss to
+    [Explore.report.cache_misses].  The eviction counter is what the
+    per-run [Explore.Metrics] eviction delta and the server's [stats]
+    request are built from. *)
+
 (** {1 Keys} *)
 
 val raw_key : sub:Chop_dfg.Graph.t -> cfg:Chop_bad.Predictor.config -> string

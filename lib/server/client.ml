@@ -1,0 +1,48 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t json =
+  output_string t.oc (Chop_util.Json.print json);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | line -> (
+      match Chop_util.Json.parse line with
+      | Ok json -> Some json
+      | Error msg -> failwith (Printf.sprintf "malformed response: %s" msg))
+  | exception (End_of_file | Sys_error _) -> None
+
+let rpc t json =
+  match send t json with
+  | () -> (
+      match recv t with
+      | Some resp -> Ok resp
+      | None -> Error "connection closed before a response arrived"
+      | exception Failure msg -> Error msg)
+  | exception (Sys_error msg | Failure msg) -> Error msg

@@ -1,0 +1,25 @@
+(** A small blocking client for the {!Server} protocol — the engine room
+    of [chop request], the serve smoke test and the [bench serve]
+    load generator. *)
+
+type t
+
+val connect : string -> t
+(** Connects to a server's Unix-domain socket.
+    Fails with [Unix.Unix_error] when nobody is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Chop_util.Json.t -> unit
+(** Writes one request line.  Pipelining is fine: send several requests,
+    then {!recv} the responses (they may arrive in any order — match on
+    the [id]). *)
+
+val recv : t -> Chop_util.Json.t option
+(** Reads one response line; [None] on a closed connection.
+    @raise Failure when the line is not valid JSON. *)
+
+val rpc : t -> Chop_util.Json.t -> (Chop_util.Json.t, string) result
+(** [send] then [recv]: one request, its response.  [Error] on a closed
+    connection or an unparseable reply. *)

@@ -1,0 +1,207 @@
+(* The single source of the CLI's benchmark table, spec assembly and
+   rendering — [bin/chop_cli] and [Server] both call through here, which
+   is what makes a serve response byte-identical to the CLI's output. *)
+
+let benchmarks =
+  [
+    ("ar", fun () -> Chop_dfg.Benchmarks.ar_lattice_filter ());
+    ("ewf", fun () -> Chop_dfg.Benchmarks.elliptic_wave_filter ());
+    ("fir16", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:16 ());
+    ("fir8", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:8 ());
+    ("diffeq", fun () -> Chop_dfg.Benchmarks.diffeq ());
+    ("dct8", fun () -> Chop_dfg.Benchmarks.dct8 ());
+  ]
+
+let graph_of_name name =
+  match List.assoc_opt name benchmarks with
+  | Some f -> Ok (f ())
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (try: %s)" name
+           (String.concat ", " (List.map fst benchmarks)))
+
+let package_of_pins = function
+  | 64 -> Ok Chop_tech.Mosis.package_64
+  | 84 -> Ok Chop_tech.Mosis.package_84
+  | n -> Error (Printf.sprintf "package must be 64 or 84, not %d" n)
+
+let heuristic_of_string = function
+  | "e" | "E" | "enum" -> Ok Chop.Explore.Enumeration
+  | "i" | "I" | "iter" -> Ok Chop.Explore.Iterative
+  | "b" | "B" | "bb" -> Ok Chop.Explore.Branch_bound
+  | s ->
+      Error
+        (Printf.sprintf
+           "heuristic must be 'e' (enumeration), 'i' (iterative) or 'b' \
+            (branch-and-bound), not %S"
+           s)
+
+let strategy_of_string = function
+  | "levels" -> Ok Chop_baseline.Autopart.Levels
+  | "min-cut" -> Ok (Chop_baseline.Autopart.Min_cut 1)
+  | "random" -> Ok (Chop_baseline.Autopart.Random_balanced 42)
+  | s -> Error (Printf.sprintf "strategy must be levels, min-cut or random, not %S" s)
+
+let build_spec ~graph ~partitions ~package ~perf ~delay ~multicycle ~strategy =
+  let partitioning =
+    if partitions = 1 then Chop_dfg.Partition.whole graph
+    else Chop_baseline.Autopart.generate graph ~k:partitions strategy
+  in
+  let clocks =
+    if multicycle then
+      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:1
+        ~transfer_ratio:1
+    else
+      Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock ~datapath_ratio:10
+        ~transfer_ratio:1
+  in
+  let style =
+    Chop_tech.Style.both
+      (if multicycle then Chop_tech.Style.Multi_cycle
+       else Chop_tech.Style.Single_cycle)
+  in
+  Chop.Rig.custom ~graph ~partitioning ~package ~clocks ~style
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
+
+let ( let* ) r f = Result.bind r f
+
+let spec_of_params (p : Protocol.params) =
+  let* graph = graph_of_name p.Protocol.benchmark in
+  let* package = package_of_pins p.Protocol.package in
+  let* strategy = strategy_of_string p.Protocol.strategy in
+  if p.Protocol.partitions < 1 then
+    Error
+      (Printf.sprintf "partitions must be >= 1, not %d" p.Protocol.partitions)
+  else
+    match
+      build_spec ~graph ~partitions:p.Protocol.partitions ~package
+        ~perf:p.Protocol.perf ~delay:p.Protocol.delay
+        ~multicycle:p.Protocol.multicycle ~strategy
+    with
+    | spec -> Ok spec
+    | exception Chop.Spec.Invalid_spec reason -> Error reason
+    | exception Invalid_argument reason -> Error reason
+
+let config_of_params ~jobs (p : Protocol.params) =
+  let* heuristic = heuristic_of_string p.Protocol.heuristic in
+  Ok
+    (Chop.Explore.Config.make ~heuristic
+       ~keep_all:(p.Protocol.csv || p.Protocol.keep_all)
+       ~pre_prune:(not p.Protocol.no_prune) ~jobs ())
+
+let engine_key ~op (p : Protocol.params) =
+  (* predict runs a default-config engine (the CLI parity point), so it
+     keys separately from the explore family; explore/advise share. *)
+  let family =
+    match op with
+    | Protocol.Predict -> "predict"
+    | Protocol.Explore | Protocol.Advise | Protocol.Sensitivity
+    | Protocol.Stats | Protocol.Ping ->
+        "explore"
+  in
+  Printf.sprintf "%s|%s|k=%d|p=%d|perf=%g|delay=%g|mc=%b|h=%s|s=%s|ka=%b|np=%b"
+    family p.Protocol.benchmark p.Protocol.partitions p.Protocol.package
+    p.Protocol.perf p.Protocol.delay p.Protocol.multicycle
+    (match family with "predict" -> "-" | _ -> p.Protocol.heuristic)
+    p.Protocol.strategy
+    (p.Protocol.keep_all || p.Protocol.csv)
+    p.Protocol.no_prune
+
+let explore_feasible_count (report : Chop.Explore.report) =
+  List.length report.Chop.Explore.outcome.Chop.Search.feasible
+
+let render_explore spec ~keep_all ~csv ~verbose (report : Chop.Explore.report) =
+  let outcome = report.Chop.Explore.outcome in
+  if keep_all then
+    (* deterministic dump: no timings, so jobs=1 and jobs=N (and the CLI
+       and the server) are byte-identical *)
+    String.concat ""
+      [
+        "# feasible\n";
+        Chop.Search.to_csv outcome.Chop.Search.feasible;
+        "# explored\n";
+        Chop.Search.to_csv outcome.Chop.Search.explored;
+      ]
+  else if csv then Chop.Search.to_csv outcome.Chop.Search.explored
+  else begin
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun b ->
+        Printf.bprintf buf "BAD %s: %d predictions, %d feasible, %d kept\n"
+          b.Chop.Explore.label b.Chop.Explore.total_predictions
+          b.Chop.Explore.feasible_predictions b.Chop.Explore.kept)
+      report.Chop.Explore.bad;
+    Printf.bprintf buf "search: %d trials\n\n"
+      outcome.Chop.Search.stats.Chop.Search.implementation_trials;
+    (match outcome.Chop.Search.feasible with
+    | [] -> Buffer.add_string buf "no feasible implementation\n"
+    | feas ->
+        Printf.bprintf buf "%d feasible non-inferior implementation(s):\n"
+          (List.length feas);
+        List.iter
+          (fun s ->
+            Printf.bprintf buf
+              "  II %d cycles, delay %d cycles, clock %.0f ns (perf %.0f ns)\n"
+              s.Chop.Integration.ii_main s.Chop.Integration.delay_cycles
+              s.Chop.Integration.clock s.Chop.Integration.perf_ns)
+          feas;
+        if verbose then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf (Chop.Report.guideline spec (List.hd feas))
+        end);
+    Buffer.contents buf
+  end
+
+let render_explore_timing (report : Chop.Explore.report) =
+  let st = report.Chop.Explore.outcome.Chop.Search.stats in
+  Printf.sprintf
+    "BAD: %.3f s wall (%.3f s busy across %d job(s)), cache %d hit(s) / %d \
+     miss(es)\n\
+     search: %.3f s CPU\n"
+    report.Chop.Explore.bad_wall_seconds report.Chop.Explore.bad_busy_seconds
+    report.Chop.Explore.jobs report.Chop.Explore.cache_hits
+    report.Chop.Explore.cache_misses st.Chop.Search.cpu_seconds
+
+let render_predict spec ~index ~top per_partition stats =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i (label, preds) ->
+      if i = index || index < 0 then begin
+        let st = List.nth stats i in
+        Printf.bprintf buf "partition %s: %d predictions (%d feasible, %d kept)\n"
+          label st.Chop.Explore.total_predictions
+          st.Chop.Explore.feasible_predictions st.Chop.Explore.kept;
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Chop_bad.Prediction.describe spec.Chop.Spec.clocks p);
+            Buffer.add_char buf '\n')
+          (Chop_util.Listx.take top preds);
+        Buffer.add_char buf '\n'
+      end)
+    per_partition;
+  Buffer.contents buf
+
+let render_advice (j : Chop.Advisor.judgement) = j.Chop.Advisor.advice ^ "\n"
+
+let render_sensitivity = Chop.Sensitivity.render
+
+let run_sensitivity ~config spec (p : Protocol.params) =
+  if p.Protocol.values = [] then Error "sensitivity requires a non-empty values list"
+  else
+    match p.Protocol.parameter with
+    | "perf" ->
+        Ok
+          (Chop.Sensitivity.performance_constraint ~config spec
+             ~values:p.Protocol.values)
+    | "delay" ->
+        Ok (Chop.Sensitivity.delay_constraint ~config spec ~values:p.Protocol.values)
+    | "clock" ->
+        Ok (Chop.Sensitivity.main_clock ~config spec ~values:p.Protocol.values)
+    | "pins" ->
+        Ok
+          (Chop.Sensitivity.pin_count ~config spec
+             ~values:(List.map int_of_float p.Protocol.values))
+    | s ->
+        Error
+          (Printf.sprintf "parameter must be perf, delay, clock or pins, not %S" s)

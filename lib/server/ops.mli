@@ -1,0 +1,86 @@
+(** The one implementation of the CLI's benchmark table, spec assembly
+    and result rendering, shared by [bin/chop_cli] and the serving layer.
+
+    Byte-identity between [chop explore] and a [chop serve] explore
+    response is a guarantee of this module, by construction: both call
+    the same renderer on the same report.  Renderers return only the
+    {e deterministic} part of the output — no wall-clock times — so two
+    runs of the same request compare equal; timings travel separately
+    ({!render_explore_timing}, {!Protocol.timing}). *)
+
+val benchmarks : (string * (unit -> Chop_dfg.Graph.t)) list
+(** The built-in benchmark graphs: ar, ewf, fir16, fir8, diffeq, dct8.
+    Each entry builds a fresh graph. *)
+
+val graph_of_name : string -> (Chop_dfg.Graph.t, string) result
+val package_of_pins : int -> (Chop_tech.Chip.t, string) result
+val heuristic_of_string : string -> (Chop.Explore.heuristic, string) result
+val strategy_of_string : string -> (Chop_baseline.Autopart.strategy, string) result
+
+val build_spec :
+  graph:Chop_dfg.Graph.t ->
+  partitions:int ->
+  package:Chop_tech.Chip.t ->
+  perf:float ->
+  delay:float ->
+  multicycle:bool ->
+  strategy:Chop_baseline.Autopart.strategy ->
+  Chop.Spec.t
+(** The CLI's benchmark rig: level-cut (or strategy-driven) partitioning,
+    MOSIS chips, single-cycle datapath at 10x main clock (or multi-cycle
+    at 1x), performance/delay criteria. *)
+
+val spec_of_params : Protocol.params -> (Chop.Spec.t, string) result
+(** {!build_spec} from wire parameters; [Error] on an unknown benchmark,
+    package, or strategy, or an invalid partition count. *)
+
+val config_of_params :
+  jobs:int -> Protocol.params -> (Chop.Explore.Config.t, string) result
+(** The engine configuration [chop explore] would build for these
+    parameters: [keep_all] when [keep_all || csv], pre-pruning unless
+    [no_prune], the given parallelism. *)
+
+val engine_key : op:Protocol.op -> Protocol.params -> string
+(** Canonical identity of the warm engine a request needs: every
+    spec-shaping and config-shaping parameter, plus the op family
+    (explore-family ops can share an engine; predict has its own
+    configuration).  Rendering-only parameters ([verbose], [index],
+    [top], sensitivity fields) are excluded, so requests differing only
+    in presentation reuse the same engine. *)
+
+(** {1 Renderers} *)
+
+val render_explore :
+  Chop.Spec.t -> keep_all:bool -> csv:bool -> verbose:bool ->
+  Chop.Explore.report -> string
+(** The deterministic output of [chop explore]: with [keep_all], the
+    feasible-front and explored CSV dump; with [csv], the explored dump;
+    otherwise the per-partition BAD lines, the trial count and the
+    feasible-implementation list (plus the designer guideline when
+    [verbose]). *)
+
+val explore_feasible_count : Chop.Explore.report -> int
+
+val render_explore_timing : Chop.Explore.report -> string
+(** The wall-clock lines [chop explore] prints after the deterministic
+    block: BAD wall/busy seconds and cache counters, search CPU
+    seconds. *)
+
+val render_predict :
+  Chop.Spec.t -> index:int -> top:int ->
+  (string * Chop_bad.Prediction.t list) list ->
+  Chop.Explore.bad_stats list -> string
+(** The output of [chop predict]: per-partition statistics and the top
+    predictions, for one partition index or all ([index < 0]). *)
+
+val render_advice : Chop.Advisor.judgement -> string
+(** The output of [chop advise]: the advice line. *)
+
+val render_sensitivity : Chop.Sensitivity.sweep -> string
+
+val run_sensitivity :
+  config:Chop.Explore.Config.t -> Chop.Spec.t -> Protocol.params ->
+  (Chop.Sensitivity.sweep, string) result
+(** Dispatches on [params.parameter]: ["perf"], ["delay"], ["clock"]
+    (float sweeps) or ["pins"] (values truncated to ints).  [Error] on an
+    unknown parameter or an empty value list. *)

@@ -1,0 +1,280 @@
+module Json = Chop_util.Json
+
+type op = Explore | Predict | Advise | Sensitivity | Stats | Ping
+
+let op_to_string = function
+  | Explore -> "explore"
+  | Predict -> "predict"
+  | Advise -> "advise"
+  | Sensitivity -> "sensitivity"
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+let op_of_string = function
+  | "explore" -> Ok Explore
+  | "predict" -> Ok Predict
+  | "advise" -> Ok Advise
+  | "sensitivity" -> Ok Sensitivity
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | s -> Error (Printf.sprintf "unknown op %S" s)
+
+type params = {
+  benchmark : string;
+  partitions : int;
+  package : int;
+  perf : float;
+  delay : float;
+  multicycle : bool;
+  heuristic : string;
+  strategy : string;
+  keep_all : bool;
+  csv : bool;
+  no_prune : bool;
+  verbose : bool;
+  index : int;
+  top : int;
+  parameter : string;
+  values : float list;
+}
+
+let default_params =
+  {
+    benchmark = "ar";
+    partitions = 2;
+    package = 84;
+    perf = 30000.;
+    delay = 30000.;
+    multicycle = false;
+    heuristic = "i";
+    strategy = "levels";
+    keep_all = false;
+    csv = false;
+    no_prune = false;
+    verbose = false;
+    index = -1;
+    top = 3;
+    parameter = "perf";
+    values = [];
+  }
+
+type request = {
+  id : string;
+  op : op;
+  deadline_ms : float option;
+  params : params;
+}
+
+(* Field decoding: absent -> default; present with the wrong shape -> a
+   [bad_request] error naming the field, never a silent fallback. *)
+let field name conv json ~default k =
+  match Json.member name json with
+  | None -> k default
+  | Some v -> (
+      match conv v with
+      | Some x -> k x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let ( let* ) r f = Result.bind r f
+
+let request_of_json json =
+  match json with
+  | Json.Object _ ->
+      let str = Json.to_string_opt
+      and int = Json.to_int_opt
+      and flt = Json.to_float_opt
+      and bool = Json.to_bool_opt in
+      let floats v =
+        match Json.to_list_opt v with
+        | None -> None
+        | Some xs ->
+            let rec conv acc = function
+              | [] -> Some (List.rev acc)
+              | x :: tl -> (
+                  match Json.to_float_opt x with
+                  | Some f -> conv (f :: acc) tl
+                  | None -> None)
+            in
+            conv [] xs
+      in
+      let d = default_params in
+      let* id = field "id" str json ~default:"-" Result.ok in
+      let* op_name = field "op" str json ~default:"explore" Result.ok in
+      let* op = op_of_string op_name in
+      let* deadline_ms =
+        field "deadline_ms" (fun v -> Option.map Option.some (flt v)) json
+          ~default:None Result.ok
+      in
+      let* benchmark = field "benchmark" str json ~default:d.benchmark Result.ok in
+      let* partitions = field "partitions" int json ~default:d.partitions Result.ok in
+      let* package = field "package" int json ~default:d.package Result.ok in
+      let* perf = field "perf" flt json ~default:d.perf Result.ok in
+      let* delay = field "delay" flt json ~default:d.delay Result.ok in
+      let* multicycle = field "multicycle" bool json ~default:d.multicycle Result.ok in
+      let* heuristic = field "heuristic" str json ~default:d.heuristic Result.ok in
+      let* strategy = field "strategy" str json ~default:d.strategy Result.ok in
+      let* keep_all = field "keep_all" bool json ~default:d.keep_all Result.ok in
+      let* csv = field "csv" bool json ~default:d.csv Result.ok in
+      let* no_prune = field "no_prune" bool json ~default:d.no_prune Result.ok in
+      let* verbose = field "verbose" bool json ~default:d.verbose Result.ok in
+      let* index = field "index" int json ~default:d.index Result.ok in
+      let* top = field "top" int json ~default:d.top Result.ok in
+      let* parameter = field "parameter" str json ~default:d.parameter Result.ok in
+      let* values = field "values" floats json ~default:d.values Result.ok in
+      Ok
+        {
+          id;
+          op;
+          deadline_ms;
+          params =
+            {
+              benchmark;
+              partitions;
+              package;
+              perf;
+              delay;
+              multicycle;
+              heuristic;
+              strategy;
+              keep_all;
+              csv;
+              no_prune;
+              verbose;
+              index;
+              top;
+              parameter;
+              values;
+            };
+        }
+  | _ -> Error "request must be a JSON object"
+
+let parse_request line =
+  let* json = Json.parse line in
+  request_of_json json
+
+let request_to_json r =
+  let p = r.params in
+  let deadline =
+    match r.deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+  in
+  Json.Object
+    ([
+       ("id", Json.String r.id);
+       ("op", Json.String (op_to_string r.op));
+     ]
+    @ deadline
+    @ [
+        ("benchmark", Json.String p.benchmark);
+        ("partitions", Json.Int p.partitions);
+        ("package", Json.Int p.package);
+        ("perf", Json.Float p.perf);
+        ("delay", Json.Float p.delay);
+        ("multicycle", Json.Bool p.multicycle);
+        ("heuristic", Json.String p.heuristic);
+        ("strategy", Json.String p.strategy);
+        ("keep_all", Json.Bool p.keep_all);
+        ("csv", Json.Bool p.csv);
+        ("no_prune", Json.Bool p.no_prune);
+        ("verbose", Json.Bool p.verbose);
+        ("index", Json.Int p.index);
+        ("top", Json.Int p.top);
+        ("parameter", Json.String p.parameter);
+        ("values", Json.Array (List.map (fun v -> Json.Float v) p.values));
+      ])
+
+type error_code = Overloaded | Deadline | Bad_request | Shutting_down | Internal
+
+let error_code_to_string = function
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Bad_request -> "bad_request"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+type timing = {
+  queue_ms : float;
+  run_ms : float;
+  predict_ms : float;
+  search_ms : float;
+  merge_ms : float;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
+  let m = report.Chop.Explore.metrics in
+  {
+    queue_ms;
+    run_ms;
+    predict_ms = m.Chop.Explore.Metrics.predict.Chop.Explore.Metrics.wall_seconds *. 1000.;
+    search_ms = m.Chop.Explore.Metrics.search.Chop.Explore.Metrics.wall_seconds *. 1000.;
+    merge_ms = m.Chop.Explore.Metrics.merge_wall_seconds *. 1000.;
+    cache_hits = m.Chop.Explore.Metrics.cache_hits;
+    cache_misses = m.Chop.Explore.Metrics.cache_misses;
+    cache_evictions = m.Chop.Explore.Metrics.cache_evictions;
+  }
+
+let no_engine_timing ~queue_ms ~run_ms =
+  {
+    queue_ms;
+    run_ms;
+    predict_ms = 0.;
+    search_ms = 0.;
+    merge_ms = 0.;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+  }
+
+let timing_to_json t =
+  Json.Object
+    [
+      ("queue_ms", Json.Float t.queue_ms);
+      ("run_ms", Json.Float t.run_ms);
+      ("predict_ms", Json.Float t.predict_ms);
+      ("search_ms", Json.Float t.search_ms);
+      ("merge_ms", Json.Float t.merge_ms);
+      ("cache_hits", Json.Int t.cache_hits);
+      ("cache_misses", Json.Int t.cache_misses);
+      ("cache_evictions", Json.Int t.cache_evictions);
+    ]
+
+let ok_response ~id ~op ?timing fields =
+  Json.Object
+    ([
+       ("id", Json.String id);
+       ("ok", Json.Bool true);
+       ("op", Json.String (op_to_string op));
+       ("result", Json.Object fields);
+     ]
+    @
+    match timing with
+    | None -> []
+    | Some t -> [ ("timing", timing_to_json t) ])
+
+let error_response ~id ~code message =
+  Json.Object
+    [
+      ("id", Json.String id);
+      ("ok", Json.Bool false);
+      ("error",
+       Json.Object
+         [
+           ("code", Json.String (error_code_to_string code));
+           ("message", Json.String message);
+         ]);
+    ]
+
+let response_id json = Option.bind (Json.member "id" json) Json.to_string_opt
+let response_ok json = Option.bind (Json.member "ok" json) Json.to_bool_opt
+
+let response_error_code json =
+  Option.bind (Json.member "error" json) (fun e ->
+      Option.bind (Json.member "code" e) Json.to_string_opt)
+
+let response_text json =
+  Option.bind (Json.member "result" json) (fun r ->
+      Option.bind (Json.member "text" r) Json.to_string_opt)

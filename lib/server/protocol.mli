@@ -1,0 +1,120 @@
+(** The wire protocol of [chop serve]: newline-delimited JSON.
+
+    Every request is one JSON object on one line; every response is one
+    JSON object on one line.  Responses carry the request's [id] and may
+    arrive out of order when a connection pipelines several requests —
+    clients correlate by id, never by position.
+
+    A request looks like
+
+    {v
+    {"id":"r1","op":"explore","benchmark":"ewf","partitions":2,
+     "heuristic":"i","keep_all":true,"deadline_ms":5000}
+    v}
+
+    Omitted parameters take the CLI defaults ({!default_params}), so an
+    empty parameter set explores the [ar] benchmark exactly as a bare
+    [chop explore] would.  Responses are either
+
+    {v
+    {"id":"r1","ok":true,"op":"explore","result":{...},"timing":{...}}
+    {"id":"r1","ok":false,"error":{"code":"overloaded","message":"..."}}
+    v}
+
+    The [result.text] field of an explore/predict/advise/sensitivity
+    response is byte-identical to the corresponding CLI subcommand's
+    deterministic output — both sides render through {!Ops}. *)
+
+type op = Explore | Predict | Advise | Sensitivity | Stats | Ping
+
+val op_to_string : op -> string
+val op_of_string : string -> (op, string) result
+
+(** Exploration parameters, mirroring the CLI flags of [chop explore] /
+    [chop predict] / [chop advise].  [index]/[top] only matter to
+    [Predict]; [parameter]/[values] only to [Sensitivity]. *)
+type params = {
+  benchmark : string;
+  partitions : int;
+  package : int;  (** MOSIS package pin count: 64 or 84 *)
+  perf : float;  (** performance constraint, ns *)
+  delay : float;  (** system delay constraint, ns *)
+  multicycle : bool;
+  heuristic : string;  (** "e" | "i" | "b" *)
+  strategy : string;  (** "levels" | "min-cut" | "random" *)
+  keep_all : bool;
+  csv : bool;
+  no_prune : bool;
+  verbose : bool;
+  index : int;  (** predict: partition index, -1 for all *)
+  top : int;  (** predict: predictions shown per partition *)
+  parameter : string;  (** sensitivity: "perf" | "delay" | "pins" | "clock" *)
+  values : float list;  (** sensitivity: swept values, in order *)
+}
+
+val default_params : params
+(** The CLI defaults: [ar], 2 partitions, 84-pin package, 30000 ns
+    constraints, single-cycle, iterative heuristic, levels strategy. *)
+
+type request = {
+  id : string;  (** echoed on the response; defaults to ["-"] *)
+  op : op;
+  deadline_ms : float option;
+      (** per-request budget in milliseconds, measured from admission;
+          a non-positive value is already expired (used by tests for a
+          deterministic timeout) *)
+  params : params;
+}
+
+val request_of_json : Chop_util.Json.t -> (request, string) result
+(** Decodes one request object.  Unknown fields are ignored; a wrong
+    type on a known field, an unknown [op], or a non-object input is an
+    error (the server answers it with code [bad_request]). *)
+
+val parse_request : string -> (request, string) result
+(** [request_of_json] composed with {!Chop_util.Json.parse}. *)
+
+val request_to_json : request -> Chop_util.Json.t
+(** Encodes a request; the client side of {!request_of_json}.  Emits
+    every parameter field explicitly. *)
+
+(** {1 Responses} *)
+
+type error_code = Overloaded | Deadline | Bad_request | Shutting_down | Internal
+
+val error_code_to_string : error_code -> string
+
+(** Per-request wall-clock breakdown, echoed in responses and the access
+    log.  The cache counters are the engine-run deltas
+    ({!Chop.Explore.Metrics}); they are zero for requests that run no
+    engine. *)
+type timing = {
+  queue_ms : float;  (** admission to dequeue *)
+  run_ms : float;  (** dequeue to response built *)
+  predict_ms : float;
+  search_ms : float;
+  merge_ms : float;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+val timing_of_report : queue_ms:float -> run_ms:float -> Chop.Explore.report -> timing
+
+val no_engine_timing : queue_ms:float -> run_ms:float -> timing
+(** A {!timing} with the engine fields zeroed. *)
+
+val ok_response :
+  id:string -> op:op -> ?timing:timing -> (string * Chop_util.Json.t) list ->
+  Chop_util.Json.t
+(** [{"id":id,"ok":true,"op":...,"result":{fields},"timing":{...}}]. *)
+
+val error_response :
+  id:string -> code:error_code -> string -> Chop_util.Json.t
+(** [{"id":id,"ok":false,"error":{"code":...,"message":...}}]. *)
+
+val response_id : Chop_util.Json.t -> string option
+val response_ok : Chop_util.Json.t -> bool option
+val response_error_code : Chop_util.Json.t -> string option
+val response_text : Chop_util.Json.t -> string option
+(** [result.text] of an ok response. *)

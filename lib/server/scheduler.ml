@@ -1,0 +1,187 @@
+(* Bounded-queue request scheduler over system threads.
+
+   Admission is a single comparison under the lock: a submission is
+   rejected the moment the outstanding count (queued + in-flight) would
+   exceed [queue + concurrency], which makes the overload boundary exact
+   and testable — request K+C+1 is the first rejection.  Everything else
+   is a plain condition-variable worker loop. *)
+
+type job = {
+  enqueued : float;
+  deadline : float option;  (* absolute Unix time *)
+  expired_cb : queue_seconds:float -> unit;
+  run_cb : interrupt:(unit -> bool) -> queue_seconds:float -> unit;
+}
+
+type outcome = Accepted | Overloaded | Draining
+
+type stats = {
+  accepted : int;
+  rejected : int;
+  completed : int;
+  expired : int;
+  failed : int;
+  max_queued : int;
+  max_in_flight : int;
+}
+
+type t = {
+  capacity : int;
+  concurrency : int;
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a job was queued, or draining began *)
+  idle : Condition.t;  (* the outstanding count may have reached zero *)
+  jobs : job Queue.t;
+  mutable queued : int;
+  mutable in_flight : int;
+  mutable draining : bool;
+  mutable workers : Thread.t list;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable expired : int;
+  mutable failed : int;
+  mutable max_queued : int;
+  mutable max_in_flight : int;
+}
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if Queue.is_empty t.jobs then
+      if t.draining then Mutex.unlock t.m
+      else begin
+        Condition.wait t.nonempty t.m;
+        loop ()
+      end
+    else begin
+      let j = Queue.pop t.jobs in
+      t.queued <- t.queued - 1;
+      t.in_flight <- t.in_flight + 1;
+      if t.in_flight > t.max_in_flight then t.max_in_flight <- t.in_flight;
+      Mutex.unlock t.m;
+      let now = Unix.gettimeofday () in
+      let queue_seconds = now -. j.enqueued in
+      let result =
+        match j.deadline with
+        | Some dl when dl <= now -> (
+            match j.expired_cb ~queue_seconds with
+            | () -> `Expired
+            | exception _ -> `Failed)
+        | _ -> (
+            let interrupt () =
+              match j.deadline with
+              | Some dl -> Unix.gettimeofday () >= dl
+              | None -> false
+            in
+            match j.run_cb ~interrupt ~queue_seconds with
+            | () -> `Completed
+            | exception _ -> `Failed)
+      in
+      Mutex.lock t.m;
+      t.in_flight <- t.in_flight - 1;
+      (match result with
+      | `Completed -> t.completed <- t.completed + 1
+      | `Expired -> t.expired <- t.expired + 1
+      | `Failed -> t.failed <- t.failed + 1);
+      if t.queued = 0 && t.in_flight = 0 then Condition.broadcast t.idle;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~queue ~concurrency =
+  if queue < 0 then invalid_arg "Scheduler.create: queue must be >= 0";
+  if concurrency < 1 then invalid_arg "Scheduler.create: concurrency must be >= 1";
+  let t =
+    {
+      capacity = queue;
+      concurrency;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      jobs = Queue.create ();
+      queued = 0;
+      in_flight = 0;
+      draining = false;
+      workers = [];
+      accepted = 0;
+      rejected = 0;
+      completed = 0;
+      expired = 0;
+      failed = 0;
+      max_queued = 0;
+      max_in_flight = 0;
+    }
+  in
+  t.workers <- List.init concurrency (fun _ -> Thread.create worker t);
+  t
+
+let submit t ?deadline ~expired ~run () =
+  Mutex.lock t.m;
+  if t.draining then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.m;
+    Draining
+  end
+  else if t.queued + t.in_flight >= t.capacity + t.concurrency then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.m;
+    Overloaded
+  end
+  else begin
+    t.accepted <- t.accepted + 1;
+    t.queued <- t.queued + 1;
+    if t.queued > t.max_queued then t.max_queued <- t.queued;
+    Queue.push
+      {
+        enqueued = Unix.gettimeofday ();
+        deadline;
+        expired_cb = expired;
+        run_cb = run;
+      }
+      t.jobs;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m;
+    Accepted
+  end
+
+let queued t =
+  Mutex.lock t.m;
+  let n = t.queued in
+  Mutex.unlock t.m;
+  n
+
+let in_flight t =
+  Mutex.lock t.m;
+  let n = t.in_flight in
+  Mutex.unlock t.m;
+  n
+
+let drain t =
+  Mutex.lock t.m;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  while t.queued > 0 || t.in_flight > 0 do
+    Condition.wait t.idle t.m
+  done;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.m;
+  List.iter Thread.join ws
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      accepted = t.accepted;
+      rejected = t.rejected;
+      completed = t.completed;
+      expired = t.expired;
+      failed = t.failed;
+      max_queued = t.max_queued;
+      max_in_flight = t.max_in_flight;
+    }
+  in
+  Mutex.unlock t.m;
+  s

@@ -1,0 +1,67 @@
+(** The serve loop's admission control and worker pool: a bounded FIFO
+    queue drained by a fixed set of system threads.
+
+    Backpressure is explicit and bounded: at most [queue] requests wait
+    while [concurrency] run, and the submission that would make the
+    outstanding count exceed [queue + concurrency] is rejected
+    immediately with {!Overloaded} — so under any load, request
+    [queue + concurrency + 1] is the first to see a structured
+    rejection rather than an unbounded latency tail.
+
+    Deadlines are absolute timestamps checked twice: at dequeue (a
+    request whose budget elapsed while queued runs its [expired]
+    callback instead of [run]) and cooperatively during [run] through
+    the [interrupt] predicate it receives.
+
+    Worker threads — not domains — run the jobs: a job's engine work
+    parks on the shared domain pool, so OCaml-level parallelism comes
+    from the pool while these threads merely overlap independent
+    requests. *)
+
+type t
+
+type outcome =
+  | Accepted
+  | Overloaded  (** the bounded queue and the running slots are all full *)
+  | Draining  (** {!drain} has begun; no new work is admitted *)
+
+type stats = {
+  accepted : int;
+  rejected : int;  (** submissions answered {!Overloaded} or {!Draining} *)
+  completed : int;  (** jobs whose [run] returned *)
+  expired : int;  (** jobs whose deadline elapsed while queued *)
+  failed : int;  (** jobs whose [run] raised (a server bug — [run]
+                     callbacks are expected to catch their own errors) *)
+  max_queued : int;
+  max_in_flight : int;
+}
+
+val create : queue:int -> concurrency:int -> t
+(** Starts [concurrency] worker threads.
+    @raise Invalid_argument when [queue < 0] or [concurrency < 1]. *)
+
+val submit :
+  t ->
+  ?deadline:float ->
+  expired:(queue_seconds:float -> unit) ->
+  run:(interrupt:(unit -> bool) -> queue_seconds:float -> unit) ->
+  unit ->
+  outcome
+(** Enqueues a job.  [deadline] is an absolute [Unix.gettimeofday]
+    timestamp; when it passes before the job is dequeued, [expired] runs
+    (on a worker thread) instead of [run].  [run] receives the seconds
+    the job waited and an [interrupt] predicate that turns [true] once
+    the deadline passes — poll it from long work and abandon the job
+    cooperatively.  Both callbacks should catch their own exceptions;
+    an escape is counted in [failed] and the worker survives. *)
+
+val queued : t -> int
+val in_flight : t -> int
+
+val drain : t -> unit
+(** Stops admission ({!submit} returns {!Draining} from this point),
+    waits for every queued and in-flight job to finish, and joins the
+    worker threads.  Idempotent; concurrent callers all block until the
+    drain completes. *)
+
+val stats : t -> stats

@@ -1,0 +1,557 @@
+(* The [chop serve] daemon.  See server.mli for the architecture; the
+   short version: one shared domain pool, a cache of warm engines keyed
+   by request parameters, a bounded scheduler in front, connection
+   threads that only parse and write, and a drain-then-exit shutdown. *)
+
+module Json = Chop_util.Json
+
+type config = {
+  socket_path : string option;
+  concurrency : int;
+  queue : int;
+  jobs : int;
+  default_deadline_ms : float option;
+  log : out_channel option;
+  handle_signals : bool;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    concurrency = 2;
+    queue = 8;
+    jobs = 1;
+    default_deadline_ms = None;
+    log = Some stderr;
+    handle_signals = true;
+  }
+
+type counters = {
+  mutable ok : int;
+  mutable bad_request : int;
+  mutable overloaded : int;
+  mutable deadline : int;
+  mutable shutting_down : int;
+  mutable internal : int;
+}
+
+(* A warm engine and the mutex serialising runs on it: one engine serves
+   one (spec, config) identity, and concurrent requests for the same
+   identity queue on the mutex rather than duplicating the engine. *)
+type engine_slot = { engine : Chop.Explore.Engine.t; mu : Mutex.t }
+
+type t = {
+  cfg : config;
+  pool : Chop_util.Pool.t;
+  sched : Scheduler.t;
+  engines : (string, engine_slot) Hashtbl.t;
+  engines_mu : Mutex.t;
+  log_mu : Mutex.t;
+  counters_mu : Mutex.t;
+  counters : counters;
+  stopping : bool Atomic.t;
+  listen_fd : Unix.file_descr option;
+  mutable conns : Unix.file_descr list;
+  conns_mu : Mutex.t;
+  started : float;
+}
+
+let create cfg =
+  if cfg.concurrency < 1 then invalid_arg "Server.create: concurrency must be >= 1";
+  if cfg.queue < 0 then invalid_arg "Server.create: queue must be >= 0";
+  if cfg.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  let listen_fd =
+    match cfg.socket_path with
+    | None -> None
+    | Some path ->
+        if Sys.file_exists path then Unix.unlink path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 16;
+        Some fd
+  in
+  {
+    cfg;
+    pool = Chop_util.Pool.create ~jobs:cfg.jobs ();
+    sched = Scheduler.create ~queue:cfg.queue ~concurrency:cfg.concurrency;
+    engines = Hashtbl.create 16;
+    engines_mu = Mutex.create ();
+    log_mu = Mutex.create ();
+    counters_mu = Mutex.create ();
+    counters =
+      {
+        ok = 0;
+        bad_request = 0;
+        overloaded = 0;
+        deadline = 0;
+        shutting_down = 0;
+        internal = 0;
+      };
+    stopping = Atomic.make false;
+    listen_fd;
+    conns = [];
+    conns_mu = Mutex.create ();
+    started = Unix.gettimeofday ();
+  }
+
+let stop t = Atomic.set t.stopping true
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let timestamp now =
+  let tm = Unix.gmtime now in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%06.3fZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    (float_of_int tm.Unix.tm_sec +. (now -. Float.of_int (int_of_float now)))
+
+let log_line t line =
+  match t.cfg.log with
+  | None -> ()
+  | Some oc ->
+      Mutex.lock t.log_mu;
+      (try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> ());
+      Mutex.unlock t.log_mu
+
+let access_log t ~id ~op ~status ~(timing : Protocol.timing) ~verdict =
+  log_line t
+    (Printf.sprintf
+       "%s id=%s op=%s status=%s queue_ms=%.1f run_ms=%.1f predict_ms=%.1f \
+        search_ms=%.1f merge_ms=%.1f cache=%dh/%dm/%de verdict=%s"
+       (timestamp (Unix.gettimeofday ()))
+       id op status timing.Protocol.queue_ms timing.Protocol.run_ms
+       timing.Protocol.predict_ms timing.Protocol.search_ms
+       timing.Protocol.merge_ms timing.Protocol.cache_hits
+       timing.Protocol.cache_misses timing.Protocol.cache_evictions verdict)
+
+let bump t (code : [ `Ok | `Err of Protocol.error_code ]) =
+  Mutex.lock t.counters_mu;
+  (match code with
+  | `Ok -> t.counters.ok <- t.counters.ok + 1
+  | `Err Protocol.Bad_request -> t.counters.bad_request <- t.counters.bad_request + 1
+  | `Err Protocol.Overloaded -> t.counters.overloaded <- t.counters.overloaded + 1
+  | `Err Protocol.Deadline -> t.counters.deadline <- t.counters.deadline + 1
+  | `Err Protocol.Shutting_down ->
+      t.counters.shutting_down <- t.counters.shutting_down + 1
+  | `Err Protocol.Internal -> t.counters.internal <- t.counters.internal + 1);
+  Mutex.unlock t.counters_mu
+
+(* ------------------------------------------------------------------ *)
+(* Engines                                                             *)
+
+let engine_slot t ~key spec config =
+  Mutex.lock t.engines_mu;
+  let slot =
+    match Hashtbl.find_opt t.engines key with
+    | Some s -> s
+    | None ->
+        (* created under the table lock so a burst of identical requests
+           builds the integration context once, not once per request *)
+        let engine = Chop.Explore.Engine.create ~pool:t.pool config spec in
+        let s = { engine; mu = Mutex.create () } in
+        Hashtbl.add t.engines key s;
+        s
+  in
+  Mutex.unlock t.engines_mu;
+  slot
+
+let with_slot slot f =
+  Mutex.lock slot.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock slot.mu) (fun () -> f slot.engine)
+
+let close_engines t =
+  Mutex.lock t.engines_mu;
+  Hashtbl.iter (fun _ s -> Chop.Explore.Engine.close s.engine) t.engines;
+  Hashtbl.reset t.engines;
+  Mutex.unlock t.engines_mu
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+
+let scheduler_stats_json t =
+  let s = Scheduler.stats t.sched in
+  Json.Object
+    [
+      ("accepted", Json.Int s.Scheduler.accepted);
+      ("rejected", Json.Int s.Scheduler.rejected);
+      ("completed", Json.Int s.Scheduler.completed);
+      ("expired", Json.Int s.Scheduler.expired);
+      ("failed", Json.Int s.Scheduler.failed);
+      ("queued", Json.Int (Scheduler.queued t.sched));
+      ("in_flight", Json.Int (Scheduler.in_flight t.sched));
+      ("max_queued", Json.Int s.Scheduler.max_queued);
+      ("max_in_flight", Json.Int s.Scheduler.max_in_flight);
+    ]
+
+let stats_fields t =
+  let c = t.counters in
+  Mutex.lock t.counters_mu;
+  let requests =
+    Json.Object
+      [
+        ("ok", Json.Int c.ok);
+        ("bad_request", Json.Int c.bad_request);
+        ("overloaded", Json.Int c.overloaded);
+        ("deadline", Json.Int c.deadline);
+        ("shutting_down", Json.Int c.shutting_down);
+        ("internal", Json.Int c.internal);
+      ]
+  in
+  Mutex.unlock t.counters_mu;
+  let cache = Chop.Pred_cache.counters Chop.Pred_cache.shared in
+  Mutex.lock t.engines_mu;
+  let engines = Hashtbl.length t.engines in
+  Mutex.unlock t.engines_mu;
+  [
+    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+    ("engines", Json.Int engines);
+    ("scheduler", scheduler_stats_json t);
+    ("requests", requests);
+    ("cache",
+     Json.Object
+       [
+         ("hits", Json.Int cache.Chop.Pred_cache.hits);
+         ("misses", Json.Int cache.Chop.Pred_cache.misses);
+         ("evictions", Json.Int cache.Chop.Pred_cache.evictions);
+       ]);
+  ]
+
+(* One operation, already admitted: returns the result fields, the
+   engine report backing the timing (when one ran) and the verdict shown
+   in the access log. *)
+let exec_op t (req : Protocol.request) ~interrupt :
+    ( (string * Json.t) list * Chop.Explore.report option * string,
+      Protocol.error_code * string )
+    result =
+  let p = req.Protocol.params in
+  let ( let* ) r f =
+    match r with Ok v -> f v | Error e -> Error (Protocol.Bad_request, e)
+  in
+  match req.Protocol.op with
+  | Protocol.Ping -> Ok ([ ("pong", Json.Bool true) ], None, "-")
+  | Protocol.Stats -> Ok (stats_fields t, None, "-")
+  | Protocol.Explore -> (
+      let* spec = Ops.spec_of_params p in
+      let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
+      let slot =
+        engine_slot t ~key:(Ops.engine_key ~op:req.Protocol.op p) spec config
+      in
+      match with_slot slot (Chop.Explore.Engine.run_interruptible ~interrupt) with
+      | exception Chop.Explore.Cancelled ->
+          Error (Protocol.Deadline, "deadline exceeded during the run")
+      | report ->
+          let text =
+            Ops.render_explore spec ~keep_all:p.Protocol.keep_all
+              ~csv:p.Protocol.csv ~verbose:p.Protocol.verbose report
+          in
+          let feasible = Ops.explore_feasible_count report in
+          Ok
+            ( [
+                ("text", Json.String text);
+                ("feasible", Json.Bool (feasible > 0));
+                ("feasible_count", Json.Int feasible);
+                ("trials",
+                 Json.Int
+                   report.Chop.Explore.outcome.Chop.Search.stats
+                     .Chop.Search.implementation_trials);
+              ],
+              Some report,
+              if feasible > 0 then "feasible" else "infeasible" ))
+  | Protocol.Predict ->
+      let* spec = Ops.spec_of_params p in
+      let config = Chop.Explore.Config.make ~jobs:t.cfg.jobs () in
+      let slot =
+        engine_slot t ~key:(Ops.engine_key ~op:req.Protocol.op p) spec config
+      in
+      let per_partition, stats = with_slot slot Chop.Explore.Engine.predictions in
+      let text =
+        Ops.render_predict spec ~index:p.Protocol.index ~top:p.Protocol.top
+          per_partition stats
+      in
+      Ok ([ ("text", Json.String text) ], None, "-")
+  | Protocol.Advise -> (
+      let* spec = Ops.spec_of_params p in
+      let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
+      let slot =
+        engine_slot t ~key:(Ops.engine_key ~op:req.Protocol.op p) spec config
+      in
+      match with_slot slot (Chop.Explore.Engine.run_interruptible ~interrupt) with
+      | exception Chop.Explore.Cancelled ->
+          Error (Protocol.Deadline, "deadline exceeded during the run")
+      | report ->
+          let j = Chop.Advisor.judge spec report in
+          Ok
+            ( [
+                ("text", Json.String (Ops.render_advice j));
+                ("feasible", Json.Bool j.Chop.Advisor.feasible);
+              ],
+              Some report,
+              if j.Chop.Advisor.feasible then "feasible" else "infeasible" ))
+  | Protocol.Sensitivity ->
+      let* spec = Ops.spec_of_params p in
+      (* per-point what-if probes build their own single-job engines; the
+         shared prediction cache is what keeps repeat sweeps warm *)
+      let config = Chop.Explore.Config.make ~jobs:1 () in
+      let* sweep = Ops.run_sensitivity ~config spec p in
+      let cliff =
+        match Chop.Sensitivity.cliff sweep with
+        | Some v -> Json.Float v
+        | None -> Json.Null
+      in
+      Ok
+        ( [
+            ("text", Json.String (Ops.render_sensitivity sweep));
+            ("cliff", cliff);
+          ],
+          None,
+          "-" )
+
+(* The full pipeline for one admitted request: execute, time, count,
+   log, render the response object. *)
+let execute t (req : Protocol.request) ~queue_seconds ~interrupt =
+  let t0 = Unix.gettimeofday () in
+  let queue_ms = queue_seconds *. 1000. in
+  let op_name = Protocol.op_to_string req.Protocol.op in
+  let result =
+    try exec_op t req ~interrupt
+    with exn -> Error (Protocol.Internal, Printexc.to_string exn)
+  in
+  let run_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  match result with
+  | Ok (fields, report, verdict) ->
+      let timing =
+        match report with
+        | Some r -> Protocol.timing_of_report ~queue_ms ~run_ms r
+        | None -> Protocol.no_engine_timing ~queue_ms ~run_ms
+      in
+      bump t `Ok;
+      access_log t ~id:req.Protocol.id ~op:op_name ~status:"ok" ~timing ~verdict;
+      Protocol.ok_response ~id:req.Protocol.id ~op:req.Protocol.op ~timing fields
+  | Error (code, msg) ->
+      let timing = Protocol.no_engine_timing ~queue_ms ~run_ms in
+      bump t (`Err code);
+      access_log t ~id:req.Protocol.id ~op:op_name
+        ~status:(Protocol.error_code_to_string code)
+        ~timing ~verdict:"-";
+      Protocol.error_response ~id:req.Protocol.id ~code msg
+
+(* Rejections that never execute still get a counter bump and a log
+   line, so the access log accounts for every request seen. *)
+let reject t ~id ~op ~code ~queue_seconds msg =
+  let timing =
+    Protocol.no_engine_timing ~queue_ms:(queue_seconds *. 1000.) ~run_ms:0.
+  in
+  bump t (`Err code);
+  access_log t ~id ~op ~status:(Protocol.error_code_to_string code) ~timing
+    ~verdict:"-";
+  Protocol.error_response ~id ~code msg
+
+let effective_deadline t (req : Protocol.request) ~now =
+  match
+    (match req.Protocol.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline_ms)
+  with
+  | None -> None
+  | Some ms -> Some (now +. (ms /. 1000.))
+
+(* Parse + dispatch for one request line; [send] delivers each response
+   line (possibly from a scheduler thread, later). *)
+let dispatch_line t ~send line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      send
+        (Json.print
+           (reject t ~id:"-" ~op:"-" ~code:Protocol.Bad_request ~queue_seconds:0.
+              msg))
+  | Ok req -> (
+      let id = req.Protocol.id in
+      let op = Protocol.op_to_string req.Protocol.op in
+      match req.Protocol.op with
+      | Protocol.Stats | Protocol.Ping ->
+          (* answered inline, bypassing the queue: the service stays
+             observable when the scheduler is saturated *)
+          send
+            (Json.print
+               (execute t req ~queue_seconds:0. ~interrupt:(fun () -> false)))
+      | _ -> (
+          let deadline = effective_deadline t req ~now:(Unix.gettimeofday ()) in
+          let outcome =
+            Scheduler.submit t.sched ?deadline
+              ~expired:(fun ~queue_seconds ->
+                send
+                  (Json.print
+                     (reject t ~id ~op ~code:Protocol.Deadline ~queue_seconds
+                        "deadline exceeded while queued")))
+              ~run:(fun ~interrupt ~queue_seconds ->
+                send (Json.print (execute t req ~queue_seconds ~interrupt)))
+              ()
+          in
+          match outcome with
+          | Scheduler.Accepted -> ()
+          | Scheduler.Overloaded ->
+              send
+                (Json.print
+                   (reject t ~id ~op ~code:Protocol.Overloaded ~queue_seconds:0.
+                      (Printf.sprintf
+                         "queue full (%d queued + %d running); retry later"
+                         t.cfg.queue t.cfg.concurrency)))
+          | Scheduler.Draining ->
+              send
+                (Json.print
+                   (reject t ~id ~op ~code:Protocol.Shutting_down
+                      ~queue_seconds:0. "server is draining"))))
+
+let handle_line t line =
+  let buf = Buffer.create 256 in
+  (* synchronous path: every send lands before dispatch_line returns
+     because stats/ping run inline and this caller is expected to be
+     used without the scheduler racing (tests, the CLI parity check) —
+     scheduled sends block on the buffer mutex-free single thread. *)
+  let done_mu = Mutex.create () in
+  let done_cv = Condition.create () in
+  let got = ref false in
+  let send s =
+    Mutex.lock done_mu;
+    Buffer.add_string buf s;
+    got := true;
+    Condition.signal done_cv;
+    Mutex.unlock done_mu
+  in
+  dispatch_line t ~send line;
+  Mutex.lock done_mu;
+  while not !got do
+    Condition.wait done_cv done_mu
+  done;
+  Mutex.unlock done_mu;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+
+let register_conn t fd =
+  Mutex.lock t.conns_mu;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_mu
+
+let unregister_conn t fd =
+  Mutex.lock t.conns_mu;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.conns_mu
+
+let close_conns t =
+  Mutex.lock t.conns_mu;
+  let cs = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mu;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) cs
+
+let conn_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let write_mu = Mutex.create () in
+  let send line =
+    Mutex.lock write_mu;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    Mutex.unlock write_mu
+  in
+  (try
+     while true do
+       dispatch_line t ~send (input_line ic)
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  unregister_conn t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t fd =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept fd with
+        | cfd, _ ->
+            register_conn t cfd;
+            ignore (Thread.create (conn_loop t) cfd)
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          ->
+            ())
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+  done
+
+let stdio_loop t =
+  let write_mu = Mutex.create () in
+  let send line =
+    Mutex.lock write_mu;
+    (try
+       output_string stdout line;
+       output_char stdout '\n';
+       flush stdout
+     with Sys_error _ -> ());
+    Mutex.unlock write_mu
+  in
+  try
+    while not (Atomic.get t.stopping) do
+      dispatch_line t ~send (input_line stdin)
+    done
+  with End_of_file | Sys_error _ -> ()
+
+let install_signals t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let h = Sys.Signal_handle (fun _ -> stop t) in
+  (try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ()
+
+let serve t =
+  if t.cfg.handle_signals then install_signals t;
+  (match t.cfg.socket_path with
+  | Some path ->
+      log_line t
+        (Printf.sprintf "%s serve: listening on %s (concurrency %d, queue %d, \
+                         jobs %d)"
+           (timestamp (Unix.gettimeofday ()))
+           path t.cfg.concurrency t.cfg.queue t.cfg.jobs)
+  | None ->
+      log_line t
+        (Printf.sprintf "%s serve: reading requests from stdin (concurrency \
+                         %d, queue %d, jobs %d)"
+           (timestamp (Unix.gettimeofday ()))
+           t.cfg.concurrency t.cfg.queue t.cfg.jobs));
+  (match t.listen_fd with
+  | Some fd -> accept_loop t fd
+  | None -> stdio_loop t);
+  (* drain-then-exit: finish and answer everything admitted, then close *)
+  log_line t
+    (Printf.sprintf "%s serve: shutdown requested, draining %d queued + %d \
+                     in-flight request(s)"
+       (timestamp (Unix.gettimeofday ()))
+       (Scheduler.queued t.sched)
+       (Scheduler.in_flight t.sched));
+  Scheduler.drain t.sched;
+  close_conns t;
+  (match t.listen_fd with
+  | Some fd -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match t.cfg.socket_path with
+      | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | None -> ())
+  | None -> ());
+  close_engines t;
+  Chop_util.Pool.shutdown t.pool;
+  let s = Scheduler.stats t.sched in
+  log_line t
+    (Printf.sprintf
+       "%s serve: drained; %d completed, %d expired, %d rejected, %d failed"
+       (timestamp (Unix.gettimeofday ()))
+       s.Scheduler.completed s.Scheduler.expired s.Scheduler.rejected
+       s.Scheduler.failed)

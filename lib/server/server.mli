@@ -1,0 +1,65 @@
+(** The [chop serve] daemon: a long-running exploration service answering
+    newline-delimited JSON requests ({!Protocol}) from persistent warm
+    engines.
+
+    One {!t} owns one shared domain pool; every request engine borrows it
+    ({!Chop.Explore.Engine.create}[ ?pool]) and all engines share the
+    process-wide prediction cache, so a request repeating an earlier
+    request's parameters reuses both the engine (integration context,
+    staged caches) and the cached BAD predictions — the warm path the
+    bench harness measures.
+
+    Requests flow through a {!Scheduler}: bounded queue, fixed
+    concurrency, per-request deadlines, and a structured [overloaded]
+    rejection past the bound.  [stats] and [ping] requests bypass the
+    queue so the service stays observable under saturation.
+
+    Shutdown is drain-then-exit: on SIGINT/SIGTERM (or {!stop}) the
+    listener stops accepting, in-flight and queued requests finish and
+    their responses are written, then sockets close and the engines and
+    pool are torn down. *)
+
+type config = {
+  socket_path : string option;
+      (** Unix-domain socket to listen on; [None] serves stdin/stdout
+          (one client, responses on stdout, log on stderr) *)
+  concurrency : int;  (** scheduler worker threads *)
+  queue : int;  (** bounded queue length *)
+  jobs : int;  (** shared domain-pool size *)
+  default_deadline_ms : float option;
+      (** applied to requests that carry no [deadline_ms] *)
+  log : out_channel option;  (** access log; [None] is silent *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM handlers that {!stop} the server (and
+          ignore SIGPIPE); tests running a server in-process leave this
+          off *)
+}
+
+val default_config : config
+(** Stdio transport, concurrency 2, queue 8, single-job pool, no default
+    deadline, log on stderr, signals handled. *)
+
+type t
+
+val create : config -> t
+(** Binds the listener (when [socket_path] is set; an existing socket
+    file is replaced) and starts the scheduler workers.  Fails with
+    [Unix.Unix_error] when the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Requests shutdown: the serve loop stops accepting and begins its
+    drain.  Callable from a signal handler or another thread; returns
+    immediately. *)
+
+val serve : t -> unit
+(** Runs the accept/read loop until {!stop}, a signal (when
+    [handle_signals]), or — in stdio mode — end of input; then drains
+    the scheduler, closes every connection and tears down engines and
+    pool.  Blocks for the server's whole life. *)
+
+val handle_line : t -> string -> string
+(** One request line through the full pipeline — parse, admission,
+    scheduling, execution, rendering — waiting for the response and
+    returning it without its newline.  The transport layer is bypassed;
+    everything else (deadlines, backpressure, counters, the access log)
+    behaves exactly as over a socket.  Exposed for tests and tooling. *)

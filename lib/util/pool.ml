@@ -35,6 +35,13 @@ type t = {
   size : int;  (* requested parallelism, as reported by [jobs] *)
   helpers : int;  (* helper domains actually spawned; see [create] *)
   lock : Mutex.t;
+  submit : Mutex.t;
+      (* held for a whole batch by the submitting thread: the batch slot
+         below is single-occupancy, so concurrent submitters (server
+         request threads sharing one pool) must not overlap.  Taken with
+         [try_lock]; a loser runs its batch inline instead of blocking,
+         which also keeps nested submissions from a worker domain
+         deadlock-free. *)
   work_ready : Condition.t;  (* a new batch was published, or shutdown *)
   work_done : Condition.t;  (* the current batch may be complete *)
   mutable batch : batch option;
@@ -104,6 +111,7 @@ let make_pool ~jobs ~helpers =
       size = jobs;
       helpers;
       lock = Mutex.create ();
+      submit = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
       batch = None;
@@ -188,7 +196,13 @@ let run_timed t tasks =
   let n = Array.length tasks in
   let participants = t.helpers + 1 in
   if participants = 1 || n <= 1 then run_inline tasks
-  else begin
+  else if not (Mutex.try_lock t.submit) then
+    (* another thread (or an enclosing batch on this very pool) already
+       owns the helpers; degrade to inline execution rather than block —
+       correct either way, and deadlock-free for nested submissions *)
+    run_inline tasks
+  else
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.submit) @@ fun () ->
     let results = Array.make n None in
     let job i =
       let r =
@@ -223,7 +237,6 @@ let run_timed t tasks =
     Mutex.unlock t.lock;
     ( collect results,
       { worker_busy = b.busy; chunk_count = Atomic.get b.chunks_taken } )
-  end
 
 let run t tasks = fst (run_timed t tasks)
 let map_array t f xs = run t (Array.map (fun x () -> f x) xs)

@@ -17,10 +17,14 @@
     Lifecycle: call {!shutdown} when done with a pool (idempotent; joins
     the worker domains).  Pools dropped without shutdown are caught by a
     [Gc.finalise] backstop that asks the parked workers to exit, so
-    pre-lifecycle callers don't leak running domains.  Batches must be
-    issued from one domain at a time: concurrent {!run} calls on the same
-    pool are not supported (nested calls from inside a task are safe —
-    the inner caller participates in its own batch). *)
+    pre-lifecycle callers don't leak running domains.
+
+    One pool can be shared by several submitting threads (the serving
+    layer runs every request engine over a single pool): the helper
+    domains serve one batch at a time, and a submitter that finds them
+    busy — including a nested submission from inside a task — executes
+    its batch inline on its own thread instead of blocking.  Results are
+    identical either way; only the reported parallelism differs. *)
 
 type t
 

@@ -302,6 +302,44 @@ let test_metrics_iterative_sequential () =
   Alcotest.(check (float 1e-9)) "iterative busy = wall"
     s.Explore.Metrics.wall_seconds s.Explore.Metrics.busy_seconds
 
+let test_metrics_cache_evictions () =
+  (* a one-entry cache cannot hold both layers of even one partition, so
+     the run must record evictions; an unbounded cache must record none *)
+  let tight = Pred_cache.create ~capacity:1 () in
+  let r =
+    run_with ~cache:(Explore.Config.Custom tight)
+      ~heuristic:Explore.Iterative ~jobs:1 (ar_spec ())
+  in
+  Alcotest.(check bool) "evictions recorded" true
+    (r.Explore.metrics.Explore.Metrics.cache_evictions > 0);
+  let roomy = Pred_cache.create () in
+  let r2 =
+    run_with ~cache:(Explore.Config.Custom roomy)
+      ~heuristic:Explore.Iterative ~jobs:1 (ar_spec ())
+  in
+  Alcotest.(check int) "no evictions when unbounded" 0
+    r2.Explore.metrics.Explore.Metrics.cache_evictions;
+  Alcotest.(check int) "counters agree" (Pred_cache.counters tight).evictions
+    r.Explore.metrics.Explore.Metrics.cache_evictions
+
+let test_run_interruptible_cancels () =
+  let spec = ar_spec () in
+  Explore.with_engine Explore.Config.default spec @@ fun engine ->
+  Alcotest.check_raises "immediate interrupt" Explore.Cancelled (fun () ->
+      ignore (Explore.Engine.run_interruptible ~interrupt:(fun () -> true)
+                engine));
+  (* a cancelled engine is not poisoned: the next run completes *)
+  let r = Explore.Engine.run engine in
+  Alcotest.(check bool) "engine survives cancellation" true
+    (r.Explore.outcome.Search.stats.Search.implementation_trials > 0);
+  (* and a never-firing interrupt changes nothing *)
+  let r2 =
+    Explore.Engine.run_interruptible ~interrupt:(fun () -> false) engine
+  in
+  Alcotest.(check string) "uninterrupted run matches"
+    (Search.to_csv r.Explore.outcome.Search.feasible)
+    (Search.to_csv r2.Explore.outcome.Search.feasible)
+
 let test_engine_predictions_match_legacy () =
   let spec = ar_spec () in
   Explore.with_engine Explore.Config.default spec @@ fun engine ->
@@ -374,6 +412,8 @@ let () =
           tc "metrics breakdown" `Quick test_metrics_breakdown;
           tc "iterative search is sequential" `Quick
             test_metrics_iterative_sequential;
+          tc "cache evictions metric" `Quick test_metrics_cache_evictions;
+          tc "run_interruptible cancels" `Quick test_run_interruptible_cancels;
           tc "predictions match legacy" `Quick
             test_engine_predictions_match_legacy;
         ] );

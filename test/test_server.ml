@@ -1,0 +1,370 @@
+(* Tests for the serving layer: protocol decoding, scheduler admission
+   and deadlines (the K+C+1 overload boundary), drain semantics, the
+   full handle_line pipeline, and byte-identity between concurrent
+   socket clients and the direct renderer. *)
+
+module Json = Chop_util.Json
+module Protocol = Chop_server.Protocol
+module Scheduler = Chop_server.Scheduler
+module Server = Chop_server.Server
+module Client = Chop_server.Client
+module Ops = Chop_server.Ops
+
+let parse_response line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+
+let until ?(timeout = 5.) cond =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if cond () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_defaults () =
+  match Protocol.parse_request {|{"op":"explore"}|} with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok req ->
+      Alcotest.(check string) "default id" "-" req.Protocol.id;
+      Alcotest.(check bool) "no deadline" true (req.Protocol.deadline_ms = None);
+      let p = req.Protocol.params in
+      Alcotest.(check string) "default benchmark" "ar" p.Protocol.benchmark;
+      Alcotest.(check int) "default partitions" 2 p.Protocol.partitions;
+      Alcotest.(check int) "default package" 84 p.Protocol.package
+
+let test_protocol_roundtrip () =
+  let req =
+    {
+      Protocol.id = "r7";
+      op = Protocol.Sensitivity;
+      deadline_ms = Some 250.;
+      params =
+        {
+          Protocol.default_params with
+          benchmark = "ewf";
+          heuristic = "b";
+          keep_all = true;
+          parameter = "pins";
+          values = [ 64.; 84. ];
+        };
+    }
+  in
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok req' ->
+      Alcotest.(check bool) "request round-trips" true (req = req')
+
+let test_protocol_errors () =
+  let fails s =
+    match Protocol.parse_request s with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" s
+    | Error _ -> ()
+  in
+  fails "[1,2]";
+  fails {|{"op":"no-such-op"}|};
+  fails {|{"op":"explore","partitions":"two"}|};
+  fails "not json at all"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+(* a gate the test opens to release blocked jobs *)
+type gate = { mu : Mutex.t; cv : Condition.t; mutable opened : bool }
+
+let gate () = { mu = Mutex.create (); cv = Condition.create (); opened = false }
+
+let gate_wait g =
+  Mutex.lock g.mu;
+  while not g.opened do
+    Condition.wait g.cv g.mu
+  done;
+  Mutex.unlock g.mu
+
+let gate_open g =
+  Mutex.lock g.mu;
+  g.opened <- true;
+  Condition.broadcast g.cv;
+  Mutex.unlock g.mu
+
+let test_scheduler_overload_boundary () =
+  let queue = 3 and concurrency = 2 in
+  let sched = Scheduler.create ~queue ~concurrency in
+  let g = gate () in
+  let submit () =
+    Scheduler.submit sched
+      ~expired:(fun ~queue_seconds:_ -> ())
+      ~run:(fun ~interrupt:_ ~queue_seconds:_ -> gate_wait g)
+      ()
+  in
+  (* fill every running slot, then every queue slot *)
+  for i = 1 to concurrency do
+    Alcotest.(check bool)
+      (Printf.sprintf "runner %d accepted" i)
+      true
+      (submit () = Scheduler.Accepted)
+  done;
+  Alcotest.(check bool) "workers picked the jobs up" true
+    (until (fun () -> Scheduler.in_flight sched = concurrency));
+  for i = 1 to queue do
+    Alcotest.(check bool)
+      (Printf.sprintf "queued %d accepted" i)
+      true
+      (submit () = Scheduler.Accepted)
+  done;
+  Alcotest.(check int) "queue full" queue (Scheduler.queued sched);
+  (* request K+C+1 is the first to be rejected *)
+  Alcotest.(check bool) "request K+C+1 overloaded" true
+    (submit () = Scheduler.Overloaded);
+  gate_open g;
+  Scheduler.drain sched;
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "all admitted jobs completed" (queue + concurrency)
+    st.Scheduler.completed;
+  Alcotest.(check int) "one rejection" 1 st.Scheduler.rejected;
+  Alcotest.(check int) "none failed" 0 st.Scheduler.failed;
+  (* after drain, admission answers Draining *)
+  Alcotest.(check bool) "post-drain submit refused" true
+    (submit () = Scheduler.Draining)
+
+let test_scheduler_deadline_expires_queued () =
+  let sched = Scheduler.create ~queue:4 ~concurrency:1 in
+  let g = gate () in
+  let blocker =
+    Scheduler.submit sched
+      ~expired:(fun ~queue_seconds:_ -> ())
+      ~run:(fun ~interrupt:_ ~queue_seconds:_ -> gate_wait g)
+      ()
+  in
+  Alcotest.(check bool) "blocker admitted" true
+    (blocker = Scheduler.Accepted);
+  Alcotest.(check bool) "blocker running" true
+    (until (fun () -> Scheduler.in_flight sched = 1));
+  let expired_flag = ref false and ran_flag = ref false in
+  let doomed =
+    Scheduler.submit sched
+      ~deadline:(Unix.gettimeofday () -. 1.)
+      ~expired:(fun ~queue_seconds:_ -> expired_flag := true)
+      ~run:(fun ~interrupt:_ ~queue_seconds:_ -> ran_flag := true)
+      ()
+  in
+  Alcotest.(check bool) "doomed admitted" true (doomed = Scheduler.Accepted);
+  gate_open g;
+  Scheduler.drain sched;
+  Alcotest.(check bool) "expired callback ran" true !expired_flag;
+  Alcotest.(check bool) "run callback skipped" false !ran_flag;
+  Alcotest.(check int) "counted expired" 1 (Scheduler.stats sched).Scheduler.expired
+
+let test_scheduler_drain_completes_in_flight () =
+  let sched = Scheduler.create ~queue:2 ~concurrency:1 in
+  let finished = ref 0 in
+  let slow () =
+    Scheduler.submit sched
+      ~expired:(fun ~queue_seconds:_ -> ())
+      ~run:(fun ~interrupt:_ ~queue_seconds:_ ->
+        Thread.delay 0.05;
+        incr finished)
+      ()
+  in
+  (* one running, one queued; drain must let both finish *)
+  Alcotest.(check bool) "first admitted" true (slow () = Scheduler.Accepted);
+  Alcotest.(check bool) "second admitted" true (slow () = Scheduler.Accepted);
+  Scheduler.drain sched;
+  Alcotest.(check int) "both completed before drain returned" 2 !finished
+
+(* ------------------------------------------------------------------ *)
+(* Server pipeline through handle_line (no sockets) *)
+
+let make_server () =
+  Server.create
+    {
+      Server.default_config with
+      socket_path = None;
+      jobs = 1;
+      log = None;
+      handle_signals = false;
+    }
+
+let field resp path =
+  List.fold_left
+    (fun v name -> Option.bind v (Json.member name))
+    (Some resp) path
+
+let test_handle_line_ping_and_stats () =
+  let server = make_server () in
+  let pong = parse_response (Server.handle_line server {|{"id":"p","op":"ping"}|}) in
+  Alcotest.(check (option bool)) "ping ok" (Some true)
+    (Protocol.response_ok pong);
+  Alcotest.(check (option string)) "ping id" (Some "p")
+    (Protocol.response_id pong);
+  let stats = parse_response (Server.handle_line server {|{"op":"stats"}|}) in
+  Alcotest.(check (option bool)) "stats ok" (Some true)
+    (Protocol.response_ok stats);
+  Alcotest.(check bool) "stats exposes the scheduler" true
+    (field stats [ "result"; "scheduler"; "accepted" ] <> None);
+  Alcotest.(check bool) "stats exposes cache counters" true
+    (field stats [ "result"; "cache"; "hits" ] <> None)
+
+let test_handle_line_bad_requests () =
+  let server = make_server () in
+  let code line =
+    Protocol.response_error_code (parse_response (Server.handle_line server line))
+  in
+  Alcotest.(check (option string)) "malformed json" (Some "bad_request")
+    (code "{nope");
+  Alcotest.(check (option string)) "unknown op" (Some "bad_request")
+    (code {|{"op":"frobnicate"}|});
+  Alcotest.(check (option string)) "wrong field type" (Some "bad_request")
+    (code {|{"op":"explore","partitions":"two"}|});
+  Alcotest.(check (option string)) "unknown benchmark" (Some "bad_request")
+    (code {|{"op":"explore","benchmark":"no-such-graph"}|})
+
+let test_handle_line_deadline () =
+  let server = make_server () in
+  (* a non-positive deadline is already expired at admission: the request
+     must come back as a structured deadline error, never run *)
+  let resp =
+    parse_response
+      (Server.handle_line server
+         {|{"id":"d1","op":"explore","benchmark":"ewf","deadline_ms":0}|})
+  in
+  Alcotest.(check (option bool)) "not ok" (Some false)
+    (Protocol.response_ok resp);
+  Alcotest.(check (option string)) "deadline code" (Some "deadline")
+    (Protocol.response_error_code resp);
+  Alcotest.(check (option string)) "id echoed" (Some "d1")
+    (Protocol.response_id resp)
+
+let explore_request ~id =
+  Printf.sprintf
+    {|{"id":"%s","op":"explore","benchmark":"ewf","partitions":2,"keep_all":true}|}
+    id
+
+let expected_explore_text () =
+  let params =
+    { Protocol.default_params with benchmark = "ewf"; keep_all = true }
+  in
+  let spec = Result.get_ok (Ops.spec_of_params params) in
+  let config = Result.get_ok (Ops.config_of_params ~jobs:1 params) in
+  let report = Chop.Explore.with_engine config spec Chop.Explore.Engine.run in
+  Ops.render_explore spec ~keep_all:true ~csv:false ~verbose:false report
+
+let test_handle_line_matches_direct_render () =
+  let server = make_server () in
+  let text id =
+    let resp = parse_response (Server.handle_line server (explore_request ~id)) in
+    Alcotest.(check (option bool)) "ok" (Some true) (Protocol.response_ok resp);
+    Option.get (Protocol.response_text resp)
+  in
+  let expected = expected_explore_text () in
+  Alcotest.(check string) "server text = direct render" expected (text "x1");
+  (* the repeat answers from the warm engine — and stays byte-identical *)
+  Alcotest.(check string) "warm repeat identical" expected (text "x2");
+  let stats = parse_response (Server.handle_line server {|{"op":"stats"}|}) in
+  Alcotest.(check bool) "one warm engine serves both" true
+    (Option.bind (field stats [ "result"; "engines" ]) Json.to_int_opt = Some 1)
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport: concurrent clients *)
+
+let test_socket_concurrent_clients () =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chop-test-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        socket_path = Some socket_path;
+        concurrency = 2;
+        queue = 8;
+        jobs = 1;
+        log = None;
+        handle_signals = false;
+      }
+  in
+  let server_thread = Thread.create Server.serve server in
+  let clients = 4 in
+  let results = Array.make clients (Error "never ran") in
+  let worker i () =
+    results.(i) <-
+      (let conn = Client.connect socket_path in
+       Fun.protect
+         ~finally:(fun () -> Client.close conn)
+         (fun () ->
+           let id = Printf.sprintf "c%d" i in
+           match
+             Client.rpc conn
+               (Json.parse_exn (explore_request ~id))
+           with
+           | Error msg -> Error msg
+           | Ok resp when Protocol.response_ok resp <> Some true ->
+               Error (Json.print resp)
+           | Ok resp ->
+               if Protocol.response_id resp <> Some id then
+                 Error "response id mismatch"
+               else Ok (Option.get (Protocol.response_text resp))))
+  in
+  let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  Server.stop server;
+  Thread.join server_thread;
+  let expected = expected_explore_text () in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Error msg -> Alcotest.failf "client %d failed: %s" i msg
+      | Ok text ->
+          Alcotest.(check string)
+            (Printf.sprintf "client %d byte-identical" i)
+            expected text)
+    results;
+  Alcotest.(check bool) "socket removed on shutdown" false
+    (Sys.file_exists socket_path)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chop_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_protocol_defaults;
+          Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "overload boundary at K+C+1" `Quick
+            test_scheduler_overload_boundary;
+          Alcotest.test_case "deadline expires while queued" `Quick
+            test_scheduler_deadline_expires_queued;
+          Alcotest.test_case "drain completes in-flight work" `Quick
+            test_scheduler_drain_completes_in_flight;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "ping and stats" `Quick
+            test_handle_line_ping_and_stats;
+          Alcotest.test_case "bad requests" `Quick
+            test_handle_line_bad_requests;
+          Alcotest.test_case "expired deadline is structured" `Quick
+            test_handle_line_deadline;
+          Alcotest.test_case "matches the direct render" `Quick
+            test_handle_line_matches_direct_render;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "concurrent clients byte-identical" `Quick
+            test_socket_concurrent_clients;
+        ] );
+    ]
