@@ -1311,7 +1311,140 @@ let bench_serve_json ?(smoke = false) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Interactive-session micro-benchmark: cold exploration vs warm re-runs
+   after single edits, with the Metrics cache counters asserting the
+   incremental contract — a re-run after an edit misses the prediction
+   cache exactly for the partitions the edit dirtied and nowhere else.
+   Runs on a private cache (Config.Custom) so the counters are exact. *)
+
+let bench_session_json ?(smoke = false) () =
+  section
+    (if smoke then "Interactive session smoke run (EWF only, no JSON)"
+     else "Interactive session timing (BENCH_session.json)");
+  let ewf_spec () =
+    let graph = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+    Chop.Rig.custom ~graph
+      ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:3)
+      ~package:Chop_tech.Mosis.package_84
+      ~clocks:
+        (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+           ~transfer_ratio:1)
+      ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+      ()
+  in
+  let ar_spec () = Chop.Rig.experiment1 ~partitions:3 () in
+  let benches =
+    if smoke then [ ("ewf", ewf_spec) ]
+    else [ ("ewf", ewf_spec); ("ar", ar_spec) ]
+  in
+  let failed = ref false in
+  let check name cond =
+    Printf.printf "  %-44s %s\n" name (if cond then "ok" else "FAIL");
+    if not cond then failed := true
+  in
+  let rows =
+    List.map
+      (fun (bench_name, spec_of) ->
+        let spec = spec_of () in
+        let parts =
+          spec.Chop.Spec.partitioning.Chop_dfg.Partition.parts
+        in
+        let k = List.length parts in
+        let config =
+          Chop.Explore.Config.make ~jobs:1
+            ~cache:(Chop.Explore.Config.Custom (Chop.Pred_cache.create ()))
+            ()
+        in
+        let session = Chop.Explore.Session.create config spec in
+        Fun.protect ~finally:(fun () -> Chop.Explore.Session.close session)
+        @@ fun () ->
+        let timed_run () =
+          let t0 = Unix.gettimeofday () in
+          let report = Chop.Explore.Session.run session in
+          (Unix.gettimeofday () -. t0, report)
+        in
+        Printf.printf "  %s (%d partitions):\n" bench_name k;
+        let cold_wall, cold = timed_run () in
+        (* structurally identical partitions (ar's repeated lattice stages)
+           share a cache key, so a cold run may legitimately hit on a
+           twin's entry; every partition is still accounted for *)
+        check "cold run predicts every partition"
+          (cold.Chop.Explore.cache_misses >= 1
+          && cold.Chop.Explore.cache_misses + cold.Chop.Explore.cache_hits = k);
+        (* one merge: the single-dirty edit — only the absorbing partition
+           re-predicts, every untouched partition hits the cache *)
+        let p3 = List.nth parts 2 and p2 = List.nth parts 1 in
+        let dirty =
+          match
+            Chop.Explore.Session.edit session
+              [ Chop.Spec.Merge_parts
+                  { src = p3.Chop_dfg.Partition.label;
+                    dst = p2.Chop_dfg.Partition.label } ]
+          with
+          | Ok d -> d
+          | Error e ->
+              failwith (Format.asprintf "%a" Chop.Spec.pp_update_error e)
+        in
+        let merge_wall, merged = timed_run () in
+        check "merge dirties exactly one partition"
+          (List.length dirty.Chop.Spec.repredict = 1);
+        check "misses after merge == dirty partitions"
+          (merged.Chop.Explore.cache_misses
+           = List.length dirty.Chop.Spec.repredict
+          && merged.Chop.Explore.cache_hits = k - 2);
+        (* a criteria change re-screens everything but re-predicts nothing:
+           the raw enumeration layer of the cache serves every partition *)
+        let criteria_edit =
+          Chop.Spec.Set_criteria
+            (Chop_bad.Feasibility.criteria ~perf:25000. ~delay:25000. ())
+        in
+        (match Chop.Explore.Session.edit session [ criteria_edit ] with
+        | Ok d -> check "criteria edit re-predicts nothing" (d.Chop.Spec.repredict = [])
+        | Error e ->
+            failwith (Format.asprintf "%a" Chop.Spec.pp_update_error e));
+        let warm_wall, warm = timed_run () in
+        check "criteria re-run misses nothing"
+          (warm.Chop.Explore.cache_misses = 0
+          && warm.Chop.Explore.cache_hits = k - 1);
+        check "warm edit latency well under cold explore"
+          (warm_wall < cold_wall /. 2.);
+        Printf.printf
+          "    cold %.3f ms   merge-warm %.3f ms   criteria-warm %.3f ms\n"
+          (cold_wall *. 1000.) (merge_wall *. 1000.) (warm_wall *. 1000.);
+        (bench_name, k, cold_wall, merge_wall, warm_wall))
+      benches
+  in
+  if smoke then
+    print_endline "  smoke OK (BENCH_session.json left untouched)"
+  else begin
+    let oc = open_out "BENCH_session.json" in
+    Printf.fprintf oc "{\n  \"host_cores\": %d,\n  \"benches\": [\n"
+      (Domain.recommended_domain_count ());
+    List.iteri
+      (fun i (name, k, cold, merge, warm) ->
+        Printf.fprintf oc
+          "    {\"bench\": \"%s\", \"partitions\": %d, \
+           \"cold_ms\": %.3f, \"merge_warm_ms\": %.3f, \
+           \"criteria_warm_ms\": %.3f}%s\n"
+          name k (cold *. 1000.) (merge *. 1000.) (warm *. 1000.)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    print_endline "  wrote BENCH_session.json"
+  end;
+  if !failed then begin
+    prerr_endline "bench session: incremental contract violated";
+    exit 1
+  end
+
 let () =
+  if Array.exists (fun a -> a = "session") Sys.argv then begin
+    bench_session_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "serve") Sys.argv then begin
     bench_serve_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
     exit 0

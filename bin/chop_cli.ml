@@ -4,6 +4,7 @@
    Subcommands:
      explore   run the full CHOP exploration on a benchmark graph
      predict   show BAD's predicted implementations for one partition
+     repl      interactive session: edit the partitioning, re-run cheaply
      dot       emit a Graphviz rendering of a (partitioned) benchmark
      advise    what-if feasibility probe while varying chips/constraints
      serve     long-running exploration service over a socket or stdio
@@ -181,6 +182,83 @@ let explore_cmd =
                        integrations avoided, chip-report cache hits).")
       $ jobs_arg)
 
+let repl_cmd =
+  let run graph k package perf delay multicycle heuristic strategy file verbose
+      jobs =
+    let spec =
+      match file with
+      | Some path -> Chop.Specfile.load path
+      | None -> build_spec graph k package perf delay multicycle strategy
+    in
+    let config =
+      Chop.Explore.Config.make ~heuristic ~jobs:(resolve_jobs jobs) ()
+    in
+    Chop.Explore.with_session config spec (fun session ->
+        let help () =
+          print_string
+            ("commands:\n  " ^ Ops.edit_commands
+           ^ "\n  parts          list partitions and their chips\n\
+             \  run            explore (re-predicting only edited partitions)\n\
+             \  help | quit\n")
+        in
+        print_string (Ops.render_parts (Chop.Explore.Session.spec session));
+        let rec loop () =
+          match input_line stdin with
+          | exception End_of_file -> ()
+          | line -> (
+              (* echo the command so a piped script yields a readable —
+                 and golden-testable — transcript *)
+              print_string ("chop> " ^ line ^ "\n");
+              match String.trim line with
+              | "quit" | "exit" -> ()
+              | cmd ->
+                  (match cmd with
+                  | "" -> ()
+                  | _ when cmd.[0] = '#' -> ()
+                  | "help" -> help ()
+                  | "parts" ->
+                      print_string
+                        (Ops.render_parts (Chop.Explore.Session.spec session))
+                  | "run" ->
+                      let report = Chop.Explore.Session.run session in
+                      print_string
+                        (Ops.render_explore
+                           (Chop.Explore.Session.spec session)
+                           ~keep_all:false ~csv:false ~verbose report);
+                      Printf.printf "predict: %d cache hit(s), %d miss(es)\n"
+                        report.Chop.Explore.cache_hits
+                        report.Chop.Explore.cache_misses
+                  | _ -> (
+                      let spec = Chop.Explore.Session.spec session in
+                      match Ops.parse_edit spec cmd with
+                      | Error msg -> Printf.printf "error: %s\n" msg
+                      | Ok edit -> (
+                          match Chop.Explore.Session.edit session [ edit ] with
+                          | Error e ->
+                              Format.printf "error: %a@."
+                                Chop.Spec.pp_update_error e
+                          | Ok dirty -> print_string (Ops.render_dirty dirty))));
+                  flush stdout;
+                  loop ())
+        in
+        loop ());
+    0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print designer guidelines.")
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Interactive session on a benchmark spec: partition edits from \
+             stdin (one command per line; $(b,help) lists them), with \
+             $(b,run) re-predicting only the partitions the edits touched. \
+             Scriptable: pipe a command file in; every command is echoed, so \
+             the transcript reads like the session.")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ heuristic_arg $ strategy_arg $ file_arg
+      $ verbose $ jobs_arg)
+
 let predict_cmd =
   let run graph k package perf delay multicycle strategy index top jobs =
     let spec = build_spec graph k package perf delay multicycle strategy in
@@ -353,7 +431,8 @@ let deadline_ms_arg =
               structured $(i,deadline) error instead of a result.")
 
 let serve_cmd =
-  let run socket concurrency queue jobs deadline_ms quiet =
+  let run socket concurrency queue jobs deadline_ms quiet session_ttl
+      max_sessions =
     let server =
       Chop_server.Server.create
         {
@@ -364,6 +443,8 @@ let serve_cmd =
           default_deadline_ms = deadline_ms;
           log = (if quiet then None else Some stderr);
           handle_signals = true;
+          session_ttl_s = session_ttl;
+          max_sessions;
         }
     in
     Chop_server.Server.serve server;
@@ -385,6 +466,20 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress the per-request access log (stderr).")
   in
+  let session_ttl =
+    Arg.(value
+         & opt float Chop_server.Server.default_config.Chop_server.Server.session_ttl_s
+         & info [ "session-ttl" ] ~docv:"S"
+             ~doc:"Evict interactive sessions idle for more than $(docv) \
+                   seconds.")
+  in
+  let max_sessions =
+    Arg.(value
+         & opt int Chop_server.Server.default_config.Chop_server.Server.max_sessions
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Cap on concurrently open interactive sessions; opening \
+                   past it evicts the least-recently-used idle one.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent exploration service: newline-delimited JSON \
@@ -392,12 +487,12 @@ let serve_cmd =
              warm engines sharing one domain pool and prediction cache")
     Term.(
       const run $ serve_socket_arg $ concurrency $ queue $ jobs_arg
-      $ deadline_ms_arg $ quiet)
+      $ deadline_ms_arg $ quiet $ session_ttl $ max_sessions)
 
 let request_cmd =
   let run socket op id benchmark partitions package perf delay multicycle
       heuristic strategy keep_all csv no_prune verbose index top parameter
-      values deadline_ms raw =
+      values session edits deadline_ms raw =
     let module P = Chop_server.Protocol in
     match P.op_of_string op with
     | Error msg ->
@@ -427,6 +522,8 @@ let request_cmd =
                 top;
                 parameter;
                 values;
+                session;
+                edits;
               };
           }
         in
@@ -474,8 +571,9 @@ let request_cmd =
   let op =
     Arg.(value & opt string "explore"
          & info [ "op" ] ~docv:"OP"
-             ~doc:"Operation: explore, predict, advise, sensitivity, stats \
-                   or ping.")
+             ~doc:"Operation: explore, predict, advise, sensitivity, stats, \
+                   ping, session/open, session/edit, session/run or \
+                   session/close.")
   in
   let id =
     Arg.(value & opt string "cli"
@@ -552,6 +650,17 @@ let request_cmd =
          & info [ "values" ] ~docv:"V1,V2,..."
              ~doc:"sensitivity: swept values, in order.")
   in
+  let session =
+    Arg.(value & opt string ""
+         & info [ "session" ] ~docv:"SID"
+             ~doc:"session/*: the session id returned by session/open.")
+  in
+  let edits =
+    Arg.(value & opt_all string []
+         & info [ "edit" ] ~docv:"CMD"
+             ~doc:"session/edit: an edit command line (repeatable, applied \
+                   in order).")
+  in
   let raw =
     Arg.(value & flag
          & info [ "json" ]
@@ -566,7 +675,7 @@ let request_cmd =
       const run $ request_socket_arg $ op $ id $ benchmark $ partitions
       $ package $ perf $ delay $ multicycle $ heuristic $ strategy $ keep_all
       $ csv $ no_prune $ verbose $ index $ top $ parameter $ values
-      $ deadline_ms_arg $ raw)
+      $ session $ edits $ deadline_ms_arg $ raw)
 
 let bench_info_cmd =
   let run () =
@@ -588,7 +697,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "chop" ~version:"1.0"
        ~doc:"CHOP: a constraint-driven system-level partitioner (DAC 1991)")
-    [ explore_cmd; predict_cmd; dot_cmd; advise_cmd; autosearch_cmd;
+    [ explore_cmd; predict_cmd; repl_cmd; dot_cmd; advise_cmd; autosearch_cmd;
       synth_cmd; spec_dump_cmd; serve_cmd; request_cmd; bench_info_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

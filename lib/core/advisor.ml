@@ -1,94 +1,25 @@
 exception Rejected of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Rejected s)) fmt
-
-let rebuild ?partitioning ?assignment ?chips ?memory_hosts ?criteria spec =
-  let partitioning =
-    Option.value ~default:spec.Spec.partitioning partitioning
-  in
-  let assignment = Option.value ~default:spec.Spec.assignment assignment in
-  let chips = Option.value ~default:spec.Spec.chips chips in
-  let memory_hosts = Option.value ~default:spec.Spec.memory_hosts memory_hosts in
-  let criteria = Option.value ~default:spec.Spec.criteria criteria in
-  try
-    Spec.make ~params:spec.Spec.params ~memories:spec.Spec.memories
-      ~memory_hosts ~graph:spec.Spec.graph ~library:spec.Spec.library ~chips
-      ~partitioning ~assignment ~clocks:spec.Spec.clocks ~style:spec.Spec.style
-      ~criteria ()
-  with Spec.Invalid_spec reason -> raise (Rejected reason)
+(* Every modification is a [Spec.update] edit list; the advisor merely maps
+   the structured rejection onto the historical exception. *)
+let apply spec edits =
+  match Spec.update spec edits with
+  | Ok (spec', _dirty) -> spec'
+  | Error e -> raise (Rejected e.Spec.reason)
 
 let move_operation spec ~op ~to_partition =
-  let pg = spec.Spec.partitioning in
-  let current =
-    try Chop_dfg.Partition.part_of pg op
-    with Not_found -> fail "operation %d is not in any partition" op
-  in
-  if current.Chop_dfg.Partition.label = to_partition then
-    fail "operation %d is already in %s" op to_partition;
-  if
-    not
-      (List.exists
-         (fun p -> p.Chop_dfg.Partition.label = to_partition)
-         pg.Chop_dfg.Partition.parts)
-  then fail "unknown partition %s" to_partition;
-  if List.length current.Chop_dfg.Partition.members = 1 then
-    fail "moving operation %d would empty partition %s" op
-      current.Chop_dfg.Partition.label;
-  let parts =
-    List.map
-      (fun p ->
-        let label = p.Chop_dfg.Partition.label in
-        let members = p.Chop_dfg.Partition.members in
-        if label = current.Chop_dfg.Partition.label then
-          Chop_dfg.Partition.make ~label (List.filter (fun m -> m <> op) members)
-        else if label = to_partition then
-          Chop_dfg.Partition.make ~label (op :: members)
-        else p)
-      pg.Chop_dfg.Partition.parts
-  in
-  let partitioning =
-    try Chop_dfg.Partition.partitioning spec.Spec.graph parts
-    with Chop_dfg.Partition.Invalid_partitioning reason -> raise (Rejected reason)
-  in
-  rebuild ~partitioning spec
+  apply spec [ Spec.Move_op { op; to_partition } ]
 
 let move_partition spec ~partition ~to_chip =
-  if not (List.exists (fun c -> c.Spec.chip_name = to_chip) spec.Spec.chips)
-  then fail "unknown chip %s" to_chip;
-  let assignment =
-    List.map
-      (fun (label, chip) -> if label = partition then (label, to_chip) else (label, chip))
-      spec.Spec.assignment
-  in
-  if not (List.mem_assoc partition assignment) then
-    fail "unknown partition %s" partition;
-  rebuild ~assignment spec
+  apply spec [ Spec.Reassign_chip { partition; chip = to_chip } ]
 
 let rehost_memory spec ~block ~to_chip =
-  let m =
-    try Spec.memory spec block with Not_found -> fail "unknown memory %s" block
-  in
-  (match m.Chop_tech.Memory.placement with
-  | Chop_tech.Memory.Off_chip_package _ ->
-      fail "memory %s is an off-chip package; it has no host" block
-  | Chop_tech.Memory.On_chip _ -> ());
-  let memory_hosts =
-    (block, to_chip) :: List.remove_assoc block spec.Spec.memory_hosts
-  in
-  rebuild ~memory_hosts spec
+  apply spec [ Spec.Rehost_memory { block; chip = to_chip } ]
 
 let swap_package spec ~chip package =
-  let chips =
-    List.map
-      (fun c ->
-        if c.Spec.chip_name = chip then { c with Spec.package } else c)
-      spec.Spec.chips
-  in
-  if not (List.exists (fun c -> c.Spec.chip_name = chip) spec.Spec.chips) then
-    fail "unknown chip %s" chip;
-  rebuild ~chips spec
+  apply spec [ Spec.Swap_package { chip; package } ]
 
-let set_constraints spec ~criteria = rebuild ~criteria spec
+let set_constraints spec ~criteria = apply spec [ Spec.Set_criteria criteria ]
 
 type judgement = {
   spec : Spec.t;
@@ -156,8 +87,12 @@ let optimize_memory_hosts ?config spec =
   in
   List.fold_left
     (fun (best_spec, best_j) hosts ->
-      let memory_hosts = List.combine on_chip_blocks hosts in
-      match rebuild ~memory_hosts spec with
+      let edits =
+        List.map2
+          (fun block chip -> Spec.Rehost_memory { block; chip })
+          on_chip_blocks hosts
+      in
+      match apply spec edits with
       | candidate ->
           let j = what_if ?config candidate in
           if better j best_j then (candidate, j) else (best_spec, best_j)

@@ -104,8 +104,6 @@ type report = {
   metrics : Metrics.t;
 }
 
-let bad_cpu_seconds r = r.bad_busy_seconds
-
 let predictor_config spec ~label =
   let params = spec.Spec.params in
   Chop_bad.Predictor.config ~alloc_cap:params.Spec.alloc_cap
@@ -121,19 +119,28 @@ let partition_chip_area spec ~label =
      pins are bonded as signal pads *)
   Chop_tech.Chip.usable_area pkg ~signal_pins:(pkg.Chop_tech.Chip.pins / 2)
 
-module Engine = struct
+module Session = struct
   type t = {
     config : Config.t;
-    spec : Spec.t;
+    mutable spec : Spec.t;
     pool : Chop_util.Pool.t;
     owns_pool : bool;
         (* a pool passed in by the caller (the serving layer shares one
-           pool across every engine) outlives the engine: close must not
+           pool across every session) outlives the session: close must not
            shut it down *)
     cache : Pred_cache.t option;
-    ctx : Integration.context;
+    mutable ctx : Integration.context;
+    mutable revision : int;
+    mutable pending : string list;
+        (* labels whose predictions an edit invalidated since the last run
+           (plus, before the first run, every partition) *)
     mutable closed : bool;
   }
+
+  let part_labels spec =
+    List.map
+      (fun p -> p.Chop_dfg.Partition.label)
+      spec.Spec.partitioning.Chop_dfg.Partition.parts
 
   let create ?pool (config : Config.t) spec =
     let cache =
@@ -148,7 +155,7 @@ module Engine = struct
       | None -> (Chop_util.Pool.create ~jobs:config.Config.jobs (), true)
     in
     { config; spec; pool; owns_pool; cache; ctx = Integration.context spec;
-      closed = false }
+      revision = 0; pending = part_labels spec; closed = false }
 
   let close e =
     e.closed <- true;
@@ -157,10 +164,31 @@ module Engine = struct
   let config e = e.config
   let spec e = e.spec
   let context e = e.ctx
+  let revision e = e.revision
+  let pending_dirty e = e.pending
 
   let check_open e name =
     if e.closed then
-      invalid_arg (Printf.sprintf "Explore.Engine.%s: engine is closed" name)
+      invalid_arg (Printf.sprintf "Explore.Session.%s: session is closed" name)
+
+  (* Apply edits to the session's spec.  The integration context is rebuilt
+     (its statics are per-spec); predictive work is *not* redone here — the
+     next run re-predicts dirty partitions and serves clean ones from the
+     cache, whose per-partition raw/full keys survive edits elsewhere in
+     the graph. *)
+  let edit e edits =
+    check_open e "edit";
+    match Spec.update e.spec edits with
+    | Error _ as err -> err
+    | Ok (spec', d) ->
+        e.spec <- spec';
+        e.ctx <- Integration.context spec';
+        e.revision <- e.revision + 1;
+        let live = part_labels spec' in
+        e.pending <-
+          List.sort_uniq String.compare (e.pending @ d.Spec.repredict)
+          |> List.filter (fun l -> List.mem l live);
+        Ok d
 
   (* One partition's prediction work, run on a pool worker: derive the
      full entry (raw list, feasible count, pruned list) through the cache.
@@ -364,6 +392,7 @@ module Engine = struct
         chip_cache_hits = sm.Search.chip_cache_hits;
       }
     in
+    e.pending <- [];
     { heuristic = e.config.Config.heuristic; bad = p.bad; outcome;
       bad_busy_seconds = p.busy_seconds; bad_wall_seconds = p.wall_seconds;
       cache_hits = p.hits; cache_misses = p.misses;
@@ -372,15 +401,13 @@ module Engine = struct
   let run e = run_interruptible ~interrupt:(fun () -> false) e
 end
 
+module Engine = Session
+
 let with_engine ?pool config spec f =
-  let e = Engine.create ?pool config spec in
-  Fun.protect ~finally:(fun () -> Engine.close e) (fun () -> f e)
+  let e = Session.create ?pool config spec in
+  Fun.protect ~finally:(fun () -> Session.close e) (fun () -> f e)
 
-let predictions ?prune spec =
-  with_engine (Config.make ?prune ()) spec Engine.predictions
-
-let run ?(keep_all = false) heuristic spec =
-  with_engine (Config.make ~heuristic ~keep_all ()) spec Engine.run
+let with_session = with_engine
 
 let unique_designs systems =
   let key s =

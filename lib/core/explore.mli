@@ -5,19 +5,21 @@
 
     - {!Config.t} gathers every knob of an exploration — heuristic,
       pruning, keep-all, parallelism and caching — in one record;
-    - {!Engine.t} is a session bound to one spec: it owns the domain pool,
-      the prediction-cache handle and the integration context, so repeated
-      runs (advisor what-if probes, sensitivity sweeps) reuse all three.
+    - {!Session.t} binds a configuration to a spec that evolves by edits:
+      it owns the domain pool, the prediction-cache handle and the
+      integration context.  {!Session.edit} applies a {!Spec.edit} list and
+      records the dirty partitions; the next {!Session.run} re-predicts
+      only those, serving clean partitions from the prediction cache
+      (whose per-partition keys survive edits elsewhere in the graph).
 
-    The engine's worker domains are spawned once at {!Engine.create} and
-    parked between runs; call {!Engine.close} when done with an engine
-    (or use {!with_engine}, which closes for you) to join them.  Engines
-    dropped without closing are caught by the pool's [Gc.finalise]
-    backstop, so pre-lifecycle callers don't leak running domains.
+    {!Engine} is an alias of {!Session}: a one-shot exploration is simply
+    "open session, zero edits, run".
 
-    The bare {!run} and {!predictions} entry points predate the engine and
-    are kept as thin deprecated wrappers; new code should use
-    [Engine.run (Engine.create config spec)]. *)
+    The session's worker domains are spawned once at {!Session.create} and
+    parked between runs; call {!Session.close} when done (or use
+    {!with_engine}, which closes for you) to join them.  Sessions dropped
+    without closing are caught by the pool's [Gc.finalise] backstop, so
+    pre-lifecycle callers don't leak running domains. *)
 
 type heuristic =
   | Enumeration  (** the paper's "E" *)
@@ -151,34 +153,52 @@ type report = {
   metrics : Metrics.t;  (** the full per-phase timing breakdown *)
 }
 
-val bad_cpu_seconds : report -> float
-[@@ocaml.deprecated
-  "misnamed: the value is summed per-worker wall ('busy') time, not CPU \
-   time. Use the bad_busy_seconds field."]
+(** {1 Sessions}
 
-(** {1 The engine} *)
+    The paper's interactive loop (section 2.2): open a session on a spec,
+    apply edits, re-run, repeat.  Edits are validated by {!Spec.update};
+    a rejected edit list leaves the session untouched. *)
 
-module Engine : sig
+module Session : sig
   type t
 
   val create : ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> t
   (** Binds a configuration to a spec.  The integration context is built
-      eagerly and reused by every subsequent run, and the domain pool's
+      eagerly and rebuilt after every edit, and the domain pool's
       workers are spawned here, once — see {!close}.  [pool] borrows an
-      existing pool instead (the serving layer runs every request engine
-      over one shared pool): the engine then ignores [config.jobs] for
+      existing pool instead (the serving layer runs every request session
+      over one shared pool): the session then ignores [config.jobs] for
       pool sizing, and {!close} leaves the borrowed pool running — its
       owner shuts it down. *)
 
   val close : t -> unit
-  (** Joins the engine's worker domains (when the engine owns them — a
+  (** Joins the session's worker domains (when the session owns them — a
       pool borrowed at {!create} is left untouched).  Idempotent.
-      Subsequent {!run} or {!predictions} calls raise
+      Subsequent {!run}, {!edit} or {!predictions} calls raise
       [Invalid_argument]. *)
 
   val config : t -> Config.t
   val spec : t -> Spec.t
+  (** The current spec — the result of every edit applied so far. *)
+
   val context : t -> Integration.context
+
+  val revision : t -> int
+  (** Number of successful {!edit} calls so far. *)
+
+  val pending_dirty : t -> string list
+  (** Labels of partitions whose predictions must be recomputed by the next
+      {!run}: every partition before the first run, then the accumulated
+      [repredict] sets of edits applied since the last run.  Sorted;
+      cleared by a completed run. *)
+
+  val edit : t -> Spec.edit list -> (Spec.dirty, Spec.update_error) result
+  (** Apply edits to the session's spec ({!Spec.update} semantics: all or
+      nothing, never raises).  On [Ok] the session's spec and integration
+      context are replaced and the dirty partitions recorded; clean
+      partitions keep their prediction-cache keys, so the next {!run}
+      re-predicts only the dirty ones (with caching enabled).  On [Error]
+      the session is unchanged. *)
 
   val run : t -> report
   (** Predict every partition (in parallel, through the cache) and search
@@ -203,11 +223,20 @@ module Engine : sig
       statistics always report both raw and pruned counts. *)
 end
 
+module Engine = Session
+(** One-shot exploration is a session with zero edits; existing callers
+    keep reading [Engine.run], new interactive callers use
+    [Session.edit]. *)
+
 val with_engine :
-  ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> (Engine.t -> 'a) -> 'a
-(** [with_engine config spec f] runs [f] over a fresh engine and
-    {!Engine.close}s it afterwards, whether [f] returns or raises.
-    [pool] is passed through to {!Engine.create}. *)
+  ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> (Session.t -> 'a) -> 'a
+(** [with_engine config spec f] runs [f] over a fresh session and
+    {!Session.close}s it afterwards, whether [f] returns or raises.
+    [pool] is passed through to {!Session.create}. *)
+
+val with_session :
+  ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> (Session.t -> 'a) -> 'a
+(** Alias of {!with_engine}, matching interactive callers' vocabulary. *)
 
 (** {1 Helpers} *)
 
@@ -225,23 +254,3 @@ val unique_designs : Integration.system list -> int
     and 8. *)
 
 val pp_heuristic : Format.formatter -> heuristic -> unit
-
-(** {1 Deprecated entry points}
-
-    Thin wrappers over a single-job engine, kept so pre-engine callers
-    compile unchanged.  Each call builds a fresh engine (losing context
-    reuse, though the shared prediction cache still applies).  New code
-    should use {!Engine.create}/{!Engine.run} with a {!Config.t}. *)
-
-val predictions :
-  ?prune:bool -> Spec.t -> (string * Chop_bad.Prediction.t list) list * bad_stats list
-(** Runs BAD on every partition subgraph.  [prune] (default: the spec's
-    [discard_inferior]) applies first-level pruning to the returned lists;
-    statistics always report both raw and pruned counts.
-    @deprecated Use {!Engine.predictions}. *)
-
-val run : ?keep_all:bool -> heuristic -> Spec.t -> report
-(** End-to-end exploration.  [keep_all = true] disables both pruning levels
-    and records every design encountered ([outcome.explored]) — the mode
-    behind the paper's Figures 7 and 8.
-    @deprecated Use {!Engine.run}. *)

@@ -98,6 +98,175 @@ let make ?(params = default_params) ?(memories = []) ?(memory_hosts = []) ~graph
     params;
   }
 
+(* Incremental edits (paper, section 2.2: the designer's interactive moves).
+
+   Every edit funnels through [make], so an [Ok] spec satisfies the full
+   validator; the dirty sets tell the exploration session how much predictive
+   work the edit invalidates. *)
+
+type edit =
+  | Move_op of { op : Chop_dfg.Graph.node_id; to_partition : string }
+  | Merge_parts of { src : string; dst : string }
+  | Split_part of {
+      from_partition : string;
+      members : Chop_dfg.Graph.node_id list;
+      new_label : string;
+    }
+  | Reassign_chip of { partition : string; chip : string }
+  | Swap_package of { chip : string; package : Chop_tech.Chip.t }
+  | Rehost_memory of { block : string; chip : string }
+  | Set_clocks of Chop_tech.Clocking.t
+  | Set_criteria of Chop_bad.Feasibility.criteria
+
+type dirty = {
+  repredict : string list;
+  rederive : string list;
+  removed : string list;
+}
+
+let no_dirty = { repredict = []; rederive = []; removed = [] }
+
+type update_error = { index : int; reason : string }
+
+let pp_update_error ppf e =
+  Format.fprintf ppf "edit %d: %s" e.index e.reason
+
+let labels t =
+  List.map (fun p -> p.Chop_dfg.Partition.label) t.partitioning.Chop_dfg.Partition.parts
+
+let rebuild ?partitioning ?assignment ?chips ?memory_hosts ?clocks ?criteria t =
+  let value d o = Option.value ~default:d o in
+  match
+    make ~params:t.params ~memories:t.memories
+      ~memory_hosts:(value t.memory_hosts memory_hosts) ~graph:t.graph
+      ~library:t.library ~chips:(value t.chips chips)
+      ~partitioning:(value t.partitioning partitioning)
+      ~assignment:(value t.assignment assignment) ~clocks:(value t.clocks clocks)
+      ~style:t.style ~criteria:(value t.criteria criteria) ()
+  with
+  | t' -> Ok t'
+  | exception Invalid_spec reason -> Error reason
+
+let apply_edit t edit =
+  let open Chop_dfg in
+  let ( let* ) = Result.bind in
+  match edit with
+  | Move_op { op; to_partition } -> (
+      match Partition.part_of t.partitioning op with
+      | exception Not_found ->
+          Error (Printf.sprintf "operation %d is not in any partition" op)
+      | src ->
+          let* pg = Partition.move_op t.partitioning ~op ~to_:to_partition in
+          let* t' = rebuild ~partitioning:pg t in
+          Ok
+            ( t',
+              { no_dirty with
+                repredict = [ src.Partition.label; to_partition ] } ))
+  | Merge_parts { src; dst } ->
+      let* pg = Partition.merge_parts t.partitioning ~src ~dst in
+      let assignment = List.remove_assoc src t.assignment in
+      let* t' = rebuild ~partitioning:pg ~assignment t in
+      Ok (t', { no_dirty with repredict = [ dst ]; removed = [ src ] })
+  | Split_part { from_partition; members; new_label } ->
+      let* pg =
+        Partition.split_part t.partitioning ~label:from_partition ~members
+          ~new_label
+      in
+      let* chip =
+        match List.assoc_opt from_partition t.assignment with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "unknown partition %s" from_partition)
+      in
+      let assignment = t.assignment @ [ (new_label, chip) ] in
+      let* t' = rebuild ~partitioning:pg ~assignment t in
+      Ok (t', { no_dirty with repredict = [ from_partition; new_label ] })
+  | Reassign_chip { partition; chip } ->
+      if not (List.mem_assoc partition t.assignment) then
+        Error (Printf.sprintf "unknown partition %s" partition)
+      else if not (List.exists (fun c -> c.chip_name = chip) t.chips) then
+        Error (Printf.sprintf "unknown chip %s" chip)
+      else
+        let assignment =
+          List.map
+            (fun (l, c) -> if l = partition then (l, chip) else (l, c))
+            t.assignment
+        in
+        let* t' = rebuild ~assignment t in
+        Ok (t', { no_dirty with rederive = [ partition ] })
+  | Swap_package { chip; package } ->
+      if not (List.exists (fun c -> c.chip_name = chip) t.chips) then
+        Error (Printf.sprintf "unknown chip %s" chip)
+      else
+        let chips =
+          List.map
+            (fun c -> if c.chip_name = chip then { c with package } else c)
+            t.chips
+        in
+        let on_chip =
+          List.filter_map
+            (fun (l, c) -> if c = chip then Some l else None)
+            t.assignment
+        in
+        let* t' = rebuild ~chips t in
+        Ok (t', { no_dirty with rederive = on_chip })
+  | Rehost_memory { block; chip } -> (
+      match List.find_opt (fun m -> m.Chop_tech.Memory.mname = block) t.memories with
+      | None -> Error (Printf.sprintf "unknown memory %s" block)
+      | Some m -> (
+          match m.Chop_tech.Memory.placement with
+          | Chop_tech.Memory.Off_chip_package _ ->
+              Error
+                (Printf.sprintf "memory %s is an off-chip package; it has no host"
+                   block)
+          | Chop_tech.Memory.On_chip _ ->
+              let memory_hosts =
+                (block, chip) :: List.remove_assoc block t.memory_hosts
+              in
+              let* t' = rebuild ~memory_hosts t in
+              (* hosting affects integration (transfer paths), not the
+                 per-partition BAD prediction *)
+              Ok (t', no_dirty)))
+  | Set_clocks clocks ->
+      let* t' = rebuild ~clocks t in
+      Ok (t', { no_dirty with repredict = labels t' })
+  | Set_criteria criteria ->
+      let* t' = rebuild ~criteria t in
+      (* the raw BAD enumeration survives a criteria change; only the
+         feasibility screening (the kept set) must be re-derived *)
+      Ok (t', { no_dirty with rederive = labels t' })
+
+let update t edits =
+  let union a b = List.sort_uniq String.compare (a @ b) in
+  let rec go i t acc = function
+    | [] -> Ok (t, acc)
+    | e :: rest -> (
+        match apply_edit t e with
+        | Ok (t', d) ->
+            go (i + 1) t'
+              {
+                repredict = union acc.repredict d.repredict;
+                rederive = union acc.rederive d.rederive;
+                removed = union acc.removed d.removed;
+              }
+              rest
+        | Error reason -> Error { index = i; reason })
+  in
+  match go 0 t no_dirty edits with
+  | Error _ as e -> e
+  | Ok (t', d) ->
+      (* Normalise against the final partitioning: a label removed then
+         recreated is live (and marked for re-prediction by the recreating
+         edit); a label edited then removed is only removed.  [repredict]
+         subsumes [rederive]. *)
+      let live = labels t' in
+      let keep ls = List.filter (fun l -> List.mem l live) ls in
+      let repredict = keep d.repredict in
+      let rederive =
+        List.filter (fun l -> not (List.mem l repredict)) (keep d.rederive)
+      in
+      let removed = List.filter (fun l -> not (List.mem l live)) d.removed in
+      Ok (t', { repredict; rederive; removed })
+
 let chip t name =
   List.find (fun c -> c.chip_name = name) t.chips
 

@@ -62,6 +62,59 @@ val make :
     by the graph is undeclared, an on-chip block has no host (or a host that
     does not exist), or an off-chip block is given a host. *)
 
+(** {1 Incremental edits}
+
+    The paper's interactive workflow (section 2.2) has the designer move
+    operations between partitions, reassign partitions to chips, rehost
+    memories and retune constraints, then immediately re-check feasibility.
+    [update] applies such edits to a validated spec and reports which
+    partitions lost predictive work, so an exploration session can re-predict
+    only what the edit touched. *)
+
+type edit =
+  | Move_op of { op : Chop_dfg.Graph.node_id; to_partition : string }
+      (** move one operation into another partition *)
+  | Merge_parts of { src : string; dst : string }
+      (** absorb [src] into [dst]; [dst] keeps its label *)
+  | Split_part of {
+      from_partition : string;
+      members : Chop_dfg.Graph.node_id list;
+      new_label : string;
+    }  (** carve [members] out of [from_partition] into a fresh partition,
+           assigned to the same chip *)
+  | Reassign_chip of { partition : string; chip : string }
+  | Swap_package of { chip : string; package : Chop_tech.Chip.t }
+  | Rehost_memory of { block : string; chip : string }
+      (** on-chip blocks only *)
+  | Set_clocks of Chop_tech.Clocking.t
+  | Set_criteria of Chop_bad.Feasibility.criteria
+
+type dirty = {
+  repredict : string list;
+      (** partitions whose subgraph or predictor configuration changed: the
+          BAD enumeration itself must re-run *)
+  rederive : string list;
+      (** partitions whose raw enumeration survives but whose feasibility
+          screening (chip or criteria) changed: a cache raw-layer hit *)
+  removed : string list;  (** labels no longer present *)
+}
+
+type update_error = {
+  index : int;  (** 0-based position of the rejected edit *)
+  reason : string;
+}
+
+val pp_update_error : Format.formatter -> update_error -> unit
+
+val update : t -> edit list -> (t * dirty, update_error) result
+(** Apply edits left to right, each validated against the spec produced by
+    its predecessors; the first invalid edit rejects the whole list (the
+    input spec is never mutated — it remains valid and usable).  Never
+    raises.  On success the dirty sets are normalised against the final
+    partitioning: [repredict] and [rederive] are disjoint sets of live
+    labels ([repredict] wins), [removed] holds labels that no longer
+    exist. *)
+
 val chip : t -> string -> chip_instance
 (** @raise Not_found for an unknown chip name. *)
 

@@ -171,6 +171,87 @@ let topological_parts pg =
   done;
   !order
 
+(* Edit primitives.  Each rebuilds the part list and re-runs the full
+   [partitioning] validator, so coverage, disjointness and quotient
+   acyclicity hold for every [Ok] result by construction. *)
+
+let revalidate pg parts =
+  match partitioning pg.graph parts with
+  | pg' -> Ok pg'
+  | exception Invalid_partitioning msg -> Error msg
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let move_op pg ~op ~to_ =
+  match List.find_opt (fun p -> List.mem op p.members) pg.parts with
+  | None -> err "operation %d is not in any partition" op
+  | Some src ->
+      if not (List.exists (fun p -> p.label = to_) pg.parts) then
+        err "unknown partition %s" to_
+      else if src.label = to_ then err "operation %d is already in %s" op to_
+      else if List.compare_length_with src.members 1 = 0 then
+        err "moving operation %d would empty partition %s" op src.label
+      else
+        let parts =
+          List.map
+            (fun p ->
+              if p.label = src.label then
+                make ~label:p.label (List.filter (fun id -> id <> op) p.members)
+              else if p.label = to_ then make ~label:p.label (op :: p.members)
+              else p)
+            pg.parts
+        in
+        revalidate pg parts
+
+let merge_parts pg ~src ~dst =
+  match
+    ( List.find_opt (fun p -> p.label = src) pg.parts,
+      List.find_opt (fun p -> p.label = dst) pg.parts )
+  with
+  | None, _ -> err "unknown partition %s" src
+  | _, None -> err "unknown partition %s" dst
+  | Some _, Some _ when src = dst -> err "cannot merge %s with itself" src
+  | Some sp, Some _ ->
+      let parts =
+        List.filter_map
+          (fun p ->
+            if p.label = src then None
+            else if p.label = dst then
+              Some (make ~label:p.label (sp.members @ p.members))
+            else Some p)
+          pg.parts
+      in
+      revalidate pg parts
+
+let split_part pg ~label ~members ~new_label =
+  match List.find_opt (fun p -> p.label = label) pg.parts with
+  | None -> err "unknown partition %s" label
+  | Some p ->
+      if List.exists (fun q -> q.label = new_label) pg.parts then
+        err "partition %s already exists" new_label
+      else if members = [] then err "split of %s selects no operations" label
+      else (
+        match List.find_opt (fun id -> not (List.mem id p.members)) members with
+        | Some id -> err "operation %d is not in partition %s" id label
+        | None ->
+            let moved = List.sort_uniq Int.compare members in
+            let rest =
+              List.filter (fun id -> not (List.mem id moved)) p.members
+            in
+            if rest = [] then
+              err "split would move every operation out of %s" label
+            else
+              let parts =
+                List.concat_map
+                  (fun q ->
+                    if q.label = label then
+                      [ make ~label (rest : Graph.node_id list);
+                        make ~label:new_label moved ]
+                    else [ q ])
+                  pg.parts
+              in
+              revalidate pg parts)
+
 let whole g =
   let members = List.map (fun n -> n.Graph.id) (Graph.operations g) in
   partitioning g [ make ~label:"P1" members ]

@@ -68,6 +68,33 @@ val topological_parts : partitioning -> t list
 val quotient_edges : partitioning -> (string * string) list
 (** Ordered dependence edges between partition labels, deduplicated. *)
 
+(** {1 Edit primitives}
+
+    Interactive edits from the paper's workflow (section 2.2): each returns a
+    freshly validated partitioning, or [Error reason] when the edit would
+    violate an invariant (coverage, disjointness, non-empty partitions,
+    acyclic quotient graph).  Edits never raise. *)
+
+val move_op :
+  partitioning -> op:Graph.node_id -> to_:string -> (partitioning, string) result
+(** Move one operation into partition [to_].  Rejected when the operation is
+    unknown, already in [to_], or moving it would empty its partition. *)
+
+val merge_parts :
+  partitioning -> src:string -> dst:string -> (partitioning, string) result
+(** Absorb every operation of [src] into [dst]; [src] disappears and [dst]
+    keeps its label.  Rejected when either label is unknown or [src = dst]. *)
+
+val split_part :
+  partitioning ->
+  label:string ->
+  members:Graph.node_id list ->
+  new_label:string ->
+  (partitioning, string) result
+(** Move [members] of partition [label] into a fresh partition [new_label].
+    Rejected when a member is outside [label], [new_label] collides with an
+    existing label, or either side of the split would be empty. *)
+
 (** {1 Automatic generation} *)
 
 val whole : Graph.t -> partitioning

@@ -34,15 +34,15 @@ let recv t =
   match input_line t.ic with
   | line -> (
       match Chop_util.Json.parse line with
-      | Ok json -> Some json
-      | Error msg -> failwith (Printf.sprintf "malformed response: %s" msg))
-  | exception (End_of_file | Sys_error _) -> None
+      | Ok json -> Ok (Some json)
+      | Error msg -> Error (Printf.sprintf "malformed response: %s" msg))
+  | exception (End_of_file | Sys_error _) -> Ok None
 
 let rpc t json =
   match send t json with
   | () -> (
       match recv t with
-      | Some resp -> Ok resp
-      | None -> Error "connection closed before a response arrived"
-      | exception Failure msg -> Error msg)
+      | Ok (Some resp) -> Ok resp
+      | Ok None -> Error "connection closed before a response arrived"
+      | Error _ as e -> e)
   | exception (Sys_error msg | Failure msg) -> Error msg

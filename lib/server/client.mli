@@ -16,9 +16,11 @@ val send : t -> Chop_util.Json.t -> unit
     then {!recv} the responses (they may arrive in any order — match on
     the [id]). *)
 
-val recv : t -> Chop_util.Json.t option
-(** Reads one response line; [None] on a closed connection.
-    @raise Failure when the line is not valid JSON. *)
+val recv : t -> (Chop_util.Json.t option, string) result
+(** Reads one response line.  [Ok None] on a cleanly closed connection;
+    [Error] when the peer sent bytes that are not valid JSON — a
+    transport failure the caller reports structurally (the [chop request]
+    CLI exits 2), never an exception. *)
 
 val rpc : t -> Chop_util.Json.t -> (Chop_util.Json.t, string) result
 (** [send] then [recv]: one request, its response.  [Error] on a closed

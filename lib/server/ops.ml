@@ -96,7 +96,8 @@ let engine_key ~op (p : Protocol.params) =
     match op with
     | Protocol.Predict -> "predict"
     | Protocol.Explore | Protocol.Advise | Protocol.Sensitivity
-    | Protocol.Stats | Protocol.Ping ->
+    | Protocol.Stats | Protocol.Ping | Protocol.Session_open
+    | Protocol.Session_edit | Protocol.Session_run | Protocol.Session_close ->
         "explore"
   in
   Printf.sprintf "%s|%s|k=%d|p=%d|perf=%g|delay=%g|mc=%b|h=%s|s=%s|ka=%b|np=%b"
@@ -183,6 +184,132 @@ let render_predict spec ~index ~top per_partition stats =
   Buffer.contents buf
 
 let render_advice (j : Chop.Advisor.judgement) = j.Chop.Advisor.advice ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* The interactive edit-command language, shared by [chop repl] and the
+   server's session/edit op so transcripts and responses agree. *)
+
+let edit_commands =
+  "move <op> <partition> | merge <src> <dst> | split <from> <new> \
+   <op[,op...]> | assign <partition> <chip> | package <chip> <64|84> | \
+   rehost <block> <chip> | clocks <main_ns> <datapath_ratio> \
+   <transfer_ratio> | criteria <perf_ns> <delay_ns>"
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* an operation operand is a node id or a node name *)
+let resolve_operand spec tok =
+  let g = spec.Chop.Spec.graph in
+  match int_of_string_opt tok with
+  | Some id ->
+      if Chop_dfg.Graph.mem g id then Ok id
+      else Error (Printf.sprintf "unknown operation %d" id)
+  | None -> (
+      match
+        List.find_opt
+          (fun n -> n.Chop_dfg.Graph.name = tok)
+          (Chop_dfg.Graph.nodes g)
+      with
+      | Some n -> Ok n.Chop_dfg.Graph.id
+      | None -> Error (Printf.sprintf "unknown operation %S" tok))
+
+let number name tok =
+  match float_of_string_opt tok with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s must be a number, not %S" name tok)
+
+let integer name tok =
+  match int_of_string_opt tok with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s must be an integer, not %S" name tok)
+
+let parse_edit spec line =
+  match tokens line with
+  | [ "move"; op; part ] ->
+      let* op = resolve_operand spec op in
+      Ok (Chop.Spec.Move_op { op; to_partition = part })
+  | [ "merge"; src; dst ] -> Ok (Chop.Spec.Merge_parts { src; dst })
+  | [ "split"; from_partition; new_label; members ] ->
+      let toks =
+        String.split_on_char ',' members |> List.filter (fun t -> t <> "")
+      in
+      if toks = [] then Error "split: empty operation list"
+      else
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | t :: tl -> (
+              match resolve_operand spec t with
+              | Ok id -> conv (id :: acc) tl
+              | Error _ as e -> e)
+        in
+        let* members = conv [] toks in
+        Ok (Chop.Spec.Split_part { from_partition; members; new_label })
+  | [ "assign"; partition; chip ] ->
+      Ok (Chop.Spec.Reassign_chip { partition; chip })
+  | [ "package"; chip; pins ] ->
+      let* pins = integer "package" pins in
+      let* package = package_of_pins pins in
+      Ok (Chop.Spec.Swap_package { chip; package })
+  | [ "rehost"; block; chip ] -> Ok (Chop.Spec.Rehost_memory { block; chip })
+  | [ "clocks"; main; dr; tr ] -> (
+      let* main = number "main clock" main in
+      let* dr = integer "datapath ratio" dr in
+      let* tr = integer "transfer ratio" tr in
+      match Chop_tech.Clocking.make ~main ~datapath_ratio:dr ~transfer_ratio:tr with
+      | clocks -> Ok (Chop.Spec.Set_clocks clocks)
+      | exception Invalid_argument reason -> Error reason)
+  | [ "criteria"; perf; delay ] ->
+      let* perf = number "perf" perf in
+      let* delay = number "delay" delay in
+      Ok (Chop.Spec.Set_criteria (Chop_bad.Feasibility.criteria ~perf ~delay ()))
+  | [] -> Error "empty edit command"
+  | cmd :: _ ->
+      Error (Printf.sprintf "unknown edit command %S (syntax: %s)" cmd edit_commands)
+
+let parse_edits spec lines =
+  (* only graph-node operands resolve at parse time (the graph never
+     changes); partition/chip names stay symbolic and are validated by
+     [Spec.update] against the spec each edit actually applies to *)
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | line :: tl -> (
+        match parse_edit spec line with
+        | Ok e -> go (e :: acc) (i + 1) tl
+        | Error reason -> Error (Printf.sprintf "edit %d: %s" i reason))
+  in
+  go [] 0 lines
+
+let render_dirty (d : Chop.Spec.dirty) =
+  let clause verb = function
+    | [] -> None
+    | ls -> Some (verb ^ " " ^ String.concat " " ls)
+  in
+  let clauses =
+    List.filter_map Fun.id
+      [
+        clause "re-predict" d.Chop.Spec.repredict;
+        clause "re-screen" d.Chop.Spec.rederive;
+        clause "removed" d.Chop.Spec.removed;
+      ]
+  in
+  (match clauses with
+  | [] -> "ok: nothing to re-predict"
+  | cs -> "ok: " ^ String.concat "; " cs)
+  ^ "\n"
+
+let render_parts spec =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun p ->
+      let label = p.Chop_dfg.Partition.label in
+      Printf.bprintf buf "%s: %d operation(s) on %s\n" label
+        (List.length p.Chop_dfg.Partition.members)
+        (Chop.Spec.chip_of_partition spec label).Chop.Spec.chip_name)
+    spec.Chop.Spec.partitioning.Chop_dfg.Partition.parts;
+  Buffer.contents buf
 
 let render_sensitivity = Chop.Sensitivity.render
 

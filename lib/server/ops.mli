@@ -76,6 +76,43 @@ val render_predict :
 val render_advice : Chop.Advisor.judgement -> string
 (** The output of [chop advise]: the advice line. *)
 
+(** {1 The interactive edit-command language}
+
+    One command per line, shared by [chop repl] and the server's
+    [session/edit] op:
+
+    {v
+    move <op> <partition>        merge <src> <dst>
+    split <from> <new> <op[,op...]>
+    assign <partition> <chip>    package <chip> <64|84>
+    rehost <block> <chip>        clocks <main_ns> <dp_ratio> <tr_ratio>
+    criteria <perf_ns> <delay_ns>
+    v}
+
+    [<op>] operands are graph node ids or node names. *)
+
+val edit_commands : string
+(** One-line syntax summary, used in error messages and [repl] help. *)
+
+val parse_edit : Chop.Spec.t -> string -> (Chop.Spec.edit, string) result
+(** Parse one edit command.  Only graph-node operands are resolved here
+    (against [spec.graph], which edits never change); partition, chip and
+    memory names are validated by {!Chop.Spec.update}. *)
+
+val parse_edits :
+  Chop.Spec.t -> string list -> (Chop.Spec.edit list, string) result
+(** {!parse_edit} over a list; the first failure rejects the list with its
+    0-based position prefixed. *)
+
+val render_dirty : Chop.Spec.dirty -> string
+(** The acknowledgement line for an applied edit list:
+    ["ok: re-predict P1 P2; removed P3\n"], or
+    ["ok: nothing to re-predict\n"] when the edits invalidate no
+    predictive work. *)
+
+val render_parts : Chop.Spec.t -> string
+(** One line per partition: label, operation count, assigned chip. *)
+
 val render_sensitivity : Chop.Sensitivity.sweep -> string
 
 val run_sensitivity :

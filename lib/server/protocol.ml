@@ -1,6 +1,16 @@
 module Json = Chop_util.Json
 
-type op = Explore | Predict | Advise | Sensitivity | Stats | Ping
+type op =
+  | Explore
+  | Predict
+  | Advise
+  | Sensitivity
+  | Stats
+  | Ping
+  | Session_open
+  | Session_edit
+  | Session_run
+  | Session_close
 
 let op_to_string = function
   | Explore -> "explore"
@@ -9,6 +19,10 @@ let op_to_string = function
   | Sensitivity -> "sensitivity"
   | Stats -> "stats"
   | Ping -> "ping"
+  | Session_open -> "session/open"
+  | Session_edit -> "session/edit"
+  | Session_run -> "session/run"
+  | Session_close -> "session/close"
 
 let op_of_string = function
   | "explore" -> Ok Explore
@@ -17,6 +31,10 @@ let op_of_string = function
   | "sensitivity" -> Ok Sensitivity
   | "stats" -> Ok Stats
   | "ping" -> Ok Ping
+  | "session/open" -> Ok Session_open
+  | "session/edit" -> Ok Session_edit
+  | "session/run" -> Ok Session_run
+  | "session/close" -> Ok Session_close
   | s -> Error (Printf.sprintf "unknown op %S" s)
 
 type params = {
@@ -36,6 +54,8 @@ type params = {
   top : int;
   parameter : string;
   values : float list;
+  session : string;  (** session id for session/* ops *)
+  edits : string list;  (** edit-command lines for session/edit *)
 }
 
 let default_params =
@@ -56,6 +76,8 @@ let default_params =
     top = 3;
     parameter = "perf";
     values = [];
+    session = "";
+    edits = [];
   }
 
 type request = {
@@ -121,6 +143,21 @@ let request_of_json json =
       let* top = field "top" int json ~default:d.top Result.ok in
       let* parameter = field "parameter" str json ~default:d.parameter Result.ok in
       let* values = field "values" floats json ~default:d.values Result.ok in
+      let strings v =
+        match Json.to_list_opt v with
+        | None -> None
+        | Some xs ->
+            let rec conv acc = function
+              | [] -> Some (List.rev acc)
+              | x :: tl -> (
+                  match Json.to_string_opt x with
+                  | Some s -> conv (s :: acc) tl
+                  | None -> None)
+            in
+            conv [] xs
+      in
+      let* session = field "session" str json ~default:d.session Result.ok in
+      let* edits = field "edits" strings json ~default:d.edits Result.ok in
       Ok
         {
           id;
@@ -144,6 +181,8 @@ let request_of_json json =
               top;
               parameter;
               values;
+              session;
+              edits;
             };
         }
   | _ -> Error "request must be a JSON object"
@@ -182,6 +221,8 @@ let request_to_json r =
         ("top", Json.Int p.top);
         ("parameter", Json.String p.parameter);
         ("values", Json.Array (List.map (fun v -> Json.Float v) p.values));
+        ("session", Json.String p.session);
+        ("edits", Json.Array (List.map (fun e -> Json.String e) p.edits));
       ])
 
 type error_code = Overloaded | Deadline | Bad_request | Shutting_down | Internal

@@ -23,9 +23,28 @@
 
     The [result.text] field of an explore/predict/advise/sensitivity
     response is byte-identical to the corresponding CLI subcommand's
-    deterministic output — both sides render through {!Ops}. *)
+    deterministic output — both sides render through {!Ops}.
 
-type op = Explore | Predict | Advise | Sensitivity | Stats | Ping
+    The [session/*] ops drive a server-held {!Chop.Explore.Session}:
+    [session/open] builds a spec from the same parameters as [explore] and
+    answers with a session id; [session/edit] applies edit-command lines
+    ({!Ops.parse_edit} syntax) to it; [session/run] explores the edited
+    spec (re-predicting only partitions edits dirtied) and renders the
+    same deterministic block as [explore]; [session/close] frees it.
+    Sessions are evicted after a TTL of inactivity or by LRU when the
+    session table is full. *)
+
+type op =
+  | Explore
+  | Predict
+  | Advise
+  | Sensitivity
+  | Stats
+  | Ping
+  | Session_open
+  | Session_edit
+  | Session_run
+  | Session_close
 
 val op_to_string : op -> string
 val op_of_string : string -> (op, string) result
@@ -50,6 +69,8 @@ type params = {
   top : int;  (** predict: predictions shown per partition *)
   parameter : string;  (** sensitivity: "perf" | "delay" | "pins" | "clock" *)
   values : float list;  (** sensitivity: swept values, in order *)
+  session : string;  (** session/*: the session id ("" = unset) *)
+  edits : string list;  (** session/edit: edit-command lines, applied in order *)
 }
 
 val default_params : params

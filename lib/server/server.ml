@@ -13,6 +13,8 @@ type config = {
   default_deadline_ms : float option;
   log : out_channel option;
   handle_signals : bool;
+  session_ttl_s : float;
+  max_sessions : int;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     default_deadline_ms = None;
     log = Some stderr;
     handle_signals = true;
+    session_ttl_s = 600.;
+    max_sessions = 32;
   }
 
 type counters = {
@@ -40,12 +44,27 @@ type counters = {
    identity queue on the mutex rather than duplicating the engine. *)
 type engine_slot = { engine : Chop.Explore.Engine.t; mu : Mutex.t }
 
+(* An interactive session: its own [Explore.Session] (spec evolving by
+   edits), serialised by [smu]; [last_used] drives TTL + LRU eviction.
+   The parameters given at open decide rendering (keep_all/csv/verbose)
+   for every subsequent session/run, mirroring what one CLI invocation
+   with those flags would print. *)
+type session_slot = {
+  session : Chop.Explore.Session.t;
+  smu : Mutex.t;
+  mutable last_used : float;
+  open_params : Protocol.params;
+}
+
 type t = {
   cfg : config;
   pool : Chop_util.Pool.t;
   sched : Scheduler.t;
   engines : (string, engine_slot) Hashtbl.t;
   engines_mu : Mutex.t;
+  sessions : (string, session_slot) Hashtbl.t;
+  sessions_mu : Mutex.t;
+  mutable session_seq : int;
   log_mu : Mutex.t;
   counters_mu : Mutex.t;
   counters : counters;
@@ -60,6 +79,10 @@ let create cfg =
   if cfg.concurrency < 1 then invalid_arg "Server.create: concurrency must be >= 1";
   if cfg.queue < 0 then invalid_arg "Server.create: queue must be >= 0";
   if cfg.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if cfg.max_sessions < 1 then
+    invalid_arg "Server.create: max_sessions must be >= 1";
+  if cfg.session_ttl_s <= 0. then
+    invalid_arg "Server.create: session_ttl_s must be positive";
   let listen_fd =
     match cfg.socket_path with
     | None -> None
@@ -76,6 +99,9 @@ let create cfg =
     sched = Scheduler.create ~queue:cfg.queue ~concurrency:cfg.concurrency;
     engines = Hashtbl.create 16;
     engines_mu = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    sessions_mu = Mutex.create ();
+    session_seq = 0;
     log_mu = Mutex.create ();
     counters_mu = Mutex.create ();
     counters =
@@ -170,6 +196,86 @@ let close_engines t =
   Mutex.unlock t.engines_mu
 
 (* ------------------------------------------------------------------ *)
+(* Interactive sessions                                                 *)
+
+let find_session t sid =
+  Mutex.lock t.sessions_mu;
+  let r = Hashtbl.find_opt t.sessions sid in
+  Mutex.unlock t.sessions_mu;
+  match r with
+  | Some slot -> Ok slot
+  | None ->
+      Error
+        ( Protocol.Bad_request,
+          Printf.sprintf "unknown session %S (closed or evicted?)" sid )
+
+let with_session_slot slot f =
+  Mutex.lock slot.smu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock slot.smu) f
+
+(* TTL + LRU eviction, run on every session/open: close sessions idle past
+   the TTL, then the least-recently-used ones until there is room for the
+   session about to be created.  Sessions busy in a run (mutex held) are
+   skipped, so the cap is best-effort under concurrency — an in-flight run
+   is never killed. *)
+let prune_sessions t ~now =
+  Mutex.lock t.sessions_mu;
+  let victims = ref [] in
+  let grab reason sid slot =
+    if Mutex.try_lock slot.smu then begin
+      Hashtbl.remove t.sessions sid;
+      victims := (sid, slot, reason) :: !victims;
+      true
+    end
+    else false
+  in
+  Hashtbl.iter
+    (fun sid slot ->
+      if now -. slot.last_used > t.cfg.session_ttl_s then
+        ignore (grab "ttl" sid slot))
+    (Hashtbl.copy t.sessions);
+  let excess () = Hashtbl.length t.sessions - (t.cfg.max_sessions - 1) in
+  if excess () > 0 then begin
+    let by_age =
+      Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.sessions []
+      |> List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used)
+    in
+    let rec evict n = function
+      | [] -> ()
+      | _ when n <= 0 -> ()
+      | (sid, slot) :: tl -> evict (if grab "lru" sid slot then n - 1 else n) tl
+    in
+    evict (excess ()) by_age
+  end;
+  Mutex.unlock t.sessions_mu;
+  List.iter
+    (fun (sid, slot, reason) ->
+      Chop.Explore.Session.close slot.session;
+      Mutex.unlock slot.smu;
+      log_line t
+        (Printf.sprintf "%s serve: session %s evicted (%s)"
+           (timestamp (Unix.gettimeofday ()))
+           sid reason))
+    !victims
+
+let open_session t ~now ~params spec config =
+  prune_sessions t ~now;
+  let session = Chop.Explore.Session.create ~pool:t.pool config spec in
+  Mutex.lock t.sessions_mu;
+  t.session_seq <- t.session_seq + 1;
+  let sid = Printf.sprintf "s%d" t.session_seq in
+  Hashtbl.add t.sessions sid
+    { session; smu = Mutex.create (); last_used = now; open_params = params };
+  Mutex.unlock t.sessions_mu;
+  sid
+
+let close_sessions t =
+  Mutex.lock t.sessions_mu;
+  Hashtbl.iter (fun _ s -> Chop.Explore.Session.close s.session) t.sessions;
+  Hashtbl.reset t.sessions;
+  Mutex.unlock t.sessions_mu
+
+(* ------------------------------------------------------------------ *)
 (* Request execution                                                   *)
 
 let scheduler_stats_json t =
@@ -206,9 +312,13 @@ let stats_fields t =
   Mutex.lock t.engines_mu;
   let engines = Hashtbl.length t.engines in
   Mutex.unlock t.engines_mu;
+  Mutex.lock t.sessions_mu;
+  let sessions = Hashtbl.length t.sessions in
+  Mutex.unlock t.sessions_mu;
   [
     ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
     ("engines", Json.Int engines);
+    ("sessions", Json.Int sessions);
     ("scheduler", scheduler_stats_json t);
     ("requests", requests);
     ("cache",
@@ -291,6 +401,102 @@ let exec_op t (req : Protocol.request) ~interrupt :
               ],
               Some report,
               if j.Chop.Advisor.feasible then "feasible" else "infeasible" ))
+  | Protocol.Session_open ->
+      let* spec = Ops.spec_of_params p in
+      let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
+      let sid = open_session t ~now:(Unix.gettimeofday ()) ~params:p spec config in
+      Ok
+        ( [
+            ("session", Json.String sid);
+            ("text", Json.String (Ops.render_parts spec));
+          ],
+          None,
+          "-" )
+  | Protocol.Session_edit -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              let spec = Chop.Explore.Session.spec slot.session in
+              let* edits = Ops.parse_edits spec p.Protocol.edits in
+              match Chop.Explore.Session.edit slot.session edits with
+              | Error e ->
+                  Error
+                    ( Protocol.Bad_request,
+                      Format.asprintf "%a" Chop.Spec.pp_update_error e )
+              | Ok dirty ->
+                  slot.last_used <- Unix.gettimeofday ();
+                  let labels ls = Json.Array (List.map (fun l -> Json.String l) ls) in
+                  Ok
+                    ( [
+                        ("session", Json.String p.Protocol.session);
+                        ("text", Json.String (Ops.render_dirty dirty));
+                        ("repredict", labels dirty.Chop.Spec.repredict);
+                        ("rederive", labels dirty.Chop.Spec.rederive);
+                        ("removed", labels dirty.Chop.Spec.removed);
+                        ("revision",
+                         Json.Int (Chop.Explore.Session.revision slot.session));
+                      ],
+                      None,
+                      "-" )))
+  | Protocol.Session_run -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              match
+                Chop.Explore.Session.run_interruptible ~interrupt slot.session
+              with
+              | exception Chop.Explore.Cancelled ->
+                  Error (Protocol.Deadline, "deadline exceeded during the run")
+              | report ->
+                  slot.last_used <- Unix.gettimeofday ();
+                  let sp = slot.open_params in
+                  let text =
+                    Ops.render_explore
+                      (Chop.Explore.Session.spec slot.session)
+                      ~keep_all:sp.Protocol.keep_all ~csv:sp.Protocol.csv
+                      ~verbose:sp.Protocol.verbose report
+                  in
+                  let feasible = Ops.explore_feasible_count report in
+                  Ok
+                    ( [
+                        ("session", Json.String p.Protocol.session);
+                        ("text", Json.String text);
+                        ("feasible", Json.Bool (feasible > 0));
+                        ("feasible_count", Json.Int feasible);
+                        ("trials",
+                         Json.Int
+                           report.Chop.Explore.outcome.Chop.Search.stats
+                             .Chop.Search.implementation_trials);
+                      ],
+                      Some report,
+                      if feasible > 0 then "feasible" else "infeasible" )))
+  | Protocol.Session_close -> (
+      Mutex.lock t.sessions_mu;
+      let slot = Hashtbl.find_opt t.sessions p.Protocol.session in
+      (match slot with
+      | Some _ -> Hashtbl.remove t.sessions p.Protocol.session
+      | None -> ());
+      Mutex.unlock t.sessions_mu;
+      match slot with
+      | None ->
+          Error
+            ( Protocol.Bad_request,
+              Printf.sprintf "unknown session %S (closed or evicted?)"
+                p.Protocol.session )
+      | Some slot ->
+          with_session_slot slot (fun () ->
+              Chop.Explore.Session.close slot.session);
+          Ok
+            ( [
+                ("closed", Json.Bool true);
+                ("text",
+                 Json.String
+                   (Printf.sprintf "session %s closed\n" p.Protocol.session));
+              ],
+              None,
+              "-" ))
   | Protocol.Sensitivity ->
       let* spec = Ops.spec_of_params p in
       (* per-point what-if probes build their own single-job engines; the
@@ -546,6 +752,7 @@ let serve t =
       | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
       | None -> ())
   | None -> ());
+  close_sessions t;
   close_engines t;
   Chop_util.Pool.shutdown t.pool;
   let s = Scheduler.stats t.sched in

@@ -14,6 +14,14 @@
     rejection past the bound.  [stats] and [ping] requests bypass the
     queue so the service stays observable under saturation.
 
+    Interactive sessions ([session/open] … [session/close]) each own a
+    {!Chop.Explore.Session}: [session/edit] applies incremental spec
+    edits and reports the dirty partitions; [session/run] re-predicts
+    only those, everything else coming from the shared cache.  Sessions
+    idle past [session_ttl_s] are evicted, and opening past
+    [max_sessions] evicts the least-recently-used idle session; a
+    session busy in a run is never evicted mid-run.
+
     Shutdown is drain-then-exit: on SIGINT/SIGTERM (or {!stop}) the
     listener stops accepting, in-flight and queued requests finish and
     their responses are written, then sockets close and the engines and
@@ -33,11 +41,18 @@ type config = {
       (** install SIGINT/SIGTERM handlers that {!stop} the server (and
           ignore SIGPIPE); tests running a server in-process leave this
           off *)
+  session_ttl_s : float;
+      (** idle time after which an interactive session is evicted (checked
+          on every [session/open]) *)
+  max_sessions : int;
+      (** cap on concurrently open interactive sessions; opening past it
+          evicts the least-recently-used idle session *)
 }
 
 val default_config : config
 (** Stdio transport, concurrency 2, queue 8, single-job pool, no default
-    deadline, log on stderr, signals handled. *)
+    deadline, log on stderr, signals handled, 600 s session TTL, 32
+    sessions at most. *)
 
 type t
 

@@ -3,6 +3,13 @@
 
 open Chop_baseline
 
+(* one-shot helper over a fresh session (the deprecated wrapper is gone) *)
+let explore_run heuristic spec =
+  Chop.Explore.with_engine
+    (Chop.Explore.Config.make ~heuristic ())
+    spec Chop.Explore.Engine.run
+
+
 let ar () = Chop_dfg.Benchmarks.ar_lattice_filter ()
 
 let test_cut_bits_manual () =
@@ -159,7 +166,7 @@ let test_min_cut_not_feasibility () =
           ~criteria:(Chop_bad.Feasibility.criteria ~perf:30000. ~delay:30000. ())
           ()
       in
-      (Chop.Explore.run Chop.Explore.Iterative spec).Chop.Explore.outcome
+      (explore_run Chop.Explore.Iterative spec).Chop.Explore.outcome
         .Chop.Search.feasible
       <> []
     end
@@ -279,7 +286,7 @@ let test_packing_explorable () =
   (* the packed spec still runs the whole pipeline; on-chip flows are free *)
   let spec = Chop.Rig.experiment1 ~partitions:3 () in
   let packed = Packing.pack spec ~chips:2 in
-  let report = Chop.Explore.run Chop.Explore.Iterative packed in
+  let report = explore_run Chop.Explore.Iterative packed in
   Alcotest.(check bool) "produces a verdict" true
     (report.Chop.Explore.bad <> [])
 

@@ -4,6 +4,18 @@
 
 open Chop
 
+(* one-shot helpers over a fresh session — the pre-engine
+   [Explore.run]/[Explore.predictions] wrappers are gone *)
+let explore_run ?keep_all heuristic spec =
+  Explore.with_engine
+    (Explore.Config.make ~heuristic ?keep_all ())
+    spec Explore.Engine.run
+
+let explore_predictions ?prune spec =
+  Explore.with_engine
+    (Explore.Config.make ?prune ())
+    spec Explore.Engine.predictions
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -13,7 +25,7 @@ let exp1 k = Rig.experiment1 ~partitions:k ()
 let exp2 k = Rig.experiment2 ~partitions:k ()
 
 let first_feasible spec =
-  let report = Explore.run Explore.Iterative spec in
+  let report = explore_run Explore.Iterative spec in
   match report.Explore.outcome.Search.feasible with
   | s :: _ -> s
   | [] -> Alcotest.fail "expected a feasible system"
@@ -216,7 +228,7 @@ let test_chips_of () =
 
 let test_integration_feasible_combo () =
   let spec = exp1 1 in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let ctx = Integration.context spec in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   let s = Integration.integrate ctx comb in
@@ -227,7 +239,7 @@ let test_integration_feasible_combo () =
 
 let test_integration_rejects_wrong_combination () =
   let spec = exp1 2 in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let ctx = Integration.context spec in
   let comb = [ (fst (List.hd per_partition), List.hd (snd (List.hd per_partition))) ] in
   match Integration.integrate ctx comb with
@@ -236,7 +248,7 @@ let test_integration_rejects_wrong_combination () =
 
 let test_integration_rate_mismatch_detected () =
   let spec = exp1 2 in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let ctx = Integration.context spec in
   (* find two pipelined predictions with different rates *)
   let pipelined l =
@@ -294,7 +306,7 @@ let test_integration_dtm_on_both_chips () =
 
 let test_integration_memory_resource () =
   let spec = memory_spec () in
-  let report = Explore.run Explore.Enumeration spec in
+  let report = explore_run Explore.Enumeration spec in
   Alcotest.(check bool) "memory design feasible" true
     (report.Explore.outcome.Search.feasible <> [])
 
@@ -316,7 +328,7 @@ let test_total_area_and_objectives () =
 let test_integration_failure_kinds () =
   let spec = exp1 2 in
   let ctx = Integration.context spec in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   (* Too_slow: an interval below the partitions' rate *)
   (match (Integration.integrate ctx ~ii_target:1 comb).Integration.failure with
@@ -342,7 +354,7 @@ let test_integration_failure_kinds () =
            | Integration.Delay_exceeded -> "Delay_exceeded"
            | Integration.Structural r -> "Structural: " ^ r)));
   (* Area_violation: pick the biggest raw predictions (mul1-heavy) *)
-  let raw, _ = Explore.predictions ~prune:false spec in
+  let raw, _ = explore_predictions ~prune:false spec in
   let biggest =
     List.map
       (fun (l, ps) ->
@@ -378,7 +390,7 @@ let test_integration_structural_pin_exhaustion () =
       ()
   in
   let ctx = Integration.context spec in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   match (Integration.integrate ctx comb).Integration.failure with
   | Integration.Structural _ -> ()
@@ -429,7 +441,7 @@ let test_integration_shared_remote_memory () =
     (Transfer.memory_lines_on spec "chip2" >= 16 + 2);
   Alcotest.(check int) "host pays only select/rw" 2
     (Transfer.memory_lines_on spec "chip1");
-  let report = Explore.run Explore.Iterative spec in
+  let report = explore_run Explore.Iterative spec in
   (match report.Explore.outcome.Search.feasible with
   | [] -> Alcotest.fail "shared-memory system should be feasible"
   | s :: _ ->
@@ -458,7 +470,7 @@ let test_exp2_reaches_higher_performance () =
 let test_enum_vs_iter_same_best_ii () =
   let spec = exp2 3 in
   let best h =
-    let r = Explore.run h spec in
+    let r = explore_run h spec in
     match r.Explore.outcome.Search.feasible with
     | s :: _ -> s.Integration.ii_main
     | [] -> max_int
@@ -469,7 +481,7 @@ let test_enum_vs_iter_same_best_ii () =
 let test_iter_fewer_trials_on_large_space () =
   let spec = exp2 3 in
   let trials h =
-    (Explore.run h spec).Explore.outcome.Search.stats.Search.implementation_trials
+    (explore_run h spec).Explore.outcome.Search.stats.Search.implementation_trials
   in
   Alcotest.(check bool) "iterative explores far less" true
     (trials Explore.Iterative * 5 < trials Explore.Enumeration)
@@ -478,7 +490,7 @@ let test_branch_bound_matches_enumeration () =
   List.iter
     (fun spec ->
       let best h =
-        match (Explore.run h spec).Explore.outcome.Search.feasible with
+        match (explore_run h spec).Explore.outcome.Search.feasible with
         | s :: _ ->
             Some (s.Integration.ii_main, s.Integration.delay_cycles)
         | [] -> None
@@ -491,14 +503,14 @@ let test_branch_bound_never_more_integrations () =
   List.iter
     (fun spec ->
       let integ h =
-        (Explore.run h spec).Explore.outcome.Search.stats.Search.integrations
+        (explore_run h spec).Explore.outcome.Search.stats.Search.integrations
       in
       Alcotest.(check bool) "bounds help" true
         (integ Explore.Branch_bound <= integ Explore.Enumeration))
     [ exp1 2; exp2 3 ]
 
 let test_explore_bad_stats () =
-  let r = Explore.run Explore.Iterative (exp1 2) in
+  let r = explore_run Explore.Iterative (exp1 2) in
   Alcotest.(check int) "stats per partition" 2 (List.length r.Explore.bad);
   List.iter
     (fun b ->
@@ -537,7 +549,7 @@ let test_keep_all_explodes_space () =
 
 let test_candidate_intervals_within_constraint () =
   let spec = exp1 2 in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let ctx = Integration.context spec in
   let ls = Iter_heuristic.candidate_intervals ctx per_partition in
   Alcotest.(check bool) "non-empty" true (ls <> []);
@@ -550,7 +562,7 @@ let test_candidate_intervals_within_constraint () =
     ls
 
 let test_feasible_sorted_fastest_first () =
-  let r = Explore.run Explore.Enumeration (exp2 2) in
+  let r = explore_run Explore.Enumeration (exp2 2) in
   let perfs =
     List.map (fun s -> s.Integration.perf_ns) r.Explore.outcome.Search.feasible
   in
@@ -751,7 +763,7 @@ let test_specfile_parse () =
   Alcotest.(check (float 1e-9)) "perf" 30000.
     spec.Spec.criteria.Chop_bad.Feasibility.perf_constraint;
   (* the parsed spec is actually explorable *)
-  let report = Explore.run Explore.Iterative spec in
+  let report = explore_run Explore.Iterative spec in
   Alcotest.(check bool) "explorable" true
     (report.Explore.outcome.Search.feasible <> [])
 
@@ -775,7 +787,7 @@ let test_specfile_roundtrip_experiment () =
   let reparsed = Specfile.parse (Specfile.print spec) in
   (* the reparsed experiment gives the same best design *)
   let best s =
-    match (Explore.run Explore.Iterative s).Explore.outcome.Search.feasible with
+    match (explore_run Explore.Iterative s).Explore.outcome.Search.feasible with
     | x :: _ -> (x.Integration.ii_main, x.Integration.delay_cycles)
     | [] -> (-1, -1)
   in
@@ -892,7 +904,7 @@ let test_sysim_single_instance () =
 let test_sysim_rejects_failed_integration () =
   let spec = exp1 2 in
   let ctx = Integration.context spec in
-  let per_partition, _ = Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   (* force an infeasible integration by demanding an impossible interval *)
   let broken = Integration.integrate ctx ~ii_target:0 comb in
@@ -990,7 +1002,7 @@ let test_explore_with_no_viable_partition () =
   in
   List.iter
     (fun h ->
-      let report = Explore.run h spec in
+      let report = explore_run h spec in
       Alcotest.(check (list int)) "no feasible designs" []
         (List.map
            (fun s -> s.Integration.ii_main)
@@ -1029,7 +1041,7 @@ let full_pipeline_never_crashes =
       let ctx = Integration.context spec in
       List.for_all
         (fun h ->
-          let report = Explore.run h spec in
+          let report = explore_run h spec in
           List.for_all
             (fun s ->
               let text = Report.guideline spec s in

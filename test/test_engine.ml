@@ -49,9 +49,13 @@ let check_determinism ~heuristic ~keep_all spec_of () =
     s4.Search.feasible_trials;
   Alcotest.(check int) "jobs recorded" 4 r4.Explore.jobs
 
-(* jobs must also not disturb the legacy sequential results *)
+(* jobs must also not disturb the default one-shot session results *)
 let check_matches_legacy ~heuristic spec_of () =
-  let legacy = Explore.run heuristic (spec_of ()) in
+  let legacy =
+    Explore.with_engine
+      (Explore.Config.make ~heuristic ())
+      (spec_of ()) Explore.Engine.run
+  in
   let engine = run_with ~heuristic ~jobs:4 (spec_of ()) in
   Alcotest.(check string) "feasible csv"
     (Search.to_csv legacy.Explore.outcome.Search.feasible)
@@ -344,7 +348,12 @@ let test_engine_predictions_match_legacy () =
   let spec = ar_spec () in
   Explore.with_engine Explore.Config.default spec @@ fun engine ->
   let per_new, stats_new = Explore.Engine.predictions engine in
-  let per_old, stats_old = Explore.predictions spec in
+  let per_old, stats_old =
+    (* an uncached parallel engine must agree with the default one *)
+    Explore.with_engine
+      (Explore.Config.make ~jobs:4 ~cache:Explore.Config.Off ())
+      spec Explore.Engine.predictions
+  in
   Alcotest.(check (list string)) "labels"
     (List.map fst per_old) (List.map fst per_new);
   List.iter2

@@ -3,6 +3,17 @@
 
 let ar () = Chop_dfg.Benchmarks.ar_lattice_filter ()
 
+(* one-shot helpers over a fresh session (the deprecated wrappers are gone) *)
+let explore_run heuristic spec =
+  Chop.Explore.with_engine
+    (Chop.Explore.Config.make ~heuristic ())
+    spec Chop.Explore.Engine.run
+
+let explore_predictions spec =
+  Chop.Explore.with_engine Chop.Explore.Config.default spec
+    Chop.Explore.Engine.predictions
+
+
 let sched ?(g = ar ()) alloc =
   Chop_sched.List_sched.run ~latency:(fun _ -> 1) ~alloc g
 
@@ -439,7 +450,7 @@ let rtlsim_equals_eval_on_random =
 let test_system_synthesis_fits () =
   let spec = Chop.Rig.experiment1 ~partitions:2 () in
   let ctx = Chop.Integration.context spec in
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  let report = explore_run Chop.Explore.Iterative spec in
   match report.Chop.Explore.outcome.Chop.Search.feasible with
   | [] -> Alcotest.fail "expected a feasible system"
   | best :: _ ->
@@ -476,7 +487,7 @@ let test_system_multi_partition_chip () =
       ()
   in
   let ctx = Chop.Integration.context spec in
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  let report = explore_run Chop.Explore.Iterative spec in
   match report.Chop.Explore.outcome.Chop.Search.feasible with
   | [] -> () (* both halves on one die may simply not fit: a legal outcome *)
   | best :: _ ->
@@ -488,7 +499,7 @@ let test_system_multi_partition_chip () =
 let test_system_rejects_failed_integration () =
   let spec = Chop.Rig.experiment1 ~partitions:2 () in
   let ctx = Chop.Integration.context spec in
-  let per_partition, _ = Chop.Explore.predictions spec in
+  let per_partition, _ = explore_predictions spec in
   let comb = List.map (fun (l, ps) -> (l, List.hd ps)) per_partition in
   let broken = Chop.Integration.integrate ctx ~ii_target:0 comb in
   if broken.Chop.Integration.chip_reports = [] then
@@ -504,7 +515,7 @@ let test_system_summary_renders () =
   in
   let spec = Chop.Rig.experiment1 ~partitions:2 () in
   let ctx = Chop.Integration.context spec in
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  let report = explore_run Chop.Explore.Iterative spec in
   match report.Chop.Explore.outcome.Chop.Search.feasible with
   | [] -> Alcotest.fail "expected a feasible system"
   | best :: _ ->
@@ -520,7 +531,7 @@ let test_system_board_verilog () =
   in
   let spec = Chop.Rig.experiment1 ~partitions:2 () in
   let ctx = Chop.Integration.context spec in
-  let report = Chop.Explore.run Chop.Explore.Iterative spec in
+  let report = explore_run Chop.Explore.Iterative spec in
   match report.Chop.Explore.outcome.Chop.Search.feasible with
   | [] -> Alcotest.fail "expected a feasible system"
   | best :: _ ->

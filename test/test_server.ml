@@ -275,6 +275,205 @@ let test_handle_line_matches_direct_render () =
 (* ------------------------------------------------------------------ *)
 (* Socket transport: concurrent clients *)
 
+(* ------------------------------------------------------------------ *)
+(* Interactive sessions through handle_line *)
+
+let json_string resp path =
+  Option.bind (field resp path) Json.to_string_opt
+
+let test_session_ops_pipeline () =
+  let server = make_server () in
+  let opened =
+    parse_response
+      (Server.handle_line server
+         {|{"id":"o","op":"session/open","benchmark":"ewf","partitions":3}|})
+  in
+  Alcotest.(check (option bool)) "open ok" (Some true)
+    (Protocol.response_ok opened);
+  let sid =
+    match json_string opened [ "result"; "session" ] with
+    | Some sid -> sid
+    | None -> Alcotest.fail "no session id in session/open response"
+  in
+  let stats = parse_response (Server.handle_line server {|{"op":"stats"}|}) in
+  Alcotest.(check (option bool)) "stats counts the session"
+    (Some true)
+    (Option.map (fun v -> v = Json.Int 1) (field stats [ "result"; "sessions" ]));
+  (* an invalid edit command is a structured bad_request, not a crash *)
+  let bad =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf
+            {|{"op":"session/edit","session":"%s","edits":["frobnicate"]}|}
+            sid))
+  in
+  Alcotest.(check (option string)) "bad edit command" (Some "bad_request")
+    (Protocol.response_error_code bad);
+  (* a well-formed but invalid edit is rejected with its position *)
+  let invalid =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf
+            {|{"op":"session/edit","session":"%s","edits":["merge P9 P1"]}|}
+            sid))
+  in
+  Alcotest.(check (option string)) "invalid edit rejected" (Some "bad_request")
+    (Protocol.response_error_code invalid);
+  (* the real edit reports the dirty partitions *)
+  let edited =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf
+            {|{"op":"session/edit","session":"%s","edits":["merge P3 P2"]}|}
+            sid))
+  in
+  Alcotest.(check (option bool)) "edit ok" (Some true)
+    (Protocol.response_ok edited);
+  Alcotest.(check bool) "edit reports repredict set" true
+    (field edited [ "result"; "repredict" ]
+    = Some (Json.Array [ Json.String "P2" ]));
+  (* session/run is byte-identical to a cold exploration of the edited
+     spec under the open-time parameters *)
+  let run =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf {|{"op":"session/run","session":"%s"}|} sid))
+  in
+  Alcotest.(check (option bool)) "run ok" (Some true) (Protocol.response_ok run);
+  let expected =
+    let params =
+      { Protocol.default_params with benchmark = "ewf"; partitions = 3 }
+    in
+    let spec0 = Result.get_ok (Ops.spec_of_params params) in
+    let spec =
+      match
+        Chop.Spec.update spec0
+          [ Chop.Spec.Merge_parts { src = "P3"; dst = "P2" } ]
+      with
+      | Ok (s, _) -> s
+      | Error e -> Alcotest.failf "%a" Chop.Spec.pp_update_error e
+    in
+    let config = Result.get_ok (Ops.config_of_params ~jobs:1 params) in
+    let report = Chop.Explore.with_engine config spec Chop.Explore.Engine.run in
+    Ops.render_explore spec ~keep_all:false ~csv:false ~verbose:false report
+  in
+  Alcotest.(check (option string)) "run text byte-identical" (Some expected)
+    (Protocol.response_text run);
+  (* close frees the session; later ops on the id are structured errors *)
+  let closed =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf {|{"op":"session/close","session":"%s"}|} sid))
+  in
+  Alcotest.(check (option bool)) "close ok" (Some true)
+    (Protocol.response_ok closed);
+  let after =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf {|{"op":"session/run","session":"%s"}|} sid))
+  in
+  Alcotest.(check (option string)) "run after close" (Some "bad_request")
+    (Protocol.response_error_code after);
+  let stats = parse_response (Server.handle_line server {|{"op":"stats"}|}) in
+  Alcotest.(check (option bool)) "stats back to zero sessions"
+    (Some true)
+    (Option.map (fun v -> v = Json.Int 0) (field stats [ "result"; "sessions" ]))
+
+let test_session_lru_eviction () =
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        socket_path = None;
+        jobs = 1;
+        log = None;
+        handle_signals = false;
+        max_sessions = 2;
+      }
+  in
+  let open_one () =
+    let resp =
+      parse_response
+        (Server.handle_line server
+           {|{"op":"session/open","benchmark":"ewf","partitions":2}|})
+    in
+    Option.get (json_string resp [ "result"; "session" ])
+  in
+  let s1 = open_one () in
+  let s2 = open_one () in
+  let s3 = open_one () in
+  (* the cap is 2: opening s3 evicted the least-recently-used (s1) *)
+  let code sid =
+    Protocol.response_error_code
+      (parse_response
+         (Server.handle_line server
+            (Printf.sprintf {|{"op":"session/run","session":"%s"}|} sid)))
+  in
+  Alcotest.(check (option string)) "oldest evicted" (Some "bad_request") (code s1);
+  Alcotest.(check (option string)) "newer survives" None (code s2);
+  Alcotest.(check (option string)) "newest survives" None (code s3)
+
+(* ------------------------------------------------------------------ *)
+(* Client transport failures *)
+
+(* a one-shot fake server speaking the given bytes (or closing straight
+   away), for driving the client's transport-failure paths *)
+let with_fake_server ~reply f =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chop-fake-%d-%d.sock" (Unix.getpid ()) (Hashtbl.hash reply))
+  in
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen fd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let cfd, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr cfd in
+        (try ignore (input_line ic) with End_of_file -> ());
+        (match reply with
+        | Some bytes ->
+            let oc = Unix.out_channel_of_descr cfd in
+            output_string oc bytes;
+            flush oc
+        | None -> ());
+        try Unix.close cfd with Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove socket_path with Sys_error _ -> ())
+    (fun () -> f socket_path)
+
+let test_client_garbage_bytes () =
+  with_fake_server ~reply:(Some "this is not json\n") (fun socket_path ->
+      let conn = Client.connect socket_path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.rpc conn (Json.parse_exn {|{"op":"ping"}|}) with
+          | Ok _ -> Alcotest.fail "garbage bytes accepted as a response"
+          | Error msg ->
+              Alcotest.(check bool) "structured malformed-response error" true
+                (String.length msg > 0
+                && String.starts_with ~prefix:"malformed response" msg)))
+
+let test_client_closed_before_response () =
+  with_fake_server ~reply:None (fun socket_path ->
+      let conn = Client.connect socket_path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.rpc conn (Json.parse_exn {|{"op":"ping"}|}) with
+          | Ok _ -> Alcotest.fail "no response yet rpc returned Ok"
+          | Error msg ->
+              Alcotest.(check string) "structured close error"
+                "connection closed before a response arrived" msg))
+
 let test_socket_concurrent_clients () =
   let socket_path =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -361,6 +560,20 @@ let () =
             test_handle_line_deadline;
           Alcotest.test_case "matches the direct render" `Quick
             test_handle_line_matches_direct_render;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "open/edit/run/close pipeline" `Quick
+            test_session_ops_pipeline;
+          Alcotest.test_case "LRU eviction past the cap" `Quick
+            test_session_lru_eviction;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "garbage bytes are a structured error" `Quick
+            test_client_garbage_bytes;
+          Alcotest.test_case "close before response is structured" `Quick
+            test_client_closed_before_response;
         ] );
       ( "socket",
         [

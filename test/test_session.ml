@@ -1,0 +1,385 @@
+(* Tests for interactive sessions: the Spec edit language (validity,
+   precise rejection, partitioning invariants under random edit
+   sequences) and the incremental re-prediction contract — a session's
+   run after edits is byte-identical to a cold exploration of the edited
+   spec, and misses the prediction cache only for the partitions the
+   edits dirtied. *)
+
+open Chop
+module Ops = Chop_server.Ops
+
+let ar_spec ?(k = 3) () = Rig.experiment1 ~partitions:k ()
+
+let ewf_spec ?(k = 3) () =
+  let graph = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+  Rig.custom ~graph
+    ~partitioning:(Chop_dfg.Partition.by_levels graph ~k)
+    ~package:Chop_tech.Mosis.package_84
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+    ()
+
+let parts spec = spec.Spec.partitioning.Chop_dfg.Partition.parts
+let labels spec = List.map (fun p -> p.Chop_dfg.Partition.label) (parts spec)
+
+let all_members spec =
+  List.concat_map (fun p -> p.Chop_dfg.Partition.members) (parts spec)
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Spec.update: validity and precise rejection *)
+
+let update_ok spec edits =
+  match Spec.update spec edits with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%a" Spec.pp_update_error e
+
+let check_rejected ~at spec edits =
+  match Spec.update spec edits with
+  | Ok _ -> Alcotest.fail "edit list unexpectedly accepted"
+  | Error e ->
+      Alcotest.(check int) "rejected index" at e.Spec.index;
+      Alcotest.(check bool) "reason non-empty" true
+        (String.length e.Spec.reason > 0)
+
+let test_merge_dirties_only_dst () =
+  let spec = ewf_spec () in
+  let _, dirty = update_ok spec [ Spec.Merge_parts { src = "P3"; dst = "P2" } ] in
+  Alcotest.(check (list string)) "repredict" [ "P2" ] dirty.Spec.repredict;
+  Alcotest.(check (list string)) "removed" [ "P3" ] dirty.Spec.removed;
+  Alcotest.(check (list string)) "rederive" [] dirty.Spec.rederive
+
+let test_move_dirties_both_ends () =
+  let spec = ewf_spec () in
+  (* P2's first (shallowest) member: its producers sit in P1, so pulling
+     it down into P1 keeps the quotient graph acyclic *)
+  let op =
+    List.hd
+      (Chop_dfg.Partition.find spec.Spec.partitioning "P2")
+        .Chop_dfg.Partition.members
+  in
+  let _, dirty = update_ok spec [ Spec.Move_op { op; to_partition = "P1" } ] in
+  Alcotest.(check (list string)) "repredict" [ "P1"; "P2" ]
+    (List.sort compare dirty.Spec.repredict)
+
+let test_criteria_rederives_all () =
+  let spec = ewf_spec () in
+  let _, dirty =
+    update_ok spec
+      [ Spec.Set_criteria (Chop_bad.Feasibility.criteria ~perf:1000. ~delay:1000. ()) ]
+  in
+  Alcotest.(check (list string)) "rederive" (labels spec)
+    (List.sort compare dirty.Spec.rederive);
+  Alcotest.(check (list string)) "repredict" [] dirty.Spec.repredict
+
+let test_rejections_are_precise () =
+  let spec = ewf_spec () in
+  let good = Spec.Merge_parts { src = "P3"; dst = "P2" } in
+  (* unknown operands, each rejected at its own position *)
+  check_rejected ~at:0 spec [ Spec.Move_op { op = -1; to_partition = "P1" } ];
+  check_rejected ~at:0 spec [ Spec.Merge_parts { src = "P9"; dst = "P1" } ];
+  check_rejected ~at:0 spec [ Spec.Merge_parts { src = "P1"; dst = "P1" } ];
+  check_rejected ~at:1 spec
+    [ good; Spec.Reassign_chip { partition = "P1"; chip = "nochip" } ];
+  check_rejected ~at:1 spec
+    [ good; Spec.Rehost_memory { block = "noblock"; chip = "chip1" } ];
+  (* the merge removed P3: referring to it afterwards is the error *)
+  check_rejected ~at:1 spec
+    [ good; Spec.Reassign_chip { partition = "P3"; chip = "chip1" } ];
+  (* rejection leaves the input spec untouched and usable *)
+  let spec', _ = update_ok spec [ good ] in
+  Alcotest.(check (list string)) "input spec unchanged" [ "P1"; "P2"; "P3" ]
+    (labels spec);
+  Alcotest.(check (list string)) "merge applied to copy" [ "P1"; "P2" ]
+    (labels spec')
+
+let test_emptying_move_rejected () =
+  let spec = ewf_spec () in
+  (* merge everything into P1, then try to move a lone member out of a
+     singleton partition produced by a split *)
+  let p1_members = (Chop_dfg.Partition.find spec.Spec.partitioning "P1").Chop_dfg.Partition.members in
+  let lone = List.hd p1_members in
+  let spec', _ =
+    update_ok spec
+      [ Spec.Split_part { from_partition = "P1"; members = [ lone ]; new_label = "S" } ]
+  in
+  check_rejected ~at:0 spec' [ Spec.Move_op { op = lone; to_partition = "P2" } ]
+
+(* ------------------------------------------------------------------ *)
+(* Random edit sequences: invariants hold, rejection never raises *)
+
+(* a tiny deterministic LCG so the derived edits depend only on the seed *)
+let lcg seed = ref (seed land 0x3FFFFFFF)
+
+let rand r n =
+  r := ((!r * 1103515245) + 12345) land 0x3FFFFFFF;
+  if n <= 0 then 0 else !r mod n
+
+let pick r l = List.nth l (rand r (List.length l))
+
+(* a random edit against the current spec: mostly well-formed, with a
+   slice of deliberately invalid ones to exercise rejection mid-list *)
+let gen_edit r spec =
+  let ls = labels spec in
+  let chips = List.map (fun c -> c.Spec.chip_name) spec.Spec.chips in
+  match rand r 8 with
+  | 0 ->
+      let p = pick r (parts spec) in
+      Spec.Move_op
+        { op = pick r p.Chop_dfg.Partition.members; to_partition = pick r ls }
+  | 1 -> Spec.Merge_parts { src = pick r ls; dst = pick r ls }
+  | 2 ->
+      let p = pick r (parts spec) in
+      let n = List.length p.Chop_dfg.Partition.members in
+      let members =
+        List.filteri (fun i _ -> i < max 1 (n / 2)) p.Chop_dfg.Partition.members
+      in
+      Spec.Split_part
+        { from_partition = p.Chop_dfg.Partition.label;
+          members;
+          new_label = Printf.sprintf "S%d" (rand r 1000) }
+  | 3 -> Spec.Reassign_chip { partition = pick r ls; chip = pick r chips }
+  | 4 ->
+      Spec.Swap_package
+        { chip = pick r chips;
+          package =
+            (if rand r 2 = 0 then Chop_tech.Mosis.package_64
+             else Chop_tech.Mosis.package_84) }
+  | 5 ->
+      Spec.Set_criteria
+        (Chop_bad.Feasibility.criteria
+           ~perf:(float_of_int (10000 + rand r 30000))
+           ~delay:(float_of_int (10000 + rand r 30000))
+           ())
+  | 6 ->
+      Spec.Set_clocks
+        (Chop_tech.Clocking.make ~main:300.
+           ~datapath_ratio:(1 + rand r 9)
+           ~transfer_ratio:1)
+  | _ -> (
+      (* deliberately invalid *)
+      match rand r 3 with
+      | 0 -> Spec.Move_op { op = 99999; to_partition = pick r ls }
+      | 1 -> Spec.Merge_parts { src = "PX"; dst = pick r ls }
+      | _ -> Spec.Reassign_chip { partition = pick r ls; chip = "nochip" })
+
+let check_partitioning_invariants ~before spec =
+  let pg = spec.Spec.partitioning in
+  (* coverage: the edited partitioning owns exactly the nodes the original
+     did, each exactly once (disjointness falls out of the equality) *)
+  Alcotest.(check (list int)) "node coverage preserved" before (all_members spec);
+  (* every partition non-empty, labels unique, assignment total *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "partition non-empty" true
+        (p.Chop_dfg.Partition.members <> []))
+    pg.Chop_dfg.Partition.parts;
+  let ls = labels spec in
+  Alcotest.(check int) "labels unique" (List.length ls)
+    (List.length (List.sort_uniq compare ls));
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "partition assigned" true
+        (List.mem_assoc l spec.Spec.assignment))
+    ls
+
+let random_edits_keep_invariants =
+  QCheck.Test.make ~name:"random edit sequences preserve spec invariants"
+    ~count:60
+    QCheck.(pair (0 -- 10000) (1 -- 6))
+    (fun (seed, len) ->
+      let r = lcg seed in
+      let spec0 = if seed mod 2 = 0 then ewf_spec () else ar_spec () in
+      let before = all_members spec0 in
+      let spec = ref spec0 in
+      for _ = 1 to len do
+        let edit = gen_edit r !spec in
+        match Spec.update !spec [ edit ] with
+        | Ok (spec', dirty) ->
+            check_partitioning_invariants ~before spec';
+            let live = labels spec' in
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "repredict live" true (List.mem l live))
+              dirty.Spec.repredict;
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "rederive live and not repredicted" true
+                  (List.mem l live && not (List.mem l dirty.Spec.repredict)))
+              dirty.Spec.rederive;
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "removed not live" true
+                  (not (List.mem l live)))
+              dirty.Spec.removed;
+            spec := spec'
+        | Error e ->
+            (* precise, structured rejection: never an exception, the spec
+               unchanged *)
+            Alcotest.(check int) "error index" 0 e.Spec.index;
+            Alcotest.(check bool) "reason non-empty" true
+              (String.length e.Spec.reason > 0)
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental soundness: a session run after edits equals a cold run *)
+
+let render spec report =
+  Ops.render_explore spec ~keep_all:false ~csv:false ~verbose:false report
+
+let cold_run ~heuristic spec =
+  Explore.with_engine
+    (Explore.Config.make ~heuristic ~cache:Explore.Config.Off ())
+    spec Explore.Engine.run
+
+let session_matches_cold ~heuristic spec edits () =
+  let config =
+    Explore.Config.make ~heuristic
+      ~cache:(Explore.Config.Custom (Pred_cache.create ()))
+      ()
+  in
+  Explore.with_session config spec (fun session ->
+      let _cold_report = Explore.Session.run session in
+      (match Explore.Session.edit session edits with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      let warm = Explore.Session.run session in
+      let spec' = Explore.Session.spec session in
+      let cold = cold_run ~heuristic spec' in
+      Alcotest.(check string) "session run == cold run on edited spec"
+        (render spec' cold) (render spec' warm))
+
+let fixed_edits spec =
+  (* merge the tail partition away, pull a boundary op down a partition
+     (acyclic by construction: its producers live below it), retune *)
+  let op =
+    List.hd
+      (Chop_dfg.Partition.find spec.Spec.partitioning "P2")
+        .Chop_dfg.Partition.members
+  in
+  [
+    Spec.Merge_parts { src = "P3"; dst = "P2" };
+    Spec.Move_op { op; to_partition = "P1" };
+    Spec.Set_criteria (Chop_bad.Feasibility.criteria ~perf:25000. ~delay:25000. ());
+  ]
+
+let random_session_matches_cold =
+  QCheck.Test.make
+    ~name:"session runs match cold exploration across random edits" ~count:8
+    QCheck.(pair (0 -- 10000) (1 -- 4))
+    (fun (seed, len) ->
+      let r = lcg seed in
+      let spec0 = if seed mod 2 = 0 then ewf_spec () else ar_spec () in
+      let config =
+        Explore.Config.make
+          ~cache:(Explore.Config.Custom (Pred_cache.create ()))
+          ()
+      in
+      Explore.with_session config spec0 (fun session ->
+          ignore (Explore.Session.run session);
+          for _ = 1 to len do
+            let edit = gen_edit r (Explore.Session.spec session) in
+            ignore (Explore.Session.edit session [ edit ])
+          done;
+          let warm = Explore.Session.run session in
+          let spec' = Explore.Session.spec session in
+          let cold = cold_run ~heuristic:Explore.Iterative spec' in
+          String.equal (render spec' cold) (render spec' warm)))
+
+(* ------------------------------------------------------------------ *)
+(* Scoped re-prediction: misses == dirty partitions *)
+
+let test_misses_equal_dirty () =
+  let spec = ewf_spec () in
+  let config =
+    Explore.Config.make
+      ~cache:(Explore.Config.Custom (Pred_cache.create ()))
+      ()
+  in
+  Explore.with_session config spec (fun session ->
+      let cold = Explore.Session.run session in
+      Alcotest.(check int) "cold accounts for every partition" 3
+        (cold.Explore.cache_hits + cold.Explore.cache_misses);
+      let dirty =
+        match
+          Explore.Session.edit session
+            [ Spec.Merge_parts { src = "P3"; dst = "P2" } ]
+        with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "%a" Spec.pp_update_error e
+      in
+      Alcotest.(check (list string)) "single dirty partition" [ "P2" ]
+        dirty.Spec.repredict;
+      let warm = Explore.Session.run session in
+      Alcotest.(check int) "misses == dirty partitions"
+        (List.length dirty.Spec.repredict)
+        warm.Explore.cache_misses;
+      Alcotest.(check int) "clean partitions hit" 1 warm.Explore.cache_hits;
+      (* a third run with no edits is all hits *)
+      let idle = Explore.Session.run session in
+      Alcotest.(check int) "idle re-run misses nothing" 0
+        idle.Explore.cache_misses)
+
+let test_session_revision_and_pending () =
+  let spec = ewf_spec () in
+  Explore.with_session Explore.Config.default spec (fun session ->
+      Alcotest.(check int) "fresh revision" 0 (Explore.Session.revision session);
+      Alcotest.(check (list string)) "everything pending initially"
+        [ "P1"; "P2"; "P3" ]
+        (List.sort compare (Explore.Session.pending_dirty session));
+      ignore (Explore.Session.run session);
+      Alcotest.(check (list string)) "run clears pending" []
+        (Explore.Session.pending_dirty session);
+      (match
+         Explore.Session.edit session
+           [ Spec.Merge_parts { src = "P3"; dst = "P2" } ]
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      Alcotest.(check int) "edit bumps revision" 1
+        (Explore.Session.revision session);
+      Alcotest.(check (list string)) "edit queues dirty" [ "P2" ]
+        (Explore.Session.pending_dirty session))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "chop_session"
+    [
+      ( "update",
+        [
+          tc "merge dirties only dst" `Quick test_merge_dirties_only_dst;
+          tc "move dirties both ends" `Quick test_move_dirties_both_ends;
+          tc "criteria rederives all" `Quick test_criteria_rederives_all;
+          tc "rejections are precise" `Quick test_rejections_are_precise;
+          tc "emptying move rejected" `Quick test_emptying_move_rejected;
+          QCheck_alcotest.to_alcotest random_edits_keep_invariants;
+        ] );
+      ( "soundness",
+        [
+          tc "ewf enumeration" `Quick
+            (session_matches_cold ~heuristic:Explore.Enumeration
+               (ewf_spec ())
+               (fixed_edits (ewf_spec ())));
+          tc "ewf iterative" `Quick
+            (session_matches_cold ~heuristic:Explore.Iterative (ewf_spec ())
+               (fixed_edits (ewf_spec ())));
+          tc "ewf branch-bound" `Quick
+            (session_matches_cold ~heuristic:Explore.Branch_bound
+               (ewf_spec ())
+               (fixed_edits (ewf_spec ())));
+          tc "ar iterative" `Quick
+            (session_matches_cold ~heuristic:Explore.Iterative (ar_spec ())
+               (fixed_edits (ar_spec ())));
+          QCheck_alcotest.to_alcotest random_session_matches_cold;
+        ] );
+      ( "incremental",
+        [
+          tc "misses equal dirty partitions" `Quick test_misses_equal_dirty;
+          tc "revision and pending" `Quick test_session_revision_and_pending;
+        ] );
+    ]
