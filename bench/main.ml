@@ -1096,6 +1096,7 @@ let bench_explore_json ?(smoke = false) () =
            \"search_busy_seconds\": %.6f, \"merge_wall_seconds\": \
            %.6f, \"chunks\": %d, \"cache_hits\": %d, \
            \"cache_misses\": %d, \"cache_evictions\": %d, \
+           \"cache_structural_hits\": %d, \
            \"pre_prune\": %b, \"trials\": %d, \
            \"integrations\": %d, \"integrations_avoided\": %d, \
            \"pruned_impls\": %d, \"chip_cache_hits\": %d, \
@@ -1109,7 +1110,8 @@ let bench_explore_json ?(smoke = false) () =
           m.Chop.Explore.Metrics.chunk_count
           m.Chop.Explore.Metrics.cache_hits
           m.Chop.Explore.Metrics.cache_misses
-          m.Chop.Explore.Metrics.cache_evictions pre_prune trials
+          m.Chop.Explore.Metrics.cache_evictions
+          m.Chop.Explore.Metrics.cache_structural_hits pre_prune trials
           st.Chop.Search.integrations st.Chop.Search.integrations_avoided
           m.Chop.Explore.Metrics.pruned_impls
           m.Chop.Explore.Metrics.chip_cache_hits per_second)
@@ -1255,6 +1257,76 @@ let bench_serve_json ?(smoke = false) () =
         timed_rpc (request ~id:(Printf.sprintf "warm-%d" i) ~perf:30000.))
   in
   let wall = Unix.gettimeofday () -. t_start in
+  (* cross-session pass: "ewf2" is ewf rebuilt in a shuffled construction
+     order, so a fresh engine on it can only be served by the prediction
+     cache's content-addressed keys.  Cold samples predict ewf at
+     partition counts untouched above; the paired ewf2 engines must then
+     predict entirely from structural hits — raw misses mean the
+     content-addressed keys failed. *)
+  let xrequest ~id ~benchmark ~partitions =
+    Protocol.request_to_json
+      {
+        Protocol.id;
+        op = Protocol.Explore;
+        deadline_ms = None;
+        params =
+          { Protocol.default_params with benchmark; partitions; keep_all = true };
+      }
+  in
+  let rpc_timing json =
+    match Client.rpc client json with
+    | Ok resp ->
+        if Protocol.response_ok resp <> Some true then
+          failwith "bench serve: request failed";
+        let field name =
+          Option.bind (Chop_util.Json.member "timing" resp)
+            (Chop_util.Json.member name)
+        in
+        let predict_ms =
+          match Option.bind (field "predict_ms") Chop_util.Json.to_float_opt with
+          | Some v -> v
+          | None -> failwith "bench serve: predict_ms missing from timing"
+        in
+        let int name =
+          match Option.bind (field name) Chop_util.Json.to_int_opt with
+          | Some v -> v
+          | None -> failwith ("bench serve: " ^ name ^ " missing from timing")
+        in
+        (predict_ms, int "cache_misses", int "cache_structural_hits")
+    | Error msg -> failwith ("bench serve: " ^ msg)
+  in
+  let xsession_n = if smoke then 3 else 6 in
+  (* k = 2 is already warm from the passes above; k = 1 (the whole-graph
+     enumeration, the costliest cold predict) plus k >= 3 stay cold *)
+  let xsession_ks =
+    List.init xsession_n (fun i -> if i = 0 then 1 else i + 2)
+  in
+  let xcold =
+    List.map
+      (fun k ->
+        let ms, _, _ =
+          rpc_timing
+            (xrequest ~id:(Printf.sprintf "xcold-%d" k) ~benchmark:"ewf"
+               ~partitions:k)
+        in
+        ms)
+      xsession_ks
+  in
+  let xwarm_samples =
+    List.map
+      (fun k ->
+        rpc_timing
+          (xrequest ~id:(Printf.sprintf "xwarm-%d" k) ~benchmark:"ewf2"
+             ~partitions:k))
+      xsession_ks
+  in
+  let xwarm = List.map (fun (ms, _, _) -> ms) xwarm_samples in
+  let xwarm_misses =
+    List.fold_left (fun acc (_, m, _) -> acc + m) 0 xwarm_samples
+  in
+  let xwarm_structural =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 xwarm_samples
+  in
   Client.close client;
   Server.stop server;
   Thread.join server_thread;
@@ -1283,6 +1355,20 @@ let bench_serve_json ?(smoke = false) () =
   let warm_faster = w50 < c50 in
   Printf.printf "  warm p50 < cold p50: %b (%.2fx)\n" warm_faster
     (if w50 > 0. then c50 /. w50 else 0.);
+  let x50c, x95c, x99c, xmeanc = stats_of xcold in
+  let x50w, x95w, x99w, xmeanw = stats_of xwarm in
+  let xsession_ok = x50w *. 5. <= x50c && xwarm_misses = 0 && xwarm_structural > 0 in
+  Printf.printf
+    "  xsession cold predict (ewf,  n=%d): p50 %.3f ms  p95 %.3f ms  mean %.3f ms\n"
+    xsession_n x50c x95c xmeanc;
+  Printf.printf
+    "  xsession warm predict (ewf2, n=%d): p50 %.3f ms  p95 %.3f ms  mean %.3f ms\n"
+    xsession_n x50w x95w xmeanw;
+  Printf.printf
+    "  xsession: %d structural hit(s), %d miss(es), warm p50 %.1fx below cold: %b\n"
+    xwarm_structural xwarm_misses
+    (if x50w > 0. then x50c /. x50w else 0.)
+    xsession_ok;
   let oc = open_out "BENCH_serve.json" in
   Printf.fprintf oc
     "{\n\
@@ -1298,16 +1384,28 @@ let bench_serve_json ?(smoke = false) () =
      \"p99_ms\": %.3f, \"mean_ms\": %.3f},\n\
     \  \"warm\": {\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
      \"p99_ms\": %.3f, \"mean_ms\": %.3f},\n\
-    \  \"warm_p50_lt_cold_p50\": %b\n\
+    \  \"warm_p50_lt_cold_p50\": %b,\n\
+    \  \"xsession\": {\"cold\": {\"count\": %d, \"p50_ms\": %.3f, \
+     \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f}, \
+     \"warm\": {\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+     \"p99_ms\": %.3f, \"mean_ms\": %.3f}, \"structural_hits\": %d, \
+     \"warm_misses\": %d, \"warm_p50_x5_le_cold_p50\": %b}\n\
      }\n"
     (Domain.recommended_domain_count ())
     (if smoke then "smoke" else "full")
     concurrency queue jobs total wall req_per_s cold_n c50 c95 c99 cmean
-    warm_n w50 w95 w99 wmean warm_faster;
+    warm_n w50 w95 w99 wmean warm_faster xsession_n x50c x95c x99c xmeanc
+    xsession_n x50w x95w x99w xmeanw xwarm_structural xwarm_misses xsession_ok;
   close_out oc;
   print_endline "  wrote BENCH_serve.json";
   if not warm_faster then begin
     prerr_endline "bench serve: warm p50 was not below cold p50";
+    exit 1
+  end;
+  if not xsession_ok then begin
+    prerr_endline
+      "bench serve: cross-session pass failed (structural hits absent, raw \
+       misses present, or warm predict p50 not 5x below cold)";
     exit 1
   end
 
@@ -1410,10 +1508,47 @@ let bench_session_json ?(smoke = false) () =
           && warm.Chop.Explore.cache_hits = k - 1);
         check "warm edit latency well under cold explore"
           (warm_wall < cold_wall /. 2.);
+        (* reopen the edited spec the way another frontend would build it:
+           same structure, different construction order (node ids shuffled).
+           Sharing this session's private cache, the new session can only
+           be served by the content-addressed keys — every partition must
+           come back as a structural hit, none as a BAD enumeration *)
+        let reopen_structural =
+          if bench_name <> "ewf" then 0
+          else begin
+            let graph2 =
+              Chop_dfg.Transform.renumber
+                (Chop_dfg.Benchmarks.elliptic_wave_filter ())
+            in
+            let spec2 =
+              Chop.Rig.custom ~graph:graph2
+                ~partitioning:(Chop_dfg.Partition.by_levels graph2 ~k:3)
+                ~package:Chop_tech.Mosis.package_84
+                ~clocks:
+                  (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+                     ~transfer_ratio:1)
+                ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+                ~criteria:
+                  (Chop_bad.Feasibility.criteria ~perf:25000. ~delay:25000. ())
+                ()
+            in
+            let session2 = Chop.Explore.Session.create config spec2 in
+            Fun.protect ~finally:(fun () -> Chop.Explore.Session.close session2)
+            @@ fun () ->
+            let reopened = Chop.Explore.Session.run session2 in
+            let structural =
+              reopened.Chop.Explore.metrics
+                .Chop.Explore.Metrics.cache_structural_hits
+            in
+            check "reopened spec is served by structural hits"
+              (structural > 0 && reopened.Chop.Explore.cache_misses = 0);
+            structural
+          end
+        in
         Printf.printf
           "    cold %.3f ms   merge-warm %.3f ms   criteria-warm %.3f ms\n"
           (cold_wall *. 1000.) (merge_wall *. 1000.) (warm_wall *. 1000.);
-        (bench_name, k, cold_wall, merge_wall, warm_wall))
+        (bench_name, k, cold_wall, merge_wall, warm_wall, reopen_structural))
       benches
   in
   if smoke then
@@ -1423,12 +1558,13 @@ let bench_session_json ?(smoke = false) () =
     Printf.fprintf oc "{\n  \"host_cores\": %d,\n  \"benches\": [\n"
       (Domain.recommended_domain_count ());
     List.iteri
-      (fun i (name, k, cold, merge, warm) ->
+      (fun i (name, k, cold, merge, warm, reopen_structural) ->
         Printf.fprintf oc
           "    {\"bench\": \"%s\", \"partitions\": %d, \
            \"cold_ms\": %.3f, \"merge_warm_ms\": %.3f, \
-           \"criteria_warm_ms\": %.3f}%s\n"
+           \"criteria_warm_ms\": %.3f, \"reopen_structural_hits\": %d}%s\n"
           name k (cold *. 1000.) (merge *. 1000.) (warm *. 1000.)
+          reopen_structural
           (if i = List.length rows - 1 then "" else ","))
       rows;
     Printf.fprintf oc "  ]\n}\n";

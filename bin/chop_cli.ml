@@ -33,7 +33,7 @@ let graph_arg =
     value
     & opt graph_conv (Chop_dfg.Benchmarks.ar_lattice_filter ())
     & info [ "g"; "graph" ] ~docv:"NAME"
-        ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8.")
+        ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, ewf2 (ewf rebuilt in a shuffled construction order — exercises structural cache sharing).")
 
 let partitions_arg =
   Arg.(
@@ -582,7 +582,7 @@ let request_cmd =
   let benchmark =
     Arg.(value & opt string "ar"
          & info [ "g"; "graph" ] ~docv:"NAME"
-             ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8.")
+             ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, ewf2 (ewf rebuilt in a shuffled construction order — exercises structural cache sharing).")
   in
   let partitions =
     Arg.(value & opt int 2

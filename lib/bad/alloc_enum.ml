@@ -16,14 +16,34 @@ let enumerate ?(cap = 8) ~latency ~memport_units g =
               (Printf.sprintf "Alloc_enum.enumerate: no ports declared for %s" cls))
       mem_classes
   in
-  let choices =
-    List.map
-      (fun (cls, _) ->
-        let hi =
-          min cap (max 1 (Option.value ~default:1 (List.assoc_opt cls max_useful)))
-        in
-        List.map (fun n -> (cls, n)) (Chop_util.Listx.range 1 hi))
-      enumerable
-  in
-  let boxes = Chop_util.Listx.cartesian choices in
-  List.map (fun alloc -> fixed @ alloc) boxes
+  match enumerable with
+  | [] -> [ fixed ]
+  | _ ->
+      (* odometer over per-class counts 1..hi, rightmost digit fastest —
+         the order a cartesian product of [1..hi] ranges yields, without
+         materializing the intermediate range lists *)
+      let cls = Array.of_list (List.map fst enumerable) in
+      let hi =
+        Array.map
+          (fun c ->
+            min cap (max 1 (Option.value ~default:1 (List.assoc_opt c max_useful))))
+          cls
+      in
+      let k = Array.length cls in
+      let counts = Array.make k 1 in
+      let acc = ref [] in
+      let rolling = ref true in
+      while !rolling do
+        let alloc = ref [] in
+        for i = k - 1 downto 0 do
+          alloc := (cls.(i), counts.(i)) :: !alloc
+        done;
+        acc := (fixed @ !alloc) :: !acc;
+        let i = ref (k - 1) in
+        while !i >= 0 && counts.(!i) = hi.(!i) do
+          counts.(!i) <- 1;
+          decr i
+        done;
+        if !i < 0 then rolling := false else counts.(!i) <- counts.(!i) + 1
+      done;
+      List.rev !acc

@@ -118,6 +118,13 @@ module Metrics : sig
             delta).  Under concurrent runs sharing one cache — the
             serving layer — evictions triggered by a neighbour's inserts
             can land in this run's delta. *)
+    cache_structural_hits : int;
+        (** prediction-cache hits served across graph constructions while
+            this run executed ({!Pred_cache.counters} structural delta):
+            the entry was created by a differently-built isomorphic
+            subgraph — another session, spec revision or client — and
+            only the content-addressed keys could find it.  Same
+            concurrent-delta caveat as {!field-cache_evictions}. *)
     pruned_impls : int;
         (** implementations dropped by dominance pre-pruning before the
             search ({!Config.t}[.pre_prune]) *)

@@ -4,20 +4,76 @@ type entry = {
   kept : Chop_bad.Prediction.t list;
 }
 
-(* Each layer pairs the stored value with a last-use stamp drawn from the
-   cache-wide clock; eviction drops the oldest-stamped entries across both
-   layers until the total count fits the capacity again. *)
-type counters = { hits : int; misses : int; evictions : int }
+module Key = struct
+  type raw = { rid : string; origin : string }
+  type full = { parent : raw; fid : string }
+
+  let raw ~sub ~cfg =
+    (* content-addressed identity: the canonical structural digest (which
+       also interns [sub] into the process-wide sharing table) joined with
+       the predictor-config digest.  Each component is digested separately,
+       so a component boundary can never be forged by crafted contents. *)
+    let canon = Chop_dfg.Canon.of_graph sub in
+    {
+      rid =
+        canon.Chop_dfg.Canon.digest ^ "-"
+        ^ Digest.to_hex (Digest.string (Chop_bad.Predictor.signature cfg));
+      (* the per-construction identity the stringly API used to key on —
+         kept only to tell structural hits (reuse across constructions)
+         from identity hits *)
+      origin = Chop_dfg.Graph.signature sub;
+    }
+
+  let full ~raw ~chip ~criteria =
+    let chip_sig =
+      Printf.sprintf "%s:%.17g:%.17g:%d:%.17g:%.17g" chip.Chop_tech.Chip.pkg_name
+        chip.Chop_tech.Chip.width chip.Chop_tech.Chip.height
+        chip.Chop_tech.Chip.pins chip.Chop_tech.Chip.pad_delay
+        chip.Chop_tech.Chip.pad_area
+    in
+    let c = criteria in
+    let crit_sig =
+      Printf.sprintf "%.17g:%.17g:%.17g:%.17g:%.17g:%s"
+        c.Chop_bad.Feasibility.perf_constraint
+        c.Chop_bad.Feasibility.delay_constraint c.Chop_bad.Feasibility.perf_prob
+        c.Chop_bad.Feasibility.area_prob c.Chop_bad.Feasibility.delay_prob
+        (match c.Chop_bad.Feasibility.power_budget with
+        | None -> "-"
+        | Some p -> Printf.sprintf "%.17g" p)
+    in
+    {
+      parent = raw;
+      fid = raw.rid ^ "/" ^ Digest.to_hex (Digest.string (chip_sig ^ "|" ^ crit_sig));
+    }
+
+  let raw_of_full k = k.parent
+  let raw_id k = k.rid
+  let full_id k = k.fid
+end
+
+(* Each layer pairs the stored value with the creator's construction
+   identity (for structural-hit accounting) and a last-use stamp drawn
+   from the cache-wide clock; eviction drops the oldest-stamped entries
+   across both layers until the total count fits the capacity again. *)
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  structural_hits : int;
+}
+
+type 'a slot = { value : 'a; origin : string; stamp : int ref }
 
 type t = {
   lock : Mutex.t;
-  raw_tbl : (string, Chop_bad.Prediction.t list * int ref) Hashtbl.t;
-  full_tbl : (string, entry * int ref) Hashtbl.t;
+  raw_tbl : (string, Chop_bad.Prediction.t list slot) Hashtbl.t;
+  full_tbl : (string, entry slot) Hashtbl.t;
   mutable clock : int;
   mutable capacity : int option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable structural_hits : int;
 }
 
 let default_shared_capacity = 1024
@@ -25,7 +81,7 @@ let default_shared_capacity = 1024
 let create ?capacity () =
   { lock = Mutex.create (); raw_tbl = Hashtbl.create 64;
     full_tbl = Hashtbl.create 64; clock = 0; capacity; hits = 0; misses = 0;
-    evictions = 0 }
+    evictions = 0; structural_hits = 0 }
 
 let shared = create ~capacity:default_shared_capacity ()
 
@@ -50,8 +106,8 @@ let evict_to t limit =
   let total () = Hashtbl.length t.raw_tbl + Hashtbl.length t.full_tbl in
   if total () > limit then begin
     let stamps = ref [] in
-    Hashtbl.iter (fun k (_, s) -> stamps := (!s, `Raw, k) :: !stamps) t.raw_tbl;
-    Hashtbl.iter (fun k (_, s) -> stamps := (!s, `Full, k) :: !stamps)
+    Hashtbl.iter (fun k s -> stamps := (!(s.stamp), `Raw, k) :: !stamps) t.raw_tbl;
+    Hashtbl.iter (fun k s -> stamps := (!(s.stamp), `Full, k) :: !stamps)
       t.full_tbl;
     let oldest_first = List.sort compare !stamps in
     let excess = total () - limit in
@@ -76,54 +132,55 @@ let set_capacity t capacity =
 
 let capacity t = locked t (fun () -> t.capacity)
 
-let raw_key ~sub ~cfg =
-  (* digest each component separately: joining the raw signature strings
-     with a separator would let one component's tail masquerade as the
-     other's head *)
-  Digest.to_hex (Digest.string (Chop_dfg.Graph.signature sub))
-  ^ "-"
-  ^ Digest.to_hex (Digest.string (Chop_bad.Predictor.signature cfg))
-
-let full_key ~raw_key ~chip ~criteria =
-  let chip_sig =
-    Printf.sprintf "%s:%.17g:%.17g:%d:%.17g:%.17g" chip.Chop_tech.Chip.pkg_name
-      chip.Chop_tech.Chip.width chip.Chop_tech.Chip.height
-      chip.Chop_tech.Chip.pins chip.Chop_tech.Chip.pad_delay
-      chip.Chop_tech.Chip.pad_area
-  in
-  let c = criteria in
-  let crit_sig =
-    Printf.sprintf "%.17g:%.17g:%.17g:%.17g:%.17g:%s"
-      c.Chop_bad.Feasibility.perf_constraint
-      c.Chop_bad.Feasibility.delay_constraint c.Chop_bad.Feasibility.perf_prob
-      c.Chop_bad.Feasibility.area_prob c.Chop_bad.Feasibility.delay_prob
-      (match c.Chop_bad.Feasibility.power_budget with
-      | None -> "-"
-      | Some p -> Printf.sprintf "%.17g" p)
-  in
-  raw_key ^ "/" ^ Digest.to_hex (Digest.string (chip_sig ^ "|" ^ crit_sig))
-
 let counters t =
   locked t (fun () ->
-      { hits = t.hits; misses = t.misses; evictions = t.evictions })
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        structural_hits = t.structural_hits })
 
-let find tbl t k =
+(* caller holds the lock *)
+let record_hit t ~probe_origin slot =
+  slot.stamp := tick t;
+  t.hits <- t.hits + 1;
+  (* a hit whose creator was a different construction of the same
+     structure is exactly the hit the per-construction keys missed *)
+  if not (String.equal slot.origin probe_origin) then
+    t.structural_hits <- t.structural_hits + 1
+
+let find_raw t (k : Key.raw) =
   locked t (fun () ->
-      match Hashtbl.find_opt tbl k with
+      match Hashtbl.find_opt t.raw_tbl k.Key.rid with
       | None ->
           t.misses <- t.misses + 1;
           None
-      | Some (v, stamp) ->
-          stamp := tick t;
-          t.hits <- t.hits + 1;
-          Some v)
+      | Some slot ->
+          record_hit t ~probe_origin:k.Key.origin slot;
+          Some slot.value)
 
-let add tbl t k v =
+let add_raw t (k : Key.raw) v =
   locked t (fun () ->
-      Hashtbl.replace tbl k (v, ref (tick t));
+      Hashtbl.replace t.raw_tbl k.Key.rid
+        { value = v; origin = k.Key.origin; stamp = ref (tick t) };
       enforce_capacity t)
 
-let find_raw t k = find t.raw_tbl t k
-let add_raw t k v = add t.raw_tbl t k v
-let find_full t k = find t.full_tbl t k
-let add_full t k v = add t.full_tbl t k v
+let find_full t (k : Key.full) =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.full_tbl k.Key.fid with
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+      | Some slot ->
+          record_hit t ~probe_origin:k.Key.parent.Key.origin slot;
+          (* a full-layer hit is also a use of the raw enumeration behind
+             it: refresh the parent's age so derived lookups (sensitivity
+             sweeps, criteria edits) don't let their own raw working set
+             age out *)
+          (match Hashtbl.find_opt t.raw_tbl k.Key.parent.Key.rid with
+          | Some parent -> parent.stamp := tick t
+          | None -> ());
+          Some slot.value)
+
+let add_full t (k : Key.full) v =
+  locked t (fun () ->
+      Hashtbl.replace t.full_tbl k.Key.fid
+        { value = v; origin = k.Key.parent.Key.origin; stamp = ref (tick t) };
+      enforce_capacity t)

@@ -1,0 +1,51 @@
+(** Canonical (content-addressed) identity of data-flow graphs.
+
+    {!Graph.signature} digests a graph {e as constructed}: node ids enter
+    the hash, so two isomorphic graphs built in different orders — the same
+    benchmark assembled by two frontends, the same partition extracted from
+    two differently-numbered parents — get different signatures.  This
+    module assigns the {e structural} identity instead: {!digest} is
+    invariant under node renumbering and under permutation of the node and
+    edge insertion orders, so isomorphic-by-construction graphs share one
+    digest process-wide.
+
+    The digest is built from Weisfeiler–Lehman-style cone hashes.  Each
+    node's {e upward} hash folds its operation, width and the sorted
+    multiset of its predecessors' upward hashes (the full input cone);
+    each node's {e downward} hash does the same over successors (the full
+    output cone).  The graph digest is the MD5 of the node and edge counts
+    plus the sorted multiset of per-node (upward, downward) hash pairs.
+    Operand order is deliberately ignored: BAD predictions depend on the
+    dependence structure, not on which input feeds which port, so [a - b]
+    and [b - a] may share prediction-cache entries.  Like every MD5-based
+    key in this codebase the identity is probabilistic; the pair of
+    independent cone hashes makes an accidental collision between
+    non-isomorphic graphs comparable to an MD5 collision.
+
+    Node and graph {e names} are excluded throughout — relabeling a
+    partition never changes its canonical identity. *)
+
+type t = private {
+  digest : string;  (** hex MD5 of the canonical form *)
+  graph : Graph.t;
+      (** the representative: the first graph interned with this digest *)
+}
+
+val digest : Graph.t -> string
+(** The canonical structural digest, without touching the sharing table. *)
+
+val of_graph : Graph.t -> t
+(** Interns the graph: computes {!digest} and returns the process-wide
+    canonical value for it.  Two isomorphic graphs — however and whenever
+    constructed, on any domain — map to the {e physically} same [t], so
+    [==] decides structural equality in O(1) after interning.  The first
+    graph seen for a digest becomes the representative kept alive by the
+    sharing table. *)
+
+val equal : t -> t -> bool
+(** Physical equality — valid because {!of_graph} hash-conses. *)
+
+val table_length : unit -> int
+(** Number of distinct structures interned so far (the sharing table lives
+    for the process; it is bounded by the number of distinct graph
+    structures ever interned, not by call count). *)

@@ -253,3 +253,35 @@ let rename name g =
       Graph.add_edge b ~src:(Hashtbl.find remap src) ~dst:(Hashtbl.find remap dst))
     (Graph.edges g);
   Graph.build b
+
+let renumber ?(seed = 1) g =
+  (* a deterministic Lehmer permutation of the node-insertion order: every
+     node keeps its operation, width and name but receives a different id,
+     so the rebuilt graph is isomorphic to [g] while Graph.signature (and
+     any other id-bearing identity) differs *)
+  let nodes = Array.of_list (Graph.nodes g) in
+  let n = Array.length nodes in
+  let state = ref (max 1 (seed land 0x3FFFFFFF)) in
+  let next_int bound =
+    state := (!state * 48271) mod 0x7FFFFFFF;
+    !state mod bound
+  in
+  for i = n - 1 downto 1 do
+    let j = next_int (i + 1) in
+    let tmp = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- tmp
+  done;
+  let b = Graph.builder ~name:(Graph.name g) () in
+  let remap = Hashtbl.create 32 in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      Hashtbl.replace remap nd.Graph.id
+        (Graph.add_node b ~name:nd.Graph.name ~op:nd.Graph.op
+           ~width:nd.Graph.width))
+    nodes;
+  List.iter
+    (fun (src, dst) ->
+      Graph.add_edge b ~src:(Hashtbl.find remap src) ~dst:(Hashtbl.find remap dst))
+    (Graph.edges g);
+  Graph.build b

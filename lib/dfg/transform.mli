@@ -43,3 +43,10 @@ val dead_node_elimination : Graph.t -> Graph.t
 
 val rename : string -> Graph.t -> Graph.t
 (** Copy of the graph under a new name (ids are renumbered compactly). *)
+
+val renumber : ?seed:int -> Graph.t -> Graph.t
+(** An isomorphic copy with node ids assigned in a deterministically
+    shuffled order ([seed] selects the permutation).  Models the same
+    behavior arriving from a different frontend construction order:
+    {!Graph.signature} changes, {!Canon.digest} does not — the scenario
+    content-addressed prediction caching exists for. *)

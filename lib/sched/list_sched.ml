@@ -1,22 +1,19 @@
-module IntMap = Map.Make (Int)
+(* The scheduler is the innermost loop of BAD prediction: one [run] per
+   candidate allocation per partition, thousands per exploration.  All
+   per-node state lives in dense arrays indexed by node id (builder ids
+   are dense 0..size-1), and the loop below allocates nothing: the ready
+   set and the in-flight set are counted array segments, and the urgency
+   ordering is an in-place stable insertion sort.
 
-(* Longest path (in latency steps) from each node to any sink, inclusive. *)
-let urgency g ~latency =
-  let order = List.rev (Chop_dfg.Analysis.topological_order g) in
-  List.fold_left
-    (fun acc id ->
-      let n = Chop_dfg.Graph.node g id in
-      let own =
-        if Chop_dfg.Op.is_computational n.Chop_dfg.Graph.op then latency n else 0
-      in
-      let downstream =
-        List.fold_left
-          (fun best s -> max best (IntMap.find s acc))
-          0
-          (Chop_dfg.Graph.succs g id)
-      in
-      IntMap.add id (own + downstream) acc)
-    IntMap.empty order
+   The issue order is observable through [Schedule.t.starts], so every
+   ordering decision replicates the original list-based semantics exactly:
+
+   - the ready set behaves as a stack (newly ready operations are
+     considered first among equals).  It is stored reversed — logical
+     head at index [ready_n - 1] — so a logical prepend is an append;
+   - ties in urgency preserve that logical order (stable sort);
+   - retirements are processed newest-issued-first, matching the order a
+     prepend-built in-flight list yields. *)
 
 let run ~latency ~alloc g =
   Schedule.validate_alloc alloc;
@@ -31,93 +28,148 @@ let run ~latency ~alloc g =
           (Printf.sprintf "List_sched.run: latency of %s must be >= 1"
              n.Chop_dfg.Graph.name))
     ops;
-  let urgencies = urgency g ~latency in
-  let lat_tbl = Hashtbl.create 32 in
-  List.iter (fun n -> Hashtbl.replace lat_tbl n.Chop_dfg.Graph.id (latency n)) ops;
-  (* remaining computational predecessors per op *)
-  let pending = Hashtbl.create 32 in
-  let comp_preds id =
-    List.filter
-      (fun p ->
-        Chop_dfg.Op.is_computational (Chop_dfg.Graph.node g p).Chop_dfg.Graph.op)
-      (Chop_dfg.Graph.preds g id)
+  let n = Chop_dfg.Graph.size g in
+  let op_count = List.length ops in
+  let classes = Array.of_list (List.map fst alloc) in
+  let free = Array.of_list (List.map snd alloc) in
+  let class_index cls =
+    let rec go i =
+      if i >= Array.length classes then
+        invalid_arg ("List_sched.run: no units allocated for " ^ cls)
+      else if String.equal classes.(i) cls then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* per-node state; [cls_idx]/[pending] stay -1 on boundary nodes *)
+  let lat = Array.make (max 1 n) 0 in
+  let cls_idx = Array.make (max 1 n) (-1) in
+  let pending = Array.make (max 1 n) (-1) in
+  let urg = Array.make (max 1 n) 0 in
+  List.iter
+    (fun nd ->
+      let id = nd.Chop_dfg.Graph.id in
+      lat.(id) <- latency nd;
+      cls_idx.(id) <- class_index (Chop_dfg.Op.functional_class nd.Chop_dfg.Graph.op);
+      pending.(id) <-
+        List.fold_left
+          (fun acc p ->
+            if
+              Chop_dfg.Op.is_computational
+                (Chop_dfg.Graph.node g p).Chop_dfg.Graph.op
+            then acc + 1
+            else acc)
+          0
+          (Chop_dfg.Graph.preds g id))
+    ops;
+  (* urgency: longest latency chain to any sink, inclusive (Sehwa's
+     measure); a sweep over reverse topological order *)
+  List.iter
+    (fun nd ->
+      let id = nd.Chop_dfg.Graph.id in
+      let downstream =
+        List.fold_left
+          (fun best s -> max best urg.(s))
+          0
+          (Chop_dfg.Graph.succs g id)
+      in
+      urg.(id) <- lat.(id) + downstream)
+    (List.rev (Chop_dfg.Graph.nodes g));
+  (* ready stack, stored reversed: logical head = ready.(ready_n - 1) *)
+  let ready = Array.make (max 1 n) 0 in
+  let ready_n = ref 0 in
+  let push_ready id =
+    ready.(!ready_n) <- id;
+    incr ready_n
   in
   List.iter
-    (fun n ->
-      Hashtbl.replace pending n.Chop_dfg.Graph.id
-        (List.length (comp_preds n.Chop_dfg.Graph.id)))
+    (fun nd -> if pending.(nd.Chop_dfg.Graph.id) = 0 then push_ready nd.Chop_dfg.Graph.id)
     ops;
-  let ready = ref [] and starts = ref [] in
-  List.iter
-    (fun n ->
-      if Hashtbl.find pending n.Chop_dfg.Graph.id = 0 then
-        ready := n.Chop_dfg.Graph.id :: !ready)
-    ops;
-  (* (finish step, id) of operations in flight *)
-  let in_flight = ref [] in
-  let free = Hashtbl.create 8 in
-  List.iter (fun (cls, n) -> Hashtbl.replace free cls n) alloc;
-  let n_left = ref (List.length ops) in
+  let order = Array.make (max 1 n) 0 in
+  (* operations in flight: finish step + id, newest at the highest index *)
+  let fin_step = Array.make (max 1 op_count) 0 in
+  let fin_id = Array.make (max 1 op_count) 0 in
+  let fin_n = ref 0 in
+  let start_id = Array.make (max 1 op_count) 0 in
+  let start_at = Array.make (max 1 op_count) 0 in
+  let start_n = ref 0 in
+  let n_left = ref op_count in
   let step = ref 0 in
   let guard = ref 0 in
   while !n_left > 0 do
     incr guard;
     if !guard > 1_000_000 then failwith "List_sched.run: no progress";
-    (* retire *)
-    let done_now, still = List.partition (fun (f, _) -> f <= !step) !in_flight in
-    in_flight := still;
-    List.iter
-      (fun (_, id) ->
-        let cls =
-          Chop_dfg.Op.functional_class (Chop_dfg.Graph.node g id).Chop_dfg.Graph.op
-        in
-        Hashtbl.replace free cls (1 + Hashtbl.find free cls);
-        List.iter
-          (fun s ->
-            match Hashtbl.find_opt pending s with
-            | Some k ->
-                Hashtbl.replace pending s (k - 1);
-                if k - 1 = 0 then ready := s :: !ready
-            | None -> ())
-          (Chop_dfg.Graph.succs g id))
-      done_now;
-    (* issue by decreasing urgency *)
-    let order =
-      List.sort
-        (fun a b -> Int.compare (IntMap.find b urgencies) (IntMap.find a urgencies))
-        !ready
-    in
-    ready := [];
-    List.iter
-      (fun id ->
-        let cls =
-          Chop_dfg.Op.functional_class (Chop_dfg.Graph.node g id).Chop_dfg.Graph.op
-        in
-        let avail = Hashtbl.find free cls in
-        if avail > 0 then begin
-          Hashtbl.replace free cls (avail - 1);
-          let lat = Hashtbl.find lat_tbl id in
-          starts := (id, !step) :: !starts;
-          in_flight := (!step + lat, id) :: !in_flight;
-          decr n_left
+    (* retire, newest-issued-first *)
+    if !fin_n > 0 then begin
+      for i = !fin_n - 1 downto 0 do
+        if fin_step.(i) <= !step then begin
+          let id = fin_id.(i) in
+          free.(cls_idx.(id)) <- free.(cls_idx.(id)) + 1;
+          List.iter
+            (fun s ->
+              if pending.(s) >= 0 then begin
+                pending.(s) <- pending.(s) - 1;
+                if pending.(s) = 0 then push_ready s
+              end)
+            (Chop_dfg.Graph.succs g id)
         end
-        else ready := id :: !ready)
-      order;
+      done;
+      (* compact the survivors in place, preserving their order *)
+      let w = ref 0 in
+      for i = 0 to !fin_n - 1 do
+        if fin_step.(i) > !step then begin
+          fin_step.(!w) <- fin_step.(i);
+          fin_id.(!w) <- fin_id.(i);
+          incr w
+        end
+      done;
+      fin_n := !w
+    end;
+    (* issue by decreasing urgency; ties keep the ready stack's order *)
+    let cnt = !ready_n in
+    for i = 0 to cnt - 1 do
+      order.(i) <- ready.(cnt - 1 - i)
+    done;
+    for i = 1 to cnt - 1 do
+      let v = order.(i) in
+      let u = urg.(v) in
+      let j = ref (i - 1) in
+      while !j >= 0 && urg.(order.(!j)) < u do
+        order.(!j + 1) <- order.(!j);
+        decr j
+      done;
+      order.(!j + 1) <- v
+    done;
+    ready_n := 0;
+    for i = 0 to cnt - 1 do
+      let id = order.(i) in
+      let c = cls_idx.(id) in
+      if free.(c) > 0 then begin
+        free.(c) <- free.(c) - 1;
+        start_id.(!start_n) <- id;
+        start_at.(!start_n) <- !step;
+        incr start_n;
+        fin_step.(!fin_n) <- !step + lat.(id);
+        fin_id.(!fin_n) <- id;
+        incr fin_n;
+        decr n_left
+      end
+      else push_ready id
+    done;
     incr step;
     (* fast-forward to the next retirement when nothing can issue *)
-    if !ready <> [] || !n_left > 0 then
-      match !in_flight with
-      | [] -> ()
-      | flights ->
-          let next = List.fold_left (fun m (f, _) -> min m f) max_int flights in
-          if next > !step then step := next
+    if (!ready_n > 0 || !n_left > 0) && !fin_n > 0 then begin
+      let next = ref max_int in
+      for i = 0 to !fin_n - 1 do
+        if fin_step.(i) < !next then next := fin_step.(i)
+      done;
+      if !next > !step then step := !next
+    end
   done;
-  let starts = List.rev !starts in
-  let latencies = List.map (fun (id, _) -> (id, Hashtbl.find lat_tbl id)) starts in
+  let starts = List.init !start_n (fun i -> (start_id.(i), start_at.(i))) in
+  let latencies = List.map (fun (id, _) -> (id, lat.(id))) starts in
   let length =
-    List.fold_left
-      (fun acc (id, st) -> max acc (st + Hashtbl.find lat_tbl id))
-      0 starts
+    List.fold_left (fun acc (id, st) -> max acc (st + lat.(id))) 0 starts
   in
   { Schedule.graph = g; alloc; starts; latencies; length }
 

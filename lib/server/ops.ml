@@ -10,6 +10,13 @@ let benchmarks =
     ("fir8", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:8 ());
     ("diffeq", fun () -> Chop_dfg.Benchmarks.diffeq ());
     ("dct8", fun () -> Chop_dfg.Benchmarks.dct8 ());
+    (* ewf rebuilt in a shuffled construction order: structurally identical
+       to "ewf" but with different node ids, so its per-construction
+       signatures differ while the canonical digests agree.  The probe for
+       content-addressed cache sharing — a session on "ewf2" after one on
+       "ewf" must hit the prediction cache structurally. *)
+    ("ewf2",
+     fun () -> Chop_dfg.Transform.renumber (Chop_dfg.Benchmarks.elliptic_wave_filter ()));
   ]
 
 let graph_of_name name =

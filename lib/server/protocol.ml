@@ -243,6 +243,7 @@ type timing = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_structural_hits : int;
 }
 
 let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
@@ -256,6 +257,7 @@ let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
     cache_hits = m.Chop.Explore.Metrics.cache_hits;
     cache_misses = m.Chop.Explore.Metrics.cache_misses;
     cache_evictions = m.Chop.Explore.Metrics.cache_evictions;
+    cache_structural_hits = m.Chop.Explore.Metrics.cache_structural_hits;
   }
 
 let no_engine_timing ~queue_ms ~run_ms =
@@ -268,6 +270,7 @@ let no_engine_timing ~queue_ms ~run_ms =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    cache_structural_hits = 0;
   }
 
 let timing_to_json t =
@@ -281,6 +284,7 @@ let timing_to_json t =
       ("cache_hits", Json.Int t.cache_hits);
       ("cache_misses", Json.Int t.cache_misses);
       ("cache_evictions", Json.Int t.cache_evictions);
+      ("cache_structural_hits", Json.Int t.cache_structural_hits);
     ]
 
 let ok_response ~id ~op ?timing fields =

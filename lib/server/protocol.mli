@@ -118,6 +118,10 @@ type timing = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_structural_hits : int;
+      (** hits served across graph constructions — entries created by
+          another session, spec revision or client (see
+          {!Chop.Pred_cache.counters}) *)
 }
 
 val timing_of_report : queue_ms:float -> run_ms:float -> Chop.Explore.report -> timing

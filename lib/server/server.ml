@@ -147,12 +147,13 @@ let access_log t ~id ~op ~status ~(timing : Protocol.timing) ~verdict =
   log_line t
     (Printf.sprintf
        "%s id=%s op=%s status=%s queue_ms=%.1f run_ms=%.1f predict_ms=%.1f \
-        search_ms=%.1f merge_ms=%.1f cache=%dh/%dm/%de verdict=%s"
+        search_ms=%.1f merge_ms=%.1f cache=%dh/%dm/%de/%ds verdict=%s"
        (timestamp (Unix.gettimeofday ()))
        id op status timing.Protocol.queue_ms timing.Protocol.run_ms
        timing.Protocol.predict_ms timing.Protocol.search_ms
        timing.Protocol.merge_ms timing.Protocol.cache_hits
-       timing.Protocol.cache_misses timing.Protocol.cache_evictions verdict)
+       timing.Protocol.cache_misses timing.Protocol.cache_evictions
+       timing.Protocol.cache_structural_hits verdict)
 
 let bump t (code : [ `Ok | `Err of Protocol.error_code ]) =
   Mutex.lock t.counters_mu;
@@ -315,8 +316,23 @@ let stats_fields t =
   Mutex.lock t.sessions_mu;
   let sessions = Hashtbl.length t.sessions in
   Mutex.unlock t.sessions_mu;
+  let lookups = cache.Chop.Pred_cache.hits + cache.Chop.Pred_cache.misses in
+  let hit_rate =
+    if lookups = 0 then 0.
+    else float_of_int cache.Chop.Pred_cache.hits /. float_of_int lookups
+  in
+  let uptime = Unix.gettimeofday () -. t.started in
+  let text =
+    Printf.sprintf
+      "uptime: %.1f s, engines: %d, sessions: %d\n\
+       cache: %d hit(s) / %d miss(es) / %d eviction(s), %d structural \
+       (cross-session) hit(s), hit rate %.1f%%\n"
+      uptime engines sessions cache.Chop.Pred_cache.hits
+      cache.Chop.Pred_cache.misses cache.Chop.Pred_cache.evictions
+      cache.Chop.Pred_cache.structural_hits (100. *. hit_rate)
+  in
   [
-    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+    ("uptime_s", Json.Float uptime);
     ("engines", Json.Int engines);
     ("sessions", Json.Int sessions);
     ("scheduler", scheduler_stats_json t);
@@ -327,7 +343,10 @@ let stats_fields t =
          ("hits", Json.Int cache.Chop.Pred_cache.hits);
          ("misses", Json.Int cache.Chop.Pred_cache.misses);
          ("evictions", Json.Int cache.Chop.Pred_cache.evictions);
+         ("structural_hits", Json.Int cache.Chop.Pred_cache.structural_hits);
+         ("hit_rate", Json.Float hit_rate);
        ]);
+    ("text", Json.String text);
   ]
 
 (* One operation, already admitted: returns the result fields, the

@@ -898,6 +898,100 @@ let test_dot_output () =
          String.length l >= 8 && String.sub l 0 8 = "subgraph")
        (String.split_on_char '\n' dot2))
 
+(* ---------- canonical structural digests (Canon) ---------- *)
+
+(* The content-addressed cache's soundness rests on this property: however
+   a graph was constructed — node ids permuted, node and graph names
+   changed — its canonical digest is unchanged. *)
+let canon_digest_construction_invariant =
+  QCheck.Test.make ~name:"canon digest invariant under construction order"
+    ~count:60
+    QCheck.(triple (8 -- 40) (0 -- 500) (1 -- 1000))
+    (fun (ops, seed, shuffle) ->
+      let g = Benchmarks.random_dag ~ops ~seed () in
+      let g2 = Transform.renumber ~seed:shuffle g in
+      let g3 = Transform.rename "other-name" g2 in
+      String.equal (Canon.digest g) (Canon.digest g2)
+      && String.equal (Canon.digest g) (Canon.digest g3))
+
+(* the per-partition view the prediction cache actually keys on: the same
+   spec rebuilt in another construction order yields by-levels partition
+   subgraphs with pairwise equal digests (and, for > 1 partition,
+   different per-construction signatures somewhere) *)
+let canon_partition_subgraphs_invariant =
+  QCheck.Test.make ~name:"partition subgraph digests survive renumbering"
+    ~count:40
+    QCheck.(triple (10 -- 40) (0 -- 300) (2 -- 4))
+    (fun (ops, seed, k) ->
+      let g = Benchmarks.random_dag ~ops ~seed () in
+      let g2 = Transform.renumber ~seed:(seed + 1) g in
+      let subs g =
+        let pg = Partition.by_levels g ~k in
+        List.map (fun p -> Partition.subgraph pg p) pg.Partition.parts
+      in
+      List.for_all2
+        (fun s1 s2 -> String.equal (Canon.digest s1) (Canon.digest s2))
+        (subs g) (subs g2))
+
+let test_canon_distinguishes_benchmarks () =
+  let digests =
+    List.map
+      (fun g -> Canon.digest g)
+      [
+        Benchmarks.ar_lattice_filter ();
+        Benchmarks.elliptic_wave_filter ();
+        Benchmarks.fir_filter ~taps:8 ();
+        Benchmarks.fir_filter ~taps:16 ();
+        Benchmarks.diffeq ();
+        Benchmarks.dct8 ();
+      ]
+  in
+  Alcotest.(check int)
+    "pairwise distinct digests"
+    (List.length digests)
+    (List.length (List.sort_uniq String.compare digests))
+
+(* nearby non-isomorphic graphs must not collide: vary one op, one width,
+   one edge *)
+let test_canon_collision_sanity () =
+  let base ~mid_op ~mid_width ~extra_edge =
+    let b = Graph.builder () in
+    let i = Graph.add_node b ~op:Op.Input ~width:16 in
+    let c = Graph.add_node b ~op:Op.Const ~width:16 in
+    let m = Graph.add_node b ~op:mid_op ~width:mid_width in
+    let s = Graph.add_node b ~op:Op.Add ~width:16 in
+    let o = Graph.add_node b ~op:Op.Output ~width:16 in
+    Graph.add_edge b ~src:i ~dst:m;
+    Graph.add_edge b ~src:c ~dst:m;
+    Graph.add_edge b ~src:m ~dst:s;
+    Graph.add_edge b ~src:(if extra_edge then c else i) ~dst:s;
+    Graph.add_edge b ~src:s ~dst:o;
+    Graph.build b
+  in
+  let g0 = base ~mid_op:Op.Mult ~mid_width:16 ~extra_edge:false in
+  let variants =
+    [
+      base ~mid_op:Op.Add ~mid_width:16 ~extra_edge:false;
+      base ~mid_op:Op.Mult ~mid_width:8 ~extra_edge:false;
+      base ~mid_op:Op.Mult ~mid_width:16 ~extra_edge:true;
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        "digest differs" false
+        (String.equal (Canon.digest g0) (Canon.digest v)))
+    variants
+
+let test_canon_hash_consing () =
+  let g = Benchmarks.elliptic_wave_filter () in
+  let g2 = Transform.renumber g in
+  let c1 = Canon.of_graph g and c2 = Canon.of_graph g2 in
+  Alcotest.(check bool) "interned to one value" true (Canon.equal c1 c2);
+  Alcotest.(check bool)
+    "constructions differ" false
+    (String.equal (Graph.signature g) (Graph.signature g2))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "chop_dfg"
@@ -1009,6 +1103,14 @@ let () =
           tc "compile errors" `Quick test_behavior_errors;
           tc "stmt count" `Quick test_behavior_stmt_count;
           tc "feeds the partitioner" `Quick test_behavior_feeds_chop;
+        ] );
+      ( "canon",
+        [
+          QCheck_alcotest.to_alcotest canon_digest_construction_invariant;
+          QCheck_alcotest.to_alcotest canon_partition_subgraphs_invariant;
+          tc "distinguishes benchmarks" `Quick test_canon_distinguishes_benchmarks;
+          tc "collision sanity" `Quick test_canon_collision_sanity;
+          tc "hash consing" `Quick test_canon_hash_consing;
         ] );
       ("dot", [ tc "output" `Quick test_dot_output ]);
     ]

@@ -229,32 +229,57 @@ let test_cache_relabels_predictions () =
         preds)
     per_partition
 
+(* Distinct typed raw keys for the LRU tests: one per chain length (the
+   canonical digest separates chains of different lengths). *)
+let test_cfg =
+  lazy
+    (Chop_bad.Predictor.config ~library:Chop_tech.Mosis.experiment_library
+       ~clocks:
+         (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+            ~transfer_ratio:1)
+       ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle) ())
+
+let chain_graph ?(name = "chain") n =
+  let b = Chop_dfg.Graph.builder ~name () in
+  let input = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Input ~width:8 in
+  let prev = ref input in
+  for _ = 1 to n do
+    let s = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Shift ~width:8 in
+    Chop_dfg.Graph.add_edge b ~src:!prev ~dst:s;
+    prev := s
+  done;
+  let out = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Output ~width:8 in
+  Chop_dfg.Graph.add_edge b ~src:!prev ~dst:out;
+  Chop_dfg.Graph.build b
+
+let rkey i = Pred_cache.Key.raw ~sub:(chain_graph i) ~cfg:(Lazy.force test_cfg)
+
 let test_cache_capacity_evicts_lru () =
   let cache = Pred_cache.create ~capacity:4 () in
   Alcotest.(check (option int)) "capacity recorded" (Some 4)
     (Pred_cache.capacity cache);
   for i = 1 to 10 do
-    Pred_cache.add_raw cache (Printf.sprintf "k%d" i) []
+    Pred_cache.add_raw cache (rkey i) []
   done;
   Alcotest.(check int) "bounded after inserts" 4 (Pred_cache.length cache);
   (* the youngest keys survive, the oldest were evicted *)
   Alcotest.(check bool) "newest kept" true
-    (Pred_cache.find_raw cache "k10" <> None);
+    (Pred_cache.find_raw cache (rkey 10) <> None);
   Alcotest.(check bool) "oldest evicted" true
-    (Pred_cache.find_raw cache "k1" = None);
+    (Pred_cache.find_raw cache (rkey 1) = None);
   (* a find refreshes the entry: touch k7, insert, k7 must outlive k8 *)
-  ignore (Pred_cache.find_raw cache "k7");
-  Pred_cache.add_raw cache "k11" [];
+  ignore (Pred_cache.find_raw cache (rkey 7));
+  Pred_cache.add_raw cache (rkey 11) [];
   Alcotest.(check bool) "refreshed entry survives" true
-    (Pred_cache.find_raw cache "k7" <> None);
+    (Pred_cache.find_raw cache (rkey 7) <> None);
   Alcotest.(check bool) "stale entry evicted" true
-    (Pred_cache.find_raw cache "k8" = None);
+    (Pred_cache.find_raw cache (rkey 8) = None);
   (* tightening the bound evicts immediately; lifting it stops evicting *)
   Pred_cache.set_capacity cache (Some 2);
   Alcotest.(check int) "tightened" 2 (Pred_cache.length cache);
   Pred_cache.set_capacity cache None;
   for i = 20 to 30 do
-    Pred_cache.add_raw cache (Printf.sprintf "k%d" i) []
+    Pred_cache.add_raw cache (rkey i) []
   done;
   Alcotest.(check int) "unbounded again" 13 (Pred_cache.length cache)
 
@@ -262,6 +287,95 @@ let test_shared_cache_is_bounded () =
   Alcotest.(check (option int)) "shared cache has the default bound"
     (Some Pred_cache.default_shared_capacity)
     (Pred_cache.capacity Pred_cache.shared)
+
+(* regression: a full-layer hit must also refresh the raw entry its key
+   extends — before the linked refresh, derived lookups (sensitivity
+   sweeps) kept the full entry young while its raw parent aged out *)
+let test_cache_full_hit_refreshes_raw_parent () =
+  let cache = Pred_cache.create ~capacity:3 () in
+  let chip = Chop_tech.Mosis.package_84 in
+  let criteria = Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. () in
+  let r1 = rkey 1 in
+  let f1 = Pred_cache.Key.full ~raw:r1 ~chip ~criteria in
+  Pred_cache.add_raw cache r1 [];
+  Pred_cache.add_full cache f1
+    { Pred_cache.raw = []; feasible_count = 0; kept = [] };
+  Pred_cache.add_raw cache (rkey 2) [];
+  (* touch only the full entry; its raw parent is now the second-youngest
+     stamp, the [rkey 2] stranger the oldest *)
+  Alcotest.(check bool) "full hit" true
+    (Pred_cache.find_full cache f1 <> None);
+  Pred_cache.add_raw cache (rkey 3) [];
+  Alcotest.(check bool) "stranger evicted" true
+    (Pred_cache.find_raw cache (rkey 2) = None);
+  Alcotest.(check bool) "raw parent survived" true
+    (Pred_cache.find_raw cache r1 <> None)
+
+(* cheap distinct keys for the capacity-boundary sweep: a three-node graph
+   whose width is the distinguishing feature *)
+let wkey i =
+  let b = Chop_dfg.Graph.builder () in
+  let inp = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Input ~width:i in
+  let s = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Shift ~width:i in
+  let out = Chop_dfg.Graph.add_node b ~op:Chop_dfg.Op.Output ~width:i in
+  Chop_dfg.Graph.add_edge b ~src:inp ~dst:s;
+  Chop_dfg.Graph.add_edge b ~src:s ~dst:out;
+  Pred_cache.Key.raw ~sub:(Chop_dfg.Graph.build b) ~cfg:(Lazy.force test_cfg)
+
+let test_cache_eviction_at_default_capacity_boundary () =
+  let cap = Pred_cache.default_shared_capacity in
+  let cache = Pred_cache.create ~capacity:cap () in
+  for i = 1 to cap do
+    Pred_cache.add_raw cache (wkey i) []
+  done;
+  Alcotest.(check int) "full to the brim" cap (Pred_cache.length cache);
+  Alcotest.(check int) "no eviction at the boundary" 0
+    (Pred_cache.counters cache).Pred_cache.evictions;
+  Pred_cache.add_raw cache (wkey (cap + 1)) [];
+  Alcotest.(check int) "still bounded" cap (Pred_cache.length cache);
+  Alcotest.(check int) "one eviction past the boundary" 1
+    (Pred_cache.counters cache).Pred_cache.evictions;
+  Alcotest.(check bool) "oldest evicted" true
+    (Pred_cache.find_raw cache (wkey 1) = None);
+  Alcotest.(check bool) "newest kept" true
+    (Pred_cache.find_raw cache (wkey (cap + 1)) <> None)
+
+(* the tentpole's end-to-end property: a second session over the same
+   structure built in a different construction order is served entirely
+   from the first session's cache entries, and every one of those hits is
+   classified structural *)
+let test_cache_hits_across_constructions () =
+  let cache = Explore.Config.Custom (Pred_cache.create ()) in
+  let spec_of graph =
+    Rig.custom ~graph
+      ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:2)
+      ~package:Chop_tech.Mosis.package_84
+      ~clocks:
+        (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1
+           ~transfer_ratio:1)
+      ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+      ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+      ()
+  in
+  let g = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+  let cold =
+    run_with ~cache ~heuristic:Explore.Iterative ~jobs:1 (spec_of g)
+  in
+  Alcotest.(check int) "cold run misses every partition" 2
+    cold.Explore.cache_misses;
+  let warm =
+    run_with ~cache ~heuristic:Explore.Iterative ~jobs:1
+      (spec_of (Chop_dfg.Transform.renumber g))
+  in
+  Alcotest.(check int) "renumbered spec misses nothing" 0
+    warm.Explore.cache_misses;
+  Alcotest.(check int) "every partition hits" 2 warm.Explore.cache_hits;
+  Alcotest.(check bool) "hits are classified structural" true
+    (warm.Explore.metrics.Explore.Metrics.cache_structural_hits >= 2);
+  (* and the two runs agree on the outcome *)
+  Alcotest.(check string) "same feasible set"
+    (Search.to_csv cold.Explore.outcome.Search.feasible)
+    (Search.to_csv warm.Explore.outcome.Search.feasible)
 
 (* ------------------------------------------------------------------ *)
 (* Config and report plumbing *)
@@ -413,6 +527,12 @@ let () =
             test_cache_relabels_predictions;
           tc "capacity evicts LRU" `Quick test_cache_capacity_evicts_lru;
           tc "shared cache is bounded" `Quick test_shared_cache_is_bounded;
+          tc "full hit refreshes raw parent" `Quick
+            test_cache_full_hit_refreshes_raw_parent;
+          tc "eviction at default capacity boundary" `Quick
+            test_cache_eviction_at_default_capacity_boundary;
+          tc "hits across constructions" `Quick
+            test_cache_hits_across_constructions;
         ] );
       ( "config",
         [
