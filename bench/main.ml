@@ -1576,7 +1576,196 @@ let bench_session_json ?(smoke = false) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Automatic partitioner: BENCH_auto.json.
+
+   One row per paper benchmark, each a (k, constraints) point chosen so
+   the space is interesting: on some rows the Min_cut seed is already
+   feasible (auto must keep it and may improve area/performance), on
+   others only a different strategy finds feasibility and auto has to
+   move its way out.  The harness asserts the ISSUE acceptance criteria:
+   auto finds feasibility wherever any Autopart strategy does, beats the
+   Min_cut seed on at least 3 rows, and the refinement prediction-cache
+   hit rate stays >= 50% in aggregate. *)
+
+let bench_auto_json ?(smoke = false) () =
+  section
+    (if smoke then "Automatic partitioner smoke run (EWF only, no JSON)"
+     else "Automatic partitioner vs Min_cut seed (BENCH_auto.json)");
+  let module Ops = Chop_server.Ops in
+  let rows =
+    (* name, partitions, perf ns, delay ns, multicycle *)
+    if smoke then [ ("ewf", 3, 30000., 30000., true) ]
+    else
+      [
+        ("ar", 3, 30000., 30000., false);
+        ("ewf", 3, 30000., 30000., true);
+        ("fir8", 2, 6000., 30000., false);
+        ("fir16", 2, 30000., 30000., false);
+        ("diffeq", 2, 6000., 30000., false);
+        ("dct8", 4, 30000., 30000., false);
+      ]
+  in
+  let failed = ref false in
+  let check name cond =
+    Printf.printf "  %-52s %s\n" name (if cond then "ok" else "FAIL");
+    if not cond then failed := true
+  in
+  let spec_of name k perf delay multicycle strategy =
+    let graph =
+      match Ops.graph_of_name name with
+      | Ok g -> g
+      | Error m -> failwith m
+    in
+    Ops.build_spec ~graph ~partitions:k ~package:Chop_tech.Mosis.package_84
+      ~perf ~delay ~multicycle ~strategy
+  in
+  let feasible_of (r : Chop.Explore.report) =
+    match r.Chop.Explore.outcome.Chop.Search.feasible with
+    | [] -> None
+    | best :: _ ->
+        let o = Chop.Integration.objectives best in
+        Some (o.(0), o.(2)) (* perf ns, likely total area *)
+  in
+  let results =
+    List.map
+      (fun (name, k, perf, delay, multicycle) ->
+        Printf.printf "  %s (k=%d, perf %.0f ns, delay %.0f ns%s):\n" name k
+          perf delay
+          (if multicycle then ", multi-cycle" else "");
+        (* which strategies find feasibility on this row? *)
+        let strategy_feasible =
+          List.map
+            (fun (sname, s) ->
+              let r = explore (spec_of name k perf delay multicycle s) in
+              (sname, feasible_of r <> None))
+            [
+              ("levels", Chop_baseline.Autopart.Levels);
+              ("min-cut", Chop_baseline.Autopart.Min_cut 1);
+              ("random", Chop_baseline.Autopart.Random_balanced 1);
+            ]
+        in
+        let any_strategy =
+          List.exists (fun (_, f) -> f) strategy_feasible
+        in
+        (* a private cache so the counters are exactly this row's *)
+        let config =
+          Chop.Explore.Config.make ~jobs:1
+            ~cache:(Chop.Explore.Config.Custom (Chop.Pred_cache.create ()))
+            ()
+        in
+        let seed_spec =
+          spec_of name k perf delay multicycle (Chop_baseline.Autopart.Min_cut 1)
+        in
+        let o = Chop_auto.run ~config seed_spec in
+        let seed = feasible_of o.Chop_auto.seed_report in
+        let final = feasible_of o.Chop_auto.report in
+        let beats =
+          match (seed, final) with
+          | None, Some _ -> true (* verdict flip *)
+          | Some (sp, sa), Some (fp, fa) -> fp < sp || fa < sa
+          | _, None -> false
+        in
+        check "auto feasible wherever any strategy is"
+          ((not any_strategy) || final <> None);
+        check "auto no worse than the Min_cut seed"
+          (match (seed, final) with
+          | Some _, None -> false
+          | _ -> true);
+        Printf.printf
+          "    seed %s   auto %s   %d move(s) tried, %d accepted, cache %d/%d \
+           (%.1f%% hits)\n"
+          (match seed with
+          | None -> "infeasible"
+          | Some (p, a) -> Printf.sprintf "perf %.0f area %.0f" p a)
+          (match final with
+          | None -> "infeasible"
+          | Some (p, a) -> Printf.sprintf "perf %.0f area %.0f" p a)
+          o.Chop_auto.moves_tried o.Chop_auto.moves_accepted
+          o.Chop_auto.cache_hits o.Chop_auto.cache_misses
+          (100.
+          *. float_of_int o.Chop_auto.cache_hits
+          /. float_of_int (max 1 (o.Chop_auto.cache_hits + o.Chop_auto.cache_misses)));
+        (name, k, perf, delay, multicycle, strategy_feasible, seed, final,
+         beats, o))
+      rows
+  in
+  let hits =
+    List.fold_left (fun a (_, _, _, _, _, _, _, _, _, o) -> a + o.Chop_auto.cache_hits)
+      0 results
+  in
+  let misses =
+    List.fold_left (fun a (_, _, _, _, _, _, _, _, _, o) -> a + o.Chop_auto.cache_misses)
+      0 results
+  in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let beaten =
+    List.length (List.filter (fun (_, _, _, _, _, _, _, _, b, _) -> b) results)
+  in
+  Printf.printf "  aggregate refinement cache hit rate %.1f%%, seed beaten on \
+                 %d/%d rows\n"
+    (100. *. hit_rate) beaten (List.length results);
+  check "aggregate refinement cache hit rate >= 50%" (hit_rate >= 0.5);
+  if not smoke then
+    check "beats the Min_cut seed on >= 3 benchmarks" (beaten >= 3);
+  if smoke then print_endline "  smoke OK (BENCH_auto.json left untouched)"
+  else begin
+    let oc = open_out "BENCH_auto.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"seed_strategy\": \"min-cut\",\n\
+      \  \"refinement_cache_hit_rate\": %.3f,\n\
+      \  \"rows_beating_seed\": %d,\n\
+      \  \"benches\": [\n"
+      hit_rate beaten;
+    List.iteri
+      (fun i (name, k, perf, delay, multicycle, strategy_feasible, seed, final,
+              beats, o) ->
+        let verdict = function None -> "infeasible" | Some _ -> "feasible" in
+        let obj field = function
+          | None -> "null"
+          | Some (p, a) ->
+              Printf.sprintf "%.0f" (if field = `Perf then p else a)
+        in
+        Printf.fprintf oc
+          "    {\"bench\": \"%s\", \"partitions\": %d, \"perf_ns\": %.0f, \
+           \"delay_ns\": %.0f, \"multicycle\": %b,\n\
+          \     \"strategies\": {%s},\n\
+          \     \"seed\": {\"verdict\": \"%s\", \"perf_ns\": %s, \"area\": %s},\n\
+          \     \"auto\": {\"verdict\": \"%s\", \"perf_ns\": %s, \"area\": %s, \
+           \"beats_seed\": %b,\n\
+          \              \"levels\": %d, \"coarse_clusters\": %d, \
+           \"moves_tried\": %d, \"moves_accepted\": %d,\n\
+          \              \"cache_hits\": %d, \"cache_misses\": %d, \
+           \"cache_structural_hits\": %d, \"wall_s\": %.3f}}%s\n"
+          name k perf delay multicycle
+          (String.concat ", "
+             (List.map
+                (fun (s, f) -> Printf.sprintf "\"%s\": \"%s\"" s
+                    (if f then "feasible" else "infeasible"))
+                strategy_feasible))
+          (verdict seed) (obj `Perf seed) (obj `Area seed)
+          (verdict final) (obj `Perf final) (obj `Area final) beats
+          o.Chop_auto.levels o.Chop_auto.coarse_clusters
+          o.Chop_auto.moves_tried o.Chop_auto.moves_accepted
+          o.Chop_auto.cache_hits o.Chop_auto.cache_misses
+          o.Chop_auto.cache_structural_hits o.Chop_auto.wall_seconds
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    print_endline "  wrote BENCH_auto.json"
+  end;
+  if !failed then begin
+    prerr_endline "bench auto: acceptance criteria violated";
+    exit 1
+  end
+
 let () =
+  if Array.exists (fun a -> a = "auto") Sys.argv then begin
+    bench_auto_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "session") Sys.argv then begin
     bench_session_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
     exit 0

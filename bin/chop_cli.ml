@@ -7,6 +7,7 @@
      repl      interactive session: edit the partitioning, re-run cheaply
      dot       emit a Graphviz rendering of a (partitioned) benchmark
      advise    what-if feasibility probe while varying chips/constraints
+     auto      automatic partitioning: multilevel coarsen-refine driven by BAD
      serve     long-running exploration service over a socket or stdio
      request   one request against a running serve daemon
      bench-info  list built-in benchmark graphs
@@ -311,6 +312,95 @@ let advise_cmd =
       const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
       $ delay_arg $ multicycle_arg $ strategy_arg $ jobs_arg)
 
+let auto_cmd =
+  let run graph k package perf delay multicycle strategy file seed max_moves
+      time_limit coarse pins together jobs =
+    let spec =
+      match file with
+      | Some path -> Chop.Specfile.load path
+      | None -> build_spec graph k package perf delay multicycle strategy
+    in
+    match Ops.parse_constraints spec ~pins ~together with
+    | Error msg ->
+        prerr_endline ("chop auto: " ^ msg);
+        2
+    | Ok constraints -> (
+        let config = Chop.Explore.Config.make ~jobs:(resolve_jobs jobs) () in
+        match
+          Chop_auto.run ~seed ~constraints ~max_moves
+            ?time_limit_s:(if time_limit > 0. then Some time_limit else None)
+            ~coarse_target:coarse ~config spec
+        with
+        | exception Chop_auto.Invalid_constraints msg ->
+            prerr_endline ("chop auto: " ^ msg);
+            2
+        | o ->
+            (* deterministic block first (shared with session/optimize —
+               byte-identical to a serve response), wall-clock after *)
+            print_string (Ops.render_auto o.Chop_auto.spec o);
+            print_newline ();
+            print_string (Ops.render_auto_timing o);
+            if Ops.explore_feasible_count o.Chop_auto.report > 0 then 0 else 1)
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Deterministic tie-breaking seed for matching and move \
+                   ordering.")
+  in
+  let max_moves =
+    Arg.(value & opt int 1024
+         & info [ "max-moves" ] ~docv:"N"
+             ~doc:"Candidate-move budget across all refinement levels.")
+  in
+  let time_limit =
+    Arg.(value & opt float 0.
+         & info [ "time-limit" ] ~docv:"S"
+             ~doc:"Refinement time budget in seconds; 0 is unlimited.")
+  in
+  let coarse =
+    Arg.(value & opt int 2048
+         & info [ "coarse" ] ~docv:"N"
+             ~doc:"Coarsening target: stop matching at roughly $(docv) \
+                   clusters.")
+  in
+  let pins =
+    Arg.(value & opt_all string []
+         & info [ "pin" ] ~docv:"OP=PART"
+             ~doc:"Fix an operation (node id or name) to a partition \
+                   (repeatable).")
+  in
+  let together =
+    Arg.(value & opt_all string []
+         & info [ "together" ] ~docv:"OP,OP,..."
+             ~doc:"Keep these operations in one partition; they coarsen into \
+                   one cluster and move as a unit (repeatable).")
+  in
+  let auto_strategy_arg =
+    let strategy_conv =
+      Arg.conv
+        ( (fun s ->
+            Result.map_error (fun m -> `Msg m) (Ops.strategy_of_string s)),
+          fun ppf s ->
+            Format.pp_print_string ppf (Chop_baseline.Autopart.strategy_name s)
+        )
+    in
+    Arg.(
+      value
+      & opt strategy_conv (Chop_baseline.Autopart.Min_cut 1)
+      & info [ "s"; "strategy" ] ~docv:"STRAT"
+          ~doc:"Seed partitioning strategy the refinement starts from: \
+                levels, min-cut or random.")
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:"Automatic partitioning: multilevel coarsen-refine driven by BAD \
+             prediction (exit 1 when the result is infeasible)")
+    Term.(
+      const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
+      $ delay_arg $ multicycle_arg $ auto_strategy_arg $ file_arg $ seed
+      $ max_moves $ time_limit $ coarse $ pins $ together $ jobs_arg)
+
 let autosearch_cmd =
   let run graph max_partitions package perf delay multicycle =
     let clocks =
@@ -492,7 +582,8 @@ let serve_cmd =
 let request_cmd =
   let run socket op id benchmark partitions package perf delay multicycle
       heuristic strategy keep_all csv no_prune verbose index top parameter
-      values session edits deadline_ms raw =
+      values session edits seed max_moves time_limit_ms coarse pins together
+      deadline_ms raw =
     let module P = Chop_server.Protocol in
     match P.op_of_string op with
     | Error msg ->
@@ -524,6 +615,12 @@ let request_cmd =
                 values;
                 session;
                 edits;
+                seed;
+                max_moves;
+                time_limit_ms;
+                coarse;
+                pins;
+                together;
               };
           }
         in
@@ -661,6 +758,38 @@ let request_cmd =
              ~doc:"session/edit: an edit command line (repeatable, applied \
                    in order).")
   in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"session/optimize: deterministic tie-breaking seed.")
+  in
+  let max_moves =
+    Arg.(value & opt int 1024
+         & info [ "max-moves" ] ~docv:"N"
+             ~doc:"session/optimize: candidate-move budget.")
+  in
+  let time_limit_ms =
+    Arg.(value & opt float 0.
+         & info [ "time-limit-ms" ] ~docv:"MS"
+             ~doc:"session/optimize: refinement time budget; 0 is unlimited.")
+  in
+  let coarse =
+    Arg.(value & opt int 2048
+         & info [ "coarse" ] ~docv:"N"
+             ~doc:"session/optimize: coarsening target cluster count.")
+  in
+  let pins =
+    Arg.(value & opt_all string []
+         & info [ "pin" ] ~docv:"OP=PART"
+             ~doc:"session/optimize: fix an operation to a partition \
+                   (repeatable).")
+  in
+  let together =
+    Arg.(value & opt_all string []
+         & info [ "together" ] ~docv:"OP,OP,..."
+             ~doc:"session/optimize: keep these operations in one partition \
+                   (repeatable).")
+  in
   let raw =
     Arg.(value & flag
          & info [ "json" ]
@@ -675,7 +804,8 @@ let request_cmd =
       const run $ request_socket_arg $ op $ id $ benchmark $ partitions
       $ package $ perf $ delay $ multicycle $ heuristic $ strategy $ keep_all
       $ csv $ no_prune $ verbose $ index $ top $ parameter $ values
-      $ session $ edits $ deadline_ms_arg $ raw)
+      $ session $ edits $ seed $ max_moves $ time_limit_ms $ coarse $ pins
+      $ together $ deadline_ms_arg $ raw)
 
 let bench_info_cmd =
   let run () =
@@ -697,7 +827,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "chop" ~version:"1.0"
        ~doc:"CHOP: a constraint-driven system-level partitioner (DAC 1991)")
-    [ explore_cmd; predict_cmd; repl_cmd; dot_cmd; advise_cmd; autosearch_cmd;
-      synth_cmd; spec_dump_cmd; serve_cmd; request_cmd; bench_info_cmd ]
+    [ explore_cmd; predict_cmd; repl_cmd; dot_cmd; advise_cmd; auto_cmd;
+      autosearch_cmd; synth_cmd; spec_dump_cmd; serve_cmd; request_cmd;
+      bench_info_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,113 @@
+(** Automatic constraint-driven partitioning.
+
+    The paper's thesis — and the [chop_baseline] KL port's empirical
+    result — is that min-cut cost does not correlate with behavioral
+    feasibility.  This module therefore optimizes the partitioning with
+    BAD prediction itself as the gain function: a multilevel
+    coarsen–refine loop (heavy-edge matching on transfer bits, in the
+    TritonPart / RePart style) whose refinement moves are evaluated
+    through an {!Chop.Explore.Session} — one [Spec.edit] per candidate
+    move, scoped re-prediction of the two touched partitions, and
+    cache-served predictions for everything else.  A rejected move is
+    reverted without re-running, so the restored partitions are served
+    straight from the prediction cache on the next candidate.
+
+    The loop:
+
+    + the spec's own partitioning (typically an {!Chop_baseline.Autopart}
+      strategy such as [Min_cut]) is the initial k-way split;
+    + the DFG is coarsened inside each part by heavy-edge matching on
+      transfer bits, never contracting a pair whose merge would create a
+      cycle in the cluster quotient, down to roughly [coarse_target]
+      clusters;
+    + at each uncoarsening level, FM/KL-style passes move boundary
+      clusters between parts in descending cut-gain order, accepting a
+      move only when the BAD-predicted score strictly improves:
+      feasibility first, then best-design performance, then likely area,
+      then delay (for infeasible states: BAD per-partition feasible
+      counts, then cut bits).
+
+    Constraints: [pin op part] fixes an operation to a partition (the
+    cluster containing it never moves); [together op,op,...] keeps a
+    community of operations in one partition (they coarsen into one
+    cluster and only move as a unit).  Communities are transitively
+    closed over sandwiched operations (any op on a dependence path
+    between two members is pulled in), since a non-convex community could
+    never legally move as a unit anyway.
+
+    Runs are deterministic for a given seed: candidate ordering breaks
+    ties by a seeded hash, and session runs are deterministic. *)
+
+type constraints = {
+  pins : (Chop_dfg.Graph.node_id * string) list;
+      (** operation -> partition label it must end in *)
+  communities : Chop_dfg.Graph.node_id list list;
+      (** groups of operations that must share a partition *)
+}
+
+val no_constraints : constraints
+
+exception Invalid_constraints of string
+(** A pin names an unknown operation or partition, a community member is
+    unknown, pins inside one (closed) community disagree, or the
+    constraints cannot be established on the seed partitioning by any
+    sequence of legal moves. *)
+
+type outcome = {
+  spec : Chop.Spec.t;  (** the optimized spec (also the session's spec) *)
+  report : Chop.Explore.report;
+      (** exploration report of the final accepted state *)
+  seed_report : Chop.Explore.report;
+      (** exploration report of the seed partitioning, after constraint
+          fix-up edits *)
+  levels : int;  (** refinement levels (1 = no coarsening happened) *)
+  coarse_clusters : int;  (** cluster count at the coarsest level *)
+  moves_tried : int;  (** candidate moves evaluated through the session *)
+  moves_accepted : int;
+  cache_hits : int;  (** prediction-cache hits across refinement runs *)
+  cache_misses : int;  (** prediction-cache misses across refinement runs *)
+  cache_structural_hits : int;
+      (** structural (cross-construction) hits across refinement runs *)
+  interrupted : bool;
+      (** the move/time budget or [interrupt] stopped refinement early;
+          the outcome is still the best state found *)
+  wall_seconds : float;
+}
+
+val refine :
+  ?seed:int ->
+  ?constraints:constraints ->
+  ?max_moves:int ->
+  ?time_limit_s:float ->
+  ?coarse_target:int ->
+  ?interrupt:(unit -> bool) ->
+  Chop.Explore.Session.t ->
+  outcome
+(** Optimize the partitioning of an open session in place.  On return the
+    session's spec is the outcome's spec (every rejected candidate was
+    reverted).  Defaults: [seed = 1], no constraints, [max_moves = 1024],
+    no time limit, [coarse_target = 2048].
+
+    [interrupt] is polled between candidates and passed through to
+    {!Chop.Explore.Session.run_interruptible} for the refinement runs, so
+    a serving deadline cancels mid-prediction; a cancelled candidate is
+    reverted and refinement stops cleanly with [interrupted = true].
+    Exception: if the {e seed} run itself is cancelled there is no state
+    to fall back to, and {!Chop.Explore.Cancelled} propagates.
+
+    @raise Invalid_constraints (see above).
+    @raise Chop.Explore.Cancelled when [interrupt] fires during the seed
+    run. *)
+
+val run :
+  ?seed:int ->
+  ?constraints:constraints ->
+  ?max_moves:int ->
+  ?time_limit_s:float ->
+  ?coarse_target:int ->
+  ?interrupt:(unit -> bool) ->
+  ?pool:Chop_util.Pool.t ->
+  config:Chop.Explore.Config.t ->
+  Chop.Spec.t ->
+  outcome
+(** {!refine} over a fresh session on [spec], closed on return. *)

@@ -52,6 +52,46 @@ let random_balanced ~seed ~k members =
   in
   slice 0 []
 
+(* Bisection can hand back a group unsplit when legalization empties one
+   side, and the fallback topological slicing can exhaust the operation
+   list early — so both non-Levels strategies could yield fewer than [k]
+   groups on small graphs.  [top_up] restores the exactly-[k] invariant by
+   repeatedly splitting the largest group at the midpoint of its
+   topological order.  This is always quotient-safe: in a valid acyclic
+   partitioning no path leaves a group and re-enters it, so cutting the
+   group into a topological prefix and suffix cannot create a cycle. *)
+let top_up g ~k groups =
+  let pos = Hashtbl.create 64 in
+  List.iteri
+    (fun i id -> Hashtbl.replace pos id i)
+    (Chop_dfg.Analysis.topological_order g);
+  let topo_sort =
+    List.sort (fun a b -> compare (Hashtbl.find pos a) (Hashtbl.find pos b))
+  in
+  let rec go groups =
+    if List.length groups >= k then groups
+    else
+      let _, largest =
+        List.fold_left
+          (fun ((best_n, _) as best) m ->
+            let n = List.length m in
+            if n > best_n then (n, Some m) else best)
+          (1, None) groups
+      in
+      match largest with
+      | None -> groups (* all singletons: impossible, [generate] checks ops >= k *)
+      | Some m ->
+          let sorted = topo_sort m in
+          let half = List.length sorted / 2 in
+          let a = Chop_util.Listx.take half sorted in
+          let b = List.filteri (fun i _ -> i >= half) sorted in
+          go
+            (List.concat_map
+               (fun gl -> if gl == m then [ a; b ] else [ gl ])
+               groups)
+  in
+  go groups
+
 let generate g ~k strategy =
   if k < 1 then invalid_arg "Autopart.generate: k < 1";
   let ops = List.map (fun n -> n.Chop_dfg.Graph.id) (Chop_dfg.Graph.operations g) in
@@ -65,6 +105,7 @@ let generate g ~k strategy =
       let groups =
         bisect g ~seed ~k (List.sort Int.compare ops)
         |> List.filter (fun m -> m <> [])
+        |> top_up g ~k
       in
       let parts =
         List.mapi
@@ -77,11 +118,12 @@ let generate g ~k strategy =
       (* members arrive in topological order because Graph.operations
          follows it *)
       let build groups =
+        let groups = List.filter (fun m -> m <> []) groups |> top_up g ~k in
         let parts =
           List.mapi
             (fun i members ->
               Chop_dfg.Partition.make ~label:(Printf.sprintf "P%d" (i + 1)) members)
-            (List.filter (fun m -> m <> []) groups)
+            groups
         in
         Chop_dfg.Partition.partitioning g parts
       in

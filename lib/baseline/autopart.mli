@@ -14,7 +14,11 @@ type strategy =
 
 val generate :
   Chop_dfg.Graph.t -> k:int -> strategy -> Chop_dfg.Partition.partitioning
-(** @raise Invalid_argument when [k < 1] or the graph has fewer than [k]
+(** Always returns exactly [k] non-empty parts: when KL legalization or
+    fallback slicing collapses groups on a small graph, the largest group
+    is split along its topological order until [k] is restored (a
+    quotient-safe operation, so the partitioning validators still hold).
+    @raise Invalid_argument when [k < 1] or the graph has fewer than [k]
     operations. *)
 
 val strategy_name : strategy -> string

@@ -78,8 +78,29 @@ let run ?(latency = default_latency) ~length g =
   let fixed = ref IntMap.empty in
   let lat n = max 1 (latency n) in
   let remaining = ref (List.map (fun n -> n.Chop_dfg.Graph.id) ops) in
+  (* An operation whose slack window has collapsed ([alap <= asap], which
+     happens under a tight length once neighbours are fixed) has exactly
+     one legal start: its ASAP step.  Fixing it there is not a heuristic
+     choice, and doing it eagerly keeps the force-selection loop below
+     from ever facing a pass where every remaining window is degenerate —
+     the state that used to trip the internal "no candidate" failure.
+     The placement is identical to what force selection would pick
+     (p = 1 at the single slot either way), so schedules are unchanged. *)
+  let fix_at_asap asap ids =
+    List.iter (fun id -> fixed := IntMap.add id (IntMap.find id asap) !fixed) ids
+  in
   while !remaining <> [] do
     let asap, alap = windows g ~latency ~length !fixed in
+    let zero_width, mobile =
+      List.partition
+        (fun id -> IntMap.find id alap <= IntMap.find id asap)
+        !remaining
+    in
+    if zero_width <> [] then begin
+      fix_at_asap asap zero_width;
+      remaining := mobile
+    end
+    else begin
     let dg = distribution g ~latency ~length (asap, alap) in
     (* choose the (op, step) with minimal self force among ops with the
        smallest mobility window (ties broken by id for determinism) *)
@@ -116,10 +137,16 @@ let run ?(latency = default_latency) ~length g =
         done)
       !remaining;
     match !best with
-    | None -> failwith "Force_directed.run: no candidate (internal)"
+    | None ->
+        (* defensive: cannot happen now that degenerate windows are fixed
+           eagerly above, but if selection ever yields nothing, an ASAP
+           placement is always legal — never fail the whole schedule *)
+        fix_at_asap asap !remaining;
+        remaining := []
     | Some (_, id, start) ->
         fixed := IntMap.add id start !fixed;
         remaining := List.filter (fun x -> x <> id) !remaining
+    end
   done;
   let starts =
     List.map (fun n -> (n.Chop_dfg.Graph.id, IntMap.find n.Chop_dfg.Graph.id !fixed)) ops

@@ -17,6 +17,10 @@ val run :
 (** Schedules every computational node within [length] steps; the returned
     allocation is the per-class peak concurrency actually used (so
     {!Schedule.check} holds).  [latency] defaults to one step per node.
+    Operations whose slack window collapses to a single step (common at
+    the minimal length, where every op on the critical path has zero
+    mobility) are fixed at their ASAP step directly — the degenerate case
+    never fails.
     @raise Invalid_argument when [length] is below the critical path. *)
 
 val min_units :

@@ -15,6 +15,17 @@
    - retirements are processed newest-issued-first, matching the order a
      prepend-built in-flight list yields. *)
 
+exception No_progress of { graph : string; ops : int; bound : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_progress { graph; ops; bound } ->
+        Some
+          (Printf.sprintf
+             "List_sched.No_progress(graph %S, %d ops, %d iterations)" graph
+             ops bound)
+    | _ -> None)
+
 let run ~latency ~alloc g =
   Schedule.validate_alloc alloc;
   let ops = Chop_dfg.Graph.operations g in
@@ -95,10 +106,20 @@ let run ~latency ~alloc g =
   let start_n = ref 0 in
   let n_left = ref op_count in
   let step = ref 0 in
+  (* Each iteration either issues an operation or fast-forwards [step] to
+     the next retirement, so a terminating run takes at most on the order
+     of the fully serialized schedule length (op_count x max latency)
+     iterations.  The guard is scaled to that bound — a fixed constant
+     both under-protects huge graphs and fires spuriously on them — and
+     raises a typed exception naming the (sub)graph, which carries the
+     partition label for induced partition subgraphs. *)
+  let max_lat = Array.fold_left max 1 lat in
+  let bound = 64 + (4 * op_count * max_lat) in
   let guard = ref 0 in
   while !n_left > 0 do
     incr guard;
-    if !guard > 1_000_000 then failwith "List_sched.run: no progress";
+    if !guard > bound then
+      raise (No_progress { graph = Chop_dfg.Graph.name g; ops = op_count; bound });
     (* retire, newest-issued-first *)
     if !fin_n > 0 then begin
       for i = !fin_n - 1 downto 0 do

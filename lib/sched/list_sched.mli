@@ -6,6 +6,14 @@
     are not internally pipelined: a multi-cycle operation occupies its unit
     for its whole latency. *)
 
+exception No_progress of { graph : string; ops : int; bound : int }
+(** The scheduler's stall guard tripped: more than [bound] loop iterations
+    without retiring every operation.  [bound] scales with
+    [ops x max latency], so this cannot fire on a well-formed graph of any
+    size — it indicates an internal invariant violation.  [graph] is the
+    (sub)graph name, which carries the partition label for partition
+    subgraphs, so servers can report which partition stalled. *)
+
 val run :
   latency:(Chop_dfg.Graph.node -> int) ->
   alloc:Schedule.alloc ->
@@ -13,7 +21,9 @@ val run :
   Schedule.t
 (** @raise Invalid_argument when the allocation misses a class the graph
     needs, gives a non-positive count, or [latency] returns < 1 for a
-    computational node. *)
+    computational node.
+    @raise No_progress when the internal stall guard trips (never on a
+    well-formed graph). *)
 
 val minimal_alloc : Chop_dfg.Graph.t -> Schedule.alloc
 (** One unit per functional class used by the graph — the most serial

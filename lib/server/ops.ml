@@ -104,7 +104,8 @@ let engine_key ~op (p : Protocol.params) =
     | Protocol.Predict -> "predict"
     | Protocol.Explore | Protocol.Advise | Protocol.Sensitivity
     | Protocol.Stats | Protocol.Ping | Protocol.Session_open
-    | Protocol.Session_edit | Protocol.Session_run | Protocol.Session_close ->
+    | Protocol.Session_edit | Protocol.Session_run
+    | Protocol.Session_optimize | Protocol.Session_close ->
         "explore"
   in
   Printf.sprintf "%s|%s|k=%d|p=%d|perf=%g|delay=%g|mc=%b|h=%s|s=%s|ka=%b|np=%b"
@@ -317,6 +318,93 @@ let render_parts spec =
         (Chop.Spec.chip_of_partition spec label).Chop.Spec.chip_name)
     spec.Chop.Spec.partitioning.Chop_dfg.Partition.parts;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* chop auto / session/optimize: constraint parsing and rendering,
+   shared so the CLI and the server answer byte-identically. *)
+
+let parse_constraints spec ~pins ~together =
+  let rec conv_pins acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: tl -> (
+        match String.index_opt s '=' with
+        | None -> Error (Printf.sprintf "pin %S: expected op=partition" s)
+        | Some i ->
+            let op = String.trim (String.sub s 0 i) in
+            let part =
+              String.trim (String.sub s (i + 1) (String.length s - i - 1))
+            in
+            if part = "" then
+              Error (Printf.sprintf "pin %S: empty partition label" s)
+            else
+              let* op = resolve_operand spec op in
+              conv_pins ((op, part) :: acc) tl)
+  in
+  let rec conv_comms acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: tl ->
+        let toks =
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun t -> t <> "")
+        in
+        if List.length toks < 2 then
+          Error (Printf.sprintf "together %S: need at least two operations" s)
+        else
+          let rec ops acc2 = function
+            | [] -> Ok (List.rev acc2)
+            | t :: r -> (
+                match resolve_operand spec t with
+                | Ok id -> ops (id :: acc2) r
+                | Error e -> Error (Printf.sprintf "together %S: %s" s e))
+          in
+          let* members = ops [] toks in
+          conv_comms (members :: acc) tl
+  in
+  let* pins = conv_pins [] pins in
+  let* communities = conv_comms [] together in
+  Ok { Chop_auto.pins; communities }
+
+let constraints_of_params spec (p : Protocol.params) =
+  parse_constraints spec ~pins:p.Protocol.pins ~together:p.Protocol.together
+
+let report_summary_line (r : Chop.Explore.report) =
+  match r.Chop.Explore.outcome.Chop.Search.feasible with
+  | [] -> "no feasible implementation"
+  | best :: _ as feas ->
+      Printf.sprintf
+        "%d feasible, best II %d cycles, perf %.0f ns, area %.0f mil^2"
+        (List.length feas) best.Chop.Integration.ii_main
+        best.Chop.Integration.perf_ns
+        (Chop.Integration.objectives best).(2)
+
+let render_auto spec (o : Chop_auto.outcome) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "auto: %d level(s) from %d cluster(s), %d move(s) tried, %d accepted%s\n"
+    o.Chop_auto.levels o.Chop_auto.coarse_clusters o.Chop_auto.moves_tried
+    o.Chop_auto.moves_accepted
+    (if o.Chop_auto.interrupted then " (stopped at budget)" else "");
+  Printf.bprintf buf "seed: %s\n" (report_summary_line o.Chop_auto.seed_report);
+  Printf.bprintf buf "auto vs seed: %s\n\n"
+    (if o.Chop_auto.moves_accepted > 0 then "improved" else "unchanged");
+  Buffer.add_string buf (render_parts spec);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (render_explore spec ~keep_all:false ~csv:false ~verbose:false
+       o.Chop_auto.report);
+  Buffer.contents buf
+
+let render_auto_timing (o : Chop_auto.outcome) =
+  let total = o.Chop_auto.cache_hits + o.Chop_auto.cache_misses in
+  Printf.sprintf
+    "auto: %.3f s wall, refinement cache %d hit(s) / %d miss(es), %d \
+     structural%s\n"
+    o.Chop_auto.wall_seconds o.Chop_auto.cache_hits o.Chop_auto.cache_misses
+    o.Chop_auto.cache_structural_hits
+    (if total = 0 then ""
+     else
+       Printf.sprintf " (%.1f%% hits)"
+         (100. *. float_of_int o.Chop_auto.cache_hits /. float_of_int total))
 
 let render_sensitivity = Chop.Sensitivity.render
 

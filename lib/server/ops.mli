@@ -113,6 +113,34 @@ val render_dirty : Chop.Spec.dirty -> string
 val render_parts : Chop.Spec.t -> string
 (** One line per partition: label, operation count, assigned chip. *)
 
+(** {1 Automatic partitioning (chop auto / session/optimize)} *)
+
+val parse_constraints :
+  Chop.Spec.t ->
+  pins:string list ->
+  together:string list ->
+  (Chop_auto.constraints, string) result
+(** [pins] entries are ["op=partition"], [together] entries are
+    ["op,op,..."] with at least two operations; [op] operands are node
+    ids or names ({!parse_edit} syntax).  Partition labels stay symbolic
+    here — {!Chop_auto.refine} validates them against the spec. *)
+
+val constraints_of_params :
+  Chop.Spec.t -> Protocol.params -> (Chop_auto.constraints, string) result
+(** {!parse_constraints} on the wire parameters. *)
+
+val render_auto : Chop.Spec.t -> Chop_auto.outcome -> string
+(** The deterministic output of [chop auto] and a [session/optimize]
+    response: the level/move summary, the seed-vs-final comparison, the
+    final partition table and the final state's explore block.  Cache
+    counters and wall times are excluded (they depend on cache warmth),
+    so CLI and serve renderings of the same seeded run compare equal. *)
+
+val render_auto_timing : Chop_auto.outcome -> string
+(** The wall-clock/cache line [chop auto] prints after the deterministic
+    block: wall seconds and the refinement cache hit/miss/structural
+    counters with the hit rate. *)
+
 val render_sensitivity : Chop.Sensitivity.sweep -> string
 
 val run_sensitivity :

@@ -10,6 +10,7 @@ type op =
   | Session_open
   | Session_edit
   | Session_run
+  | Session_optimize
   | Session_close
 
 let op_to_string = function
@@ -22,6 +23,7 @@ let op_to_string = function
   | Session_open -> "session/open"
   | Session_edit -> "session/edit"
   | Session_run -> "session/run"
+  | Session_optimize -> "session/optimize"
   | Session_close -> "session/close"
 
 let op_of_string = function
@@ -34,6 +36,7 @@ let op_of_string = function
   | "session/open" -> Ok Session_open
   | "session/edit" -> Ok Session_edit
   | "session/run" -> Ok Session_run
+  | "session/optimize" -> Ok Session_optimize
   | "session/close" -> Ok Session_close
   | s -> Error (Printf.sprintf "unknown op %S" s)
 
@@ -56,6 +59,12 @@ type params = {
   values : float list;
   session : string;  (** session id for session/* ops *)
   edits : string list;  (** edit-command lines for session/edit *)
+  seed : int;  (** tie-breaking seed for session/optimize *)
+  max_moves : int;  (** candidate-move budget for session/optimize *)
+  time_limit_ms : float;  (** optimize time budget; 0 = unlimited *)
+  coarse : int;  (** coarsening target cluster count *)
+  pins : string list;  (** "op=partition" fixed-vertex constraints *)
+  together : string list;  (** "op,op,..." community constraints *)
 }
 
 let default_params =
@@ -78,6 +87,12 @@ let default_params =
     values = [];
     session = "";
     edits = [];
+    seed = 1;
+    max_moves = 1024;
+    time_limit_ms = 0.;
+    coarse = 2048;
+    pins = [];
+    together = [];
   }
 
 type request = {
@@ -158,6 +173,14 @@ let request_of_json json =
       in
       let* session = field "session" str json ~default:d.session Result.ok in
       let* edits = field "edits" strings json ~default:d.edits Result.ok in
+      let* seed = field "seed" int json ~default:d.seed Result.ok in
+      let* max_moves = field "max_moves" int json ~default:d.max_moves Result.ok in
+      let* time_limit_ms =
+        field "time_limit_ms" flt json ~default:d.time_limit_ms Result.ok
+      in
+      let* coarse = field "coarse" int json ~default:d.coarse Result.ok in
+      let* pins = field "pins" strings json ~default:d.pins Result.ok in
+      let* together = field "together" strings json ~default:d.together Result.ok in
       Ok
         {
           id;
@@ -183,6 +206,12 @@ let request_of_json json =
               values;
               session;
               edits;
+              seed;
+              max_moves;
+              time_limit_ms;
+              coarse;
+              pins;
+              together;
             };
         }
   | _ -> Error "request must be a JSON object"
@@ -223,6 +252,12 @@ let request_to_json r =
         ("values", Json.Array (List.map (fun v -> Json.Float v) p.values));
         ("session", Json.String p.session);
         ("edits", Json.Array (List.map (fun e -> Json.String e) p.edits));
+        ("seed", Json.Int p.seed);
+        ("max_moves", Json.Int p.max_moves);
+        ("time_limit_ms", Json.Float p.time_limit_ms);
+        ("coarse", Json.Int p.coarse);
+        ("pins", Json.Array (List.map (fun s -> Json.String s) p.pins));
+        ("together", Json.Array (List.map (fun s -> Json.String s) p.together));
       ])
 
 type error_code = Overloaded | Deadline | Bad_request | Shutting_down | Internal
@@ -244,6 +279,8 @@ type timing = {
   cache_misses : int;
   cache_evictions : int;
   cache_structural_hits : int;
+  moves_tried : int;  (** session/optimize only; 0 elsewhere *)
+  moves_accepted : int;  (** session/optimize only; 0 elsewhere *)
 }
 
 let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
@@ -258,6 +295,8 @@ let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
     cache_misses = m.Chop.Explore.Metrics.cache_misses;
     cache_evictions = m.Chop.Explore.Metrics.cache_evictions;
     cache_structural_hits = m.Chop.Explore.Metrics.cache_structural_hits;
+    moves_tried = 0;
+    moves_accepted = 0;
   }
 
 let no_engine_timing ~queue_ms ~run_ms =
@@ -271,6 +310,26 @@ let no_engine_timing ~queue_ms ~run_ms =
     cache_misses = 0;
     cache_evictions = 0;
     cache_structural_hits = 0;
+    moves_tried = 0;
+    moves_accepted = 0;
+  }
+
+(* session/optimize timing: cache counters are summed across every
+   refinement run; the per-phase breakdown has no single-run meaning, so
+   only the aggregate wall time is reported. *)
+let optimize_timing ~queue_ms ~run_ms (o : Chop_auto.outcome) =
+  {
+    queue_ms;
+    run_ms;
+    predict_ms = 0.;
+    search_ms = 0.;
+    merge_ms = 0.;
+    cache_hits = o.Chop_auto.cache_hits;
+    cache_misses = o.Chop_auto.cache_misses;
+    cache_evictions = 0;
+    cache_structural_hits = o.Chop_auto.cache_structural_hits;
+    moves_tried = o.Chop_auto.moves_tried;
+    moves_accepted = o.Chop_auto.moves_accepted;
   }
 
 let timing_to_json t =
@@ -285,6 +344,8 @@ let timing_to_json t =
       ("cache_misses", Json.Int t.cache_misses);
       ("cache_evictions", Json.Int t.cache_evictions);
       ("cache_structural_hits", Json.Int t.cache_structural_hits);
+      ("moves_tried", Json.Int t.moves_tried);
+      ("moves_accepted", Json.Int t.moves_accepted);
     ]
 
 let ok_response ~id ~op ?timing fields =

@@ -30,9 +30,13 @@
     answers with a session id; [session/edit] applies edit-command lines
     ({!Ops.parse_edit} syntax) to it; [session/run] explores the edited
     spec (re-predicting only partitions edits dirtied) and renders the
-    same deterministic block as [explore]; [session/close] frees it.
-    Sessions are evicted after a TTL of inactivity or by LRU when the
-    session table is full. *)
+    same deterministic block as [explore]; [session/optimize] runs the
+    {!Chop_auto} multilevel coarsen–refine partitioner on the session's
+    spec (honouring [seed]/[max_moves]/[time_limit_ms]/[coarse]/[pins]/
+    [together], deadline-cancellable, moves and refinement cache counters
+    reported in [timing]); [session/close] frees it.  Sessions are
+    evicted after a TTL of inactivity or by LRU when the session table is
+    full. *)
 
 type op =
   | Explore
@@ -44,6 +48,7 @@ type op =
   | Session_open
   | Session_edit
   | Session_run
+  | Session_optimize
   | Session_close
 
 val op_to_string : op -> string
@@ -71,6 +76,15 @@ type params = {
   values : float list;  (** sensitivity: swept values, in order *)
   session : string;  (** session/*: the session id ("" = unset) *)
   edits : string list;  (** session/edit: edit-command lines, applied in order *)
+  seed : int;  (** session/optimize: deterministic tie-breaking seed *)
+  max_moves : int;  (** session/optimize: candidate-move budget *)
+  time_limit_ms : float;  (** session/optimize: time budget; 0 = unlimited *)
+  coarse : int;  (** session/optimize: coarsening target cluster count *)
+  pins : string list;
+      (** session/optimize: ["op=partition"] fixed-vertex constraints;
+          [op] is a node id or name ({!Ops.parse_edit} operand syntax) *)
+  together : string list;
+      (** session/optimize: ["op,op,..."] community constraints *)
 }
 
 val default_params : params
@@ -122,12 +136,21 @@ type timing = {
       (** hits served across graph constructions — entries created by
           another session, spec revision or client (see
           {!Chop.Pred_cache.counters}) *)
+  moves_tried : int;
+      (** session/optimize: candidate moves evaluated; 0 elsewhere *)
+  moves_accepted : int;
+      (** session/optimize: moves kept; 0 elsewhere *)
 }
 
 val timing_of_report : queue_ms:float -> run_ms:float -> Chop.Explore.report -> timing
 
 val no_engine_timing : queue_ms:float -> run_ms:float -> timing
 (** A {!timing} with the engine fields zeroed. *)
+
+val optimize_timing :
+  queue_ms:float -> run_ms:float -> Chop_auto.outcome -> timing
+(** Timing for a [session/optimize] response: cache counters summed
+    across every refinement run, plus the move counters. *)
 
 val ok_response :
   id:string -> op:op -> ?timing:timing -> (string * Chop_util.Json.t) list ->

@@ -349,11 +349,30 @@ let stats_fields t =
     ("text", Json.String text);
   ]
 
+(* Typed scheduler failures carry their context into the structured
+   [internal] error message instead of a bare [Failure] text; everything
+   else falls back to [Printexc]. *)
+let describe_exn = function
+  | Chop_sched.List_sched.No_progress { graph; ops; bound } ->
+      Printf.sprintf
+        "scheduler stalled on %S (%d ops, %d-iteration bound): internal \
+         invariant violation"
+        graph ops bound
+  | exn -> Printexc.to_string exn
+
+(* What backs a response's [timing] block: a single engine run's report,
+   a whole optimize outcome (counters aggregated across its refinement
+   runs), or nothing. *)
+type timing_source =
+  | No_timing
+  | Of_report of Chop.Explore.report
+  | Of_auto of Chop_auto.outcome
+
 (* One operation, already admitted: returns the result fields, the
-   engine report backing the timing (when one ran) and the verdict shown
-   in the access log. *)
+   timing source (when an engine ran) and the verdict shown in the
+   access log. *)
 let exec_op t (req : Protocol.request) ~interrupt :
-    ( (string * Json.t) list * Chop.Explore.report option * string,
+    ( (string * Json.t) list * timing_source * string,
       Protocol.error_code * string )
     result =
   let p = req.Protocol.params in
@@ -361,8 +380,8 @@ let exec_op t (req : Protocol.request) ~interrupt :
     match r with Ok v -> f v | Error e -> Error (Protocol.Bad_request, e)
   in
   match req.Protocol.op with
-  | Protocol.Ping -> Ok ([ ("pong", Json.Bool true) ], None, "-")
-  | Protocol.Stats -> Ok (stats_fields t, None, "-")
+  | Protocol.Ping -> Ok ([ ("pong", Json.Bool true) ], No_timing, "-")
+  | Protocol.Stats -> Ok (stats_fields t, No_timing, "-")
   | Protocol.Explore -> (
       let* spec = Ops.spec_of_params p in
       let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
@@ -388,7 +407,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
                    report.Chop.Explore.outcome.Chop.Search.stats
                      .Chop.Search.implementation_trials);
               ],
-              Some report,
+              Of_report report,
               if feasible > 0 then "feasible" else "infeasible" ))
   | Protocol.Predict ->
       let* spec = Ops.spec_of_params p in
@@ -401,7 +420,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
         Ops.render_predict spec ~index:p.Protocol.index ~top:p.Protocol.top
           per_partition stats
       in
-      Ok ([ ("text", Json.String text) ], None, "-")
+      Ok ([ ("text", Json.String text) ], No_timing, "-")
   | Protocol.Advise -> (
       let* spec = Ops.spec_of_params p in
       let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
@@ -418,7 +437,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
                 ("text", Json.String (Ops.render_advice j));
                 ("feasible", Json.Bool j.Chop.Advisor.feasible);
               ],
-              Some report,
+              Of_report report,
               if j.Chop.Advisor.feasible then "feasible" else "infeasible" ))
   | Protocol.Session_open ->
       let* spec = Ops.spec_of_params p in
@@ -429,7 +448,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
             ("session", Json.String sid);
             ("text", Json.String (Ops.render_parts spec));
           ],
-          None,
+          No_timing,
           "-" )
   | Protocol.Session_edit -> (
       match find_session t p.Protocol.session with
@@ -456,7 +475,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
                         ("revision",
                          Json.Int (Chop.Explore.Session.revision slot.session));
                       ],
-                      None,
+                      No_timing,
                       "-" )))
   | Protocol.Session_run -> (
       match find_session t p.Protocol.session with
@@ -489,7 +508,50 @@ let exec_op t (req : Protocol.request) ~interrupt :
                            report.Chop.Explore.outcome.Chop.Search.stats
                              .Chop.Search.implementation_trials);
                       ],
-                      Some report,
+                      Of_report report,
+                      if feasible > 0 then "feasible" else "infeasible" )))
+  | Protocol.Session_optimize -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              let* constraints =
+                Ops.constraints_of_params
+                  (Chop.Explore.Session.spec slot.session)
+                  p
+              in
+              let time_limit_s =
+                if p.Protocol.time_limit_ms > 0. then
+                  Some (p.Protocol.time_limit_ms /. 1000.)
+                else None
+              in
+              match
+                Chop_auto.refine ~seed:p.Protocol.seed ~constraints
+                  ~max_moves:p.Protocol.max_moves ?time_limit_s
+                  ~coarse_target:p.Protocol.coarse ~interrupt slot.session
+              with
+              | exception Chop.Explore.Cancelled ->
+                  Error (Protocol.Deadline, "deadline exceeded during the run")
+              | exception Chop_auto.Invalid_constraints m ->
+                  Error (Protocol.Bad_request, m)
+              | o ->
+                  slot.last_used <- Unix.gettimeofday ();
+                  let text =
+                    Ops.render_auto (Chop.Explore.Session.spec slot.session) o
+                  in
+                  let feasible = Ops.explore_feasible_count o.Chop_auto.report in
+                  Ok
+                    ( [
+                        ("session", Json.String p.Protocol.session);
+                        ("text", Json.String text);
+                        ("feasible", Json.Bool (feasible > 0));
+                        ("feasible_count", Json.Int feasible);
+                        ("levels", Json.Int o.Chop_auto.levels);
+                        ("moves_tried", Json.Int o.Chop_auto.moves_tried);
+                        ("moves_accepted", Json.Int o.Chop_auto.moves_accepted);
+                        ("interrupted", Json.Bool o.Chop_auto.interrupted);
+                      ],
+                      Of_auto o,
                       if feasible > 0 then "feasible" else "infeasible" )))
   | Protocol.Session_close -> (
       Mutex.lock t.sessions_mu;
@@ -514,7 +576,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
                  Json.String
                    (Printf.sprintf "session %s closed\n" p.Protocol.session));
               ],
-              None,
+              No_timing,
               "-" ))
   | Protocol.Sensitivity ->
       let* spec = Ops.spec_of_params p in
@@ -532,7 +594,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
             ("text", Json.String (Ops.render_sensitivity sweep));
             ("cliff", cliff);
           ],
-          None,
+          No_timing,
           "-" )
 
 (* The full pipeline for one admitted request: execute, time, count,
@@ -543,15 +605,16 @@ let execute t (req : Protocol.request) ~queue_seconds ~interrupt =
   let op_name = Protocol.op_to_string req.Protocol.op in
   let result =
     try exec_op t req ~interrupt
-    with exn -> Error (Protocol.Internal, Printexc.to_string exn)
+    with exn -> Error (Protocol.Internal, describe_exn exn)
   in
   let run_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   match result with
   | Ok (fields, report, verdict) ->
       let timing =
         match report with
-        | Some r -> Protocol.timing_of_report ~queue_ms ~run_ms r
-        | None -> Protocol.no_engine_timing ~queue_ms ~run_ms
+        | Of_report r -> Protocol.timing_of_report ~queue_ms ~run_ms r
+        | Of_auto o -> Protocol.optimize_timing ~queue_ms ~run_ms o
+        | No_timing -> Protocol.no_engine_timing ~queue_ms ~run_ms
       in
       bump t `Ok;
       access_log t ~id:req.Protocol.id ~op:op_name ~status:"ok" ~timing ~verdict;

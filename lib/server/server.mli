@@ -72,6 +72,13 @@ val serve : t -> unit
     the scheduler, closes every connection and tears down engines and
     pool.  Blocks for the server's whole life. *)
 
+val describe_exn : exn -> string
+(** The message given to a structured [internal] error when an operation
+    raises: typed engine failures (e.g.
+    {!Chop_sched.List_sched.No_progress}) render their context — graph,
+    operation count, iteration bound — instead of a bare [Failure] text.
+    Exposed so tests can pin the mapping. *)
+
 val handle_line : t -> string -> string
 (** One request line through the full pipeline — parse, admission,
     scheduling, execution, rendering — waiting for the response and

@@ -1,0 +1,352 @@
+(* Tests for the automatic partitioner (Chop_auto): validity of the
+   optimized partitioning, determinism per seed, pin/community
+   constraints — plus the scheduler failure-path hardening this PR leans
+   on (typed List_sched.No_progress, force-directed zero-width windows,
+   Autopart's exactly-k guarantee) and the session/optimize server op. *)
+
+module G = Chop_dfg.Graph
+module P = Chop_dfg.Partition
+module Json = Chop_util.Json
+module Protocol = Chop_server.Protocol
+module Server = Chop_server.Server
+module Ops = Chop_server.Ops
+
+let private_config () =
+  Chop.Explore.Config.make ~jobs:1
+    ~cache:(Chop.Explore.Config.Custom (Chop.Pred_cache.create ()))
+    ()
+
+let bench_spec ?(k = 2) ?(perf = 30000.) ?(delay = 30000.)
+    ?(strategy = Chop_baseline.Autopart.Min_cut 1) name =
+  let graph =
+    match Ops.graph_of_name name with Ok g -> g | Error m -> failwith m
+  in
+  Ops.build_spec ~graph ~partitions:k ~package:Chop_tech.Mosis.package_84
+    ~perf ~delay ~multicycle:false ~strategy
+
+let random_spec ~ops ~seed ~k =
+  let graph = Chop_dfg.Benchmarks.random_dag ~ops ~seed () in
+  Chop.Rig.custom ~graph
+    ~partitioning:
+      (Chop_baseline.Autopart.generate graph ~k
+         (Chop_baseline.Autopart.Min_cut seed))
+    ~package:Chop_tech.Mosis.package_84
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:Chop_tech.Mosis.main_clock
+         ~datapath_ratio:10 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Single_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:30000. ~delay:30000. ())
+    ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let first_ops graph n =
+  G.operations graph
+  |> List.map (fun (nd : G.node) -> nd.G.id)
+  |> List.sort Int.compare
+  |> Chop_util.Listx.take n
+
+(* ------------------------------------------------------------------ *)
+(* Chop_auto *)
+
+let auto_yields_valid_partitioning =
+  QCheck.Test.make ~name:"auto yields a valid partitioning of the same k"
+    ~count:12
+    QCheck.(triple (12 -- 26) (0 -- 100) (2 -- 3))
+    (fun (ops, seed, k) ->
+      let spec = random_spec ~ops ~seed ~k in
+      let o =
+        Chop_auto.run ~seed ~max_moves:12 ~config:(private_config ()) spec
+      in
+      let parts = o.Chop_auto.spec.Chop.Spec.partitioning.P.parts in
+      (* revalidating from scratch raises on any broken invariant
+         (coverage, disjointness, acyclic quotient) *)
+      let _ = P.partitioning o.Chop_auto.spec.Chop.Spec.graph parts in
+      List.length parts = k
+      && List.for_all (fun (p : P.t) -> p.P.members <> []) parts)
+
+let test_auto_deterministic () =
+  let render () =
+    let o =
+      Chop_auto.run ~seed:3 ~config:(private_config ())
+        (bench_spec ~k:2 ~perf:6000. "diffeq")
+    in
+    (Ops.render_auto o.Chop_auto.spec o, o.Chop_auto.moves_tried)
+  in
+  let r1, t1 = render () and r2, t2 = render () in
+  Alcotest.(check string) "byte-identical rendering per seed" r1 r2;
+  Alcotest.(check int) "same move count" t1 t2
+
+let test_auto_honors_pins () =
+  let spec = bench_spec ~k:2 "ar" in
+  (* pick a pin the seed partitioning can satisfy with one legal move *)
+  let pg = spec.Chop.Spec.partitioning in
+  let labels = List.map (fun (p : P.t) -> p.P.label) pg.P.parts in
+  let pinned, target =
+    List.concat_map
+      (fun (p : P.t) -> List.map (fun m -> (m, p.P.label)) p.P.members)
+      pg.P.parts
+    |> List.find_map (fun (op, cur) ->
+           List.find_map
+             (fun l ->
+               if String.equal l cur then None
+               else
+                 match P.move_op pg ~op ~to_:l with
+                 | Ok _ -> Some (op, l)
+                 | Error _ -> None)
+             labels)
+    |> Option.get
+  in
+  let constraints =
+    { Chop_auto.pins = [ (pinned, target) ]; communities = [] }
+  in
+  let o =
+    Chop_auto.run ~constraints ~max_moves:24 ~config:(private_config ()) spec
+  in
+  Alcotest.(check string) "pinned op ends in its partition" target
+    (P.part_of o.Chop_auto.spec.Chop.Spec.partitioning pinned).P.label
+
+let test_auto_honors_communities () =
+  let spec = bench_spec ~k:2 "ar" in
+  let graph = spec.Chop.Spec.graph in
+  let members = first_ops graph 3 in
+  let constraints = { Chop_auto.pins = []; communities = [ members ] } in
+  let o =
+    Chop_auto.run ~constraints ~max_moves:24 ~config:(private_config ()) spec
+  in
+  let labels =
+    List.sort_uniq String.compare
+      (List.map
+         (fun op ->
+           (P.part_of o.Chop_auto.spec.Chop.Spec.partitioning op).P.label)
+         members)
+  in
+  Alcotest.(check int) "community shares one partition" 1 (List.length labels)
+
+let test_auto_invalid_constraints () =
+  let spec = bench_spec ~k:2 "ar" in
+  let bad_pin =
+    { Chop_auto.pins = [ (List.hd (first_ops spec.Chop.Spec.graph 1), "P9") ];
+      communities = [] }
+  in
+  (match
+     Chop_auto.run ~constraints:bad_pin ~config:(private_config ()) spec
+   with
+  | exception Chop_auto.Invalid_constraints _ -> ()
+  | _ -> Alcotest.fail "unknown partition accepted");
+  match
+    Chop_auto.run
+      ~constraints:{ Chop_auto.pins = [ (99999, "P1") ]; communities = [] }
+      ~config:(private_config ()) spec
+  with
+  | exception Chop_auto.Invalid_constraints _ -> ()
+  | _ -> Alcotest.fail "unknown operation accepted"
+
+let test_parse_constraints () =
+  let spec = bench_spec ~k:2 "ar" in
+  (match Ops.parse_constraints spec ~pins:[ "1=P1" ] ~together:[] with
+  | Ok { Chop_auto.pins = [ (1, "P1") ]; _ } -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error m -> Alcotest.failf "pin rejected: %s" m);
+  (match Ops.parse_constraints spec ~pins:[ "nope" ] ~together:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing '=' accepted");
+  match Ops.parse_constraints spec ~pins:[] ~together:[ "1" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "singleton community accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regressions: scheduler failure paths *)
+
+(* A pure chain at its minimal length: every operation has zero mobility,
+   so every slack window is a single step — the case that used to die
+   with [failwith "no schedulable op"]. *)
+let test_force_directed_chain_minimal () =
+  let b = G.builder ~name:"chain" () in
+  let input = G.add_node b ~op:Chop_dfg.Op.Input ~width:16 in
+  let prev = ref input in
+  for _ = 1 to 10 do
+    let c = G.add_node b ~op:Chop_dfg.Op.Const ~width:16 in
+    let n = G.add_node b ~op:Chop_dfg.Op.Add ~width:16 in
+    G.add_edge b ~src:!prev ~dst:n;
+    G.add_edge b ~src:c ~dst:n;
+    prev := n
+  done;
+  let out = G.add_node b ~op:Chop_dfg.Op.Output ~width:16 in
+  G.add_edge b ~src:!prev ~dst:out;
+  let g = G.build b in
+  let cp = Chop_dfg.Analysis.critical_path g in
+  let s = Chop_sched.Force_directed.run ~length:cp g in
+  (match Chop_sched.Schedule.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e);
+  Alcotest.(check int) "minimal length achieved" cp s.Chop_sched.Schedule.length
+
+let test_force_directed_ewf_minimal () =
+  let g = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+  let cp = Chop_dfg.Analysis.critical_path g in
+  let s = Chop_sched.Force_directed.run ~length:cp g in
+  match Chop_sched.Schedule.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e
+
+let test_list_sched_no_progress_printer () =
+  let msg =
+    Printexc.to_string
+      (Chop_sched.List_sched.No_progress
+         { graph = "P1 of ewf"; ops = 7; bound = 99 })
+  in
+  Alcotest.(check bool) "printer names the exception" true
+    (contains msg "No_progress");
+  Alcotest.(check bool) "printer carries the graph label" true
+    (contains msg "P1 of ewf")
+
+let test_describe_exn_mapping () =
+  let msg =
+    Server.describe_exn
+      (Chop_sched.List_sched.No_progress
+         { graph = "P2 subgraph"; ops = 5; bound = 64 })
+  in
+  Alcotest.(check bool) "structured scheduler message" true
+    (contains msg "scheduler stalled");
+  Alcotest.(check bool) "carries the graph label" true
+    (contains msg "P2 subgraph");
+  Alcotest.(check bool) "other exceptions fall through" true
+    (contains (Server.describe_exn (Failure "boom")) "boom")
+
+let autopart_exactly_k =
+  QCheck.Test.make
+    ~name:"min-cut and random yield exactly k non-empty parts" ~count:30
+    QCheck.(triple (10 -- 40) (0 -- 100) (2 -- 6))
+    (fun (ops, seed, k) ->
+      let g = Chop_dfg.Benchmarks.random_dag ~ops ~seed () in
+      let k = min k (G.op_count g) in
+      List.for_all
+        (fun strategy ->
+          let pg = Chop_baseline.Autopart.generate g ~k strategy in
+          List.length pg.P.parts = k
+          && List.for_all (fun (p : P.t) -> p.P.members <> []) pg.P.parts)
+        [
+          Chop_baseline.Autopart.Min_cut seed;
+          Chop_baseline.Autopart.Random_balanced seed;
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* session/optimize through the server pipeline *)
+
+let make_server () =
+  Server.create
+    {
+      Server.default_config with
+      socket_path = None;
+      jobs = 1;
+      log = None;
+      handle_signals = false;
+    }
+
+let parse_response line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+
+let field resp path =
+  List.fold_left (fun v name -> Option.bind v (Json.member name)) (Some resp)
+    path
+
+let open_session server line =
+  let resp = parse_response (Server.handle_line server line) in
+  match
+    Option.bind (field resp [ "result"; "session" ]) Json.to_string_opt
+  with
+  | Some sid -> sid
+  | None -> Alcotest.failf "no session id in %s" (Json.print resp)
+
+let test_session_optimize_roundtrip () =
+  let server = make_server () in
+  let sid =
+    open_session server
+      {|{"op":"session/open","benchmark":"diffeq","partitions":2,"perf":6000,"strategy":"min-cut"}|}
+  in
+  let resp =
+    parse_response
+      (Server.handle_line server
+         (Printf.sprintf
+            {|{"op":"session/optimize","session":"%s","seed":1}|} sid))
+  in
+  Alcotest.(check (option bool)) "ok" (Some true) (Protocol.response_ok resp);
+  Alcotest.(check (option bool)) "verdict flipped to feasible" (Some true)
+    (Option.bind (field resp [ "result"; "feasible" ]) Json.to_bool_opt);
+  let moves_tried =
+    Option.bind (field resp [ "timing"; "moves_tried" ]) Json.to_int_opt
+  in
+  Alcotest.(check bool) "timing counts the candidate moves" true
+    (match moves_tried with Some n -> n > 0 | None -> false);
+  (* byte-identity with the CLI path: same spec, same seed, rendered
+     through the same Ops.render_auto *)
+  let o =
+    Chop_auto.run ~seed:1 ~config:(private_config ())
+      (bench_spec ~k:2 ~perf:6000. "diffeq")
+  in
+  Alcotest.(check (option string)) "text identical to chop auto"
+    (Some (Ops.render_auto o.Chop_auto.spec o))
+    (Protocol.response_text resp)
+
+let test_session_optimize_bad_constraints () =
+  let server = make_server () in
+  let sid =
+    open_session server
+      {|{"op":"session/open","benchmark":"ar","partitions":2}|}
+  in
+  let code line =
+    Protocol.response_error_code
+      (parse_response (Server.handle_line server line))
+  in
+  Alcotest.(check (option string)) "unknown partition pin" (Some "bad_request")
+    (code
+       (Printf.sprintf
+          {|{"op":"session/optimize","session":"%s","pins":["1=P9"]}|} sid));
+  Alcotest.(check (option string)) "malformed pin" (Some "bad_request")
+    (code
+       (Printf.sprintf
+          {|{"op":"session/optimize","session":"%s","pins":["zzz"]}|} sid));
+  Alcotest.(check (option string)) "unknown session" (Some "bad_request")
+    (code {|{"op":"session/optimize","session":"nope"}|})
+
+let () =
+  Alcotest.run "chop_auto"
+    [
+      ( "auto",
+        [
+          QCheck_alcotest.to_alcotest auto_yields_valid_partitioning;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_auto_deterministic;
+          Alcotest.test_case "honors pins" `Quick test_auto_honors_pins;
+          Alcotest.test_case "honors communities" `Quick
+            test_auto_honors_communities;
+          Alcotest.test_case "invalid constraints" `Quick
+            test_auto_invalid_constraints;
+          Alcotest.test_case "parse_constraints" `Quick test_parse_constraints;
+        ] );
+      ( "sched-hardening",
+        [
+          Alcotest.test_case "force-directed chain at minimal length" `Quick
+            test_force_directed_chain_minimal;
+          Alcotest.test_case "force-directed ewf at minimal length" `Quick
+            test_force_directed_ewf_minimal;
+          Alcotest.test_case "No_progress printer" `Quick
+            test_list_sched_no_progress_printer;
+          Alcotest.test_case "describe_exn mapping" `Quick
+            test_describe_exn_mapping;
+          QCheck_alcotest.to_alcotest autopart_exactly_k;
+        ] );
+      ( "session-optimize",
+        [
+          Alcotest.test_case "round-trip" `Quick
+            test_session_optimize_roundtrip;
+          Alcotest.test_case "bad constraints" `Quick
+            test_session_optimize_bad_constraints;
+        ] );
+    ]

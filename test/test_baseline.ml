@@ -101,9 +101,9 @@ let test_autopart_levels () =
 
 let test_autopart_min_cut () =
   let pg = Autopart.generate (ar ()) ~k:2 (Autopart.Min_cut 11) in
-  Alcotest.(check bool) "1-2 parts (legalization may merge)" true
-    (let n = List.length pg.Chop_dfg.Partition.parts in
-     n >= 1 && n <= 2);
+  (* legalization may merge, but the topological top-up restores k *)
+  Alcotest.(check int) "exactly 2 parts" 2
+    (List.length pg.Chop_dfg.Partition.parts);
   Alcotest.(check int) "covers all" 28
     (Chop_util.Listx.sum_by
        (fun p -> List.length p.Chop_dfg.Partition.members)

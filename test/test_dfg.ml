@@ -924,6 +924,9 @@ let canon_partition_subgraphs_invariant =
     QCheck.(triple (10 -- 40) (0 -- 300) (2 -- 4))
     (fun (ops, seed, k) ->
       let g = Benchmarks.random_dag ~ops ~seed () in
+      (* a shallow random dag may have fewer levels than the drawn k, and
+         by_levels rejects k > levels — clamp rather than flake *)
+      let k = min k (List.length (Analysis.levels g)) in
       let g2 = Transform.renumber ~seed:(seed + 1) g in
       let subs g =
         let pg = Partition.by_levels g ~k in
