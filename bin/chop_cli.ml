@@ -314,7 +314,7 @@ let advise_cmd =
 
 let auto_cmd =
   let run graph k package perf delay multicycle strategy file seed max_moves
-      time_limit coarse pins together jobs =
+      time_limit coarse pins together stats jobs =
     let spec =
       match file with
       | Some path -> Chop.Specfile.load path
@@ -329,7 +329,8 @@ let auto_cmd =
         match
           Chop_auto.run ~seed ~constraints ~max_moves
             ?time_limit_s:(if time_limit > 0. then Some time_limit else None)
-            ~coarse_target:coarse ~config spec
+            ?coarse_target:(if coarse > 0 then Some coarse else None)
+            ~config spec
         with
         | exception Chop_auto.Invalid_constraints msg ->
             prerr_endline ("chop auto: " ^ msg);
@@ -340,6 +341,7 @@ let auto_cmd =
             print_string (Ops.render_auto o.Chop_auto.spec o);
             print_newline ();
             print_string (Ops.render_auto_timing o);
+            if stats then print_string (Ops.render_auto_stats o);
             if Ops.explore_feasible_count o.Chop_auto.report > 0 then 0 else 1)
   in
   let seed =
@@ -359,10 +361,11 @@ let auto_cmd =
              ~doc:"Refinement time budget in seconds; 0 is unlimited.")
   in
   let coarse =
-    Arg.(value & opt int 2048
+    Arg.(value & opt int 0
          & info [ "coarse" ] ~docv:"N"
              ~doc:"Coarsening target: stop matching at roughly $(docv) \
-                   clusters.")
+                   clusters.  0 (the default) picks max(2*partitions, 8) \
+                   automatically so multilevel coarsening engages.")
   in
   let pins =
     Arg.(value & opt_all string []
@@ -399,7 +402,13 @@ let auto_cmd =
     Term.(
       const run $ graph_arg $ partitions_arg $ package_arg $ perf_arg
       $ delay_arg $ multicycle_arg $ auto_strategy_arg $ file_arg $ seed
-      $ max_moves $ time_limit $ coarse $ pins $ together $ jobs_arg)
+      $ max_moves $ time_limit $ coarse $ pins $ together
+      $ Arg.(value & flag
+             & info [ "stats" ]
+                 ~doc:"Print the speculative-refinement breakdown: job \
+                       count, probe runs, batch rounds, pool busy/wall \
+                       seconds and per-round averages.")
+      $ jobs_arg)
 
 let autosearch_cmd =
   let run graph max_partitions package perf delay multicycle =

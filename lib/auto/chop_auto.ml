@@ -17,11 +17,22 @@
      checked against a frozen snapshot) because two individually-safe
      contractions can jointly create a cycle.
 
-   - A candidate move is one [Session.edit]; accepting keeps it, rejecting
-     reverts it *without re-running*, so the next candidate's run serves
-     the restored partitions straight from the content-addressed
-     prediction cache.  This is what makes thousands of probes cheap and
-     the refinement cache hit rate high by construction. *)
+   - Candidate moves are evaluated speculatively, in waves: each probe
+     applies one [Session.edit] to a private session fork and runs it
+     there, so a wave's probes score concurrently on the domain pool while
+     the main session stays untouched (rejection costs nothing to undo).
+     Every prediction a probe computes lands in the shared
+     content-addressed cache, so committing a wave's winner re-serves them
+     as hits.  This is what makes thousands of probes cheap and the
+     refinement cache hit rate high by construction.
+
+   - Rounds are deterministic by construction: candidate order, wave
+     boundaries (1 doubling to 8 on non-improving waves, reset per pass)
+     and the memo of probe scores depend only on the current state and the
+     seed, never on the job count; the committed move is the
+     lowest-indexed improving candidate of its wave.  jobs-1 and jobs-N
+     refinements are therefore byte-identical apart from timing and
+     cache-counter fields. *)
 
 module G = Chop_dfg.Graph
 module P = Chop_dfg.Partition
@@ -47,6 +58,11 @@ type outcome = {
   coarse_clusters : int;
   moves_tried : int;
   moves_accepted : int;
+  speculative_runs : int;
+  batch_rounds : int;
+  spec_wall_seconds : float;
+  spec_busy_seconds : float;
+  jobs : int;
   cache_hits : int;
   cache_misses : int;
   cache_structural_hits : int;
@@ -449,8 +465,18 @@ let connectivity g spec c =
     c.members;
   conn
 
+(* Largest speculative wave.  Constant — the wave schedule must not depend
+   on the job count, or jobs-1 and jobs-N would diverge. *)
+let wave_max = 8
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+      let wave, rest = take (n - 1) rest in
+      (x :: wave, rest)
+  | l -> ([], l)
+
 let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
-    ?time_limit_s ?(coarse_target = 2048) ?(interrupt = fun () -> false)
+    ?time_limit_s ?coarse_target ?(interrupt = fun () -> false)
     session =
   let t0 = Unix.gettimeofday () in
   let spec0 = S.spec session in
@@ -495,6 +521,16 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
   let ops =
     List.map (fun (n : G.node) -> n.G.id) (G.operations g)
   in
+  let part_count = List.length spec0.Chop.Spec.partitioning.P.parts in
+  let coarse_target =
+    (* absent or <= 0 = automatic: a couple of movable clusters per part
+       at the coarsest level — small enough that realistic graphs
+       actually coarsen (a fixed large default used to mean the hierarchy
+       was always a single level) *)
+    match coarse_target with
+    | Some c when c > 0 -> c
+    | _ -> max (2 * part_count) 8
+  in
   let base = base_clusters tpos ~pin_tbl ~communities ops in
   let hierarchy =
     build_hierarchy g tpos part_of_op ~seed ~coarse_target base
@@ -502,6 +538,8 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
   let levels = List.length hierarchy in
   let coarse_clusters = List.length (List.hd hierarchy) in
   let tried = ref 0 and accepted = ref 0 in
+  let spec_runs = ref 0 and rounds = ref 0 in
+  let spec_wall = ref 0. and spec_busy = ref 0. in
   let hits = ref 0 and misses = ref 0 and structural = ref 0 in
   let interrupted = ref false in
   let stopped = ref false in
@@ -564,27 +602,144 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
       !structural
       + r.Chop.Explore.metrics.Chop.Explore.Metrics.cache_structural_hits
   in
-  let attempt c ~from ~q ~on_accept =
-    match try_move session tpos c.members ~to_:q with
-    | Error _ -> () (* illegal as a unit move (cycle / would empty part) *)
-    | Ok applied -> (
-        incr tried;
-        match S.run_interruptible ~interrupt session with
-        | exception Chop.Explore.Cancelled ->
-            revert session ~applied ~to_:from;
-            interrupted := true;
-            stopped := true
-        | r ->
-            record_stats r;
-            let sc = score_of (S.spec session) r in
-            if better sc !cur_score then begin
-              cur_score := sc;
-              cur_report := r;
-              undo := [];
-              incr accepted;
-              on_accept ()
-            end
-            else revert session ~applied ~to_:from)
+  (* Memo of probe scores, keyed on a digest of the full partition
+     assignment the move would produce.  Sound because only the
+     partitioning changes during refinement — graph, chips, clock and
+     criteria are fixed — so the assignment alone determines the state.
+     A memo hit skips the speculative run entirely; legality of the move
+     from the *current* state is still path-dependent, so a commit
+     re-applies the edit and deterministically skips a stale entry. *)
+  let memo : (string, score) Hashtbl.t = Hashtbl.create 512 in
+  let assignment_key ~members ~to_ =
+    let spec = S.spec session in
+    let in_m = Hashtbl.create 16 in
+    List.iter (fun op -> Hashtbl.replace in_m op ()) members;
+    let b = Buffer.create 512 in
+    List.iter
+      (fun op ->
+        Buffer.add_string b (string_of_int op);
+        Buffer.add_char b ':';
+        Buffer.add_string b
+          (if Hashtbl.mem in_m op then to_ else part_label_of spec op);
+        Buffer.add_char b ';')
+      ops;
+    Digest.string (Buffer.contents b)
+  in
+  (* One refinement pass: scan the gain-ordered candidates in waves of
+     speculative probes, evaluated concurrently on the session's pool via
+     {!S.speculate}.  Waves start at 1 and double up to [wave_max] while
+     nothing improves, so early accepts stay cheap and the converged tail
+     gets full batches.  The whole wave is always evaluated — even at
+     jobs = 1 — so counters and commits cannot depend on the job count. *)
+  let rec scan_waves ~on_accept wave_size cands =
+    if cands <> [] && not !stopped then begin
+      if stop () then begin
+        interrupted := true;
+        stopped := true
+      end
+      else begin
+        let wave, rest = take wave_size cands in
+        (* consult the memo sequentially, before any probe dispatches *)
+        let entries =
+          List.map
+            (fun ((_, _, c, _, q) as cand) ->
+              let key = assignment_key ~members:c.members ~to_:q in
+              (cand, key, ref (Hashtbl.find_opt memo key)))
+            wave
+        in
+        let unknown =
+          List.filter (fun (_, _, v) -> Option.is_none !v) entries
+        in
+        let aborted = ref false in
+        if unknown <> [] then begin
+          let tasks =
+            Array.of_list
+              (List.map
+                 (fun ((_, _, c, _, q), _, _) ->
+                   fun probe ->
+                     match try_move probe tpos c.members ~to_:q with
+                     | Error _ ->
+                         `Illegal (* cycle / would empty the part *)
+                     | Ok _ -> (
+                         match S.run_interruptible ~interrupt probe with
+                         | exception Chop.Explore.Cancelled -> `Aborted
+                         | r -> `Scored (score_of (S.spec probe) r, r)))
+                 unknown)
+          in
+          let tw0 = Unix.gettimeofday () in
+          let results, pstats = S.speculate session tasks in
+          spec_wall := !spec_wall +. (Unix.gettimeofday () -. tw0);
+          spec_busy :=
+            !spec_busy
+            +. Array.fold_left ( +. ) 0. pstats.Chop_util.Pool.worker_busy;
+          incr rounds;
+          List.iteri
+            (fun i (_, key, verdict) ->
+              match results.(i) with
+              | `Illegal -> ()
+              | `Aborted -> aborted := true
+              | `Scored (sc, r) ->
+                  incr spec_runs;
+                  record_stats r;
+                  Hashtbl.replace memo key sc;
+                  verdict := Some sc)
+            unknown
+        end;
+        if !aborted then begin
+          interrupted := true;
+          stopped := true
+        end
+        else begin
+          (* every candidate that produced a score counts as a tried move,
+             whether a probe ran or the memo served it *)
+          let scored =
+            List.filter_map
+              (fun ((_, _, c, from, q), _, v) ->
+                Option.map (fun sc -> (c, from, q, sc)) !v)
+              entries
+          in
+          tried := !tried + List.length scored;
+          (* commit the lowest-indexed improving candidate that re-applies
+             cleanly on the main session; its run is served from the cache
+             the probe just populated *)
+          let rec commit = function
+            | [] -> `No_improvement
+            | (c, from, q, sc) :: more when better sc !cur_score -> (
+                match try_move session tpos c.members ~to_:q with
+                | Error _ -> commit more (* stale memo: illegal from here *)
+                | Ok applied -> (
+                    match S.run_interruptible ~interrupt session with
+                    | exception Chop.Explore.Cancelled ->
+                        revert session ~applied ~to_:from;
+                        `Cancelled
+                    | r ->
+                        record_stats r;
+                        let sc' = score_of (S.spec session) r in
+                        if better sc' !cur_score then begin
+                          cur_score := sc';
+                          cur_report := r;
+                          undo := [];
+                          incr accepted;
+                          `Committed
+                        end
+                        else begin
+                          (* defensive: a probe score replays identically,
+                             so this arm should be unreachable *)
+                          revert session ~applied ~to_:from;
+                          commit more
+                        end))
+            | _ :: more -> commit more
+          in
+          match commit scored with
+          | `Committed -> on_accept ()
+          | `Cancelled ->
+              interrupted := true;
+              stopped := true
+          | `No_improvement ->
+              scan_waves ~on_accept (min wave_max (2 * wave_size)) rest
+        end
+      end
+    end
   in
   (* Plateau escape while infeasible: the score (-badf, cut) often cannot
      improve one move at a time — an overloaded partition may need to
@@ -636,7 +791,6 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
         in
         try_cands cands
   in
-  let part_count = List.length spec0.Chop.Spec.partitioning.P.parts in
   List.iteri
     (fun level_idx clusters ->
       if not !stopped then begin
@@ -649,22 +803,12 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
             stopped := true
           end
           else begin
-            let cands = candidates level_idx clusters in
-            let rec scan = function
-              | [] -> ()
-              | (_, _, c, from, q) :: rest ->
-                  if stop () then begin
-                    interrupted := true;
-                    stopped := true
-                  end
-                  else begin
-                    attempt c ~from ~q ~on_accept:(fun () -> improved := true);
-                    (* rebuild candidates after an acceptance: parts (and
-                       every gain) changed *)
-                    if (not !improved) && not !stopped then scan rest
-                  end
-            in
-            scan cands;
+            (* a committed move rebuilds the candidates: parts (and every
+               gain) changed *)
+            scan_waves
+              ~on_accept:(fun () -> improved := true)
+              1
+              (candidates level_idx clusters);
             if
               (not !improved) && (not !stopped)
               && (not !cur_score.feas)
@@ -689,6 +833,11 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
     coarse_clusters;
     moves_tried = !tried;
     moves_accepted = !accepted;
+    speculative_runs = !spec_runs;
+    batch_rounds = !rounds;
+    spec_wall_seconds = !spec_wall;
+    spec_busy_seconds = !spec_busy;
+    jobs = S.jobs session;
     cache_hits = !hits;
     cache_misses = !misses;
     cache_structural_hits = !structural;

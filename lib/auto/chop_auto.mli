@@ -6,11 +6,13 @@
     BAD prediction itself as the gain function: a multilevel
     coarsen–refine loop (heavy-edge matching on transfer bits, in the
     TritonPart / RePart style) whose refinement moves are evaluated
-    through an {!Chop.Explore.Session} — one [Spec.edit] per candidate
-    move, scoped re-prediction of the two touched partitions, and
-    cache-served predictions for everything else.  A rejected move is
-    reverted without re-running, so the restored partitions are served
-    straight from the prediction cache on the next candidate.
+    through {!Chop.Explore.Session} forks — one [Spec.edit] per candidate
+    move on a private speculative fork, scoped re-prediction of the two
+    touched partitions, and cache-served predictions for everything else.
+    Probes of a wave score concurrently on the session's domain pool; a
+    rejected probe costs nothing to undo (the session was never touched),
+    and the predictions it computed stay in the shared cache, so the
+    committed winner's run re-serves them as hits.
 
     The loop:
 
@@ -62,8 +64,20 @@ type outcome = {
           fix-up edits *)
   levels : int;  (** refinement levels (1 = no coarsening happened) *)
   coarse_clusters : int;  (** cluster count at the coarsest level *)
-  moves_tried : int;  (** candidate moves evaluated through the session *)
+  moves_tried : int;
+      (** candidate moves evaluated (speculative probe runs plus
+          memo-served re-evaluations) *)
   moves_accepted : int;
+  speculative_runs : int;
+      (** probe evaluations actually run on session forks (memo hits and
+          illegal moves excluded) *)
+  batch_rounds : int;  (** speculative waves dispatched to the pool *)
+  spec_wall_seconds : float;
+      (** wall time spent inside speculative waves, summed over rounds *)
+  spec_busy_seconds : float;
+      (** pool-participant busy time inside speculative waves, summed over
+          rounds — [spec_busy / spec_wall] is the effective parallelism *)
+  jobs : int;  (** effective pool parallelism (after the core clamp) *)
   cache_hits : int;  (** prediction-cache hits across refinement runs *)
   cache_misses : int;  (** prediction-cache misses across refinement runs *)
   cache_structural_hits : int;
@@ -84,16 +98,30 @@ val refine :
   Chop.Explore.Session.t ->
   outcome
 (** Optimize the partitioning of an open session in place.  On return the
-    session's spec is the outcome's spec (every rejected candidate was
-    reverted).  Defaults: [seed = 1], no constraints, [max_moves = 1024],
-    no time limit, [coarse_target = 2048].
+    session's spec is the outcome's spec (candidates are evaluated on
+    speculative session forks, so only committed moves ever touch the
+    session).  Defaults: [seed = 1], no constraints, [max_moves = 1024],
+    no time limit.  [coarse_target] absent or [<= 0] means automatic —
+    [max (2 * parts) 8] — so multilevel coarsening actually engages on
+    realistic graph sizes; an explicit positive value is honored as
+    before.
 
-    [interrupt] is polled between candidates and passed through to
-    {!Chop.Explore.Session.run_interruptible} for the refinement runs, so
-    a serving deadline cancels mid-prediction; a cancelled candidate is
-    reverted and refinement stops cleanly with [interrupted = true].
-    Exception: if the {e seed} run itself is cancelled there is no state
-    to fall back to, and {!Chop.Explore.Cancelled} propagates.
+    Candidate moves are scored in waves of speculative probes run
+    concurrently on the session's pool.  Wave composition, probe-score
+    memoization and the commit rule (lowest-indexed improving candidate)
+    depend only on the current state and [seed], never on the job count,
+    so for a given seed the outcome — spec, report, levels, move and
+    round counters — is byte-identical at any [jobs]; only timing and
+    cache-counter fields vary.  [max_moves] is checked between waves, so
+    a full wave may finish past the budget (deterministically).
+
+    [interrupt] is polled between waves and passed through to
+    {!Chop.Explore.Session.run_interruptible} for every probe and commit
+    run, so a serving deadline cancels mid-prediction; a cancelled wave
+    discards its probes, a cancelled commit is reverted, and refinement
+    stops cleanly with [interrupted = true].  Exception: if the {e seed}
+    run itself is cancelled there is no state to fall back to, and
+    {!Chop.Explore.Cancelled} propagates.
 
     @raise Invalid_constraints (see above).
     @raise Chop.Explore.Cancelled when [interrupt] fires during the seed

@@ -168,10 +168,34 @@ module Session = struct
   let context e = e.ctx
   let revision e = e.revision
   let pending_dirty e = e.pending
+  let jobs e = Chop_util.Pool.jobs e.pool
 
   let check_open e name =
     if e.closed then
       invalid_arg (Printf.sprintf "Explore.Session.%s: session is closed" name)
+
+  (* A speculative copy: same config, same (shared) prediction cache, same
+     pool — borrowed, so closing the fork never shuts it down — and a
+     snapshot of the parent's mutable state.  Edits and runs on the fork
+     leave the parent untouched; predictions the fork computes land in the
+     shared cache, so whichever speculative state the caller later commits
+     on the parent re-serves them as hits. *)
+  let fork e =
+    check_open e "fork";
+    { e with owns_pool = false }
+
+  (* Batched speculative evaluation: each task receives a private fork of
+     [e] and the tasks run concurrently on the session's pool.  The parent
+     session is not mutated, so a task that raises (the exception is
+     re-raised here after the batch drains, per Pool.run semantics) leaves
+     both the session and the pool fully usable.  Note: a fork's [run]
+     submits its per-partition work to the same (already busy) pool; those
+     nested submissions fall back to inline execution, so probes never
+     deadlock. *)
+  let speculate e fs =
+    check_open e "speculate";
+    let tasks = Array.map (fun f -> let s = fork e in fun () -> f s) fs in
+    Chop_util.Pool.run_timed e.pool tasks
 
   (* Apply edits to the session's spec.  The integration context is rebuilt
      (its statics are per-spec); predictive work is *not* redone here — the

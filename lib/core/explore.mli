@@ -199,6 +199,31 @@ module Session : sig
       [repredict] sets of edits applied since the last run.  Sorted;
       cleared by a completed run. *)
 
+  val jobs : t -> int
+  (** Effective parallelism of the session's pool (participants, including
+      the calling domain) — after the core-count clamp, so it may be lower
+      than [config.jobs]. *)
+
+  val fork : t -> t
+  (** A cheap speculative copy of the session: it shares the parent's
+      configuration, prediction cache and pool (borrowed — {!close} on a
+      fork never shuts the pool down) and snapshots the parent's current
+      spec, context and dirty set.  Edits and runs on the fork leave the
+      parent untouched, while predictions the fork computes land in the
+      shared cache — so committing the same edit on the parent afterwards
+      re-serves them as cache hits.  Forks hold no resources of their own;
+      closing them is optional. *)
+
+  val speculate : t -> (t -> 'a) array -> 'a array * Chop_util.Pool.run_stats
+  (** [speculate e fs] evaluates each [f] in [fs] over a private {!fork}
+      of [e], concurrently on [e]'s pool, and returns the results in input
+      order plus the batch's pool statistics.  The parent session is never
+      mutated.  If a task raises, the batch drains fully and the
+      lowest-indexed exception is re-raised here ({!Chop_util.Pool.run}
+      semantics); the session and the pool both remain usable.  Nested
+      pool submissions from a fork's {!run} fall back to inline execution,
+      so probes cannot deadlock the shared pool. *)
+
   val edit : t -> Spec.edit list -> (Spec.dirty, Spec.update_error) result
   (** Apply edits to the session's spec ({!Spec.update} semantics: all or
       nothing, never raises).  On [Ok] the session's spec and integration

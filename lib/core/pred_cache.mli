@@ -24,12 +24,19 @@
       per-partition results (feasible count and pruned list), skipping even
       the filtering work when an identical exploration repeats.
 
-    All operations are thread-safe (a single mutex guards both tables);
-    callers are expected to compute predictions {e outside} the lock and
-    insert afterwards, accepting the occasional duplicated computation on a
-    race.  Cached predictions carry the partition label of the run that
-    populated the entry — retrieve with {!Chop_bad.Prediction.relabel}-style
-    copying if labels matter (the engine does). *)
+    All operations are thread-safe: a single mutex guards both tables,
+    the LRU stamps {e and} the {!counters}, so concurrent speculative
+    writers ({!Explore.Session.speculate} probes racing on one shared
+    cache) can never lose a counter update or observe a torn entry —
+    lookups and insertions sum exactly across any interleaving.  Callers
+    are expected to compute predictions {e outside} the lock and insert
+    afterwards, accepting the occasional duplicated computation on a race
+    (two probes that both miss on the same fresh subgraph each run the
+    predictor; both insertions store the identical value, so only the
+    hit/miss split — never a cached value — depends on timing).  Cached
+    predictions carry the partition label of the run that populated the
+    entry — retrieve with {!Chop_bad.Prediction.relabel}-style copying if
+    labels matter (the engine does). *)
 
 type t
 

@@ -380,9 +380,11 @@ let report_summary_line (r : Chop.Explore.report) =
 let render_auto spec (o : Chop_auto.outcome) =
   let buf = Buffer.create 512 in
   Printf.bprintf buf
-    "auto: %d level(s) from %d cluster(s), %d move(s) tried, %d accepted%s\n"
+    "auto: %d level(s) from %d cluster(s), %d move(s) tried, %d accepted, %d \
+     speculative run(s) over %d round(s)%s\n"
     o.Chop_auto.levels o.Chop_auto.coarse_clusters o.Chop_auto.moves_tried
-    o.Chop_auto.moves_accepted
+    o.Chop_auto.moves_accepted o.Chop_auto.speculative_runs
+    o.Chop_auto.batch_rounds
     (if o.Chop_auto.interrupted then " (stopped at budget)" else "");
   Printf.bprintf buf "seed: %s\n" (report_summary_line o.Chop_auto.seed_report);
   Printf.bprintf buf "auto vs seed: %s\n\n"
@@ -397,14 +399,41 @@ let render_auto spec (o : Chop_auto.outcome) =
 let render_auto_timing (o : Chop_auto.outcome) =
   let total = o.Chop_auto.cache_hits + o.Chop_auto.cache_misses in
   Printf.sprintf
-    "auto: %.3f s wall, refinement cache %d hit(s) / %d miss(es), %d \
-     structural%s\n"
-    o.Chop_auto.wall_seconds o.Chop_auto.cache_hits o.Chop_auto.cache_misses
-    o.Chop_auto.cache_structural_hits
+    "auto: %.3f s wall (%d job(s), speculative %.3f s busy / %.3f s wall), \
+     refinement cache %d hit(s) / %d miss(es), %d structural%s\n"
+    o.Chop_auto.wall_seconds o.Chop_auto.jobs o.Chop_auto.spec_busy_seconds
+    o.Chop_auto.spec_wall_seconds o.Chop_auto.cache_hits
+    o.Chop_auto.cache_misses o.Chop_auto.cache_structural_hits
     (if total = 0 then ""
      else
        Printf.sprintf " (%.1f%% hits)"
          (100. *. float_of_int o.Chop_auto.cache_hits /. float_of_int total))
+
+let render_auto_stats (o : Chop_auto.outcome) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "auto stats:\n";
+  Printf.bprintf buf "  jobs                 %d\n" o.Chop_auto.jobs;
+  Printf.bprintf buf "  speculative runs     %d\n" o.Chop_auto.speculative_runs;
+  Printf.bprintf buf "  batch rounds         %d\n" o.Chop_auto.batch_rounds;
+  Printf.bprintf buf "  speculative wall     %.3f s\n"
+    o.Chop_auto.spec_wall_seconds;
+  Printf.bprintf buf "  speculative busy     %.3f s%s\n"
+    o.Chop_auto.spec_busy_seconds
+    (if o.Chop_auto.spec_wall_seconds > 0. then
+       Printf.sprintf " (parallelism %.2fx)"
+         (o.Chop_auto.spec_busy_seconds /. o.Chop_auto.spec_wall_seconds)
+     else "");
+  (if o.Chop_auto.batch_rounds > 0 then
+     let r = float_of_int o.Chop_auto.batch_rounds in
+     Printf.bprintf buf
+       "  per round            %.2f run(s), %.1f ms busy / %.1f ms wall\n"
+       (float_of_int o.Chop_auto.speculative_runs /. r)
+       (1000. *. o.Chop_auto.spec_busy_seconds /. r)
+       (1000. *. o.Chop_auto.spec_wall_seconds /. r));
+  Printf.bprintf buf "  cache hits/misses    %d/%d, %d structural\n"
+    o.Chop_auto.cache_hits o.Chop_auto.cache_misses
+    o.Chop_auto.cache_structural_hits;
+  Buffer.contents buf
 
 let render_sensitivity = Chop.Sensitivity.render
 

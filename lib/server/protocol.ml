@@ -62,7 +62,7 @@ type params = {
   seed : int;  (** tie-breaking seed for session/optimize *)
   max_moves : int;  (** candidate-move budget for session/optimize *)
   time_limit_ms : float;  (** optimize time budget; 0 = unlimited *)
-  coarse : int;  (** coarsening target cluster count *)
+  coarse : int;  (** coarsening target cluster count; 0 = automatic *)
   pins : string list;  (** "op=partition" fixed-vertex constraints *)
   together : string list;  (** "op,op,..." community constraints *)
 }
@@ -90,7 +90,7 @@ let default_params =
     seed = 1;
     max_moves = 1024;
     time_limit_ms = 0.;
-    coarse = 2048;
+    coarse = 0;
     pins = [];
     together = [];
   }
@@ -281,6 +281,11 @@ type timing = {
   cache_structural_hits : int;
   moves_tried : int;  (** session/optimize only; 0 elsewhere *)
   moves_accepted : int;  (** session/optimize only; 0 elsewhere *)
+  speculative_runs : int;  (** session/optimize only; 0 elsewhere *)
+  batch_rounds : int;  (** session/optimize only; 0 elsewhere *)
+  spec_busy_ms : float;  (** session/optimize only; 0 elsewhere *)
+  spec_wall_ms : float;  (** session/optimize only; 0 elsewhere *)
+  jobs : int;  (** effective pool parallelism behind the run *)
 }
 
 let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
@@ -297,6 +302,11 @@ let timing_of_report ~queue_ms ~run_ms (report : Chop.Explore.report) =
     cache_structural_hits = m.Chop.Explore.Metrics.cache_structural_hits;
     moves_tried = 0;
     moves_accepted = 0;
+    speculative_runs = 0;
+    batch_rounds = 0;
+    spec_busy_ms = 0.;
+    spec_wall_ms = 0.;
+    jobs = report.Chop.Explore.jobs;
   }
 
 let no_engine_timing ~queue_ms ~run_ms =
@@ -312,6 +322,11 @@ let no_engine_timing ~queue_ms ~run_ms =
     cache_structural_hits = 0;
     moves_tried = 0;
     moves_accepted = 0;
+    speculative_runs = 0;
+    batch_rounds = 0;
+    spec_busy_ms = 0.;
+    spec_wall_ms = 0.;
+    jobs = 0;
   }
 
 (* session/optimize timing: cache counters are summed across every
@@ -330,6 +345,11 @@ let optimize_timing ~queue_ms ~run_ms (o : Chop_auto.outcome) =
     cache_structural_hits = o.Chop_auto.cache_structural_hits;
     moves_tried = o.Chop_auto.moves_tried;
     moves_accepted = o.Chop_auto.moves_accepted;
+    speculative_runs = o.Chop_auto.speculative_runs;
+    batch_rounds = o.Chop_auto.batch_rounds;
+    spec_busy_ms = o.Chop_auto.spec_busy_seconds *. 1000.;
+    spec_wall_ms = o.Chop_auto.spec_wall_seconds *. 1000.;
+    jobs = o.Chop_auto.jobs;
   }
 
 let timing_to_json t =
@@ -346,6 +366,11 @@ let timing_to_json t =
       ("cache_structural_hits", Json.Int t.cache_structural_hits);
       ("moves_tried", Json.Int t.moves_tried);
       ("moves_accepted", Json.Int t.moves_accepted);
+      ("speculative_runs", Json.Int t.speculative_runs);
+      ("batch_rounds", Json.Int t.batch_rounds);
+      ("spec_busy_ms", Json.Float t.spec_busy_ms);
+      ("spec_wall_ms", Json.Float t.spec_wall_ms);
+      ("jobs", Json.Int t.jobs);
     ]
 
 let ok_response ~id ~op ?timing fields =

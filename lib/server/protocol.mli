@@ -79,7 +79,9 @@ type params = {
   seed : int;  (** session/optimize: deterministic tie-breaking seed *)
   max_moves : int;  (** session/optimize: candidate-move budget *)
   time_limit_ms : float;  (** session/optimize: time budget; 0 = unlimited *)
-  coarse : int;  (** session/optimize: coarsening target cluster count *)
+  coarse : int;
+      (** session/optimize: coarsening target cluster count; 0 (the
+          default) picks it automatically from the partition count *)
   pins : string list;
       (** session/optimize: ["op=partition"] fixed-vertex constraints;
           [op] is a node id or name ({!Ops.parse_edit} operand syntax) *)
@@ -140,6 +142,18 @@ type timing = {
       (** session/optimize: candidate moves evaluated; 0 elsewhere *)
   moves_accepted : int;
       (** session/optimize: moves kept; 0 elsewhere *)
+  speculative_runs : int;
+      (** session/optimize: probe evaluations run on session forks; 0
+          elsewhere *)
+  batch_rounds : int;
+      (** session/optimize: speculative waves dispatched; 0 elsewhere *)
+  spec_busy_ms : float;
+      (** session/optimize: pool busy time inside speculative waves *)
+  spec_wall_ms : float;
+      (** session/optimize: wall time inside speculative waves *)
+  jobs : int;
+      (** effective pool parallelism behind the run (0 when no engine
+          ran) *)
 }
 
 val timing_of_report : queue_ms:float -> run_ms:float -> Chop.Explore.report -> timing

@@ -528,7 +528,10 @@ let exec_op t (req : Protocol.request) ~interrupt :
               match
                 Chop_auto.refine ~seed:p.Protocol.seed ~constraints
                   ~max_moves:p.Protocol.max_moves ?time_limit_s
-                  ~coarse_target:p.Protocol.coarse ~interrupt slot.session
+                  ?coarse_target:
+                    (if p.Protocol.coarse > 0 then Some p.Protocol.coarse
+                     else None)
+                  ~interrupt slot.session
               with
               | exception Chop.Explore.Cancelled ->
                   Error (Protocol.Deadline, "deadline exceeded during the run")

@@ -126,6 +126,58 @@ let test_auto_honors_communities () =
   in
   Alcotest.(check int) "community shares one partition" 1 (List.length labels)
 
+let test_auto_multilevel_depth () =
+  (* with the automatic coarse target (absent [coarse_target]), a graph
+     this size must actually coarsen — the fixed 2048 default used to
+     leave every run at a single level *)
+  let spec = random_spec ~ops:30 ~seed:7 ~k:2 in
+  let o =
+    Chop_auto.run ~seed:7 ~max_moves:4 ~config:(private_config ()) spec
+  in
+  Alcotest.(check bool) "at least 2 levels" true (o.Chop_auto.levels >= 2);
+  Alcotest.(check bool) "coarsest level is coarser than the base" true
+    (o.Chop_auto.coarse_clusters < 30);
+  (* explicit targets are still honored: large enough means no coarsening *)
+  let o1 =
+    Chop_auto.run ~seed:7 ~max_moves:4 ~coarse_target:2048
+      ~config:(private_config ()) spec
+  in
+  Alcotest.(check int) "explicit large target stays single-level" 1
+    o1.Chop_auto.levels
+
+(* Byte-identity across job counts and across repeated runs: wave
+   composition, the probe-score memo and the commit rule never consult the
+   job count, so any jobs value must replay the same refinement.  The
+   pools oversubscribe past the core clamp so the parallel path really
+   runs multiple domains even on a small CI host. *)
+let run_at_jobs ~jobs ~seed spec =
+  let config =
+    Chop.Explore.Config.make ~jobs
+      ~cache:(Chop.Explore.Config.Custom (Chop.Pred_cache.create ()))
+      ()
+  in
+  if jobs = 1 then Chop_auto.run ~seed ~max_moves:24 ~config spec
+  else
+    let pool = Chop_util.Pool.create ~oversubscribe:true ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Chop_util.Pool.shutdown pool)
+      (fun () -> Chop_auto.run ~seed ~max_moves:24 ~pool ~config spec)
+
+let auto_jobs_byte_identical =
+  QCheck.Test.make ~name:"refine byte-identical across jobs 1/2/4 and reruns"
+    ~count:6
+    QCheck.(triple (12 -- 22) (0 -- 100) (2 -- 3))
+    (fun (ops, seed, k) ->
+      let render jobs =
+        let o = run_at_jobs ~jobs ~seed (random_spec ~ops ~seed ~k) in
+        Ops.render_auto o.Chop_auto.spec o
+      in
+      let reference = render 1 in
+      (* jobs = 1 twice covers repeated-run identity *)
+      List.for_all
+        (fun jobs -> String.equal reference (render jobs))
+        [ 1; 2; 4 ])
+
 let test_auto_invalid_constraints () =
   let spec = bench_spec ~k:2 "ar" in
   let bad_pin =
@@ -329,6 +381,9 @@ let () =
           Alcotest.test_case "invalid constraints" `Quick
             test_auto_invalid_constraints;
           Alcotest.test_case "parse_constraints" `Quick test_parse_constraints;
+          Alcotest.test_case "multilevel coarsening depth" `Quick
+            test_auto_multilevel_depth;
+          QCheck_alcotest.to_alcotest auto_jobs_byte_identical;
         ] );
       ( "sched-hardening",
         [

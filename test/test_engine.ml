@@ -482,6 +482,129 @@ let test_engine_predictions_match_legacy () =
       Alcotest.(check int) "kept" a.Explore.kept b.Explore.kept)
     stats_old stats_new
 
+(* ------------------------------------------------------------------ *)
+(* Session forks and speculative evaluation *)
+
+let feasible_csv (r : Explore.report) =
+  Search.to_csv r.Explore.outcome.Search.feasible
+
+(* one legal single-op move on the spec's seed partitioning *)
+let legal_move spec =
+  let pg = spec.Spec.partitioning in
+  let labels =
+    List.map (fun (p : Chop_dfg.Partition.t) -> p.Chop_dfg.Partition.label)
+      pg.Chop_dfg.Partition.parts
+  in
+  List.concat_map
+    (fun (p : Chop_dfg.Partition.t) ->
+      List.map
+        (fun m -> (m, p.Chop_dfg.Partition.label))
+        p.Chop_dfg.Partition.members)
+    pg.Chop_dfg.Partition.parts
+  |> List.find_map (fun (op, cur) ->
+         List.find_map
+           (fun l ->
+             if String.equal l cur then None
+             else
+               match Chop_dfg.Partition.move_op pg ~op ~to_:l with
+               | Ok _ -> Some (op, l)
+               | Error _ -> None)
+           labels)
+  |> Option.get
+
+let test_fork_isolates_parent () =
+  let spec = ar_spec () in
+  let cache = Pred_cache.create () in
+  let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
+  Explore.with_session config spec @@ fun s ->
+  ignore (Explore.Session.run s);
+  let rev = Explore.Session.revision s in
+  let op, to_ = legal_move spec in
+  let fork = Explore.Session.fork s in
+  (match Explore.Session.edit fork [ Spec.Move_op { op; to_partition = to_ } ]
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "fork edit rejected");
+  let fr = Explore.Session.run fork in
+  (* the fork moved on; the parent saw none of it *)
+  Alcotest.(check int) "parent revision unchanged" rev
+    (Explore.Session.revision s);
+  Alcotest.(check (list string)) "parent dirty set clean" []
+    (Explore.Session.pending_dirty s);
+  Alcotest.(check string) "parent still owns the op"
+    (Chop_dfg.Partition.part_of spec.Spec.partitioning op)
+      .Chop_dfg.Partition.label
+    (Chop_dfg.Partition.part_of
+       (Explore.Session.spec s).Spec.partitioning op)
+      .Chop_dfg.Partition.label;
+  (* committing the same edit on the parent re-serves the fork's
+     predictions: no new cache misses *)
+  (match Explore.Session.edit s [ Spec.Move_op { op; to_partition = to_ } ]
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "parent edit rejected");
+  let m0 = (Pred_cache.counters cache).misses in
+  let r = Explore.Session.run s in
+  Alcotest.(check int) "commit run is all cache hits" m0
+    (Pred_cache.counters cache).misses;
+  Alcotest.(check string) "fork and commit agree" (feasible_csv fr)
+    (feasible_csv r)
+
+let test_speculate_exception_drains () =
+  let spec = ar_spec () in
+  let pool = Chop_util.Pool.create ~oversubscribe:true ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Chop_util.Pool.shutdown pool) @@ fun () ->
+  Explore.with_session ~pool Explore.Config.default spec @@ fun s ->
+  let baseline = feasible_csv (Explore.Session.run s) in
+  let rev = Explore.Session.revision s in
+  (match
+     Explore.Session.speculate s
+       [|
+         (fun f -> feasible_csv (Explore.Session.run f));
+         (fun _ -> failwith "boom");
+         (fun f -> feasible_csv (Explore.Session.run f));
+       |]
+   with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "first error" "boom" m);
+  (* the session was never touched and neither it nor the pool is
+     poisoned: both serve the next batch *)
+  Alcotest.(check int) "revision unchanged" rev (Explore.Session.revision s);
+  let results, _ =
+    Explore.Session.speculate s
+      [| (fun f -> feasible_csv (Explore.Session.run f)) |]
+  in
+  Alcotest.(check string) "pool reusable, fork agrees" baseline results.(0);
+  Alcotest.(check string) "session run unchanged" baseline
+    (feasible_csv (Explore.Session.run s))
+
+(* Parallel speculative predictions over one shared cache: the global
+   counters are mutex-protected and the per-run counts are collected
+   locally by each run, so the deltas must sum exactly — no lost updates
+   under concurrent writers. *)
+let test_pred_cache_concurrent_counters () =
+  let cache = Pred_cache.create () in
+  let config = Explore.Config.make ~cache:(Explore.Config.Custom cache) () in
+  let pool = Chop_util.Pool.create ~oversubscribe:true ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Chop_util.Pool.shutdown pool) @@ fun () ->
+  Explore.with_session ~pool config (ar_spec ()) @@ fun s ->
+  ignore (Explore.Session.run s);
+  let c0 = Pred_cache.counters cache in
+  let n = 16 in
+  let results, _ =
+    Explore.Session.speculate s
+      (Array.init n (fun _ f ->
+           let r = Explore.Session.run f in
+           (r.Explore.cache_hits, r.Explore.cache_misses)))
+  in
+  let c1 = Pred_cache.counters cache in
+  let sum_hits = Array.fold_left (fun a (h, _) -> a + h) 0 results in
+  let sum_misses = Array.fold_left (fun a (_, m) -> a + m) 0 results in
+  Alcotest.(check bool) "every run was served" true (sum_hits > 0);
+  Alcotest.(check int) "warm runs miss nothing" 0 sum_misses;
+  Alcotest.(check int) "hit counter sums exactly" sum_hits (c1.hits - c0.hits);
+  Alcotest.(check int) "miss counter sums exactly" 0 (c1.misses - c0.misses)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "chop_engine"
@@ -545,5 +668,13 @@ let () =
           tc "run_interruptible cancels" `Quick test_run_interruptible_cancels;
           tc "predictions match legacy" `Quick
             test_engine_predictions_match_legacy;
+        ] );
+      ( "speculation",
+        [
+          tc "fork isolates the parent" `Quick test_fork_isolates_parent;
+          tc "speculate exception drains clean" `Quick
+            test_speculate_exception_drains;
+          tc "shared-cache counters sum exactly" `Quick
+            test_pred_cache_concurrent_counters;
         ] );
     ]
