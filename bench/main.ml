@@ -1834,7 +1834,367 @@ let bench_auto_json ?(smoke = false) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* [bench gateway]: real [chop serve] subprocesses behind the in-process
+   gateway — subprocesses, because two backends in one OCaml process
+   would share a runtime lock and could never show cluster throughput.
+   Measures warm explore req/s through one backend directly vs through
+   the gateway over two backends (distinct engine keys, so the ring
+   spreads the load), asserts response-text parity, and exercises the
+   snapshot save/reopen path asserting the content-addressed cache
+   serves the restored session without raw prediction work.  Writes
+   BENCH_gateway.json (also in --smoke: the file is the acceptance
+   artifact). *)
+
+let bench_gateway_json ?(smoke = false) () =
+  let module Client = Chop_server.Client in
+  let module Protocol = Chop_server.Protocol in
+  let module Ops = Chop_server.Ops in
+  let module Gateway = Chop_gateway.Gateway in
+  let module Ring = Chop_gateway.Ring in
+  let module Json = Chop_util.Json in
+  section
+    (if smoke then "bench gateway --smoke: 2 backends vs 1, snapshot restore"
+     else "bench gateway: 2 backends vs 1, snapshot restore");
+  (* the gateway serve thread writes to client sockets from this process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cli =
+    match Sys.getenv_opt "CHOP_CLI" with
+    | Some p -> p
+    | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "../bin/chop_cli.exe"
+  in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf
+      "bench gateway: chop binary not found at %s (build bin/ or set \
+       CHOP_CLI)\n"
+      cli;
+    exit 1
+  end;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chop-bench-gw-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  let state_dir = Filename.concat dir "state" in
+  let backend_socks =
+    [ Filename.concat dir "b0.sock"; Filename.concat dir "b1.sock" ]
+  in
+  let spawn sock =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--socket"; sock; "-c"; "2"; "-q"; "64"; "-j"; "1";
+        "--quiet"; "--state-dir"; state_dir;
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let pids = List.map spawn backend_socks in
+  let connect_retry sock =
+    let rec go n =
+      match Client.connect sock with
+      | c -> c
+      | exception Unix.Unix_error _ when n > 0 ->
+          Thread.delay 0.05;
+          go (n - 1)
+    in
+    go 100
+  in
+  let gw_sock = Filename.concat dir "gw.sock" in
+  let gw =
+    Gateway.create
+      {
+        Gateway.socket_path = Some gw_sock;
+        backends = backend_socks;
+        vnodes = 64;
+        fanout = false;
+        log = None;
+        handle_signals = false;
+      }
+  in
+  let gw_thread = Thread.create Gateway.serve gw in
+  let teardown () =
+    Gateway.stop gw;
+    Thread.join gw_thread;
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      pids;
+    rm_rf dir
+  in
+  (* exit must happen after Fun.protect returns: Stdlib.exit does not unwind,
+     so calling it inside the body would skip teardown and orphan the backends *)
+  let bad =
+    Fun.protect ~finally:teardown @@ fun () ->
+  (* wait for every listener *)
+  List.iter
+    (fun s -> Client.close (connect_retry s))
+    (backend_socks @ [ gw_sock ]);
+  let failed = ref false in
+  let check name cond =
+    Printf.printf "  %-52s %s\n" name (if cond then "ok" else "FAIL");
+    if not cond then failed := true
+  in
+  (* two warm engine keys the ring assigns to different backends, so the
+     gateway genuinely spreads the load *)
+  let params perf =
+    {
+      Protocol.default_params with
+      benchmark = "ewf";
+      partitions = 2;
+      perf;
+      keep_all = true;
+    }
+  in
+  let ring = Ring.create ~vnodes:64 backend_socks in
+  let owner perf =
+    match Ring.lookup ring (Ops.engine_key ~op:Protocol.Explore (params perf)) with
+    | Some b -> b
+    | None -> failwith "bench gateway: empty ring"
+  in
+  let perf_a = 30000. in
+  let perf_b =
+    let rec find p =
+      if owner p <> owner perf_a then p
+      else if p > 60000. then failwith "bench gateway: no second key found"
+      else find (p +. 100.)
+    in
+    find 30100.
+  in
+  let request ~id ~perf =
+    Protocol.request_to_json
+      { Protocol.id; op = Protocol.Explore; deadline_ms = None;
+        params = params perf }
+  in
+  let rpc_ok c json =
+    match Client.rpc c json with
+    | Ok resp ->
+        if Protocol.response_ok resp <> Some true then
+          failwith "bench gateway: request failed";
+        resp
+    | Error msg -> failwith ("bench gateway: " ^ msg)
+  in
+  (* warm both keys everywhere they will be served: on the direct
+     baseline backend and (through the gateway) on each key's owner *)
+  let b0 = List.hd backend_socks in
+  let warm sock =
+    let c = connect_retry sock in
+    ignore (rpc_ok c (request ~id:"warm-a" ~perf:perf_a));
+    ignore (rpc_ok c (request ~id:"warm-b" ~perf:perf_b));
+    Client.close c
+  in
+  warm b0;
+  warm gw_sock;
+  (* byte-identity through the gateway, measured on the wire *)
+  let text_of resp =
+    match Protocol.response_text resp with
+    | Some t -> t
+    | None -> failwith "bench gateway: response has no text"
+  in
+  let direct = connect_retry b0 and via_gw = connect_retry gw_sock in
+  let parity =
+    List.for_all
+      (fun perf ->
+        let id = Printf.sprintf "parity-%.0f" perf in
+        String.equal
+          (text_of (rpc_ok direct (request ~id ~perf)))
+          (text_of (rpc_ok via_gw (request ~id ~perf))))
+      [ perf_a; perf_b ]
+  in
+  Client.close direct;
+  Client.close via_gw;
+  check "gateway responses byte-identical to a single serve" parity;
+  (* throughput: the same concurrent warm load against one backend
+     directly, then through the gateway over both *)
+  let threads_n = 4 in
+  let per_thread = if smoke then 6 else 25 in
+  let measure sock =
+    let t0 = Unix.gettimeofday () in
+    let ts =
+      List.init threads_n (fun tid ->
+          Thread.create
+            (fun () ->
+              let c = connect_retry sock in
+              for i = 0 to per_thread - 1 do
+                let perf = if (tid + i) mod 2 = 0 then perf_a else perf_b in
+                ignore
+                  (rpc_ok c (request ~id:(Printf.sprintf "t%d-%d" tid i) ~perf))
+              done;
+              Client.close c)
+            ())
+    in
+    List.iter Thread.join ts;
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int (threads_n * per_thread) /. Float.max 1e-9 wall
+  in
+  let single_rps = measure b0 in
+  let gateway_rps = measure gw_sock in
+  let speedup = gateway_rps /. Float.max 1e-9 single_rps in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  %d requests each: single backend %.1f req/s, gateway x2 %.1f req/s \
+     (%.2fx)\n"
+    (threads_n * per_thread) single_rps gateway_rps speedup;
+  if cores >= 4 then
+    check "2-backend throughput >= 1.5x single backend" (speedup >= 1.5)
+  else
+    Printf.printf
+      "  speedup %.2fx — >= 1.5x assertion skipped (host has %d core(s), \
+       needs >= 4)\n"
+      speedup cores;
+  (* snapshot durability: a snapshot round-trip preserves the spec's
+     canonical construction order, so a reopened session raw-hits its own
+     pre-save entries.  To show the restored run is served by the
+     content-addressed keys — structural hits — the entries must come from
+     a DIFFERENT construction: warm the owner with an ewf session first,
+     then run the snapshot session on ewf2 (the same structure with
+     shuffled node ids).  Every ewf2 prediction, before the save and after
+     the restore, must then be a structural hit with zero raw misses *)
+  let c = connect_retry gw_sock in
+  let session_req ~id ~op ~benchmark ?(sid = "") ?(edits = [])
+      ?(close = false) ?(restore = false) () =
+    Protocol.request_to_json
+      {
+        Protocol.id;
+        op;
+        deadline_ms = None;
+        params =
+          {
+            Protocol.default_params with
+            benchmark;
+            partitions = 3;
+            session = sid;
+            client = "bench";
+            edits;
+            close;
+            restore;
+          };
+      }
+  in
+  (* both sessions must land on the same backend: sessions route by sid,
+     so pick sid strings the ring assigns to one chosen owner *)
+  let target = List.hd backend_socks in
+  let sid_owned_by prefix =
+    let rec go i =
+      if i > 1000 then failwith "bench gateway: ring never chose the target"
+      else
+        let s = Printf.sprintf "%s%d" prefix i in
+        if Ring.lookup ring s = Some target then s else go (i + 1)
+    in
+    go 0
+  in
+  let sid_warm = sid_owned_by "bench-warm-" in
+  let sid = sid_owned_by "bench-snap-" in
+  let timing_counters resp =
+    let field name =
+      Option.bind
+        (Option.bind (Json.member "timing" resp) (Json.member name))
+        Json.to_int_opt
+    in
+    match (field "cache_misses", field "cache_structural_hits") with
+    | Some m, Some s -> (m, s)
+    | _ -> failwith "bench gateway: timing counters missing"
+  in
+  let ewf = "ewf" and ewf2 = "ewf2" in
+  ignore
+    (rpc_ok c
+       (session_req ~id:"wo" ~op:Protocol.Session_open ~benchmark:ewf
+          ~sid:sid_warm ()));
+  ignore
+    (rpc_ok c
+       (session_req ~id:"we" ~op:Protocol.Session_edit ~benchmark:ewf
+          ~sid:sid_warm ~edits:[ "merge P3 P2" ] ()));
+  let cold_misses, _ =
+    timing_counters
+      (rpc_ok c
+         (session_req ~id:"wr" ~op:Protocol.Session_run ~benchmark:ewf
+            ~sid:sid_warm ()))
+  in
+  check "first construction predicts cold (raw misses)" (cold_misses >= 1);
+  ignore
+    (rpc_ok c
+       (session_req ~id:"wc" ~op:Protocol.Session_close ~benchmark:ewf
+          ~sid:sid_warm ()));
+  ignore
+    (rpc_ok c (session_req ~id:"o" ~op:Protocol.Session_open ~benchmark:ewf2 ~sid ()));
+  ignore
+    (rpc_ok c
+       (session_req ~id:"e" ~op:Protocol.Session_edit ~benchmark:ewf2 ~sid
+          ~edits:[ "merge P3 P2" ] ()));
+  let pre_misses, pre_structural =
+    timing_counters
+      (rpc_ok c (session_req ~id:"r1" ~op:Protocol.Session_run ~benchmark:ewf2 ~sid ()))
+  in
+  check "second construction misses nothing" (pre_misses = 0);
+  check "second construction served by structural hits" (pre_structural > 0);
+  ignore
+    (rpc_ok c
+       (session_req ~id:"s" ~op:Protocol.Session_save ~benchmark:ewf2 ~sid
+          ~close:true ()));
+  ignore
+    (rpc_ok c
+       (session_req ~id:"o2" ~op:Protocol.Session_open ~benchmark:ewf2 ~sid
+          ~restore:true ()));
+  let reopen_misses, reopen_structural =
+    timing_counters
+      (rpc_ok c (session_req ~id:"r2" ~op:Protocol.Session_run ~benchmark:ewf2 ~sid ()))
+  in
+  check "restored run misses nothing (raw)" (reopen_misses = 0);
+  check "restored run served by structural hits" (reopen_structural > 0);
+  ignore
+    (rpc_ok c (session_req ~id:"c" ~op:Protocol.Session_close ~benchmark:ewf2 ~sid ()));
+  Client.close c;
+  Printf.printf
+    "  restore: ewf cold misses %d, ewf2 structural hits %d, reopened \
+     misses %d, reopened structural hits %d\n"
+    cold_misses pre_structural reopen_misses reopen_structural;
+  let oc = open_out "BENCH_gateway.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"host_cores\": %d,\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"backends\": %d,\n\
+    \  \"client_threads\": %d,\n\
+    \  \"requests_per_mode\": %d,\n\
+    \  \"single_backend_rps\": %.1f,\n\
+    \  \"gateway_rps\": %.1f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"speedup_asserted\": %b,\n\
+    \  \"parity\": %b,\n\
+    \  \"restore\": {\"cold_misses\": %d, \"second_construction_structural_hits\": %d, \
+     \"reopen_misses\": %d, \"reopen_structural_hits\": %d}\n\
+     }\n"
+    cores
+    (if smoke then "smoke" else "full")
+    (List.length backend_socks)
+    threads_n (threads_n * per_thread) single_rps gateway_rps speedup
+    (cores >= 4) parity cold_misses pre_structural reopen_misses
+    reopen_structural;
+  close_out oc;
+  print_endline "  wrote BENCH_gateway.json";
+  !failed
+  in
+  if bad then begin
+    prerr_endline "bench gateway: acceptance criteria violated";
+    exit 1
+  end
+
 let () =
+  if Array.exists (fun a -> a = "gateway") Sys.argv then begin
+    bench_gateway_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "auto") Sys.argv then begin
     bench_auto_json ~smoke:(Array.exists (fun a -> a = "--smoke") Sys.argv) ();
     exit 0

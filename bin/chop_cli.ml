@@ -10,6 +10,7 @@
      auto      automatic partitioning: multilevel coarsen-refine driven by BAD
      serve     long-running exploration service over a socket or stdio
      request   one request against a running serve daemon
+     gateway   shard N serve backends behind one socket
      bench-info  list built-in benchmark graphs
 
    The benchmark table, spec assembly and result rendering live in
@@ -200,6 +201,8 @@ let repl_cmd =
             ("commands:\n  " ^ Ops.edit_commands
            ^ "\n  parts          list partitions and their chips\n\
              \  run            explore (re-predicting only edited partitions)\n\
+             \  undo | redo    step back / forward through the edit history\n\
+             \  :sessions      list open sessions (this one, locally)\n\
              \  help | quit\n")
         in
         print_string (Ops.render_parts (Chop.Explore.Session.spec session));
@@ -229,6 +232,27 @@ let repl_cmd =
                       Printf.printf "predict: %d cache hit(s), %d miss(es)\n"
                         report.Chop.Explore.cache_hits
                         report.Chop.Explore.cache_misses
+                  | "undo" | "redo" -> (
+                      let step =
+                        if cmd = "undo" then Chop.Explore.Session.undo
+                        else Chop.Explore.Session.redo
+                      in
+                      match step session with
+                      | Error msg -> Printf.printf "error: %s\n" msg
+                      | Ok dirty -> print_string (Ops.render_dirty dirty))
+                  | ":sessions" ->
+                      print_string
+                        (Ops.render_sessions
+                           [
+                             {
+                               Ops.ses_id = "local";
+                               ses_revision =
+                                 Chop.Explore.Session.revision session;
+                               ses_age_s = 0.;
+                               ses_writer = "";
+                               ses_observers = 0;
+                             };
+                           ])
                   | _ -> (
                       let spec = Chop.Explore.Session.spec session in
                       match Ops.parse_edit spec cmd with
@@ -529,9 +553,20 @@ let deadline_ms_arg =
         ~doc:"Per-request budget in milliseconds; an expired request gets a \
               structured $(i,deadline) error instead of a result.")
 
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:"Persist interactive sessions as snapshot files in $(docv): \
+              evicted and shut-down sessions are written there, \
+              $(b,session/save) writes on demand, and $(b,session/open) \
+              with $(b,restore) reloads them.  Point every backend of a \
+              gateway cluster at one directory to enable migration.")
+
 let serve_cmd =
   let run socket concurrency queue jobs deadline_ms quiet session_ttl
-      max_sessions =
+      max_sessions state_dir =
     let server =
       Chop_server.Server.create
         {
@@ -544,6 +579,7 @@ let serve_cmd =
           handle_signals = true;
           session_ttl_s = session_ttl;
           max_sessions;
+          state_dir;
         }
     in
     Chop_server.Server.serve server;
@@ -586,13 +622,13 @@ let serve_cmd =
              warm engines sharing one domain pool and prediction cache")
     Term.(
       const run $ serve_socket_arg $ concurrency $ queue $ jobs_arg
-      $ deadline_ms_arg $ quiet $ session_ttl $ max_sessions)
+      $ deadline_ms_arg $ quiet $ session_ttl $ max_sessions $ state_dir_arg)
 
 let request_cmd =
   let run socket op id benchmark partitions package perf delay multicycle
       heuristic strategy keep_all csv no_prune verbose index top parameter
       values session edits seed max_moves time_limit_ms coarse pins together
-      deadline_ms raw =
+      client restore close retry retry_seed deadline_ms raw =
     let module P = Chop_server.Protocol in
     match P.op_of_string op with
     | Error msg ->
@@ -630,56 +666,59 @@ let request_cmd =
                 coarse;
                 pins;
                 together;
+                client;
+                restore;
+                close;
+                slice_index = 0;
+                slice_count = 1;
               };
           }
         in
-        match Chop_server.Client.connect socket with
-        | exception Unix.Unix_error (e, _, _) ->
-            Printf.eprintf "chop request: cannot connect to %s: %s\n" socket
-              (Unix.error_message e);
+        match
+          Chop_server.Client.rpc_retrying ~retries:retry ~seed:retry_seed
+            ~socket (P.request_to_json req)
+        with
+        | Error msg ->
+            prerr_endline ("chop request: " ^ msg);
             2
-        | client -> (
-            let result = Chop_server.Client.rpc client (P.request_to_json req) in
-            Chop_server.Client.close client;
-            match result with
-            | Error msg ->
-                prerr_endline ("chop request: " ^ msg);
-                2
-            | Ok resp -> (
-                if raw then begin
-                  print_endline (Chop_util.Json.print resp);
-                  match P.response_ok resp with Some true -> 0 | _ -> 1
-                end
-                else
-                  match P.response_ok resp with
-                  | Some true ->
-                      (match P.response_text resp with
-                      | Some text -> print_string text
-                      | None -> print_endline (Chop_util.Json.print resp));
-                      0
-                  | _ ->
-                      let code =
-                        Option.value ~default:"?" (P.response_error_code resp)
-                      in
-                      let message =
-                        match
-                          Option.bind (Chop_util.Json.member "error" resp)
-                            (fun e ->
-                              Option.bind (Chop_util.Json.member "message" e)
-                                Chop_util.Json.to_string_opt)
-                        with
-                        | Some m -> m
-                        | None -> Chop_util.Json.print resp
-                      in
-                      Printf.eprintf "chop request: %s: %s\n" code message;
-                      1)))
+        | Ok resp -> (
+            if raw then begin
+              print_endline (Chop_util.Json.print resp);
+              match P.response_ok resp with Some true -> 0 | _ -> 1
+            end
+            else
+              match P.response_ok resp with
+              | Some true ->
+                  (match P.response_text resp with
+                  | Some text -> print_string text
+                  | None -> print_endline (Chop_util.Json.print resp));
+                  0
+              | _ ->
+                  let code =
+                    Option.value ~default:"?" (P.response_error_code resp)
+                  in
+                  let message =
+                    match
+                      Option.bind (Chop_util.Json.member "error" resp)
+                        (fun e ->
+                          Option.bind (Chop_util.Json.member "message" e)
+                            Chop_util.Json.to_string_opt)
+                    with
+                    | Some m -> m
+                    | None -> Chop_util.Json.print resp
+                  in
+                  Printf.eprintf "chop request: %s: %s\n" code message;
+                  1))
   in
   let op =
     Arg.(value & opt string "explore"
          & info [ "op" ] ~docv:"OP"
              ~doc:"Operation: explore, predict, advise, sensitivity, stats, \
-                   ping, session/open, session/edit, session/run or \
-                   session/close.")
+                   ping, session/open, session/edit, session/undo, \
+                   session/redo, session/run, session/optimize, \
+                   session/attach, session/detach, session/list, \
+                   session/save, session/close or (through a gateway) \
+                   gateway/migrate.")
   in
   let id =
     Arg.(value & opt string "cli"
@@ -799,6 +838,40 @@ let request_cmd =
              ~doc:"session/optimize: keep these operations in one partition \
                    (repeatable).")
   in
+  let client =
+    Arg.(value & opt string ""
+         & info [ "client" ] ~docv:"NAME"
+             ~doc:"Client identity attributed in the access log; the opener \
+                   becomes the session's writer and $(b,session/attach) \
+                   requires it.")
+  in
+  let restore =
+    Arg.(value & flag
+         & info [ "restore" ]
+             ~doc:"session/open: require the session to be restored from a \
+                   snapshot in the server's $(b,--state-dir) (error when \
+                   none exists).")
+  in
+  let close =
+    Arg.(value & flag
+         & info [ "close" ]
+             ~doc:"session/save: release the session after snapshotting (a \
+                   migration handoff — the snapshot is kept).")
+  in
+  let retry =
+    Arg.(value & opt int 0
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Retry up to $(docv) extra times on $(i,overloaded) \
+                   rejections and transient connect errors, with seeded \
+                   deterministic exponential backoff.  Exit codes are \
+                   unchanged: the final outcome maps exactly as without \
+                   retries.")
+  in
+  let retry_seed =
+    Arg.(value & opt int 1
+         & info [ "retry-seed" ] ~docv:"N"
+             ~doc:"Seed for the deterministic backoff jitter.")
+  in
   let raw =
     Arg.(value & flag
          & info [ "json" ]
@@ -814,7 +887,63 @@ let request_cmd =
       $ package $ perf $ delay $ multicycle $ heuristic $ strategy $ keep_all
       $ csv $ no_prune $ verbose $ index $ top $ parameter $ values
       $ session $ edits $ seed $ max_moves $ time_limit_ms $ coarse $ pins
-      $ together $ deadline_ms_arg $ raw)
+      $ together $ client $ restore $ close $ retry $ retry_seed
+      $ deadline_ms_arg $ raw)
+
+let gateway_cmd =
+  let run socket backends vnodes fanout quiet =
+    if backends = [] then begin
+      prerr_endline "chop gateway: at least one --backend is required";
+      2
+    end
+    else begin
+      let gw =
+        Chop_gateway.Gateway.create
+          {
+            Chop_gateway.Gateway.socket_path = socket;
+            backends;
+            vnodes;
+            fanout;
+            log = (if quiet then None else Some stderr);
+            handle_signals = true;
+          }
+      in
+      Chop_gateway.Gateway.serve gw;
+      0
+    end
+  in
+  let backends =
+    Arg.(value & opt_all string []
+         & info [ "b"; "backend" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of a backend $(b,chop serve) process \
+                   (repeatable).  Start the backends with a shared \
+                   $(b,--state-dir) so sessions can migrate and fail over.")
+  in
+  let vnodes =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~docv:"N"
+             ~doc:"Virtual points per backend on the consistent-hash ring.")
+  in
+  let fanout =
+    Arg.(value & flag
+         & info [ "fanout" ]
+             ~doc:"Split eligible stateless explores across every backend \
+                   as $(i,explore/slice) requests and merge the slices \
+                   deterministically; the response stays byte-identical to \
+                   a single backend's.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress the per-request log (stderr).")
+  in
+  Cmd.v
+    (Cmd.info "gateway"
+       ~doc:"Front a cluster of $(b,chop serve) backends on one socket: \
+             requests are consistent-hashed across the backends, sessions \
+             stick to (and migrate between) them through snapshots, and \
+             responses are byte-identical to a single-process serve")
+    Term.(
+      const run $ serve_socket_arg $ backends $ vnodes $ fanout $ quiet)
 
 let bench_info_cmd =
   let run () =
@@ -838,6 +967,6 @@ let main_cmd =
        ~doc:"CHOP: a constraint-driven system-level partitioner (DAC 1991)")
     [ explore_cmd; predict_cmd; repl_cmd; dot_cmd; advise_cmd; auto_cmd;
       autosearch_cmd; synth_cmd; spec_dump_cmd; serve_cmd; request_cmd;
-      bench_info_cmd ]
+      gateway_cmd; bench_info_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

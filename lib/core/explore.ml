@@ -136,6 +136,10 @@ module Session = struct
     mutable pending : string list;
         (* labels whose predictions an edit invalidated since the last run
            (plus, before the first run, every partition) *)
+    history : int;
+    mutable undo_stack : Spec.t list;
+        (* previous specs, most recent first, bounded by [history] *)
+    mutable redo_stack : Spec.t list;
     mutable closed : bool;
   }
 
@@ -144,7 +148,9 @@ module Session = struct
       (fun p -> p.Chop_dfg.Partition.label)
       spec.Spec.partitioning.Chop_dfg.Partition.parts
 
-  let create ?pool (config : Config.t) spec =
+  let create ?pool ?(history = 32) (config : Config.t) spec =
+    if history < 0 then
+      invalid_arg "Explore.Session.create: history must be >= 0";
     let cache =
       match config.Config.cache with
       | Config.Shared -> Some Pred_cache.shared
@@ -157,7 +163,8 @@ module Session = struct
       | None -> (Chop_util.Pool.create ~jobs:config.Config.jobs (), true)
     in
     { config; spec; pool; owns_pool; cache; ctx = Integration.context spec;
-      revision = 0; pending = part_labels spec; closed = false }
+      revision = 0; pending = part_labels spec; history; undo_stack = [];
+      redo_stack = []; closed = false }
 
   let close e =
     e.closed <- true;
@@ -169,6 +176,8 @@ module Session = struct
   let revision e = e.revision
   let pending_dirty e = e.pending
   let jobs e = Chop_util.Pool.jobs e.pool
+  let undo_depth e = List.length e.undo_stack
+  let redo_depth e = List.length e.redo_stack
 
   let check_open e name =
     if e.closed then
@@ -202,19 +211,78 @@ module Session = struct
      next run re-predicts dirty partitions and serves clean ones from the
      cache, whose per-partition raw/full keys survive edits elsewhere in
      the graph. *)
+  (* Shared tail of every spec mutation: install the new spec, rebuild the
+     integration context, bump the revision and fold the dirty labels into
+     the pending set. *)
+  let install e spec' (d : Spec.dirty) =
+    e.spec <- spec';
+    e.ctx <- Integration.context spec';
+    e.revision <- e.revision + 1;
+    let live = part_labels spec' in
+    e.pending <-
+      List.sort_uniq String.compare (e.pending @ d.Spec.repredict)
+      |> List.filter (fun l -> List.mem l live)
+
   let edit e edits =
     check_open e "edit";
     match Spec.update e.spec edits with
     | Error _ as err -> err
     | Ok (spec', d) ->
-        e.spec <- spec';
-        e.ctx <- Integration.context spec';
-        e.revision <- e.revision + 1;
-        let live = part_labels spec' in
-        e.pending <-
-          List.sort_uniq String.compare (e.pending @ d.Spec.repredict)
-          |> List.filter (fun l -> List.mem l live);
+        let prev = e.spec in
+        install e spec' d;
+        if e.history > 0 then begin
+          e.undo_stack <-
+            List.filteri (fun i _ -> i < e.history) (prev :: e.undo_stack);
+          e.redo_stack <- []
+        end;
         Ok d
+
+  let undo e =
+    check_open e "undo";
+    match e.undo_stack with
+    | [] -> Error "nothing to undo"
+    | prev :: rest ->
+        let d = Spec.diff ~current:e.spec ~target:prev in
+        e.undo_stack <- rest;
+        e.redo_stack <- e.spec :: e.redo_stack;
+        install e prev d;
+        Ok d
+
+  let redo e =
+    check_open e "redo";
+    match e.redo_stack with
+    | [] -> Error "nothing to redo"
+    | next :: rest ->
+        let d = Spec.diff ~current:e.spec ~target:next in
+        e.redo_stack <- rest;
+        e.undo_stack <- e.spec :: e.undo_stack;
+        install e next d;
+        Ok d
+
+  (* The durable projection of a session: everything {!restore} needs to
+     resurrect it in another process (the pool, cache handle and context
+     are rebuilt there).  Specs inside are immutable, so the state shares
+     them with the live session at zero cost. *)
+  type state = {
+    st_spec : Spec.t;
+    st_revision : int;
+    st_pending : string list;
+    st_undo : Spec.t list;
+    st_redo : Spec.t list;
+  }
+
+  let state e =
+    check_open e "state";
+    { st_spec = e.spec; st_revision = e.revision; st_pending = e.pending;
+      st_undo = e.undo_stack; st_redo = e.redo_stack }
+
+  let restore ?pool ?history config st =
+    let e = create ?pool ?history config st.st_spec in
+    e.revision <- st.st_revision;
+    e.pending <- st.st_pending;
+    e.undo_stack <- List.filteri (fun i _ -> i < e.history) st.st_undo;
+    e.redo_stack <- st.st_redo;
+    e
 
   (* One partition's prediction work, run on a pool worker: derive the
      full entry (raw list, feasible count, pruned list) through the cache.
@@ -432,6 +500,74 @@ module Session = struct
       jobs = Chop_util.Pool.jobs e.pool; metrics }
 
   let run e = run_interruptible ~interrupt:(fun () -> false) e
+
+  (* Distributed fan-out support: run only the first-axis slices whose
+     global index is congruent to [index] modulo [count], and expose them
+     raw (unmerged) so a front process can replay every backend's
+     admissions in global task order — Search.Slice.merge at row
+     granularity — and reproduce the sequential outcome byte for byte.
+     Prediction and pre-pruning run in full (they are what make the
+     restricted search identical to the corresponding slices of a full
+     run); pending is left untouched, a partial run is not a run. *)
+  type slice_run = {
+    slice_bad : bad_stats list;
+    first_total : int;
+        (* first-axis choices in the full search (1 for the degenerate
+           empty product, which index 0 owns) *)
+    slice_indices : int list;  (* global indices, aligned with [slices] *)
+    slices : Search.Slice.t list;
+  }
+
+  let run_slice ~index ~count e =
+    check_open e "run_slice";
+    if count < 1 || index < 0 || index >= count then
+      invalid_arg "Explore.Session.run_slice: slice index out of range";
+    let keep_all = e.config.Config.keep_all in
+    let prune =
+      match e.config.Config.prune with Some p -> p | None -> not keep_all
+    in
+    let p = predictions_timed e ~prune in
+    let search_lists =
+      match e.config.Config.heuristic with
+      | Iterative ->
+          invalid_arg
+            "Explore.Session.run_slice: the iterative heuristic does not \
+             slice"
+      | Enumeration | Branch_bound ->
+          if e.config.Config.pre_prune then
+            fst (Prune.per_partition ~clocks:e.spec.Spec.clocks p.per_partition)
+          else p.per_partition
+    in
+    let first_total =
+      match search_lists with [] -> 1 | (_, ps) :: _ -> List.length ps
+    in
+    let slice_indices =
+      List.filter (fun j -> j mod count = index) (List.init first_total Fun.id)
+    in
+    let restricted =
+      match search_lists with
+      | [] -> []
+      | (l0, ps0) :: rest ->
+          (l0, List.filteri (fun j _ -> j mod count = index) ps0) :: rest
+    in
+    let slices =
+      if slice_indices = [] then []
+      else begin
+        let out = ref [] in
+        (match e.config.Config.heuristic with
+        | Enumeration ->
+            ignore
+              (Enum_heuristic.run ~keep_all ~pool:e.pool ~slices_out:out e.ctx
+                 restricted)
+        | Branch_bound ->
+            ignore
+              (Bb_heuristic.run ~keep_all ~pool:e.pool ~slices_out:out e.ctx
+                 restricted)
+        | Iterative -> assert false);
+        !out
+      end
+    in
+    { slice_bad = p.bad; first_total; slice_indices; slices }
 end
 
 module Engine = Session

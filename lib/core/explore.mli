@@ -169,14 +169,17 @@ type report = {
 module Session : sig
   type t
 
-  val create : ?pool:Chop_util.Pool.t -> Config.t -> Spec.t -> t
+  val create : ?pool:Chop_util.Pool.t -> ?history:int -> Config.t -> Spec.t -> t
   (** Binds a configuration to a spec.  The integration context is built
       eagerly and rebuilt after every edit, and the domain pool's
       workers are spawned here, once — see {!close}.  [pool] borrows an
       existing pool instead (the serving layer runs every request session
       over one shared pool): the session then ignores [config.jobs] for
       pool sizing, and {!close} leaves the borrowed pool running — its
-      owner shuts it down. *)
+      owner shuts it down.  [history] (default 32) bounds the undo stack:
+      each successful {!edit} pushes the pre-edit spec, the oldest entry
+      falling off beyond the bound; [0] disables undo entirely.
+      @raise Invalid_argument when [history < 0]. *)
 
   val close : t -> unit
   (** Joins the session's worker domains (when the session owns them — a
@@ -230,7 +233,25 @@ module Session : sig
       context are replaced and the dirty partitions recorded; clean
       partitions keep their prediction-cache keys, so the next {!run}
       re-predicts only the dirty ones (with caching enabled).  On [Error]
-      the session is unchanged. *)
+      the session is unchanged.  A successful edit also pushes the
+      pre-edit spec onto the bounded undo stack and clears the redo
+      stack. *)
+
+  val undo : t -> (Spec.dirty, string) result
+  (** Step back to the most recent pre-edit spec.  Specs are immutable, so
+      this is a pointer swap plus a context rebuild; the dirty set is
+      {!Spec.diff} between the two specs, folded into the pending set
+      exactly as an edit's would be, and the revision counter advances (a
+      revision counts spec mutations, in whichever direction).  The undone
+      spec moves to the redo stack.  [Error] when the undo stack is
+      empty. *)
+
+  val redo : t -> (Spec.dirty, string) result
+  (** Inverse of {!undo}: replay the most recently undone spec.  [Error]
+      when the redo stack is empty (any successful {!edit} clears it). *)
+
+  val undo_depth : t -> int
+  val redo_depth : t -> int
 
   val run : t -> report
   (** Predict every partition (in parallel, through the cache) and search
@@ -253,6 +274,58 @@ module Session : sig
       per-partition BAD statistics — without searching.  Pruning follows
       the config ([prune = None] defers to the spec's [discard_inferior]);
       statistics always report both raw and pruned counts. *)
+
+  (** {2 Durability}
+
+      The serving layer persists sessions across process restarts: a
+      {!state} is the durable projection — spec, revision, pending set and
+      the undo/redo chains — and {!restore} resurrects it elsewhere.  The
+      snapshot text format itself lives in {!module:Snapshot}. *)
+
+  type state = {
+    st_spec : Spec.t;
+    st_revision : int;
+    st_pending : string list;
+    st_undo : Spec.t list;  (** most recent first *)
+    st_redo : Spec.t list;
+  }
+
+  val state : t -> state
+  (** Specs are immutable: the state shares them with the live session. *)
+
+  val restore : ?pool:Chop_util.Pool.t -> ?history:int -> Config.t -> state -> t
+  (** {!create} on the state's spec, then revision, pending and the
+      undo/redo chains reinstated (the undo chain truncated to [history]).
+      The pool, cache handle and integration context are rebuilt fresh; in
+      a new process the first {!run} re-predicts through the cache, where
+      the content-addressed keys turn the re-predictions of a re-parsed
+      (node-renumbered) spec into structural hits. *)
+
+  (** {2 Distributed slices}
+
+      A front process (the gateway) can split an exhaustive search across
+      backends: each backend runs {!run_slice} over the first-axis slices
+      congruent to its index, ships the raw per-slice counters and
+      admitted/explored rows, and the front replays every admission in
+      global task order — {!Search.Slice.merge} at {!Search.Row} granularity
+      — reproducing the single-process outcome byte for byte. *)
+
+  type slice_run = {
+    slice_bad : bad_stats list;
+    first_total : int;
+        (** first-axis choices in the full search (1 for the degenerate
+            empty product, owned by index 0) *)
+    slice_indices : int list;  (** global indices, aligned with [slices] *)
+    slices : Search.Slice.t list;
+  }
+
+  val run_slice : index:int -> count:int -> t -> slice_run
+  (** Predict (in full, through the cache) and search only the first-axis
+      slices assigned to [index] of [count].  Slice-private bound
+      bookkeeping makes each returned slice identical to the same slice of
+      a full run.  The pending set is left untouched — a partial run is
+      not a run.  Only the exhaustive heuristics slice; the iterative
+      heuristic raises [Invalid_argument]. *)
 end
 
 module Engine = Session

@@ -30,20 +30,97 @@ let no_parallel_metrics =
     merge_wall_seconds = 0.; worker_busy_seconds = [||]; chunk_count = 0;
     chip_cache_hits = 0 }
 
-let to_csv systems =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    "ii_main,clock_ns,perf_ns,delay_cycles,delay_likely_ns,area_likely,feasible\n";
-  List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%.1f,%.1f,%d,%.1f,%.1f,%b\n" s.Integration.ii_main
-           s.Integration.clock s.Integration.perf_ns s.Integration.delay_cycles
-           Chop_util.Triplet.(s.Integration.delay.likely)
-           Chop_util.Triplet.((Integration.total_area s).likely)
-           (Integration.feasible s)))
-    systems;
-  Buffer.contents buf
+module Row = struct
+  type t = {
+    ii_main : int;
+    clock : float;
+    perf_ns : float;
+    delay_cycles : int;
+    delay_likely : float;
+    area_likely : float;
+    feasible : bool;
+  }
+
+  let of_system s =
+    {
+      ii_main = s.Integration.ii_main;
+      clock = s.Integration.clock;
+      perf_ns = s.Integration.perf_ns;
+      delay_cycles = s.Integration.delay_cycles;
+      delay_likely = Chop_util.Triplet.(s.Integration.delay.likely);
+      area_likely = Chop_util.Triplet.((Integration.total_area s).likely);
+      feasible = Integration.feasible s;
+    }
+
+  let objectives r = [| r.perf_ns; r.delay_likely; r.area_likely |]
+
+  let dedup_key r =
+    ( r.ii_main,
+      r.delay_cycles,
+      int_of_float r.clock,
+      int_of_float (r.area_likely /. 50.) )
+
+  let compare_rank a b =
+    match Float.compare a.perf_ns b.perf_ns with
+    | 0 -> Float.compare a.delay_likely b.delay_likely
+    | n -> n
+
+  let csv_header =
+    "ii_main,clock_ns,perf_ns,delay_cycles,delay_likely_ns,area_likely,feasible\n"
+
+  let csv_line r =
+    Printf.sprintf "%d,%.1f,%.1f,%d,%.1f,%.1f,%b\n" r.ii_main r.clock r.perf_ns
+      r.delay_cycles r.delay_likely r.area_likely r.feasible
+
+  let to_csv rows =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf csv_header;
+    List.iter (fun r -> Buffer.add_string buf (csv_line r)) rows;
+    Buffer.contents buf
+
+  (* Exact float transport: OCaml's %h prints the hex significand and
+     exponent, and [float_of_string] reverses it bit-for-bit, so a row
+     survives a JSON hop without decimal rounding. *)
+  let float_to_wire f = Printf.sprintf "%h" f
+
+  let float_of_wire s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Row.float_of_wire: %S" s)
+
+  let admit row front =
+    let objs = objectives row in
+    let dominated =
+      List.exists
+        (fun r -> Chop_util.Pareto.dominates (objectives r) objs)
+        front
+    in
+    if dominated then (front, false)
+    else
+      ( row
+        :: List.filter
+             (fun r -> not (Chop_util.Pareto.dominates objs (objectives r)))
+             front,
+        true )
+
+  let finalize feasible =
+    let non_inferior = Chop_util.Pareto.frontier ~objectives feasible in
+    let non_inferior =
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun r ->
+          let key = dedup_key r in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        non_inferior
+    in
+    List.sort compare_rank non_inferior
+end
+
+let to_csv systems = Row.to_csv (List.map Row.of_system systems)
 
 let admit system front =
   let objs = Integration.objectives system in
@@ -65,17 +142,14 @@ let finalize ~keep_all ~feasible ~explored stats =
   let non_inferior =
     Chop_util.Pareto.frontier ~objectives:Integration.objectives feasible
   in
-  (* collapse distinct combinations that predict the same design point *)
+  (* collapse distinct combinations that predict the same design point;
+     key and rank are shared with {!Row} so a row-level merge (the gateway
+     fan-out) reproduces this ordering byte for byte *)
   let non_inferior =
     let seen = Hashtbl.create 16 in
     List.filter
       (fun s ->
-        let key =
-          ( s.Integration.ii_main,
-            s.Integration.delay_cycles,
-            int_of_float s.Integration.clock,
-            int_of_float (Chop_util.Triplet.((Integration.total_area s).likely) /. 50.) )
-        in
+        let key = Row.dedup_key (Row.of_system s) in
         if Hashtbl.mem seen key then false
         else begin
           Hashtbl.replace seen key ();
@@ -85,13 +159,7 @@ let finalize ~keep_all ~feasible ~explored stats =
   in
   let sorted =
     List.sort
-      (fun a b ->
-        match Float.compare a.Integration.perf_ns b.Integration.perf_ns with
-        | 0 ->
-            Float.compare
-              Chop_util.Triplet.(a.Integration.delay.likely)
-              Chop_util.Triplet.(b.Integration.delay.likely)
-        | n -> n)
+      (fun a b -> Row.compare_rank (Row.of_system a) (Row.of_system b))
       non_inferior
   in
   { feasible = sorted; explored = (if keep_all then explored else []); stats }

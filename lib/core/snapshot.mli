@@ -1,0 +1,48 @@
+(** Versioned, durable session snapshots.
+
+    The persistence face of {!Explore.Session.state}: a line-oriented text
+    format ([# chopsession v1]) carrying the revision counter, the pending
+    dirty labels, opaque [meta] key/value lines for the owning layer, and
+    the current spec plus every undo/redo entry as embedded {!Specfile}
+    blocks.  The serving layer writes one on shutdown or eviction and
+    restores it on [session/open]; the gateway migrates sessions between
+    backends through the same format.
+
+    Round-tripping re-parses the chopspec blocks, which renumbers node ids
+    — by design harmless: the prediction store's content-addressed keys
+    ({!Pred_cache.Key}) serve a renumbered graph's re-predictions as
+    structural hits, so a restored session's first run performs no raw
+    prediction work that any equivalent session has already done. *)
+
+exception Parse_error of string
+
+type t = {
+  spec : Spec.t;
+  revision : int;
+  pending : string list;
+  undo : Spec.t list;  (** most recent first, like the live undo stack *)
+  redo : Spec.t list;
+  meta : (string * string) list;
+      (** opaque single-line annotations, owner-defined (the server stores
+          the session's open parameters here) *)
+}
+
+val of_state : ?meta:(string * string) list -> Explore.Session.state -> t
+(** @raise Invalid_argument when a meta key is not a single token or a
+    meta value spans lines. *)
+
+val to_state : t -> Explore.Session.state
+
+val print : t -> string
+
+val parse : string -> t
+(** Inverse of {!print}.
+    @raise Parse_error on malformed snapshots (including chopspec errors
+    inside embedded blocks, with the block and line identified). *)
+
+val save : string -> t -> unit
+(** [save path s] writes atomically (temp file + rename): a crash
+    mid-write never leaves a torn snapshot. *)
+
+val load : string -> t
+(** @raise Parse_error on malformed contents; [Sys_error] on I/O. *)

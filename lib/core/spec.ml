@@ -272,6 +272,51 @@ let chip t name =
 
 let chip_of_partition t label = chip t (List.assoc label t.assignment)
 
+(* Dirty set of a jump between two specs of the same edit chain (undo/redo
+   lands on a spec that is not one [update] step away, so the per-edit dirty
+   sets don't apply).  Global predictor inputs — clocks, style, params,
+   memory declarations — dirty every partition; otherwise a partition
+   re-predicts when its member set changed and re-derives when its chip or
+   the criteria changed.  Memory hosting is integration-only state (the
+   context is rebuilt on every jump), matching [Rehost_memory]'s empty
+   dirty set. *)
+let diff ~current ~target =
+  let live = labels target in
+  let removed = List.filter (fun l -> not (List.mem l live)) (labels current) in
+  if
+    current.clocks <> target.clocks
+    || current.style != target.style
+    || current.params <> target.params
+    || current.memories <> target.memories
+  then { repredict = live; rederive = []; removed }
+  else
+    let part_of t l =
+      List.find_opt
+        (fun p -> p.Chop_dfg.Partition.label = l)
+        t.partitioning.Chop_dfg.Partition.parts
+    in
+    let repredict =
+      List.filter
+        (fun l ->
+          match (part_of current l, part_of target l) with
+          | None, _ | _, None -> true
+          | Some p, Some q ->
+              p.Chop_dfg.Partition.members <> q.Chop_dfg.Partition.members)
+        live
+    in
+    let chip_changed l =
+      let c = chip_of_partition current l and t' = chip_of_partition target l in
+      c.chip_name <> t'.chip_name || c.package <> t'.package
+    in
+    let rederive =
+      List.filter
+        (fun l ->
+          (not (List.mem l repredict))
+          && (current.criteria <> target.criteria || chip_changed l))
+        live
+    in
+    { repredict; rederive; removed }
+
 let partitions_on t chip_name =
   Chop_dfg.Partition.topological_parts t.partitioning
   |> List.filter (fun p ->

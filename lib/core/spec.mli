@@ -115,6 +115,16 @@ val update : t -> edit list -> (t * dirty, update_error) result
     labels ([repredict] wins), [removed] holds labels that no longer
     exist. *)
 
+val diff : current:t -> target:t -> dirty
+(** The dirty set of jumping from [current] straight to [target] — the
+    undo/redo move, which lands on a spec that is not one {!update} step
+    away.  Conservative and sound: a change to any global predictor input
+    (clocks, style, params, memory declarations) dirties every partition of
+    [target]; otherwise partitions whose member sets differ [repredict],
+    and partitions whose chip (name or package) or whose criteria changed
+    [rederive].  Both specs must describe the same graph (undo/redo chains
+    always do). *)
+
 val chip : t -> string -> chip_instance
 (** @raise Not_found for an unknown chip name. *)
 

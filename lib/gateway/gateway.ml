@@ -1,0 +1,780 @@
+(* The sharding front process: consistent-hash routing over backend
+   [chop serve] sockets, verbatim line forwarding, snapshot-based
+   session migration and failover, and the deterministic fan-out merge
+   for stateless explores.  See gateway.mli for the contract. *)
+
+module Json = Chop_util.Json
+module P = Chop_server.Protocol
+module Ops = Chop_server.Ops
+module Client = Chop_server.Client
+
+type config = {
+  socket_path : string option;
+  backends : string list;
+  vnodes : int;
+  fanout : bool;
+  log : out_channel option;
+  handle_signals : bool;
+}
+
+type counters = {
+  mutable forwarded : int;
+  mutable fanned_out : int;
+  mutable migrations : int;
+  mutable failovers : int;
+  mutable errors : int;  (* requests answered with a gateway-made error *)
+}
+
+(* Per-client-connection backend connections: each gateway connection
+   thread keeps its own, so concurrent clients reach a backend over
+   separate connections (the backend scheduler interleaves them) and no
+   two threads ever share a send/recv pair. *)
+type pconn = (string, Client.t) Hashtbl.t
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  mu : Mutex.t;  (* routes, writers, seq *)
+  routes : (string, string) Hashtbl.t;  (* session id -> backend *)
+  writers : (string, string) Hashtbl.t;  (* session id -> writer client *)
+  mutable seq : int;
+  counters : counters;
+  counters_mu : Mutex.t;
+  log_mu : Mutex.t;
+  stopping : bool Atomic.t;
+  listen_fd : Unix.file_descr option;
+  mutable conns : Unix.file_descr list;
+  conns_mu : Mutex.t;
+  test_pc : pconn;  (* handle_line's cached backend connections *)
+  test_mu : Mutex.t;
+}
+
+let create cfg =
+  let ring = Ring.create ~vnodes:cfg.vnodes cfg.backends in
+  let listen_fd =
+    match cfg.socket_path with
+    | None -> None
+    | Some path ->
+        if Sys.file_exists path then Unix.unlink path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 16;
+        Some fd
+  in
+  {
+    cfg;
+    ring;
+    mu = Mutex.create ();
+    routes = Hashtbl.create 16;
+    writers = Hashtbl.create 16;
+    seq = 0;
+    counters =
+      { forwarded = 0; fanned_out = 0; migrations = 0; failovers = 0;
+        errors = 0 };
+    counters_mu = Mutex.create ();
+    log_mu = Mutex.create ();
+    stopping = Atomic.make false;
+    listen_fd;
+    conns = [];
+    conns_mu = Mutex.create ();
+    test_pc = Hashtbl.create 4;
+    test_mu = Mutex.create ();
+  }
+
+let stop t = Atomic.set t.stopping true
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let timestamp now =
+  let tm = Unix.gmtime now in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%06.3fZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    (float_of_int tm.Unix.tm_sec +. (now -. Float.of_int (int_of_float now)))
+
+let log_line t line =
+  match t.cfg.log with
+  | None -> ()
+  | Some oc ->
+      Mutex.lock t.log_mu;
+      (try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> ());
+      Mutex.unlock t.log_mu
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s ->
+      log_line t (Printf.sprintf "%s gateway: %s" (timestamp (Unix.gettimeofday ())) s))
+    fmt
+
+let counted t f =
+  Mutex.lock t.counters_mu;
+  f t.counters;
+  Mutex.unlock t.counters_mu
+
+(* ------------------------------------------------------------------ *)
+(* Backend transport                                                   *)
+
+let conn_of pc backend =
+  match Hashtbl.find_opt pc backend with
+  | Some c -> Ok c
+  | None -> (
+      match Client.connect backend with
+      | c ->
+          Hashtbl.add pc backend c;
+          Ok c
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "backend %s: %s" backend (Unix.error_message e)))
+
+let drop_conn pc backend =
+  match Hashtbl.find_opt pc backend with
+  | Some c ->
+      Client.close c;
+      Hashtbl.remove pc backend
+  | None -> ()
+
+let close_pconn pc =
+  Hashtbl.iter (fun _ c -> Client.close c) pc;
+  Hashtbl.reset pc
+
+(* One request line to one backend, one response line back.  Transport
+   failures drop the cached connection (the next use reconnects) and
+   surface as [Error] so callers can fail over. *)
+let rpc_backend pc backend line =
+  match conn_of pc backend with
+  | Error _ as e -> e
+  | Ok c -> (
+      match
+        Client.send_line c line;
+        Client.recv_line c
+      with
+      | Some resp -> Ok resp
+      | None ->
+          drop_conn pc backend;
+          Error (Printf.sprintf "backend %s closed the connection" backend)
+      | exception (Sys_error m | Failure m) ->
+          drop_conn pc backend;
+          Error (Printf.sprintf "backend %s: %s" backend m)
+      | exception Unix.Unix_error (e, _, _) ->
+          drop_conn pc backend;
+          Error
+            (Printf.sprintf "backend %s: %s" backend (Unix.error_message e)))
+
+(* Response-line introspection (the line itself is always forwarded
+   verbatim; these only steer bookkeeping). *)
+let line_json line =
+  match Json.parse line with Ok j -> Some j | Error _ -> None
+
+let line_ok line =
+  match line_json line with
+  | Some j -> P.response_ok j = Some true
+  | None -> false
+
+let line_error_message line =
+  match
+    Option.bind (line_json line) (fun j ->
+        Option.bind (Json.member "error" j) (fun e ->
+            Option.bind (Json.member "message" e) Json.to_string_opt))
+  with
+  | Some m -> m
+  | None -> line
+
+(* ------------------------------------------------------------------ *)
+(* Routing state                                                       *)
+
+let route_of t sid =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.routes sid in
+  Mutex.unlock t.mu;
+  r
+
+let owner_of t sid =
+  match route_of t sid with
+  | Some b -> b
+  | None -> (
+      (* unrouted (gateway restart, or an id opened out of band): the
+         ring's home backend is the deterministic guess *)
+      match Ring.lookup t.ring sid with
+      | Some b -> b
+      | None -> assert false (* ring is never empty *))
+
+let set_route t sid backend ~writer =
+  Mutex.lock t.mu;
+  Hashtbl.replace t.routes sid backend;
+  Hashtbl.replace t.writers sid writer;
+  Mutex.unlock t.mu
+
+let del_route t sid =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.routes sid;
+  Hashtbl.remove t.writers sid;
+  Mutex.unlock t.mu
+
+let writer_of t sid =
+  Mutex.lock t.mu;
+  let w = Hashtbl.find_opt t.writers sid in
+  Mutex.unlock t.mu;
+  Option.value ~default:"" w
+
+let fresh_sid t =
+  Mutex.lock t.mu;
+  let rec next () =
+    t.seq <- t.seq + 1;
+    let sid = Printf.sprintf "s%d" t.seq in
+    if Hashtbl.mem t.routes sid then next () else sid
+  in
+  let sid = next () in
+  Mutex.unlock t.mu;
+  sid
+
+(* ------------------------------------------------------------------ *)
+(* Stateless ops: route by engine key, fail over along the ring        *)
+
+let forward_stateless t pc (req : P.request) line =
+  let key = Ops.engine_key ~op:req.P.op req.P.params in
+  let rec go last = function
+    | [] -> Error last
+    | b :: rest -> (
+        match rpc_backend pc b line with
+        | Ok resp ->
+            counted t (fun c -> c.forwarded <- c.forwarded + 1);
+            Ok resp
+        | Error e -> go e rest)
+  in
+  go "no backend configured" (Ring.spread t.ring key)
+
+(* ------------------------------------------------------------------ *)
+(* The fan-out explore: split the first search axis across every live
+   backend as explore/slice requests, then replay the merge exactly as
+   one process would (Ops.merge_slice_payloads), so the rendered block
+   is byte-identical to a single backend's. *)
+
+let fanout_eligible t (req : P.request) =
+  t.cfg.fanout
+  && req.P.op = P.Explore
+  && (not req.P.params.P.verbose)
+  && (match req.P.params.P.heuristic with "e" | "b" -> true | _ -> false)
+
+let fanout_explore t pc (req : P.request) =
+  let p = req.P.params in
+  let live =
+    List.filter
+      (fun b -> Result.is_ok (conn_of pc b))
+      (Ring.nodes t.ring)
+  in
+  let n = List.length live in
+  if n < 2 then `Fallback
+  else
+    let slice_line i =
+      Json.print
+        (P.request_to_json
+           {
+             req with
+             P.op = P.Explore_slice;
+             params = { p with P.slice_index = i; slice_count = n };
+           })
+    in
+    (* pipeline: every backend computes its slices concurrently *)
+    match
+      List.iteri
+        (fun i b ->
+          match conn_of pc b with
+          | Ok c -> Client.send_line c (slice_line i)
+          | Error _ -> raise Exit)
+        live;
+      List.map
+        (fun b ->
+          match conn_of pc b with
+          | Ok c -> (
+              match Client.recv_line c with
+              | Some l -> l
+              | None -> raise Exit)
+          | Error _ -> raise Exit)
+        live
+    with
+    | exception (Exit | Sys_error _ | Unix.Unix_error _) ->
+        (* a backend died mid-flight: drop every pipelined connection
+           (responses can no longer be matched up) and run the explore
+           whole on one backend — it is stateless and idempotent *)
+        List.iter (drop_conn pc) live;
+        `Fallback
+    | resps -> (
+        match List.find_opt (fun l -> not (line_ok l)) resps with
+        | Some err ->
+            (* a structured backend rejection (overloaded, deadline...)
+               carries the original id: forward it verbatim *)
+            `Done err
+        | None -> (
+            let t0 = Unix.gettimeofday () in
+            let decoded =
+              List.map
+                (fun l ->
+                  match line_json l with
+                  | None -> Error "unparseable slice response"
+                  | Some j -> (
+                      match Json.member "result" j with
+                      | None -> Error "slice response without result"
+                      | Some r -> Ops.slice_payload_of_result r))
+                resps
+            in
+            match
+              List.fold_right
+                (fun r acc ->
+                  match (r, acc) with
+                  | Ok p, Ok ps -> Ok (p :: ps)
+                  | Error e, _ | _, Error e -> Error e)
+                decoded (Ok [])
+            with
+            | Error e ->
+                `Done
+                  (Json.print
+                     (P.error_response ~id:req.P.id ~code:P.Internal
+                        (Printf.sprintf "fan-out merge failed: %s" e)))
+            | Ok payloads -> (
+                match Ops.merge_slice_payloads payloads with
+                | Error e ->
+                    `Done
+                      (Json.print
+                         (P.error_response ~id:req.P.id ~code:P.Internal
+                            (Printf.sprintf "fan-out merge failed: %s" e)))
+                | Ok m ->
+                    let text =
+                      Ops.render_explore_rows ~keep_all:p.P.keep_all
+                        ~csv:p.P.csv ~bad:m.Ops.mx_bad ~trials:m.Ops.mx_trials
+                        ~verbose_tail:None ~feasible:m.Ops.mx_feasible
+                        ~explored:m.Ops.mx_explored ()
+                    in
+                    let feasible = List.length m.Ops.mx_feasible in
+                    let run_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                    counted t (fun c -> c.fanned_out <- c.fanned_out + 1);
+                    `Done
+                      (Json.print
+                         (P.ok_response ~id:req.P.id ~op:P.Explore
+                            ~timing:(P.no_engine_timing ~queue_ms:0. ~run_ms)
+                            [
+                              ("text", Json.String text);
+                              ("feasible", Json.Bool (feasible > 0));
+                              ("feasible_count", Json.Int feasible);
+                              ("trials", Json.Int m.Ops.mx_trials);
+                            ])))))
+
+(* ------------------------------------------------------------------ *)
+(* Session ops: sticky routing, snapshot failover, migration           *)
+
+(* Bookkeeping driven by the backend's answer: opens pin a route,
+   closes (and migration handoffs) release it. *)
+let note_session_response t (req : P.request) ~backend resp =
+  if line_ok resp then
+    let sid = req.P.params.P.session in
+    match req.P.op with
+    | P.Session_open -> set_route t sid backend ~writer:req.P.params.P.client
+    | P.Session_close -> del_route t sid
+    | P.Session_save when req.P.params.P.close -> del_route t sid
+    | _ -> ()
+
+let restore_request ~id ~sid ~writer =
+  Json.print
+    (P.request_to_json
+       {
+         P.id;
+         op = P.Session_open;
+         deadline_ms = None;
+         params =
+           { P.default_params with P.session = sid; restore = true;
+             client = writer };
+       })
+
+(* The owning backend is gone: restore the session from its snapshot on
+   the next backend the ring prefers, then replay the original request
+   there.  Works because backends snapshot sessions on shutdown and
+   eviction into the shared state dir. *)
+let failover_session t pc (req : P.request) line ~sid ~dead =
+  counted t (fun c -> c.failovers <- c.failovers + 1);
+  match Ring.lookup ~avoid:[ dead ] t.ring sid with
+  | None ->
+      Json.print
+        (P.error_response ~id:req.P.id ~code:P.Internal
+           (Printf.sprintf "backend %s is unreachable and no other backend \
+                            is configured" dead))
+  | Some target -> (
+      let writer = writer_of t sid in
+      let oline =
+        restore_request ~id:(req.P.id ^ ":failover") ~sid ~writer
+      in
+      match rpc_backend pc target oline with
+      | Error e ->
+          Json.print (P.error_response ~id:req.P.id ~code:P.Internal e)
+      | Ok oresp when not (line_ok oresp) ->
+          Json.print
+            (P.error_response ~id:req.P.id ~code:P.Internal
+               (Printf.sprintf
+                  "backend %s died and session %s could not be restored on \
+                   %s: %s"
+                  dead sid target (line_error_message oresp)))
+      | Ok _ -> (
+          set_route t sid target ~writer;
+          logf t "session %s failed over %s -> %s" sid dead target;
+          match rpc_backend pc target line with
+          | Ok resp ->
+              note_session_response t req ~backend:target resp;
+              resp
+          | Error e ->
+              Json.print (P.error_response ~id:req.P.id ~code:P.Internal e)))
+
+let session_op t pc (req : P.request) line =
+  let sid = req.P.params.P.session in
+  let owner = owner_of t sid in
+  match rpc_backend pc owner line with
+  | Ok resp ->
+      counted t (fun c -> c.forwarded <- c.forwarded + 1);
+      note_session_response t req ~backend:owner resp;
+      resp
+  | Error _ -> failover_session t pc req line ~sid ~dead:owner
+
+(* session/open routes by the (gateway-allocated) session id and sticks;
+   a dead preferred backend just moves the open down the ring — no
+   snapshot dance needed unless the open itself is a restore, and then
+   the state dir is shared anyway. *)
+let open_session t pc (req : P.request) =
+  let sid =
+    match req.P.params.P.session with "" -> fresh_sid t | sid -> sid
+  in
+  let req =
+    { req with P.params = { req.P.params with P.session = sid } }
+  in
+  let line = Json.print (P.request_to_json req) in
+  let rec go last = function
+    | [] ->
+        Json.print (P.error_response ~id:req.P.id ~code:P.Internal last)
+    | b :: rest -> (
+        match rpc_backend pc b line with
+        | Ok resp ->
+            counted t (fun c -> c.forwarded <- c.forwarded + 1);
+            note_session_response t req ~backend:b resp;
+            resp
+        | Error e -> go e rest)
+  in
+  go "no backend configured" (Ring.spread t.ring sid)
+
+(* session/list is an inventory: ask every reachable backend, merge the
+   structured lines, render through the one shared renderer. *)
+let list_sessions t pc (req : P.request) line =
+  let t0 = Unix.gettimeofday () in
+  let resps =
+    List.filter_map
+      (fun b -> Result.to_option (rpc_backend pc b line))
+      (Ring.nodes t.ring)
+  in
+  if resps = [] then
+    Json.print
+      (P.error_response ~id:req.P.id ~code:P.Internal "no backend reachable")
+  else
+    match List.find_opt (fun l -> not (line_ok l)) resps with
+    | Some err -> err
+    | None ->
+        let lines =
+          List.concat_map
+            (fun l ->
+              match
+                Option.bind (line_json l) (fun j ->
+                    Option.bind (Json.member "result" j) (fun r ->
+                        Json.member "sessions" r))
+              with
+              | Some (Json.Array entries) ->
+                  List.filter_map
+                    (fun e -> Result.to_option (Ops.session_line_of_json e))
+                    entries
+              | _ -> [])
+            resps
+        in
+        let lines =
+          List.sort
+            (fun a b ->
+              (* length-then-lex: the server's numeric s<n> ids in
+                 numeric order, matching Ops.render_sessions *)
+              match
+                compare (String.length a.Ops.ses_id)
+                  (String.length b.Ops.ses_id)
+              with
+              | 0 -> compare a.Ops.ses_id b.Ops.ses_id
+              | n -> n)
+            lines
+        in
+        let run_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        Json.print
+          (P.ok_response ~id:req.P.id ~op:P.Session_list
+             ~timing:(P.no_engine_timing ~queue_ms:0. ~run_ms)
+             [
+               ("sessions",
+                Json.Array (List.map Ops.session_line_to_json lines));
+               ("text", Json.String (Ops.render_sessions lines));
+             ])
+
+(* gateway/migrate: snapshot handoff.  [session/save close:true] on the
+   source persists the session and frees the slot (keeping the
+   snapshot); a restoring [session/open] on the target picks it up.
+   Both halves run as the session's writer. *)
+let migrate_session t pc (req : P.request) =
+  let t0 = Unix.gettimeofday () in
+  let sid = req.P.params.P.session in
+  if sid = "" then
+    Json.print
+      (P.error_response ~id:req.P.id ~code:P.Bad_request
+         "gateway/migrate: missing session id")
+  else
+    let source = owner_of t sid in
+    match Ring.lookup ~avoid:[ source ] t.ring sid with
+    | None ->
+        Json.print
+          (P.error_response ~id:req.P.id ~code:P.Bad_request
+             "gateway/migrate: no other backend to migrate to")
+    | Some target -> (
+        let writer = writer_of t sid in
+        let save_line =
+          Json.print
+            (P.request_to_json
+               {
+                 P.id = req.P.id ^ ":save";
+                 op = P.Session_save;
+                 deadline_ms = None;
+                 params =
+                   { P.default_params with P.session = sid; close = true;
+                     client = writer };
+               })
+        in
+        match rpc_backend pc source save_line with
+        | Error e ->
+            Json.print (P.error_response ~id:req.P.id ~code:P.Internal e)
+        | Ok sresp when not (line_ok sresp) ->
+            Json.print
+              (P.error_response ~id:req.P.id ~code:P.Internal
+                 (Printf.sprintf "gateway/migrate: save on %s failed: %s"
+                    source (line_error_message sresp)))
+        | Ok _ -> (
+            del_route t sid;
+            let oline =
+              restore_request ~id:(req.P.id ^ ":open") ~sid ~writer
+            in
+            match rpc_backend pc target oline with
+            | Error e ->
+                Json.print (P.error_response ~id:req.P.id ~code:P.Internal e)
+            | Ok oresp when not (line_ok oresp) ->
+                Json.print
+                  (P.error_response ~id:req.P.id ~code:P.Internal
+                     (Printf.sprintf
+                        "gateway/migrate: restore on %s failed: %s" target
+                        (line_error_message oresp)))
+            | Ok _ ->
+                set_route t sid target ~writer;
+                counted t (fun c -> c.migrations <- c.migrations + 1);
+                logf t "session %s migrated %s -> %s" sid source target;
+                let run_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                Json.print
+                  (P.ok_response ~id:req.P.id ~op:P.Gateway_migrate
+                     ~timing:(P.no_engine_timing ~queue_ms:0. ~run_ms)
+                     [
+                       ("session", Json.String sid);
+                       ("from", Json.String source);
+                       ("to", Json.String target);
+                       ("text",
+                        Json.String
+                          (Printf.sprintf "session %s migrated: %s -> %s\n"
+                             sid source target));
+                     ])))
+
+(* ------------------------------------------------------------------ *)
+(* Local ops                                                           *)
+
+let stats_response t (req : P.request) =
+  Mutex.lock t.mu;
+  let sessions = Hashtbl.length t.routes in
+  Mutex.unlock t.mu;
+  Mutex.lock t.counters_mu;
+  let c = t.counters in
+  let forwarded, fanned_out, migrations, failovers, errors =
+    (c.forwarded, c.fanned_out, c.migrations, c.failovers, c.errors)
+  in
+  Mutex.unlock t.counters_mu;
+  let backends = Ring.nodes t.ring in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "gateway: %d backend(s), %d routed session(s)\n"
+    (List.length backends) sessions;
+  List.iter (fun b -> Printf.bprintf buf "  backend %s\n" b) backends;
+  Printf.bprintf buf
+    "forwarded %d, fanned out %d, migrations %d, failovers %d, errors %d\n"
+    forwarded fanned_out migrations failovers errors;
+  Json.print
+    (P.ok_response ~id:req.P.id ~op:P.Stats
+       ~timing:(P.no_engine_timing ~queue_ms:0. ~run_ms:0.)
+       [
+         ("gateway", Json.Bool true);
+         ("backends", Json.Array (List.map (fun b -> Json.String b) backends));
+         ("sessions", Json.Int sessions);
+         ("forwarded", Json.Int forwarded);
+         ("fanned_out", Json.Int fanned_out);
+         ("migrations", Json.Int migrations);
+         ("failovers", Json.Int failovers);
+         ("errors", Json.Int errors);
+         ("text", Json.String (Buffer.contents buf));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let answer t pc line =
+  match P.parse_request line with
+  | Error msg ->
+      counted t (fun c -> c.errors <- c.errors + 1);
+      Json.print (P.error_response ~id:"-" ~code:P.Bad_request msg)
+  | Ok req -> (
+      let resp =
+        match req.P.op with
+        | P.Ping ->
+            Json.print
+              (P.ok_response ~id:req.P.id ~op:P.Ping
+                 ~timing:(P.no_engine_timing ~queue_ms:0. ~run_ms:0.)
+                 [ ("pong", Json.Bool true) ])
+        | P.Stats -> stats_response t req
+        | P.Gateway_migrate -> migrate_session t pc req
+        | P.Session_open -> open_session t pc req
+        | P.Session_list -> list_sessions t pc req line
+        | P.Session_edit | P.Session_undo | P.Session_redo | P.Session_run
+        | P.Session_optimize | P.Session_attach | P.Session_detach
+        | P.Session_save | P.Session_close ->
+            session_op t pc req line
+        | P.Explore when fanout_eligible t req -> (
+            match fanout_explore t pc req with
+            | `Done resp -> resp
+            | `Fallback -> (
+                match forward_stateless t pc req line with
+                | Ok resp -> resp
+                | Error e ->
+                    counted t (fun c -> c.errors <- c.errors + 1);
+                    Json.print
+                      (P.error_response ~id:req.P.id ~code:P.Internal e)))
+        | P.Explore | P.Explore_slice | P.Predict | P.Advise | P.Sensitivity
+          -> (
+            match forward_stateless t pc req line with
+            | Ok resp -> resp
+            | Error e ->
+                counted t (fun c -> c.errors <- c.errors + 1);
+                Json.print (P.error_response ~id:req.P.id ~code:P.Internal e))
+      in
+      logf t "id=%s op=%s %s" req.P.id
+        (P.op_to_string req.P.op)
+        (if line_ok resp then "ok" else "error");
+      resp)
+
+let handle_line t line =
+  Mutex.lock t.test_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.test_mu)
+    (fun () -> answer t t.test_pc line)
+
+(* ------------------------------------------------------------------ *)
+(* Transports (mirrors Server's: per-connection threads, select-based
+   accept so stop is honoured promptly)                                *)
+
+let register_conn t fd =
+  Mutex.lock t.conns_mu;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_mu
+
+let unregister_conn t fd =
+  Mutex.lock t.conns_mu;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.conns_mu
+
+let close_conns t =
+  Mutex.lock t.conns_mu;
+  let cs = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mu;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) cs
+
+let conn_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let pc : pconn = Hashtbl.create 4 in
+  (try
+     while true do
+       let line = input_line ic in
+       let resp = answer t pc line in
+       output_string oc resp;
+       output_char oc '\n';
+       flush oc
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  close_pconn pc;
+  unregister_conn t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t fd =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept fd with
+        | cfd, _ ->
+            register_conn t cfd;
+            ignore (Thread.create (conn_loop t) cfd)
+        | exception
+            Unix.Unix_error
+              ( (Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                | Unix.ECONNABORTED),
+                _,
+                _ ) ->
+            ())
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+  done
+
+let stdio_loop t =
+  let pc : pconn = Hashtbl.create 4 in
+  (try
+     while not (Atomic.get t.stopping) do
+       let line = input_line stdin in
+       let resp = answer t pc line in
+       output_string stdout resp;
+       output_char stdout '\n';
+       flush stdout
+     done
+   with End_of_file | Sys_error _ -> ());
+  close_pconn pc
+
+let install_signals t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let h = Sys.Signal_handle (fun _ -> stop t) in
+  (try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ()
+
+let serve t =
+  if t.cfg.handle_signals then install_signals t;
+  (match t.cfg.socket_path with
+  | Some path ->
+      logf t "listening on %s (%d backend(s)%s)" path
+        (List.length t.cfg.backends)
+        (if t.cfg.fanout then ", fan-out" else "")
+  | None ->
+      logf t "reading requests from stdin (%d backend(s)%s)"
+        (List.length t.cfg.backends)
+        (if t.cfg.fanout then ", fan-out" else ""));
+  (match t.listen_fd with
+  | Some fd -> accept_loop t fd
+  | None -> stdio_loop t);
+  close_conns t;
+  (match t.listen_fd with
+  | Some fd -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match t.cfg.socket_path with
+      | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | None -> ())
+  | None -> ());
+  Mutex.lock t.test_mu;
+  close_pconn t.test_pc;
+  Mutex.unlock t.test_mu;
+  logf t "stopped"

@@ -1,0 +1,60 @@
+(** The cluster front process behind [chop gateway]: one socket fronting
+    N backend [chop serve] processes.
+
+    The gateway speaks the exact {!Chop_server.Protocol} wire format on
+    both sides and forwards request and response lines verbatim, so a
+    client cannot tell a gateway from a single backend by the bytes it
+    receives.  Routing is deterministic:
+
+    - stateless ops (explore, predict, advise, sensitivity) go to the
+      backend owning their {!Chop_server.Ops.engine_key} on a
+      consistent-hash {!Ring}, so repeat requests hit the same warm
+      engine;
+    - [session/*] ops stick to the backend that opened the session; the
+      gateway allocates session ids itself so they are unique across the
+      cluster;
+    - [session/list] fans out to every backend and merges the
+      inventories through the shared {!Chop_server.Ops.render_sessions};
+    - [gateway/migrate] moves a session between backends through the
+      snapshot format ([session/save close] on the source, restoring
+      [session/open] on the target) — the backends must share a
+      [--state-dir];
+    - with [fanout], eligible explores (enumeration/branch-bound, not
+      verbose) are split across every live backend as [explore/slice]
+      requests and merged deterministically
+      ({!Chop_server.Ops.merge_slice_payloads}), which keeps the
+      response text byte-identical to a single process's.
+
+    When a backend dies, stateless ops fail over to the next backend on
+    the ring; session ops fail over by restoring the session's snapshot
+    on the next backend (sessions survive a backend SIGTERM because the
+    backend snapshots its sessions on shutdown). *)
+
+type config = {
+  socket_path : string option;
+      (** listen here; [None] reads requests from stdin (tests, CI) *)
+  backends : string list;  (** backend serve sockets, at least one *)
+  vnodes : int;  (** virtual ring points per backend *)
+  fanout : bool;  (** split eligible explores across backends *)
+  log : out_channel option;
+  handle_signals : bool;  (** SIGTERM/SIGINT trigger a clean stop *)
+}
+
+type t
+
+val create : config -> t
+(** Validates the configuration and binds the listening socket; does not
+    contact the backends ([connect]ions are opened lazily, per client
+    connection).
+    @raise Invalid_argument on an empty or duplicated backend list. *)
+
+val serve : t -> unit
+(** Accepts connections (or reads stdin) until {!stop}; then closes
+    every connection and returns. *)
+
+val stop : t -> unit
+
+val handle_line : t -> string -> string
+(** One request line in, one response line out, synchronously — the test
+    harness's transport, routing exactly as a socket request would
+    (backend connections are cached on [t] across calls). *)

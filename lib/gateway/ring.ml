@@ -1,0 +1,63 @@
+(* Consistent hashing on an MD5 ring.  Determinism is the point: the
+   point set is a pure function of the backend names, so every process
+   that knows the backend list — gateways, benches, tests — agrees on
+   where a key lives without coordination. *)
+
+type t = {
+  order : string list;  (* creation order, for [nodes] *)
+  points : (string * string) array;  (* (hex hash, backend), sorted *)
+}
+
+let hash s = Digest.to_hex (Digest.string s)
+
+let create ?(vnodes = 64) nodes =
+  if nodes = [] then invalid_arg "Ring.create: no backends";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Ring.create: duplicate backend %S" n);
+      Hashtbl.add seen n ())
+    nodes;
+  let points =
+    List.concat_map
+      (fun node ->
+        List.init vnodes (fun v ->
+            (hash (Printf.sprintf "%s#%d" node v), node)))
+      nodes
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { order = nodes; points }
+
+let nodes t = t.order
+
+(* first point with hash >= key's hash, wrapping *)
+let start_index t key =
+  let h = hash key in
+  let n = Array.length t.points in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  bsearch 0 n mod n
+
+let spread t key =
+  let n = Array.length t.points in
+  let start = start_index t key in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    let _, node = t.points.((start + i) mod n) in
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      acc := node :: !acc
+    end
+  done;
+  List.rev !acc
+
+let lookup ?(avoid = []) t key =
+  List.find_opt (fun node -> not (List.mem node avoid)) (spread t key)

@@ -1,0 +1,27 @@
+(** A consistent-hash ring over backend names.
+
+    Keys (engine identities, session ids) map to backends through MD5
+    points on a ring, [vnodes] virtual points per backend, so the
+    assignment is a pure function of the backend set — every gateway
+    instance (and every restart) routes a key the same way, and removing
+    one backend moves only that backend's keys.
+
+    Backends are opaque strings (the gateway uses socket paths). *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** @raise Invalid_argument on an empty backend list, duplicate names or
+    a non-positive [vnodes] (default 64). *)
+
+val nodes : t -> string list
+(** The backends, in the order given to {!create}. *)
+
+val lookup : ?avoid:string list -> t -> string -> string option
+(** The first backend at or clockwise of the key's hash, skipping
+    [avoid] (dead backends); [None] when every backend is avoided. *)
+
+val spread : t -> string -> string list
+(** Every backend in the key's preference order — {!lookup}'s choice
+    first, then each successive fallback.  [lookup ~avoid] equals the
+    first element of [spread] not in [avoid]. *)

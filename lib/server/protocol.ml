@@ -2,6 +2,7 @@ module Json = Chop_util.Json
 
 type op =
   | Explore
+  | Explore_slice
   | Predict
   | Advise
   | Sensitivity
@@ -9,12 +10,20 @@ type op =
   | Ping
   | Session_open
   | Session_edit
+  | Session_undo
+  | Session_redo
   | Session_run
   | Session_optimize
+  | Session_attach
+  | Session_detach
+  | Session_list
+  | Session_save
   | Session_close
+  | Gateway_migrate
 
 let op_to_string = function
   | Explore -> "explore"
+  | Explore_slice -> "explore/slice"
   | Predict -> "predict"
   | Advise -> "advise"
   | Sensitivity -> "sensitivity"
@@ -22,12 +31,20 @@ let op_to_string = function
   | Ping -> "ping"
   | Session_open -> "session/open"
   | Session_edit -> "session/edit"
+  | Session_undo -> "session/undo"
+  | Session_redo -> "session/redo"
   | Session_run -> "session/run"
   | Session_optimize -> "session/optimize"
+  | Session_attach -> "session/attach"
+  | Session_detach -> "session/detach"
+  | Session_list -> "session/list"
+  | Session_save -> "session/save"
   | Session_close -> "session/close"
+  | Gateway_migrate -> "gateway/migrate"
 
 let op_of_string = function
   | "explore" -> Ok Explore
+  | "explore/slice" -> Ok Explore_slice
   | "predict" -> Ok Predict
   | "advise" -> Ok Advise
   | "sensitivity" -> Ok Sensitivity
@@ -35,9 +52,16 @@ let op_of_string = function
   | "ping" -> Ok Ping
   | "session/open" -> Ok Session_open
   | "session/edit" -> Ok Session_edit
+  | "session/undo" -> Ok Session_undo
+  | "session/redo" -> Ok Session_redo
   | "session/run" -> Ok Session_run
   | "session/optimize" -> Ok Session_optimize
+  | "session/attach" -> Ok Session_attach
+  | "session/detach" -> Ok Session_detach
+  | "session/list" -> Ok Session_list
+  | "session/save" -> Ok Session_save
   | "session/close" -> Ok Session_close
+  | "gateway/migrate" -> Ok Gateway_migrate
   | s -> Error (Printf.sprintf "unknown op %S" s)
 
 type params = {
@@ -65,6 +89,12 @@ type params = {
   coarse : int;  (** coarsening target cluster count; 0 = automatic *)
   pins : string list;  (** "op=partition" fixed-vertex constraints *)
   together : string list;  (** "op,op,..." community constraints *)
+  client : string;  (** caller identity for multi-client sessions *)
+  restore : bool;
+      (** session/open: require a state-dir snapshot and restore from it *)
+  close : bool;  (** session/save: close the session after persisting *)
+  slice_index : int;  (** explore/slice: this backend's slice residue *)
+  slice_count : int;  (** explore/slice: number of backends fanning out *)
 }
 
 let default_params =
@@ -93,6 +123,11 @@ let default_params =
     coarse = 0;
     pins = [];
     together = [];
+    client = "";
+    restore = false;
+    close = false;
+    slice_index = 0;
+    slice_count = 1;
   }
 
 type request = {
@@ -181,6 +216,15 @@ let request_of_json json =
       let* coarse = field "coarse" int json ~default:d.coarse Result.ok in
       let* pins = field "pins" strings json ~default:d.pins Result.ok in
       let* together = field "together" strings json ~default:d.together Result.ok in
+      let* client = field "client" str json ~default:d.client Result.ok in
+      let* restore = field "restore" bool json ~default:d.restore Result.ok in
+      let* close = field "close" bool json ~default:d.close Result.ok in
+      let* slice_index =
+        field "slice_index" int json ~default:d.slice_index Result.ok
+      in
+      let* slice_count =
+        field "slice_count" int json ~default:d.slice_count Result.ok
+      in
       Ok
         {
           id;
@@ -212,6 +256,11 @@ let request_of_json json =
               coarse;
               pins;
               together;
+              client;
+              restore;
+              close;
+              slice_index;
+              slice_count;
             };
         }
   | _ -> Error "request must be a JSON object"
@@ -258,6 +307,11 @@ let request_to_json r =
         ("coarse", Json.Int p.coarse);
         ("pins", Json.Array (List.map (fun s -> Json.String s) p.pins));
         ("together", Json.Array (List.map (fun s -> Json.String s) p.together));
+        ("client", Json.String p.client);
+        ("restore", Json.Bool p.restore);
+        ("close", Json.Bool p.close);
+        ("slice_index", Json.Int p.slice_index);
+        ("slice_count", Json.Int p.slice_count);
       ])
 
 type error_code = Overloaded | Deadline | Bad_request | Shutting_down | Internal

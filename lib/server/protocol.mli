@@ -40,6 +40,10 @@
 
 type op =
   | Explore
+  | Explore_slice
+      (** distributed fan-out: run only the first-axis search slices
+          congruent to [slice_index] mod [slice_count] and answer with raw
+          per-slice rows for the gateway to merge *)
   | Predict
   | Advise
   | Sensitivity
@@ -47,9 +51,20 @@ type op =
   | Ping
   | Session_open
   | Session_edit
+  | Session_undo
+  | Session_redo
   | Session_run
   | Session_optimize
+  | Session_attach  (** join an existing session as a read-only observer *)
+  | Session_detach
+  | Session_list
+  | Session_save
+      (** persist the session to the state dir now; [close=true] also
+          closes it (the migration handoff) *)
   | Session_close
+  | Gateway_migrate
+      (** gateway-level: move a session to another backend through the
+          snapshot format; backends answer it with [bad_request] *)
 
 val op_to_string : op -> string
 val op_of_string : string -> (op, string) result
@@ -87,6 +102,18 @@ type params = {
           [op] is a node id or name ({!Ops.parse_edit} operand syntax) *)
   together : string list;
       (** session/optimize: ["op,op,..."] community constraints *)
+  client : string;
+      (** caller identity ("" = anonymous).  The client that opens a
+          session is its writer; other clients may [session/attach] as
+          read-only observers.  Logged per request for edit attribution. *)
+  restore : bool;
+      (** session/open: require an existing snapshot in the server's state
+          dir for [session] and restore it (otherwise [bad_request]);
+          without it, open restores opportunistically when a snapshot for
+          the requested id exists *)
+  close : bool;  (** session/save: close the session after persisting *)
+  slice_index : int;  (** explore/slice: this backend's residue class *)
+  slice_count : int;  (** explore/slice: total backends fanning out *)
 }
 
 val default_params : params

@@ -15,6 +15,9 @@ type config = {
   handle_signals : bool;
   session_ttl_s : float;
   max_sessions : int;
+  state_dir : string option;
+      (** directory for durable session snapshots: written on shutdown,
+          eviction and [session/save]; read back by [session/open] *)
 }
 
 let default_config =
@@ -28,6 +31,7 @@ let default_config =
     handle_signals = true;
     session_ttl_s = 600.;
     max_sessions = 32;
+    state_dir = None;
   }
 
 type counters = {
@@ -44,27 +48,13 @@ type counters = {
    identity queue on the mutex rather than duplicating the engine. *)
 type engine_slot = { engine : Chop.Explore.Engine.t; mu : Mutex.t }
 
-(* An interactive session: its own [Explore.Session] (spec evolving by
-   edits), serialised by [smu]; [last_used] drives TTL + LRU eviction.
-   The parameters given at open decide rendering (keep_all/csv/verbose)
-   for every subsequent session/run, mirroring what one CLI invocation
-   with those flags would print. *)
-type session_slot = {
-  session : Chop.Explore.Session.t;
-  smu : Mutex.t;
-  mutable last_used : float;
-  open_params : Protocol.params;
-}
-
 type t = {
   cfg : config;
   pool : Chop_util.Pool.t;
   sched : Scheduler.t;
   engines : (string, engine_slot) Hashtbl.t;
   engines_mu : Mutex.t;
-  sessions : (string, session_slot) Hashtbl.t;
-  sessions_mu : Mutex.t;
-  mutable session_seq : int;
+  sessions : Session_table.t;
   log_mu : Mutex.t;
   counters_mu : Mutex.t;
   counters : counters;
@@ -83,6 +73,9 @@ let create cfg =
     invalid_arg "Server.create: max_sessions must be >= 1";
   if cfg.session_ttl_s <= 0. then
     invalid_arg "Server.create: session_ttl_s must be positive";
+  (match cfg.state_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
   let listen_fd =
     match cfg.socket_path with
     | None -> None
@@ -99,9 +92,9 @@ let create cfg =
     sched = Scheduler.create ~queue:cfg.queue ~concurrency:cfg.concurrency;
     engines = Hashtbl.create 16;
     engines_mu = Mutex.create ();
-    sessions = Hashtbl.create 16;
-    sessions_mu = Mutex.create ();
-    session_seq = 0;
+    sessions =
+      Session_table.create ~ttl_s:cfg.session_ttl_s
+        ~max_sessions:cfg.max_sessions;
     log_mu = Mutex.create ();
     counters_mu = Mutex.create ();
     counters =
@@ -143,17 +136,21 @@ let log_line t line =
        with Sys_error _ -> ());
       Mutex.unlock t.log_mu
 
-let access_log t ~id ~op ~status ~(timing : Protocol.timing) ~verdict =
+let access_log ?(client = "") t ~id ~op ~status ~(timing : Protocol.timing)
+    ~verdict =
   log_line t
     (Printf.sprintf
        "%s id=%s op=%s status=%s queue_ms=%.1f run_ms=%.1f predict_ms=%.1f \
-        search_ms=%.1f merge_ms=%.1f cache=%dh/%dm/%de/%ds verdict=%s"
+        search_ms=%.1f merge_ms=%.1f cache=%dh/%dm/%de/%ds verdict=%s%s"
        (timestamp (Unix.gettimeofday ()))
        id op status timing.Protocol.queue_ms timing.Protocol.run_ms
        timing.Protocol.predict_ms timing.Protocol.search_ms
        timing.Protocol.merge_ms timing.Protocol.cache_hits
        timing.Protocol.cache_misses timing.Protocol.cache_evictions
-       timing.Protocol.cache_structural_hits verdict)
+       timing.Protocol.cache_structural_hits verdict
+       (* per-client attribution: who performed the op, e.g. which of a
+          session's clients made an edit *)
+       (if client = "" then "" else " client=" ^ client))
 
 let bump t (code : [ `Ok | `Err of Protocol.error_code ]) =
   Mutex.lock t.counters_mu;
@@ -197,84 +194,150 @@ let close_engines t =
   Mutex.unlock t.engines_mu
 
 (* ------------------------------------------------------------------ *)
-(* Interactive sessions                                                 *)
+(* Interactive sessions: membership in {!Session_table}, durability in
+   {!Chop.Snapshot}.  A session is snapshotted whenever it leaves the
+   table with a state dir configured — eviction, session/save, shutdown —
+   and session/open resurrects the snapshot, so a restart or a gateway
+   migration loses no interactive state. *)
 
 let find_session t sid =
-  Mutex.lock t.sessions_mu;
-  let r = Hashtbl.find_opt t.sessions sid in
-  Mutex.unlock t.sessions_mu;
-  match r with
+  match Session_table.find t.sessions sid with
   | Some slot -> Ok slot
   | None ->
       Error
         ( Protocol.Bad_request,
           Printf.sprintf "unknown session %S (closed or evicted?)" sid )
 
-let with_session_slot slot f =
-  Mutex.lock slot.smu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock slot.smu) f
+let with_session_slot (slot : Session_table.slot) f =
+  Mutex.lock slot.Session_table.smu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock slot.Session_table.smu) f
 
-(* TTL + LRU eviction, run on every session/open: close sessions idle past
-   the TTL, then the least-recently-used ones until there is room for the
-   session about to be created.  Sessions busy in a run (mutex held) are
-   skipped, so the cap is best-effort under concurrency — an in-flight run
-   is never killed. *)
-let prune_sessions t ~now =
-  Mutex.lock t.sessions_mu;
-  let victims = ref [] in
-  let grab reason sid slot =
-    if Mutex.try_lock slot.smu then begin
-      Hashtbl.remove t.sessions sid;
-      victims := (sid, slot, reason) :: !victims;
-      true
-    end
-    else false
+(* Only the client that opened (or restored) a session may mutate it;
+   attached observers and strangers read. *)
+let ensure_writer (slot : Session_table.slot) (p : Protocol.params) =
+  if slot.Session_table.writer = p.Protocol.client then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "client %S is not this session's writer (%s); read-only clients \
+          may session/run and session/attach"
+         p.Protocol.client
+         (match slot.Session_table.writer with
+         | "" -> "opened anonymously"
+         | w -> Printf.sprintf "writer %S" w))
+
+let snapshot_path t sid =
+  Option.map
+    (fun dir -> Filename.concat dir (sid ^ ".chopsession"))
+    t.cfg.state_dir
+
+(* The session's open parameters ride in the snapshot's meta section (as
+   one request line), so a restore — in this process, after a restart, or
+   on another backend — renders session/run exactly as the original open
+   would have. *)
+let snapshot_meta (p : Protocol.params) =
+  let req =
+    { Protocol.id = "-"; op = Protocol.Session_open; deadline_ms = None;
+      params = p }
   in
-  Hashtbl.iter
-    (fun sid slot ->
-      if now -. slot.last_used > t.cfg.session_ttl_s then
-        ignore (grab "ttl" sid slot))
-    (Hashtbl.copy t.sessions);
-  let excess () = Hashtbl.length t.sessions - (t.cfg.max_sessions - 1) in
-  if excess () > 0 then begin
-    let by_age =
-      Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.sessions []
-      |> List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used)
-    in
-    let rec evict n = function
-      | [] -> ()
-      | _ when n <= 0 -> ()
-      | (sid, slot) :: tl -> evict (if grab "lru" sid slot then n - 1 else n) tl
-    in
-    evict (excess ()) by_age
-  end;
-  Mutex.unlock t.sessions_mu;
-  List.iter
-    (fun (sid, slot, reason) ->
-      Chop.Explore.Session.close slot.session;
-      Mutex.unlock slot.smu;
-      log_line t
-        (Printf.sprintf "%s serve: session %s evicted (%s)"
-           (timestamp (Unix.gettimeofday ()))
-           sid reason))
-    !victims
+  [ ("open", Json.print (Protocol.request_to_json req)) ]
 
-let open_session t ~now ~params spec config =
-  prune_sessions t ~now;
-  let session = Chop.Explore.Session.create ~pool:t.pool config spec in
-  Mutex.lock t.sessions_mu;
-  t.session_seq <- t.session_seq + 1;
-  let sid = Printf.sprintf "s%d" t.session_seq in
-  Hashtbl.add t.sessions sid
-    { session; smu = Mutex.create (); last_used = now; open_params = params };
-  Mutex.unlock t.sessions_mu;
-  sid
+(* caller holds the slot's mutex (or is past any concurrency: shutdown) *)
+let save_session t sid (slot : Session_table.slot) =
+  match snapshot_path t sid with
+  | None -> Ok false
+  | Some path -> (
+      let st = Chop.Explore.Session.state slot.Session_table.session in
+      let snap =
+        Chop.Snapshot.of_state
+          ~meta:(snapshot_meta slot.Session_table.open_params)
+          st
+      in
+      try
+        Chop.Snapshot.save path snap;
+        Ok true
+      with Sys_error m -> Error m)
+
+let drop_snapshot t sid =
+  match snapshot_path t sid with
+  | Some path when Sys.file_exists path -> (
+      try Sys.remove path with Sys_error _ -> ())
+  | _ -> ()
+
+let evict_session t ~reason sid (slot : Session_table.slot) =
+  let saved =
+    match save_session t sid slot with
+    | Ok saved -> saved
+    | Error m ->
+        log_line t
+          (Printf.sprintf "%s serve: session %s snapshot failed: %s"
+             (timestamp (Unix.gettimeofday ()))
+             sid m);
+        false
+  in
+  Chop.Explore.Session.close slot.Session_table.session;
+  log_line t
+    (Printf.sprintf "%s serve: session %s evicted (%s%s)"
+       (timestamp (Unix.gettimeofday ()))
+       sid reason
+       (if saved then ", snapshotted" else ""))
+
+let prune_sessions t ~now =
+  Session_table.prune t.sessions ~now ~room_for:1
+    ~on_evict:(fun ~reason sid slot -> evict_session t ~reason sid slot)
+
+let ( let* ) r f = Result.bind r f
+
+(* session/open with an id names an existing snapshot to resurrect;
+   [restore] makes its absence an error instead of a fresh open. *)
+let restore_session t ~sid (p : Protocol.params) =
+  match snapshot_path t sid with
+  | None ->
+      if p.Protocol.restore then
+        Error "session restore requires the server to run with --state-dir"
+      else Ok None
+  | Some path ->
+      if not (Sys.file_exists path) then
+        if p.Protocol.restore then
+          Error (Printf.sprintf "no snapshot for session %S" sid)
+        else Ok None
+      else begin
+        match Chop.Snapshot.load path with
+        | exception Chop.Snapshot.Parse_error m ->
+            Error (Printf.sprintf "snapshot for %S is unreadable: %s" sid m)
+        | exception Sys_error m -> Error m
+        | snap ->
+            let open_params =
+              match List.assoc_opt "open" snap.Chop.Snapshot.meta with
+              | Some line -> (
+                  match Protocol.parse_request line with
+                  | Ok req -> req.Protocol.params
+                  | Error _ -> p)
+              | None -> p
+            in
+            let* config = Ops.config_of_params ~jobs:t.cfg.jobs open_params in
+            let session =
+              Chop.Explore.Session.restore ~pool:t.pool config
+                (Chop.Snapshot.to_state snap)
+            in
+            Ok (Some (session, open_params))
+      end
 
 let close_sessions t =
-  Mutex.lock t.sessions_mu;
-  Hashtbl.iter (fun _ s -> Chop.Explore.Session.close s.session) t.sessions;
-  Hashtbl.reset t.sessions;
-  Mutex.unlock t.sessions_mu
+  Session_table.drain t.sessions (fun sid slot ->
+      (match save_session t sid slot with
+      | Ok true ->
+          log_line t
+            (Printf.sprintf "%s serve: session %s snapshotted"
+               (timestamp (Unix.gettimeofday ()))
+               sid)
+      | Ok false -> ()
+      | Error m ->
+          log_line t
+            (Printf.sprintf "%s serve: session %s snapshot failed: %s"
+               (timestamp (Unix.gettimeofday ()))
+               sid m));
+      Chop.Explore.Session.close slot.Session_table.session)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution                                                   *)
@@ -313,9 +376,7 @@ let stats_fields t =
   Mutex.lock t.engines_mu;
   let engines = Hashtbl.length t.engines in
   Mutex.unlock t.engines_mu;
-  Mutex.lock t.sessions_mu;
-  let sessions = Hashtbl.length t.sessions in
-  Mutex.unlock t.sessions_mu;
+  let sessions = Session_table.length t.sessions in
   let lookups = cache.Chop.Pred_cache.hits + cache.Chop.Pred_cache.misses in
   let hit_rate =
     if lookups = 0 then 0.
@@ -439,31 +500,76 @@ let exec_op t (req : Protocol.request) ~interrupt :
               ],
               Of_report report,
               if j.Chop.Advisor.feasible then "feasible" else "infeasible" ))
-  | Protocol.Session_open ->
-      let* spec = Ops.spec_of_params p in
-      let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
-      let sid = open_session t ~now:(Unix.gettimeofday ()) ~params:p spec config in
-      Ok
-        ( [
-            ("session", Json.String sid);
-            ("text", Json.String (Ops.render_parts spec));
-          ],
-          No_timing,
-          "-" )
+  | Protocol.Session_open -> (
+      let now = Unix.gettimeofday () in
+      prune_sessions t ~now;
+      let requested = p.Protocol.session in
+      let* restored =
+        if requested = "" then
+          if p.Protocol.restore then
+            Error "session/open with restore requires a session id"
+          else Ok None
+        else restore_session t ~sid:requested p
+      in
+      let* session, open_params, restored_flag =
+        match restored with
+        | Some (session, open_params) -> Ok (session, open_params, true)
+        | None ->
+            Result.bind (Ops.spec_of_params p) (fun spec ->
+                Result.bind (Ops.config_of_params ~jobs:t.cfg.jobs p)
+                  (fun config ->
+                    Ok
+                      ( Chop.Explore.Session.create ~pool:t.pool config spec,
+                        p, false )))
+      in
+      let sid =
+        if requested = "" then Session_table.fresh_id t.sessions else requested
+      in
+      let slot =
+        {
+          Session_table.session;
+          smu = Mutex.create ();
+          last_used = now;
+          open_params;
+          writer = p.Protocol.client;
+          observers = [];
+          edits = 0;
+        }
+      in
+      match Session_table.add t.sessions sid slot with
+      | Error m ->
+          Chop.Explore.Session.close session;
+          Error (Protocol.Bad_request, m)
+      | Ok () ->
+          Ok
+            ( [
+                ("session", Json.String sid);
+                ("restored", Json.Bool restored_flag);
+                ("revision", Json.Int (Chop.Explore.Session.revision session));
+                ("text",
+                 Json.String
+                   (Ops.render_parts (Chop.Explore.Session.spec session)));
+              ],
+              No_timing,
+              if restored_flag then "restored" else "-" ))
   | Protocol.Session_edit -> (
       match find_session t p.Protocol.session with
       | Error _ as e -> e
       | Ok slot ->
           with_session_slot slot (fun () ->
-              let spec = Chop.Explore.Session.spec slot.session in
+              let* () = ensure_writer slot p in
+              let spec = Chop.Explore.Session.spec slot.Session_table.session in
               let* edits = Ops.parse_edits spec p.Protocol.edits in
-              match Chop.Explore.Session.edit slot.session edits with
+              match
+                Chop.Explore.Session.edit slot.Session_table.session edits
+              with
               | Error e ->
                   Error
                     ( Protocol.Bad_request,
                       Format.asprintf "%a" Chop.Spec.pp_update_error e )
               | Ok dirty ->
-                  slot.last_used <- Unix.gettimeofday ();
+                  slot.Session_table.last_used <- Unix.gettimeofday ();
+                  slot.Session_table.edits <- slot.Session_table.edits + 1;
                   let labels ls = Json.Array (List.map (fun l -> Json.String l) ls) in
                   Ok
                     ( [
@@ -473,26 +579,191 @@ let exec_op t (req : Protocol.request) ~interrupt :
                         ("rederive", labels dirty.Chop.Spec.rederive);
                         ("removed", labels dirty.Chop.Spec.removed);
                         ("revision",
-                         Json.Int (Chop.Explore.Session.revision slot.session));
+                         Json.Int
+                           (Chop.Explore.Session.revision
+                              slot.Session_table.session));
                       ],
                       No_timing,
                       "-" )))
+  | (Protocol.Session_undo | Protocol.Session_redo) as op -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              let* () = ensure_writer slot p in
+              let step =
+                if op = Protocol.Session_undo then Chop.Explore.Session.undo
+                else Chop.Explore.Session.redo
+              in
+              let* dirty = step slot.Session_table.session in
+              slot.Session_table.last_used <- Unix.gettimeofday ();
+              slot.Session_table.edits <- slot.Session_table.edits + 1;
+              Ok
+                ( [
+                    ("session", Json.String p.Protocol.session);
+                    ("text", Json.String (Ops.render_dirty dirty));
+                    ("revision",
+                     Json.Int
+                       (Chop.Explore.Session.revision
+                          slot.Session_table.session));
+                    ("undo_depth",
+                     Json.Int
+                       (Chop.Explore.Session.undo_depth
+                          slot.Session_table.session));
+                    ("redo_depth",
+                     Json.Int
+                       (Chop.Explore.Session.redo_depth
+                          slot.Session_table.session));
+                  ],
+                  No_timing,
+                  "-" )))
+  | Protocol.Session_attach -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              if p.Protocol.client = "" then
+                Error
+                  ( Protocol.Bad_request,
+                    "session/attach requires a client identity" )
+              else if p.Protocol.client = slot.Session_table.writer then
+                Error
+                  ( Protocol.Bad_request,
+                    Printf.sprintf "client %S is already the writer"
+                      p.Protocol.client )
+              else if List.mem p.Protocol.client slot.Session_table.observers
+              then
+                Error
+                  ( Protocol.Bad_request,
+                    Printf.sprintf "client %S is already attached"
+                      p.Protocol.client )
+              else begin
+                slot.Session_table.observers <-
+                  p.Protocol.client :: slot.Session_table.observers;
+                slot.Session_table.last_used <- Unix.gettimeofday ();
+                Ok
+                  ( [
+                      ("session", Json.String p.Protocol.session);
+                      ("observers",
+                       Json.Int (List.length slot.Session_table.observers));
+                      ("text",
+                       Json.String
+                         (Printf.sprintf
+                            "attached to session %s as observer (writer %s)\n"
+                            p.Protocol.session
+                            (match slot.Session_table.writer with
+                            | "" -> "-"
+                            | w -> w)));
+                    ],
+                    No_timing,
+                    "-" )
+              end))
+  | Protocol.Session_detach -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              if not (List.mem p.Protocol.client slot.Session_table.observers)
+              then
+                Error
+                  ( Protocol.Bad_request,
+                    Printf.sprintf "client %S is not attached to session %s"
+                      p.Protocol.client p.Protocol.session )
+              else begin
+                slot.Session_table.observers <-
+                  List.filter
+                    (fun c -> c <> p.Protocol.client)
+                    slot.Session_table.observers;
+                Ok
+                  ( [
+                      ("session", Json.String p.Protocol.session);
+                      ("observers",
+                       Json.Int (List.length slot.Session_table.observers));
+                      ("text",
+                       Json.String
+                         (Printf.sprintf "detached from session %s\n"
+                            p.Protocol.session));
+                    ],
+                    No_timing,
+                    "-" )
+              end))
+  | Protocol.Session_list ->
+      let now = Unix.gettimeofday () in
+      let lines =
+        List.map
+          (fun (sid, (slot : Session_table.slot)) ->
+            {
+              Ops.ses_id = sid;
+              ses_revision =
+                Chop.Explore.Session.revision slot.Session_table.session;
+              ses_age_s = Float.max 0. (now -. slot.Session_table.last_used);
+              ses_writer = slot.Session_table.writer;
+              ses_observers = List.length slot.Session_table.observers;
+            })
+          (Session_table.entries t.sessions)
+      in
+      Ok
+        ( [
+            ("sessions", Json.Array (List.map Ops.session_line_to_json lines));
+            ("text", Json.String (Ops.render_sessions lines));
+          ],
+          No_timing,
+          "-" )
+  | Protocol.Session_save -> (
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok slot ->
+          with_session_slot slot (fun () ->
+              let* () = ensure_writer slot p in
+              if t.cfg.state_dir = None then
+                Error
+                  ( Protocol.Bad_request,
+                    "session/save requires the server to run with --state-dir"
+                  )
+              else
+                match save_session t p.Protocol.session slot with
+                | Error m -> Error (Protocol.Internal, m)
+                | Ok _ ->
+                    let closing = p.Protocol.close in
+                    if closing then begin
+                      (* the migration handoff: persist, then free the
+                         slot so the target backend owns the session *)
+                      ignore (Session_table.remove t.sessions p.Protocol.session);
+                      Chop.Explore.Session.close slot.Session_table.session
+                    end;
+                    Ok
+                      ( [
+                          ("session", Json.String p.Protocol.session);
+                          ("saved", Json.Bool true);
+                          ("closed", Json.Bool closing);
+                          ("text",
+                           Json.String
+                             (Printf.sprintf "session %s saved\n"
+                                p.Protocol.session
+                             ^
+                             if closing then
+                               Ops.render_session_closed p.Protocol.session
+                             else ""));
+                        ],
+                        No_timing,
+                        "-" )))
   | Protocol.Session_run -> (
       match find_session t p.Protocol.session with
       | Error _ as e -> e
       | Ok slot ->
           with_session_slot slot (fun () ->
               match
-                Chop.Explore.Session.run_interruptible ~interrupt slot.session
+                Chop.Explore.Session.run_interruptible ~interrupt
+                  slot.Session_table.session
               with
               | exception Chop.Explore.Cancelled ->
                   Error (Protocol.Deadline, "deadline exceeded during the run")
               | report ->
-                  slot.last_used <- Unix.gettimeofday ();
-                  let sp = slot.open_params in
+                  slot.Session_table.last_used <- Unix.gettimeofday ();
+                  let sp = slot.Session_table.open_params in
                   let text =
                     Ops.render_explore
-                      (Chop.Explore.Session.spec slot.session)
+                      (Chop.Explore.Session.spec slot.Session_table.session)
                       ~keep_all:sp.Protocol.keep_all ~csv:sp.Protocol.csv
                       ~verbose:sp.Protocol.verbose report
                   in
@@ -515,9 +786,10 @@ let exec_op t (req : Protocol.request) ~interrupt :
       | Error _ as e -> e
       | Ok slot ->
           with_session_slot slot (fun () ->
+              let* () = ensure_writer slot p in
               let* constraints =
                 Ops.constraints_of_params
-                  (Chop.Explore.Session.spec slot.session)
+                  (Chop.Explore.Session.spec slot.Session_table.session)
                   p
               in
               let time_limit_s =
@@ -531,16 +803,19 @@ let exec_op t (req : Protocol.request) ~interrupt :
                   ?coarse_target:
                     (if p.Protocol.coarse > 0 then Some p.Protocol.coarse
                      else None)
-                  ~interrupt slot.session
+                  ~interrupt slot.Session_table.session
               with
               | exception Chop.Explore.Cancelled ->
                   Error (Protocol.Deadline, "deadline exceeded during the run")
               | exception Chop_auto.Invalid_constraints m ->
                   Error (Protocol.Bad_request, m)
               | o ->
-                  slot.last_used <- Unix.gettimeofday ();
+                  slot.Session_table.last_used <- Unix.gettimeofday ();
+                  slot.Session_table.edits <- slot.Session_table.edits + 1;
                   let text =
-                    Ops.render_auto (Chop.Explore.Session.spec slot.session) o
+                    Ops.render_auto
+                      (Chop.Explore.Session.spec slot.Session_table.session)
+                      o
                   in
                   let feasible = Ops.explore_feasible_count o.Chop_auto.report in
                   Ok
@@ -557,30 +832,59 @@ let exec_op t (req : Protocol.request) ~interrupt :
                       Of_auto o,
                       if feasible > 0 then "feasible" else "infeasible" )))
   | Protocol.Session_close -> (
-      Mutex.lock t.sessions_mu;
-      let slot = Hashtbl.find_opt t.sessions p.Protocol.session in
-      (match slot with
-      | Some _ -> Hashtbl.remove t.sessions p.Protocol.session
-      | None -> ());
-      Mutex.unlock t.sessions_mu;
-      match slot with
-      | None ->
-          Error
-            ( Protocol.Bad_request,
-              Printf.sprintf "unknown session %S (closed or evicted?)"
-                p.Protocol.session )
-      | Some slot ->
-          with_session_slot slot (fun () ->
-              Chop.Explore.Session.close slot.session);
-          Ok
-            ( [
-                ("closed", Json.Bool true);
-                ("text",
-                 Json.String
-                   (Printf.sprintf "session %s closed\n" p.Protocol.session));
-              ],
-              No_timing,
-              "-" ))
+      match find_session t p.Protocol.session with
+      | Error _ as e -> e
+      | Ok probe -> (
+          match
+            with_session_slot probe (fun () ->
+                match ensure_writer probe p with
+                | Error m -> Error (Protocol.Bad_request, m)
+                | Ok () -> (
+                    (* re-check under the session mutex: a concurrent close
+                       or migration may have emptied the slot already *)
+                    match Session_table.remove t.sessions p.Protocol.session with
+                    | None ->
+                        Error
+                          ( Protocol.Bad_request,
+                            Printf.sprintf
+                              "unknown session %S (closed or evicted?)"
+                              p.Protocol.session )
+                    | Some _ ->
+                        Chop.Explore.Session.close probe.Session_table.session;
+                        (* an explicit close discards durable state too —
+                           only eviction, shutdown and session/save keep
+                           snapshots *)
+                        drop_snapshot t p.Protocol.session;
+                        Ok ()))
+          with
+          | Error _ as e -> e
+          | Ok () ->
+              Ok
+                ( [
+                    ("closed", Json.Bool true);
+                    ("text",
+                     Json.String
+                       (Ops.render_session_closed p.Protocol.session));
+                  ],
+                  No_timing,
+                  "-" )))
+  | Protocol.Explore_slice -> (
+      let* spec = Ops.spec_of_params p in
+      let* config = Ops.config_of_params ~jobs:t.cfg.jobs p in
+      let slot =
+        engine_slot t ~key:(Ops.engine_key ~op:req.Protocol.op p) spec config
+      in
+      match
+        with_slot slot
+          (Chop.Explore.Engine.run_slice ~index:p.Protocol.slice_index
+             ~count:p.Protocol.slice_count)
+      with
+      | exception Invalid_argument m -> Error (Protocol.Bad_request, m)
+      | sr -> Ok (Ops.slice_payload_fields sr, No_timing, "-"))
+  | Protocol.Gateway_migrate ->
+      Error
+        ( Protocol.Bad_request,
+          "gateway/migrate is a gateway operation; this is a backend" )
   | Protocol.Sensitivity ->
       let* spec = Ops.spec_of_params p in
       (* per-point what-if probes build their own single-job engines; the
@@ -620,12 +924,14 @@ let execute t (req : Protocol.request) ~queue_seconds ~interrupt =
         | No_timing -> Protocol.no_engine_timing ~queue_ms ~run_ms
       in
       bump t `Ok;
-      access_log t ~id:req.Protocol.id ~op:op_name ~status:"ok" ~timing ~verdict;
+      access_log t ~client:req.Protocol.params.Protocol.client
+        ~id:req.Protocol.id ~op:op_name ~status:"ok" ~timing ~verdict;
       Protocol.ok_response ~id:req.Protocol.id ~op:req.Protocol.op ~timing fields
   | Error (code, msg) ->
       let timing = Protocol.no_engine_timing ~queue_ms ~run_ms in
       bump t (`Err code);
-      access_log t ~id:req.Protocol.id ~op:op_name
+      access_log t ~client:req.Protocol.params.Protocol.client
+        ~id:req.Protocol.id ~op:op_name
         ~status:(Protocol.error_code_to_string code)
         ~timing ~verdict:"-";
       Protocol.error_response ~id:req.Protocol.id ~code msg

@@ -47,12 +47,18 @@ type config = {
   max_sessions : int;
       (** cap on concurrently open interactive sessions; opening past it
           evicts the least-recently-used idle session *)
+  state_dir : string option;
+      (** directory for durable session snapshots ({!Chop.Snapshot}):
+          written on shutdown, eviction and [session/save], restored by
+          [session/open] naming a snapshotted id.  [None] (the default)
+          keeps sessions purely in-memory.  The directory is created if
+          missing. *)
 }
 
 val default_config : config
 (** Stdio transport, concurrency 2, queue 8, single-job pool, no default
     deadline, log on stderr, signals handled, 600 s session TTL, 32
-    sessions at most. *)
+    sessions at most, no state dir. *)
 
 type t
 

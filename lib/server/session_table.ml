@@ -1,0 +1,136 @@
+(* Session bookkeeping for the serving layer.  See session_table.mli for
+   the eviction contract; the part worth reading twice is [prune]'s
+   re-check of [last_used] *after* try_lock — the fix for the scheduler
+   drain race where an in-flight session/edit refreshed the timestamp
+   too late to stop its session being TTL-evicted. *)
+
+type slot = {
+  session : Chop.Explore.Session.t;
+  smu : Mutex.t;
+  mutable last_used : float;
+  open_params : Protocol.params;
+  mutable writer : string;
+  mutable observers : string list;
+  mutable edits : int;
+}
+
+type t = {
+  slots : (string, slot) Hashtbl.t;
+  mu : Mutex.t;
+  mutable seq : int;
+  ttl_s : float;
+  cap : int;
+}
+
+let create ~ttl_s ~max_sessions =
+  if ttl_s <= 0. then invalid_arg "Session_table.create: ttl_s must be positive";
+  if max_sessions < 1 then
+    invalid_arg "Session_table.create: max_sessions must be >= 1";
+  {
+    slots = Hashtbl.create 16;
+    mu = Mutex.create ();
+    seq = 0;
+    ttl_s;
+    cap = max_sessions;
+  }
+
+let max_sessions t = t.cap
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let length t = locked t (fun () -> Hashtbl.length t.slots)
+
+let find t sid = locked t (fun () -> Hashtbl.find_opt t.slots sid)
+
+(* Caller-provided ids of our own shape advance the allocator, so a
+   gateway-assigned "s7" never collides with a later local "s7". *)
+let observe_id t sid =
+  if String.length sid > 1 && sid.[0] = 's' then
+    match int_of_string_opt (String.sub sid 1 (String.length sid - 1)) with
+    | Some n when n > t.seq -> t.seq <- n
+    | _ -> ()
+
+let add t sid slot =
+  locked t (fun () ->
+      if Hashtbl.mem t.slots sid then
+        Error (Printf.sprintf "session %S is already open" sid)
+      else begin
+        observe_id t sid;
+        Hashtbl.add t.slots sid slot;
+        Ok ()
+      end)
+
+let fresh_id t =
+  locked t (fun () ->
+      let rec next () =
+        t.seq <- t.seq + 1;
+        let sid = Printf.sprintf "s%d" t.seq in
+        if Hashtbl.mem t.slots sid then next () else sid
+      in
+      next ())
+
+let remove t sid =
+  locked t (fun () ->
+      let r = Hashtbl.find_opt t.slots sid in
+      (match r with Some _ -> Hashtbl.remove t.slots sid | None -> ());
+      r)
+
+let entries t =
+  locked t (fun () -> Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.slots [])
+
+let prune t ~now ~room_for ~on_evict =
+  Mutex.lock t.mu;
+  let victims = ref [] in
+  let grab ~recheck reason sid slot =
+    if slot.observers <> [] then false
+    else if Mutex.try_lock slot.smu then
+      (* the race fix: [last_used] was sampled before the lock; a run or
+         edit that held [smu] while we sampled has refreshed it by now,
+         so expiry must be re-judged under the mutex *)
+      if recheck && now -. slot.last_used <= t.ttl_s then begin
+        Mutex.unlock slot.smu;
+        false
+      end
+      else begin
+        Hashtbl.remove t.slots sid;
+        victims := (sid, slot, reason) :: !victims;
+        true
+      end
+    else false
+  in
+  Hashtbl.iter
+    (fun sid slot ->
+      if now -. slot.last_used > t.ttl_s then
+        ignore (grab ~recheck:true "ttl" sid slot))
+    (Hashtbl.copy t.slots);
+  let excess () = Hashtbl.length t.slots - (t.cap - room_for) in
+  if excess () > 0 then begin
+    let by_age =
+      Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.slots []
+      |> List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used)
+    in
+    let rec evict n = function
+      | [] -> ()
+      | _ when n <= 0 -> ()
+      | (sid, slot) :: tl ->
+          evict (if grab ~recheck:false "lru" sid slot then n - 1 else n) tl
+    in
+    evict (excess ()) by_age
+  end;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun (sid, slot, reason) ->
+      on_evict ~reason sid slot;
+      Mutex.unlock slot.smu)
+    !victims
+
+let drain t f =
+  let all =
+    locked t (fun () ->
+        let all = Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t.slots [] in
+        Hashtbl.reset t.slots;
+        all)
+  in
+  List.iter (fun (sid, slot) -> f sid slot) all

@@ -1,0 +1,73 @@
+(** The server's session bookkeeping: id allocation, writer/observer
+    membership, and TTL + LRU eviction with the drain race closed.
+
+    One {!slot} per open session.  The slot's [smu] serialises engine
+    work on the session; the table's own lock only guards membership, so
+    a sweep never blocks behind a long run.
+
+    {b The drain race.}  The eviction sweep used to decide expiry from a
+    sampled [last_used] and only then try the session mutex — so an edit
+    admitted before the sample but still in flight (typical while the
+    scheduler drains a backlog) would refresh [last_used] too late, and
+    the sweep would evict a session the client had just edited.  {!prune}
+    therefore re-reads [last_used] {e after} [Mutex.try_lock] succeeds
+    and releases the slot when the session turned out to be fresh.
+
+    Observed sessions — those with at least one attached read-only
+    client — are never evicted, by TTL or by LRU; detaching the last
+    observer makes the session ordinary again. *)
+
+type slot = {
+  session : Chop.Explore.Session.t;
+  smu : Mutex.t;  (** serialises engine work on this session *)
+  mutable last_used : float;
+  open_params : Protocol.params;
+      (** rendering parameters fixed at open (keep_all/csv/verbose) *)
+  mutable writer : string;
+      (** the client that opened the session ("" = anonymous); the only
+          client allowed to mutate it *)
+  mutable observers : string list;  (** attached read-only clients *)
+  mutable edits : int;  (** applied edit/undo/redo batches, for the log *)
+}
+
+type t
+
+val create : ttl_s:float -> max_sessions:int -> t
+(** @raise Invalid_argument on a non-positive TTL or capacity. *)
+
+val max_sessions : t -> int
+
+val length : t -> int
+
+val find : t -> string -> slot option
+
+val add : t -> string -> slot -> (unit, string) result
+(** Registers a slot under an id; [Error] when the id is already live.
+    Caller-provided ids of the server's own [s<n>] shape advance the
+    allocator past [n], so {!fresh_id} never reuses them. *)
+
+val fresh_id : t -> string
+(** The next free [s<n>] id (allocation only — the caller {!add}s). *)
+
+val remove : t -> string -> slot option
+
+val entries : t -> (string * slot) list
+(** A membership snapshot, unordered. *)
+
+val prune :
+  t ->
+  now:float ->
+  room_for:int ->
+  on_evict:(reason:string -> string -> slot -> unit) ->
+  unit
+(** One eviction sweep: sessions idle past the TTL go first (expiry
+    re-checked under the session mutex — see the drain race above), then
+    least-recently-used ones until [room_for] new sessions fit.  Busy
+    sessions (mutex held) and observed sessions are skipped, so the cap
+    is best-effort under concurrency.  [on_evict] runs with the slot's
+    mutex held and already removed from the table — the place to
+    snapshot and close. *)
+
+val drain : t -> (string -> slot -> unit) -> unit
+(** Empties the table, calling the callback on every slot (shutdown:
+    snapshot and close everything, ignoring observers and business). *)

@@ -345,6 +345,177 @@ let test_session_revision_and_pending () =
         (Explore.Session.pending_dirty session))
 
 (* ------------------------------------------------------------------ *)
+(* Undo/redo: inverse laws on the report bytes, bounded history *)
+
+let retune perf =
+  Spec.Set_criteria (Chop_bad.Feasibility.criteria ~perf ~delay:perf ())
+
+let test_history_bounded () =
+  let session =
+    Explore.Session.create ~history:2 Explore.Config.default (ar_spec ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Explore.Session.close session)
+    (fun () ->
+      List.iter
+        (fun perf ->
+          match Explore.Session.edit session [ retune perf ] with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%a" Spec.pp_update_error e)
+        [ 21000.; 22000.; 23000. ];
+      (* three edits, but the stack holds only the last two pre-edit specs *)
+      Alcotest.(check int) "undo depth capped" 2
+        (Explore.Session.undo_depth session);
+      (match Explore.Session.undo session with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check int) "undo fills redo" 1
+        (Explore.Session.redo_depth session);
+      (match Explore.Session.undo session with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      (* the first edit's pre-state fell off the bounded stack *)
+      (match Explore.Session.undo session with
+      | Ok _ -> Alcotest.fail "undo past the history bound"
+      | Error _ -> ());
+      (* a fresh edit clears the redo stack *)
+      (match Explore.Session.edit session [ retune 25000. ] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      Alcotest.(check int) "edit clears redo" 0
+        (Explore.Session.redo_depth session))
+
+let test_undo_disabled () =
+  let session =
+    Explore.Session.create ~history:0 Explore.Config.default (ar_spec ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Explore.Session.close session)
+    (fun () ->
+      (match Explore.Session.edit session [ retune 21000. ] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      Alcotest.(check int) "no history kept" 0
+        (Explore.Session.undo_depth session);
+      match Explore.Session.undo session with
+      | Ok _ -> Alcotest.fail "undo with history disabled"
+      | Error _ -> ())
+
+(* undo∘edit = id and redo∘undo = edit, measured on the bytes a client
+   sees: the rendered report of a run after the step *)
+let undo_redo_inverse_laws =
+  QCheck.Test.make ~name:"undo reverts the report bytes, redo replays them"
+    ~count:6
+    QCheck.(0 -- 10000)
+    (fun seed ->
+      let r = lcg seed in
+      let spec0 = if seed mod 2 = 0 then ewf_spec () else ar_spec () in
+      let config =
+        Explore.Config.make
+          ~cache:(Explore.Config.Custom (Pred_cache.create ()))
+          ()
+      in
+      Explore.with_session config spec0 (fun session ->
+          let run () =
+            let spec = Explore.Session.spec session in
+            render spec (Explore.Session.run session)
+          in
+          let before = run () in
+          (* find a random edit the spec accepts (gen_edit deliberately
+             mixes in invalid ones); none in 30 draws ⇒ trivially pass *)
+          let rec try_edit n =
+            if n = 0 then None
+            else
+              let edit = gen_edit r (Explore.Session.spec session) in
+              match Explore.Session.edit session [ edit ] with
+              | Ok _ -> Some edit
+              | Error _ -> try_edit (n - 1)
+          in
+          match try_edit 30 with
+          | None -> true
+          | Some _ ->
+              let rev_after_edit = Explore.Session.revision session in
+              let after = run () in
+              (match Explore.Session.undo session with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              Alcotest.(check string) "undo∘edit = id on the report" before
+                (run ());
+              Alcotest.(check int) "undo advances the revision"
+                (rev_after_edit + 1)
+                (Explore.Session.revision session);
+              (match Explore.Session.redo session with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              Alcotest.(check string) "redo replays the edit's report" after
+                (run ());
+              true))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot round-trip: a restored session is the session, byte for
+   byte, and its first run does no raw prediction work *)
+
+let snapshot_roundtrip_preserves_session =
+  QCheck.Test.make
+    ~name:"snapshot round-trip: byte-identical run, zero cache misses"
+    ~count:6
+    QCheck.(pair (0 -- 10000) (1 -- 3))
+    (fun (seed, len) ->
+      let r = lcg seed in
+      let spec0 = if seed mod 2 = 0 then ewf_spec () else ar_spec () in
+      (* one shared content-addressed cache, as the serving layer's
+         process-wide store would be *)
+      let cache = Pred_cache.create () in
+      let config =
+        Explore.Config.make ~cache:(Explore.Config.Custom cache) ()
+      in
+      let meta = [ ("open", "{\"op\":\"session/open\"}") ] in
+      let session = Explore.Session.create config spec0 in
+      let reference, snap =
+        Fun.protect
+          ~finally:(fun () -> Explore.Session.close session)
+          (fun () ->
+            ignore (Explore.Session.run session);
+            for _ = 1 to len do
+              ignore
+                (Explore.Session.edit session
+                   [ gen_edit r (Explore.Session.spec session) ])
+            done;
+            let spec = Explore.Session.spec session in
+            let reference = render spec (Explore.Session.run session) in
+            ( reference,
+              Snapshot.of_state ~meta (Explore.Session.state session) ))
+      in
+      (* through the wire format and back *)
+      let parsed = Snapshot.parse (Snapshot.print snap) in
+      Alcotest.(check (list (pair string string))) "meta preserved" meta
+        parsed.Snapshot.meta;
+      Alcotest.(check int) "revision preserved" snap.Snapshot.revision
+        parsed.Snapshot.revision;
+      Alcotest.(check int) "undo chain preserved"
+        (List.length snap.Snapshot.undo)
+        (List.length parsed.Snapshot.undo);
+      Alcotest.(check int) "redo chain preserved"
+        (List.length snap.Snapshot.redo)
+        (List.length parsed.Snapshot.redo);
+      let restored =
+        Explore.Session.restore config (Snapshot.to_state parsed)
+      in
+      Fun.protect
+        ~finally:(fun () -> Explore.Session.close restored)
+        (fun () ->
+          let report = Explore.Session.run restored in
+          (* parsing renumbered every node id, so raw cache keys differ —
+             the content-addressed store must serve every partition
+             anyway, as structural hits: no prediction is recomputed *)
+          Alcotest.(check int) "restored run misses nothing" 0
+            report.Explore.cache_misses;
+          Alcotest.(check string)
+            "restored run byte-identical to the live session's" reference
+            (render (Explore.Session.spec restored) report);
+          true))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc = Alcotest.test_case in
@@ -382,4 +553,12 @@ let () =
           tc "misses equal dirty partitions" `Quick test_misses_equal_dirty;
           tc "revision and pending" `Quick test_session_revision_and_pending;
         ] );
+      ( "history",
+        [
+          tc "undo stack is bounded" `Quick test_history_bounded;
+          tc "history 0 disables undo" `Quick test_undo_disabled;
+          QCheck_alcotest.to_alcotest undo_redo_inverse_laws;
+        ] );
+      ( "durability",
+        [ QCheck_alcotest.to_alcotest snapshot_roundtrip_preserves_session ] );
     ]
