@@ -35,7 +35,10 @@ let graph_arg =
     value
     & opt graph_conv (Chop_dfg.Benchmarks.ar_lattice_filter ())
     & info [ "g"; "graph" ] ~docv:"NAME"
-        ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, ewf2 (ewf rebuilt in a shuffled construction order — exercises structural cache sharing).")
+        ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, pcm_pwm \
+              (the HW/SW co-design case study), ewf2 (ewf rebuilt in a \
+              shuffled construction order — exercises structural cache \
+              sharing).")
 
 let partitions_arg =
   Arg.(
@@ -101,9 +104,22 @@ let strategy_arg =
     & info [ "s"; "strategy" ] ~docv:"STRAT"
         ~doc:"Partition generation strategy: levels, min-cut or random.")
 
-let build_spec graph k package perf delay multicycle strategy =
-  Ops.build_spec ~graph ~partitions:k ~package ~perf ~delay ~multicycle
-    ~strategy
+let build_spec ?(impls = []) graph k package perf delay multicycle strategy =
+  (* the graph carries its benchmark name, so the co-design benchmark (and
+     any explicit --impl binding) declares the reference processor *)
+  Ops.build_spec
+    ~processors:
+      (Ops.processors_for ~benchmark:(Chop_dfg.Graph.name graph) ~impls)
+    ~impls ~graph ~partitions:k ~package ~perf ~delay ~multicycle ~strategy ()
+
+let impl_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "impl" ] ~docv:"PART=MODEL"
+        ~doc:"Bind a partition to an implementation model (repeatable): \
+              $(b,hw) or the reference processor $(b,cpu).  Any binding \
+              declares the processor, so $(b,--impl P1=cpu) works on every \
+              benchmark; $(b,pcm_pwm) declares it even without bindings.")
 
 let jobs_arg =
   Arg.(
@@ -128,12 +144,25 @@ let file_arg =
 
 let explore_cmd =
   let run graph k package perf delay multicycle heuristic strategy verbose file
-      csv keep_all no_prune stats jobs =
-    let spec =
-      match file with
-      | Some path -> Chop.Specfile.load path
-      | None -> build_spec graph k package perf delay multicycle strategy
-    in
+      csv keep_all no_prune stats jobs impl =
+    match
+      match Ops.parse_impl_bindings impl with
+      | Error _ as e -> e
+      | Ok impls -> (
+          match
+            match file with
+            | Some path -> Chop.Specfile.load path
+            | None ->
+                build_spec ~impls graph k package perf delay multicycle
+                  strategy
+          with
+          | spec -> Ok spec
+          | exception Chop.Spec.Invalid_spec reason -> Error reason)
+    with
+    | Error msg ->
+        prerr_endline ("chop explore: " ^ msg);
+        2
+    | Ok spec ->
     let config =
       Chop.Explore.Config.make ~heuristic ~keep_all:(csv || keep_all)
         ~pre_prune:(not no_prune) ~jobs:(resolve_jobs jobs) ()
@@ -182,7 +211,7 @@ let explore_cmd =
                        time, chunk counts, cache hits/misses, and the \
                        search-side counters (implementations pre-pruned, \
                        integrations avoided, chip-report cache hits).")
-      $ jobs_arg)
+      $ jobs_arg $ impl_arg)
 
 let repl_cmd =
   let run graph k package perf delay multicycle heuristic strategy file verbose
@@ -338,12 +367,25 @@ let advise_cmd =
 
 let auto_cmd =
   let run graph k package perf delay multicycle strategy file seed max_moves
-      time_limit coarse pins together stats jobs =
-    let spec =
-      match file with
-      | Some path -> Chop.Specfile.load path
-      | None -> build_spec graph k package perf delay multicycle strategy
-    in
+      time_limit coarse pins together stats jobs impl =
+    match
+      match Ops.parse_impl_bindings impl with
+      | Error _ as e -> e
+      | Ok impls -> (
+          match
+            match file with
+            | Some path -> Chop.Specfile.load path
+            | None ->
+                build_spec ~impls graph k package perf delay multicycle
+                  strategy
+          with
+          | spec -> Ok spec
+          | exception Chop.Spec.Invalid_spec reason -> Error reason)
+    with
+    | Error msg ->
+        prerr_endline ("chop auto: " ^ msg);
+        2
+    | Ok spec -> (
     match Ops.parse_constraints spec ~pins ~together with
     | Error msg ->
         prerr_endline ("chop auto: " ^ msg);
@@ -366,7 +408,7 @@ let auto_cmd =
             print_newline ();
             print_string (Ops.render_auto_timing o);
             if stats then print_string (Ops.render_auto_stats o);
-            if Ops.explore_feasible_count o.Chop_auto.report > 0 then 0 else 1)
+            if Ops.explore_feasible_count o.Chop_auto.report > 0 then 0 else 1))
   in
   let seed =
     Arg.(value & opt int 1
@@ -432,7 +474,7 @@ let auto_cmd =
                  ~doc:"Print the speculative-refinement breakdown: job \
                        count, probe runs, batch rounds, pool busy/wall \
                        seconds and per-round averages.")
-      $ jobs_arg)
+      $ jobs_arg $ impl_arg)
 
 let autosearch_cmd =
   let run graph max_partitions package perf delay multicycle =
@@ -727,7 +769,10 @@ let request_cmd =
   let benchmark =
     Arg.(value & opt string "ar"
          & info [ "g"; "graph" ] ~docv:"NAME"
-             ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, ewf2 (ewf rebuilt in a shuffled construction order — exercises structural cache sharing).")
+             ~doc:"Benchmark graph: ar, ewf, fir8, fir16, diffeq, dct8, pcm_pwm \
+              (the HW/SW co-design case study), ewf2 (ewf rebuilt in a \
+              shuffled construction order — exercises structural cache \
+              sharing).")
   in
   let partitions =
     Arg.(value & opt int 2
@@ -891,7 +936,7 @@ let request_cmd =
       $ deadline_ms_arg $ raw)
 
 let gateway_cmd =
-  let run socket backends vnodes fanout quiet =
+  let run socket backends vnodes fanout quiet health_interval =
     if backends = [] then begin
       prerr_endline "chop gateway: at least one --backend is required";
       2
@@ -906,6 +951,8 @@ let gateway_cmd =
             fanout;
             log = (if quiet then None else Some stderr);
             handle_signals = true;
+            health_interval_s =
+              (if health_interval > 0. then Some health_interval else None);
           }
       in
       Chop_gateway.Gateway.serve gw;
@@ -936,6 +983,14 @@ let gateway_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress the per-request log (stderr).")
   in
+  let health_interval =
+    Arg.(value & opt float 0.
+         & info [ "health-interval" ] ~docv:"S"
+             ~doc:"Ping every backend this often (seconds) and mark \
+                   failures dead ahead of time: routing prefers live \
+                   backends and session ops fail over preemptively.  0 \
+                   (the default) disables the prober.")
+  in
   Cmd.v
     (Cmd.info "gateway"
        ~doc:"Front a cluster of $(b,chop serve) backends on one socket: \
@@ -943,7 +998,8 @@ let gateway_cmd =
              stick to (and migrate between) them through snapshots, and \
              responses are byte-identical to a single-process serve")
     Term.(
-      const run $ serve_socket_arg $ backends $ vnodes $ fanout $ quiet)
+      const run $ serve_socket_arg $ backends $ vnodes $ fanout $ quiet
+      $ health_interval)
 
 let bench_info_cmd =
   let run () =

@@ -58,6 +58,7 @@ type outcome = {
   coarse_clusters : int;
   moves_tried : int;
   moves_accepted : int;
+  impl_flips : int;
   speculative_runs : int;
   batch_rounds : int;
   spec_wall_seconds : float;
@@ -237,6 +238,18 @@ let apply_fixups session tpos groups =
 (* {1 Clusters and coarsening} *)
 
 type cluster = { members : G.node_id list; pinned : bool }
+
+(* A refinement action is either the classic cluster move between
+   partitions or — when the spec declares software processors — rebinding
+   a partition to a different implementation model.  Flips carry the
+   current model so a commit can be reverted symmetrically. *)
+type action =
+  | Move_cluster of cluster * string * string  (* cluster, from part, to part *)
+  | Flip_impl of string * string * string  (* partition, from model, to model *)
+
+let action_order = function
+  | Move_cluster (c, _, q) -> (0, List.hd c.members, "", q)
+  | Flip_impl (p, _, m) -> (1, 0, p, m)
 
 let base_clusters tpos ~pin_tbl ~communities ops =
   let in_comm = Hashtbl.create 64 in
@@ -537,7 +550,7 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
   in
   let levels = List.length hierarchy in
   let coarse_clusters = List.length (List.hd hierarchy) in
-  let tried = ref 0 and accepted = ref 0 in
+  let tried = ref 0 and accepted = ref 0 and flips = ref 0 in
   let spec_runs = ref 0 and rounds = ref 0 in
   let spec_wall = ref 0. and spec_busy = ref 0. in
   let hits = ref 0 and misses = ref 0 and structural = ref 0 in
@@ -563,34 +576,61 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
       List.map (fun (p : P.t) -> p.P.label) spec.Chop.Spec.partitioning.P.parts
       |> List.sort String.compare
     in
-    List.concat_map
-      (fun c ->
-        if c.pinned then []
-        else
-          let from = part_label_of spec (List.hd c.members) in
-          if Hashtbl.find part_sizes from <= List.length c.members then []
+    let moves =
+      List.concat_map
+        (fun c ->
+          if c.pinned then []
           else
-            let conn = connectivity g spec c in
-            let home = Option.value ~default:0 (Hashtbl.find_opt conn from) in
+            let from = part_label_of spec (List.hd c.members) in
+            if Hashtbl.find part_sizes from <= List.length c.members then []
+            else
+              let conn = connectivity g spec c in
+              let home = Option.value ~default:0 (Hashtbl.find_opt conn from) in
+              List.filter_map
+                (fun q ->
+                  if String.equal q from then None
+                  else
+                    let gain =
+                      Option.value ~default:0 (Hashtbl.find_opt conn q) - home
+                    in
+                    Some
+                      ( gain,
+                        Hashtbl.hash (seed, level_idx, List.hd c.members, q),
+                        Move_cluster (c, from, q) ))
+                labels)
+        clusters
+    in
+    (* implementation-model flips: only generated when the spec declares
+       processors, so hardware-only refinement is byte-identical to the
+       pre-model code path *)
+    let flips =
+      if spec.Chop.Spec.processors = [] then []
+      else
+        let models =
+          "hw"
+          :: List.map
+               (fun p -> p.Chop_model_sw.Processor.pname)
+               spec.Chop.Spec.processors
+        in
+        List.concat_map
+          (fun lbl ->
+            let cur = Chop.Spec.impl_of_partition spec lbl in
             List.filter_map
-              (fun q ->
-                if String.equal q from then None
+              (fun m ->
+                if String.equal m cur then None
                 else
-                  let gain =
-                    Option.value ~default:0 (Hashtbl.find_opt conn q) - home
-                  in
                   Some
-                    ( gain,
-                      Hashtbl.hash (seed, level_idx, List.hd c.members, q),
-                      c,
-                      from,
-                      q ))
-              labels)
-      clusters
-    |> List.sort (fun (g1, t1, c1, _, q1) (g2, t2, c2, _, q2) ->
+                    ( 0,
+                      Hashtbl.hash (seed, level_idx, lbl, m, "impl"),
+                      Flip_impl (lbl, cur, m) ))
+              models)
+          labels
+    in
+    moves @ flips
+    |> List.sort (fun (g1, t1, a1) (g2, t2, a2) ->
            if g1 <> g2 then compare g2 g1
            else if t1 <> t2 then compare t1 t2
-           else compare (List.hd c1.members, q1) (List.hd c2.members, q2))
+           else compare (action_order a1) (action_order a2))
   in
   (* moves applied since the last best state (kicks, most recent first);
      rolled back at the end unless a later acceptance redeems them *)
@@ -610,20 +650,68 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
      from the *current* state is still path-dependent, so a commit
      re-applies the edit and deterministically skips a stale entry. *)
   let memo : (string, score) Hashtbl.t = Hashtbl.create 512 in
-  let assignment_key ~members ~to_ =
+  let assignment_key action =
     let spec = S.spec session in
-    let in_m = Hashtbl.create 16 in
-    List.iter (fun op -> Hashtbl.replace in_m op ()) members;
     let b = Buffer.create 512 in
+    let in_m = Hashtbl.create 16 in
+    let moved_to =
+      match action with
+      | Move_cluster (c, _, q) ->
+          List.iter (fun op -> Hashtbl.replace in_m op ()) c.members;
+          q
+      | Flip_impl _ -> ""
+    in
     List.iter
       (fun op ->
         Buffer.add_string b (string_of_int op);
         Buffer.add_char b ':';
         Buffer.add_string b
-          (if Hashtbl.mem in_m op then to_ else part_label_of spec op);
+          (if Hashtbl.mem in_m op then moved_to else part_label_of spec op);
         Buffer.add_char b ';')
       ops;
+    (* model bindings join the key only when flips are in play, so the
+       hardware-only memo behaves exactly as before *)
+    if spec.Chop.Spec.processors <> [] then
+      List.iter
+        (fun (p : P.t) ->
+          let m =
+            match action with
+            | Flip_impl (lbl, _, to_) when String.equal lbl p.P.label -> to_
+            | _ -> Chop.Spec.impl_of_partition spec p.P.label
+          in
+          Buffer.add_string b p.P.label;
+          Buffer.add_char b '=';
+          Buffer.add_string b m;
+          Buffer.add_char b '|')
+        (List.sort
+           (fun (a : P.t) (b : P.t) -> String.compare a.P.label b.P.label)
+           spec.Chop.Spec.partitioning.P.parts);
     Digest.string (Buffer.contents b)
+  in
+  (* Apply an action to a session (the main one or a speculative fork).
+     Returns the revert token a cancelled or failed commit needs. *)
+  let apply_action sess = function
+    | Move_cluster (c, from, q) -> (
+        match try_move sess tpos c.members ~to_:q with
+        | Ok applied -> Ok (`Moved (applied, from))
+        | Error _ as e -> e)
+    | Flip_impl (p, from, m) -> (
+        match S.edit sess [ Chop.Spec.Set_impl { partition = p; impl = m } ] with
+        | Ok _ -> Ok (`Flipped (p, from))
+        | Error e ->
+            Error (Format.asprintf "%a" Chop.Spec.pp_update_error e))
+  in
+  let revert_action sess = function
+    | `Moved (applied, from) -> revert sess ~applied ~to_:from
+    | `Flipped (p, from) -> (
+        match
+          S.edit sess [ Chop.Spec.Set_impl { partition = p; impl = from } ]
+        with
+        | Ok _ -> ()
+        | Error e ->
+            invalid_arg
+              (Format.asprintf "Chop_auto: impl revert failed (internal): %a"
+                 Chop.Spec.pp_update_error e))
   in
   (* One refinement pass: scan the gain-ordered candidates in waves of
      speculative probes, evaluated concurrently on the session's pool via
@@ -642,8 +730,8 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
         (* consult the memo sequentially, before any probe dispatches *)
         let entries =
           List.map
-            (fun ((_, _, c, _, q) as cand) ->
-              let key = assignment_key ~members:c.members ~to_:q in
+            (fun ((_, _, action) as cand) ->
+              let key = assignment_key action in
               (cand, key, ref (Hashtbl.find_opt memo key)))
             wave
         in
@@ -655,9 +743,9 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
           let tasks =
             Array.of_list
               (List.map
-                 (fun ((_, _, c, _, q), _, _) ->
+                 (fun ((_, _, action), _, _) ->
                    fun probe ->
-                     match try_move probe tpos c.members ~to_:q with
+                     match apply_action probe action with
                      | Error _ ->
                          `Illegal (* cycle / would empty the part *)
                      | Ok _ -> (
@@ -694,8 +782,8 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
              whether a probe ran or the memo served it *)
           let scored =
             List.filter_map
-              (fun ((_, _, c, from, q), _, v) ->
-                Option.map (fun sc -> (c, from, q, sc)) !v)
+              (fun ((_, _, action), _, v) ->
+                Option.map (fun sc -> (action, sc)) !v)
               entries
           in
           tried := !tried + List.length scored;
@@ -704,13 +792,13 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
              the probe just populated *)
           let rec commit = function
             | [] -> `No_improvement
-            | (c, from, q, sc) :: more when better sc !cur_score -> (
-                match try_move session tpos c.members ~to_:q with
+            | (action, sc) :: more when better sc !cur_score -> (
+                match apply_action session action with
                 | Error _ -> commit more (* stale memo: illegal from here *)
-                | Ok applied -> (
+                | Ok tok -> (
                     match S.run_interruptible ~interrupt session with
                     | exception Chop.Explore.Cancelled ->
-                        revert session ~applied ~to_:from;
+                        revert_action session tok;
                         `Cancelled
                     | r ->
                         record_stats r;
@@ -720,12 +808,15 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
                           cur_report := r;
                           undo := [];
                           incr accepted;
+                          (match action with
+                          | Flip_impl _ -> incr flips
+                          | Move_cluster _ -> ());
                           `Committed
                         end
                         else begin
                           (* defensive: a probe score replays identically,
                              so this arm should be unreachable *)
-                          revert session ~applied ~to_:from;
+                          revert_action session tok;
                           commit more
                         end))
             | _ :: more -> commit more
@@ -765,7 +856,8 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
     | Some weak ->
         let rec try_cands = function
           | [] -> false
-          | (_, _, c, from, q) :: rest when String.equal from weak -> (
+          | (_, _, Move_cluster (c, from, q)) :: rest
+            when String.equal from weak -> (
               match try_move session tpos c.members ~to_:q with
               | Error _ -> try_cands rest
               | Ok applied -> (
@@ -833,6 +925,7 @@ let refine ?(seed = 1) ?(constraints = no_constraints) ?(max_moves = 1024)
     coarse_clusters;
     moves_tried = !tried;
     moves_accepted = !accepted;
+    impl_flips = !flips;
     speculative_runs = !spec_runs;
     batch_rounds = !rounds;
     spec_wall_seconds = !spec_wall;

@@ -27,7 +27,13 @@
       move only when the BAD-predicted score strictly improves:
       feasibility first, then best-design performance, then likely area,
       then delay (for infeasible states: BAD per-partition feasible
-      counts, then cut bits).
+      counts, then cut bits);
+    + when the spec declares software processors ({!Chop.Spec.processors}),
+      every pass also weighs implementation-model flips — rebinding a whole
+      partition to a processor, or back to hardware — against the same
+      score, so refinement explores the HW/SW co-design space jointly with
+      the cut.  Hardware-only specs generate no flip candidates and behave
+      exactly as before.
 
     Constraints: [pin op part] fixes an operation to a partition (the
     cluster containing it never moves); [together op,op,...] keeps a
@@ -68,6 +74,11 @@ type outcome = {
       (** candidate moves evaluated (speculative probe runs plus
           memo-served re-evaluations) *)
   moves_accepted : int;
+  impl_flips : int;
+      (** accepted moves that rebound a partition's implementation model
+          (hardware to a processor or back).  Flip candidates are only
+          generated when the spec declares processors, so hardware-only
+          runs behave exactly as before and report [0]. *)
   speculative_runs : int;
       (** probe evaluations actually run on session forks (memo hits and
           illegal moves excluded) *)

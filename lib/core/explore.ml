@@ -114,12 +114,10 @@ let predictor_config spec ~label =
     ~memories:(Spec.memories_of_partition spec label)
     ~library:spec.Spec.library ~clocks:spec.Spec.clocks ~style:spec.Spec.style ()
 
-let partition_chip_area spec ~label =
-  let ci = Spec.chip_of_partition spec label in
-  let pkg = ci.Spec.package in
-  (* at this stage the exact pin usage is unknown; assume half the package
-     pins are bonded as signal pads *)
-  Chop_tech.Chip.usable_area pkg ~signal_pins:(pkg.Chop_tech.Chip.pins / 2)
+(* at this stage the exact pin usage is unknown; Model.capacity assumes
+   half the package pins are bonded as signal pads (hardware) or the
+   processor's memory budget (software) *)
+let partition_chip_area spec ~label = Model.capacity Model.Hardware spec ~label
 
 module Session = struct
   type t = {
@@ -294,8 +292,9 @@ module Session = struct
     let spec = e.spec in
     let label = part.Chop_dfg.Partition.label in
     let sub = Chop_dfg.Partition.subgraph spec.Spec.partitioning part in
+    let model = Model.of_spec spec ~label in
     let cfg = predictor_config spec ~label in
-    let chip_area = partition_chip_area spec ~label in
+    let chip_area = Model.capacity model spec ~label in
     let chip = (Spec.chip_of_partition spec label).Spec.package in
     let criteria = spec.Spec.criteria in
     let derive raw =
@@ -308,14 +307,14 @@ module Session = struct
                     ~clocks:spec.Spec.clocks ~chip_area pr))
              raw)
       in
-      let kept = Chop_bad.Predictor.prune cfg ~criteria ~chip_area raw in
+      let kept = Model.prune model cfg ~criteria ~capacity:chip_area raw in
       { Pred_cache.raw; feasible_count; kept }
     in
     let entry, hit =
       match e.cache with
-      | None -> (derive (Chop_bad.Predictor.predict cfg ~label sub), false)
+      | None -> (derive (Model.predict model cfg ~label sub), false)
       | Some cache -> (
-          let raw_key = Pred_cache.Key.raw ~sub ~cfg in
+          let raw_key = Pred_cache.Key.raw ~sub ~cfg ~model in
           let full_key = Pred_cache.Key.full ~raw:raw_key ~chip ~criteria in
           match Pred_cache.find_full cache full_key with
           | Some entry -> (entry, true)
@@ -324,7 +323,7 @@ module Session = struct
                 match Pred_cache.find_raw cache raw_key with
                 | Some raw -> (raw, true)
                 | None ->
-                    let raw = Chop_bad.Predictor.predict cfg ~label sub in
+                    let raw = Model.predict model cfg ~label sub in
                     Pred_cache.add_raw cache raw_key raw;
                     (raw, false)
               in

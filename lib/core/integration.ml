@@ -28,9 +28,10 @@ type chip_static = {
   cs_pin_mux_area : float;
   cs_memory_area : float;
   cs_signal_pins : int;
-  cs_available : float;
+  cs_available : float;  (* usable die mil^2, or memory-budget bytes (sw) *)
   cs_pad_mux : float;  (* 2*pad_delay + mux tree delay, when sharers > 0 *)
   cs_static_area_low : float;  (* pin_mux + memory: lower bound on fixed *)
+  cs_sw : bool;  (* chip hosts software partitions; ledger is in bytes *)
 }
 
 type statics = {
@@ -328,6 +329,7 @@ let build_statics spec tasks budgets =
                 (Spec.partitions_on spec name)
             in
             let budget = List.assoc name budgets in
+            let processor = Spec.processor_of_chip spec name in
             let sharers =
               Array.fold_left
                 (fun acc d -> if d.ds_on_chip.(i) then acc + 1 else acc)
@@ -339,49 +341,75 @@ let build_statics spec tasks budgets =
                   if d.ds_on_chip.(i) then max acc d.ds_bandwidth else acc)
                 0 st_dtm
             in
-            let pin_mux_area =
-              if sharers <= 1 then 0.
-              else float_of_int (shared_pins * (sharers - 1)) *. mux_cell_area
-            in
-            let memory_area =
-              Chop_util.Listx.sum_byf
-                (fun m ->
-                  match
-                    ( m.Chop_tech.Memory.placement,
-                      Spec.memory_host spec m.Chop_tech.Memory.mname )
-                  with
-                  | Chop_tech.Memory.On_chip a, Some host when host = name -> a
-                  | _ -> 0.)
-                spec.Spec.memories
-            in
-            let data_pins_used = shared_pins in
-            let signal_pins =
-              min ci.Spec.package.Chop_tech.Chip.pins
-                (data_pins_used + budget.Chop_tech.Chip.control
-                + budget.Chop_tech.Chip.memory_lines)
-            in
-            let available =
-              Chop_tech.Chip.usable_area ci.Spec.package ~signal_pins
-            in
-            let cs_pad_mux =
-              if sharers = 0 then 0.
-              else
-                (2. *. ci.Spec.package.Chop_tech.Chip.pad_delay)
-                +. Chop_tech.Wiring.mux_tree_delay ~fanin:sharers
-            in
-            {
-              cs_instance = ci;
-              cs_labels = labels;
-              cs_label_idxs =
-                Array.of_list (List.map (Hashtbl.find part_idx) labels);
-              cs_sharers = sharers;
-              cs_pin_mux_area = pin_mux_area;
-              cs_memory_area = memory_area;
-              cs_signal_pins = signal_pins;
-              cs_available = available;
-              cs_pad_mux;
-              cs_static_area_low = pin_mux_area +. memory_area;
-            })
+            match processor with
+            | Some p ->
+                (* software chip: the shared bus arbitrates transfers, so
+                   there is no pin-mux tree, no pad-delay overhead and no
+                   on-chip memory macro; the area ledger is the processor's
+                   memory budget in bytes *)
+                {
+                  cs_instance = ci;
+                  cs_labels = labels;
+                  cs_label_idxs =
+                    Array.of_list (List.map (Hashtbl.find part_idx) labels);
+                  cs_sharers = sharers;
+                  cs_pin_mux_area = 0.;
+                  cs_memory_area = 0.;
+                  cs_signal_pins =
+                    min ci.Spec.package.Chop_tech.Chip.pins shared_pins;
+                  cs_available = p.Chop_model_sw.Processor.memory_budget_bytes;
+                  cs_pad_mux = 0.;
+                  cs_static_area_low = 0.;
+                  cs_sw = true;
+                }
+            | None ->
+                let pin_mux_area =
+                  if sharers <= 1 then 0.
+                  else
+                    float_of_int (shared_pins * (sharers - 1)) *. mux_cell_area
+                in
+                let memory_area =
+                  Chop_util.Listx.sum_byf
+                    (fun m ->
+                      match
+                        ( m.Chop_tech.Memory.placement,
+                          Spec.memory_host spec m.Chop_tech.Memory.mname )
+                      with
+                      | Chop_tech.Memory.On_chip a, Some host when host = name
+                        ->
+                          a
+                      | _ -> 0.)
+                    spec.Spec.memories
+                in
+                let data_pins_used = shared_pins in
+                let signal_pins =
+                  min ci.Spec.package.Chop_tech.Chip.pins
+                    (data_pins_used + budget.Chop_tech.Chip.control
+                    + budget.Chop_tech.Chip.memory_lines)
+                in
+                let available =
+                  Chop_tech.Chip.usable_area ci.Spec.package ~signal_pins
+                in
+                let cs_pad_mux =
+                  if sharers = 0 then 0.
+                  else
+                    (2. *. ci.Spec.package.Chop_tech.Chip.pad_delay)
+                    +. Chop_tech.Wiring.mux_tree_delay ~fanin:sharers
+                in
+                {
+                  cs_instance = ci;
+                  cs_labels = labels;
+                  cs_label_idxs =
+                    Array.of_list (List.map (Hashtbl.find part_idx) labels);
+                  cs_sharers = sharers;
+                  cs_pin_mux_area = pin_mux_area;
+                  cs_memory_area = memory_area;
+                  cs_signal_pins = signal_pins;
+                  cs_available = available;
+                  cs_pad_mux;
+                  cs_static_area_low = pin_mux_area +. memory_area;
+                  cs_sw = false;
+                })
           chips
       in
       { st_parts = parts; st_pu_names = pu_names; st_pu_deps; st_dtm;
@@ -393,14 +421,32 @@ let context spec =
   let budgets, budget_errors =
     List.fold_left
       (fun (ok, bad) ci ->
-        let control = Transfer.control_pins_on spec tasks ci.Spec.chip_name in
-        let memory_lines = Transfer.memory_lines_on spec ci.Spec.chip_name in
-        match
-          Chop_tech.Chip.pin_budget ci.Spec.package ~control ~memory_lines ()
-        with
-        | budget -> ((ci.Spec.chip_name, budget) :: ok, bad)
-        | exception Invalid_argument reason ->
-            (ok, (ci.Spec.chip_name, reason) :: bad))
+        match Spec.processor_of_chip spec ci.Spec.chip_name with
+        | Some p ->
+            (* software chip: off-chip data rides the processor bus, so the
+               data budget is the bus width and no pins are reserved for
+               control lines or memory address/data — pad-bonding
+               exhaustion cannot occur here *)
+            let budget =
+              { Chop_tech.Chip.total = ci.Spec.package.Chop_tech.Chip.pins;
+                power_ground = 0; clock = 0; control = 0; memory_lines = 0;
+                data = p.Chop_model_sw.Processor.bus_bits }
+            in
+            ((ci.Spec.chip_name, budget) :: ok, bad)
+        | None -> (
+            let control =
+              Transfer.control_pins_on spec tasks ci.Spec.chip_name
+            in
+            let memory_lines =
+              Transfer.memory_lines_on spec ci.Spec.chip_name
+            in
+            match
+              Chop_tech.Chip.pin_budget ci.Spec.package ~control ~memory_lines
+                ()
+            with
+            | budget -> ((ci.Spec.chip_name, budget) :: ok, bad)
+            | exception Invalid_argument reason ->
+                (ok, (ci.Spec.chip_name, reason) :: bad)))
       ([], []) spec.Spec.chips
   in
   let statics =
@@ -714,10 +760,15 @@ let integrate_cached cache ?ii_target comb =
                     let area = Chop_tech.Pla.area ss_shapes.(j) in
                     let delay = Chop_tech.Pla.delay ss_shapes.(j) in
                     for c = 0 to nchips - 1 do
-                      if d.ds_on_chip.(c) then
-                        ss_dtm_area.(c) <- ss_dtm_area.(c) +. area;
-                      if d.ds_member.(c) then
-                        ss_ctrl_delay.(c) <- Float.max ss_ctrl_delay.(c) delay
+                      (* a software chip runs its transfer end in code:
+                         no controller PLA on the die, no PLA settle time
+                         stretching the clock *)
+                      if not st.st_chips.(c).cs_sw then begin
+                        if d.ds_on_chip.(c) then
+                          ss_dtm_area.(c) <- ss_dtm_area.(c) +. area;
+                        if d.ds_member.(c) then
+                          ss_ctrl_delay.(c) <- Float.max ss_ctrl_delay.(c) delay
+                      end
                     done)
                   st.st_dtm;
                 let ss_overhead = ref 0. in
@@ -768,10 +819,18 @@ let integrate_cached cache ?ii_target comb =
                        let xf = float_of_int d.ds_transfer_main in
                        int_of_float (ceil (dd *. (ceil (w /. l) +. (xf /. l))))
                    in
-                   if d.ds_holder >= 0 then
+                   if d.ds_holder >= 0 then begin
+                     (* the buffer costs register cells on a hardware die
+                        but plain memory bytes on a software chip — same
+                        ledger the chip's availability is denominated in *)
+                     let cost =
+                       if st.st_chips.(d.ds_holder).cs_sw then
+                         float_of_int buffer_bits /. 8.
+                       else float_of_int buffer_bits *. register_cell_area
+                     in
                      is_buffer_area.(d.ds_holder) <-
-                       is_buffer_area.(d.ds_holder)
-                       +. (float_of_int buffer_bits *. register_cell_area);
+                       is_buffer_area.(d.ds_holder) +. cost
+                   end;
                    { task = t; bandwidth = d.ds_bandwidth;
                      transfer_main = d.ds_transfer_main; wait_main;
                      buffer_bits; ctrl_shape = ss.ss_shapes.(j) })

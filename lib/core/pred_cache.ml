@@ -8,16 +8,22 @@ module Key = struct
   type raw = { rid : string; origin : string }
   type full = { parent : raw; fid : string }
 
-  let raw ~sub ~cfg =
+  let raw ~sub ~cfg ~model =
     (* content-addressed identity: the canonical structural digest (which
        also interns [sub] into the process-wide sharing table) joined with
-       the predictor-config digest.  Each component is digested separately,
-       so a component boundary can never be forged by crafted contents. *)
+       the implementation model's predictor identity.  For the hardware
+       model that identity is the predictor-config signature this cache
+       always keyed on — hardware keys are byte-identical to the pre-model
+       era, so warm entries and structural hits survive the seam; software
+       identities carry a disjoint "sw:" prefix, so the two models'
+       predictions of one subgraph can never collide.  Each component is
+       digested separately, so a component boundary can never be forged by
+       crafted contents. *)
     let canon = Chop_dfg.Canon.of_graph sub in
     {
       rid =
         canon.Chop_dfg.Canon.digest ^ "-"
-        ^ Digest.to_hex (Digest.string (Chop_bad.Predictor.signature cfg));
+        ^ Digest.to_hex (Digest.string (Model.predictor_signature model cfg));
       (* the per-construction identity the stringly API used to key on —
          kept only to tell structural hits (reuse across constructions)
          from identity hits *)

@@ -65,7 +65,14 @@ module Key : sig
   (** A {!raw} key extended with the chip package and feasibility criteria
       (pruning depends on both). *)
 
-  val raw : sub:Chop_dfg.Graph.t -> cfg:Chop_bad.Predictor.config -> raw
+  val raw :
+    sub:Chop_dfg.Graph.t ->
+    cfg:Chop_bad.Predictor.config ->
+    model:Model.t ->
+    raw
+  (** The model's {!Model.predictor_signature} joins the digest: hardware
+      keys are byte-identical to the pre-model keys, software keys live in
+      a disjoint space, so predictions never cross models. *)
 
   val full :
     raw:raw ->

@@ -14,11 +14,11 @@ let uniform_chips pg package =
   (chips, assignment)
 
 let custom ?(params = Spec.default_params) ?(memories = []) ?(memory_hosts = [])
-    ?(library = Chop_tech.Mosis.experiment_library) ~graph ~partitioning
-    ~package ~clocks ~style ~criteria () =
+    ?(library = Chop_tech.Mosis.experiment_library) ?(processors = [])
+    ?(impls = []) ~graph ~partitioning ~package ~clocks ~style ~criteria () =
   let chips, assignment = uniform_chips partitioning package in
-  Spec.make ~params ~memories ~memory_hosts ~graph ~library ~chips
-    ~partitioning ~assignment ~clocks ~style ~criteria ()
+  Spec.make ~params ~memories ~memory_hosts ~processors ~impls ~graph ~library
+    ~chips ~partitioning ~assignment ~clocks ~style ~criteria ()
 
 let ar_partitioning k =
   let graph = Chop_dfg.Benchmarks.ar_lattice_filter () in

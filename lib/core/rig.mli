@@ -36,6 +36,8 @@ val custom :
   ?memories:Chop_tech.Memory.t list ->
   ?memory_hosts:(string * string) list ->
   ?library:Chop_tech.Component.library ->
+  ?processors:Chop_model_sw.Processor.t list ->
+  ?impls:(string * string) list ->
   graph:Chop_dfg.Graph.t ->
   partitioning:Chop_dfg.Partition.partitioning ->
   package:Chop_tech.Chip.t ->
@@ -45,4 +47,7 @@ val custom :
   unit ->
   Spec.t
 (** A spec with one chip per partition on a uniform package; [library]
-    defaults to the Table 1 experiment library. *)
+    defaults to the Table 1 experiment library.  [processors] and [impls]
+    (both default empty, i.e. all-hardware) pass through to {!Spec.make}
+    to declare software implementation targets and bind partitions to
+    them for HW/SW co-design runs. *)

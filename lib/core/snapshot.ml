@@ -20,6 +20,7 @@ type t = {
   undo : Spec.t list;
   redo : Spec.t list;
   meta : (string * string) list;
+  unknown : string list;
 }
 
 let magic = "# chopsession v1"
@@ -39,6 +40,7 @@ let of_state ?(meta = []) (st : Explore.Session.state) =
     undo = st.Explore.Session.st_undo;
     redo = st.Explore.Session.st_redo;
     meta;
+    unknown = [];
   }
 
 let to_state s =
@@ -57,6 +59,9 @@ let print s =
   addf "revision %d\n" s.revision;
   addf "pending%s\n" (String.concat "" (List.map (( ^ ) " ") s.pending));
   List.iter (fun (k, v) -> addf "meta %s %s\n" k v) s.meta;
+  (* statements this binary does not understand, preserved verbatim so a
+     newer writer's fields survive a round-trip through an older reader *)
+  List.iter (fun l -> addf "%s\n" l) s.unknown;
   let block keyword spec =
     addf "%s <<<\n" keyword;
     let body = Specfile.print spec in
@@ -81,6 +86,7 @@ let parse text =
   let spec = ref None in
   let undo = ref [] in
   let redo = ref [] in
+  let unknown = ref [] in
   let parse_spec_block body keyword =
     match Specfile.parse body with
     | s -> s
@@ -135,7 +141,22 @@ let parse text =
               | "undo" -> undo := s :: !undo
               | _ -> redo := s :: !redo);
               go rest
-          | kw :: _ -> fail "unknown snapshot statement %S" kw
+          | [ keyword; "<<<" ] ->
+              (* a block statement from a newer format revision: keep the
+                 frame and body verbatim *)
+              let rec body acc = function
+                | [] -> fail "unterminated %s block" keyword
+                | l :: tl when String.trim l = ">>>" -> (List.rev acc, tl)
+                | l :: tl -> body (l :: acc) tl
+              in
+              let body_lines, rest = body [] rest in
+              unknown :=
+                !unknown @ ((keyword ^ " <<<") :: body_lines) @ [ ">>>" ];
+              go rest
+          | _ :: _ ->
+              (* a scalar statement from a newer format revision *)
+              unknown := !unknown @ [ trimmed ];
+              go rest
           | [] -> go rest)
   in
   go lines;
@@ -154,6 +175,7 @@ let parse text =
     undo = List.rev !undo;
     redo = List.rev !redo;
     meta = List.rev !meta;
+    unknown = !unknown;
   }
 
 (* Durable writes are atomic: a crash mid-write leaves the previous

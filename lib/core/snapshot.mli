@@ -25,6 +25,13 @@ type t = {
   meta : (string * string) list;
       (** opaque single-line annotations, owner-defined (the server stores
           the session's open parameters here) *)
+  unknown : string list;
+      (** statements (and whole [<<< ... >>>] blocks) this binary does not
+          understand, verbatim in file order.  A snapshot written by a
+          newer format revision parses here instead of failing, and
+          {!print} re-emits the lines unchanged — forward fields survive a
+          round-trip through an older binary; only {!to_state} drops them
+          (the live session has no slot for them). *)
 }
 
 val of_state : ?meta:(string * string) list -> Explore.Session.state -> t

@@ -27,13 +27,16 @@ type t = {
   style : Chop_tech.Style.t;
   criteria : Chop_bad.Feasibility.criteria;
   params : params;
+  processors : Chop_model_sw.Processor.t list;
+  impls : (string * string) list;
 }
 
 exception Invalid_spec of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_spec s)) fmt
 
-let make ?(params = default_params) ?(memories = []) ?(memory_hosts = []) ~graph
+let make ?(params = default_params) ?(memories = []) ?(memory_hosts = [])
+    ?(processors = []) ?(impls = []) ~graph
     ~library ~chips ~partitioning ~assignment ~clocks ~style ~criteria () =
   if chips = [] then fail "no chips in the chip set";
   let chip_names = List.map (fun c -> c.chip_name) chips in
@@ -84,6 +87,53 @@ let make ?(params = default_params) ?(memories = []) ?(memory_hosts = []) ~graph
           fail "off-chip memory %s must not have a host chip" name
       | Chop_tech.Memory.Off_chip_package _, None -> ())
     memories;
+  (* implementation-model bindings: each partition defaults to the
+     hardware model; a binding names a declared processor.  Bindings to
+     "hw" are normalised away so two specs that mean the same thing
+     compare equal. *)
+  let proc_names =
+    List.map (fun p -> p.Chop_model_sw.Processor.pname) processors
+  in
+  if
+    List.length (List.sort_uniq String.compare proc_names)
+    <> List.length proc_names
+  then fail "duplicate processor name";
+  let impls = List.filter (fun (_, m) -> m <> "hw") impls in
+  let impl_labels = List.map fst impls in
+  if
+    List.length (List.sort_uniq String.compare impl_labels)
+    <> List.length impl_labels
+  then fail "partition bound to more than one implementation model";
+  List.iter
+    (fun (label, m) ->
+      if
+        not
+          (List.exists
+             (fun p -> p.Chop_dfg.Partition.label = label)
+             partitioning.Chop_dfg.Partition.parts)
+      then fail "impl binding references unknown partition %s" label;
+      if not (List.mem m proc_names) then
+        fail "partition %s bound to unknown model %s (declared: %s)" label m
+          (String.concat ", " ("hw" :: proc_names)))
+    impls;
+  (* a chip is either a custom hardware die or one processor instance:
+     every partition placed on it must follow the same model *)
+  let impl_of label =
+    match List.assoc_opt label impls with Some m -> m | None -> "hw"
+  in
+  List.iter
+    (fun chip ->
+      let on_chip =
+        List.filter_map
+          (fun (l, c) -> if c = chip then Some (impl_of l) else None)
+          assignment
+      in
+      match List.sort_uniq String.compare on_chip with
+      | [] | [ _ ] -> ()
+      | models ->
+          fail "chip %s mixes implementation models (%s)" chip
+            (String.concat ", " models))
+    chip_names;
   {
     graph;
     library;
@@ -96,6 +146,8 @@ let make ?(params = default_params) ?(memories = []) ?(memory_hosts = []) ~graph
     style;
     criteria;
     params;
+    processors;
+    impls;
   }
 
 (* Incremental edits (paper, section 2.2: the designer's interactive moves).
@@ -117,6 +169,7 @@ type edit =
   | Rehost_memory of { block : string; chip : string }
   | Set_clocks of Chop_tech.Clocking.t
   | Set_criteria of Chop_bad.Feasibility.criteria
+  | Set_impl of { partition : string; impl : string }
 
 type dirty = {
   repredict : string list;
@@ -134,13 +187,26 @@ let pp_update_error ppf e =
 let labels t =
   List.map (fun p -> p.Chop_dfg.Partition.label) t.partitioning.Chop_dfg.Partition.parts
 
-let rebuild ?partitioning ?assignment ?chips ?memory_hosts ?clocks ?criteria t =
+let rebuild ?partitioning ?assignment ?chips ?memory_hosts ?clocks ?criteria
+    ?impls t =
   let value d o = Option.value ~default:d o in
+  let partitioning = value t.partitioning partitioning in
+  (* bindings of labels the new partitioning no longer has are dropped;
+     explicit bindings are still validated in full by [make] *)
+  let impls =
+    List.filter
+      (fun (l, _) ->
+        List.exists
+          (fun p -> p.Chop_dfg.Partition.label = l)
+          partitioning.Chop_dfg.Partition.parts)
+      (value t.impls impls)
+  in
   match
     make ~params:t.params ~memories:t.memories
-      ~memory_hosts:(value t.memory_hosts memory_hosts) ~graph:t.graph
+      ~memory_hosts:(value t.memory_hosts memory_hosts)
+      ~processors:t.processors ~impls ~graph:t.graph
       ~library:t.library ~chips:(value t.chips chips)
-      ~partitioning:(value t.partitioning partitioning)
+      ~partitioning
       ~assignment:(value t.assignment assignment) ~clocks:(value t.clocks clocks)
       ~style:t.style ~criteria:(value t.criteria criteria) ()
   with
@@ -178,7 +244,14 @@ let apply_edit t edit =
         | None -> Error (Printf.sprintf "unknown partition %s" from_partition)
       in
       let assignment = t.assignment @ [ (new_label, chip) ] in
-      let* t' = rebuild ~partitioning:pg ~assignment t in
+      (* the carved-out partition stays on the same chip, so it must keep
+         the source partition's implementation model *)
+      let impls =
+        match List.assoc_opt from_partition t.impls with
+        | Some m -> t.impls @ [ (new_label, m) ]
+        | None -> t.impls
+      in
+      let* t' = rebuild ~partitioning:pg ~assignment ~impls t in
       Ok (t', { no_dirty with repredict = [ from_partition; new_label ] })
   | Reassign_chip { partition; chip } ->
       if not (List.mem_assoc partition t.assignment) then
@@ -234,6 +307,31 @@ let apply_edit t edit =
       (* the raw BAD enumeration survives a criteria change; only the
          feasibility screening (the kept set) must be re-derived *)
       Ok (t', { no_dirty with rederive = labels t' })
+  | Set_impl { partition; impl } ->
+      if not (List.mem_assoc partition t.assignment) then
+        Error (Printf.sprintf "unknown partition %s" partition)
+      else if
+        impl <> "hw"
+        && not
+             (List.exists
+                (fun p -> p.Chop_model_sw.Processor.pname = impl)
+                t.processors)
+      then
+        Error
+          (Printf.sprintf "unknown model %s (declared: %s)" impl
+             (String.concat ", "
+                ("hw"
+                :: List.map
+                     (fun p -> p.Chop_model_sw.Processor.pname)
+                     t.processors)))
+      else
+        let impls =
+          (partition, impl) :: List.remove_assoc partition t.impls
+        in
+        let* t' = rebuild ~impls t in
+        (* a model change invalidates the partition's predictions outright:
+           different predictor, different resource vocabulary *)
+        Ok (t', { no_dirty with repredict = [ partition ] })
 
 let update t edits =
   let union a b = List.sort_uniq String.compare (a @ b) in
@@ -272,6 +370,26 @@ let chip t name =
 
 let chip_of_partition t label = chip t (List.assoc label t.assignment)
 
+let impl_of_partition t label =
+  match List.assoc_opt label t.impls with Some m -> m | None -> "hw"
+
+let processor t name =
+  List.find (fun p -> p.Chop_model_sw.Processor.pname = name) t.processors
+
+let processor_of_partition t label =
+  match List.assoc_opt label t.impls with
+  | None -> None
+  | Some m -> Some (processor t m)
+
+(* the validator guarantees every partition on a chip follows one model,
+   so the first partition's binding speaks for the chip *)
+let processor_of_chip t chip_name =
+  match
+    List.find_opt (fun (_, c) -> c = chip_name) t.assignment
+  with
+  | None -> None
+  | Some (label, _) -> processor_of_partition t label
+
 (* Dirty set of a jump between two specs of the same edit chain (undo/redo
    lands on a spec that is not one [update] step away, so the per-edit dirty
    sets don't apply).  Global predictor inputs — clocks, style, params,
@@ -288,6 +406,7 @@ let diff ~current ~target =
     || current.style != target.style
     || current.params <> target.params
     || current.memories <> target.memories
+    || current.processors <> target.processors
   then { repredict = live; rederive = []; removed }
   else
     let part_of t l =
@@ -301,7 +420,8 @@ let diff ~current ~target =
           match (part_of current l, part_of target l) with
           | None, _ | _, None -> true
           | Some p, Some q ->
-              p.Chop_dfg.Partition.members <> q.Chop_dfg.Partition.members)
+              p.Chop_dfg.Partition.members <> q.Chop_dfg.Partition.members
+              || impl_of_partition current l <> impl_of_partition target l)
         live
     in
     let chip_changed l =

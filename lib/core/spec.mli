@@ -38,6 +38,11 @@ type t = private {
   style : Chop_tech.Style.t;
   criteria : Chop_bad.Feasibility.criteria;
   params : params;
+  processors : Chop_model_sw.Processor.t list;
+      (** software implementation targets a partition may be bound to *)
+  impls : (string * string) list;
+      (** partition label -> processor name; absent = the hardware model.
+          Normalised: explicit ["hw"] bindings are dropped by {!make} *)
 }
 
 exception Invalid_spec of string
@@ -46,6 +51,8 @@ val make :
   ?params:params ->
   ?memories:Chop_tech.Memory.t list ->
   ?memory_hosts:(string * string) list ->
+  ?processors:Chop_model_sw.Processor.t list ->
+  ?impls:(string * string) list ->
   graph:Chop_dfg.Graph.t ->
   library:Chop_tech.Component.library ->
   chips:chip_instance list ->
@@ -60,7 +67,11 @@ val make :
     partition is unassigned or assigned to an unknown chip, chip names
     repeat, the library misses a functional class, a memory block referenced
     by the graph is undeclared, an on-chip block has no host (or a host that
-    does not exist), or an off-chip block is given a host. *)
+    does not exist), or an off-chip block is given a host.  Implementation
+    models add: processor names must be unique, an [impls] binding must name
+    a live partition and a declared processor (or ["hw"]), a partition may
+    be bound at most once, and every partition on one chip must follow the
+    same model (a chip is either a custom die or one processor instance). *)
 
 (** {1 Incremental edits}
 
@@ -88,6 +99,11 @@ type edit =
       (** on-chip blocks only *)
   | Set_clocks of Chop_tech.Clocking.t
   | Set_criteria of Chop_bad.Feasibility.criteria
+  | Set_impl of { partition : string; impl : string }
+      (** rebind the partition to a declared processor, or back to ["hw"].
+          Dirties the partition for re-prediction (the models' predictors
+          share nothing).  Rejected if the move would leave the partition's
+          chip hosting two models — reassign the chip first. *)
 
 type dirty = {
   repredict : string list;
@@ -119,8 +135,9 @@ val diff : current:t -> target:t -> dirty
 (** The dirty set of jumping from [current] straight to [target] — the
     undo/redo move, which lands on a spec that is not one {!update} step
     away.  Conservative and sound: a change to any global predictor input
-    (clocks, style, params, memory declarations) dirties every partition of
-    [target]; otherwise partitions whose member sets differ [repredict],
+    (clocks, style, params, memory or processor declarations) dirties every
+    partition of [target]; otherwise partitions whose member sets or
+    implementation-model bindings differ [repredict],
     and partitions whose chip (name or package) or whose criteria changed
     [rederive].  Both specs must describe the same graph (undo/redo chains
     always do). *)
@@ -130,6 +147,19 @@ val chip : t -> string -> chip_instance
 
 val chip_of_partition : t -> string -> chip_instance
 (** @raise Not_found for an unknown partition label. *)
+
+val impl_of_partition : t -> string -> string
+(** The partition's implementation-model name; ["hw"] when unbound. *)
+
+val processor : t -> string -> Chop_model_sw.Processor.t
+(** @raise Not_found for an unknown processor name. *)
+
+val processor_of_partition : t -> string -> Chop_model_sw.Processor.t option
+(** [None] for hardware partitions. *)
+
+val processor_of_chip : t -> string -> Chop_model_sw.Processor.t option
+(** The processor instance a chip stands for, [None] for hardware chips
+    (and for chips hosting no partition — they carry no model). *)
 
 val partitions_on : t -> string -> Chop_dfg.Partition.t list
 (** Partitions assigned to the chip, in quotient-topological order. *)

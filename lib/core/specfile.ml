@@ -55,6 +55,24 @@ let float_attr_opt line key tokens =
       | Some f -> Some f
       | None -> fail line "attribute %s expects a number, got %S" key v)
 
+(* [attr] is find-first, so a repeated key would silently win by position;
+   reject it instead, naming the offending token by 0-based index. *)
+let reject_dup_keys line stmt tokens =
+  let seen = Hashtbl.create 8 in
+  List.iteri
+    (fun i t ->
+      match String.index_opt t '=' with
+      | Some j -> (
+          let key = String.sub t 0 j in
+          match Hashtbl.find_opt seen key with
+          | Some first ->
+              fail line
+                "duplicate %s key %S at token %d (0-based; first at token %d)"
+                stmt key i first
+          | None -> Hashtbl.replace seen key i)
+      | None -> ())
+    tokens
+
 (* --- parsing state --------------------------------------------------- *)
 
 type state = {
@@ -68,6 +86,8 @@ type state = {
   mutable assignment : (string * string) list;
   mutable extra_components : Chop_tech.Component.t list;
   mutable base_library : Chop_tech.Component.library;
+  mutable processors : Chop_model_sw.Processor.t list;
+  mutable impls : (string * string) list;
   mutable clocks : Chop_tech.Clocking.t;
   mutable style : Chop_tech.Style.t;
   mutable criteria : Chop_bad.Feasibility.criteria option;
@@ -86,6 +106,8 @@ let initial () =
     assignment = [];
     extra_components = [];
     base_library = Chop_tech.Mosis.experiment_library;
+    processors = [];
+    impls = [];
     clocks = Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1 ~transfer_ratio:1;
     style = Chop_tech.Style.both Chop_tech.Style.Multi_cycle;
     criteria = None;
@@ -198,6 +220,10 @@ let statement st line = function
       | Some h -> st.memory_hosts <- (name, h) :: st.memory_hosts
       | None -> ())
   | "partition" :: label :: "=" :: names ->
+      (* node names never contain '='; key=value tokens here are
+         per-partition fields from a newer format revision — tolerate and
+         drop them so older binaries can restore newer snapshots *)
+      let names = List.filter (fun t -> not (String.contains t '=')) names in
       if names = [] then fail line "empty partition %S" label;
       st.partitions <- st.partitions @ [ (label, names) ]
   | [ "assign"; label; chip ] ->
@@ -214,6 +240,36 @@ let statement st line = function
         with Invalid_argument reason -> fail line "%s" reason
       in
       st.extra_components <- st.extra_components @ [ c ]
+  | "processor" :: name :: rest ->
+      reject_dup_keys line "processor" rest;
+      let p =
+        try
+          Chop_model_sw.Processor.make ~name
+            ~issue_slots:(int_attr line "issue" rest)
+            ~cycle_ns:(float_attr line "cycle" rest)
+            ~code_bytes_per_op:(int_attr line "code" rest)
+            ~data_bytes_per_value:(int_attr line "data" rest)
+            ~memory_budget_bytes:(float_attr line "mem" rest)
+            ~bus_bits:(int_attr line "bus" rest)
+        with Invalid_argument reason -> fail line "%s" reason
+      in
+      if
+        List.exists
+          (fun q -> q.Chop_model_sw.Processor.pname = name)
+          st.processors
+      then fail line "duplicate processor %S" name;
+      st.processors <- st.processors @ [ p ]
+  | [ "impl"; label; model ] ->
+      if
+        model <> "hw"
+        && not
+             (List.exists
+                (fun p -> p.Chop_model_sw.Processor.pname = model)
+                st.processors)
+      then
+        fail line "impl %s references unknown model %S (declare the processor first)"
+          label model;
+      st.impls <- st.impls @ [ (label, model) ]
   | [ "library"; which ] ->
       st.base_library <-
         (match which with
@@ -236,6 +292,7 @@ let statement st line = function
         | "multi_cycle" -> Chop_tech.Style.both Chop_tech.Style.Multi_cycle
         | _ -> fail line "style expects single_cycle or multi_cycle")
   | "criteria" :: rest ->
+      reject_dup_keys line "criteria" rest;
       st.criteria <-
         Some
           (try
@@ -313,11 +370,14 @@ let parse contents =
     | Some c -> c
     | None -> raise (Parse_error (0, "no criteria statement"))
   in
-  Spec.make ~params:st.params ~memories:st.memories
-    ~memory_hosts:st.memory_hosts ~graph
-    ~library:(st.extra_components @ st.base_library)
-    ~chips:st.chips ~partitioning ~assignment:st.assignment ~clocks:st.clocks
-    ~style:st.style ~criteria ()
+  try
+    Spec.make ~params:st.params ~memories:st.memories
+      ~memory_hosts:st.memory_hosts ~graph
+      ~library:(st.extra_components @ st.base_library)
+      ~chips:st.chips ~partitioning ~assignment:st.assignment
+      ~processors:st.processors ~impls:st.impls ~clocks:st.clocks
+      ~style:st.style ~criteria ()
+  with Invalid_argument reason -> raise (Parse_error (0, reason))
 
 let load path =
   let ic = open_in path in
@@ -401,6 +461,17 @@ let print (spec : Spec.t) =
         c.Chop_tech.Component.width c.Chop_tech.Component.area
         c.Chop_tech.Component.delay)
     spec.Spec.library;
+  List.iter
+    (fun p ->
+      addf "processor %s issue=%d cycle=%g code=%d data=%d mem=%g bus=%d\n"
+        p.Chop_model_sw.Processor.pname p.Chop_model_sw.Processor.issue_slots
+        p.Chop_model_sw.Processor.cycle_ns
+        p.Chop_model_sw.Processor.code_bytes_per_op
+        p.Chop_model_sw.Processor.data_bytes_per_value
+        p.Chop_model_sw.Processor.memory_budget_bytes
+        p.Chop_model_sw.Processor.bus_bits)
+    spec.Spec.processors;
+  List.iter (fun (l, m) -> addf "impl %s %s\n" l m) spec.Spec.impls;
   addf "clock main=%g datapath=%d transfer=%d\n"
     spec.Spec.clocks.Chop_tech.Clocking.main
     spec.Spec.clocks.Chop_tech.Clocking.datapath_ratio

@@ -282,6 +282,67 @@ let memory_pipeline ?(width = default_width) ~blocks () =
   Graph.add_edge b ~src:s ~dst:o;
   Graph.build b
 
+let pcm_pwm ?(width = default_width) () =
+  let b = Graph.builder ~name:"pcm_pwm" () in
+  let input name = Graph.add_node b ~name ~op:Op.Input ~width in
+  let const name = Graph.add_node b ~name ~op:Op.Const ~width in
+  let binop op name x y =
+    let n = Graph.add_node b ~name ~op ~width in
+    Graph.add_edge b ~src:x ~dst:n;
+    Graph.add_edge b ~src:y ~dst:n;
+    n
+  in
+  let add = binop Op.Add
+  and sub = binop Op.Sub
+  and mul = binop Op.Mult
+  and cmp = binop Op.Compare in
+  let output name v =
+    let o = Graph.add_node b ~name ~op:Op.Output ~width in
+    Graph.add_edge b ~src:v ~dst:o
+  in
+  (* PCM decode stage: a 6-tap reconstruction filter — multiplier-heavy
+     and shallow (all taps on one level), a poor fit for a small die but a
+     short job for a processor. *)
+  let x = input "pcm_in" in
+  let taps =
+    List.init 6 (fun i ->
+        mul (Printf.sprintf "tap%d" i) x (const (Printf.sprintf "h%d" i)))
+  in
+  let pcm =
+    match taps with
+    | t0 :: rest ->
+        List.fold_left
+          (fun acc (i, t) -> add (Printf.sprintf "acc%d" i) acc t)
+          t0
+          (List.mapi (fun i t -> (i, t)) rest)
+    | [] -> assert false
+  in
+  output "pcm_out" pcm;
+  (* PWM modulation stage: the decoded sample against a bank of ramp
+     phases — many cheap offset/compare operations plus a duty-count
+     reduction tree.  Trivial area in gates, but a long serial grind on a
+     narrow processor. *)
+  let ramp = input "ramp" in
+  let duties =
+    List.init 8 (fun i ->
+        let phase =
+          add (Printf.sprintf "ph%d" i) pcm (const (Printf.sprintf "k%d" i))
+        in
+        let err = sub (Printf.sprintf "err%d" i) phase ramp in
+        cmp (Printf.sprintf "duty%d" i) err phase)
+  in
+  let pwm =
+    match duties with
+    | d0 :: rest ->
+        List.fold_left
+          (fun acc (i, d) -> add (Printf.sprintf "sum%d" i) acc d)
+          d0
+          (List.mapi (fun i d -> (i, d)) rest)
+    | [] -> assert false
+  in
+  output "pwm_out" pwm;
+  Graph.build b
+
 let random_dag ?(width = default_width) ~ops ~seed () =
   if ops < 1 then invalid_arg "Benchmarks.random_dag: ops < 1";
   let rng = Random.State.make [| seed; ops |] in

@@ -32,6 +32,15 @@ val memory_pipeline : ?width:int -> blocks:string * string -> unit -> Graph.t
     multiply-accumulate stage, and writes to a second block — exercises
     memory-bandwidth prediction and memory-mapped I/O. *)
 
+val pcm_pwm : ?width:int -> unit -> Graph.t
+(** The SpecC-style PCM/PWM audio case study in miniature: a
+    multiplier-heavy PCM reconstruction filter (6 multiplications feeding
+    an adder tree) followed by a PWM modulation stage of many cheap
+    offset/compare operations (8 phases plus a duty reduction tree).  The
+    two stages stress opposite implementation models — the filter wants a
+    processor, the modulator wants gates — making the graph the reference
+    workload for HW/SW co-design runs. *)
+
 val random_dag :
   ?width:int -> ops:int -> seed:int -> unit -> Graph.t
 (** Pseudo-random layered DAG over add/mult operations; deterministic for a

@@ -15,6 +15,7 @@ type config = {
   fanout : bool;
   log : out_channel option;
   handle_signals : bool;
+  health_interval_s : float option;
 }
 
 type counters = {
@@ -47,6 +48,12 @@ type t = {
   conns_mu : Mutex.t;
   test_pc : pconn;  (* handle_line's cached backend connections *)
   test_mu : Mutex.t;
+  (* backends whose last health ping failed; routing prefers live
+     backends and session ops fail over preemptively.  Only the prober
+     (or an explicit [check_health]) mutates it, under [dead_mu]. *)
+  dead : (string, unit) Hashtbl.t;
+  dead_mu : Mutex.t;
+  health_pc : pconn;  (* the prober's private backend connections *)
 }
 
 let create cfg =
@@ -79,6 +86,9 @@ let create cfg =
     conns_mu = Mutex.create ();
     test_pc = Hashtbl.create 4;
     test_mu = Mutex.create ();
+    dead = Hashtbl.create 4;
+    dead_mu = Mutex.create ();
+    health_pc = Hashtbl.create 4;
   }
 
 let stop t = Atomic.set t.stopping true
@@ -164,6 +174,70 @@ let rpc_backend pc backend line =
           Error
             (Printf.sprintf "backend %s: %s" backend (Unix.error_message e)))
 
+(* ------------------------------------------------------------------ *)
+(* Backend health
+
+   A periodic prober pings every backend over its own connections and
+   maintains the dead set; routing then prefers live backends and
+   session ops fail over preemptively instead of discovering a dead
+   owner one timed-out request at a time.  Without [health_interval_s]
+   no prober runs, the dead set stays empty and routing behaves exactly
+   as before. *)
+
+let is_dead t b =
+  Mutex.lock t.dead_mu;
+  let d = Hashtbl.mem t.dead b in
+  Mutex.unlock t.dead_mu;
+  d
+
+(* Live backends first, in the given (ring-preference) order; dead ones
+   keep their order at the tail as a last resort, so a fully-dead
+   marking still attempts every backend rather than failing outright. *)
+let prefer_live t backends =
+  let live, dead = List.partition (fun b -> not (is_dead t b)) backends in
+  live @ dead
+
+let health_ping_line = {|{"id":"gw-health","op":"ping"}|}
+
+let check_health t =
+  List.iter
+    (fun b ->
+      let ok =
+        match rpc_backend t.health_pc b health_ping_line with
+        | Ok resp -> (
+            match Json.parse resp with
+            | Ok j -> P.response_ok j = Some true
+            | Error _ -> false)
+        | Error _ -> false
+      in
+      Mutex.lock t.dead_mu;
+      let was_dead = Hashtbl.mem t.dead b in
+      if ok then Hashtbl.remove t.dead b else Hashtbl.replace t.dead b ();
+      Mutex.unlock t.dead_mu;
+      if ok && was_dead then logf t "backend %s is back, marked live" b
+      else if (not ok) && not was_dead then
+        logf t "backend %s failed its health ping, marked dead" b)
+    (Ring.nodes t.ring);
+  Mutex.lock t.dead_mu;
+  let dead = Hashtbl.fold (fun b () acc -> b :: acc) t.dead [] in
+  Mutex.unlock t.dead_mu;
+  List.sort String.compare dead
+
+let health_loop t interval =
+  (* sleep in short slices so stop is honoured promptly *)
+  let rec pause left =
+    if left > 0. && not (Atomic.get t.stopping) then begin
+      let s = Float.min 0.25 left in
+      Thread.delay s;
+      pause (left -. s)
+    end
+  in
+  while not (Atomic.get t.stopping) do
+    ignore (check_health t);
+    pause interval
+  done;
+  close_pconn t.health_pc
+
 (* Response-line introspection (the line itself is always forwarded
    verbatim; these only steer bookkeeping). *)
 let line_json line =
@@ -245,7 +319,7 @@ let forward_stateless t pc (req : P.request) line =
             Ok resp
         | Error e -> go e rest)
   in
-  go "no backend configured" (Ring.spread t.ring key)
+  go "no backend configured" (prefer_live t (Ring.spread t.ring key))
 
 (* ------------------------------------------------------------------ *)
 (* The fan-out explore: split the first search axis across every live
@@ -263,7 +337,7 @@ let fanout_explore t pc (req : P.request) =
   let p = req.P.params in
   let live =
     List.filter
-      (fun b -> Result.is_ok (conn_of pc b))
+      (fun b -> (not (is_dead t b)) && Result.is_ok (conn_of pc b))
       (Ring.nodes t.ring)
   in
   let n = List.length live in
@@ -428,12 +502,16 @@ let failover_session t pc (req : P.request) line ~sid ~dead =
 let session_op t pc (req : P.request) line =
   let sid = req.P.params.P.session in
   let owner = owner_of t sid in
-  match rpc_backend pc owner line with
-  | Ok resp ->
-      counted t (fun c -> c.forwarded <- c.forwarded + 1);
-      note_session_response t req ~backend:owner resp;
-      resp
-  | Error _ -> failover_session t pc req line ~sid ~dead:owner
+  (* a health-marked owner fails over preemptively — no need to wait for
+     this request's rpc to time out against a dead socket *)
+  if is_dead t owner then failover_session t pc req line ~sid ~dead:owner
+  else
+    match rpc_backend pc owner line with
+    | Ok resp ->
+        counted t (fun c -> c.forwarded <- c.forwarded + 1);
+        note_session_response t req ~backend:owner resp;
+        resp
+    | Error _ -> failover_session t pc req line ~sid ~dead:owner
 
 (* session/open routes by the (gateway-allocated) session id and sticks;
    a dead preferred backend just moves the open down the ring — no
@@ -458,7 +536,7 @@ let open_session t pc (req : P.request) =
             resp
         | Error e -> go e rest)
   in
-  go "no backend configured" (Ring.spread t.ring sid)
+  go "no backend configured" (prefer_live t (Ring.spread t.ring sid))
 
 (* session/list is an inventory: ask every reachable backend, merge the
    structured lines, render through the one shared renderer. *)
@@ -603,7 +681,11 @@ let stats_response t (req : P.request) =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "gateway: %d backend(s), %d routed session(s)\n"
     (List.length backends) sessions;
-  List.iter (fun b -> Printf.bprintf buf "  backend %s\n" b) backends;
+  List.iter
+    (fun b ->
+      Printf.bprintf buf "  backend %s%s\n" b
+        (if is_dead t b then " (unreachable)" else ""))
+    backends;
   Printf.bprintf buf
     "forwarded %d, fanned out %d, migrations %d, failovers %d, errors %d\n"
     forwarded fanned_out migrations failovers errors;
@@ -613,6 +695,11 @@ let stats_response t (req : P.request) =
        [
          ("gateway", Json.Bool true);
          ("backends", Json.Array (List.map (fun b -> Json.String b) backends));
+         ("dead",
+          Json.Array
+            (List.filter_map
+               (fun b -> if is_dead t b then Some (Json.String b) else None)
+               backends));
          ("sessions", Json.Int sessions);
          ("forwarded", Json.Int forwarded);
          ("fanned_out", Json.Int fanned_out);
@@ -754,6 +841,13 @@ let install_signals t =
 
 let serve t =
   if t.cfg.handle_signals then install_signals t;
+  let prober =
+    match t.cfg.health_interval_s with
+    | Some s when s > 0. ->
+        logf t "health prober every %g s" s;
+        Some (Thread.create (health_loop t) s)
+    | _ -> None
+  in
   (match t.cfg.socket_path with
   | Some path ->
       logf t "listening on %s (%d backend(s)%s)" path
@@ -774,6 +868,7 @@ let serve t =
       | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
       | None -> ())
   | None -> ());
+  Option.iter Thread.join prober;
   Mutex.lock t.test_mu;
   close_pconn t.test_pc;
   Mutex.unlock t.test_mu;

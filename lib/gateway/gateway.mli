@@ -28,7 +28,12 @@
     When a backend dies, stateless ops fail over to the next backend on
     the ring; session ops fail over by restoring the session's snapshot
     on the next backend (sessions survive a backend SIGTERM because the
-    backend snapshots its sessions on shutdown). *)
+    backend snapshots its sessions on shutdown).  With
+    [health_interval_s], a prober thread pings every backend
+    periodically and marks failures dead ahead of time: routing prefers
+    live backends, fan-out skips dead ones, and a session op whose
+    owner is marked dead fails over preemptively instead of waiting for
+    its own request to time out. *)
 
 type config = {
   socket_path : string option;
@@ -38,6 +43,10 @@ type config = {
   fanout : bool;  (** split eligible explores across backends *)
   log : out_channel option;
   handle_signals : bool;  (** SIGTERM/SIGINT trigger a clean stop *)
+  health_interval_s : float option;
+      (** ping every backend this often (seconds) and maintain the dead
+          set; [None] (or a non-positive value) disables the prober and
+          routing behaves exactly as before *)
 }
 
 type t
@@ -58,3 +67,9 @@ val handle_line : t -> string -> string
 (** One request line in, one response line out, synchronously — the test
     harness's transport, routing exactly as a socket request would
     (backend connections are cached on [t] across calls). *)
+
+val check_health : t -> string list
+(** One synchronous health sweep: ping every backend, update the dead
+    set, and return the backends currently marked dead (sorted).  What
+    the [health_interval_s] prober runs periodically; exposed so tests
+    and operators can force a sweep. *)

@@ -1,0 +1,22 @@
+(** The software model's analogue of {!Chop_bad.Predictor.predict}: one
+    prediction per issue width 1..[issue_slots], each carrying the
+    list-scheduled cycle count (as data-path-cycle timing, so the
+    system-level II algebra applies unchanged) and the code+data memory
+    footprint in bytes in the [area] triplet (checked downstream against
+    the processor's memory budget by the generic area screen). *)
+
+val op_cycles : Chop_dfg.Graph.node -> int
+(** Per-operation instruction latencies in processor cycles (multiply 2,
+    divide 8, memory access 2, everything else 1). *)
+
+val footprint_bytes :
+  Processor.t -> issue:int -> cycles:int -> Chop_dfg.Graph.t -> int * int
+(** [(code, data)] bytes of a schedule of [cycles] words at [issue] slots. *)
+
+val predict :
+  Processor.t ->
+  clocks:Chop_tech.Clocking.t ->
+  label:string ->
+  Chop_dfg.Graph.t ->
+  Chop_bad.Prediction.t list
+(** Empty on a partition with no computational operations. *)

@@ -10,6 +10,11 @@ let benchmarks =
     ("fir8", fun () -> Chop_dfg.Benchmarks.fir_filter ~taps:8 ());
     ("diffeq", fun () -> Chop_dfg.Benchmarks.diffeq ());
     ("dct8", fun () -> Chop_dfg.Benchmarks.dct8 ());
+    (* the HW/SW co-design reference workload: a multiplier-heavy PCM
+       reconstruction filter feeding a cheap-op-heavy PWM modulation stage.
+       Specs built on it automatically declare the [reference_cpu]
+       processor below, so partitions can be rebound to software. *)
+    ("pcm_pwm", fun () -> Chop_dfg.Benchmarks.pcm_pwm ());
     (* ewf rebuilt in a shuffled construction order: structurally identical
        to "ewf" but with different node ids, so its per-construction
        signatures differ while the canonical digests agree.  The probe for
@@ -49,7 +54,25 @@ let strategy_of_string = function
   | "random" -> Ok (Chop_baseline.Autopart.Random_balanced 42)
   | s -> Error (Printf.sprintf "strategy must be levels, min-cut or random, not %S" s)
 
-let build_spec ~graph ~partitions ~package ~perf ~delay ~multicycle ~strategy =
+(* The reference embedded processor for HW/SW co-design runs: a 4-issue
+   core with a memory budget sized so only the cheap-op pcm_pwm stage
+   fits in software at a useful issue width — the feasibility triangle
+   the case study turns on: all-hardware is clock-bound, all-software is
+   memory-starved into narrow issue, and the hw/sw split beats both. *)
+let reference_cpu =
+  Chop_model_sw.Processor.make ~name:"cpu" ~issue_slots:4 ~cycle_ns:300.
+    ~code_bytes_per_op:4 ~data_bytes_per_value:2 ~memory_budget_bytes:176.
+    ~bus_bits:16
+
+(* Declare the reference processor whenever software is in play: on the
+   co-design benchmark (so sessions can rebind partitions later) or when
+   the caller binds a partition explicitly. *)
+let processors_for ~benchmark ~impls =
+  if String.equal benchmark "pcm_pwm" || impls <> [] then [ reference_cpu ]
+  else []
+
+let build_spec ?(processors = []) ?(impls = []) ~graph ~partitions ~package
+    ~perf ~delay ~multicycle ~strategy () =
   let partitioning =
     if partitions = 1 then Chop_dfg.Partition.whole graph
     else Chop_baseline.Autopart.generate graph ~k:partitions strategy
@@ -67,8 +90,8 @@ let build_spec ~graph ~partitions ~package ~perf ~delay ~multicycle ~strategy =
       (if multicycle then Chop_tech.Style.Multi_cycle
        else Chop_tech.Style.Single_cycle)
   in
-  Chop.Rig.custom ~graph ~partitioning ~package ~clocks ~style
-    ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
+  Chop.Rig.custom ~processors ~impls ~graph ~partitioning ~package ~clocks
+    ~style ~criteria:(Chop_bad.Feasibility.criteria ~perf ~delay ()) ()
 
 let ( let* ) r f = Result.bind r f
 
@@ -81,9 +104,10 @@ let spec_of_params (p : Protocol.params) =
       (Printf.sprintf "partitions must be >= 1, not %d" p.Protocol.partitions)
   else
     match
-      build_spec ~graph ~partitions:p.Protocol.partitions ~package
-        ~perf:p.Protocol.perf ~delay:p.Protocol.delay
-        ~multicycle:p.Protocol.multicycle ~strategy
+      build_spec
+        ~processors:(processors_for ~benchmark:p.Protocol.benchmark ~impls:[])
+        ~graph ~partitions:p.Protocol.partitions ~package ~perf:p.Protocol.perf
+        ~delay:p.Protocol.delay ~multicycle:p.Protocol.multicycle ~strategy ()
     with
     | spec -> Ok spec
     | exception Chop.Spec.Invalid_spec reason -> Error reason
@@ -197,14 +221,22 @@ let render_explore_timing (report : Chop.Explore.report) =
     report.Chop.Explore.jobs report.Chop.Explore.cache_hits
     report.Chop.Explore.cache_misses st.Chop.Search.cpu_seconds
 
+(* Partitions bound to a software model get a tag; hardware partitions
+   render exactly as before, so all-hardware output stays byte-identical. *)
+let model_tag spec label =
+  match Chop.Spec.impl_of_partition spec label with
+  | "hw" -> ""
+  | m -> Printf.sprintf " [model %s]" m
+
 let render_predict spec ~index ~top per_partition stats =
   let buf = Buffer.create 512 in
   List.iteri
     (fun i (label, preds) ->
       if i = index || index < 0 then begin
         let st = List.nth stats i in
-        Printf.bprintf buf "partition %s: %d predictions (%d feasible, %d kept)\n"
-          label st.Chop.Explore.total_predictions
+        Printf.bprintf buf
+          "partition %s%s: %d predictions (%d feasible, %d kept)\n" label
+          (model_tag spec label) st.Chop.Explore.total_predictions
           st.Chop.Explore.feasible_predictions st.Chop.Explore.kept;
         List.iter
           (fun p ->
@@ -227,7 +259,8 @@ let edit_commands =
   "move <op> <partition> | merge <src> <dst> | split <from> <new> \
    <op[,op...]> | assign <partition> <chip> | package <chip> <64|84> | \
    rehost <block> <chip> | clocks <main_ns> <datapath_ratio> \
-   <transfer_ratio> | criteria <perf_ns> <delay_ns>"
+   <transfer_ratio> | criteria <perf_ns> <delay_ns> | impl <partition> \
+   <hw|processor>"
 
 let tokens line =
   String.split_on_char ' ' line
@@ -299,6 +332,21 @@ let parse_edit spec line =
       let* perf = number "perf" perf in
       let* delay = number "delay" delay in
       Ok (Chop.Spec.Set_criteria (Chop_bad.Feasibility.criteria ~perf ~delay ()))
+  | [ "impl"; partition; model ] ->
+      (* reject unknown model names here, with the declared alternatives,
+         rather than letting Spec.update fail later with less context *)
+      let known =
+        "hw"
+        :: List.map
+             (fun p -> p.Chop_model_sw.Processor.pname)
+             spec.Chop.Spec.processors
+      in
+      if List.mem model known then
+        Ok (Chop.Spec.Set_impl { partition; impl = model })
+      else
+        Error
+          (Printf.sprintf "impl: unknown model %S (declared: %s)" model
+             (String.concat ", " known))
   | [] -> Error "empty edit command"
   | cmd :: _ ->
       Error (Printf.sprintf "unknown edit command %S (syntax: %s)" cmd edit_commands)
@@ -339,15 +387,35 @@ let render_parts spec =
   List.iter
     (fun p ->
       let label = p.Chop_dfg.Partition.label in
-      Printf.bprintf buf "%s: %d operation(s) on %s\n" label
+      Printf.bprintf buf "%s: %d operation(s) on %s%s\n" label
         (List.length p.Chop_dfg.Partition.members)
-        (Chop.Spec.chip_of_partition spec label).Chop.Spec.chip_name)
+        (Chop.Spec.chip_of_partition spec label).Chop.Spec.chip_name
+        (model_tag spec label))
     spec.Chop.Spec.partitioning.Chop_dfg.Partition.parts;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* chop auto / session/optimize: constraint parsing and rendering,
    shared so the CLI and the server answer byte-identically. *)
+
+(* [--impl PART=MODEL] bindings from the CLI; validation of the partition
+   label and model name is left to [Spec.make], which has both in hand. *)
+let parse_impl_bindings strs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: tl -> (
+        match String.index_opt s '=' with
+        | None -> Error (Printf.sprintf "impl %S: expected partition=model" s)
+        | Some i ->
+            let part = String.trim (String.sub s 0 i) in
+            let model =
+              String.trim (String.sub s (i + 1) (String.length s - i - 1))
+            in
+            if part = "" || model = "" then
+              Error (Printf.sprintf "impl %S: expected partition=model" s)
+            else go ((part, model) :: acc) tl)
+  in
+  go [] strs
 
 let parse_constraints spec ~pins ~together =
   let rec conv_pins acc = function
@@ -406,11 +474,16 @@ let report_summary_line (r : Chop.Explore.report) =
 let render_auto spec (o : Chop_auto.outcome) =
   let buf = Buffer.create 512 in
   Printf.bprintf buf
-    "auto: %d level(s) from %d cluster(s), %d move(s) tried, %d accepted, %d \
-     speculative run(s) over %d round(s)%s\n"
+    "auto: %d level(s) from %d cluster(s), %d move(s) tried, %d accepted%s, \
+     %d speculative run(s) over %d round(s)%s\n"
     o.Chop_auto.levels o.Chop_auto.coarse_clusters o.Chop_auto.moves_tried
-    o.Chop_auto.moves_accepted o.Chop_auto.speculative_runs
-    o.Chop_auto.batch_rounds
+    o.Chop_auto.moves_accepted
+    (* the flip clause appears only when software models are in play, so
+       hardware-only output is byte-identical to the pre-model renderer *)
+    (if spec.Chop.Spec.processors <> [] then
+       Printf.sprintf ", %d model flip(s)" o.Chop_auto.impl_flips
+     else "")
+    o.Chop_auto.speculative_runs o.Chop_auto.batch_rounds
     (if o.Chop_auto.interrupted then " (stopped at budget)" else "");
   Printf.bprintf buf "seed: %s\n" (report_summary_line o.Chop_auto.seed_report);
   Printf.bprintf buf "auto vs seed: %s\n\n"

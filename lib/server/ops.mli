@@ -9,15 +9,35 @@
     ({!render_explore_timing}, {!Protocol.timing}). *)
 
 val benchmarks : (string * (unit -> Chop_dfg.Graph.t)) list
-(** The built-in benchmark graphs: ar, ewf, fir16, fir8, diffeq, dct8.
-    Each entry builds a fresh graph. *)
+(** The built-in benchmark graphs: ar, ewf, fir16, fir8, diffeq, dct8,
+    pcm_pwm.  Each entry builds a fresh graph. *)
 
 val graph_of_name : string -> (Chop_dfg.Graph.t, string) result
 val package_of_pins : int -> (Chop_tech.Chip.t, string) result
 val heuristic_of_string : string -> (Chop.Explore.heuristic, string) result
 val strategy_of_string : string -> (Chop_baseline.Autopart.strategy, string) result
 
+val reference_cpu : Chop_model_sw.Processor.t
+(** The embedded processor declared on HW/SW co-design runs: a 2-issue
+    core named ["cpu"] at the 300 ns main clock, with a memory budget and
+    bus width sized for the [pcm_pwm] case study. *)
+
+val processors_for :
+  benchmark:string ->
+  impls:(string * string) list ->
+  Chop_model_sw.Processor.t list
+(** [[reference_cpu]] on the co-design benchmark ([pcm_pwm]) or whenever
+    the caller binds a partition explicitly; [[]] otherwise, so every
+    pre-existing benchmark builds the exact spec it always did. *)
+
+val parse_impl_bindings :
+  string list -> ((string * string) list, string) result
+(** CLI [--impl PART=MODEL] bindings; label and model validation is left
+    to {!Chop.Spec.make}. *)
+
 val build_spec :
+  ?processors:Chop_model_sw.Processor.t list ->
+  ?impls:(string * string) list ->
   graph:Chop_dfg.Graph.t ->
   partitions:int ->
   package:Chop_tech.Chip.t ->
@@ -25,10 +45,13 @@ val build_spec :
   delay:float ->
   multicycle:bool ->
   strategy:Chop_baseline.Autopart.strategy ->
+  unit ->
   Chop.Spec.t
 (** The CLI's benchmark rig: level-cut (or strategy-driven) partitioning,
     MOSIS chips, single-cycle datapath at 10x main clock (or multi-cycle
-    at 1x), performance/delay criteria. *)
+    at 1x), performance/delay criteria.  [processors] and [impls] (both
+    default empty) declare software implementation models and per-
+    partition bindings. *)
 
 val spec_of_params : Protocol.params -> (Chop.Spec.t, string) result
 (** {!build_spec} from wire parameters; [Error] on an unknown benchmark,
@@ -103,7 +126,7 @@ val render_advice : Chop.Advisor.judgement -> string
     split <from> <new> <op[,op...]>
     assign <partition> <chip>    package <chip> <64|84>
     rehost <block> <chip>        clocks <main_ns> <dp_ratio> <tr_ratio>
-    criteria <perf_ns> <delay_ns>
+    criteria <perf_ns> <delay_ns> impl <partition> <hw|processor>
     v}
 
     [<op>] operands are graph node ids or node names. *)
@@ -128,7 +151,9 @@ val render_dirty : Chop.Spec.dirty -> string
     predictive work. *)
 
 val render_parts : Chop.Spec.t -> string
-(** One line per partition: label, operation count, assigned chip. *)
+(** One line per partition: label, operation count, assigned chip, plus a
+    [[model <name>]] tag for partitions bound to a software model
+    (hardware partitions render exactly as before). *)
 
 (** {1 Automatic partitioning (chop auto / session/optimize)} *)
 

@@ -827,6 +827,7 @@ let exec_op t (req : Protocol.request) ~interrupt :
                         ("levels", Json.Int o.Chop_auto.levels);
                         ("moves_tried", Json.Int o.Chop_auto.moves_tried);
                         ("moves_accepted", Json.Int o.Chop_auto.moves_accepted);
+                        ("impl_flips", Json.Int o.Chop_auto.impl_flips);
                         ("interrupted", Json.Bool o.Chop_auto.interrupted);
                       ],
                       Of_auto o,

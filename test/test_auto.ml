@@ -17,12 +17,15 @@ let private_config () =
     ()
 
 let bench_spec ?(k = 2) ?(perf = 30000.) ?(delay = 30000.)
-    ?(strategy = Chop_baseline.Autopart.Min_cut 1) name =
+    ?(strategy = Chop_baseline.Autopart.Min_cut 1) ?(multicycle = false)
+    ?(impls = []) name =
   let graph =
     match Ops.graph_of_name name with Ok g -> g | Error m -> failwith m
   in
-  Ops.build_spec ~graph ~partitions:k ~package:Chop_tech.Mosis.package_84
-    ~perf ~delay ~multicycle:false ~strategy
+  Ops.build_spec
+    ~processors:(Ops.processors_for ~benchmark:name ~impls)
+    ~impls ~graph ~partitions:k ~package:Chop_tech.Mosis.package_84 ~perf
+    ~delay ~multicycle ~strategy ()
 
 let random_spec ~ops ~seed ~k =
   let graph = Chop_dfg.Benchmarks.random_dag ~ops ~seed () in
@@ -144,6 +147,76 @@ let test_auto_multilevel_depth () =
   in
   Alcotest.(check int) "explicit large target stays single-level" 1
     o1.Chop_auto.levels
+
+(* The HW/SW co-design case study: on pcm_pwm the all-hardware seed is
+   clock-bound and the all-software seed is memory-starved into narrow
+   issue; refinement with model flips enabled must land on a genuinely
+   mixed split that beats both pure seeds on the total score order. *)
+let best_perf spec =
+  let session = Chop.Explore.Session.create (private_config ()) spec in
+  Fun.protect
+    ~finally:(fun () -> Chop.Explore.Session.close session)
+    (fun () ->
+      let r = Chop.Explore.Session.run session in
+      match r.Chop.Explore.outcome.Chop.Search.feasible with
+      | best :: _ -> (Chop.Integration.objectives best).(0)
+      | [] -> infinity)
+
+let test_pcm_pwm_codesign_triangle () =
+  let all_hw = best_perf (bench_spec ~multicycle:true "pcm_pwm") in
+  let all_sw =
+    best_perf
+      (bench_spec ~multicycle:true
+         ~impls:[ ("P1", "cpu"); ("P2", "cpu") ]
+         "pcm_pwm")
+  in
+  Alcotest.(check bool) "both pure seeds are feasible" true
+    (all_hw < infinity && all_sw < infinity);
+  let run () =
+    Chop_auto.run ~seed:1 ~config:(private_config ())
+      (bench_spec ~multicycle:true "pcm_pwm")
+  in
+  let o = run () in
+  Alcotest.(check bool) "refinement rebinds at least one partition" true
+    (o.Chop_auto.impl_flips >= 1);
+  let impls =
+    List.map
+      (fun (p : P.t) ->
+        Chop.Spec.impl_of_partition o.Chop_auto.spec p.P.label)
+      o.Chop_auto.spec.Chop.Spec.partitioning.P.parts
+  in
+  Alcotest.(check bool) "the winning split is genuinely mixed" true
+    (List.mem "hw" impls && List.mem "cpu" impls);
+  let mixed =
+    match o.Chop_auto.report.Chop.Explore.outcome.Chop.Search.feasible with
+    | best :: _ -> (Chop.Integration.objectives best).(0)
+    | [] -> Alcotest.fail "mixed result infeasible"
+  in
+  Alcotest.(check bool) "mixed beats the all-hardware seed" true
+    (mixed < all_hw);
+  Alcotest.(check bool) "mixed beats the all-software seed" true
+    (mixed < all_sw);
+  (* deterministic under the fixed seed, byte for byte *)
+  let o2 = run () in
+  Alcotest.(check string) "deterministic rendering"
+    (Ops.render_auto o.Chop_auto.spec o)
+    (Ops.render_auto o2.Chop_auto.spec o2);
+  Alcotest.(check bool) "rendering reports the flips" true
+    (contains (Ops.render_auto o.Chop_auto.spec o) "model flip(s)")
+
+let test_hardware_only_runs_never_flip () =
+  (* no processors declared: no flip candidates are generated and the
+     rendering never mentions models — the pre-seam byte identity *)
+  let o =
+    Chop_auto.run ~seed:3 ~config:(private_config ())
+      (bench_spec ~k:2 ~perf:6000. "diffeq")
+  in
+  Alcotest.(check int) "no flips" 0 o.Chop_auto.impl_flips;
+  let text = Ops.render_auto o.Chop_auto.spec o in
+  Alcotest.(check bool) "no flip clause in the rendering" false
+    (contains text "model flip");
+  Alcotest.(check bool) "no model tags in the rendering" false
+    (contains text "[model ")
 
 (* Byte-identity across job counts and across repeated runs: wave
    composition, the probe-score memo and the commit rule never consult the
@@ -384,6 +457,13 @@ let () =
           Alcotest.test_case "multilevel coarsening depth" `Quick
             test_auto_multilevel_depth;
           QCheck_alcotest.to_alcotest auto_jobs_byte_identical;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "pcm_pwm co-design triangle" `Quick
+            test_pcm_pwm_codesign_triangle;
+          Alcotest.test_case "hardware-only runs never flip" `Quick
+            test_hardware_only_runs_never_flip;
         ] );
       ( "sched-hardening",
         [

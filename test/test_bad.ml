@@ -325,6 +325,100 @@ let test_chaining_improves_single_cycle () =
   Alcotest.(check bool) "chaining reaches shorter latencies" true
     (best chained < best plain)
 
+(* ------------------------------------------------------------------ *)
+(* Software model *)
+
+let cpu ?(name = "cpu") ?(issue = 4) ?(mem = 4096.) () =
+  Chop_model_sw.Processor.make ~name ~issue_slots:issue ~cycle_ns:300.
+    ~code_bytes_per_op:4 ~data_bytes_per_value:2 ~memory_budget_bytes:mem
+    ~bus_bits:16
+
+let test_sw_predict_one_per_width () =
+  let preds =
+    Chop_model_sw.Sw_predict.predict (cpu ()) ~clocks:clocks2 ~label:"S" (ar ())
+  in
+  Alcotest.(check int) "one prediction per issue width" 4 (List.length preds);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "issue width recorded" (i + 1)
+        (List.assoc "issue" p.Prediction.alloc);
+      Alcotest.(check int) "sequential execution: ii = latency"
+        p.Prediction.timing.latency_dp p.Prediction.timing.ii_dp;
+      Alcotest.(check (float 1e-9)) "system clock untouched" 300.
+        p.Prediction.timing.clock_main;
+      Alcotest.(check bool) "footprint is exact" true
+        Chop_util.Triplet.(p.Prediction.area.low = p.Prediction.area.high))
+    preds
+
+let test_sw_wider_issue_shortens_schedule () =
+  let preds =
+    Chop_model_sw.Sw_predict.predict (cpu ()) ~clocks:clocks2 ~label:"S" (ar ())
+  in
+  let iis = List.map (fun p -> p.Prediction.timing.ii_dp) preds in
+  let rec weakly_dec = function
+    | a :: (b :: _ as rest) -> a >= b && weakly_dec rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cycle count weakly decreases with width" true
+    (weakly_dec iis);
+  Alcotest.(check bool) "width 4 strictly beats width 1" true
+    (List.nth iis 3 < List.hd iis)
+
+let test_sw_footprint_is_code_plus_data () =
+  let p = cpu () in
+  let sub = ar () in
+  List.iteri
+    (fun i pr ->
+      let cycles = pr.Prediction.timing.ii_dp in
+      let code, data =
+        Chop_model_sw.Sw_predict.footprint_bytes p ~issue:(i + 1) ~cycles sub
+      in
+      Alcotest.(check (float 1e-9)) "area triplet carries code+data bytes"
+        (float_of_int (code + data))
+        pr.Prediction.area.Chop_util.Triplet.likely;
+      Alcotest.(check int) "register bits mirror the data bytes" (data * 8)
+        pr.Prediction.register_bits)
+    (Chop_model_sw.Sw_predict.predict p ~clocks:clocks2 ~label:"S" sub)
+
+let test_sw_budget_screens_footprint () =
+  let model mem = Chop.Model.Software (cpu ~mem ()) in
+  let cfg = cfg2 () in
+  let preds = Chop.Model.predict (model 4096.) cfg ~label:"S" (ar ()) in
+  Alcotest.(check bool) "predictions exist" true (preds <> []);
+  Alcotest.(check bool) "a roomy budget keeps an implementation" true
+    (Chop.Model.prune (model 4096.) cfg ~criteria:criteria1 ~capacity:4096.
+       preds
+    <> []);
+  Alcotest.(check int) "a 32-byte budget keeps none" 0
+    (List.length
+       (Chop.Model.prune (model 32.) cfg ~criteria:criteria1 ~capacity:32.
+          preds))
+
+let test_cache_keys_disjoint_across_models () =
+  let sub = ar () in
+  let cfg = cfg1 () in
+  let id model =
+    Chop.Pred_cache.Key.raw_id (Chop.Pred_cache.Key.raw ~sub ~cfg ~model)
+  in
+  let hw = id Chop.Model.Hardware in
+  let sw = id (Chop.Model.Software (cpu ())) in
+  Alcotest.(check bool) "hardware and software keys never collide" true
+    (hw <> sw);
+  Alcotest.(check bool) "processor parameters are cache identity" true
+    (sw <> id (Chop.Model.Software (cpu ~issue:2 ())));
+  Alcotest.(check string) "equal processors, equal keys" sw
+    (id (Chop.Model.Software (cpu ())));
+  (* content addressing holds within each model: a renumbered isomorphic
+     graph probes the same entry *)
+  let renum = Chop_dfg.Transform.renumber sub in
+  let id' model =
+    Chop.Pred_cache.Key.raw_id
+      (Chop.Pred_cache.Key.raw ~sub:renum ~cfg ~model)
+  in
+  Alcotest.(check string) "hw key is structural" hw (id' Chop.Model.Hardware);
+  Alcotest.(check string) "sw key is structural" sw
+    (id' (Chop.Model.Software (cpu ())))
+
 let predictor_deterministic =
   QCheck.Test.make ~name:"predictor is deterministic" ~count:5
     QCheck.(0 -- 3)
@@ -379,5 +473,16 @@ let () =
           tc "force-directed scheduler" `Quick test_force_directed_scheduler_option;
           tc "chaining improves single-cycle" `Quick test_chaining_improves_single_cycle;
           QCheck_alcotest.to_alcotest predictor_deterministic;
+        ] );
+      ( "software model",
+        [
+          tc "one prediction per issue width" `Quick
+            test_sw_predict_one_per_width;
+          tc "wider issue shortens schedule" `Quick
+            test_sw_wider_issue_shortens_schedule;
+          tc "footprint is code+data" `Quick test_sw_footprint_is_code_plus_data;
+          tc "budget screens footprint" `Quick test_sw_budget_screens_footprint;
+          tc "cache keys disjoint across models" `Quick
+            test_cache_keys_disjoint_across_models;
         ] );
     ]

@@ -869,6 +869,68 @@ let test_specfile_line_numbers () =
   | exception Specfile.Parse_error (line, _) -> Alcotest.(check int) "line 2" 2 line
   | _ -> Alcotest.fail "expected error"
 
+let expect_parse_error_with text fragments =
+  match Specfile.parse text with
+  | exception Specfile.Parse_error (_, msg) ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S mentions %S" msg f)
+            true (contains msg f))
+        fragments
+  | _ -> Alcotest.fail "bad spec accepted"
+
+let test_specfile_duplicate_keys_rejected () =
+  (* a repeated key would silently win by position in [attr]; the parser
+     names the offending token by 0-based index instead *)
+  expect_parse_error_with
+    (replace_once demo_spec_text "criteria perf=30000 delay=30000 delay_prob=0.8"
+       "criteria perf=30000 perf=1 delay=30000")
+    [ "duplicate"; "criteria"; "\"perf\""; "token 1" ];
+  expect_parse_error_with
+    (demo_spec_text
+    ^ "processor cpu issue=2 cycle=300 code=4 data=2 mem=256 bus=16 mem=512\n")
+    [ "duplicate"; "processor"; "\"mem\""; "token 6" ]
+
+let test_specfile_impl_unknown_model () =
+  expect_parse_error_with
+    (demo_spec_text ^ "impl P1 dsp\n")
+    [ "unknown model"; "\"dsp\"" ];
+  (* referencing a processor before its declaration is the same error *)
+  expect_parse_error_with
+    (demo_spec_text ^ "impl P1 cpu\nprocessor cpu issue=2 cycle=300 code=4 data=2 mem=256 bus=16\n")
+    [ "unknown model"; "\"cpu\"" ]
+
+let test_specfile_processor_impl_roundtrip () =
+  let text =
+    demo_spec_text
+    ^ "processor cpu issue=4 cycle=300 code=4 data=2 mem=176 bus=16\n\
+       impl P2 cpu\n"
+  in
+  let spec = Specfile.parse text in
+  let reparsed = Specfile.parse (Specfile.print spec) in
+  List.iter
+    (fun (s : Spec.t) ->
+      match s.Spec.processors with
+      | [ p ] ->
+          Alcotest.(check string) "name" "cpu" p.Chop_model_sw.Processor.pname;
+          Alcotest.(check int) "issue" 4 p.Chop_model_sw.Processor.issue_slots;
+          Alcotest.(check (float 1e-9)) "budget" 176.
+            p.Chop_model_sw.Processor.memory_budget_bytes;
+          Alcotest.(check (list (pair string string))) "binding"
+            [ ("P2", "cpu") ] s.Spec.impls;
+          Alcotest.(check string) "impl_of_partition" "cpu"
+            (Spec.impl_of_partition s "P2");
+          Alcotest.(check string) "unbound partitions stay hardware" "hw"
+            (Spec.impl_of_partition s "P1")
+      | ps -> Alcotest.failf "%d processors" (List.length ps))
+    [ spec; reparsed ];
+  (* identical processor signatures across the round-trip: the cache
+     identity of a restored software partition is unchanged *)
+  Alcotest.(check string) "signature survives"
+    (Chop_model_sw.Processor.signature (List.hd spec.Spec.processors))
+    (Chop_model_sw.Processor.signature (List.hd reparsed.Spec.processors))
+
 (* ------------------------------------------------------------------ *)
 (* Sysim *)
 
@@ -1149,6 +1211,9 @@ let () =
           tc "line numbers" `Quick test_specfile_line_numbers;
           tc "load from file" `Quick test_specfile_load_from_file;
           tc "roundtrip all benchmarks" `Quick test_specfile_roundtrip_all_benchmarks;
+          tc "duplicate keys rejected" `Quick test_specfile_duplicate_keys_rejected;
+          tc "impl unknown model" `Quick test_specfile_impl_unknown_model;
+          tc "processor/impl roundtrip" `Quick test_specfile_processor_impl_roundtrip;
         ] );
       ( "sysim",
         [

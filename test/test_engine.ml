@@ -252,7 +252,9 @@ let chain_graph ?(name = "chain") n =
   Chop_dfg.Graph.add_edge b ~src:!prev ~dst:out;
   Chop_dfg.Graph.build b
 
-let rkey i = Pred_cache.Key.raw ~sub:(chain_graph i) ~cfg:(Lazy.force test_cfg)
+let rkey i =
+  Pred_cache.Key.raw ~sub:(chain_graph i) ~cfg:(Lazy.force test_cfg)
+    ~model:Chop.Model.Hardware
 
 let test_cache_capacity_evicts_lru () =
   let cache = Pred_cache.create ~capacity:4 () in
@@ -321,6 +323,7 @@ let wkey i =
   Chop_dfg.Graph.add_edge b ~src:inp ~dst:s;
   Chop_dfg.Graph.add_edge b ~src:s ~dst:out;
   Pred_cache.Key.raw ~sub:(Chop_dfg.Graph.build b) ~cfg:(Lazy.force test_cfg)
+    ~model:Chop.Model.Hardware
 
 let test_cache_eviction_at_default_capacity_boundary () =
   let cap = Pred_cache.default_shared_capacity in

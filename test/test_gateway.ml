@@ -370,7 +370,7 @@ let rm_rf dir =
 
 (* N backend serve processes (in-process, socket transport) sharing one
    state dir, plus a gateway routing across them via handle_line. *)
-let with_cluster ?(fanout = false) n f =
+let with_cluster ?(fanout = false) ?health_interval_s n f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "chop-gw-%d-%d" (Unix.getpid ()) (if fanout then 1 else 0))
@@ -404,6 +404,7 @@ let with_cluster ?(fanout = false) n f =
         fanout;
         log = None;
         handle_signals = false;
+        health_interval_s;
       }
   in
   Fun.protect
@@ -586,6 +587,103 @@ let test_gateway_sessions_migrate_failover () =
       in
       Alcotest.(check bool) "closed session is gone" true (not (ok_of after)))
 
+(* A dead backend is caught by the health sweep, routed around for
+   stateless work, and failed over preemptively for sessions — without
+   waiting for a request to time out against the corpse.  The sweep is
+   the same code path the periodic prober drives; calling it directly
+   keeps the test deterministic. *)
+let test_gateway_health_marks_dead_and_fails_over () =
+  with_cluster ~health_interval_s:3600. 2 (fun ~gw ~socks ~servers ~threads ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        nn = 0 || go 0
+      in
+      (* every backend answers its ping: nothing is dead *)
+      Alcotest.(check (list string)) "all backends live" []
+        (Gateway.check_health gw);
+      (* open a session so one backend becomes an owner we can kill *)
+      let opened =
+        parse_response
+          (Gateway.handle_line gw
+             {|{"id":"o","op":"session/open","benchmark":"ar","partitions":2,"client":"alice"}|})
+      in
+      let sid =
+        match
+          Option.bind (field opened [ "result"; "session" ]) Json.to_string_opt
+        with
+        | Some s -> s
+        | None -> Alcotest.fail "session/open gave no id"
+      in
+      let ring = Ring.create ~vnodes:64 socks in
+      let owner =
+        match Ring.lookup ring sid with
+        | Some b -> b
+        | None -> Alcotest.fail "ring lookup failed"
+      in
+      (* kill the owner; it snapshots the session on shutdown *)
+      List.iter2
+        (fun sock (sv, th) ->
+          if sock = owner then begin
+            Server.stop sv;
+            Thread.join th
+          end)
+        socks
+        (List.combine servers threads);
+      (* the sweep marks exactly the killed backend dead *)
+      Alcotest.(check (list string)) "owner marked dead" [ owner ]
+        (Gateway.check_health gw);
+      (* stateless work prefers the live backend — no timeout, no error *)
+      let explored =
+        Gateway.handle_line gw
+          {|{"id":"e","op":"explore","benchmark":"ar","partitions":2}|}
+      in
+      Alcotest.(check bool) "stateless op routes around the dead backend"
+        true (ok_of explored);
+      (* the session op never contacts the dead owner: it fails over
+         preemptively through the shared snapshot *)
+      let run =
+        Gateway.handle_line gw
+          (Printf.sprintf
+             {|{"id":"r","op":"session/run","session":"%s"}|} sid)
+      in
+      Alcotest.(check bool) "session fails over preemptively" true
+        (ok_of run);
+      let stats_raw = Gateway.handle_line gw {|{"op":"stats"}|} in
+      let stats = parse_response stats_raw in
+      Alcotest.(check (option int)) "failover counted" (Some 1)
+        (Option.bind (field stats [ "result"; "failovers" ]) Json.to_int_opt);
+      (match field stats [ "result"; "dead" ] with
+      | Some (Json.Array [ Json.String b ]) ->
+          Alcotest.(check string) "stats lists the dead backend" owner b
+      | _ -> Alcotest.fail "stats result.dead missing or not a 1-element array");
+      Alcotest.(check bool) "stats text tags the dead backend" true
+        (contains (text_of stats_raw) "(unreachable)");
+      (* resurrect the backend on the same socket: the next sweep marks
+         it live again and the dead set empties *)
+      let dir = Filename.dirname owner in
+      let revived =
+        Server.create
+          {
+            Server.default_config with
+            socket_path = Some owner;
+            jobs = 1;
+            log = None;
+            handle_signals = false;
+            state_dir = Some (Filename.concat dir "state");
+          }
+      in
+      let revived_th = Thread.create Server.serve revived in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop revived;
+          Thread.join revived_th)
+        (fun () ->
+          Alcotest.(check (list string)) "revived backend marked live" []
+            (Gateway.check_health gw)))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -629,5 +727,7 @@ let () =
           tc "fan-out merge byte-identical" `Quick test_gateway_fanout_parity;
           tc "sessions: sticky, migrate, failover" `Quick
             test_gateway_sessions_migrate_failover;
+          tc "health: dead-marking and preemptive failover" `Quick
+            test_gateway_health_marks_dead_and_fails_over;
         ] );
     ]

@@ -516,6 +516,186 @@ let snapshot_roundtrip_preserves_session =
           true))
 
 (* ------------------------------------------------------------------ *)
+(* Implementation models: the edit-language seam, per-model cache
+   identity and snapshot forward-compatibility *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let cpu_big =
+  Chop_model_sw.Processor.make ~name:"cpu" ~issue_slots:2 ~cycle_ns:300.
+    ~code_bytes_per_op:4 ~data_bytes_per_value:2 ~memory_budget_bytes:65536.
+    ~bus_bits:16
+
+let hwsw_spec ?(impls = []) graph =
+  Rig.custom ~graph
+    ~partitioning:(Chop_dfg.Partition.by_levels graph ~k:3)
+    ~package:Chop_tech.Mosis.package_84
+    ~clocks:
+      (Chop_tech.Clocking.make ~main:300. ~datapath_ratio:1 ~transfer_ratio:1)
+    ~style:(Chop_tech.Style.both Chop_tech.Style.Multi_cycle)
+    ~criteria:(Chop_bad.Feasibility.criteria ~perf:20000. ~delay:20000. ())
+    ~processors:[ cpu_big ] ~impls ()
+
+let test_parse_edit_impl () =
+  let spec = hwsw_spec (Chop_dfg.Benchmarks.elliptic_wave_filter ()) in
+  (match Ops.parse_edit spec "impl P2 cpu" with
+  | Ok (Spec.Set_impl { partition = "P2"; impl = "cpu" }) -> ()
+  | Ok _ -> Alcotest.fail "wrong edit"
+  | Error e -> Alcotest.fail e);
+  (match Ops.parse_edit spec "impl P2 hw" with
+  | Ok (Spec.Set_impl { partition = "P2"; impl = "hw" }) -> ()
+  | _ -> Alcotest.fail "hw rebinding rejected");
+  (match Ops.parse_edit spec "impl P2 dsp" with
+  | Ok _ -> Alcotest.fail "unknown model accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the model" true (contains msg "\"dsp\"");
+      Alcotest.(check bool) "lists the declared vocabulary" true
+        (contains msg "hw, cpu"));
+  (* on a hardware-only spec the vocabulary is just "hw" *)
+  match Ops.parse_edit (ewf_spec ()) "impl P1 cpu" with
+  | Ok _ -> Alcotest.fail "processor accepted without a declaration"
+  | Error msg ->
+      Alcotest.(check bool) "hw-only vocabulary" true (contains msg "hw")
+
+let test_model_flip_keeps_models_cache_disjoint () =
+  let cache = Pred_cache.create () in
+  let config =
+    Explore.Config.make ~jobs:1 ~cache:(Explore.Config.Custom cache) ()
+  in
+  let session =
+    Explore.Session.create config
+      (hwsw_spec (Chop_dfg.Benchmarks.elliptic_wave_filter ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Explore.Session.close session)
+    (fun () ->
+      let cold = Explore.Session.run session in
+      Alcotest.(check int) "cold run misses every partition" 3
+        cold.Explore.cache_misses;
+      (match
+         Explore.Session.edit session
+           [ Spec.Set_impl { partition = "P2"; impl = "cpu" } ]
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      let sw = Explore.Session.run session in
+      Alcotest.(check int)
+        "flip repredicts only the flipped partition (hw entries cannot \
+         serve software)" 1 sw.Explore.cache_misses;
+      Alcotest.(check int) "hardware partitions still hit" 2
+        sw.Explore.cache_hits;
+      (match
+         Explore.Session.edit session
+           [ Spec.Set_impl { partition = "P2"; impl = "hw" } ]
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%a" Spec.pp_update_error e);
+      let back = Explore.Session.run session in
+      Alcotest.(check int)
+        "flipping back misses nothing: both models' entries coexist" 0
+        back.Explore.cache_misses;
+      Alcotest.(check int) "every partition hits" 3 back.Explore.cache_hits)
+
+let test_structural_hits_within_each_model () =
+  let cache = Pred_cache.create () in
+  let config =
+    Explore.Config.make ~jobs:1 ~cache:(Explore.Config.Custom cache) ()
+  in
+  let g = Chop_dfg.Benchmarks.elliptic_wave_filter () in
+  let g' = Chop_dfg.Transform.renumber g in
+  let all_cpu = [ ("P1", "cpu"); ("P2", "cpu"); ("P3", "cpu") ] in
+  let run spec =
+    let session = Explore.Session.create config spec in
+    Fun.protect
+      ~finally:(fun () -> Explore.Session.close session)
+      (fun () -> Explore.Session.run session)
+  in
+  ignore (run (hwsw_spec g));
+  (* same construction, software bindings: disjoint key space, so every
+     partition misses — zero cross-model collisions *)
+  let sw_cold = run (hwsw_spec ~impls:all_cpu g) in
+  Alcotest.(check int) "software never hits hardware entries" 0
+    sw_cold.Explore.cache_hits;
+  Alcotest.(check int) "software cold run misses every partition" 3
+    sw_cold.Explore.cache_misses;
+  (* renumbered constructions: content addressing serves both models *)
+  let hw_renum = run (hwsw_spec g') in
+  Alcotest.(check int) "hw re-run misses nothing" 0
+    hw_renum.Explore.cache_misses;
+  Alcotest.(check bool) "hw hits are structural" true
+    (hw_renum.Explore.metrics.Explore.Metrics.cache_structural_hits > 0);
+  let sw_renum = run (hwsw_spec ~impls:all_cpu g') in
+  Alcotest.(check int) "sw re-run misses nothing" 0
+    sw_renum.Explore.cache_misses;
+  Alcotest.(check bool) "sw hits are structural" true
+    (sw_renum.Explore.metrics.Explore.Metrics.cache_structural_hits > 0)
+
+let test_snapshot_forward_compat () =
+  let session =
+    Explore.Session.create Explore.Config.default (ar_spec ~k:2 ())
+  in
+  let snap =
+    Fun.protect
+      ~finally:(fun () -> Explore.Session.close session)
+      (fun () ->
+        ignore (Explore.Session.run session);
+        Snapshot.of_state
+          ~meta:[ ("open", "{\"benchmark\":\"ar\"}") ]
+          (Explore.Session.state session))
+  in
+  let future_lines =
+    [ "modelstore digest=0abc shards=2"; "weights <<<"; "w1 0.5"; ">>>" ]
+  in
+  let text = Snapshot.print snap in
+  (* a newer writer: extra statements after the header, and a
+     per-partition field on a partition line inside the spec block *)
+  let text =
+    match String.index_opt text '\n' with
+    | Some i ->
+        String.sub text 0 (i + 1)
+        ^ String.concat "\n" future_lines
+        ^ "\n"
+        ^ String.sub text (i + 1) (String.length text - i - 1)
+    | None -> Alcotest.fail "empty snapshot"
+  in
+  let text =
+    let old_s = "partition P2 = " in
+    let n = String.length text and no = String.length old_s in
+    let rec find i =
+      if i + no > n then Alcotest.fail "no partition line to decorate"
+      else if String.sub text i no = old_s then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    String.sub text 0 (i + no) ^ "impl=cpu " ^ String.sub text (i + no) (n - i - no)
+  in
+  let parsed = Snapshot.parse text in
+  Alcotest.(check (list string)) "unknown statements captured in order"
+    future_lines parsed.Snapshot.unknown;
+  Alcotest.(check (list (pair string string))) "meta still parses"
+    [ ("open", "{\"benchmark\":\"ar\"}") ]
+    parsed.Snapshot.meta;
+  (* print/parse round-trip keeps the foreign lines verbatim *)
+  let reparsed = Snapshot.parse (Snapshot.print parsed) in
+  Alcotest.(check (list string)) "unknown lines survive a round-trip"
+    future_lines reparsed.Snapshot.unknown;
+  (* restoring drops only what this binary has no slot for: the session
+     itself is intact, including the partition that carried the field *)
+  let restored =
+    Explore.Session.restore Explore.Config.default (Snapshot.to_state reparsed)
+  in
+  Fun.protect
+    ~finally:(fun () -> Explore.Session.close restored)
+    (fun () ->
+      let spec = Explore.Session.spec restored in
+      Alcotest.(check (list string)) "partitions intact" [ "P1"; "P2" ]
+        (List.sort compare (labels spec));
+      ignore (Explore.Session.run restored))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc = Alcotest.test_case in
@@ -560,5 +740,17 @@ let () =
           QCheck_alcotest.to_alcotest undo_redo_inverse_laws;
         ] );
       ( "durability",
-        [ QCheck_alcotest.to_alcotest snapshot_roundtrip_preserves_session ] );
+        [
+          QCheck_alcotest.to_alcotest snapshot_roundtrip_preserves_session;
+          tc "snapshot forward compatibility" `Quick
+            test_snapshot_forward_compat;
+        ] );
+      ( "models",
+        [
+          tc "parse_edit impl" `Quick test_parse_edit_impl;
+          tc "flip keeps models' cache entries disjoint" `Quick
+            test_model_flip_keeps_models_cache_disjoint;
+          tc "structural hits within each model" `Quick
+            test_structural_hits_within_each_model;
+        ] );
     ]
